@@ -1,0 +1,79 @@
+// Ablation: classification algorithm of the selector (§5: "our methodology
+// may be generally used with other types of classification algorithms").
+// Compares the paper's 3-NN (brute force and the §7.3 kd-tree backend, which
+// must agree exactly) against the nearest-centroid classifier.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace larp;
+  bench::banner("Ablation: selector classifier",
+                "3-NN (brute / kd-tree) vs nearest centroid");
+
+  struct Variant {
+    std::string label;
+    core::ClassifierKind kind;
+    ml::KnnBackend backend;
+  };
+  const std::vector<Variant> variants = {
+      {"3-NN, brute force (paper)", core::ClassifierKind::Knn,
+       ml::KnnBackend::BruteForce},
+      {"3-NN, soft vote [16]", core::ClassifierKind::Knn,
+       ml::KnnBackend::BruteForce},
+      {"3-NN, kd-tree (§7.3)", core::ClassifierKind::Knn,
+       ml::KnnBackend::KdTree},
+      {"nearest centroid", core::ClassifierKind::NearestCentroid,
+       ml::KnnBackend::BruteForce},
+  };
+
+  std::vector<std::pair<std::string, std::string>> grid;
+  for (const auto& vm : tracegen::paper_vms()) {
+    for (const auto& metric : tracegen::paper_metrics()) {
+      grid.emplace_back(vm.vm_id, metric);
+    }
+  }
+
+  core::TextTable table(
+      {"classifier", "avg accuracy", "avg LAR MSE", ">= best single"});
+  for (const auto& variant : variants) {
+    const auto results = parallel_map(grid.size(), [&](std::size_t i) {
+      const auto& [vm, metric] = grid[i];
+      const auto trace = tracegen::make_trace(vm, metric, /*seed=*/6);
+      auto config = bench::paper_config(vm);
+      config.classifier = variant.kind;
+      config.knn_backend = variant.backend;
+      config.soft_vote = variant.label.find("soft") != std::string::npos;
+      const auto pool = predictors::make_paper_pool(config.window);
+      ml::CrossValidationPlan plan;
+      plan.folds = 5;
+      Rng rng(99);
+      return core::cross_validate(trace.values, pool, config, plan, rng);
+    });
+    double acc = 0.0, mse = 0.0;
+    int beats = 0, scored = 0;
+    for (const auto& r : results) {
+      if (r.degenerate) continue;
+      ++scored;
+      acc += r.lar_accuracy;
+      mse += r.mse_lar;
+      if (r.lar_beats_best_single()) ++beats;
+    }
+    table.add_row({variant.label, core::TextTable::pct(acc / scored),
+                   core::TextTable::num(mse / scored),
+                   core::TextTable::pct(double(beats) / scored)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nexpected shape: brute-force and kd-tree rows are IDENTICAL\n"
+              "(same exact neighbours; asserted in tests); the centroid\n"
+              "classifier trades a little accuracy for O(P) queries — its\n"
+              "linear per-class boundary cannot carve the multi-modal label\n"
+              "regions the k-NN handles.  Soft voting keeps the hard vote's\n"
+              "accuracy but hedges split votes by weighting the voted\n"
+              "experts' forecasts — lower MSE and a higher >=best-single\n"
+              "rate at the cost of running up to k experts per step (the\n"
+              "probability-based voting strategy of the paper's §2 [16]).\n");
+  return 0;
+}

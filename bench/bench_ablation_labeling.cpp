@@ -1,0 +1,82 @@
+// Ablation: best-predictor labeling rule.  The paper states two readings
+// (DESIGN.md §5): §7.2.1 labels each training window with the expert whose
+// one-step forecast had the smallest ABSOLUTE ERROR; §6.1/Fig. 3 label with
+// the expert of least MSE over the window.  This sweep quantifies the
+// trade-off across labeling horizons on the full trace grid:
+//   * per-step labels are noisy wherever experts are near-tied, which
+//     poisons the classifier;
+//   * longer MSE horizons smooth the labels (and the "observed best" target
+//     the accuracy is measured against), raising the MSE-level statistics
+//     while shrinking LAR's accuracy advantage over the NWS selector.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace larp;
+  bench::banner("Ablation: labeling rule",
+                "per-step |error| vs window-MSE labels, several horizons");
+
+  struct Variant {
+    std::string label;
+    core::Labeling labeling;
+    std::size_t window;
+  };
+  const std::vector<Variant> variants = {
+      {"per-step |error| (§7.2.1)", core::Labeling::StepAbsoluteError, 0},
+      {"window MSE, horizon m (§6.1)", core::Labeling::WindowMse, 0},
+      {"window MSE, horizon 16", core::Labeling::WindowMse, 16},
+      {"window MSE, horizon 32", core::Labeling::WindowMse, 32},
+  };
+
+  core::TextTable table({"labeling", "LAR acc", "NWS acc", "gap",
+                         ">= best single", "beats NWS"});
+  for (const auto& variant : variants) {
+    std::vector<std::pair<std::string, std::string>> grid;
+    for (const auto& vm : tracegen::paper_vms()) {
+      for (const auto& metric : tracegen::paper_metrics()) {
+        grid.emplace_back(vm.vm_id, metric);
+      }
+    }
+    const auto results = parallel_map(grid.size(), [&](std::size_t i) {
+      const auto& [vm, metric] = grid[i];
+      const auto trace = tracegen::make_trace(vm, metric, /*seed=*/6);
+      auto config = bench::paper_config(vm);
+      config.labeling = variant.labeling;
+      config.label_window = variant.window;
+      const auto pool = predictors::make_paper_pool(config.window);
+      ml::CrossValidationPlan plan;
+      plan.folds = 5;
+      Rng rng(99);
+      return core::cross_validate(trace.values, pool, config, plan, rng);
+    });
+
+    double lar_acc = 0.0, nws_acc = 0.0;
+    int beats_single = 0, beats_nws = 0, scored = 0;
+    for (const auto& r : results) {
+      if (r.degenerate) continue;
+      ++scored;
+      lar_acc += r.lar_accuracy;
+      nws_acc += r.nws_accuracy;
+      if (r.lar_beats_best_single()) ++beats_single;
+      if (r.lar_beats_nws()) ++beats_nws;
+    }
+    lar_acc /= scored;
+    nws_acc /= scored;
+    table.add_row(
+        {variant.label, core::TextTable::pct(lar_acc),
+         core::TextTable::pct(nws_acc),
+         core::TextTable::num((lar_acc - nws_acc) * 100.0, 1) + "pt",
+         core::TextTable::pct(double(beats_single) / scored),
+         core::TextTable::pct(double(beats_nws) / scored)});
+  }
+  table.print(std::cout);
+
+  std::printf("\npaper anchors: LAR accuracy 55.98%%, +20.18pt over NWS;\n"
+              "44.23%% of traces at/above the best single expert; 66.67%%\n"
+              "beating the NWS selection.  The window-MSE readings trade the\n"
+              "accuracy gap against the MSE-level statistics; the default\n"
+              "configuration uses horizon m (the §6.1 literal reading).\n");
+  return 0;
+}

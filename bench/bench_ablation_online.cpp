@@ -1,0 +1,87 @@
+// Ablation: online classifier learning (the §8 accuracy future-work item,
+// implemented as LarConfig::online_learning) under walk-forward operation.
+//
+// Three deployment variants on the same traces:
+//   frozen     — classifier fixed at training time, no re-training;
+//   retrained  — QA-cadence re-training every 48 steps (the §3.2 loop);
+//   online     — the classifier index grows with every observed window
+//                (full-pool evaluation per step, no re-training).
+// Shape to check: on regime-switching traces both adaptation mechanisms
+// beat the frozen classifier; online learning does it without the
+// re-training pauses, at the cost of running the whole pool each step.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/rolling.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace larp;
+  bench::banner("Ablation: online learning",
+                "frozen vs QA-retrained vs online-learning deployment");
+
+  const std::vector<std::pair<std::string, std::string>> traces = {
+      {"VM2", "load15"},      {"VM2", "CPU_usedsec"}, {"VM2", "NIC1_received"},
+      {"VM4", "CPU_usedsec"}, {"VM4", "VD1_write"},   {"VM5", "NIC2_received"},
+  };
+
+  struct Variant {
+    const char* label;
+    std::size_t retrain_every;
+    bool online;
+  };
+  const Variant variants[] = {
+      {"frozen", 0, false},
+      {"retrained (48)", 48, false},
+      {"online learning", 0, true},
+  };
+
+  core::TextTable table({"trace", "frozen", "retrained (48)",
+                         "online learning", "P-LAR"});
+  double totals[3] = {0, 0, 0};
+  double oracle_total = 0;
+  const auto rows = parallel_map(traces.size(), [&](std::size_t i) {
+    const auto& [vm, metric] = traces[i];
+    const auto trace = tracegen::make_trace(vm, metric, /*seed=*/13);
+    std::array<double, 4> cells{};
+    for (int v = 0; v < 3; ++v) {
+      core::RollingOriginConfig config;
+      config.lar = bench::paper_config(vm);
+      config.lar.online_learning = variants[v].online;
+      config.initial_train = trace.size() / 2;
+      config.retrain_every = variants[v].retrain_every;
+      const auto pool = predictors::make_paper_pool(config.lar.window);
+      const auto r = core::rolling_origin_evaluate(trace.values, pool, config);
+      cells[v] = r.mse_lar;
+      cells[3] = r.mse_oracle;  // oracle identical across variants
+    }
+    return std::make_pair(vm + "/" + metric, cells);
+  });
+  for (const auto& [name, cells] : rows) {
+    table.add_row({name, core::TextTable::num(cells[0], 2),
+                   core::TextTable::num(cells[1], 2),
+                   core::TextTable::num(cells[2], 2),
+                   core::TextTable::num(cells[3], 2)});
+    for (int v = 0; v < 3; ++v) totals[v] += cells[v];
+    oracle_total += cells[3];
+  }
+  table.add_row({"TOTAL", core::TextTable::num(totals[0], 2),
+                 core::TextTable::num(totals[1], 2),
+                 core::TextTable::num(totals[2], 2),
+                 core::TextTable::num(oracle_total, 2)});
+  table.print(std::cout);
+
+  std::printf("\nraw-unit MSE; lower is better.  Expected shape: on the\n"
+              "catalog's STATIONARY traces the frozen classifier (trained on\n"
+              "half the series) is already well-matched, so the adaptation\n"
+              "variants hover around it — adaptation buys little and can\n"
+              "cost a few percent where re-training windows catch an\n"
+              "unlucky regime.  Adaptation pays under genuine\n"
+              "NON-stationary drift, where the training distribution no\n"
+              "longer covers the present: tests/core/test_rolling.cpp\n"
+              "(RetrainingHelpsAfterARegimeChange) and\n"
+              "tests/core/test_online_learning.cpp demonstrate exactly that\n"
+              "scenario.  Online learning additionally pays the full-pool\n"
+              "evaluation per step (see bench_micro_complexity).\n");
+  return 0;
+}

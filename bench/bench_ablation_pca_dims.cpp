@@ -1,0 +1,69 @@
+// Ablation: PCA component count n (the paper fixes n = 2 via its
+// min-fraction-variance setting) plus the min-variance policy itself and the
+// Fig.-3 "predict in PCA space" reading (DESIGN.md §5).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace larp;
+  bench::banner("Ablation: PCA dimensionality",
+                "selection accuracy and MSE vs retained components (paper n=2)");
+
+  const std::vector<std::pair<std::string, std::string>> traces = {
+      {"VM2", "CPU_usedsec"}, {"VM2", "NIC1_received"},
+      {"VM4", "CPU_usedsec"}, {"VM4", "NIC1_transmitted"},
+      {"VM1", "CPU_usedsec"},
+  };
+
+  const auto sweep = [&](core::LarConfig base, const std::string& label,
+                         core::TextTable& table) {
+    double acc = 0.0, mse = 0.0;
+    int scored = 0;
+    for (const auto& [vm, metric] : traces) {
+      const auto trace = tracegen::make_trace(vm, metric, /*seed=*/9);
+      auto config = base;
+      config.window = bench::paper_config(vm).window;
+      const auto pool = predictors::make_paper_pool(config.window);
+      ml::CrossValidationPlan plan;
+      plan.folds = 5;
+      Rng rng(1234);
+      const auto result =
+          core::cross_validate(trace.values, pool, config, plan, rng);
+      if (result.degenerate) continue;
+      acc += result.lar_accuracy;
+      mse += result.mse_lar;
+      ++scored;
+    }
+    table.add_row({label, core::TextTable::pct(acc / scored),
+                   core::TextTable::num(mse / scored)});
+  };
+
+  core::TextTable table({"feature space", "avg accuracy", "avg LAR MSE"});
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u}) {
+    core::LarConfig config;
+    config.pca_components = n;
+    sweep(config, "PCA n=" + std::to_string(n), table);
+  }
+  {
+    core::LarConfig config;
+    config.pca_components = 0;
+    config.pca_min_variance = 0.9;
+    sweep(config, "PCA min-variance 90%", table);
+  }
+  {
+    core::LarConfig config;
+    config.pca_components = 2;
+    config.predict_in_pca_space = true;
+    sweep(config, "n=2 + predict on PCA reconstruction", table);
+  }
+  table.print(std::cout);
+
+  std::printf("\nexpected shape: n=2 (the paper's choice) captures most of\n"
+              "the window structure; n=1 loses burst-vs-trend separation;\n"
+              "large n adds noise dimensions without accuracy gain.  Running\n"
+              "the experts on the PCA reconstruction (the literal Fig. 3\n"
+              "reading) costs MSE, supporting the §6.2 reading implemented\n"
+              "as the default.\n");
+  return 0;
+}

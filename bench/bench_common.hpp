@@ -1,0 +1,59 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "tracegen/catalog.hpp"
+
+namespace larp::bench {
+
+/// The paper's default pipeline configuration for a VM: prediction order 16
+/// on the 30-minute VM1 trace (Table 2 caption), 5 elsewhere.
+inline core::LarConfig paper_config(const std::string& vm_id) {
+  core::LarConfig config;
+  config.window = vm_id == "VM1" ? 16 : 5;
+  // The paper sets a minimal-fraction-variance policy and reports that it
+  // extracted two components on its traces (§6); we follow the policy — the
+  // component count then adapts per trace (2 on most catalog traces).
+  config.pca_components = 0;
+  config.pca_min_variance = 0.85;
+  config.knn_k = 3;
+  // §6.1/Fig. 3's "least MSE" labeling over the prediction window itself
+  // (label_window 0 = m).  bench_ablation_labeling sweeps the alternatives,
+  // including §7.2.1's per-step reading.
+  config.labeling = core::Labeling::WindowMse;
+  config.label_window = 0;
+  return config;
+}
+
+/// The paper's cross-validation protocol (§7.2).
+inline ml::CrossValidationPlan paper_plan() {
+  ml::CrossValidationPlan plan;
+  plan.folds = 10;
+  return plan;
+}
+
+/// Cross-validates one catalog trace with the paper pool and protocol.
+inline core::TraceResult run_trace(const std::string& vm_id,
+                                   const std::string& metric,
+                                   std::uint64_t seed) {
+  const auto trace = tracegen::make_trace(vm_id, metric, seed);
+  const auto config = paper_config(vm_id);
+  const auto pool = predictors::make_paper_pool(config.window);
+  Rng rng(seed * 2654435761ULL + 17);
+  return core::cross_validate(trace.values, pool, config, paper_plan(), rng);
+}
+
+/// Standard banner so every benchmark states what it regenerates.
+inline void banner(const char* artifact, const char* description) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("LARPredictor reproduction (synthetic ESX trace catalog; see\n");
+  std::printf("DESIGN.md for the substitution record).\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace larp::bench

@@ -1,0 +1,68 @@
+// Figure 4: best-predictor selection for trace VM2_load15 — CPU fifteen-
+// minute load average over a 12-hour period at 5-minute samples.
+//
+// The paper's figure has three step plots: the observed best predictor, the
+// LARPredictor's k-NN selection, and the NWS cumulative-MSE selection.
+// This binary reproduces them as ASCII strips (classes 1-LAST, 2-AR,
+// 3-SW_AVG) plus the agreement statistics.
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ml/metrics.hpp"
+#include "util/csv.hpp"
+
+// Optional argv[1]: path for a CSV of the three label series (plotting).
+int main(int argc, char** argv) {
+  using namespace larp;
+  bench::banner("Figure 4", "best-predictor selection, trace VM2_load15");
+
+  // 12 h display window + 12 h of training history at 5-minute samples.
+  const std::size_t display = 144;
+  const auto trace = tracegen::make_trace("VM2", "load15", /*seed=*/2007,
+                                          /*samples=*/2 * display);
+  const auto config = bench::paper_config("VM2");
+  const auto pool = predictors::make_paper_pool(config.window);
+  const auto fold =
+      core::evaluate_fold(trace.values, display, pool, config);
+
+  const std::vector<std::string> names{"1-LAST", "2-AR", "3-SW_AVG"};
+  std::printf("observed best predictor (top plot):\n%s\n",
+              core::render_label_strip(fold.observed_best, names).c_str());
+  std::printf("LARPredictor k-NN selection (middle plot):\n%s\n",
+              core::render_label_strip(fold.lar_choice, names).c_str());
+  std::printf("NWS cumulative-MSE selection (bottom plot):\n%s\n",
+              core::render_label_strip(fold.nws_choice, names).c_str());
+
+  // Per-class usage table.
+  core::TextTable usage({"class", "observed", "LAR", "NWS"});
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto count = [&](const std::vector<std::size_t>& xs) {
+      std::size_t n = 0;
+      for (std::size_t x : xs) n += (x == c);
+      return std::to_string(n);
+    };
+    usage.add_row({names[c], count(fold.observed_best), count(fold.lar_choice),
+                   count(fold.nws_choice)});
+  }
+  usage.print(std::cout);
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    csv::write_row(out, {"step", "observed_best", "lar", "nws"});
+    for (std::size_t i = 0; i < fold.steps(); ++i) {
+      csv::write_row(out, {std::to_string(i),
+                           std::to_string(fold.observed_best[i] + 1),
+                           std::to_string(fold.lar_choice[i] + 1),
+                           std::to_string(fold.nws_choice[i] + 1)});
+    }
+    std::printf("\nwrote label series (paper class numbering) to %s\n", argv[1]);
+  }
+
+  std::printf("\nselection accuracy vs observed best:  LAR %.2f%%   NWS %.2f%%\n",
+              100.0 * fold.lar_accuracy, 100.0 * fold.nws_accuracy);
+  std::printf("(paper: the LAR adapts selection to the changing workload; its\n"
+              " average accuracy across all traces is 55.98%%, +20.18 points\n"
+              " over the NWS selector — see bench_headline_stats)\n");
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Micro-benchmarks of the pipeline kernels, matching the §7.3 complexity
+// discussion:
+//   * PCA fit is O(d^2 W) + O(d^3) in the window size d — small by design;
+//   * k-NN query is O(N) brute force, O(log N) expected with the kd-tree;
+//   * AR fitting via Levinson–Durbin is O(p^2);
+//   * the deployed LAR step (classify + ONE expert) vs the NWS step (run
+//     the whole pool) — the paper's core efficiency claim.
+#include <benchmark/benchmark.h>
+
+#include "core/lar_predictor.hpp"
+#include "linalg/toeplitz.hpp"
+#include "ml/framing.hpp"
+#include "ml/kdtree.hpp"
+#include "ml/knn.hpp"
+#include "ml/pca.hpp"
+#include "predictors/pool.hpp"
+#include "tracegen/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace larp;
+
+std::vector<double> ar1_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  double dev = 0.0;
+  for (auto& x : xs) {
+    dev = 0.8 * dev + rng.normal();
+    x = 50.0 + 5.0 * dev;
+  }
+  return xs;
+}
+
+linalg::Matrix random_points(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix points(n, d);
+  for (auto& v : points.data()) v = rng.uniform(-1, 1);
+  return points;
+}
+
+void BM_PcaFit(benchmark::State& state) {
+  const std::size_t window = state.range(0);
+  const auto series = ar1_series(2000, 1);
+  const auto framed = ml::frame_supervised(series, window);
+  for (auto _ : state) {
+    ml::Pca pca;
+    pca.fit(framed.windows, ml::PcaPolicy{2, 0.9});
+    benchmark::DoNotOptimize(pca.components());
+  }
+  state.SetComplexityN(window);
+}
+BENCHMARK(BM_PcaFit)->Arg(5)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_PcaTransform(benchmark::State& state) {
+  const std::size_t window = state.range(0);
+  const auto series = ar1_series(2000, 2);
+  const auto framed = ml::frame_supervised(series, window);
+  ml::Pca pca;
+  pca.fit(framed.windows, ml::PcaPolicy{2, 0.9});
+  const auto sample = framed.windows.row(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pca.transform(sample));
+  }
+}
+BENCHMARK(BM_PcaTransform)->Arg(5)->Arg(16)->Arg(64);
+
+void BM_KnnQueryBrute(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  ml::KnnClassifier knn(3, ml::KnnBackend::BruteForce);
+  std::vector<std::size_t> labels(n, 0);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = i % 3;
+  knn.fit(random_points(n, 2, 3), labels);
+  const linalg::Vector query{0.1, -0.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.classify(query));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_KnnQueryBrute)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000)->Complexity();
+
+void BM_KnnQueryKdTree(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  ml::KnnClassifier knn(3, ml::KnnBackend::KdTree);
+  std::vector<std::size_t> labels(n, 0);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = i % 3;
+  knn.fit(random_points(n, 2, 4), labels);
+  const linalg::Vector query{0.1, -0.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.classify(query));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_KnnQueryKdTree)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000)->Complexity();
+
+void BM_ArFitYuleWalker(benchmark::State& state) {
+  const std::size_t order = state.range(0);
+  const auto series = ar1_series(4000, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::yule_walker(series, order));
+  }
+  state.SetComplexityN(order);
+}
+BENCHMARK(BM_ArFitYuleWalker)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_LarTrain(benchmark::State& state) {
+  const std::size_t samples = state.range(0);
+  const auto series = ar1_series(samples, 6);
+  core::LarConfig config;
+  config.window = 5;
+  for (auto _ : state) {
+    core::LarPredictor lar(predictors::make_paper_pool(5), config);
+    lar.train(series);
+    benchmark::DoNotOptimize(lar.training_labels().size());
+  }
+  state.SetComplexityN(samples);
+}
+BENCHMARK(BM_LarTrain)->Arg(144)->Arg(288)->Arg(1024)->Arg(4096)->Complexity();
+
+// The paper's efficiency claim: a deployed LAR step classifies and runs ONE
+// expert, while the NWS approach runs the whole pool every step.
+void BM_DeployedLarStep(benchmark::State& state) {
+  const auto series = ar1_series(1000, 7);
+  core::LarConfig config;
+  config.window = 5;
+  core::LarPredictor lar(predictors::make_paper_pool(5), config);
+  lar.train(series);
+  double feed = series.back();
+  for (auto _ : state) {
+    const auto forecast = lar.predict_next();
+    benchmark::DoNotOptimize(forecast.value);
+    lar.observe(feed);
+  }
+}
+BENCHMARK(BM_DeployedLarStep);
+
+void BM_NwsParallelPoolStep(benchmark::State& state) {
+  const auto series = ar1_series(1000, 8);
+  auto pool = predictors::make_paper_pool(5);
+  pool.fit_all(series);
+  const std::vector<double> window(series.end() - 5, series.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.predict_all(window));
+  }
+}
+BENCHMARK(BM_NwsParallelPoolStep);
+
+void BM_NwsParallelExtendedPoolStep(benchmark::State& state) {
+  const auto series = ar1_series(1000, 9);
+  auto pool = predictors::make_extended_pool(5);
+  pool.fit_all(series);
+  const std::vector<double> window(series.end() - 5, series.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.predict_all(window));
+  }
+}
+BENCHMARK(BM_NwsParallelExtendedPoolStep);
+
+// Soft voting runs up to k experts per step instead of one.
+void BM_SoftVoteLarStep(benchmark::State& state) {
+  const auto series = ar1_series(1000, 10);
+  core::LarConfig config;
+  config.window = 5;
+  config.soft_vote = true;
+  core::LarPredictor lar(predictors::make_paper_pool(5), config);
+  lar.train(series);
+  double feed = series.back();
+  for (auto _ : state) {
+    const auto forecast = lar.predict_next();
+    benchmark::DoNotOptimize(forecast.value);
+    lar.observe(feed);
+  }
+}
+BENCHMARK(BM_SoftVoteLarStep);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const auto points = random_points(n, 2, 11);
+  for (auto _ : state) {
+    ml::KdTree tree(points);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(100)->Arg(1000)->Arg(10000)->Complexity();
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tracegen::make_trace("VM2", "NIC1_received", 10, 288));
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

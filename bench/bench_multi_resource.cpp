@@ -1,0 +1,77 @@
+// Extension bench: the multi-resource (cross-correlation) predictor from
+// the paper's related work (§2, Liang et al. CCGrid'04), swept over coupling
+// strengths.  Shows the crossover the related work claims: once the
+// auxiliary resource carries real lead information, the cross-regression
+// beats every univariate expert — and degrades gracefully to AR parity when
+// the coupling vanishes.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "predictors/autoregressive.hpp"
+#include "predictors/multi_resource.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+struct Pair {
+  std::vector<double> primary, auxiliary;
+};
+
+// Auxiliary series leads the primary by one step with the given coupling.
+Pair make_pair(std::size_t n, larp::Rng& rng, double coupling) {
+  Pair pair;
+  pair.primary.resize(n);
+  pair.auxiliary.resize(n);
+  double aux = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    aux = 0.8 * aux + rng.normal();
+    pair.auxiliary[t] = aux;
+    const double lead = t > 0 ? pair.auxiliary[t - 1] : 0.0;
+    pair.primary[t] = 0.3 * (t > 0 ? pair.primary[t - 1] : 0.0) +
+                      coupling * lead + rng.normal(0.0, 0.5);
+  }
+  return pair;
+}
+
+}  // namespace
+
+int main() {
+  using namespace larp;
+  bench::banner("Extension: multi-resource prediction",
+                "cross-correlation (CPU+memory style) vs univariate AR");
+
+  core::TextTable table({"coupling", "AR(2) MSE", "cross MSE", "gain",
+                         "aux coefficient"});
+  for (double coupling : {0.0, 0.2, 0.4, 0.6, 0.9}) {
+    Rng rng(2007);
+    const auto train = make_pair(8000, rng, coupling);
+    const auto test = make_pair(8000, rng, coupling);
+
+    predictors::MultiResourcePredictor cross(2);
+    cross.fit(train.primary, train.auxiliary);
+    const double cross_mse = cross.walk_mse(test.primary, test.auxiliary);
+
+    predictors::Autoregressive ar(2);
+    ar.fit(train.primary);
+    stats::RunningMse ar_mse;
+    for (std::size_t t = 2; t < test.primary.size(); ++t) {
+      const std::vector<double> window{test.primary[t - 2],
+                                       test.primary[t - 1]};
+      ar_mse.add(ar.predict(window), test.primary[t]);
+    }
+
+    table.add_row({core::TextTable::num(coupling, 1),
+                   core::TextTable::num(ar_mse.value()),
+                   core::TextTable::num(cross_mse),
+                   core::TextTable::pct(1.0 - cross_mse / ar_mse.value(), 1),
+                   core::TextTable::num(cross.auxiliary_coefficients()[0], 3)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nexpected shape: at coupling 0 the cross model matches AR\n"
+              "(aux coefficient ~ 0); the gain grows monotonically with the\n"
+              "coupling as the cross terms absorb the auxiliary lead — the\n"
+              "related-work claim the paper cites (higher CPU prediction\n"
+              "accuracy from CPU-memory cross correlation).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Table 2: normalized prediction MSE statistics for all twelve resources of
+// VM1 (168-hour trace, 30-minute interval, prediction order 16).
+//
+// Columns match the paper: P-LAR (oracle), LAR (k-NN), LAST, AR, SW.  The
+// per-row winner among {LAR, LAST, AR, SW} is marked with '*' (the paper
+// bolds it).  Absolute values differ from the paper (synthetic traces); the
+// shape to check is the column ordering: P-LAR <= everything, and LAR
+// competitive with the best single expert per row.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+// Renders one VM's normalized-MSE table; returns {lar_best, scored} rows.
+std::pair<int, int> print_vm_table(const std::string& vm_id) {
+  using namespace larp;
+  const auto& spec = tracegen::vm_spec(vm_id);
+  std::printf("--- %s (%s; %zu samples @ %llds, prediction order %zu) ---\n",
+              vm_id.c_str(), spec.description.c_str(), spec.samples,
+              static_cast<long long>(spec.interval),
+              bench::paper_config(vm_id).window);
+
+  core::TextTable table({"Perf.Metrics", "P-LAR", "LAR", "LAST", "AR", "SW"});
+  int lar_best_rows = 0, scored_rows = 0;
+  for (const auto& metric : tracegen::paper_metrics()) {
+    const auto result = bench::run_trace(vm_id, metric, /*seed=*/1);
+
+    // Winner among the causal strategies (matches the paper's bold italics).
+    const double candidates[4] = {result.mse_lar, result.mse_single[0],
+                                  result.mse_single[1], result.mse_single[2]};
+    int winner = -1;
+    if (!result.degenerate) {
+      winner = 0;
+      for (int i = 1; i < 4; ++i) {
+        if (candidates[i] < candidates[winner]) winner = i;
+      }
+      ++scored_rows;
+      if (winner == 0) ++lar_best_rows;
+    }
+    const auto cell = [&](double value, int column) {
+      std::string text = core::TextTable::num(value);
+      if (column == winner) text += "*";
+      return text;
+    };
+    table.add_row({metric, core::TextTable::num(result.mse_oracle),
+                   cell(result.mse_lar, 0), cell(result.mse_single[0], 1),
+                   cell(result.mse_single[1], 2),
+                   cell(result.mse_single[2], 3)});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+  return {lar_best_rows, scored_rows};
+}
+
+}  // namespace
+
+int main() {
+  using namespace larp;
+  bench::banner("Table 2",
+                "normalized prediction MSE statistics per VM (the paper "
+                "prints VM1 as its sample; the full artifact covers all five)");
+
+  int lar_best = 0, scored = 0;
+  for (const auto& vm : tracegen::paper_vms()) {
+    const auto [best, rows] = print_vm_table(vm.vm_id);
+    lar_best += best;
+    scored += rows;
+  }
+
+  std::printf("'*' marks the lowest MSE among the causal strategies "
+              "(LAR/LAST/AR/SW); P-LAR is the oracle lower bound;\nNaN rows "
+              "are idle devices (zero variance).\n");
+  std::printf("LAR won %d of %d scored rows across the five VMs.\n", lar_best,
+              scored);
+  std::printf("paper reference (VM1): P-LAR is always lowest; AR wins most "
+              "rows among single models;\nLAR tracks the per-row best single "
+              "model closely (e.g. paper row CPU_usedsec: P-LAR 0.6976,\n"
+              "LAR 0.9508, LAST 1.1436, AR 0.9456, SW 1.0352).\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary and archives outputs under results/.
+# Usage: scripts/run_benchmarks.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-results}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found; build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p "$RESULTS_DIR"
+
+for bench in "$BUILD_DIR"/bench/*; do
+  name="$(basename "$bench")"
+  echo "== $name"
+  case "$name" in
+    bench_fig4_selection_cpu|bench_fig5_selection_net)
+      # Figure benches also dump their plotted series as CSV.
+      "$bench" "$RESULTS_DIR/$name.csv" | tee "$RESULTS_DIR/$name.txt"
+      ;;
+    *)
+      "$bench" | tee "$RESULTS_DIR/$name.txt"
+      ;;
+  esac
+  echo
+done
+
+echo "all benchmark outputs archived under $RESULTS_DIR/"

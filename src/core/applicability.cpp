@@ -1,0 +1,115 @@
+#include "core/applicability.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace larp::core {
+
+const char* to_string(ApplicabilityVerdict verdict) noexcept {
+  switch (verdict) {
+    case ApplicabilityVerdict::NotApplicable: return "NOT_APPLICABLE";
+    case ApplicabilityVerdict::SingleExpertSuffices: return "SINGLE_EXPERT_SUFFICES";
+    case ApplicabilityVerdict::HeadroomUnrealized: return "HEADROOM_UNREALIZED";
+    case ApplicabilityVerdict::Recommended: return "RECOMMENDED";
+  }
+  return "?";
+}
+
+ApplicabilityReport assess_applicability(std::span<const double> raw_series,
+                                         const predictors::PredictorPool& pool,
+                                         const LarConfig& config,
+                                         const ml::CrossValidationPlan& plan,
+                                         Rng& rng,
+                                         const ApplicabilityThresholds& thresholds) {
+  ApplicabilityReport report;
+  report.chance_accuracy = 1.0 / static_cast<double>(pool.size());
+
+  const TraceResult cv = cross_validate(raw_series, pool, config, plan, rng);
+  if (cv.degenerate) {
+    report.verdict = ApplicabilityVerdict::NotApplicable;
+    report.explanation =
+        "The series has (near-)zero variance: every expert predicts it "
+        "perfectly and there is nothing for a selector to decide.";
+    return report;
+  }
+
+  report.mse_oracle = cv.mse_oracle;
+  report.mse_lar = cv.mse_lar;
+  report.best_single_label = cv.best_single_label();
+  report.mse_best_single = cv.mse_single[report.best_single_label];
+  report.selection_accuracy = cv.lar_accuracy;
+  if (report.mse_best_single > 0.0) {
+    report.oracle_headroom = 1.0 - cv.mse_oracle / report.mse_best_single;
+    report.realized_gain = 1.0 - cv.mse_lar / report.mse_best_single;
+  }
+
+  // Label dynamics from one mid-split fold walk.
+  const std::size_t mid = raw_series.size() / 2;
+  if (mid > config.window + 1 && raw_series.size() > mid + 1) {
+    try {
+      const FoldResult fold = evaluate_fold(raw_series, mid, pool, config);
+      const auto& seq = fold.observed_best;
+      if (seq.size() > 1) {
+        std::size_t switches = 0;
+        std::map<std::size_t, double> shares;
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+          if (i > 0 && seq[i] != seq[i - 1]) ++switches;
+          shares[seq[i]] += 1.0;
+        }
+        report.label_churn =
+            static_cast<double>(switches) / static_cast<double>(seq.size() - 1);
+        double entropy = 0.0;
+        for (auto& [label, count] : shares) {
+          const double p = count / static_cast<double>(seq.size());
+          entropy -= p * std::log(p);
+        }
+        const double max_entropy = std::log(static_cast<double>(pool.size()));
+        report.label_entropy = max_entropy > 0.0 ? entropy / max_entropy : 0.0;
+      }
+    } catch (const StateError&) {
+      // Constant training half on this particular split: dynamics unknown,
+      // ratios above still stand.
+    }
+  }
+
+  std::ostringstream why;
+  if (report.oracle_headroom < thresholds.min_headroom) {
+    report.verdict = ApplicabilityVerdict::SingleExpertSuffices;
+    why << "A perfect selector would save only "
+        << static_cast<int>(report.oracle_headroom * 100.0)
+        << "% MSE over the best single expert ('"
+        << pool.name(report.best_single_label)
+        << "'); run that expert alone and skip the classification overhead.";
+  } else if (report.realized_gain >= thresholds.min_realized_gain) {
+    report.verdict = ApplicabilityVerdict::Recommended;
+    why << "The oracle shows "
+        << static_cast<int>(report.oracle_headroom * 100.0)
+        << "% headroom and the classifier realizes a "
+        << static_cast<int>(report.realized_gain * 100.0)
+        << "% gain at " << static_cast<int>(report.selection_accuracy * 100.0)
+        << "% selection accuracy (chance "
+        << static_cast<int>(report.chance_accuracy * 100.0)
+        << "%): adaptive predictor integration pays on this workload.";
+  } else {
+    report.verdict = ApplicabilityVerdict::HeadroomUnrealized;
+    why << "There is "
+        << static_cast<int>(report.oracle_headroom * 100.0)
+        << "% oracle headroom but the classifier only reaches "
+        << static_cast<int>(report.selection_accuracy * 100.0)
+        << "% selection accuracy and loses "
+        << static_cast<int>(-report.realized_gain * 100.0)
+        << "% MSE to the best single expert; the per-window best is not "
+        << "predictable from window shape here (label churn "
+        << static_cast<int>(report.label_churn * 100.0)
+        << "%, entropy " << static_cast<int>(report.label_entropy * 100.0)
+        << "%). Consider a longer labeling horizon or a richer feature space.";
+  }
+  report.explanation = why.str();
+  return report;
+}
+
+}  // namespace larp::core

@@ -1,0 +1,86 @@
+// Applicability assessment: the paper's §8 future-work item — "develop a
+// quantitative method to assess the LARPredictor's applicability to time
+// series predictions in other areas".
+//
+// Given a raw series and an expert pool, the assessor measures the three
+// quantities that decide whether learning-aided selection can pay:
+//
+//   * oracle headroom  — how much MSE a perfect per-step selector would save
+//     over the best single expert.  No headroom -> a single expert suffices
+//     and the classification machinery is pure overhead;
+//   * label dynamics   — how often the observed best predictor switches
+//     (churn) and how evenly the classes share the trace (entropy).  A
+//     static or single-class label sequence means there is nothing to adapt
+//     to; a high-churn, balanced sequence is where NWS-style cumulative
+//     selection fails and window classification can win;
+//   * realized gain    — what the LARPredictor actually achieves under
+//     cross-validation: selection accuracy and MSE relative to the best
+//     single expert.
+//
+// The verdict condenses these into the recommendation a practitioner needs.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace larp::core {
+
+enum class ApplicabilityVerdict {
+  /// Degenerate input (constant series): nothing to predict.
+  NotApplicable,
+  /// The oracle shows little headroom over the best single expert; run that
+  /// expert alone.
+  SingleExpertSuffices,
+  /// Headroom exists but the classifier cannot realize it on this series
+  /// (low selection accuracy or negative realized gain).
+  HeadroomUnrealized,
+  /// Adaptive selection matches or beats the best single expert here.
+  Recommended,
+};
+
+[[nodiscard]] const char* to_string(ApplicabilityVerdict verdict) noexcept;
+
+struct ApplicabilityReport {
+  ApplicabilityVerdict verdict = ApplicabilityVerdict::NotApplicable;
+
+  /// 1 - oracle MSE / best single expert MSE, in [0, 1]; the upper bound on
+  /// what any selection scheme over this pool can save.
+  double oracle_headroom = 0.0;
+  /// 1 - LAR MSE / best single expert MSE; negative when the classifier's
+  /// mistakes cost more than its adaptivity gains.
+  double realized_gain = 0.0;
+  /// Cross-validated best-predictor forecasting accuracy of the classifier.
+  double selection_accuracy = 0.0;
+  /// Chance accuracy for this pool (1 / pool size), for comparison.
+  double chance_accuracy = 0.0;
+  /// Fraction of adjacent test steps whose observed-best label differs.
+  double label_churn = 0.0;
+  /// Normalized entropy (0..1) of the observed-best class shares.
+  double label_entropy = 0.0;
+  /// Fold-averaged MSEs backing the ratios above.
+  double mse_oracle = 0.0;
+  double mse_lar = 0.0;
+  double mse_best_single = 0.0;
+  std::size_t best_single_label = 0;
+
+  /// One-paragraph human-readable justification of the verdict.
+  std::string explanation;
+};
+
+struct ApplicabilityThresholds {
+  /// Oracle headroom below this -> SingleExpertSuffices.
+  double min_headroom = 0.05;
+  /// Realized gain above this (>= 0 tolerates ties) -> Recommended.
+  double min_realized_gain = -0.02;
+};
+
+/// Assesses one raw series under the given pipeline configuration and
+/// cross-validation plan.  Deterministic for a fixed rng state.
+[[nodiscard]] ApplicabilityReport assess_applicability(
+    std::span<const double> raw_series, const predictors::PredictorPool& pool,
+    const LarConfig& config, const ml::CrossValidationPlan& plan, Rng& rng,
+    const ApplicabilityThresholds& thresholds = {});
+
+}  // namespace larp::core

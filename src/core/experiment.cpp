@@ -1,0 +1,278 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ml/framing.hpp"
+#include "ml/metrics.hpp"
+#include "ml/normalizer.hpp"
+#include "selection/centroid_selector.hpp"
+#include "selection/knn_selector.hpp"
+#include "selection/nws_selector.hpp"
+#include "selection/selector.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace larp::core {
+
+FoldResult evaluate_fold(std::span<const double> raw_series, std::size_t split,
+                         const predictors::PredictorPool& pool_prototype,
+                         const LarConfig& config, const FoldOptions& options) {
+  const std::size_t m = config.window;
+  if (split < m + 1) {
+    throw InvalidArgument("evaluate_fold: training side shorter than window+1");
+  }
+  if (raw_series.size() < split + 1) {
+    throw InvalidArgument("evaluate_fold: no test targets after the split");
+  }
+  const auto train_raw = raw_series.subspan(0, split);
+  if (stats::variance(train_raw) == 0.0) {
+    throw StateError("evaluate_fold: zero-variance training data");
+  }
+
+  // 1. Normalize everything with training-derived coefficients (§6.2).
+  ml::ZScoreNormalizer normalizer;
+  normalizer.fit(train_raw);
+  const std::vector<double> z = normalizer.transform(raw_series);
+
+  // 2. Fit the pool's parametric members on the training half.
+  predictors::PredictorPool pool = pool_prototype.clone();
+  pool.fit_all(std::span<const double>(z.data(), split));
+  pool.reset_all();
+
+  // 3. Selector stable: LAR is built after the labeling walk; the NWS
+  //    baselines accumulate error statistics as the walk proceeds.
+  selection::CumulativeMseSelector nws(pool.size());
+  selection::WindowedCumMseSelector wnws(pool.size(), options.nws_error_window);
+
+  // The walk covers every supervised window of the whole series; windows
+  // whose target index is < split are training steps (labeled for the
+  // classifier), the rest are test steps.
+  const std::size_t window_count = z.size() - m;
+  std::vector<std::size_t> train_labels;
+  train_labels.reserve(split - m);
+
+  // Windowed-MSE label trackers (LarConfig::labeling; see config.hpp).
+  const std::size_t label_window =
+      config.label_window == 0 ? m : config.label_window;
+  std::vector<stats::WindowedMse> label_trackers(
+      pool.size(), stats::WindowedMse(label_window));
+
+  FoldResult result;
+  result.mse_single.assign(pool.size(), 0.0);
+  std::vector<stats::RunningMse> single_mse(pool.size());
+  stats::RunningMse lar_mse, oracle_mse, nws_mse, wnws_mse;
+  std::size_t lar_hits = 0, nws_hits = 0, wnws_hits = 0;
+
+  // LAR selector (and its PCA projection) is created when the training
+  // phase ends.
+  std::unique_ptr<selection::Selector> lar;
+  std::optional<ml::Pca> fold_pca;
+
+  // Prime pool online state with the first window.
+  for (std::size_t i = 0; i < m; ++i) pool.observe_all(z[i]);
+
+  for (std::size_t i = 0; i < window_count; ++i) {
+    const std::size_t target_index = i + m;
+    const auto window = std::span<const double>(z.data() + i, m);
+    const double actual = z[target_index];
+    const bool is_test = target_index >= split;
+
+    if (is_test && !lar) {
+      // Training phase just ended: fit PCA + classifier on the labeled
+      // windows.
+      const auto framed =
+          ml::frame_supervised(std::span<const double>(z.data(), split), m);
+      LARP_ASSERT(framed.windows.rows() == train_labels.size());
+      fold_pca.emplace();
+      fold_pca->fit(framed.windows, config.pca_policy());
+      if (config.classifier == ClassifierKind::NearestCentroid) {
+        ml::NearestCentroidClassifier classifier;
+        classifier.fit(fold_pca->transform(framed.windows), train_labels);
+        lar = std::make_unique<selection::CentroidSelector>(
+            *fold_pca, std::move(classifier));
+      } else {
+        ml::KnnClassifier classifier(config.knn_k, config.knn_backend);
+        classifier.fit(fold_pca->transform(framed.windows), train_labels);
+        lar = std::make_unique<selection::KnnSelector>(*fold_pca,
+                                                       std::move(classifier));
+      }
+    }
+
+    // Causal selections BEFORE the actual value is revealed.
+    std::size_t lar_pick = 0, nws_pick = 0, wnws_pick = 0;
+    std::vector<double> lar_weights;
+    if (is_test) {
+      if (config.soft_vote) {
+        lar_weights = lar->select_weights(window, pool.size());
+        lar_pick = selection::argmin_label(lar_weights);
+        double best_weight = -1.0;
+        for (std::size_t p = 0; p < pool.size(); ++p) {
+          if (lar_weights[p] > best_weight) {
+            best_weight = lar_weights[p];
+            lar_pick = p;
+          }
+        }
+      } else {
+        lar_pick = lar->select(window);
+      }
+      nws_pick = nws.select(window);
+      wnws_pick = wnws.select(window);
+    }
+
+    // All pool members forecast (training: for labeling; testing: for the
+    // oracle / single-member / baseline bookkeeping — the deployed LAR only
+    // runs its pick, which predict_all subsumes for evaluation purposes).
+    std::vector<double> window_values(window.begin(), window.end());
+    if (config.predict_in_pca_space && fold_pca) {
+      const auto projected = fold_pca->transform(window);
+      window_values = fold_pca->inverse_transform(projected);
+    }
+    const auto forecasts = pool.predict_all(window_values);
+    // Per-step hindsight best: defines the P-LAR oracle MSE.
+    const std::size_t best = selection::best_forecast_label(forecasts, actual);
+
+    // "Observed best predictor" under the configured labeling — the target
+    // the classifier is trained on, the Fig. 4/5 top plot, and the reference
+    // for the §7.1 forecasting-accuracy metric.
+    std::size_t observed = best;
+    if (config.labeling == Labeling::WindowMse) {
+      for (std::size_t p = 0; p < pool.size(); ++p) {
+        label_trackers[p].add(forecasts[p], actual);
+      }
+      std::vector<double> errors;
+      errors.reserve(pool.size());
+      for (const auto& tracker : label_trackers) errors.push_back(tracker.value());
+      observed = selection::argmin_label(errors);
+    }
+
+    if (is_test) {
+      result.observed_best.push_back(observed);
+      result.lar_choice.push_back(lar_pick);
+      result.nws_choice.push_back(nws_pick);
+      result.wnws_choice.push_back(wnws_pick);
+      result.actuals.push_back(actual);
+
+      double lar_forecast = forecasts[lar_pick];
+      if (config.soft_vote) {
+        lar_forecast = 0.0;
+        for (std::size_t p = 0; p < pool.size(); ++p) {
+          lar_forecast += lar_weights[p] * forecasts[p];
+        }
+      }
+      lar_mse.add(lar_forecast, actual);
+      oracle_mse.add(forecasts[best], actual);
+      nws_mse.add(forecasts[nws_pick], actual);
+      wnws_mse.add(forecasts[wnws_pick], actual);
+      for (std::size_t p = 0; p < pool.size(); ++p) {
+        single_mse[p].add(forecasts[p], actual);
+      }
+      if (lar_pick == observed) ++lar_hits;
+      if (nws_pick == observed) ++nws_hits;
+      if (wnws_pick == observed) ++wnws_hits;
+    } else {
+      train_labels.push_back(observed);
+    }
+
+    // Post-step feedback.
+    if (is_test || options.warm_nws_on_train) {
+      nws.record(forecasts, actual);
+      wnws.record(forecasts, actual);
+    }
+    pool.observe_all(actual);
+  }
+
+  LARP_ASSERT(!result.actuals.empty());
+  result.mse_lar = lar_mse.value();
+  result.mse_oracle = oracle_mse.value();
+  result.mse_nws = nws_mse.value();
+  result.mse_wnws = wnws_mse.value();
+  for (std::size_t p = 0; p < pool.size(); ++p) {
+    result.mse_single[p] = single_mse[p].value();
+  }
+  const double steps = static_cast<double>(result.actuals.size());
+  result.lar_accuracy = static_cast<double>(lar_hits) / steps;
+  result.nws_accuracy = static_cast<double>(nws_hits) / steps;
+  result.wnws_accuracy = static_cast<double>(wnws_hits) / steps;
+  return result;
+}
+
+std::size_t TraceResult::best_single_label() const {
+  if (mse_single.empty()) throw StateError("TraceResult: no single-member MSEs");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < mse_single.size(); ++i) {
+    if (mse_single[i] < mse_single[best]) best = i;
+  }
+  return best;
+}
+
+bool TraceResult::lar_beats_best_single() const {
+  return mse_lar <= mse_single[best_single_label()];
+}
+
+bool TraceResult::lar_beats_nws() const { return mse_lar < mse_nws; }
+
+TraceResult cross_validate(std::span<const double> raw_series,
+                           const predictors::PredictorPool& pool,
+                           const LarConfig& config,
+                           const ml::CrossValidationPlan& plan, Rng& rng,
+                           const FoldOptions& options) {
+  TraceResult aggregate;
+  aggregate.mse_single.assign(pool.size(), 0.0);
+
+  if (stats::variance(raw_series) == 0.0) {
+    aggregate.degenerate = true;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    aggregate.mse_lar = aggregate.mse_oracle = nan;
+    aggregate.mse_nws = aggregate.mse_wnws = nan;
+    std::fill(aggregate.mse_single.begin(), aggregate.mse_single.end(), nan);
+    return aggregate;
+  }
+
+  // Both sides of every split must hold at least window+1 points.
+  const auto folds = ml::make_random_split_folds(raw_series.size(), plan, rng,
+                                                 config.window + 1);
+  for (const auto& fold : folds) {
+    FoldResult r;
+    try {
+      r = evaluate_fold(raw_series, fold.split, pool, config, options);
+    } catch (const StateError&) {
+      continue;  // constant training half: skip this fold
+    }
+    aggregate.mse_lar += r.mse_lar;
+    aggregate.mse_oracle += r.mse_oracle;
+    aggregate.mse_nws += r.mse_nws;
+    aggregate.mse_wnws += r.mse_wnws;
+    for (std::size_t p = 0; p < pool.size(); ++p) {
+      aggregate.mse_single[p] += r.mse_single[p];
+    }
+    aggregate.lar_accuracy += r.lar_accuracy;
+    aggregate.nws_accuracy += r.nws_accuracy;
+    aggregate.wnws_accuracy += r.wnws_accuracy;
+    ++aggregate.folds;
+  }
+
+  if (aggregate.folds == 0) {
+    // Every fold had a constant training half: treat as degenerate.
+    aggregate.degenerate = true;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    aggregate.mse_lar = aggregate.mse_oracle = nan;
+    aggregate.mse_nws = aggregate.mse_wnws = nan;
+    std::fill(aggregate.mse_single.begin(), aggregate.mse_single.end(), nan);
+    return aggregate;
+  }
+
+  const double n = static_cast<double>(aggregate.folds);
+  aggregate.mse_lar /= n;
+  aggregate.mse_oracle /= n;
+  aggregate.mse_nws /= n;
+  aggregate.mse_wnws /= n;
+  for (double& v : aggregate.mse_single) v /= n;
+  aggregate.lar_accuracy /= n;
+  aggregate.nws_accuracy /= n;
+  aggregate.wnws_accuracy /= n;
+  return aggregate;
+}
+
+}  // namespace larp::core

@@ -1,0 +1,107 @@
+// Experiment runner: the machinery behind every table and figure of §7.
+//
+// evaluate_fold() walks one train/test split of one trace and scores, on the
+// SAME test steps and pool forecasts:
+//   * LAR           — the k-NN-selected expert (the paper's contribution),
+//   * P-LAR         — the hindsight-best expert (oracle upper bound),
+//   * Cum.MSE       — the NWS cumulative-MSE selection,
+//   * W-Cum.MSE     — the NWS windowed variant (window 2 in Fig. 6),
+//   * every single pool member (the LAST/AR/SW columns of Table 2).
+//
+// cross_validate() repeats it over the paper's ten random-split folds and
+// averages.  Degenerate traces (zero variance, e.g. idle devices) are
+// flagged instead of scored — these are the NaN cells of Table 3.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "ml/crossval.hpp"
+#include "predictors/pool.hpp"
+#include "util/rng.hpp"
+
+namespace larp::core {
+
+struct FoldOptions {
+  /// Error window of the W-Cum.MSE baseline (Fig. 6 uses 2).
+  std::size_t nws_error_window = 2;
+  /// When true, the NWS baselines' error statistics accumulate over the
+  /// training walk too (continuous-operation reading).  The default matches
+  /// the paper's evaluation: every strategy is scored on the test half from
+  /// the same starting line — the LAR's classifier is frozen at the split,
+  /// and the NWS trackers start cold there (§7.2.2; see DESIGN.md §5).
+  bool warm_nws_on_train = false;
+};
+
+/// Per-step and aggregate outcomes of one fold walk.
+struct FoldResult {
+  // Per-test-step series (aligned), for the Fig. 4/5 selection plots.
+  std::vector<std::size_t> observed_best;  // hindsight best label per step
+  std::vector<std::size_t> lar_choice;
+  std::vector<std::size_t> nws_choice;
+  std::vector<std::size_t> wnws_choice;
+  std::vector<double> actuals;             // normalized test targets
+
+  // Normalized test MSE per strategy.
+  double mse_lar = 0.0;
+  double mse_oracle = 0.0;
+  double mse_nws = 0.0;
+  double mse_wnws = 0.0;
+  std::vector<double> mse_single;          // one per pool member
+
+  // Best-predictor forecasting accuracy per causal strategy (§7.1).
+  double lar_accuracy = 0.0;
+  double nws_accuracy = 0.0;
+  double wnws_accuracy = 0.0;
+
+  [[nodiscard]] std::size_t steps() const noexcept { return actuals.size(); }
+};
+
+/// Walks one fold.  `split` follows ml::SplitFold semantics: [0, split)
+/// trains, targets at indices >= split are test steps.  Throws
+/// InvalidArgument when either side is too short to frame (the training side
+/// needs window+1 points, the test side at least one target) and StateError
+/// when the training half has zero variance (degenerate trace).
+[[nodiscard]] FoldResult evaluate_fold(std::span<const double> raw_series,
+                                       std::size_t split,
+                                       const predictors::PredictorPool& pool,
+                                       const LarConfig& config,
+                                       const FoldOptions& options = {});
+
+/// Fold-averaged outcomes of one trace.
+struct TraceResult {
+  bool degenerate = false;  // zero-variance trace -> NaN semantics (Table 3)
+  std::size_t folds = 0;
+
+  double mse_lar = 0.0;
+  double mse_oracle = 0.0;
+  double mse_nws = 0.0;
+  double mse_wnws = 0.0;
+  std::vector<double> mse_single;
+
+  double lar_accuracy = 0.0;
+  double nws_accuracy = 0.0;
+  double wnws_accuracy = 0.0;
+
+  /// Label of the single pool member with the lowest averaged MSE — the
+  /// "observed best predictor" of Table 3.
+  [[nodiscard]] std::size_t best_single_label() const;
+  /// True when LAR matched or beat the best single member (Table 3's "*").
+  [[nodiscard]] bool lar_beats_best_single() const;
+  /// True when LAR beat the NWS cumulative-MSE selection (§7.2.2).
+  [[nodiscard]] bool lar_beats_nws() const;
+};
+
+/// Runs the paper's repeated random-split cross-validation on one raw trace
+/// (§7.2) and averages fold outcomes.  Returns a degenerate result for
+/// zero-variance traces.
+[[nodiscard]] TraceResult cross_validate(std::span<const double> raw_series,
+                                         const predictors::PredictorPool& pool,
+                                         const LarConfig& config,
+                                         const ml::CrossValidationPlan& plan,
+                                         Rng& rng,
+                                         const FoldOptions& options = {});
+
+}  // namespace larp::core

@@ -1,0 +1,234 @@
+#include "core/lar_predictor.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "ml/framing.hpp"
+#include "selection/centroid_selector.hpp"
+#include "selection/knn_selector.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace larp::core {
+
+LarPredictor::LarPredictor(predictors::PredictorPool pool, LarConfig config)
+    : pool_(std::move(pool)), config_(config) {
+  if (pool_.empty()) throw InvalidArgument("LarPredictor: empty pool");
+  if (config_.window == 0) throw InvalidArgument("LarPredictor: zero window");
+  if (config_.window < pool_.min_history()) {
+    throw InvalidArgument(
+        "LarPredictor: window smaller than the pool's minimum history");
+  }
+  if (config_.knn_k == 0) throw InvalidArgument("LarPredictor: k must be positive");
+}
+
+std::vector<std::size_t> label_best_predictors(
+    predictors::PredictorPool& pool, std::span<const double> normalized_series,
+    std::size_t window, Labeling labeling, std::size_t label_window) {
+  if (normalized_series.size() <= window) {
+    throw InvalidArgument("label_best_predictors: series shorter than window+1");
+  }
+  const std::size_t count = normalized_series.size() - window;
+  std::vector<std::size_t> labels;
+  labels.reserve(count);
+
+  if (label_window == 0) label_window = window;
+  std::vector<stats::WindowedMse> trackers(
+      pool.size(), stats::WindowedMse(label_window));
+
+  pool.reset_all();
+  // Prime online state with the first window's worth of observations.
+  for (std::size_t i = 0; i < window; ++i) {
+    pool.observe_all(normalized_series[i]);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto win = normalized_series.subspan(i, window);
+    const double target = normalized_series[i + window];
+    const auto forecasts = pool.predict_all(win);
+    if (labeling == Labeling::StepAbsoluteError) {
+      labels.push_back(selection::best_forecast_label(forecasts, target));
+    } else {
+      for (std::size_t p = 0; p < pool.size(); ++p) {
+        trackers[p].add(forecasts[p], target);
+      }
+      std::vector<double> errors;
+      errors.reserve(pool.size());
+      for (const auto& tracker : trackers) errors.push_back(tracker.value());
+      labels.push_back(selection::argmin_label(errors));
+    }
+    pool.observe_all(target);
+  }
+  return labels;
+}
+
+void LarPredictor::train(std::span<const double> raw_series) {
+  if (raw_series.size() < config_.window + 2) {
+    throw InvalidArgument("LarPredictor::train: series too short (need window+2)");
+  }
+  for (double value : raw_series) {
+    if (!std::isfinite(value)) {
+      throw InvalidArgument(
+          "LarPredictor::train: non-finite sample in training series");
+    }
+  }
+
+  normalizer_.fit(raw_series);
+  const auto normalized = normalizer_.transform(raw_series);
+
+  pool_.fit_all(normalized);
+  training_labels_ =
+      label_best_predictors(pool_, normalized, config_.window,
+                            config_.labeling, config_.label_window);
+
+  const auto framed = ml::frame_supervised(normalized, config_.window);
+  LARP_ASSERT(framed.windows.rows() == training_labels_.size());
+
+  pca_ = ml::Pca{};
+  pca_.fit(framed.windows, config_.pca_policy());
+
+  if (config_.classifier == ClassifierKind::NearestCentroid) {
+    ml::NearestCentroidClassifier classifier;
+    classifier.fit(pca_.transform(framed.windows), training_labels_);
+    selector_ = std::make_unique<selection::CentroidSelector>(
+        pca_, std::move(classifier));
+  } else {
+    ml::KnnClassifier classifier(config_.knn_k, config_.knn_backend);
+    classifier.fit(pca_.transform(framed.windows), training_labels_);
+    selector_ =
+        std::make_unique<selection::KnnSelector>(pca_, std::move(classifier));
+  }
+
+  // Warm online state: the window is the training tail and the pool members
+  // have already observed the whole series during labeling.
+  online_window_.assign(normalized.end() - config_.window, normalized.end());
+  observed_count_ = raw_series.size();
+  pending_forecast_.reset();
+  residuals_.emplace(std::max<std::size_t>(1, config_.uncertainty_window));
+  resolved_forecasts_ = 0;
+  const std::size_t horizon =
+      config_.label_window == 0 ? config_.window : config_.label_window;
+  online_label_trackers_.assign(pool_.size(), stats::WindowedMse(horizon));
+  online_windows_learned_ = 0;
+
+  LARP_LOG_INFO("core") << "LarPredictor trained on " << raw_series.size()
+                        << " points, " << training_labels_.size()
+                        << " labeled windows, pool of " << pool_.size();
+}
+
+void LarPredictor::require_trained() const {
+  if (!trained()) throw StateError("LarPredictor: not trained");
+}
+
+void LarPredictor::observe(double raw_value) {
+  require_trained();
+  if (!std::isfinite(raw_value)) {
+    throw InvalidArgument("LarPredictor::observe: non-finite sample");
+  }
+  if (pending_forecast_) {
+    residuals_->add(*pending_forecast_, raw_value);
+    ++resolved_forecasts_;
+    pending_forecast_.reset();
+  }
+  const double z = normalizer_.transform(raw_value);
+
+  // Online learning: the incoming value completes the current window; run
+  // the whole pool on it (training-phase semantics), derive the window's
+  // best-predictor label, and grow the classifier's index.
+  if (config_.online_learning && online_window_.size() == config_.window &&
+      selector_->supports_online_learning()) {
+    const auto forecasts = pool_.predict_all(online_window_);
+    std::size_t label;
+    if (config_.labeling == Labeling::StepAbsoluteError) {
+      label = selection::best_forecast_label(forecasts, z);
+    } else {
+      for (std::size_t p = 0; p < pool_.size(); ++p) {
+        online_label_trackers_[p].add(forecasts[p], z);
+      }
+      std::vector<double> errors;
+      errors.reserve(pool_.size());
+      for (const auto& tracker : online_label_trackers_) {
+        errors.push_back(tracker.value());
+      }
+      label = selection::argmin_label(errors);
+    }
+    selector_->learn(online_window_, label);
+    ++online_windows_learned_;
+  }
+
+  pool_.observe_all(z);
+  online_window_.push_back(z);
+  if (online_window_.size() > config_.window) {
+    online_window_.erase(online_window_.begin());
+  }
+  ++observed_count_;
+}
+
+std::vector<double> LarPredictor::prediction_window() const {
+  if (online_window_.size() < config_.window) {
+    throw StateError("LarPredictor: fewer observations than the window size");
+  }
+  if (!config_.predict_in_pca_space) return online_window_;
+  // Ablation: run the expert on the PCA-reconstructed window, i.e. only the
+  // information the retained components carry (DESIGN.md §5).
+  const auto projected = pca_.transform(online_window_);
+  return pca_.inverse_transform(projected);
+}
+
+LarPredictor::Forecast LarPredictor::predict_next() {
+  require_trained();
+  const auto window = prediction_window();
+  // Selection always happens in PCA space on the true window (§6.2).
+  std::size_t label;
+  double z;
+  if (config_.soft_vote) {
+    const auto weights = selector_->select_weights(online_window_, pool_.size());
+    z = 0.0;
+    label = 0;  // reported label = the dominant vote
+    double best_weight = -1.0;
+    for (std::size_t p = 0; p < pool_.size(); ++p) {
+      if (weights[p] > 0.0) z += weights[p] * pool_.at(p).predict(window);
+      if (weights[p] > best_weight) {
+        best_weight = weights[p];
+        label = p;
+      }
+    }
+  } else {
+    label = selector_->select(online_window_);
+    z = pool_.at(label).predict(window);
+  }
+
+  Forecast forecast{normalizer_.inverse(z), label,
+                    std::numeric_limits<double>::quiet_NaN()};
+  if (resolved_forecasts_ >= 4) {
+    forecast.uncertainty = std::sqrt(residuals_->value());
+  }
+  pending_forecast_ = forecast.value;
+  return forecast;
+}
+
+void LarPredictor::retrain(std::span<const double> recent_raw_series) {
+  train(recent_raw_series);
+}
+
+const ml::ZScoreNormalizer& LarPredictor::normalizer() const {
+  require_trained();
+  return normalizer_;
+}
+
+const selection::Selector& LarPredictor::selector() const {
+  require_trained();
+  return *selector_;
+}
+
+const ml::Pca& LarPredictor::pca() const {
+  require_trained();
+  return pca_;
+}
+
+const std::vector<std::size_t>& LarPredictor::training_labels() const {
+  require_trained();
+  return training_labels_;
+}
+
+}  // namespace larp::core

@@ -1,0 +1,99 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace larp::core {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw InvalidArgument("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw InvalidArgument("TextTable: row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  if (std::isnan(value)) return "NaN";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  if (std::isnan(fraction)) return "NaN";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "  " : "") << std::setw(static_cast<int>(widths[c]))
+          << (c == 0 ? std::left : std::right) << row[c];
+      out << std::right;
+    }
+    out << '\n';
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string render_label_strip(const std::vector<std::size_t>& series,
+                               const std::vector<std::string>& names,
+                               std::size_t max_width) {
+  if (names.empty()) throw InvalidArgument("render_label_strip: no class names");
+  std::size_t name_width = 0;
+  for (const auto& name : names) name_width = std::max(name_width, name.size());
+
+  // Downsample to max_width columns by majority within each bucket.
+  const std::size_t columns = std::min(series.size(), max_width);
+  std::vector<std::size_t> sampled;
+  sampled.reserve(columns);
+  if (columns > 0) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::size_t lo = c * series.size() / columns;
+      const std::size_t hi = std::max(lo + 1, (c + 1) * series.size() / columns);
+      std::vector<std::size_t> counts(names.size(), 0);
+      for (std::size_t i = lo; i < hi && i < series.size(); ++i) {
+        if (series[i] < names.size()) ++counts[series[i]];
+      }
+      sampled.push_back(static_cast<std::size_t>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin()));
+    }
+  }
+
+  std::ostringstream os;
+  for (std::size_t lane = 0; lane < names.size(); ++lane) {
+    os << std::setw(static_cast<int>(name_width)) << names[lane] << " |";
+    for (std::size_t c = 0; c < sampled.size(); ++c) {
+      os << (sampled[c] == lane ? '#' : ' ');
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace larp::core

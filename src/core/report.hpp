@@ -1,0 +1,40 @@
+// Report helpers: fixed-width table rendering shared by the benchmark
+// binaries that regenerate the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace larp::core {
+
+/// A simple fixed-width text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the paper's four-decimal style; NaN prints "NaN"
+  /// (matching Table 3's NaN cells).
+  [[nodiscard]] static std::string num(double value, int precision = 4);
+
+  /// Percentage with two decimals, e.g. "55.98%".
+  [[nodiscard]] static std::string pct(double fraction, int precision = 2);
+
+  /// Writes the table with aligned columns and a separator under the header.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a label series as a compact ASCII strip chart, one lane per
+/// class — the textual analogue of the Fig. 4/5 step plots.  `names` maps
+/// label -> display name; series values must be < names.size().
+[[nodiscard]] std::string render_label_strip(
+    const std::vector<std::size_t>& series,
+    const std::vector<std::string>& names, std::size_t max_width = 100);
+
+}  // namespace larp::core

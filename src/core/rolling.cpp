@@ -1,0 +1,103 @@
+#include "core/rolling.hpp"
+
+#include <algorithm>
+
+#include "core/lar_predictor.hpp"
+#include "selection/nws_selector.hpp"
+#include "selection/selector.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace larp::core {
+
+RollingOriginResult rolling_origin_evaluate(
+    std::span<const double> raw_series, const predictors::PredictorPool& pool,
+    const RollingOriginConfig& config) {
+  const std::size_t m = config.lar.window;
+  if (config.initial_train < m + 2) {
+    throw InvalidArgument("rolling_origin: initial_train must exceed window+1");
+  }
+  if (raw_series.size() < config.initial_train + 2) {
+    throw InvalidArgument("rolling_origin: series shorter than initial_train+2");
+  }
+  const auto initial =
+      raw_series.subspan(0, config.initial_train);
+  if (stats::variance(initial) == 0.0) {
+    throw StateError("rolling_origin: constant initial training prefix");
+  }
+
+  // The system under test: a LarPredictor operated exactly as deployed.
+  LarPredictor lar(pool.clone(), config.lar);
+  lar.train(initial);
+
+  // Baseline battery: an independent pool clone walked in parallel, in raw
+  // units, plus the NWS error trackers.
+  predictors::PredictorPool baseline = pool.clone();
+  baseline.fit_all(initial);
+  baseline.reset_all();
+  for (std::size_t i = 0; i < config.initial_train; ++i) {
+    baseline.observe_all(raw_series[i]);
+  }
+  selection::CumulativeMseSelector nws(pool.size());
+  selection::WindowedCumMseSelector wnws(pool.size(), config.nws_error_window);
+
+  RollingOriginResult result;
+  result.mse_single.assign(pool.size(), 0.0);
+  result.expert_usage.assign(pool.size(), 0);
+  std::vector<stats::RunningMse> single_mse(pool.size());
+  stats::RunningMse lar_mse, oracle_mse, nws_mse, wnws_mse;
+
+  std::size_t steps_since_retrain = 0;
+  for (std::size_t t = config.initial_train; t < raw_series.size(); ++t) {
+    const double actual = raw_series[t];
+    const auto window = raw_series.subspan(t - m, m);
+
+    // The deployed LAR: classify, run ONE expert.
+    const auto forecast = lar.predict_next();
+    lar_mse.add(forecast.value, actual);
+    ++result.expert_usage[forecast.label];
+
+    // The baselines: causal picks, then all-pool forecasts for bookkeeping.
+    const std::size_t nws_pick = nws.select(window);
+    const std::size_t wnws_pick = wnws.select(window);
+    const auto forecasts = baseline.predict_all(window);
+    nws_mse.add(forecasts[nws_pick], actual);
+    wnws_mse.add(forecasts[wnws_pick], actual);
+    oracle_mse.add(
+        forecasts[selection::best_forecast_label(forecasts, actual)], actual);
+    for (std::size_t p = 0; p < pool.size(); ++p) {
+      single_mse[p].add(forecasts[p], actual);
+    }
+
+    // Feedback.
+    nws.record(forecasts, actual);
+    wnws.record(forecasts, actual);
+    baseline.observe_all(actual);
+    lar.observe(actual);
+    ++result.steps;
+
+    // Deterministic QA cadence: re-train on the freshest history.
+    if (config.retrain_every > 0 && ++steps_since_retrain == config.retrain_every &&
+        t + 1 + m < raw_series.size()) {
+      const std::size_t start = t + 1 - std::min(t + 1, config.initial_train);
+      const auto recent = raw_series.subspan(start, t + 1 - start);
+      if (stats::variance(recent) > 0.0) {
+        lar.retrain(recent);
+        baseline.fit_all(recent);
+        ++result.retrains;
+      }
+      steps_since_retrain = 0;
+    }
+  }
+
+  result.mse_lar = lar_mse.value();
+  result.mse_oracle = oracle_mse.value();
+  result.mse_nws = nws_mse.value();
+  result.mse_wnws = wnws_mse.value();
+  for (std::size_t p = 0; p < pool.size(); ++p) {
+    result.mse_single[p] = single_mse[p].value();
+  }
+  return result;
+}
+
+}  // namespace larp::core

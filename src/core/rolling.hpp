@@ -1,0 +1,54 @@
+// Rolling-origin (walk-forward) evaluation: the deployment-faithful
+// complement to the paper's random-split cross-validation (§7.2).
+//
+// The predictor trains on an initial prefix and then walks the rest of the
+// series exactly as the Figure-1 prototype would: forecast one step, observe
+// the realized value, and periodically re-train on the most recent history
+// (the Quality-Assuror cadence, made deterministic).  The NWS baselines, the
+// oracle and every single expert are scored on the same steps from a
+// baseline pool walked in parallel.  Unlike evaluate_fold, everything runs
+// in RAW units — this is the number a deployment would see.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "predictors/pool.hpp"
+
+namespace larp::core {
+
+struct RollingOriginConfig {
+  LarConfig lar;
+  /// Samples consumed before the first forecast (initial training set).
+  std::size_t initial_train = 144;
+  /// Re-train the LAR (and re-fit the baseline pool) on the most recent
+  /// `initial_train` samples every this many steps; 0 = never re-train.
+  std::size_t retrain_every = 48;
+  /// Error window of the W-Cum.MSE baseline.
+  std::size_t nws_error_window = 2;
+};
+
+struct RollingOriginResult {
+  std::size_t steps = 0;
+  std::size_t retrains = 0;
+
+  // Raw-unit one-step MSE per strategy over the walked steps.
+  double mse_lar = 0.0;
+  double mse_oracle = 0.0;
+  double mse_nws = 0.0;
+  double mse_wnws = 0.0;
+  std::vector<double> mse_single;
+
+  /// How often the LAR ran each expert (sums to steps).
+  std::vector<std::size_t> expert_usage;
+};
+
+/// Walks the series; throws InvalidArgument when the series is shorter than
+/// initial_train + 2 or initial_train is too small for the window, and
+/// StateError when the initial training prefix has zero variance.
+[[nodiscard]] RollingOriginResult rolling_origin_evaluate(
+    std::span<const double> raw_series, const predictors::PredictorPool& pool,
+    const RollingOriginConfig& config);
+
+}  // namespace larp::core

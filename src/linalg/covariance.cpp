@@ -1,0 +1,69 @@
+#include "linalg/covariance.hpp"
+
+#include "util/error.hpp"
+
+namespace larp::linalg {
+
+Vector column_means(const Matrix& samples) {
+  if (samples.rows() == 0) {
+    throw InvalidArgument("column_means: empty sample matrix");
+  }
+  Vector means(samples.cols(), 0.0);
+  for (std::size_t r = 0; r < samples.rows(); ++r) {
+    const auto row = samples.row(r);
+    for (std::size_t c = 0; c < samples.cols(); ++c) means[c] += row[c];
+  }
+  const double inv = 1.0 / static_cast<double>(samples.rows());
+  for (double& m : means) m *= inv;
+  return means;
+}
+
+Matrix covariance(const Matrix& samples) {
+  return covariance(samples, column_means(samples));
+}
+
+Matrix covariance(const Matrix& samples, const Vector& means) {
+  if (samples.rows() == 0) {
+    throw InvalidArgument("covariance: empty sample matrix");
+  }
+  if (means.size() != samples.cols()) {
+    throw InvalidArgument("covariance: means length mismatch");
+  }
+  const std::size_t n = samples.rows();
+  const std::size_t d = samples.cols();
+  Matrix cov(d, d);
+  // Accumulate the upper triangle of sum((x-mu)(x-mu)^T) row by row.
+  Vector centered_row(d);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = samples.row(r);
+    for (std::size_t c = 0; c < d; ++c) centered_row[c] = row[c] - means[c];
+    for (std::size_t i = 0; i < d; ++i) {
+      const double xi = centered_row[i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = i; j < d; ++j) {
+        cov(i, j) += xi * centered_row[j];
+      }
+    }
+  }
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      const double value = cov(i, j) / denom;
+      cov(i, j) = value;
+      cov(j, i) = value;
+    }
+  }
+  return cov;
+}
+
+Matrix centered(const Matrix& samples, Vector& means_out) {
+  means_out = column_means(samples);
+  Matrix out = samples;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) row[c] -= means_out[c];
+  }
+  return out;
+}
+
+}  // namespace larp::linalg

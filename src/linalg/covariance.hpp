@@ -1,0 +1,24 @@
+// Covariance estimation for sample matrices (rows = observations,
+// columns = features), the input to the PCA stage.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace larp::linalg {
+
+/// Per-column means of a sample matrix.
+[[nodiscard]] Vector column_means(const Matrix& samples);
+
+/// Sample covariance matrix (divides by N-1; by N when N == 1).
+/// Throws InvalidArgument for an empty matrix.
+[[nodiscard]] Matrix covariance(const Matrix& samples);
+
+/// Covariance given precomputed column means (avoids a second pass when the
+/// caller also needs the means for centering).
+[[nodiscard]] Matrix covariance(const Matrix& samples, const Vector& means);
+
+/// Returns `samples` with each column shifted to zero mean; also outputs the
+/// means used so the transform can be replayed on test data.
+[[nodiscard]] Matrix centered(const Matrix& samples, Vector& means_out);
+
+}  // namespace larp::linalg

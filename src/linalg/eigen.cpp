@@ -1,0 +1,98 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace larp::linalg {
+
+EigenDecomposition eigen_symmetric(const Matrix& input, const JacobiOptions& options) {
+  if (input.rows() != input.cols()) {
+    throw InvalidArgument("eigen_symmetric: matrix must be square");
+  }
+  if (!input.is_symmetric(1e-9 * (1.0 + input.frobenius_norm()))) {
+    throw InvalidArgument("eigen_symmetric: matrix must be symmetric");
+  }
+
+  const std::size_t n = input.rows();
+  Matrix a = input;                 // working copy, driven to diagonal form
+  Matrix v = Matrix::identity(n);   // accumulated rotations
+  if (n == 0) return {};
+
+  const double scale = std::max(a.frobenius_norm(), 1e-300);
+  const double threshold = options.tolerance * scale;
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    if (a.max_off_diagonal() <= threshold) break;
+    if (sweep == options.max_sweeps - 1) {
+      throw NumericalError("eigen_symmetric: Jacobi iteration did not converge");
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= threshold * 1e-3) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Rotation angle that zeroes a(p,q) (Golub & Van Loan 8.4).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation to rows/columns p and q of `a`.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = a(i, p);
+          const double aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double api = a(p, i);
+          const double aqi = a(q, i);
+          a(p, i) = c * api - s * aqi;
+          a(q, i) = s * api + c * aqi;
+        }
+        // Accumulate into the eigenvector matrix.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Collect eigenvalues and sort descending, permuting eigenvectors to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return a(i, i) > a(j, j); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    out.values[j] = a(src, src);
+    // Fix the sign convention: the largest-magnitude component of each
+    // eigenvector is made positive so results are deterministic across runs.
+    std::size_t pivot = 0;
+    double pivot_mag = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mag = std::abs(v(i, src));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot = i;
+      }
+    }
+    const double sign = v(pivot, src) < 0.0 ? -1.0 : 1.0;
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = sign * v(i, src);
+  }
+  return out;
+}
+
+}  // namespace larp::linalg

@@ -1,0 +1,71 @@
+#include "linalg/lstsq.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace larp::linalg {
+
+Vector solve_dense(Matrix a, Vector b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    throw InvalidArgument("solve_dense: shape mismatch");
+  }
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-300) {
+      throw NumericalError("solve_dense: singular system");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  Vector x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a(i, c) * x[c];
+    x[i] = acc / a(i, i);
+  }
+  return x;
+}
+
+Vector solve_least_squares(const Matrix& a, const Vector& b, double ridge) {
+  if (a.rows() != b.size()) {
+    throw InvalidArgument("solve_least_squares: row count mismatch");
+  }
+  if (a.rows() < a.cols()) {
+    throw InvalidArgument("solve_least_squares: underdetermined system");
+  }
+  const std::size_t n = a.cols();
+  // Form the normal equations without materializing aᵀ.
+  Matrix ata(n, n);
+  Vector atb(n, 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      atb[i] += row[i] * b[r];
+      for (std::size_t j = i; j < n; ++j) ata(i, j) += row[i] * row[j];
+    }
+  }
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += ata(i, i);
+  const double damping = ridge * (trace > 0.0 ? trace / static_cast<double>(n) : 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ata(i, i) += damping;
+    for (std::size_t j = i + 1; j < n; ++j) ata(j, i) = ata(i, j);
+  }
+  return solve_dense(std::move(ata), std::move(atb));
+}
+
+}  // namespace larp::linalg

@@ -1,0 +1,22 @@
+// Dense least squares via the normal equations, for small well-conditioned
+// regression problems (the ARMA Hannan–Rissanen step, polynomial fits).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace larp::linalg {
+
+/// Solves the square system a·x = b by Gaussian elimination with partial
+/// pivoting.  Throws InvalidArgument on shape mismatch and NumericalError
+/// when a pivot vanishes (singular system).
+[[nodiscard]] Vector solve_dense(Matrix a, Vector b);
+
+/// Minimizes ||a·x - b||_2 through the normal equations aᵀa·x = aᵀb.
+/// Requires rows >= cols; a small ridge term (relative to trace(aᵀa)) keeps
+/// rank-deficient designs solvable, which matters for regressing on
+/// residuals that can be near-collinear.  Throws InvalidArgument on shape
+/// mismatch or an underdetermined system.
+[[nodiscard]] Vector solve_least_squares(const Matrix& a, const Vector& b,
+                                         double ridge = 1e-9);
+
+}  // namespace larp::linalg

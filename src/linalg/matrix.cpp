@@ -1,0 +1,222 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace larp::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw InvalidArgument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::from_rows(const std::vector<Vector>& rows) {
+  Matrix m;
+  m.rows_ = rows.size();
+  m.cols_ = rows.empty() ? 0 : rows.front().size();
+  m.data_.reserve(m.rows_ * m.cols_);
+  for (const auto& row : rows) {
+    if (row.size() != m.cols_) {
+      throw InvalidArgument("Matrix::from_rows: ragged rows");
+    }
+    m.data_.insert(m.data_.end(), row.begin(), row.end());
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw InvalidArgument("Matrix::at out of range");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw InvalidArgument("Matrix::at out of range");
+  return (*this)(r, c);
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  if (r >= rows_) throw InvalidArgument("Matrix::row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw InvalidArgument("Matrix::row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+void Matrix::append_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = values.size();
+  } else if (values.size() != cols_) {
+    throw InvalidArgument("Matrix::append_row: width mismatch");
+  }
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  if (c >= cols_) throw InvalidArgument("Matrix::col out of range");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw InvalidArgument("Matrix multiply: inner dimension mismatch");
+  }
+  Matrix out(rows_, rhs.cols_);
+  // i-k-j loop order keeps the inner traversal contiguous for both operands.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* rhs_row = rhs.data_.data() + k * rhs.cols_;
+      double* out_row = out.data_.data() + i * out.cols_;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out_row[j] += aik * rhs_row[j];
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& x) const {
+  if (x.size() != cols_) {
+    throw InvalidArgument("Matrix-vector multiply: dimension mismatch");
+  }
+  Vector out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out[i] = dot(row(i), x);
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw InvalidArgument("Matrix addition: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw InvalidArgument("Matrix subtraction: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scale) noexcept {
+  for (double& value : data_) value *= scale;
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  Matrix out = *this;
+  out += rhs;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  Matrix out = *this;
+  out -= rhs;
+  return out;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double acc = 0.0;
+  for (double value : data_) acc += value * value;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_off_diagonal() const noexcept {
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (r != c) best = std::max(best, std::abs((*this)(r, c)));
+    }
+  }
+  return best;
+}
+
+bool Matrix::is_symmetric(double tol) const noexcept {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::string Matrix::describe() const {
+  std::ostringstream os;
+  os << rows_ << 'x' << cols_ << " [";
+  const std::size_t shown = std::min<std::size_t>(data_.size(), 4);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  if (data_.size() > shown) os << ", ...";
+  os << ']';
+  return os.str();
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw InvalidArgument("dot: length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm(std::span<const double> xs) noexcept {
+  double acc = 0.0;
+  for (double x : xs) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw InvalidArgument("squared_distance: length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+}  // namespace larp::linalg

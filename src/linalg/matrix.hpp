@@ -1,0 +1,118 @@
+// Dense row-major matrix used by the PCA and classifier substrates.
+//
+// The library replaces the paper's Matlab kernels, so this type favours
+// clarity and numerical reproducibility over BLAS-level performance: data
+// sizes in this domain are windows of tens of values and training sets of a
+// few thousand rows.  Storage is a single contiguous buffer (cache-friendly
+// row traversal) and row views are std::span, so the ML layer never copies.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace larp::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix of zeros.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols matrix filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value);
+
+  /// Construction from nested initializer lists; all rows must have the
+  /// same length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Builds a matrix whose rows are the given equal-length vectors.
+  static Matrix from_rows(const std::vector<Vector>& rows);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access; throws InvalidArgument out of range.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// Mutable / immutable view of row r.
+  [[nodiscard]] std::span<double> row(std::size_t r);
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+  /// Appends one row (length must equal cols(); an empty matrix adopts the
+  /// row's length as its column count).
+  void append_row(std::span<const double> values);
+
+  /// Copy of column c.
+  [[nodiscard]] Vector col(std::size_t c) const;
+
+  /// Raw storage (row-major).
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> data() noexcept { return data_; }
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Matrix product; throws InvalidArgument on inner-dimension mismatch.
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+
+  /// Matrix–vector product (x.size() must equal cols()).
+  [[nodiscard]] Vector operator*(const Vector& x) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double scale) noexcept;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const noexcept;
+
+  /// Largest |a_ij| off the diagonal (Jacobi sweep convergence measure).
+  [[nodiscard]] double max_off_diagonal() const noexcept;
+
+  /// True when |a_ij - a_ji| <= tol for all pairs.
+  [[nodiscard]] bool is_symmetric(double tol = 1e-12) const noexcept;
+
+  /// "rows x cols" plus the leading elements — for error messages and logs.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean dot product; throws InvalidArgument on length mismatch.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean (L2) norm.
+[[nodiscard]] double norm(std::span<const double> xs) noexcept;
+
+/// Squared Euclidean distance between two equal-length points; the k-NN
+/// classifier uses this to avoid the sqrt in eq. (6) of the paper.
+[[nodiscard]] double squared_distance(std::span<const double> a,
+                                      std::span<const double> b);
+
+/// Euclidean distance (eq. 6).
+[[nodiscard]] double distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace larp::linalg

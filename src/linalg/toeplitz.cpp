@@ -1,0 +1,109 @@
+#include "linalg/toeplitz.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace larp::linalg {
+
+LevinsonResult levinson_durbin(std::span<const double> autocorr) {
+  if (autocorr.size() < 2) {
+    throw InvalidArgument("levinson_durbin: need r_0 and at least r_1");
+  }
+  const std::size_t p = autocorr.size() - 1;
+  if (autocorr[0] <= 0.0) {
+    throw NumericalError("levinson_durbin: r_0 must be positive");
+  }
+
+  LevinsonResult result;
+  result.coefficients.assign(p, 0.0);
+  result.reflection.assign(p, 0.0);
+
+  Vector a(p, 0.0);       // current coefficient estimate
+  Vector a_prev(p, 0.0);  // previous order's coefficients
+  double error = autocorr[0];
+
+  for (std::size_t k = 0; k < p; ++k) {
+    double acc = autocorr[k + 1];
+    for (std::size_t j = 0; j < k; ++j) acc -= a[j] * autocorr[k - j];
+    const double kappa = acc / error;
+    if (!std::isfinite(kappa)) {
+      throw NumericalError("levinson_durbin: recursion diverged");
+    }
+    result.reflection[k] = kappa;
+
+    a_prev = a;
+    a[k] = kappa;
+    for (std::size_t j = 0; j < k; ++j) a[j] = a_prev[j] - kappa * a_prev[k - 1 - j];
+
+    error *= (1.0 - kappa * kappa);
+    if (error <= 0.0) {
+      // Exactly predictable series (e.g. pure sinusoid sampled on-grid).
+      // Clamp instead of failing: the coefficients so far are still the
+      // minimum-MSE solution and downstream prediction remains well-defined.
+      error = 0.0;
+      for (std::size_t j = k + 1; j < p; ++j) {
+        result.reflection[j] = 0.0;
+      }
+      break;
+    }
+  }
+
+  result.coefficients = a;
+  result.innovation_variance = error;
+  return result;
+}
+
+std::size_t select_ar_order(std::span<const double> series,
+                            std::size_t max_order) {
+  if (max_order == 0) {
+    throw InvalidArgument("select_ar_order: max_order must be positive");
+  }
+  if (series.size() <= max_order) {
+    throw InvalidArgument("select_ar_order: series shorter than max_order+1");
+  }
+  if (stats::variance(series) == 0.0) return 1;
+
+  const auto acf = stats::autocorrelations(series, max_order);
+  const double n = static_cast<double>(series.size());
+  std::size_t best_order = 1;
+  double best_fpe = std::numeric_limits<double>::infinity();
+  // One recursion per candidate order: O(max_order^3) total, negligible at
+  // the window sizes in this domain.  (A single full recursion exposes the
+  // per-order error via 1-k_i^2 products, but re-running keeps the clamping
+  // semantics of levinson_durbin intact.)
+  for (std::size_t p = 1; p <= max_order; ++p) {
+    const auto solution =
+        levinson_durbin(std::span<const double>(acf.data(), p + 1));
+    const double dp = static_cast<double>(p);
+    const double fpe =
+        solution.innovation_variance * (n + dp + 1.0) / (n - dp - 1.0);
+    if (fpe < best_fpe) {
+      best_fpe = fpe;
+      best_order = p;
+    }
+  }
+  return best_order;
+}
+
+LevinsonResult yule_walker(std::span<const double> series, std::size_t order) {
+  if (order == 0) throw InvalidArgument("yule_walker: order must be positive");
+  if (series.size() <= order) {
+    throw InvalidArgument("yule_walker: series shorter than AR order");
+  }
+  const auto acf = stats::autocorrelations(series, order);
+  // A constant series has zero variance: the best linear predictor is the
+  // (zero) mean, i.e. all-zero AR coefficients.
+  if (stats::variance(series) == 0.0) {
+    LevinsonResult degenerate;
+    degenerate.coefficients.assign(order, 0.0);
+    degenerate.reflection.assign(order, 0.0);
+    degenerate.innovation_variance = 0.0;
+    return degenerate;
+  }
+  return levinson_durbin(acf);
+}
+
+}  // namespace larp::linalg

@@ -1,0 +1,46 @@
+// Levinson–Durbin recursion for symmetric Toeplitz systems.
+//
+// This is the kernel behind the Yule–Walker AR fit (paper §4, eq. 4): the
+// autocorrelation matrix of a stationary series is symmetric Toeplitz, and
+// Levinson–Durbin solves R·psi = r in O(p^2) instead of O(p^3), returning
+// the AR coefficients together with the innovation variance and reflection
+// coefficients (useful both for diagnostics and for order-selection tests).
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace larp::linalg {
+
+/// Output of the Levinson–Durbin recursion of order p.
+struct LevinsonResult {
+  /// AR coefficients psi_1..psi_p (coefficients[i] multiplies Z_{t-1-i}).
+  Vector coefficients;
+  /// Innovation (one-step prediction error) variance after order p.
+  double innovation_variance = 0.0;
+  /// Reflection (partial autocorrelation) coefficients k_1..k_p.
+  Vector reflection;
+};
+
+/// Runs the recursion on autocorrelations r_0..r_p (length p+1; r_0 is the
+/// zero-lag term and must be positive).  Throws InvalidArgument for a short
+/// input and NumericalError when the recursion becomes unstable (predicted
+/// error variance underflows to <= 0, i.e. the system is singular).
+[[nodiscard]] LevinsonResult levinson_durbin(std::span<const double> autocorr);
+
+/// Convenience: solves the order-p Yule–Walker system from a raw series by
+/// first estimating biased autocorrelations.  A constant series yields an
+/// all-zero coefficient vector (the AR fit degenerates to predicting the
+/// mean, which is 0 for normalized input).
+[[nodiscard]] LevinsonResult yule_walker(std::span<const double> series,
+                                         std::size_t order);
+
+/// Akaike Final Prediction Error order selection: runs one Levinson–Durbin
+/// recursion to max_order and returns the order p in [1, max_order] that
+/// minimizes FPE(p) = innovation_variance(p) * (N + p + 1) / (N - p - 1).
+/// Constant series return order 1.  Throws like yule_walker for short input.
+[[nodiscard]] std::size_t select_ar_order(std::span<const double> series,
+                                          std::size_t max_order);
+
+}  // namespace larp::linalg

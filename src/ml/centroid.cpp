@@ -1,0 +1,100 @@
+#include "ml/centroid.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace larp::ml {
+
+void NearestCentroidClassifier::fit(const linalg::Matrix& points,
+                                    const std::vector<std::size_t>& labels) {
+  if (points.rows() == 0) {
+    throw InvalidArgument("NearestCentroid::fit: empty training set");
+  }
+  if (points.rows() != labels.size()) {
+    throw InvalidArgument("NearestCentroid::fit: points/labels mismatch");
+  }
+  dimension_ = points.cols();
+
+  std::map<std::size_t, std::pair<linalg::Vector, std::size_t>> sums;
+  for (std::size_t r = 0; r < points.rows(); ++r) {
+    auto& [sum, count] = sums.try_emplace(labels[r],
+                                          linalg::Vector(dimension_, 0.0), 0)
+                             .first->second;
+    const auto row = points.row(r);
+    for (std::size_t c = 0; c < dimension_; ++c) sum[c] += row[c];
+    ++count;
+  }
+
+  labels_.clear();
+  centroids_.clear();
+  counts_.clear();
+  for (auto& [label, entry] : sums) {  // std::map: ascending label order
+    auto& [sum, count] = entry;
+    for (double& v : sum) v /= static_cast<double>(count);
+    labels_.push_back(label);
+    centroids_.push_back(std::move(sum));
+    counts_.push_back(count);
+  }
+  fitted_ = true;
+}
+
+void NearestCentroidClassifier::add(std::span<const double> point,
+                                    std::size_t label) {
+  if (!fitted_) throw StateError("NearestCentroid::add before fit()");
+  if (point.size() != dimension_) {
+    throw InvalidArgument("NearestCentroid::add: point dimension mismatch");
+  }
+  // Find the class, keeping labels_ sorted ascending.
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  const std::size_t index = static_cast<std::size_t>(it - labels_.begin());
+  if (it == labels_.end() || *it != label) {
+    labels_.insert(it, label);
+    centroids_.insert(centroids_.begin() + index,
+                      linalg::Vector(point.begin(), point.end()));
+    counts_.insert(counts_.begin() + index, 1);
+    return;
+  }
+  // Incremental mean update.
+  auto& centroid = centroids_[index];
+  const double n = static_cast<double>(++counts_[index]);
+  for (std::size_t c = 0; c < dimension_; ++c) {
+    centroid[c] += (point[c] - centroid[c]) / n;
+  }
+}
+
+const linalg::Vector& NearestCentroidClassifier::centroid(std::size_t i) const {
+  if (i >= centroids_.size()) {
+    throw InvalidArgument("NearestCentroid::centroid: index out of range");
+  }
+  return centroids_[i];
+}
+
+std::size_t NearestCentroidClassifier::class_label(std::size_t i) const {
+  if (i >= labels_.size()) {
+    throw InvalidArgument("NearestCentroid::class_label: index out of range");
+  }
+  return labels_[i];
+}
+
+std::size_t NearestCentroidClassifier::classify(
+    std::span<const double> query) const {
+  if (!fitted_) throw StateError("NearestCentroid used before fit()");
+  if (query.size() != dimension_) {
+    throw InvalidArgument("NearestCentroid::classify: dimension mismatch");
+  }
+  std::size_t best = 0;
+  double best_distance = linalg::squared_distance(centroids_[0], query);
+  for (std::size_t i = 1; i < centroids_.size(); ++i) {
+    const double d = linalg::squared_distance(centroids_[i], query);
+    // Strict < keeps the smallest label on ties (labels_ is ascending).
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  return labels_[best];
+}
+
+}  // namespace larp::ml

@@ -1,0 +1,49 @@
+// Nearest-centroid classifier: the simplest alternative classification
+// algorithm for the selector layer (§5: "our methodology may be generally
+// used with other types of classification algorithms").
+//
+// Training computes one centroid per class in the (PCA-reduced) feature
+// space; classification assigns the class of the nearest centroid.  O(P)
+// per query instead of k-NN's O(N) — the trade is a linear decision
+// boundary per class pair.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace larp::ml {
+
+class NearestCentroidClassifier {
+ public:
+  /// Computes per-class centroids.  Classes are the distinct labels seen;
+  /// throws InvalidArgument for an empty or mismatched training set.
+  void fit(const linalg::Matrix& points, const std::vector<std::size_t>& labels);
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  /// Number of distinct classes seen at fit().
+  [[nodiscard]] std::size_t classes() const noexcept { return labels_.size(); }
+
+  /// Centroid of the i-th seen class (tests/diagnostics).
+  [[nodiscard]] const linalg::Vector& centroid(std::size_t i) const;
+  [[nodiscard]] std::size_t class_label(std::size_t i) const;
+
+  /// Label of the nearest centroid (Euclidean); ties break toward the
+  /// smallest label, matching the library-wide convention.
+  [[nodiscard]] std::size_t classify(std::span<const double> query) const;
+
+  /// Folds one labeled point into its class centroid (online learning);
+  /// a previously unseen label opens a new class.
+  void add(std::span<const double> point, std::size_t label);
+
+ private:
+  std::vector<std::size_t> labels_;      // distinct class labels, ascending
+  std::vector<linalg::Vector> centroids_;  // parallel to labels_
+  std::vector<std::size_t> counts_;        // points behind each centroid
+  std::size_t dimension_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace larp::ml

@@ -1,0 +1,35 @@
+#include "ml/crossval.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace larp::ml {
+
+std::vector<SplitFold> make_random_split_folds(std::size_t length,
+                                               const CrossValidationPlan& plan,
+                                               Rng& rng,
+                                               std::size_t min_side_points) {
+  if (length == 0) throw InvalidArgument("cross-validation: empty series");
+  if (plan.folds == 0) throw InvalidArgument("cross-validation: zero folds");
+  if (!(plan.min_fraction > 0.0) || !(plan.max_fraction < 1.0) ||
+      plan.min_fraction > plan.max_fraction) {
+    throw InvalidArgument("cross-validation: fraction band must satisfy 0 < min <= max < 1");
+  }
+  if (length < 2 * min_side_points) {
+    throw InvalidArgument("cross-validation: series shorter than 2 x min_side_points");
+  }
+
+  std::vector<SplitFold> folds;
+  folds.reserve(plan.folds);
+  for (std::size_t f = 0; f < plan.folds; ++f) {
+    const double fraction = rng.uniform(plan.min_fraction, plan.max_fraction);
+    std::size_t split = static_cast<std::size_t>(
+        fraction * static_cast<double>(length) + 0.5);
+    split = std::clamp(split, min_side_points, length - min_side_points);
+    folds.push_back(SplitFold{split, length});
+  }
+  return folds;
+}
+
+}  // namespace larp::ml

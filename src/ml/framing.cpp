@@ -1,0 +1,46 @@
+#include "ml/framing.hpp"
+
+#include "util/error.hpp"
+
+namespace larp::ml {
+
+namespace {
+void require_frameable(std::span<const double> series, std::size_t window_size,
+                       std::size_t min_extra) {
+  if (window_size == 0) {
+    throw InvalidArgument("framing: window size must be positive");
+  }
+  if (series.size() < window_size + min_extra) {
+    throw InvalidArgument("framing: series of " + std::to_string(series.size()) +
+                          " values too short for window " +
+                          std::to_string(window_size));
+  }
+}
+}  // namespace
+
+FramedSeries frame_supervised(std::span<const double> series,
+                              std::size_t window_size) {
+  require_frameable(series, window_size, 1);
+  const std::size_t count = series.size() - window_size;
+  FramedSeries framed{linalg::Matrix(count, window_size), linalg::Vector(count)};
+  for (std::size_t i = 0; i < count; ++i) {
+    auto row = framed.windows.row(i);
+    for (std::size_t j = 0; j < window_size; ++j) row[j] = series[i + j];
+    framed.targets[i] = series[i + window_size];
+  }
+  return framed;
+}
+
+linalg::Matrix frame_windows(std::span<const double> series,
+                             std::size_t window_size) {
+  require_frameable(series, window_size, 0);
+  const std::size_t count = series.size() - window_size + 1;
+  linalg::Matrix windows(count, window_size);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto row = windows.row(i);
+    for (std::size_t j = 0; j < window_size; ++j) row[j] = series[i + j];
+  }
+  return windows;
+}
+
+}  // namespace larp::ml

@@ -1,0 +1,32 @@
+// Series framing (paper §6, Fig. 3): turns a series of u values into the
+// overlapping window matrix X_{(u-m)×m} plus the one-step-ahead target for
+// each window.
+//
+// Window i is (x_i ... x_{i+m-1}) and its target is x_{i+m}; only windows
+// whose target exists are emitted, so a u-point series yields u-m supervised
+// pairs.  (The paper's Fig. 3 writes u-m+1 frames because it counts the
+// final, target-less window too; frame_windows() provides that variant.)
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace larp::ml {
+
+/// Supervised framing: windows and aligned next-value targets.
+struct FramedSeries {
+  linalg::Matrix windows;   // (u-m) x m
+  linalg::Vector targets;   // u-m; targets[i] follows windows.row(i)
+};
+
+/// Frames a series into supervised (window, next value) pairs.
+/// Throws InvalidArgument when window_size == 0 or series.size() <= window_size.
+[[nodiscard]] FramedSeries frame_supervised(std::span<const double> series,
+                                            std::size_t window_size);
+
+/// Frames all (u-m+1) windows without targets (the paper's X'_{(u-m+1)×m}).
+[[nodiscard]] linalg::Matrix frame_windows(std::span<const double> series,
+                                           std::size_t window_size);
+
+}  // namespace larp::ml

@@ -1,0 +1,117 @@
+#include "ml/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace larp::ml {
+
+namespace {
+// Max-heap ordering on (squared_distance, index): the root is the worst
+// retained neighbour, which is what gets evicted when a closer point shows up.
+bool heap_less(const Neighbor& a, const Neighbor& b) {
+  if (a.squared_distance != b.squared_distance) {
+    return a.squared_distance < b.squared_distance;
+  }
+  return a.index < b.index;
+}
+}  // namespace
+
+KdTree::KdTree(linalg::Matrix points) : points_(std::move(points)) {
+  if (points_.rows() == 0) return;
+  if (points_.cols() == 0) throw InvalidArgument("KdTree: zero-dimensional points");
+  std::vector<std::size_t> items(points_.rows());
+  for (std::size_t i = 0; i < items.size(); ++i) items[i] = i;
+  nodes_.reserve(points_.rows());
+  root_ = build(items, 0, items.size());
+}
+
+std::int32_t KdTree::build(std::vector<std::size_t>& items, std::size_t lo,
+                           std::size_t hi) {
+  if (lo >= hi) return -1;
+
+  // Split along the dimension with the widest spread in this subset.
+  const std::size_t dims = points_.cols();
+  std::size_t split_dim = 0;
+  double best_spread = -1.0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    double low = std::numeric_limits<double>::infinity();
+    double high = -low;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double v = points_(items[i], d);
+      low = std::min(low, v);
+      high = std::max(high, v);
+    }
+    if (high - low > best_spread) {
+      best_spread = high - low;
+      split_dim = d;
+    }
+  }
+
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(items.begin() + lo, items.begin() + mid, items.begin() + hi,
+                   [&](std::size_t a, std::size_t b) {
+                     const double va = points_(a, split_dim);
+                     const double vb = points_(b, split_dim);
+                     return va != vb ? va < vb : a < b;
+                   });
+
+  const std::int32_t node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{items[mid], split_dim, -1, -1});
+  const std::int32_t left = build(items, lo, mid);
+  const std::int32_t right = build(items, mid + 1, hi);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+void KdTree::search(std::int32_t node_id, std::span<const double> query,
+                    std::size_t k, std::vector<Neighbor>& heap) const {
+  if (node_id < 0) return;
+  const Node& node = nodes_[node_id];
+  const auto point = points_.row(node.point);
+
+  double sq = 0.0;
+  for (std::size_t d = 0; d < query.size(); ++d) {
+    const double diff = query[d] - point[d];
+    sq += diff * diff;
+  }
+  const Neighbor candidate{node.point, sq};
+  if (heap.size() < k) {
+    heap.push_back(candidate);
+    std::push_heap(heap.begin(), heap.end(), heap_less);
+  } else if (heap_less(candidate, heap.front())) {
+    std::pop_heap(heap.begin(), heap.end(), heap_less);
+    heap.back() = candidate;
+    std::push_heap(heap.begin(), heap.end(), heap_less);
+  }
+
+  const double along = query[node.split_dim] - point[node.split_dim];
+  const std::int32_t near_child = along <= 0.0 ? node.left : node.right;
+  const std::int32_t far_child = along <= 0.0 ? node.right : node.left;
+
+  search(near_child, query, k, heap);
+  // Only descend the far side if the splitting plane is closer than the
+  // current worst retained neighbour (or the heap is not yet full).
+  if (heap.size() < k || along * along <= heap.front().squared_distance) {
+    search(far_child, query, k, heap);
+  }
+}
+
+std::vector<Neighbor> KdTree::nearest(std::span<const double> query,
+                                      std::size_t k) const {
+  if (size() == 0 || k == 0) return {};
+  if (query.size() != dimension()) {
+    throw InvalidArgument("KdTree::nearest: query dimension mismatch");
+  }
+  k = std::min(k, size());
+  std::vector<Neighbor> heap;
+  heap.reserve(k);
+  search(root_, query, k, heap);
+  std::sort_heap(heap.begin(), heap.end(), heap_less);
+  return heap;
+}
+
+}  // namespace larp::ml

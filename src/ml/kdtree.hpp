@@ -1,0 +1,58 @@
+// kd-tree exact nearest-neighbour index (Friedman/Bentley/Finkel, the
+// "fast algorithms for finding nearest-neighbors" the paper cites in §7.3).
+//
+// Points live in a low-dimensional PCA space (n = 2 typically), where a
+// kd-tree gives O(log N) expected query time against the brute-force O(N·n).
+// The tree stores point indices into the caller's matrix; splitting is by
+// median along the widest-spread dimension, which keeps the tree balanced
+// for the clustered window distributions produced by real traces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace larp::ml {
+
+/// A neighbour hit: index of the training point and squared distance.
+struct Neighbor {
+  std::size_t index;
+  double squared_distance;
+};
+
+class KdTree {
+ public:
+  KdTree() = default;
+
+  /// Builds the index over the rows of `points` (copied in).
+  explicit KdTree(linalg::Matrix points);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.rows(); }
+  [[nodiscard]] std::size_t dimension() const noexcept { return points_.cols(); }
+
+  /// The k exact nearest neighbours of `query`, ordered by ascending
+  /// distance with index as the tiebreaker (so results are deterministic
+  /// when distances are equal).  k is clamped to size().
+  [[nodiscard]] std::vector<Neighbor> nearest(std::span<const double> query,
+                                              std::size_t k) const;
+
+ private:
+  struct Node {
+    std::size_t point = 0;        // row index of the splitting point
+    std::size_t split_dim = 0;    // dimension this node splits on
+    std::int32_t left = -1;       // child node ids (-1 = none)
+    std::int32_t right = -1;
+  };
+
+  std::int32_t build(std::vector<std::size_t>& items, std::size_t lo,
+                     std::size_t hi);
+  void search(std::int32_t node_id, std::span<const double> query,
+              std::size_t k, std::vector<Neighbor>& heap) const;
+
+  linalg::Matrix points_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace larp::ml

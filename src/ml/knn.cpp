@@ -1,0 +1,117 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace larp::ml {
+
+KnnClassifier::KnnClassifier(std::size_t k, KnnBackend backend)
+    : k_(k), backend_(backend) {
+  if (k == 0) throw InvalidArgument("KnnClassifier: k must be positive");
+}
+
+void KnnClassifier::fit(linalg::Matrix points, std::vector<std::size_t> labels) {
+  if (points.rows() == 0) {
+    throw InvalidArgument("KnnClassifier::fit: empty training set");
+  }
+  if (points.rows() != labels.size()) {
+    throw InvalidArgument("KnnClassifier::fit: points/labels count mismatch");
+  }
+  points_ = std::move(points);
+  labels_ = std::move(labels);
+  if (backend_ == KnnBackend::KdTree) {
+    tree_.emplace(points_);
+  } else {
+    tree_.reset();
+  }
+  fitted_ = true;
+}
+
+void KnnClassifier::add(std::span<const double> point, std::size_t label) {
+  require_fitted();
+  if (point.size() != points_.cols()) {
+    throw InvalidArgument("KnnClassifier::add: point dimension mismatch");
+  }
+  points_.append_row(point);
+  labels_.push_back(label);
+  if (backend_ == KnnBackend::KdTree) {
+    tree_.emplace(points_);  // rebuild; cheap at these training-set sizes
+  }
+}
+
+void KnnClassifier::require_fitted() const {
+  if (!fitted_) throw StateError("KnnClassifier used before fit()");
+}
+
+std::vector<Neighbor> KnnClassifier::neighbors(
+    std::span<const double> query) const {
+  require_fitted();
+  if (query.size() != points_.cols()) {
+    throw InvalidArgument("KnnClassifier: query dimension mismatch");
+  }
+  const std::size_t k = std::min(k_, points_.rows());
+
+  if (tree_) return tree_->nearest(query, k);
+
+  // Brute force: scan all points, keep the k best via partial sort.
+  std::vector<Neighbor> all;
+  all.reserve(points_.rows());
+  for (std::size_t i = 0; i < points_.rows(); ++i) {
+    all.push_back({i, linalg::squared_distance(points_.row(i), query)});
+  }
+  const auto better = [](const Neighbor& a, const Neighbor& b) {
+    if (a.squared_distance != b.squared_distance) {
+      return a.squared_distance < b.squared_distance;
+    }
+    return a.index < b.index;
+  };
+  std::partial_sort(all.begin(), all.begin() + k, all.end(), better);
+  all.resize(k);
+  return all;
+}
+
+std::size_t KnnClassifier::label_of(std::size_t index) const {
+  require_fitted();
+  if (index >= labels_.size()) {
+    throw InvalidArgument("KnnClassifier::label_of: index out of range");
+  }
+  return labels_[index];
+}
+
+std::size_t KnnClassifier::classify(std::span<const double> query) const {
+  const auto hits = neighbors(query);
+  std::vector<std::size_t> votes;
+  votes.reserve(hits.size());
+  for (const auto& hit : hits) votes.push_back(labels_[hit.index]);
+  return majority_vote(votes);
+}
+
+std::vector<std::size_t> KnnClassifier::classify(
+    const linalg::Matrix& queries) const {
+  std::vector<std::size_t> out;
+  out.reserve(queries.rows());
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    out.push_back(classify(queries.row(i)));
+  }
+  return out;
+}
+
+std::size_t majority_vote(const std::vector<std::size_t>& labels) {
+  if (labels.empty()) throw InvalidArgument("majority_vote: no votes");
+  std::map<std::size_t, std::size_t> counts;
+  for (std::size_t label : labels) ++counts[label];
+  std::size_t winner = labels.front();
+  std::size_t best = 0;
+  // std::map iterates labels ascending, so ties resolve to the smallest.
+  for (const auto& [label, count] : counts) {
+    if (count > best) {
+      best = count;
+      winner = label;
+    }
+  }
+  return winner;
+}
+
+}  // namespace larp::ml

@@ -1,0 +1,75 @@
+// k-Nearest-Neighbor classifier (paper §5.1): memory-based classification of
+// PCA-reduced windows to best-predictor labels.
+//
+// "Training" is indexing the N labeled points (O(N), as §7.3 notes);
+// prediction finds the k closest points under Euclidean distance (eq. 6)
+// and majority-votes their labels.  Two search backends are provided:
+// brute-force scan (the paper's Matlab behaviour) and the kd-tree of §7.3's
+// fast-NN citations — both return identical neighbours, which the tests
+// assert.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/kdtree.hpp"
+
+namespace larp::ml {
+
+enum class KnnBackend { BruteForce, KdTree };
+
+class KnnClassifier {
+ public:
+  /// k must be positive (odd values avoid most voting ties; k = 3 in the
+  /// paper's implementation).
+  explicit KnnClassifier(std::size_t k = 3,
+                         KnnBackend backend = KnnBackend::BruteForce);
+
+  /// Indexes the labeled training points (rows of `points`).
+  /// Throws InvalidArgument when labels/points disagree in count or the set
+  /// is empty.
+  void fit(linalg::Matrix points, std::vector<std::size_t> labels);
+
+  /// Appends one labeled point to the index (online learning).  O(1) for
+  /// the brute-force backend; the kd-tree backend rebuilds its index
+  /// (O(N log N) — still microseconds at this domain's training sizes).
+  void add(std::span<const double> point, std::size_t label);
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t size() const noexcept { return labels_.size(); }
+  [[nodiscard]] KnnBackend backend() const noexcept { return backend_; }
+
+  /// The k nearest training points, ascending distance (index tiebreak).
+  [[nodiscard]] std::vector<Neighbor> neighbors(
+      std::span<const double> query) const;
+
+  /// Class label of the indexed training point (for vote-share queries).
+  [[nodiscard]] std::size_t label_of(std::size_t index) const;
+
+  /// Majority-vote label of the k nearest neighbours.  Ties break toward
+  /// the smallest label value, matching the paper's class numbering
+  /// (1-LAST < 2-AR < 3-SW_AVG).
+  [[nodiscard]] std::size_t classify(std::span<const double> query) const;
+
+  /// classify() for every row of a query matrix.
+  [[nodiscard]] std::vector<std::size_t> classify(
+      const linalg::Matrix& queries) const;
+
+ private:
+  void require_fitted() const;
+
+  std::size_t k_;
+  KnnBackend backend_;
+  linalg::Matrix points_;
+  std::vector<std::size_t> labels_;
+  std::optional<KdTree> tree_;
+  bool fitted_ = false;
+};
+
+/// Majority vote with smallest-label tie-breaking over arbitrary labels.
+[[nodiscard]] std::size_t majority_vote(const std::vector<std::size_t>& labels);
+
+}  // namespace larp::ml

@@ -1,0 +1,97 @@
+#include "ml/metrics.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace larp::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t classes)
+    : classes_(classes), cells_(classes * classes, 0) {
+  if (classes == 0) throw InvalidArgument("ConfusionMatrix: zero classes");
+}
+
+void ConfusionMatrix::add(std::size_t actual, std::size_t predicted) {
+  if (actual >= classes_ || predicted >= classes_) {
+    throw InvalidArgument("ConfusionMatrix::add: label out of range");
+  }
+  ++cells_[actual * classes_ + predicted];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t actual, std::size_t predicted) const {
+  if (actual >= classes_ || predicted >= classes_) {
+    throw InvalidArgument("ConfusionMatrix::count: label out of range");
+  }
+  return cells_[actual * classes_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < classes_; ++c) correct += cells_[c * classes_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+std::vector<double> ConfusionMatrix::recall() const {
+  std::vector<double> out(classes_, 0.0);
+  for (std::size_t r = 0; r < classes_; ++r) {
+    std::size_t row_total = 0;
+    for (std::size_t c = 0; c < classes_; ++c) row_total += cells_[r * classes_ + c];
+    if (row_total > 0) {
+      out[r] = static_cast<double>(cells_[r * classes_ + r]) /
+               static_cast<double>(row_total);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ConfusionMatrix::precision() const {
+  std::vector<double> out(classes_, 0.0);
+  for (std::size_t c = 0; c < classes_; ++c) {
+    std::size_t col_total = 0;
+    for (std::size_t r = 0; r < classes_; ++r) col_total += cells_[r * classes_ + c];
+    if (col_total > 0) {
+      out[c] = static_cast<double>(cells_[c * classes_ + c]) /
+               static_cast<double>(col_total);
+    }
+  }
+  return out;
+}
+
+std::string ConfusionMatrix::render(const std::vector<std::string>& names) const {
+  if (names.size() != classes_) {
+    throw InvalidArgument("ConfusionMatrix::render: names count mismatch");
+  }
+  std::size_t width = 8;
+  for (const auto& name : names) width = std::max(width, name.size() + 2);
+
+  std::ostringstream os;
+  os << std::setw(static_cast<int>(width)) << "act\\pred";
+  for (const auto& name : names) os << std::setw(static_cast<int>(width)) << name;
+  os << '\n';
+  for (std::size_t r = 0; r < classes_; ++r) {
+    os << std::setw(static_cast<int>(width)) << names[r];
+    for (std::size_t c = 0; c < classes_; ++c) {
+      os << std::setw(static_cast<int>(width)) << cells_[r * classes_ + c];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+double accuracy(const std::vector<std::size_t>& actual,
+                const std::vector<std::size_t>& predicted) {
+  if (actual.size() != predicted.size()) {
+    throw InvalidArgument("accuracy: sequence length mismatch");
+  }
+  if (actual.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(actual.size());
+}
+
+}  // namespace larp::ml

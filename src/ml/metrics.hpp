@@ -1,0 +1,46 @@
+// Classification quality metrics for the best-predictor forecasting
+// experiments (§7.1 reports "best predictor forecasting accuracy").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace larp::ml {
+
+/// Square confusion matrix over `classes` labels.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t classes);
+
+  /// Records one (true label, predicted label) pair; throws InvalidArgument
+  /// for out-of-range labels.
+  void add(std::size_t actual, std::size_t predicted);
+
+  [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count(std::size_t actual, std::size_t predicted) const;
+
+  /// Fraction of diagonal entries; 0 when empty.
+  [[nodiscard]] double accuracy() const noexcept;
+
+  /// Per-class recall (diagonal / row sum); 0 for unseen classes.
+  [[nodiscard]] std::vector<double> recall() const;
+
+  /// Per-class precision (diagonal / column sum); 0 for never-predicted ones.
+  [[nodiscard]] std::vector<double> precision() const;
+
+  /// ASCII rendering for reports (rows = actual, columns = predicted).
+  [[nodiscard]] std::string render(const std::vector<std::string>& names) const;
+
+ private:
+  std::size_t classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // row-major classes_ x classes_
+};
+
+/// Accuracy of a predicted label sequence against truth (equal lengths).
+[[nodiscard]] double accuracy(const std::vector<std::size_t>& actual,
+                              const std::vector<std::size_t>& predicted);
+
+}  // namespace larp::ml

@@ -1,0 +1,46 @@
+#include "ml/normalizer.hpp"
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace larp::ml {
+
+void ZScoreNormalizer::fit(std::span<const double> series) {
+  if (series.empty()) throw InvalidArgument("ZScoreNormalizer: empty series");
+  mean_ = stats::mean(series);
+  const double sd = stats::stddev(series);
+  stddev_ = sd > 0.0 ? sd : 1.0;
+  fitted_ = true;
+}
+
+void ZScoreNormalizer::require_fitted() const {
+  if (!fitted_) throw StateError("ZScoreNormalizer: used before fit()");
+}
+
+double ZScoreNormalizer::transform(double x) const {
+  require_fitted();
+  return (x - mean_) / stddev_;
+}
+
+std::vector<double> ZScoreNormalizer::transform(std::span<const double> xs) const {
+  require_fitted();
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back((x - mean_) / stddev_);
+  return out;
+}
+
+double ZScoreNormalizer::inverse(double z) const {
+  require_fitted();
+  return mean_ + z * stddev_;
+}
+
+std::vector<double> ZScoreNormalizer::inverse(std::span<const double> zs) const {
+  require_fitted();
+  std::vector<double> out;
+  out.reserve(zs.size());
+  for (double z : zs) out.push_back(mean_ + z * stddev_);
+  return out;
+}
+
+}  // namespace larp::ml

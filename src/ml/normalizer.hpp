@@ -1,0 +1,42 @@
+// Z-score normalization (paper §5.1/§6): features are scaled to zero mean
+// and unit variance because the metrics under study (CPU percentage,
+// bytes/second, ...) have incomparable units.
+//
+// Coefficients are derived once from the training half and replayed on test
+// data (§6.2), so the normalizer is a fit/transform pair rather than a free
+// function — this is what prevents train/test leakage.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace larp::ml {
+
+class ZScoreNormalizer {
+ public:
+  /// Estimates mean and standard deviation from `series`.
+  /// Throws InvalidArgument for an empty series.  A constant series gets
+  /// stddev 1 so transform() maps it to all-zeros instead of dividing by 0.
+  void fit(std::span<const double> series);
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double stddev() const noexcept { return stddev_; }
+
+  /// (x - mean) / stddev; throws StateError before fit().
+  [[nodiscard]] double transform(double x) const;
+  [[nodiscard]] std::vector<double> transform(std::span<const double> xs) const;
+
+  /// mean + z * stddev.
+  [[nodiscard]] double inverse(double z) const;
+  [[nodiscard]] std::vector<double> inverse(std::span<const double> zs) const;
+
+ private:
+  void require_fitted() const;
+
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace larp::ml

@@ -1,0 +1,118 @@
+#include "ml/pca.hpp"
+
+#include <algorithm>
+
+#include "linalg/covariance.hpp"
+#include "linalg/eigen.hpp"
+#include "util/error.hpp"
+
+namespace larp::ml {
+
+void Pca::fit(const linalg::Matrix& samples, const PcaPolicy& policy) {
+  if (samples.rows() == 0 || samples.cols() == 0) {
+    throw InvalidArgument("Pca::fit: empty sample matrix");
+  }
+  if (policy.fixed_components == 0 &&
+      (policy.min_variance_fraction <= 0.0 || policy.min_variance_fraction > 1.0)) {
+    throw InvalidArgument("Pca::fit: min_variance_fraction outside (0, 1]");
+  }
+
+  dimension_ = samples.cols();
+  means_ = linalg::column_means(samples);
+  const linalg::Matrix cov = linalg::covariance(samples, means_);
+  const auto eig = linalg::eigen_symmetric(cov);
+  eigenvalues_ = eig.values;
+
+  if (policy.fixed_components > 0) {
+    components_ = std::min(policy.fixed_components, dimension_);
+  } else {
+    double total = 0.0;
+    for (double v : eigenvalues_) total += std::max(v, 0.0);
+    components_ = dimension_;
+    if (total > 0.0) {
+      double cumulative = 0.0;
+      for (std::size_t k = 0; k < dimension_; ++k) {
+        cumulative += std::max(eigenvalues_[k], 0.0);
+        if (cumulative / total >= policy.min_variance_fraction) {
+          components_ = k + 1;
+          break;
+        }
+      }
+    } else {
+      components_ = 1;  // zero-variance data: a single constant component
+    }
+  }
+
+  basis_ = linalg::Matrix(dimension_, components_);
+  for (std::size_t c = 0; c < components_; ++c) {
+    for (std::size_t r = 0; r < dimension_; ++r) {
+      basis_(r, c) = eig.vectors(r, c);
+    }
+  }
+  fitted_ = true;
+}
+
+void Pca::require_fitted() const {
+  if (!fitted_) throw StateError("Pca used before fit()");
+}
+
+linalg::Vector Pca::explained_variance_ratio() const {
+  require_fitted();
+  double total = 0.0;
+  for (double v : eigenvalues_) total += std::max(v, 0.0);
+  linalg::Vector ratio(components_, 0.0);
+  if (total > 0.0) {
+    for (std::size_t k = 0; k < components_; ++k) {
+      ratio[k] = std::max(eigenvalues_[k], 0.0) / total;
+    }
+  }
+  return ratio;
+}
+
+linalg::Vector Pca::transform(std::span<const double> sample) const {
+  require_fitted();
+  if (sample.size() != dimension_) {
+    throw InvalidArgument("Pca::transform: sample dimension mismatch");
+  }
+  linalg::Vector reduced(components_, 0.0);
+  for (std::size_t c = 0; c < components_; ++c) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < dimension_; ++r) {
+      acc += (sample[r] - means_[r]) * basis_(r, c);
+    }
+    reduced[c] = acc;
+  }
+  return reduced;
+}
+
+linalg::Matrix Pca::transform(const linalg::Matrix& samples) const {
+  require_fitted();
+  if (samples.cols() != dimension_) {
+    throw InvalidArgument("Pca::transform: sample dimension mismatch");
+  }
+  linalg::Matrix reduced(samples.rows(), components_);
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    const auto projected = transform(samples.row(i));
+    auto out = reduced.row(i);
+    std::copy(projected.begin(), projected.end(), out.begin());
+  }
+  return reduced;
+}
+
+linalg::Vector Pca::inverse_transform(std::span<const double> reduced) const {
+  require_fitted();
+  if (reduced.size() != components_) {
+    throw InvalidArgument("Pca::inverse_transform: dimension mismatch");
+  }
+  linalg::Vector sample(means_.begin(), means_.end());
+  for (std::size_t r = 0; r < dimension_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < components_; ++c) {
+      acc += basis_(r, c) * reduced[c];
+    }
+    sample[r] += acc;
+  }
+  return sample;
+}
+
+}  // namespace larp::ml

@@ -1,0 +1,74 @@
+// Principal Component Analysis (paper §5.2): the linear projection that
+// reduces the classifier's feature space from the window size m to n < m
+// dimensions before the k-NN search.
+//
+// Implementation: center the training windows, form the sample covariance,
+// eigendecompose it with the Jacobi solver, and keep the leading components.
+// Two selection policies mirror the paper: a fixed component count
+// (n = 2 in the paper's implementation) and a minimum fraction of retained
+// variance ("the minimal fraction variance was set to extract exactly two
+// principal components").
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace larp::ml {
+
+/// Component-selection policy.
+struct PcaPolicy {
+  /// Keep exactly this many components when > 0 (clamped to the feature
+  /// dimension); otherwise use min_variance_fraction.
+  std::size_t fixed_components = 2;
+  /// Keep the smallest k whose cumulative explained variance reaches this
+  /// fraction (only when fixed_components == 0).
+  double min_variance_fraction = 0.9;
+};
+
+class Pca {
+ public:
+  /// Learns the projection from training samples (rows = observations).
+  /// Throws InvalidArgument for an empty matrix or a zero policy.
+  void fit(const linalg::Matrix& samples, const PcaPolicy& policy = {});
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  /// Number of retained components n.
+  [[nodiscard]] std::size_t components() const noexcept { return components_; }
+
+  /// Input dimensionality m seen at fit().
+  [[nodiscard]] std::size_t input_dimension() const noexcept { return dimension_; }
+
+  /// Eigenvalues of all m components, descending.
+  [[nodiscard]] const linalg::Vector& eigenvalues() const noexcept {
+    return eigenvalues_;
+  }
+
+  /// Fraction of total variance captured by each retained component.
+  [[nodiscard]] linalg::Vector explained_variance_ratio() const;
+
+  /// Projects one sample (length m) to the reduced space (length n).
+  [[nodiscard]] linalg::Vector transform(std::span<const double> sample) const;
+
+  /// Projects a whole sample matrix.
+  [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& samples) const;
+
+  /// Maps a reduced vector (length n) back to the original space (length m);
+  /// lossy unless n == m.
+  [[nodiscard]] linalg::Vector inverse_transform(
+      std::span<const double> reduced) const;
+
+ private:
+  void require_fitted() const;
+
+  linalg::Vector means_;       // column means used for centering
+  linalg::Matrix basis_;       // m x n, columns are retained eigenvectors
+  linalg::Vector eigenvalues_; // all m eigenvalues, descending
+  std::size_t components_ = 0;
+  std::size_t dimension_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace larp::ml

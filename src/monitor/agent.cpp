@@ -1,0 +1,30 @@
+#include "monitor/agent.hpp"
+
+#include "tracegen/catalog.hpp"
+#include "util/log.hpp"
+
+namespace larp::monitor {
+
+MonitoringAgent::MonitoringAgent(HostServer& host, tsdb::RoundRobinDatabase& db)
+    : host_(&host), db_(&db) {}
+
+Timestamp MonitoringAgent::run(Timestamp start, std::size_t steps, Rng& rng) {
+  const Timestamp step = db_->config().base_step;
+  Timestamp ts = start;
+  for (std::size_t i = 0; i < steps; ++i, ts += step) {
+    const auto observed = host_->step(rng);
+    for (const auto& [vm_id, sample] : observed) {
+      for (const auto& [metric, value] : sample) {
+        const tsdb::SeriesKey key{vm_id, tracegen::device_of_metric(metric),
+                                  metric};
+        db_->update(key, ts, value);
+        ++samples_written_;
+      }
+    }
+  }
+  LARP_LOG_DEBUG("monitor") << "agent wrote " << samples_written_
+                            << " samples up to t=" << ts;
+  return ts;
+}
+
+}  // namespace larp::monitor

@@ -1,0 +1,36 @@
+// MonitoringAgent: the vmkusage stand-in (paper §3.2) — "installed in the
+// VMM", it samples every guest's performance metrics once per minute and
+// stores them in the round-robin performance database, whose 5-minute
+// AVERAGE archive is what the profiler later extracts.
+#pragma once
+
+#include "monitor/host_model.hpp"
+#include "tsdb/rrd.hpp"
+
+namespace larp::monitor {
+
+class MonitoringAgent {
+ public:
+  /// Borrows the host and the database; both must outlive the agent.
+  /// The database's base step defines the sampling interval (one minute in
+  /// the vmkusage configuration).
+  MonitoringAgent(HostServer& host, tsdb::RoundRobinDatabase& db);
+
+  /// Runs the sampling loop for `steps` base-step ticks starting at `start`
+  /// (grid-aligned).  Each tick advances the host model once and writes one
+  /// sample per (guest, metric) stream.  Returns the timestamp one step past
+  /// the last sample, which can be passed back as the next `start`.
+  Timestamp run(Timestamp start, std::size_t steps, Rng& rng);
+
+  /// Samples written so far across all streams.
+  [[nodiscard]] std::size_t samples_written() const noexcept {
+    return samples_written_;
+  }
+
+ private:
+  HostServer* host_;
+  tsdb::RoundRobinDatabase* db_;
+  std::size_t samples_written_ = 0;
+};
+
+}  // namespace larp::monitor

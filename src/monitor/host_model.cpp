@@ -1,0 +1,102 @@
+#include "monitor/host_model.hpp"
+
+#include "tracegen/catalog.hpp"
+#include "util/error.hpp"
+
+namespace larp::monitor {
+
+GuestVm::GuestVm(std::string vm_id) : vm_id_(std::move(vm_id)) {
+  if (vm_id_.empty()) throw InvalidArgument("GuestVm: empty vm id");
+}
+
+void GuestVm::set_metric_model(const std::string& metric,
+                               std::unique_ptr<tracegen::MetricModel> model) {
+  if (!model) throw InvalidArgument("GuestVm: null metric model");
+  models_[metric] = std::move(model);
+}
+
+bool GuestVm::has_metric(const std::string& metric) const noexcept {
+  return models_.contains(metric);
+}
+
+std::vector<std::string> GuestVm::metrics() const {
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [metric, model] : models_) out.push_back(metric);
+  return out;
+}
+
+double GuestVm::sample_demand(const std::string& metric, Rng& rng) {
+  const auto it = models_.find(metric);
+  if (it == models_.end()) {
+    throw NotFound("GuestVm " + vm_id_ + ": no metric " + metric);
+  }
+  return it->second->next(rng);
+}
+
+GuestVm make_catalog_guest(const std::string& vm_id) {
+  GuestVm guest(vm_id);
+  for (const auto& metric : tracegen::paper_metrics()) {
+    guest.set_metric_model(metric, tracegen::make_metric_model(vm_id, metric));
+  }
+  return guest;
+}
+
+HostServer::HostServer(double cpu_capacity) : cpu_capacity_(cpu_capacity) {
+  if (cpu_capacity <= 0.0) {
+    throw InvalidArgument("HostServer: capacity must be positive");
+  }
+}
+
+void HostServer::add_guest(GuestVm guest) {
+  for (const auto& existing : guests_) {
+    if (existing.vm_id() == guest.vm_id()) {
+      throw InvalidArgument("HostServer: duplicate guest " + guest.vm_id());
+    }
+  }
+  guests_.push_back(std::move(guest));
+}
+
+std::map<std::string, MetricSample> HostServer::step(Rng& rng) {
+  std::map<std::string, MetricSample> observed;
+
+  // Pass 1: sample every guest's raw demand for every metric.
+  std::vector<double> cpu_demand(guests_.size(), 0.0);
+  double total_cpu_demand = 0.0;
+  for (std::size_t g = 0; g < guests_.size(); ++g) {
+    GuestVm& guest = guests_[g];
+    MetricSample sample;
+    for (const auto& metric : guest.metrics()) {
+      sample[metric] = guest.sample_demand(metric, rng);
+    }
+    if (const auto it = sample.find("CPU_usedsec"); it != sample.end()) {
+      cpu_demand[g] = it->second;
+      total_cpu_demand += it->second;
+    }
+    observed[guest.vm_id()] = std::move(sample);
+  }
+
+  // Pass 2: apply CPU contention — proportional-share scheduling with the
+  // unmet remainder surfacing as CPU_ready.
+  if (total_cpu_demand > cpu_capacity_ && total_cpu_demand > 0.0) {
+    const double scale = cpu_capacity_ / total_cpu_demand;
+    for (std::size_t g = 0; g < guests_.size(); ++g) {
+      auto& sample = observed[guests_[g].vm_id()];
+      const auto used = sample.find("CPU_usedsec");
+      if (used == sample.end()) continue;
+      const double granted = cpu_demand[g] * scale;
+      const double unmet = cpu_demand[g] - granted;
+      used->second = granted;
+      // Only surface the unmet share on guests that expose a CPU_ready
+      // metric — injecting a new stream sporadically would leave gaps in
+      // downstream sample-per-tick consumers (the RRD rejects gapped
+      // streams).
+      if (const auto ready = sample.find("CPU_ready"); ready != sample.end()) {
+        ready->second += unmet;
+      }
+    }
+  }
+  return observed;
+}
+
+}  // namespace larp::monitor

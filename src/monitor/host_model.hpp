@@ -1,0 +1,77 @@
+// Host/VM contention model: the physical ESX server of the paper's testbed
+// (§7: one Xeon 2.0 GHz host running five guest VMs).
+//
+// Each guest owns a set of per-metric demand models (from tracegen).  The
+// host multiplexes a finite CPU capacity: when the guests' aggregate CPU
+// demand exceeds it, each guest is granted a proportional share and the
+// unmet remainder appears as CPU_Ready — the paper's Table-1 definition:
+// "the percentage of time that the virtual machine was ready but could not
+// get scheduled to run on a physical CPU".  Non-CPU metrics pass through
+// their demand models unchanged (memory/NIC/disk contention is secondary in
+// the paper and its traces).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tracegen/metric_model.hpp"
+
+namespace larp::monitor {
+
+/// One guest VM: identity plus its per-metric demand models.
+class GuestVm {
+ public:
+  explicit GuestVm(std::string vm_id);
+
+  [[nodiscard]] const std::string& vm_id() const noexcept { return vm_id_; }
+
+  /// Registers the demand model for a metric; replaces any previous one.
+  void set_metric_model(const std::string& metric,
+                        std::unique_ptr<tracegen::MetricModel> model);
+
+  [[nodiscard]] bool has_metric(const std::string& metric) const noexcept;
+  [[nodiscard]] std::vector<std::string> metrics() const;
+
+  /// Samples the demand model of a metric; throws NotFound when absent.
+  [[nodiscard]] double sample_demand(const std::string& metric, Rng& rng);
+
+ private:
+  std::string vm_id_;
+  std::map<std::string, std::unique_ptr<tracegen::MetricModel>> models_;
+};
+
+/// Builds a guest with the full paper metric suite from the trace catalog.
+[[nodiscard]] GuestVm make_catalog_guest(const std::string& vm_id);
+
+/// One sampling step's worth of observed metrics for one guest.
+using MetricSample = std::map<std::string, double>;
+
+class HostServer {
+ public:
+  /// `cpu_capacity` is the total schedulable CPU in the same units as the
+  /// guests' CPU_usedsec demand (percent; 100 = one fully used core).
+  explicit HostServer(double cpu_capacity = 100.0);
+
+  /// Takes ownership of a guest.  Guest ids must be unique.
+  void add_guest(GuestVm guest);
+
+  [[nodiscard]] std::size_t guest_count() const noexcept { return guests_.size(); }
+  [[nodiscard]] const std::vector<GuestVm>& guests() const noexcept {
+    return guests_;
+  }
+  [[nodiscard]] double cpu_capacity() const noexcept { return cpu_capacity_; }
+
+  /// Advances every guest one base step and returns the metrics the VMM
+  /// layer observes, per guest id — with CPU contention applied:
+  ///   CPU_usedsec <- granted share, CPU_ready <- own unmet demand plus the
+  ///   guest's intrinsic ready noise.
+  [[nodiscard]] std::map<std::string, MetricSample> step(Rng& rng);
+
+ private:
+  double cpu_capacity_;
+  std::vector<GuestVm> guests_;
+};
+
+}  // namespace larp::monitor

@@ -1,0 +1,80 @@
+#include "predictors/adaptive_window.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace larp::predictors {
+
+AdaptiveWindowBase::AdaptiveWindowBase(std::size_t max_window) {
+  if (max_window == 0) {
+    throw InvalidArgument("AdaptiveWindow: max_window must be positive");
+  }
+  for (std::size_t w = 1; w <= max_window; w *= 2) candidates_.push_back(w);
+  errors_.assign(candidates_.size(), stats::RunningMse{});
+}
+
+void AdaptiveWindowBase::reset() {
+  for (auto& e : errors_) e.reset();
+  history_.clear();
+}
+
+void AdaptiveWindowBase::observe(double value) {
+  // Score every candidate against the value that just materialized, using
+  // the history available *before* this observation.
+  if (!history_.empty()) {
+    const std::span<const double> past(history_);
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      const std::size_t length = std::min(candidates_[i], past.size());
+      const double forecast = window_statistic(past, length);
+      errors_[i].add(forecast, value);
+    }
+  }
+  history_.push_back(value);
+  // Bound memory: only the largest candidate's worth of history is needed.
+  const std::size_t cap = candidates_.back();
+  if (history_.size() > cap) {
+    history_.erase(history_.begin(),
+                   history_.end() - static_cast<std::ptrdiff_t>(cap));
+  }
+}
+
+std::size_t AdaptiveWindowBase::best_window() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates_.size(); ++i) {
+    // Unscored candidates (count 0) lose to any scored one; among equals the
+    // shorter window wins to favour responsiveness.
+    const bool scored = errors_[i].count() > 0;
+    const bool best_scored = errors_[best].count() > 0;
+    if (scored && (!best_scored || errors_[i].value() < errors_[best].value())) {
+      best = i;
+    }
+  }
+  return candidates_[best];
+}
+
+double AdaptiveWindowBase::predict(std::span<const double> window) const {
+  require_window(window, 1);
+  const std::size_t length = std::min(best_window(), window.size());
+  return window_statistic(window, length);
+}
+
+double AdaptiveMean::window_statistic(std::span<const double> window,
+                                      std::size_t length) const {
+  return stats::mean(window.subspan(window.size() - length, length));
+}
+
+std::unique_ptr<Predictor> AdaptiveMean::clone() const {
+  return std::make_unique<AdaptiveMean>(*this);
+}
+
+double AdaptiveMedian::window_statistic(std::span<const double> window,
+                                        std::size_t length) const {
+  return stats::median(window.subspan(window.size() - length, length));
+}
+
+std::unique_ptr<Predictor> AdaptiveMedian::clone() const {
+  return std::make_unique<AdaptiveMedian>(*this);
+}
+
+}  // namespace larp::predictors

@@ -1,0 +1,68 @@
+// Adaptive-window forecasters from the NWS battery (extension pool).
+//
+// Each model maintains a ladder of candidate window lengths (1, 2, 4, ...)
+// and a running MSE per candidate, fed through observe().  predict() uses
+// the candidate that has accumulated the lowest error so far — a per-model
+// miniature of the mix-of-experts idea, operating over window lengths
+// instead of model families.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "predictors/predictor.hpp"
+#include "util/stats.hpp"
+
+namespace larp::predictors {
+
+/// Shared machinery for the mean/median variants.
+class AdaptiveWindowBase : public Predictor {
+ public:
+  /// Candidate window lengths are 1,2,4,... capped at `max_window` (>= 1).
+  explicit AdaptiveWindowBase(std::size_t max_window);
+
+  void reset() override;
+  void observe(double value) override;
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::size_t min_history() const override { return 1; }
+
+  /// Currently best candidate length (exposed for tests/diagnostics).
+  [[nodiscard]] std::size_t best_window() const noexcept;
+
+ protected:
+  /// Statistic over the last `length` values of `window` (length is clamped
+  /// to the window size by the caller).
+  [[nodiscard]] virtual double window_statistic(std::span<const double> window,
+                                                std::size_t length) const = 0;
+
+ private:
+  std::vector<std::size_t> candidates_;
+  std::vector<stats::RunningMse> errors_;
+  std::vector<double> history_;  // values seen through observe()
+};
+
+class AdaptiveMean final : public AdaptiveWindowBase {
+ public:
+  explicit AdaptiveMean(std::size_t max_window = 32)
+      : AdaptiveWindowBase(max_window) {}
+  [[nodiscard]] std::string name() const override { return "ADAPT_AVG"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
+
+ protected:
+  [[nodiscard]] double window_statistic(std::span<const double> window,
+                                        std::size_t length) const override;
+};
+
+class AdaptiveMedian final : public AdaptiveWindowBase {
+ public:
+  explicit AdaptiveMedian(std::size_t max_window = 32)
+      : AdaptiveWindowBase(max_window) {}
+  [[nodiscard]] std::string name() const override { return "ADAPT_MEDIAN"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
+
+ protected:
+  [[nodiscard]] double window_statistic(std::span<const double> window,
+                                        std::size_t length) const override;
+};
+
+}  // namespace larp::predictors

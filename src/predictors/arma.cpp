@@ -1,0 +1,135 @@
+#include "predictors/arma.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "linalg/lstsq.hpp"
+#include "linalg/toeplitz.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace larp::predictors {
+
+Arma::Arma(std::size_t ar_order, std::size_t ma_order)
+    : p_(ar_order), q_(ma_order) {
+  if (q_ == 0) {
+    throw InvalidArgument("Arma: for q = 0 use the Autoregressive class");
+  }
+}
+
+std::string Arma::name() const {
+  std::ostringstream os;
+  if (p_ == 0) {
+    os << "MA(" << q_ << ')';
+  } else {
+    os << "ARMA(" << p_ << ',' << q_ << ')';
+  }
+  return os.str();
+}
+
+std::size_t Arma::min_history() const { return std::max<std::size_t>(p_, 1); }
+
+void Arma::fit(std::span<const double> series) {
+  const std::size_t min_points = 4 * (p_ + q_) + 32;
+  if (series.size() < min_points) {
+    throw InvalidArgument("Arma::fit: series shorter than " +
+                          std::to_string(min_points) + " points");
+  }
+  mean_ = stats::mean(series);
+
+  // Stage 1: long AR proxy for the innovations.
+  const std::size_t long_order =
+      std::min<std::size_t>(std::max<std::size_t>(20, 2 * (p_ + q_)),
+                            series.size() / 4);
+  std::vector<double> centered(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) centered[i] = series[i] - mean_;
+
+  std::vector<double> residuals(series.size(), 0.0);
+  if (stats::variance(series) == 0.0) {
+    // Constant series: zero innovations, zero coefficients.
+    phi_.assign(p_, 0.0);
+    theta_.assign(q_, 0.0);
+    fitted_ = true;
+    reset();
+    return;
+  }
+  const auto long_ar = linalg::yule_walker(centered, long_order);
+  for (std::size_t t = long_order; t < centered.size(); ++t) {
+    double forecast = 0.0;
+    for (std::size_t i = 0; i < long_order; ++i) {
+      forecast += long_ar.coefficients[i] * centered[t - 1 - i];
+    }
+    residuals[t] = centered[t] - forecast;
+  }
+
+  // Stage 2: regress Z_t on (Z_{t-1..t-p}, e_{t-1..t-q}).
+  const std::size_t start = long_order + std::max(p_, q_);
+  const std::size_t rows = centered.size() - start;
+  const std::size_t cols = p_ + q_;
+  linalg::Matrix design(rows, cols);
+  linalg::Vector target(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t t = start + r;
+    auto row = design.row(r);
+    for (std::size_t i = 0; i < p_; ++i) row[i] = centered[t - 1 - i];
+    for (std::size_t j = 0; j < q_; ++j) row[p_ + j] = residuals[t - 1 - j];
+    target[r] = centered[t];
+  }
+  const auto coefficients = linalg::solve_least_squares(design, target);
+  phi_.assign(coefficients.begin(), coefficients.begin() + p_);
+  theta_.assign(coefficients.begin() + p_, coefficients.end());
+  fitted_ = true;
+  reset();
+}
+
+void Arma::reset() {
+  innovations_.assign(q_, 0.0);
+  history_.clear();
+}
+
+double Arma::forecast_from(std::span<const double> window) const {
+  double forecast = 0.0;
+  const std::size_t last = window.size() - 1;
+  for (std::size_t i = 0; i < p_ && i < window.size(); ++i) {
+    forecast += phi_[i] * (window[last - i] - mean_);
+  }
+  for (std::size_t j = 0; j < q_; ++j) {
+    forecast += theta_[j] * innovations_[j];
+  }
+  return mean_ + forecast;
+}
+
+double Arma::predict(std::span<const double> window) const {
+  if (!fitted_) throw StateError("Arma: predict() before fit()");
+  require_window(window, min_history());
+  return forecast_from(window);
+}
+
+void Arma::observe(double value) {
+  if (!fitted_) return;  // pre-training observations carry no innovations
+  // Exact innovation: the surprise relative to the forecast this model
+  // implied for the current step, reconstructed from its own history (it
+  // may not have been asked to predict() this step).
+  double innovation;
+  if (history_.size() >= p_) {
+    innovation = value - forecast_from(history_);
+  } else {
+    innovation = value - mean_;  // warm-up before p values are seen
+  }
+  innovations_.insert(innovations_.begin(), innovation);
+  innovations_.resize(q_);
+  history_.push_back(value);
+  if (history_.size() > std::max<std::size_t>(p_, 1)) {
+    history_.erase(history_.begin());
+  }
+}
+
+std::unique_ptr<Predictor> Arma::clone() const {
+  return std::make_unique<Arma>(*this);
+}
+
+std::unique_ptr<Arma> make_moving_average(std::size_t ma_order) {
+  return std::make_unique<Arma>(0, ma_order);
+}
+
+}  // namespace larp::predictors

@@ -1,0 +1,76 @@
+// ARMA(p,q) and MA(q) predictors — the "more sophisticated prediction
+// models ... studied in [7]" (Dinda's host-load battery) that the paper's
+// §8 plans to add to the pool (extension members).
+//
+// Fitting uses the Hannan–Rissanen two-stage method, which stays within the
+// library's linear-algebra substrate:
+//   1. fit a long AR(L) by Yule–Walker and compute its residuals — a proxy
+//      for the unobserved innovation series;
+//   2. least-squares regress Z_t on (Z_{t-1..t-p}, e_{t-1..t-q}).
+//
+// Prediction is stateful: observe() maintains the recent innovation
+// estimates e_t = z_t - forecast_t, so the model must be driven through the
+// standard predict/observe walk (which every pipeline in this library does).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "predictors/predictor.hpp"
+
+namespace larp::predictors {
+
+class Arma final : public Predictor {
+ public:
+  /// AR order p >= 0 and MA order q >= 1 with p + q >= 1.
+  /// (For a pure AR model use the Autoregressive class, whose Yule–Walker
+  /// fit is the paper's choice.)
+  Arma(std::size_t ar_order, std::size_t ma_order);
+
+  [[nodiscard]] std::string name() const override;
+
+  /// Hannan–Rissanen fit; requires a series comfortably longer than the
+  /// long-AR stage (>= 4 * (p + q) + 32 points).
+  void fit(std::span<const double> training_series) override;
+
+  void reset() override;
+  void observe(double value) override;
+
+  /// Forecast from the last p window values and the q most recent innovation
+  /// estimates.  Throws StateError before fit().
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+
+  [[nodiscard]] std::size_t min_history() const override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
+
+  [[nodiscard]] const std::vector<double>& ar_coefficients() const noexcept {
+    return phi_;
+  }
+  [[nodiscard]] const std::vector<double>& ma_coefficients() const noexcept {
+    return theta_;
+  }
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+ private:
+  [[nodiscard]] double forecast_from(std::span<const double> window) const;
+
+  std::size_t p_;
+  std::size_t q_;
+  std::vector<double> phi_;     // AR part, phi_[i] multiplies Z_{t-1-i}
+  std::vector<double> theta_;   // MA part, theta_[j] multiplies e_{t-1-j}
+  double mean_ = 0.0;
+  bool fitted_ = false;
+
+  // Online state: innovation estimates (most recent first) and the last p
+  // observed values (most recent last), so observe() can compute the exact
+  // one-step forecast the model had implied and turn the realized value into
+  // an innovation — independent of whether predict() was called this step
+  // (in deployment only the selected expert runs).
+  std::vector<double> innovations_;
+  std::vector<double> history_;
+};
+
+/// Convenience: MA(q) is ARMA(0, q).
+[[nodiscard]] std::unique_ptr<Arma> make_moving_average(std::size_t ma_order);
+
+}  // namespace larp::predictors

@@ -1,0 +1,39 @@
+#include "predictors/autoregressive.hpp"
+
+#include "linalg/toeplitz.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace larp::predictors {
+
+Autoregressive::Autoregressive(std::size_t order) : order_(order) {
+  if (order == 0) throw InvalidArgument("AR: order must be positive");
+}
+
+void Autoregressive::fit(std::span<const double> training_series) {
+  const auto solution = linalg::yule_walker(training_series, order_);
+  coefficients_ = solution.coefficients;
+  innovation_variance_ = solution.innovation_variance;
+  mean_ = stats::mean(training_series);
+  fitted_ = true;
+}
+
+double Autoregressive::predict(std::span<const double> window) const {
+  if (!fitted_) throw StateError("AR: predict() before fit()");
+  require_window(window, order_);
+  // coefficients_[i] multiplies Z_{t-1-i}; window.back() is Z_{t-1}.
+  // The AR model is fitted on the mean-removed series, so forecast in
+  // deviations around the training mean (the mean is ~0 for normalized data).
+  double forecast = 0.0;
+  const std::size_t last = window.size() - 1;
+  for (std::size_t i = 0; i < order_; ++i) {
+    forecast += coefficients_[i] * (window[last - i] - mean_);
+  }
+  return mean_ + forecast;
+}
+
+std::unique_ptr<Predictor> Autoregressive::clone() const {
+  return std::make_unique<Autoregressive>(*this);
+}
+
+}  // namespace larp::predictors

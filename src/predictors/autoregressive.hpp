@@ -1,0 +1,56 @@
+// AR(p) model (paper §4, eq. 4) fitted with the Yule–Walker equations.
+//
+// The forecast is a linear combination of the p most recent values,
+//   Z_t = psi_1 Z_{t-1} + ... + psi_p Z_{t-p},
+// with coefficients estimated from the training series' autocorrelation via
+// the Levinson–Durbin recursion (src/linalg/toeplitz).  Because the pipeline
+// normalizes series to zero mean (§6), no intercept term is needed; for
+// un-normalized input the fitted training mean is used as the intercept.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "predictors/predictor.hpp"
+
+namespace larp::predictors {
+
+class Autoregressive final : public Predictor {
+ public:
+  /// AR order p; the paper uses p equal to the prediction window m
+  /// ("prediction order = 16" in Table 2).
+  explicit Autoregressive(std::size_t order);
+
+  [[nodiscard]] std::string name() const override { return "AR"; }
+
+  /// Estimates psi_1..psi_p via Yule–Walker on the training series.
+  /// Throws InvalidArgument when the series has fewer than order+1 points.
+  void fit(std::span<const double> training_series) override;
+
+  /// Applies the fitted coefficients to the last p window values.
+  /// Throws StateError before fit().
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+
+  [[nodiscard]] std::size_t min_history() const override { return order_; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
+
+  [[nodiscard]] std::size_t order() const noexcept { return order_; }
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  /// psi_1..psi_p after fit(); coefficient i multiplies Z_{t-1-i}.
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coefficients_;
+  }
+  /// Innovation variance reported by the Levinson–Durbin recursion.
+  [[nodiscard]] double innovation_variance() const noexcept {
+    return innovation_variance_;
+  }
+
+ private:
+  std::size_t order_;
+  std::vector<double> coefficients_;
+  double mean_ = 0.0;
+  double innovation_variance_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace larp::predictors

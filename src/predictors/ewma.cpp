@@ -1,0 +1,52 @@
+#include "predictors/ewma.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace larp::predictors {
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw InvalidArgument("EWMA: alpha must be in (0, 1]");
+  }
+}
+
+std::string Ewma::name() const {
+  std::ostringstream os;
+  os << "EWMA(" << alpha_ << ')';
+  return os.str();
+}
+
+void Ewma::reset() {
+  state_ = 0.0;
+  primed_ = false;
+}
+
+void Ewma::observe(double value) {
+  if (!primed_) {
+    state_ = value;
+    primed_ = true;
+  } else {
+    state_ = alpha_ * value + (1.0 - alpha_) * state_;
+  }
+}
+
+double Ewma::window_ewma(std::span<const double> window) const {
+  double s = window.front();
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    s = alpha_ * window[i] + (1.0 - alpha_) * s;
+  }
+  return s;
+}
+
+double Ewma::predict(std::span<const double> window) const {
+  require_window(window, 1);
+  return primed_ ? state_ : window_ewma(window);
+}
+
+std::unique_ptr<Predictor> Ewma::clone() const {
+  return std::make_unique<Ewma>(*this);
+}
+
+}  // namespace larp::predictors

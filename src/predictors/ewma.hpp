@@ -1,0 +1,33 @@
+// EWMA: exponentially weighted moving average (NWS forecaster battery;
+// extension pool member).  s_t = alpha*z_t + (1-alpha)*s_{t-1}; the forecast
+// is the current smoothed state.  Small alpha behaves like a long average,
+// large alpha approaches LAST.
+#pragma once
+
+#include "predictors/predictor.hpp"
+
+namespace larp::predictors {
+
+class Ewma final : public Predictor {
+ public:
+  /// alpha in (0, 1]; throws InvalidArgument otherwise.
+  explicit Ewma(double alpha);
+
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+  void observe(double value) override;
+  /// Smoothed state; before the first observation, the EWMA of the window.
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  [[nodiscard]] double window_ewma(std::span<const double> window) const;
+
+  double alpha_;
+  double state_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace larp::predictors

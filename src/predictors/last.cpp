@@ -1,0 +1,14 @@
+#include "predictors/last.hpp"
+
+namespace larp::predictors {
+
+double LastValue::predict(std::span<const double> window) const {
+  require_window(window, 1);
+  return window.back();
+}
+
+std::unique_ptr<Predictor> LastValue::clone() const {
+  return std::make_unique<LastValue>(*this);
+}
+
+}  // namespace larp::predictors

@@ -1,0 +1,16 @@
+// LAST model (paper §4, eq. 2): predicts the next value to equal the most
+// recent observation.  Works best on smooth, strongly autocorrelated traces.
+#pragma once
+
+#include "predictors/predictor.hpp"
+
+namespace larp::predictors {
+
+class LastValue final : public Predictor {
+ public:
+  [[nodiscard]] std::string name() const override { return "LAST"; }
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
+};
+
+}  // namespace larp::predictors

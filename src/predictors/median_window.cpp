@@ -1,0 +1,57 @@
+#include "predictors/median_window.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace larp::predictors {
+
+MedianWindow::MedianWindow(std::size_t window_size) : window_size_(window_size) {}
+
+double MedianWindow::predict(std::span<const double> window) const {
+  require_window(window, min_history());
+  const std::size_t take =
+      window_size_ == 0 ? window.size() : std::min(window_size_, window.size());
+  return stats::median(window.subspan(window.size() - take, take));
+}
+
+std::size_t MedianWindow::min_history() const {
+  return window_size_ == 0 ? 1 : window_size_;
+}
+
+std::unique_ptr<Predictor> MedianWindow::clone() const {
+  return std::make_unique<MedianWindow>(*this);
+}
+
+TrimmedMeanWindow::TrimmedMeanWindow(double trim_fraction, std::size_t window_size)
+    : trim_fraction_(trim_fraction), window_size_(window_size) {
+  if (trim_fraction < 0.0 || trim_fraction >= 0.5) {
+    throw InvalidArgument("TrimmedMeanWindow: trim fraction outside [0, 0.5)");
+  }
+}
+
+std::string TrimmedMeanWindow::name() const {
+  std::ostringstream os;
+  os << "TRIM_MEAN(" << trim_fraction_ << ')';
+  return os.str();
+}
+
+double TrimmedMeanWindow::predict(std::span<const double> window) const {
+  require_window(window, min_history());
+  const std::size_t take =
+      window_size_ == 0 ? window.size() : std::min(window_size_, window.size());
+  return stats::trimmed_mean(window.subspan(window.size() - take, take),
+                             trim_fraction_);
+}
+
+std::size_t TrimmedMeanWindow::min_history() const {
+  return window_size_ == 0 ? 1 : window_size_;
+}
+
+std::unique_ptr<Predictor> TrimmedMeanWindow::clone() const {
+  return std::make_unique<TrimmedMeanWindow>(*this);
+}
+
+}  // namespace larp::predictors

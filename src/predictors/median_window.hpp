@@ -1,0 +1,45 @@
+// Robust window statistics from the NWS forecaster battery (extension pool):
+//  * MedianWindow — forecast = median of the last w values; immune to the
+//    spikes that wreck SW_AVG on bursty network traces;
+//  * TrimmedMeanWindow — forecast = mean after trimming a fraction from each
+//    tail; a compromise between mean and median.
+#pragma once
+
+#include <cstddef>
+
+#include "predictors/predictor.hpp"
+
+namespace larp::predictors {
+
+class MedianWindow final : public Predictor {
+ public:
+  /// Median over the last `window_size` values; 0 = whole predict() window.
+  explicit MedianWindow(std::size_t window_size = 0);
+
+  [[nodiscard]] std::string name() const override { return "MEDIAN"; }
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::size_t min_history() const override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
+
+ private:
+  std::size_t window_size_;
+};
+
+class TrimmedMeanWindow final : public Predictor {
+ public:
+  /// Trims `trim_fraction` (in [0, 0.5)) from each tail before averaging the
+  /// last `window_size` values (0 = whole window).
+  explicit TrimmedMeanWindow(double trim_fraction = 0.25,
+                             std::size_t window_size = 0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::size_t min_history() const override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
+
+ private:
+  double trim_fraction_;
+  std::size_t window_size_;
+};
+
+}  // namespace larp::predictors

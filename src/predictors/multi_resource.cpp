@@ -1,0 +1,84 @@
+#include "predictors/multi_resource.hpp"
+
+#include "linalg/lstsq.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace larp::predictors {
+
+MultiResourcePredictor::MultiResourcePredictor(std::size_t order)
+    : order_(order) {
+  if (order == 0) {
+    throw InvalidArgument("MultiResourcePredictor: order must be positive");
+  }
+}
+
+void MultiResourcePredictor::fit(std::span<const double> primary,
+                                 std::span<const double> auxiliary) {
+  if (primary.size() != auxiliary.size()) {
+    throw InvalidArgument("MultiResourcePredictor: series lengths differ");
+  }
+  const std::size_t min_points = 3 * order_ + 8;
+  if (primary.size() < min_points) {
+    throw InvalidArgument("MultiResourcePredictor: need at least " +
+                          std::to_string(min_points) + " aligned points");
+  }
+
+  const std::size_t rows = primary.size() - order_;
+  const std::size_t cols = 2 * order_ + 1;  // primary lags, aux lags, intercept
+  linalg::Matrix design(rows, cols);
+  linalg::Vector target(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t t = r + order_;
+    auto row = design.row(r);
+    for (std::size_t i = 0; i < order_; ++i) row[i] = primary[t - 1 - i];
+    for (std::size_t j = 0; j < order_; ++j) {
+      row[order_ + j] = auxiliary[t - 1 - j];
+    }
+    row[2 * order_] = 1.0;
+    target[r] = primary[t];
+  }
+
+  const auto coefficients = linalg::solve_least_squares(design, target);
+  a_.assign(coefficients.begin(), coefficients.begin() + order_);
+  b_.assign(coefficients.begin() + order_, coefficients.begin() + 2 * order_);
+  intercept_ = coefficients[2 * order_];
+  fitted_ = true;
+}
+
+double MultiResourcePredictor::predict(
+    std::span<const double> primary_window,
+    std::span<const double> auxiliary_window) const {
+  if (!fitted_) throw StateError("MultiResourcePredictor: predict before fit");
+  if (primary_window.size() < order_ || auxiliary_window.size() < order_) {
+    throw InvalidArgument("MultiResourcePredictor: windows shorter than order");
+  }
+  double forecast = intercept_;
+  const std::size_t lastp = primary_window.size() - 1;
+  const std::size_t lasta = auxiliary_window.size() - 1;
+  for (std::size_t i = 0; i < order_; ++i) {
+    forecast += a_[i] * primary_window[lastp - i];
+    forecast += b_[i] * auxiliary_window[lasta - i];
+  }
+  return forecast;
+}
+
+double MultiResourcePredictor::walk_mse(std::span<const double> primary,
+                                        std::span<const double> auxiliary) const {
+  if (!fitted_) throw StateError("MultiResourcePredictor: walk before fit");
+  if (primary.size() != auxiliary.size()) {
+    throw InvalidArgument("MultiResourcePredictor: series lengths differ");
+  }
+  if (primary.size() <= order_) {
+    throw InvalidArgument("MultiResourcePredictor: series shorter than order+1");
+  }
+  stats::RunningMse mse;
+  for (std::size_t t = order_; t < primary.size(); ++t) {
+    const double forecast = predict(primary.subspan(t - order_, order_),
+                                    auxiliary.subspan(t - order_, order_));
+    mse.add(forecast, primary[t]);
+  }
+  return mse.value();
+}
+
+}  // namespace larp::predictors

@@ -1,0 +1,66 @@
+// Multi-resource predictor after Liang, Nahrstedt & Zhou (CCGrid'04), the
+// related-work model the paper discusses in §2: "uses both the
+// autocorrelation of the CPU load and the cross correlation between the CPU
+// load and free memory to achieve higher CPU load prediction accuracy".
+//
+// The model is a two-series vector-autoregression slice: the primary
+// resource's next value is a linear function of the last p primary values
+// AND the last p auxiliary-resource values,
+//   Z^prim_t = sum_i a_i Z^prim_{t-i} + sum_j b_j Z^aux_{t-j} + c,
+// fitted by least squares on aligned training series.  When the auxiliary
+// resource genuinely co-varies with the primary (e.g. memory pressure
+// preceding CPU stalls), the cross terms cut the innovation variance below
+// what any univariate model of the primary can reach.
+//
+// The model is intentionally outside the univariate Predictor interface —
+// it consumes two aligned series — and ships with its own evaluation helper
+// (bench_multi_resource compares it against the univariate AR on coupled
+// and uncoupled trace pairs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace larp::predictors {
+
+class MultiResourcePredictor {
+ public:
+  /// Order p >= 1: how many lags of each series enter the regression.
+  explicit MultiResourcePredictor(std::size_t order);
+
+  /// Fits the cross-regression on two aligned series of equal length
+  /// (> 3*order + 8 points).  Throws InvalidArgument on misuse.
+  void fit(std::span<const double> primary, std::span<const double> auxiliary);
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] std::size_t order() const noexcept { return order_; }
+
+  /// Coefficients on the primary lags (index i multiplies Z^prim_{t-1-i}).
+  [[nodiscard]] const std::vector<double>& primary_coefficients() const noexcept {
+    return a_;
+  }
+  /// Coefficients on the auxiliary lags.
+  [[nodiscard]] const std::vector<double>& auxiliary_coefficients() const noexcept {
+    return b_;
+  }
+
+  /// One-step forecast of the primary from the two most recent windows
+  /// (each at least `order` long, most recent value last).
+  [[nodiscard]] double predict(std::span<const double> primary_window,
+                               std::span<const double> auxiliary_window) const;
+
+  /// Convenience evaluation: walks the aligned test series and returns the
+  /// one-step MSE of the fitted model.
+  [[nodiscard]] double walk_mse(std::span<const double> primary,
+                                std::span<const double> auxiliary) const;
+
+ private:
+  std::size_t order_;
+  std::vector<double> a_;  // primary lags
+  std::vector<double> b_;  // auxiliary lags
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace larp::predictors

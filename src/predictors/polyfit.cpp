@@ -1,0 +1,106 @@
+#include "predictors/polyfit.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace larp::predictors {
+
+namespace {
+
+// Solves the small dense normal-equation system A x = b in place via
+// Gaussian elimination with partial pivoting.  The Vandermonde normal matrix
+// for degree <= 3 over a handful of points is tiny and well within double
+// precision once the abscissa is kept near the origin.
+std::vector<double> solve_dense(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) {
+      throw NumericalError("PolynomialFit: singular normal equations");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a[i][c] * x[c];
+    x[i] = acc / a[i][i];
+  }
+  return x;
+}
+
+}  // namespace
+
+PolynomialFit::PolynomialFit(std::size_t degree, std::size_t fit_points)
+    : degree_(degree), fit_points_(fit_points) {
+  if (degree == 0) throw InvalidArgument("PolynomialFit: degree must be >= 1");
+  if (fit_points != 0 && fit_points < degree + 1) {
+    throw InvalidArgument("PolynomialFit: need at least degree+1 fit points");
+  }
+}
+
+std::string PolynomialFit::name() const {
+  std::ostringstream os;
+  os << "POLY_FIT(d" << degree_ << ')';
+  return os.str();
+}
+
+std::size_t PolynomialFit::min_history() const {
+  return fit_points_ == 0 ? degree_ + 1 : fit_points_;
+}
+
+double PolynomialFit::predict(std::span<const double> window) const {
+  require_window(window, min_history());
+  const std::size_t take =
+      fit_points_ == 0 ? window.size() : std::min(fit_points_, window.size());
+  const auto points = window.subspan(window.size() - take, take);
+  const std::size_t terms = degree_ + 1;
+
+  // Normal equations for least-squares fit of y_i over x_i = i.
+  std::vector<double> power_sums(2 * degree_ + 1, 0.0);
+  std::vector<double> rhs(terms, 0.0);
+  for (std::size_t i = 0; i < take; ++i) {
+    const double x = static_cast<double>(i);
+    double xp = 1.0;
+    for (std::size_t p = 0; p < power_sums.size(); ++p) {
+      power_sums[p] += xp;
+      if (p < terms) rhs[p] += xp * points[i];
+      xp *= x;
+    }
+  }
+  std::vector<std::vector<double>> normal(terms, std::vector<double>(terms, 0.0));
+  for (std::size_t r = 0; r < terms; ++r) {
+    for (std::size_t c = 0; c < terms; ++c) normal[r][c] = power_sums[r + c];
+  }
+  const auto coeffs = solve_dense(std::move(normal), std::move(rhs));
+
+  // Evaluate one step beyond the window: x = take.
+  const double x_next = static_cast<double>(take);
+  double forecast = 0.0;
+  double xp = 1.0;
+  for (std::size_t p = 0; p < terms; ++p) {
+    forecast += coeffs[p] * xp;
+    xp *= x_next;
+  }
+  return forecast;
+}
+
+std::unique_ptr<Predictor> PolynomialFit::clone() const {
+  return std::make_unique<PolynomialFit>(*this);
+}
+
+}  // namespace larp::predictors

@@ -1,0 +1,33 @@
+// Polynomial-fit predictor after Zhang, Sun & Inoguchi (CCGrid'06), cited
+// as [35] in the paper (extension pool member).
+//
+// A least-squares polynomial of the given degree is fitted to the last
+// `fit_points` window values (abscissa 0..fit_points-1) and evaluated one
+// step past the window.  Degree 1 recovers a local linear trend; degree 2
+// captures curvature several steps backward, which is the CCGrid'06
+// refinement of the tendency model.
+#pragma once
+
+#include <cstddef>
+
+#include "predictors/predictor.hpp"
+
+namespace larp::predictors {
+
+class PolynomialFit final : public Predictor {
+ public:
+  /// degree >= 1; fit_points 0 means "use the whole window", otherwise at
+  /// least degree+1 points are required.
+  explicit PolynomialFit(std::size_t degree = 2, std::size_t fit_points = 0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::size_t min_history() const override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
+
+ private:
+  std::size_t degree_;
+  std::size_t fit_points_;
+};
+
+}  // namespace larp::predictors

@@ -1,0 +1,116 @@
+#include "predictors/pool.hpp"
+
+#include <algorithm>
+
+#include "predictors/adaptive_window.hpp"
+#include "predictors/arma.hpp"
+#include "predictors/autoregressive.hpp"
+#include "predictors/ewma.hpp"
+#include "predictors/last.hpp"
+#include "predictors/median_window.hpp"
+#include "predictors/polyfit.hpp"
+#include "predictors/running_mean.hpp"
+#include "predictors/sliding_window_average.hpp"
+#include "predictors/tendency.hpp"
+#include "util/error.hpp"
+
+namespace larp::predictors {
+
+std::size_t PredictorPool::add(std::unique_ptr<Predictor> predictor) {
+  if (!predictor) throw InvalidArgument("PredictorPool::add: null predictor");
+  names_.push_back(predictor->name());
+  members_.push_back(std::move(predictor));
+  return members_.size() - 1;
+}
+
+Predictor& PredictorPool::at(std::size_t label) {
+  if (label >= members_.size()) {
+    throw InvalidArgument("PredictorPool::at: label out of range");
+  }
+  return *members_[label];
+}
+
+const Predictor& PredictorPool::at(std::size_t label) const {
+  if (label >= members_.size()) {
+    throw InvalidArgument("PredictorPool::at: label out of range");
+  }
+  return *members_[label];
+}
+
+const std::string& PredictorPool::name(std::size_t label) const {
+  if (label >= names_.size()) {
+    throw InvalidArgument("PredictorPool::name: label out of range");
+  }
+  return names_[label];
+}
+
+std::vector<std::string> PredictorPool::names() const { return names_; }
+
+std::size_t PredictorPool::label_of(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) {
+    throw NotFound("PredictorPool: no member named '" + name + "'");
+  }
+  return static_cast<std::size_t>(it - names_.begin());
+}
+
+std::size_t PredictorPool::min_history() const noexcept {
+  std::size_t required = 1;
+  for (const auto& member : members_) {
+    required = std::max(required, member->min_history());
+  }
+  return required;
+}
+
+void PredictorPool::fit_all(std::span<const double> training_series) {
+  for (auto& member : members_) member->fit(training_series);
+}
+
+void PredictorPool::reset_all() {
+  for (auto& member : members_) member->reset();
+}
+
+void PredictorPool::observe_all(double value) {
+  for (auto& member : members_) member->observe(value);
+}
+
+std::vector<double> PredictorPool::predict_all(
+    std::span<const double> window) const {
+  std::vector<double> forecasts;
+  forecasts.reserve(members_.size());
+  for (const auto& member : members_) {
+    forecasts.push_back(member->predict(window));
+  }
+  return forecasts;
+}
+
+PredictorPool PredictorPool::clone() const {
+  PredictorPool copy;
+  for (const auto& member : members_) copy.add(member->clone());
+  return copy;
+}
+
+PredictorPool make_paper_pool(std::size_t ar_order) {
+  PredictorPool pool;
+  pool.add(std::make_unique<LastValue>());
+  pool.add(std::make_unique<Autoregressive>(ar_order));
+  pool.add(std::make_unique<SlidingWindowAverage>());
+  return pool;
+}
+
+PredictorPool make_extended_pool(std::size_t ar_order) {
+  PredictorPool pool = make_paper_pool(ar_order);
+  pool.add(std::make_unique<Ewma>(0.2));
+  pool.add(std::make_unique<Ewma>(0.7));
+  pool.add(std::make_unique<RunningMean>());
+  pool.add(std::make_unique<MedianWindow>());
+  pool.add(std::make_unique<TrimmedMeanWindow>(0.25));
+  pool.add(std::make_unique<AdaptiveMean>(32));
+  pool.add(std::make_unique<Tendency>());
+  pool.add(std::make_unique<PolynomialFit>(2, 0));
+  pool.add(make_moving_average(2));
+  pool.add(std::make_unique<Arma>(2, 1));
+  return pool;
+}
+
+}  // namespace larp::predictors

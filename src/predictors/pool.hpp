@@ -1,0 +1,79 @@
+// PredictorPool: the ordered set of forecasting experts the selector layer
+// chooses among.
+//
+// The pool index IS the class label used by the classifier and in all the
+// paper's figures: the paper numbers its pool 1-LAST, 2-AR, 3-SW_AVG, which
+// make_paper_pool() reproduces at 0-based indices 0, 1, 2.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "predictors/predictor.hpp"
+
+namespace larp::predictors {
+
+class PredictorPool {
+ public:
+  PredictorPool() = default;
+
+  /// Takes ownership of a predictor; returns its class label (pool index).
+  std::size_t add(std::unique_ptr<Predictor> predictor);
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+
+  /// Member access by class label; throws InvalidArgument out of range.
+  [[nodiscard]] Predictor& at(std::size_t label);
+  [[nodiscard]] const Predictor& at(std::size_t label) const;
+
+  /// Name of the labeled member.
+  [[nodiscard]] const std::string& name(std::size_t label) const;
+
+  /// All member names in label order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Label of the member with the given name; throws NotFound if absent.
+  [[nodiscard]] std::size_t label_of(const std::string& name) const;
+
+  /// Largest min_history() across members — the smallest window length every
+  /// member of the pool can predict from.
+  [[nodiscard]] std::size_t min_history() const noexcept;
+
+  /// fit() every member on the training series.
+  void fit_all(std::span<const double> training_series);
+
+  /// reset() every member's online state.
+  void reset_all();
+
+  /// observe() the value on every member (parallel-prediction bookkeeping for
+  /// the training/labeling phase and the NWS baselines).
+  void observe_all(double value);
+
+  /// One-step forecasts from every member for the given window, label order.
+  [[nodiscard]] std::vector<double> predict_all(
+      std::span<const double> window) const;
+
+  /// Deep copy (each experiment thread owns a private pool).
+  [[nodiscard]] PredictorPool clone() const;
+
+ private:
+  std::vector<std::unique_ptr<Predictor>> members_;
+  std::vector<std::string> names_;  // cached; EWMA et al. build names lazily
+};
+
+/// The paper's pool: {LAST, AR(ar_order), SW_AVG} with labels 0, 1, 2
+/// (paper classes 1, 2, 3).
+[[nodiscard]] PredictorPool make_paper_pool(std::size_t ar_order);
+
+/// Extended pool exercising the paper's future-work direction (§8): the
+/// paper trio plus EWMA(0.2), EWMA(0.7), RUN_AVG, MEDIAN, TRIM_MEAN(0.25),
+/// ADAPT_AVG, TENDENCY, POLY_FIT(d2), MA(2) and ARMA(2,1) — the NWS /
+/// Dinda [7] / SC'03 [32] / CCGrid'06 [35] battery.  Note the ARMA members
+/// need >= 44 training points (Hannan–Rissanen long-AR stage).
+[[nodiscard]] PredictorPool make_extended_pool(std::size_t ar_order);
+
+}  // namespace larp::predictors

@@ -1,0 +1,24 @@
+#include "predictors/predictor.hpp"
+
+#include "util/error.hpp"
+
+namespace larp::predictors {
+
+void Predictor::fit(std::span<const double> /*training_series*/) {}
+
+void Predictor::reset() {}
+
+void Predictor::observe(double /*value*/) {}
+
+std::size_t Predictor::min_history() const { return 1; }
+
+void Predictor::require_window(std::span<const double> window,
+                               std::size_t required) const {
+  if (window.size() < required) {
+    throw InvalidArgument(name() + ": window of " + std::to_string(window.size()) +
+                          " values is shorter than required " +
+                          std::to_string(required));
+  }
+}
+
+}  // namespace larp::predictors

@@ -1,0 +1,63 @@
+// Predictor: the common interface of every time-series forecaster in the
+// pool (paper §4).
+//
+// Operating contract
+// ------------------
+// The pipeline walks a normalized series in temporal order.  For each step t
+// it calls predict() with the window (z_{t-m} ... z_{t-1}) — most recent value
+// last — and afterwards feeds the realized observation z_t via observe().
+// Models fall into three groups:
+//
+//  * window-only (LAST, SW_AVG, median, trimmed mean, tendency, poly-fit):
+//    predict() is a pure function of the window;
+//  * fitted (AR): fit() estimates parameters offline on the training half,
+//    predict() applies them to the window;
+//  * online-state (running mean, EWMA, adaptive-window models): observe()
+//    accumulates state across the walk and reset() clears it between folds.
+//
+// All models are cheap by design — the paper's premise is that running ONE
+// predictor per step (selected by the classifier) is the cost win over
+// running the full pool in parallel.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace larp::predictors {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Stable identifier, e.g. "LAST", "AR", "SW_AVG" (used in reports and as
+  /// class-label names for the selector layer).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Offline parameter estimation on the (normalized) training series.
+  /// Parameter-free models ignore it.  Throws if the series is too short
+  /// for the model (see min_history()).
+  virtual void fit(std::span<const double> training_series);
+
+  /// Clears any online state accumulated through observe().
+  virtual void reset();
+
+  /// Feeds one realized observation after the corresponding predict() call.
+  virtual void observe(double value);
+
+  /// One-step-ahead forecast from the latest `window` (most recent value at
+  /// window.back()).  Requires window.size() >= min_history().
+  [[nodiscard]] virtual double predict(std::span<const double> window) const = 0;
+
+  /// Minimum window length predict() accepts.
+  [[nodiscard]] virtual std::size_t min_history() const;
+
+  /// Deep copy (pools clone their prototypes for thread-private use).
+  [[nodiscard]] virtual std::unique_ptr<Predictor> clone() const = 0;
+
+ protected:
+  /// Throws InvalidArgument when the window is shorter than required.
+  void require_window(std::span<const double> window, std::size_t required) const;
+};
+
+}  // namespace larp::predictors

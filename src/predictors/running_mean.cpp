@@ -1,0 +1,15 @@
+#include "predictors/running_mean.hpp"
+
+namespace larp::predictors {
+
+double RunningMean::predict(std::span<const double> window) const {
+  require_window(window, 1);
+  if (moments_.count() == 0) return stats::mean(window);
+  return moments_.mean();
+}
+
+std::unique_ptr<Predictor> RunningMean::clone() const {
+  return std::make_unique<RunningMean>(*this);
+}
+
+}  // namespace larp::predictors

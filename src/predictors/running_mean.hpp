@@ -1,0 +1,32 @@
+// RUN_AVG: running mean over the entire observed history (one of the
+// Network Weather Service forecaster battery; extension beyond the paper's
+// three-model pool, see DESIGN.md §6).
+//
+// Unlike SW_AVG, the averaging horizon is unbounded, so the model is fed
+// through observe() as the pipeline walks the series and keeps O(1) state.
+#pragma once
+
+#include "predictors/predictor.hpp"
+#include "util/stats.hpp"
+
+namespace larp::predictors {
+
+class RunningMean final : public Predictor {
+ public:
+  [[nodiscard]] std::string name() const override { return "RUN_AVG"; }
+  void reset() override { moments_ = {}; }
+  void observe(double value) override { moments_.add(value); }
+  /// Mean of everything observed so far; falls back to the window mean until
+  /// the first observation arrives.
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
+
+  [[nodiscard]] std::size_t observed_count() const noexcept {
+    return moments_.count();
+  }
+
+ private:
+  stats::RunningMoments moments_;
+};
+
+}  // namespace larp::predictors

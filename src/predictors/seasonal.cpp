@@ -1,0 +1,45 @@
+#include "predictors/seasonal.hpp"
+
+#include "util/error.hpp"
+
+namespace larp::predictors {
+
+SeasonalNaive::SeasonalNaive(std::size_t period) : period_(period) {
+  if (period == 0) throw InvalidArgument("SeasonalNaive: period must be positive");
+  ring_.reserve(period);
+}
+
+std::string SeasonalNaive::name() const {
+  return "SEASONAL(" + std::to_string(period_) + ")";
+}
+
+void SeasonalNaive::reset() {
+  ring_.clear();
+  head_ = 0;
+  count_ = 0;
+}
+
+void SeasonalNaive::observe(double value) {
+  if (ring_.size() < period_) {
+    ring_.push_back(value);
+  } else {
+    ring_[head_] = value;
+    head_ = (head_ + 1) % period_;
+  }
+  ++count_;
+}
+
+double SeasonalNaive::predict(std::span<const double> window) const {
+  require_window(window, 1);
+  if (!primed()) return window.back();
+  // The oldest retained observation is exactly one period before the value
+  // being forecast (the ring holds the last `period` observations and the
+  // target is the next step).
+  return ring_[head_];
+}
+
+std::unique_ptr<Predictor> SeasonalNaive::clone() const {
+  return std::make_unique<SeasonalNaive>(*this);
+}
+
+}  // namespace larp::predictors

@@ -1,0 +1,38 @@
+// Seasonal-naive predictor: forecast = the value observed one full period
+// ago ("same time yesterday").  The natural expert for the diurnal web-load
+// traces of the catalog (and of the paper's web-server VMs), complementing a
+// battery that otherwise only sees the recent window.  Extension member.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "predictors/predictor.hpp"
+
+namespace larp::predictors {
+
+class SeasonalNaive final : public Predictor {
+ public:
+  /// `period` in samples (e.g. 288 five-minute samples = one day).
+  explicit SeasonalNaive(std::size_t period);
+
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+  /// Feeds the ring of the last `period` observations.
+  void observe(double value) override;
+  /// The value one period back; before a full period has been observed it
+  /// degrades to LAST (the window's most recent value).
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
+
+  [[nodiscard]] std::size_t period() const noexcept { return period_; }
+  [[nodiscard]] bool primed() const noexcept { return count_ >= period_; }
+
+ private:
+  std::size_t period_;
+  std::vector<double> ring_;   // last `period` observations
+  std::size_t head_ = 0;       // slot holding the oldest value once full
+  std::size_t count_ = 0;
+};
+
+}  // namespace larp::predictors

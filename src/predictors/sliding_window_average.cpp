@@ -1,0 +1,25 @@
+#include "predictors/sliding_window_average.hpp"
+
+#include "util/stats.hpp"
+
+namespace larp::predictors {
+
+SlidingWindowAverage::SlidingWindowAverage(std::size_t window_size)
+    : window_size_(window_size) {}
+
+double SlidingWindowAverage::predict(std::span<const double> window) const {
+  require_window(window, min_history());
+  const std::size_t take =
+      window_size_ == 0 ? window.size() : std::min(window_size_, window.size());
+  return stats::mean(window.subspan(window.size() - take, take));
+}
+
+std::size_t SlidingWindowAverage::min_history() const {
+  return window_size_ == 0 ? 1 : window_size_;
+}
+
+std::unique_ptr<Predictor> SlidingWindowAverage::clone() const {
+  return std::make_unique<SlidingWindowAverage>(*this);
+}
+
+}  // namespace larp::predictors

@@ -1,0 +1,30 @@
+// SW_AVG model (paper §4, eq. 3): the forecast is the mean of the last
+// `window_size` observations.  Damps noise on bursty traces at the cost of
+// lagging behind trends.
+#pragma once
+
+#include <cstddef>
+
+#include "predictors/predictor.hpp"
+
+namespace larp::predictors {
+
+class SlidingWindowAverage final : public Predictor {
+ public:
+  /// Averages the last `window_size` values; 0 means "average the whole
+  /// window handed to predict()" (the paper's configuration, where the
+  /// averaging length equals the prediction order m).
+  explicit SlidingWindowAverage(std::size_t window_size = 0);
+
+  [[nodiscard]] std::string name() const override { return "SW_AVG"; }
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::size_t min_history() const override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
+
+  [[nodiscard]] std::size_t window_size() const noexcept { return window_size_; }
+
+ private:
+  std::size_t window_size_;
+};
+
+}  // namespace larp::predictors

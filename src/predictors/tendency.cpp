@@ -1,0 +1,57 @@
+#include "predictors/tendency.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace larp::predictors {
+
+Tendency::Tendency(double smoothing, double damping)
+    : smoothing_(smoothing), damping_(damping) {
+  if (!(smoothing > 0.0) || smoothing > 1.0) {
+    throw InvalidArgument("Tendency: smoothing must be in (0, 1]");
+  }
+  if (damping < 0.0 || damping > 1.0) {
+    throw InvalidArgument("Tendency: damping must be in [0, 1]");
+  }
+}
+
+void Tendency::reset() {
+  avg_step_ = 0.0;
+  previous_ = 0.0;
+  primed_ = false;
+}
+
+void Tendency::observe(double value) {
+  if (primed_) {
+    const double step = std::abs(value - previous_);
+    avg_step_ = smoothing_ * step + (1.0 - smoothing_) * avg_step_;
+  }
+  previous_ = value;
+  primed_ = true;
+}
+
+double Tendency::predict(std::span<const double> window) const {
+  require_window(window, 2);
+  const double current = window[window.size() - 1];
+  const double before = window[window.size() - 2];
+  // Step-magnitude estimate: online state when available, otherwise the mean
+  // absolute first difference of the window.
+  double magnitude = avg_step_;
+  if (!primed_) {
+    double acc = 0.0;
+    for (std::size_t i = 1; i < window.size(); ++i) {
+      acc += std::abs(window[i] - window[i - 1]);
+    }
+    magnitude = acc / static_cast<double>(window.size() - 1);
+  }
+  if (current > before) return current + damping_ * magnitude;
+  if (current < before) return current - damping_ * magnitude;
+  return current;
+}
+
+std::unique_ptr<Predictor> Tendency::clone() const {
+  return std::make_unique<Tendency>(*this);
+}
+
+}  // namespace larp::predictors

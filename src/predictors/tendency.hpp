@@ -1,0 +1,36 @@
+// Tendency-based predictor after Yang, Schopf & Foster (SC'03), cited as
+// [32] in the paper and named in its future-work list (extension pool).
+//
+// The series' next value is forecast by continuing its current tendency:
+// if the series increased on the last step, add an increment to the current
+// value; if it decreased, subtract one.  The increment is the (exponentially
+// smoothed) average magnitude of recent steps, which is the "dynamic
+// information" variant of the SC'03 family.
+#pragma once
+
+#include "predictors/predictor.hpp"
+
+namespace larp::predictors {
+
+class Tendency final : public Predictor {
+ public:
+  /// `smoothing` in (0,1] controls how fast the step-magnitude estimate
+  /// adapts; `damping` in [0,1] scales the applied increment (1 = full step).
+  explicit Tendency(double smoothing = 0.3, double damping = 1.0);
+
+  [[nodiscard]] std::string name() const override { return "TENDENCY"; }
+  void reset() override;
+  void observe(double value) override;
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::size_t min_history() const override { return 2; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
+
+ private:
+  double smoothing_;
+  double damping_;
+  double avg_step_ = 0.0;
+  double previous_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace larp::predictors

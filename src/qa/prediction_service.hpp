@@ -1,0 +1,85 @@
+// PredictionService: the end-to-end prototype of the paper's Figure 1 —
+// monitoring agent → performance (round-robin) database → profiler →
+// LARPredictor → prediction database → Quality Assuror, wired together.
+//
+// Usage per stream: train(key) bootstraps a LarPredictor from the database;
+// advance(key) then consumes every newly retained sample in order, resolving
+// the pending forecast, feeding the observation to the predictor, issuing
+// the next forecast into the prediction DB, and periodically letting the QA
+// audit (which may order a re-train on recent data).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "core/lar_predictor.hpp"
+#include "qa/quality_assuror.hpp"
+#include "tsdb/profiler.hpp"
+
+namespace larp::qa {
+
+struct ServiceConfig {
+  core::LarConfig lar;
+  QaConfig quality;
+  /// Sampling interval of the streams the service predicts (the profiler
+  /// extraction resolution; 5 minutes in the paper's prototype).
+  Timestamp interval = kFiveMinutes;
+  /// Samples extracted for (re-)training.
+  std::size_t train_samples = 144;
+  /// Audit cadence: one QA audit every this many processed samples.
+  std::size_t audit_every = 24;
+};
+
+class PredictionService {
+ public:
+  /// Borrows the performance database (the monitoring agent keeps filling
+  /// it); owns the prediction database and per-stream predictors.
+  PredictionService(const tsdb::RoundRobinDatabase& performance_db,
+                    predictors::PredictorPool pool_prototype,
+                    ServiceConfig config);
+
+  /// Bootstraps the stream's predictor from the most recent train_samples.
+  /// Throws if the database does not retain enough data yet.
+  void train(const tsdb::SeriesKey& key);
+
+  [[nodiscard]] bool is_trained(const tsdb::SeriesKey& key) const noexcept;
+
+  /// Processes every sample retained since the last call: resolves the
+  /// pending forecast, observes, forecasts the next interval, audits on
+  /// cadence.  Returns the number of samples processed.
+  std::size_t advance(const tsdb::SeriesKey& key);
+
+  /// The forecast currently pending for the stream (next timestamp), if any.
+  [[nodiscard]] std::optional<core::LarPredictor::Forecast> pending_forecast(
+      const tsdb::SeriesKey& key) const;
+
+  [[nodiscard]] const tsdb::PredictionDatabase& prediction_db() const noexcept {
+    return prediction_db_;
+  }
+  [[nodiscard]] const QualityAssuror& quality_assuror() const noexcept {
+    return qa_;
+  }
+  [[nodiscard]] std::size_t retrains() const noexcept { return retrains_; }
+
+ private:
+  struct StreamState {
+    core::LarPredictor predictor;
+    Timestamp next_unprocessed = 0;  // timestamp of the next sample to consume
+    std::optional<core::LarPredictor::Forecast> pending;
+    Timestamp pending_ts = 0;
+    std::size_t processed = 0;
+  };
+
+  void retrain_stream(const tsdb::SeriesKey& key);
+
+  const tsdb::RoundRobinDatabase* performance_db_;
+  tsdb::Profiler profiler_;
+  predictors::PredictorPool pool_prototype_;
+  ServiceConfig config_;
+  tsdb::PredictionDatabase prediction_db_;
+  QualityAssuror qa_;
+  std::map<tsdb::SeriesKey, StreamState> streams_;
+  std::size_t retrains_ = 0;
+};
+
+}  // namespace larp::qa

@@ -1,0 +1,48 @@
+#include "qa/quality_assuror.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace larp::qa {
+
+QualityAssuror::QualityAssuror(const tsdb::PredictionDatabase& db, QaConfig config)
+    : db_(&db), config_(config) {
+  if (config_.mse_threshold <= 0.0) {
+    throw InvalidArgument("QualityAssuror: threshold must be positive");
+  }
+  if (config_.audit_window == 0 || config_.min_records == 0) {
+    throw InvalidArgument("QualityAssuror: windows must be positive");
+  }
+}
+
+void QualityAssuror::set_retrain_handler(RetrainHandler handler) {
+  handler_ = std::move(handler);
+}
+
+AuditReport QualityAssuror::audit(const tsdb::SeriesKey& key) {
+  AuditReport report;
+  const auto records = db_->latest_resolved(key, config_.audit_window);
+  report.records = records.size();
+  if (records.size() < config_.min_records) return report;
+
+  stats::RunningMse mse;
+  for (const auto& [ts, record] : records) {
+    mse.add(record.predicted, *record.observed);
+  }
+  report.audited = true;
+  report.mse = mse.value();
+  ++audits_;
+
+  if (report.mse > config_.mse_threshold) {
+    report.retrain_ordered = true;
+    ++retrains_;
+    LARP_LOG_INFO("qa") << "audit of " << key.to_string() << " MSE=" << report.mse
+                        << " breached threshold " << config_.mse_threshold
+                        << "; ordering re-training";
+    if (handler_) handler_(key);
+  }
+  return report;
+}
+
+}  // namespace larp::qa

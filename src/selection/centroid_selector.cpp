@@ -1,0 +1,28 @@
+#include "selection/centroid_selector.hpp"
+
+#include "util/error.hpp"
+
+namespace larp::selection {
+
+CentroidSelector::CentroidSelector(ml::Pca pca,
+                                   ml::NearestCentroidClassifier classifier)
+    : pca_(std::move(pca)), classifier_(std::move(classifier)) {
+  if (!pca_.fitted()) throw InvalidArgument("CentroidSelector: PCA not fitted");
+  if (!classifier_.fitted()) {
+    throw InvalidArgument("CentroidSelector: classifier not fitted");
+  }
+}
+
+std::size_t CentroidSelector::select(std::span<const double> window) {
+  return classifier_.classify(pca_.transform(window));
+}
+
+void CentroidSelector::learn(std::span<const double> window, std::size_t label) {
+  classifier_.add(pca_.transform(window), label);
+}
+
+std::unique_ptr<Selector> CentroidSelector::clone() const {
+  return std::make_unique<CentroidSelector>(*this);
+}
+
+}  // namespace larp::selection

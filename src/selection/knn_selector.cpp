@@ -1,0 +1,47 @@
+#include "selection/knn_selector.hpp"
+
+#include "util/error.hpp"
+
+namespace larp::selection {
+
+KnnSelector::KnnSelector(ml::Pca pca, ml::KnnClassifier classifier)
+    : pca_(std::move(pca)), classifier_(std::move(classifier)) {
+  if (!pca_.fitted()) throw InvalidArgument("KnnSelector: PCA not fitted");
+  if (!classifier_.fitted()) {
+    throw InvalidArgument("KnnSelector: classifier not fitted");
+  }
+}
+
+std::size_t KnnSelector::select(std::span<const double> window) {
+  const auto reduced = pca_.transform(window);
+  return classifier_.classify(reduced);
+}
+
+void KnnSelector::learn(std::span<const double> window, std::size_t label) {
+  classifier_.add(pca_.transform(window), label);
+}
+
+std::vector<double> KnnSelector::select_weights(std::span<const double> window,
+                                                std::size_t pool_size) {
+  const auto reduced = pca_.transform(window);
+  const auto hits = classifier_.neighbors(reduced);
+  std::vector<double> weights(pool_size, 0.0);
+  for (const auto& hit : hits) {
+    const std::size_t label = classifier_.label_of(hit.index);
+    if (label >= pool_size) {
+      throw InvalidArgument("KnnSelector: training label outside the pool");
+    }
+    weights[label] += 1.0;
+  }
+  const double total = static_cast<double>(hits.size());
+  if (total > 0.0) {
+    for (double& w : weights) w /= total;
+  }
+  return weights;
+}
+
+std::unique_ptr<Selector> KnnSelector::clone() const {
+  return std::make_unique<KnnSelector>(*this);
+}
+
+}  // namespace larp::selection

@@ -1,0 +1,19 @@
+#include "selection/oracle_selector.hpp"
+
+namespace larp::selection {
+
+void OracleSelector::reset() { last_best_ = 0; }
+
+std::size_t OracleSelector::select(std::span<const double> /*window*/) {
+  return last_best_;
+}
+
+void OracleSelector::record(std::span<const double> forecasts, double actual) {
+  last_best_ = best_forecast_label(forecasts, actual);
+}
+
+std::unique_ptr<Selector> OracleSelector::clone() const {
+  return std::make_unique<OracleSelector>(*this);
+}
+
+}  // namespace larp::selection

@@ -1,0 +1,30 @@
+// OracleSelector: the "perfect LARPredictor" (P-LAR) of §7.2.1 — at every
+// step it picks the pool member whose forecast turns out closest to the
+// realized value.  By construction this is the upper bound on what any
+// predictor-integration scheme over the same pool can achieve, which is how
+// the paper uses it (Table 2's P-LAR column, Fig. 6's P-LARP series).
+//
+// It is non-causal: select() cannot be answered without the actual value, so
+// needs_hindsight() is true and runners must score select_hindsight().
+// select() still returns the *previous* step's best label (a causal
+// "persistence oracle") so the class remains usable in online pipelines.
+#pragma once
+
+#include "selection/selector.hpp"
+
+namespace larp::selection {
+
+class OracleSelector final : public Selector {
+ public:
+  [[nodiscard]] std::string name() const override { return "P-LAR"; }
+  void reset() override;
+  [[nodiscard]] std::size_t select(std::span<const double> window) override;
+  void record(std::span<const double> forecasts, double actual) override;
+  [[nodiscard]] bool needs_hindsight() const noexcept override { return true; }
+  [[nodiscard]] std::unique_ptr<Selector> clone() const override;
+
+ private:
+  std::size_t last_best_ = 0;
+};
+
+}  // namespace larp::selection

@@ -1,0 +1,55 @@
+#include "selection/selector.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace larp::selection {
+
+void Selector::reset() {}
+
+void Selector::record(std::span<const double> /*forecasts*/, double /*actual*/) {}
+
+std::vector<double> Selector::select_weights(std::span<const double> window,
+                                             std::size_t pool_size) {
+  std::vector<double> weights(pool_size, 0.0);
+  const std::size_t pick = select(window);
+  if (pick >= pool_size) {
+    throw InvalidArgument("select_weights: selected label outside the pool");
+  }
+  weights[pick] = 1.0;
+  return weights;
+}
+
+void Selector::learn(std::span<const double> /*window*/, std::size_t /*label*/) {}
+
+bool Selector::supports_online_learning() const noexcept { return false; }
+
+bool Selector::needs_hindsight() const noexcept { return false; }
+
+std::size_t Selector::select_hindsight(std::span<const double> forecasts,
+                                       double actual) const {
+  return best_forecast_label(forecasts, actual);
+}
+
+std::size_t argmin_label(std::span<const double> values) {
+  if (values.empty()) throw InvalidArgument("argmin_label: empty values");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  return best;
+}
+
+std::size_t best_forecast_label(std::span<const double> forecasts, double actual) {
+  if (forecasts.empty()) {
+    throw InvalidArgument("best_forecast_label: empty forecasts");
+  }
+  std::vector<double> errors;
+  errors.reserve(forecasts.size());
+  for (double f : forecasts) errors.push_back(std::abs(f - actual));
+  return argmin_label(errors);
+}
+
+}  // namespace larp::selection

@@ -1,0 +1,21 @@
+#include "selection/static_selector.hpp"
+
+namespace larp::selection {
+
+StaticSelector::StaticSelector(std::size_t label, std::string display_name)
+    : label_(label), display_name_(std::move(display_name)) {}
+
+std::string StaticSelector::name() const {
+  if (!display_name_.empty()) return "STATIC(" + display_name_ + ")";
+  return "STATIC(" + std::to_string(label_) + ")";
+}
+
+std::size_t StaticSelector::select(std::span<const double> /*window*/) {
+  return label_;
+}
+
+std::unique_ptr<Selector> StaticSelector::clone() const {
+  return std::make_unique<StaticSelector>(*this);
+}
+
+}  // namespace larp::selection

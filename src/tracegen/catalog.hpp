@@ -1,0 +1,68 @@
+// Trace catalog: the synthetic stand-ins for the paper's five VMware ESX
+// virtual machines (§7) and their twelve Table-2 performance metrics.
+//
+//   VM1  web server + Globus GRAM/MDS + GridFTP + PBS head node
+//        (7-day trace @ 30-minute samples, 310-job batch mix)
+//   VM2  Linux port-forwarding proxy for VNC sessions (24 h @ 5 min)
+//   VM3  Windows XP based calendar (24 h @ 5 min)
+//   VM4  web + list + wiki server (24 h @ 5 min)
+//   VM5  web server (24 h @ 5 min)
+//
+// Each (vm, metric) pair maps to a stochastic model whose character matches
+// what that VM would have produced: batch-job plateaus on VM1's CPU, heavy
+// bursts on VM2's NICs, near-idle constancy on VM3, diurnal web load on
+// VM4/VM5.  Several metrics are exactly constant (idle devices), which is
+// what produces the NaN cells of the paper's Table 3.  All traces are
+// deterministic functions of (vm, metric, seed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tracegen/metric_model.hpp"
+#include "tsdb/series.hpp"
+
+namespace larp::tracegen {
+
+/// One catalog VM: identity plus the paper's extraction parameters.
+struct VmSpec {
+  std::string vm_id;
+  std::string description;
+  Timestamp interval = kFiveMinutes;
+  std::size_t samples = 288;  // 24 h at 5-minute samples
+};
+
+/// The twelve Table-2 metric names, in the paper's row order.
+[[nodiscard]] const std::vector<std::string>& paper_metrics();
+
+/// The five paper VMs with their extraction parameters.
+[[nodiscard]] const std::vector<VmSpec>& paper_vms();
+
+/// Spec by vm id ("VM1".."VM5"); throws NotFound for unknown ids.
+[[nodiscard]] const VmSpec& vm_spec(const std::string& vm_id);
+
+/// Generating model for (vm, metric).  Also accepts the two special Fig. 4/5
+/// trace names on VM2: "load15" (CPU fifteen-minute load average) and
+/// "PktIn" (network packets-in per second).  Throws NotFound for unknown
+/// vm/metric combinations.
+[[nodiscard]] std::unique_ptr<MetricModel> make_metric_model(
+    const std::string& vm_id, const std::string& metric);
+
+/// Deterministic trace for (vm, metric, seed) at the VM's paper extraction
+/// length, or at `samples` when given.
+[[nodiscard]] tsdb::TimeSeries make_trace(const std::string& vm_id,
+                                          const std::string& metric,
+                                          std::uint64_t seed);
+[[nodiscard]] tsdb::TimeSeries make_trace(const std::string& vm_id,
+                                          const std::string& metric,
+                                          std::uint64_t seed,
+                                          std::size_t samples);
+
+/// All twelve metric traces of one VM, keyed like the paper's database.
+[[nodiscard]] std::vector<std::pair<tsdb::SeriesKey, tsdb::TimeSeries>>
+make_vm_suite(const std::string& vm_id, std::uint64_t seed);
+
+/// Device id ("cpu", "memory", "nic1", ...) a metric belongs to.
+[[nodiscard]] std::string device_of_metric(const std::string& metric);
+
+}  // namespace larp::tracegen

@@ -1,0 +1,48 @@
+#include "tracegen/characterize.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace larp::tracegen {
+
+TraceCharacter characterize(std::span<const double> series) {
+  if (series.size() < 32) {
+    throw InvalidArgument("characterize: need at least 32 samples");
+  }
+  TraceCharacter c;
+  c.samples = series.size();
+  c.mean = stats::mean(series);
+  c.stddev = stats::stddev(series);
+  c.constant = c.stddev == 0.0;
+  if (c.constant) return c;
+
+  c.cv = c.mean != 0.0 ? c.stddev / std::abs(c.mean) : 0.0;
+  c.acf1 = stats::autocorrelation(series, 1);
+  c.hurst = stats::hurst_exponent(series);
+  const double med = stats::median(series);
+  const double p99 = stats::percentile(series, 99);
+  const double base = med != 0.0 ? med : (c.mean != 0.0 ? c.mean : 1.0);
+  c.spike_ratio = std::abs(base) > 0.0 ? p99 / base : 1.0;
+  return c;
+}
+
+std::string TraceCharacter::family() const {
+  if (constant) return "idle";
+  if (spike_ratio > 4.0) return "bursty";
+  if (acf1 < -0.2) return "seesaw";
+  if (acf1 > 0.8 && cv < 0.3) return "level";   // memory-walk style
+  if (acf1 > 0.5) return "smooth";
+  return "noisy";
+}
+
+std::ostream& operator<<(std::ostream& out, const TraceCharacter& c) {
+  out << "n=" << c.samples << " mean=" << c.mean << " sd=" << c.stddev
+      << " cv=" << c.cv << " acf1=" << c.acf1 << " H=" << c.hurst
+      << " spike=" << c.spike_ratio << " family=" << c.family();
+  return out;
+}
+
+}  // namespace larp::tracegen

@@ -1,0 +1,40 @@
+// Trace characterization: the statistical fingerprint used to validate that
+// the synthetic catalog reproduces the character of the paper's trace
+// classes (smooth autocorrelated CPU per Dinda [6][7], bursty heavy-tailed
+// network, step-like memory), and to help users judge which expert family a
+// new trace resembles.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+namespace larp::tracegen {
+
+struct TraceCharacter {
+  std::size_t samples = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// Coefficient of variation (stddev / |mean|); 0 when the mean is 0.
+  double cv = 0.0;
+  /// Lag-1 autocorrelation: > 0 smooth/persistent, < 0 seesaw, ~0 noise.
+  double acf1 = 0.0;
+  /// Hurst exponent (R/S estimate): > 0.5 persistent / self-similar.
+  double hurst = 0.5;
+  /// p99 / median spike ratio (medians of 0 fall back to the mean);
+  /// >> 1 indicates a heavy-tailed, bursty trace.
+  double spike_ratio = 1.0;
+  /// True for zero-variance (idle-device) traces.
+  bool constant = false;
+
+  /// Coarse classification into the catalog's trace families.
+  [[nodiscard]] std::string family() const;
+};
+
+/// Computes the fingerprint; requires at least 32 samples.
+[[nodiscard]] TraceCharacter characterize(std::span<const double> series);
+
+/// One-line rendering for reports.
+std::ostream& operator<<(std::ostream& out, const TraceCharacter& c);
+
+}  // namespace larp::tracegen

@@ -1,0 +1,80 @@
+#include "tracegen/jobmix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace larp::tracegen {
+
+JobMix::JobMix(JobMixParams params) : params_(std::move(params)) {
+  if (params_.expected_jobs <= 0.0 || params_.trace_duration_s <= 0.0 ||
+      params_.step_s <= 0.0) {
+    throw InvalidArgument("JobMix: durations and job count must be positive");
+  }
+  if (params_.classes.empty()) {
+    throw InvalidArgument("JobMix: at least one job class required");
+  }
+  double total_probability = 0.0;
+  for (const auto& cls : params_.classes) {
+    if (cls.probability < 0.0 || cls.min_duration_s <= 0.0 ||
+        cls.max_duration_s < cls.min_duration_s) {
+      throw InvalidArgument("JobMix: malformed job class");
+    }
+    total_probability += cls.probability;
+  }
+  if (std::abs(total_probability - 1.0) > 1e-6) {
+    throw InvalidArgument("JobMix: class probabilities must sum to 1");
+  }
+  arrivals_per_step_ =
+      params_.expected_jobs * params_.step_s / params_.trace_duration_s;
+}
+
+double JobMix::next(Rng& rng) {
+  const double step = params_.step_s;
+
+  // New arrivals this step; each gets a uniformly random start offset.
+  const std::uint64_t arrivals = rng.poisson(arrivals_per_step_);
+  double utilization = 0.0;
+
+  // Existing jobs first: they run from the start of the step.
+  for (auto& job : active_) {
+    const double ran = std::min(job.remaining_s, step);
+    utilization += job.intensity * (ran / step);
+    job.remaining_s -= ran;
+  }
+  std::erase_if(active_, [](const ActiveJob& j) { return j.remaining_s <= 0.0; });
+
+  std::vector<double> weights;
+  weights.reserve(params_.classes.size());
+  for (const auto& cls : params_.classes) weights.push_back(cls.probability);
+
+  for (std::uint64_t i = 0; i < arrivals; ++i) {
+    const JobClass& cls = params_.classes[rng.weighted_index(weights)];
+    const double duration = rng.uniform(cls.min_duration_s, cls.max_duration_s);
+    const double start_offset = rng.uniform(0.0, step);
+    ++jobs_started_;
+
+    const double ran_this_step = std::min(duration, step - start_offset);
+    utilization += cls.intensity * (ran_this_step / step);
+    const double remaining = duration - ran_this_step;
+    if (remaining > 0.0) {
+      active_.push_back(ActiveJob{remaining, cls.intensity});
+    }
+  }
+  return utilization;
+}
+
+void JobMix::reset() {
+  active_.clear();
+  jobs_started_ = 0;
+}
+
+std::unique_ptr<MetricModel> JobMix::clone() const {
+  auto copy = std::make_unique<JobMix>(params_);
+  copy->active_ = active_;
+  copy->jobs_started_ = jobs_started_;
+  return copy;
+}
+
+}  // namespace larp::tracegen

@@ -1,0 +1,68 @@
+// JobMix: the batch workload of the paper's VM1 (§7) — a PBS head node that
+// executed 310 jobs over 7 days with a duration mix of 93.55% short
+// (1–2 s), 3.87% medium (2–10 min) and 2.58% long (45–50 min) jobs.
+//
+// The simulator draws job arrivals as a Poisson process tuned to hit the
+// expected total job count over the trace duration, assigns each arrival a
+// duration class from the paper's mix, and reports — per sampling step — the
+// fraction of the step during which at least one job was running, scaled by
+// a per-class intensity.  Fed through Superposition this turns the VM1 CPU
+// and disk metrics into the characteristic mostly-idle-with-occasional-long-
+// plateaus shape of a batch node.
+#pragma once
+
+#include <vector>
+
+#include "tracegen/metric_model.hpp"
+
+namespace larp::tracegen {
+
+/// One duration class of the mix.
+struct JobClass {
+  double probability = 0.0;   // fraction of arrivals in this class
+  double min_duration_s = 0;  // uniform duration range
+  double max_duration_s = 0;
+  double intensity = 1.0;     // resource units consumed while running
+};
+
+struct JobMixParams {
+  /// Expected total number of jobs over the whole trace.
+  double expected_jobs = 310.0;
+  /// Total trace duration in seconds (paper: 7 days).
+  double trace_duration_s = 7.0 * 24 * 3600;
+  /// Sampling step in seconds (paper VM1: 30 minutes).
+  double step_s = 1800.0;
+  /// The paper's duration mix (short/medium/long).
+  std::vector<JobClass> classes = {
+      {0.9355, 1.0, 2.0, 40.0},        // 1–2 s jobs: intense but fleeting
+      {0.0387, 120.0, 600.0, 60.0},    // 2–10 min jobs
+      {0.0258, 2700.0, 3000.0, 75.0},  // 45–50 min jobs: dominate a sample
+  };
+};
+
+class JobMix final : public MetricModel {
+ public:
+  explicit JobMix(JobMixParams params);
+
+  /// Utilization contributed by jobs during the next sampling step:
+  /// sum over jobs of (overlap with the step / step length) * intensity.
+  [[nodiscard]] double next(Rng& rng) override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<MetricModel> clone() const override;
+
+  /// Jobs started so far (for tests asserting the 310-job calibration).
+  [[nodiscard]] std::size_t jobs_started() const noexcept { return jobs_started_; }
+
+ private:
+  struct ActiveJob {
+    double remaining_s = 0.0;
+    double intensity = 0.0;
+  };
+
+  JobMixParams params_;
+  double arrivals_per_step_ = 0.0;
+  std::vector<ActiveJob> active_;
+  std::size_t jobs_started_ = 0;
+};
+
+}  // namespace larp::tracegen

@@ -1,0 +1,15 @@
+#include "tracegen/metric_model.hpp"
+
+namespace larp::tracegen {
+
+tsdb::TimeSeries generate(MetricModel& model, const TimeAxis& axis, Rng& rng) {
+  tsdb::TimeSeries series;
+  series.axis = axis;
+  series.values.reserve(axis.size());
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    series.values.push_back(model.next(rng));
+  }
+  return series;
+}
+
+}  // namespace larp::tracegen

@@ -1,0 +1,37 @@
+// MetricModel: stochastic processes that stand in for the paper's VMware ESX
+// resource traces (substitution record in DESIGN.md §2).
+//
+// Each model is a stateful process advanced one base step at a time with
+// next(rng).  The catalog (tracegen/catalog) composes them per VM × metric so
+// that every metric class has the statistical character the paper's findings
+// rest on: smooth autocorrelated CPU load, bursty heavy-tailed network
+// traffic, step-like memory allocations, spiky disk I/O — and regime switches
+// that move the per-window best predictor around over time.
+#pragma once
+
+#include <memory>
+
+#include "tsdb/series.hpp"
+#include "util/rng.hpp"
+
+namespace larp::tracegen {
+
+class MetricModel {
+ public:
+  virtual ~MetricModel() = default;
+
+  /// Advances the process one step and returns the new sample.
+  [[nodiscard]] virtual double next(Rng& rng) = 0;
+
+  /// Restores the initial state (so one model instance can generate
+  /// multiple independent traces).
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<MetricModel> clone() const = 0;
+};
+
+/// Drives `model` over `axis` and returns the sampled series.
+[[nodiscard]] tsdb::TimeSeries generate(MetricModel& model, const TimeAxis& axis,
+                                        Rng& rng);
+
+}  // namespace larp::tracegen

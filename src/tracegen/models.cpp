@@ -1,0 +1,284 @@
+#include "tracegen/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace larp::tracegen {
+
+// ---------------------------------------------------------------- ArProcess
+
+ArProcess::ArProcess(Params params) : params_(std::move(params)) {
+  if (params_.coefficients.empty()) {
+    throw InvalidArgument("ArProcess: at least one coefficient required");
+  }
+  if (params_.noise_sigma < 0.0) {
+    throw InvalidArgument("ArProcess: negative noise sigma");
+  }
+  history_.assign(params_.coefficients.size(), 0.0);
+}
+
+double ArProcess::next(Rng& rng) {
+  double deviation = rng.normal(0.0, params_.noise_sigma);
+  for (std::size_t i = 0; i < params_.coefficients.size(); ++i) {
+    deviation += params_.coefficients[i] * history_[i];
+  }
+  // Shift history: most recent deviation first.
+  for (std::size_t i = history_.size(); i-- > 1;) history_[i] = history_[i - 1];
+  history_[0] = deviation;
+  const double value = params_.mean + deviation;
+  return std::clamp(value, params_.clamp_min, params_.clamp_max);
+}
+
+void ArProcess::reset() { std::fill(history_.begin(), history_.end(), 0.0); }
+
+std::unique_ptr<MetricModel> ArProcess::clone() const {
+  auto copy = std::make_unique<ArProcess>(params_);
+  copy->history_ = history_;
+  return copy;
+}
+
+// ---------------------------------------------------------------- OnOffBurst
+
+OnOffBurst::OnOffBurst(Params params) : params_(std::move(params)) {
+  if (params_.p_enter_on < 0.0 || params_.p_enter_on > 1.0 ||
+      params_.p_exit_on < 0.0 || params_.p_exit_on > 1.0) {
+    throw InvalidArgument("OnOffBurst: transition probabilities outside [0,1]");
+  }
+  if (params_.pareto_scale <= 0.0 || params_.pareto_shape <= 0.0) {
+    throw InvalidArgument("OnOffBurst: Pareto parameters must be positive");
+  }
+}
+
+double OnOffBurst::next(Rng& rng) {
+  if (on_) {
+    if (rng.bernoulli(params_.p_exit_on)) {
+      on_ = false;
+      burst_level_ = 0.0;
+    }
+  } else if (rng.bernoulli(params_.p_enter_on)) {
+    on_ = true;
+    burst_level_ = rng.pareto(params_.pareto_scale, params_.pareto_shape);
+  }
+
+  if (on_) {
+    const double jitter =
+        rng.normal(0.0, params_.on_noise_fraction * burst_level_);
+    return std::max(0.0, burst_level_ + jitter);
+  }
+  return std::max(0.0, params_.off_level + rng.normal(0.0, params_.off_noise));
+}
+
+void OnOffBurst::reset() {
+  on_ = false;
+  burst_level_ = 0.0;
+}
+
+std::unique_ptr<MetricModel> OnOffBurst::clone() const {
+  auto copy = std::make_unique<OnOffBurst>(params_);
+  copy->on_ = on_;
+  copy->burst_level_ = burst_level_;
+  return copy;
+}
+
+// ---------------------------------------------------------------- StepLevel
+
+StepLevel::StepLevel(Params params)
+    : params_(std::move(params)), level_(params_.initial_level) {
+  if (params_.jump_probability < 0.0 || params_.jump_probability > 1.0) {
+    throw InvalidArgument("StepLevel: jump probability outside [0,1]");
+  }
+}
+
+double StepLevel::next(Rng& rng) {
+  if (params_.walk_sigma > 0.0) {
+    level_ = std::max(params_.floor, level_ + rng.normal(0.0, params_.walk_sigma));
+  }
+  if (rng.bernoulli(params_.jump_probability)) {
+    level_ = std::max(params_.floor, level_ + rng.normal(0.0, params_.jump_sigma));
+  }
+  return std::max(params_.floor, level_ + rng.normal(0.0, params_.hold_noise));
+}
+
+void StepLevel::reset() { level_ = params_.initial_level; }
+
+std::unique_ptr<MetricModel> StepLevel::clone() const {
+  auto copy = std::make_unique<StepLevel>(params_);
+  copy->level_ = level_;
+  return copy;
+}
+
+// ------------------------------------------------------------- PoissonSpikes
+
+PoissonSpikes::PoissonSpikes(Params params) : params_(std::move(params)) {
+  if (params_.arrival_rate < 0.0) {
+    throw InvalidArgument("PoissonSpikes: negative arrival rate");
+  }
+  if (params_.decay < 0.0 || params_.decay >= 1.0) {
+    throw InvalidArgument("PoissonSpikes: decay outside [0,1)");
+  }
+}
+
+double PoissonSpikes::next(Rng& rng) {
+  residue_ *= params_.decay;
+  const std::uint64_t arrivals = rng.poisson(params_.arrival_rate);
+  for (std::uint64_t i = 0; i < arrivals; ++i) {
+    residue_ += rng.exponential(1.0 / params_.spike_mean);
+  }
+  const double value =
+      params_.base_level + residue_ + rng.normal(0.0, params_.base_noise);
+  return std::max(0.0, value);
+}
+
+void PoissonSpikes::reset() { residue_ = 0.0; }
+
+std::unique_ptr<MetricModel> PoissonSpikes::clone() const {
+  auto copy = std::make_unique<PoissonSpikes>(params_);
+  copy->residue_ = residue_;
+  return copy;
+}
+
+// ------------------------------------------------------------------ Diurnal
+
+Diurnal::Diurnal(std::unique_ptr<MetricModel> child, double period_steps,
+                 double amplitude, double phase)
+    : child_(std::move(child)),
+      period_steps_(period_steps),
+      amplitude_(amplitude),
+      phase_(phase) {
+  if (!child_) throw InvalidArgument("Diurnal: null child model");
+  if (period_steps <= 0.0) throw InvalidArgument("Diurnal: non-positive period");
+}
+
+double Diurnal::next(Rng& rng) {
+  const double angle = 2.0 * std::numbers::pi *
+                           (static_cast<double>(step_) / period_steps_) +
+                       phase_;
+  ++step_;
+  return std::max(0.0, child_->next(rng) + amplitude_ * std::sin(angle));
+}
+
+void Diurnal::reset() {
+  child_->reset();
+  step_ = 0;
+}
+
+std::unique_ptr<MetricModel> Diurnal::clone() const {
+  auto copy = std::make_unique<Diurnal>(child_->clone(), period_steps_,
+                                        amplitude_, phase_);
+  copy->step_ = step_;
+  return copy;
+}
+
+// ----------------------------------------------------------- RegimeSwitching
+
+RegimeSwitching::RegimeSwitching(
+    std::vector<std::unique_ptr<MetricModel>> regimes, double mean_dwell_steps)
+    : regimes_(std::move(regimes)) {
+  if (regimes_.empty()) throw InvalidArgument("RegimeSwitching: no regimes");
+  for (const auto& r : regimes_) {
+    if (!r) throw InvalidArgument("RegimeSwitching: null regime");
+  }
+  if (mean_dwell_steps < 1.0) {
+    throw InvalidArgument("RegimeSwitching: mean dwell below one step");
+  }
+  switch_probability_ = 1.0 / mean_dwell_steps;
+}
+
+double RegimeSwitching::next(Rng& rng) {
+  if (regimes_.size() > 1 && rng.bernoulli(switch_probability_)) {
+    // Jump to a uniformly random different regime.
+    const std::size_t offset = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(regimes_.size()) - 1));
+    active_ = (active_ + offset) % regimes_.size();
+  }
+  return regimes_[active_]->next(rng);
+}
+
+void RegimeSwitching::reset() {
+  for (auto& r : regimes_) r->reset();
+  active_ = 0;
+}
+
+std::unique_ptr<MetricModel> RegimeSwitching::clone() const {
+  std::vector<std::unique_ptr<MetricModel>> copies;
+  copies.reserve(regimes_.size());
+  for (const auto& r : regimes_) copies.push_back(r->clone());
+  auto copy = std::make_unique<RegimeSwitching>(std::move(copies),
+                                                1.0 / switch_probability_);
+  copy->active_ = active_;
+  return copy;
+}
+
+// ------------------------------------------------------------ ScriptedSequence
+
+ScriptedSequence::ScriptedSequence(std::vector<Phase> phases)
+    : phases_(std::move(phases)) {
+  if (phases_.empty()) throw InvalidArgument("ScriptedSequence: no phases");
+  for (const auto& phase : phases_) {
+    if (!phase.model) throw InvalidArgument("ScriptedSequence: null model");
+    if (phase.duration == 0) {
+      throw InvalidArgument("ScriptedSequence: zero-duration phase");
+    }
+  }
+}
+
+double ScriptedSequence::next(Rng& rng) {
+  if (into_phase_ == phases_[phase_].duration) {
+    into_phase_ = 0;
+    phase_ = (phase_ + 1) % phases_.size();
+  }
+  ++into_phase_;
+  return phases_[phase_].model->next(rng);
+}
+
+void ScriptedSequence::reset() {
+  for (auto& phase : phases_) phase.model->reset();
+  phase_ = 0;
+  into_phase_ = 0;
+}
+
+std::unique_ptr<MetricModel> ScriptedSequence::clone() const {
+  std::vector<Phase> copies;
+  copies.reserve(phases_.size());
+  for (const auto& phase : phases_) {
+    copies.push_back(Phase{phase.model->clone(), phase.duration});
+  }
+  auto copy = std::make_unique<ScriptedSequence>(std::move(copies));
+  copy->phase_ = phase_;
+  copy->into_phase_ = into_phase_;
+  return copy;
+}
+
+// -------------------------------------------------------------- Superposition
+
+Superposition::Superposition(std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) throw InvalidArgument("Superposition: no components");
+  for (const auto& c : components_) {
+    if (!c.model) throw InvalidArgument("Superposition: null component");
+  }
+}
+
+double Superposition::next(Rng& rng) {
+  double total = 0.0;
+  for (auto& c : components_) total += c.weight * c.model->next(rng);
+  return total;
+}
+
+void Superposition::reset() {
+  for (auto& c : components_) c.model->reset();
+}
+
+std::unique_ptr<MetricModel> Superposition::clone() const {
+  std::vector<Component> copies;
+  copies.reserve(components_.size());
+  for (const auto& c : components_) {
+    copies.push_back(Component{c.model->clone(), c.weight});
+  }
+  return std::make_unique<Superposition>(std::move(copies));
+}
+
+}  // namespace larp::tracegen

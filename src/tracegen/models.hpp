@@ -1,0 +1,200 @@
+// The stochastic building blocks of the synthetic trace catalog.
+//
+// Model → paper trace character it reproduces:
+//   ArProcess       smooth, strongly autocorrelated CPU load (Dinda [6]:
+//                   "CPU load is strongly correlated over time") — the regime
+//                   where AR/LAST win;
+//   OnOffBurst      bursty network traffic: Markov ON/OFF with heavy-tailed
+//                   (Pareto) ON amplitudes — the regime where smoothing
+//                   (SW_AVG) wins and LAST is badly mislead;
+//   StepLevel       memory allocations: long flat plateaus with occasional
+//                   level jumps — the regime where LAST is near-perfect;
+//   PoissonSpikes   disk I/O: quiet baseline plus Poisson-arriving spikes
+//                   with exponential decay;
+//   Diurnal         additive sinusoidal day/period modulation on any child;
+//   RegimeSwitching semi-Markov switching between child models — this is
+//                   what makes "the best predictor ... varies as a function
+//                   of time" (paper finding 3) true of the synthetic data.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tracegen/metric_model.hpp"
+
+namespace larp::tracegen {
+
+/// AR(p) Gaussian process around a fixed mean, optionally clamped to a
+/// non-negative range (utilizations cannot go below zero).
+class ArProcess final : public MetricModel {
+ public:
+  struct Params {
+    std::vector<double> coefficients{0.8};  // psi_1..psi_p, |sum| < 1 advised
+    double mean = 50.0;
+    double noise_sigma = 5.0;
+    double clamp_min = 0.0;
+    double clamp_max = 1e12;
+  };
+
+  explicit ArProcess(Params params);
+  [[nodiscard]] double next(Rng& rng) override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<MetricModel> clone() const override;
+
+ private:
+  Params params_;
+  std::vector<double> history_;  // most recent deviation first
+};
+
+/// Two-state Markov ON/OFF process with Pareto ON amplitudes.
+class OnOffBurst final : public MetricModel {
+ public:
+  struct Params {
+    double p_enter_on = 0.08;   // per-step probability OFF -> ON
+    double p_exit_on = 0.25;    // per-step probability ON -> OFF
+    double off_level = 2.0;     // idle traffic level
+    double off_noise = 0.5;
+    double pareto_scale = 20.0; // ON burst magnitude scale (xm)
+    double pareto_shape = 1.6;  // heavy tail (alpha < 2 -> infinite variance)
+    double on_noise_fraction = 0.15;  // jitter relative to burst magnitude
+  };
+
+  explicit OnOffBurst(Params params);
+  [[nodiscard]] double next(Rng& rng) override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<MetricModel> clone() const override;
+
+ private:
+  Params params_;
+  bool on_ = false;
+  double burst_level_ = 0.0;
+};
+
+/// Piecewise-constant level process with occasional jumps, an optional slow
+/// random-walk drift between jumps (the memory-footprint character: smooth
+/// growth/shrink with occasional reallocations), and plateau jitter.
+class StepLevel final : public MetricModel {
+ public:
+  struct Params {
+    double initial_level = 512.0;
+    double jump_probability = 0.01;  // per step
+    double jump_sigma = 128.0;       // jump size scale
+    double walk_sigma = 0.0;         // per-step random-walk drift of the level
+    double hold_noise = 1.0;         // tiny jitter on the plateau
+    double floor = 0.0;
+  };
+
+  explicit StepLevel(Params params);
+  [[nodiscard]] double next(Rng& rng) override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<MetricModel> clone() const override;
+
+ private:
+  Params params_;
+  double level_;
+};
+
+/// Quiet baseline plus Poisson-arriving spikes that decay geometrically.
+class PoissonSpikes final : public MetricModel {
+ public:
+  struct Params {
+    double base_level = 5.0;
+    double base_noise = 1.0;
+    double arrival_rate = 0.06;  // expected spikes per step
+    double spike_mean = 80.0;    // exponential spike magnitude mean
+    double decay = 0.55;         // per-step geometric decay of spike residue
+  };
+
+  explicit PoissonSpikes(Params params);
+  [[nodiscard]] double next(Rng& rng) override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<MetricModel> clone() const override;
+
+ private:
+  Params params_;
+  double residue_ = 0.0;
+};
+
+/// Adds a sinusoid of the given period (in steps) to a child model.
+class Diurnal final : public MetricModel {
+ public:
+  Diurnal(std::unique_ptr<MetricModel> child, double period_steps,
+          double amplitude, double phase = 0.0);
+  [[nodiscard]] double next(Rng& rng) override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<MetricModel> clone() const override;
+
+ private:
+  std::unique_ptr<MetricModel> child_;
+  double period_steps_;
+  double amplitude_;
+  double phase_;
+  std::size_t step_ = 0;
+};
+
+/// Semi-Markov switching between child regimes: dwell times are geometric
+/// with the given mean, and on each switch a uniformly random *different*
+/// child takes over.
+class RegimeSwitching final : public MetricModel {
+ public:
+  RegimeSwitching(std::vector<std::unique_ptr<MetricModel>> regimes,
+                  double mean_dwell_steps);
+  [[nodiscard]] double next(Rng& rng) override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<MetricModel> clone() const override;
+
+  /// Active regime index (exposed for tests).
+  [[nodiscard]] std::size_t active_regime() const noexcept { return active_; }
+
+ private:
+  std::vector<std::unique_ptr<MetricModel>> regimes_;
+  double switch_probability_;
+  std::size_t active_ = 0;
+};
+
+/// Deterministic regime schedule: plays each (model, duration) phase in
+/// order and cycles.  The controlled-experiment counterpart of
+/// RegimeSwitching — switch times are known exactly, which is what
+/// regime-change tests and the online-retraining scenarios need.
+class ScriptedSequence final : public MetricModel {
+ public:
+  struct Phase {
+    std::unique_ptr<MetricModel> model;
+    std::size_t duration = 0;  // steps; must be positive
+  };
+
+  /// Throws InvalidArgument for an empty script, a null model, or a
+  /// zero-duration phase.
+  explicit ScriptedSequence(std::vector<Phase> phases);
+
+  [[nodiscard]] double next(Rng& rng) override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<MetricModel> clone() const override;
+
+  /// Phase active for the NEXT sample (exposed for tests).
+  [[nodiscard]] std::size_t active_phase() const noexcept { return phase_; }
+
+ private:
+  std::vector<Phase> phases_;
+  std::size_t phase_ = 0;
+  std::size_t into_phase_ = 0;
+};
+
+/// Weighted sum of child models (e.g. baseline CPU + job-induced CPU).
+class Superposition final : public MetricModel {
+ public:
+  struct Component {
+    std::unique_ptr<MetricModel> model;
+    double weight = 1.0;
+  };
+
+  explicit Superposition(std::vector<Component> components);
+  [[nodiscard]] double next(Rng& rng) override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<MetricModel> clone() const override;
+
+ private:
+  std::vector<Component> components_;
+};
+
+}  // namespace larp::tracegen

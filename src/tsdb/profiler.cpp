@@ -1,0 +1,32 @@
+#include "tsdb/profiler.hpp"
+
+#include "util/error.hpp"
+
+namespace larp::tsdb {
+
+TimeSeries Profiler::extract(const ProfileRequest& request) const {
+  return db_->fetch(request.key, request.interval, request.start, request.end);
+}
+
+TimeSeries Profiler::extract_all(const SeriesKey& key, Timestamp interval) const {
+  const auto range = db_->retained_range(key, interval);
+  if (!range) {
+    throw InvalidArgument("Profiler: nothing retained yet for " + key.to_string());
+  }
+  return db_->fetch(key, interval, range->first, range->second + interval);
+}
+
+TimeSeries Profiler::extract_recent(const SeriesKey& key, Timestamp interval,
+                                    std::size_t samples) const {
+  if (samples == 0) throw InvalidArgument("Profiler: zero samples requested");
+  const auto range = db_->retained_range(key, interval);
+  if (!range) {
+    throw InvalidArgument("Profiler: nothing retained yet for " + key.to_string());
+  }
+  const Timestamp end = range->second + interval;
+  const Timestamp span = static_cast<Timestamp>(samples) * interval;
+  const Timestamp start = std::max(range->first, end - span);
+  return db_->fetch(key, interval, start, end);
+}
+
+}  // namespace larp::tsdb

@@ -1,0 +1,44 @@
+// Profiler (paper §3.2): extracts the performance data of a given time
+// frame for the VM identified by vmID and deviceID from the round-robin
+// performance database, producing the uniform series the LARPredictor
+// consumes.  (The paper's prototype did this with Perl/Shell scripts.)
+#pragma once
+
+#include "tsdb/rrd.hpp"
+
+namespace larp::tsdb {
+
+/// An extraction request: which stream, which resolution, which window.
+struct ProfileRequest {
+  SeriesKey key;
+  Timestamp interval = kFiveMinutes;  // 5-minute default, like the paper
+  Timestamp start = 0;
+  Timestamp end = 0;  // exclusive
+};
+
+class Profiler {
+ public:
+  /// The profiler borrows the database; the caller keeps it alive.
+  explicit Profiler(const RoundRobinDatabase& db) : db_(&db) {}
+
+  /// Extracts one series; propagates RRD errors (unknown key, misaligned or
+  /// unretained window, unavailable resolution).
+  [[nodiscard]] TimeSeries extract(const ProfileRequest& request) const;
+
+  /// Extracts everything the database currently retains at the given
+  /// resolution for the key.  Throws NotFound/InvalidArgument like extract,
+  /// plus InvalidArgument when nothing is retained yet.
+  [[nodiscard]] TimeSeries extract_all(const SeriesKey& key,
+                                       Timestamp interval) const;
+
+  /// Extracts the most recent `samples` values at the given resolution —
+  /// the "recent performance data" used for QA-triggered re-training.
+  [[nodiscard]] TimeSeries extract_recent(const SeriesKey& key,
+                                          Timestamp interval,
+                                          std::size_t samples) const;
+
+ private:
+  const RoundRobinDatabase* db_;
+};
+
+}  // namespace larp::tsdb

@@ -1,0 +1,235 @@
+#include "tsdb/rrd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace larp::tsdb {
+
+const char* to_string(Consolidation fn) noexcept {
+  switch (fn) {
+    case Consolidation::Average: return "AVERAGE";
+    case Consolidation::Min: return "MIN";
+    case Consolidation::Max: return "MAX";
+    case Consolidation::Last: return "LAST";
+  }
+  return "?";
+}
+
+RrdConfig make_vmkusage_config(std::size_t days) {
+  RrdConfig config;
+  config.base_step = kMinute;
+  // Tier 1: raw minute samples for one day.
+  config.archives.push_back(
+      ArchiveSpec{Consolidation::Average, 1, static_cast<std::size_t>(kDay / kMinute)});
+  // Tier 2: 5-minute averages (the vmkusage consolidation the paper uses).
+  config.archives.push_back(ArchiveSpec{
+      Consolidation::Average, 5,
+      days * static_cast<std::size_t>(kDay / kFiveMinutes)});
+  // Tier 3: 30-minute averages for the week-long VM1 extraction.
+  config.archives.push_back(ArchiveSpec{
+      Consolidation::Average, 30,
+      days * static_cast<std::size_t>(kDay / kThirtyMinutes)});
+  return config;
+}
+
+RoundRobinDatabase::RoundRobinDatabase(RrdConfig config)
+    : config_(std::move(config)) {
+  if (config_.base_step <= 0) {
+    throw InvalidArgument("RRD: base step must be positive");
+  }
+  if (config_.archives.empty()) {
+    throw InvalidArgument("RRD: at least one archive required");
+  }
+  for (const auto& spec : config_.archives) {
+    if (spec.steps_per_bin == 0) {
+      throw InvalidArgument("RRD: archive steps_per_bin must be positive");
+    }
+    if (spec.capacity == 0) {
+      throw InvalidArgument("RRD: archive capacity must be positive");
+    }
+  }
+}
+
+void RoundRobinDatabase::ArchiveRing::push(double consolidated, Timestamp bin_ts,
+                                           std::size_t capacity) {
+  if (count == 0) first_ts = bin_ts;
+  if (bins.size() < capacity) {
+    bins.push_back(consolidated);
+    ++count;
+  } else {
+    // Overwrite the oldest bin; the retained window slides forward.
+    bins[head] = consolidated;
+    head = (head + 1) % capacity;
+    // first_ts advances by one bin duration; the caller knows the duration,
+    // so it is reconstructed there — we only flag the slide via count.
+  }
+}
+
+void RoundRobinDatabase::update(const SeriesKey& key, Timestamp ts, double value) {
+  if ((ts % config_.base_step) != 0) {
+    throw InvalidArgument("RRD::update: timestamp off the base-step grid");
+  }
+  if (!std::isfinite(value)) {
+    // A NaN/Inf sample would silently poison every consolidated bin that
+    // covers it and everything downstream (normalizer, AR fit, PCA).
+    throw InvalidArgument("RRD::update: non-finite sample for " +
+                          key.to_string());
+  }
+  Stream& stream = streams_[key];
+  if (stream.archives.empty()) stream.archives.resize(config_.archives.size());
+  if (stream.last_update && ts <= *stream.last_update) {
+    throw InvalidArgument("RRD::update: non-increasing timestamp for " +
+                          key.to_string());
+  }
+  if (stream.last_update && ts != *stream.last_update + config_.base_step) {
+    const std::size_t missing = static_cast<std::size_t>(
+        (ts - *stream.last_update) / config_.base_step - 1);
+    if (config_.gap_policy == GapPolicy::Reject ||
+        missing > config_.max_gap_steps) {
+      throw InvalidArgument("RRD::update: gap of " + std::to_string(missing) +
+                            " base-step samples for " + key.to_string());
+    }
+    // HoldLast: bridge the gap with the last observed value so every
+    // consolidation bin stays complete.
+    const double hold = stream.last_value;
+    for (std::size_t i = 0; i < missing; ++i) {
+      update(key, *stream.last_update + config_.base_step, hold);
+    }
+  }
+  stream.last_update = ts;
+  stream.last_value = value;
+
+  for (std::size_t a = 0; a < config_.archives.size(); ++a) {
+    const ArchiveSpec& spec = config_.archives[a];
+    ArchiveRing& ring = stream.archives[a];
+
+    if (ring.accum_samples == 0) {
+      ring.accum = 0.0;
+      ring.accum_min = value;
+      ring.accum_max = value;
+    }
+    ring.accum += value;
+    ring.accum_min = std::min(ring.accum_min, value);
+    ring.accum_max = std::max(ring.accum_max, value);
+    ring.accum_last = value;
+    ++ring.accum_samples;
+
+    if (ring.accum_samples == spec.steps_per_bin) {
+      double consolidated = 0.0;
+      switch (spec.function) {
+        case Consolidation::Average:
+          consolidated = ring.accum / static_cast<double>(spec.steps_per_bin);
+          break;
+        case Consolidation::Min: consolidated = ring.accum_min; break;
+        case Consolidation::Max: consolidated = ring.accum_max; break;
+        case Consolidation::Last: consolidated = ring.accum_last; break;
+      }
+      // A bin closing at sample ts covers (ts - bin_len, ts]; it is stamped
+      // with its first covered sample so fetch() axes start at the bin open.
+      const Timestamp bin_len =
+          config_.base_step * static_cast<Timestamp>(spec.steps_per_bin);
+      const Timestamp bin_ts = ts - bin_len + config_.base_step;
+      const bool was_full = ring.bins.size() == spec.capacity;
+      ring.push(consolidated, bin_ts, spec.capacity);
+      if (was_full) ring.first_ts += bin_len;
+      ring.accum_samples = 0;
+    }
+  }
+}
+
+std::vector<SeriesKey> RoundRobinDatabase::keys() const {
+  std::vector<SeriesKey> out;
+  out.reserve(streams_.size());
+  for (const auto& [key, stream] : streams_) out.push_back(key);
+  return out;
+}
+
+bool RoundRobinDatabase::contains(const SeriesKey& key) const noexcept {
+  const auto it = streams_.find(key);
+  if (it == streams_.end()) return false;
+  for (const auto& ring : it->second.archives) {
+    if (ring.count > 0) return true;
+  }
+  return false;
+}
+
+std::vector<Timestamp> RoundRobinDatabase::available_steps(
+    const SeriesKey& key) const {
+  if (!streams_.contains(key)) {
+    throw NotFound("RRD: unknown series " + key.to_string());
+  }
+  std::vector<Timestamp> steps;
+  for (const auto& spec : config_.archives) {
+    steps.push_back(config_.base_step * static_cast<Timestamp>(spec.steps_per_bin));
+  }
+  std::sort(steps.begin(), steps.end());
+  steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
+  return steps;
+}
+
+std::optional<std::pair<Timestamp, Timestamp>> RoundRobinDatabase::retained_range(
+    const SeriesKey& key, Timestamp step) const {
+  const auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    throw NotFound("RRD: unknown series " + key.to_string());
+  }
+  for (std::size_t a = 0; a < config_.archives.size(); ++a) {
+    const Timestamp archive_step =
+        config_.base_step * static_cast<Timestamp>(config_.archives[a].steps_per_bin);
+    if (archive_step != step) continue;
+    const ArchiveRing& ring = it->second.archives[a];
+    if (ring.count == 0) return std::nullopt;
+    const Timestamp last =
+        ring.first_ts + static_cast<Timestamp>(ring.count - 1) * step;
+    return std::make_pair(ring.first_ts, last);
+  }
+  throw NotFound("RRD: no archive with step " + std::to_string(step));
+}
+
+TimeSeries RoundRobinDatabase::fetch(const SeriesKey& key, Timestamp step,
+                                     Timestamp start, Timestamp end) const {
+  const auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    throw NotFound("RRD: unknown series " + key.to_string());
+  }
+  for (std::size_t a = 0; a < config_.archives.size(); ++a) {
+    const Timestamp archive_step =
+        config_.base_step * static_cast<Timestamp>(config_.archives[a].steps_per_bin);
+    if (archive_step != step) continue;
+
+    const ArchiveRing& ring = it->second.archives[a];
+    if (ring.count == 0) {
+      throw InvalidArgument("RRD::fetch: archive empty for " + key.to_string());
+    }
+    if (end <= start) throw InvalidArgument("RRD::fetch: empty window");
+    if ((start - ring.first_ts) % step != 0 || (end - start) % step != 0) {
+      throw InvalidArgument("RRD::fetch: window misaligned with archive grid");
+    }
+    const Timestamp retained_end =
+        ring.first_ts + static_cast<Timestamp>(ring.count) * step;
+    if (start < ring.first_ts || end > retained_end) {
+      throw InvalidArgument("RRD::fetch: window not fully retained for " +
+                            key.to_string());
+    }
+
+    const std::size_t first_bin =
+        static_cast<std::size_t>((start - ring.first_ts) / step);
+    const std::size_t bin_count = static_cast<std::size_t>((end - start) / step);
+    TimeSeries series;
+    series.axis = TimeAxis(start, step, bin_count);
+    series.values.reserve(bin_count);
+    const std::size_t capacity = ring.bins.size();
+    for (std::size_t i = 0; i < bin_count; ++i) {
+      // head is the index of the oldest bin once the ring has wrapped;
+      // before wrapping the oldest bin is at slot 0 and head stays 0.
+      const std::size_t slot = (ring.head + first_bin + i) % capacity;
+      series.values.push_back(ring.bins[slot]);
+    }
+    return series;
+  }
+  throw NotFound("RRD: no archive with step " + std::to_string(step));
+}
+
+}  // namespace larp::tsdb

@@ -1,0 +1,122 @@
+// Round-Robin Database: the performance database of the paper's prototype
+// (§3.2), where vmkusage samples every minute and consolidates five
+// one-minute statistics into a five-minute average.
+//
+// Each series key owns one or more archives.  An archive consolidates
+// `steps_per_bin` consecutive base-step samples with a consolidation
+// function (AVERAGE like vmkusage, or MIN/MAX/LAST) and retains at most
+// `capacity` consolidated bins in a fixed ring — old data is overwritten,
+// which is the defining round-robin property.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "tsdb/series.hpp"
+
+namespace larp::tsdb {
+
+enum class Consolidation { Average, Min, Max, Last };
+
+[[nodiscard]] const char* to_string(Consolidation fn) noexcept;
+
+/// One retention tier of the database.
+struct ArchiveSpec {
+  Consolidation function = Consolidation::Average;
+  /// Base-step samples per consolidated bin (vmkusage: 5 one-minute samples).
+  std::size_t steps_per_bin = 1;
+  /// Maximum bins retained; older bins are overwritten round-robin.
+  std::size_t capacity = 0;
+};
+
+/// What to do when an update arrives more than one base step after the
+/// previous one (a monitoring agent dropped samples).
+enum class GapPolicy {
+  /// Reject the update (default: a strict grid, gaps are a caller bug).
+  Reject,
+  /// Synthesize the missing base steps by holding the last observed value
+  /// (the pragmatic choice for lossy collectors; bounded by max_gap_steps).
+  HoldLast,
+};
+
+struct RrdConfig {
+  /// Interval between raw samples fed to update() (vmkusage: one minute).
+  Timestamp base_step = kMinute;
+  std::vector<ArchiveSpec> archives;
+  GapPolicy gap_policy = GapPolicy::Reject;
+  /// HoldLast refuses to bridge gaps longer than this many missing steps
+  /// (the stream is clearly dead, not merely lossy).
+  std::size_t max_gap_steps = 16;
+};
+
+/// The vmkusage-like default: a 1:1 archive of one day of minute samples
+/// plus a 5-minute AVERAGE archive retaining `days` days.
+[[nodiscard]] RrdConfig make_vmkusage_config(std::size_t days = 8);
+
+class RoundRobinDatabase {
+ public:
+  /// Throws InvalidArgument for a non-positive base step, no archives, or an
+  /// archive with zero capacity / zero steps_per_bin.
+  explicit RoundRobinDatabase(RrdConfig config);
+
+  [[nodiscard]] const RrdConfig& config() const noexcept { return config_; }
+
+  /// Feeds one raw sample.  Timestamps must be on the base-step grid and
+  /// strictly increasing per key (real RRDs reject out-of-order updates too);
+  /// violations throw InvalidArgument.
+  void update(const SeriesKey& key, Timestamp ts, double value);
+
+  /// Number of distinct keys stored.
+  [[nodiscard]] std::size_t key_count() const noexcept { return streams_.size(); }
+
+  /// All stored keys (unordered).
+  [[nodiscard]] std::vector<SeriesKey> keys() const;
+
+  /// True when the key has at least one consolidated bin in some archive.
+  [[nodiscard]] bool contains(const SeriesKey& key) const noexcept;
+
+  /// Step sizes (seconds) available for the key, ascending.
+  [[nodiscard]] std::vector<Timestamp> available_steps(const SeriesKey& key) const;
+
+  /// Retained range [first, last] of the archive with the given step, or
+  /// nullopt when empty.  `step` must match an archive exactly.
+  [[nodiscard]] std::optional<std::pair<Timestamp, Timestamp>> retained_range(
+      const SeriesKey& key, Timestamp step) const;
+
+  /// Extracts the consolidated series with the given step over
+  /// [start, end) — both on the archive grid.  Throws NotFound for unknown
+  /// keys/steps and InvalidArgument when the window is misaligned or not
+  /// fully retained (overwritten or not yet filled).
+  [[nodiscard]] TimeSeries fetch(const SeriesKey& key, Timestamp step,
+                                 Timestamp start, Timestamp end) const;
+
+ private:
+  /// Ring storage of one archive for one key.
+  struct ArchiveRing {
+    std::vector<double> bins;       // ring buffer, size <= spec capacity
+    std::size_t head = 0;           // slot of the OLDEST bin once full
+    Timestamp first_ts = 0;         // timestamp of the oldest retained bin
+    std::size_t count = 0;          // bins stored so far (<= capacity)
+    // Partial-bin accumulation state.
+    double accum = 0.0;
+    double accum_min = 0.0;
+    double accum_max = 0.0;
+    double accum_last = 0.0;
+    std::size_t accum_samples = 0;
+
+    void push(double consolidated, Timestamp bin_ts, std::size_t capacity);
+  };
+
+  struct Stream {
+    std::optional<Timestamp> last_update;
+    double last_value = 0.0;  // for GapPolicy::HoldLast bridging
+    std::vector<ArchiveRing> archives;  // parallel to config_.archives
+  };
+
+  RrdConfig config_;
+  std::unordered_map<SeriesKey, Stream> streams_;
+};
+
+}  // namespace larp::tsdb

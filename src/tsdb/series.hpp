@@ -1,0 +1,47 @@
+// Core time-series value types shared by the storage and prediction layers.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/time_axis.hpp"
+
+namespace larp::tsdb {
+
+/// Identifies one monitored metric stream, mirroring the paper's
+/// [vmID, deviceID, metricName] key (§3.2).
+struct SeriesKey {
+  std::string vm_id;
+  std::string device_id;
+  std::string metric;
+
+  friend bool operator==(const SeriesKey&, const SeriesKey&) = default;
+  friend auto operator<=>(const SeriesKey&, const SeriesKey&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return vm_id + "/" + device_id + "/" + metric;
+  }
+};
+
+/// A uniformly sampled series: axis.size() == values.size().
+struct TimeSeries {
+  TimeAxis axis;
+  std::vector<double> values;
+
+  [[nodiscard]] std::size_t size() const noexcept { return values.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values.empty(); }
+};
+
+}  // namespace larp::tsdb
+
+template <>
+struct std::hash<larp::tsdb::SeriesKey> {
+  std::size_t operator()(const larp::tsdb::SeriesKey& key) const noexcept {
+    const std::hash<std::string> h;
+    std::size_t seed = h(key.vm_id);
+    seed ^= h(key.device_id) + 0x9e3779b9 + (seed << 6) + (seed >> 2);
+    seed ^= h(key.metric) + 0x9e3779b9 + (seed << 6) + (seed >> 2);
+    return seed;
+  }
+};

@@ -1,0 +1,132 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace larp::csv {
+
+namespace {
+
+std::vector<std::string> parse_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+}  // namespace
+
+std::size_t Table::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw NotFound("csv: no column named '" + name + "'");
+}
+
+std::vector<double> Table::numeric_column(const std::string& name) const {
+  const std::size_t idx = column(name);
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const auto& row : rows) {
+    const std::string& cell = row[idx];
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(cell.data(), cell.data() + cell.size(), value);
+    if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
+      throw InvalidArgument("csv: non-numeric cell '" + cell + "' in column '" +
+                            name + "'");
+    }
+    values.push_back(value);
+  }
+  return values;
+}
+
+Table read(std::istream& in) {
+  Table table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty() && in.peek() == std::char_traits<char>::eof()) break;
+    auto cells = parse_line(line);
+    if (first) {
+      table.header = std::move(cells);
+      first = false;
+    } else {
+      cells.resize(table.header.size());
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  return table;
+}
+
+Table read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw NotFound("csv: cannot open '" + path + "'");
+  return read(in);
+}
+
+void write_row(std::ostream& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out << ',';
+    if (needs_quoting(cells[i])) {
+      out << '"';
+      for (char c : cells[i]) {
+        if (c == '"') out << "\"\"";
+        else out << c;
+      }
+      out << '"';
+    } else {
+      out << cells[i];
+    }
+  }
+  out << '\n';
+}
+
+void write(std::ostream& out, const Table& table) {
+  write_row(out, table.header);
+  for (const auto& row : table.rows) write_row(out, row);
+}
+
+void write_series(std::ostream& out, const std::string& name,
+                  const std::vector<double>& values) {
+  write_row(out, {"index", name});
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::ostringstream value;
+    value << values[i];
+    write_row(out, {std::to_string(i), value.str()});
+  }
+}
+
+}  // namespace larp::csv

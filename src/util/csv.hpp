@@ -1,0 +1,43 @@
+// Minimal CSV reading/writing for trace import/export and benchmark output.
+//
+// The dialect is deliberately simple (comma separator, optional quoting with
+// doubled-quote escapes, single header row) — enough to round-trip the
+// library's own exports and to ingest externally collected traces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace larp::csv {
+
+/// One parsed table: a header row plus data rows of strings.
+struct Table {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of the named column; throws NotFound if absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+
+  /// The named column converted to double; throws on non-numeric cells.
+  [[nodiscard]] std::vector<double> numeric_column(const std::string& name) const;
+};
+
+/// Parses a CSV document from a stream.  An empty stream yields an empty
+/// table.  Ragged rows are padded with empty cells to the header width.
+[[nodiscard]] Table read(std::istream& in);
+
+/// Parses the file at `path`; throws NotFound if it cannot be opened.
+[[nodiscard]] Table read_file(const std::string& path);
+
+/// Serializes a single row, quoting cells that contain separators/quotes.
+void write_row(std::ostream& out, const std::vector<std::string>& cells);
+
+/// Writes a full table (header + rows).
+void write(std::ostream& out, const Table& table);
+
+/// Writes a named series of doubles as a two-column (index,value) table.
+void write_series(std::ostream& out, const std::string& name,
+                  const std::vector<double>& values);
+
+}  // namespace larp::csv

@@ -1,0 +1,14 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace larp::detail {
+
+void assert_fail(const char* expr, std::source_location loc) {
+  std::ostringstream os;
+  os << "LARP_ASSERT failed: (" << expr << ") at " << loc.file_name() << ':'
+     << loc.line() << " in " << loc.function_name();
+  throw Error(os.str());
+}
+
+}  // namespace larp::detail

@@ -1,0 +1,61 @@
+// Error-handling primitives shared across the LARPredictor libraries.
+//
+// The library throws typed exceptions for contract violations at API
+// boundaries (bad dimensions, empty inputs, unknown keys) and uses
+// LARP_ASSERT for internal invariants that indicate a library bug rather
+// than misuse.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace larp {
+
+/// Base class for every exception thrown by the LARPredictor libraries.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an argument violates a documented precondition
+/// (e.g. a window size of zero, mismatched matrix dimensions).
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a lookup key does not exist (database rows, metric names).
+class NotFound : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an operation is attempted on an object in the wrong state
+/// (e.g. transform() before fit(), predicting with an untrained model).
+class StateError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a numerical routine cannot proceed (singular system,
+/// non-convergent iteration).
+class NumericalError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, std::source_location loc);
+}  // namespace detail
+
+}  // namespace larp
+
+/// Internal invariant check: active in all build types because the library's
+/// correctness claims (reproduction of published results) depend on them.
+#define LARP_ASSERT(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::larp::detail::assert_fail(#expr, std::source_location::current()); \
+    }                                                                    \
+  } while (false)

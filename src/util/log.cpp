@@ -1,0 +1,47 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace larp::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Warn};
+std::atomic<std::ostream*> g_sink{nullptr};
+std::mutex g_mutex;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_sink(std::ostream* sink) noexcept {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+bool detail::enabled(Level lvl) noexcept {
+  return static_cast<int>(lvl) >= static_cast<int>(level());
+}
+
+void write(Level lvl, const std::string& component, const std::string& message) {
+  if (!detail::enabled(lvl)) return;
+  std::ostream* sink = g_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) sink = &std::cerr;
+  std::lock_guard lock(g_mutex);
+  (*sink) << '[' << level_name(lvl) << "] [" << component << "] " << message
+          << '\n';
+}
+
+}  // namespace larp::log

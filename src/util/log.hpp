@@ -1,0 +1,64 @@
+// Leveled logging with a process-global sink.
+//
+// Defaults to stderr at Warn so library users see problems but experiment
+// binaries stay quiet; the examples raise the level to Info to narrate the
+// pipeline.  Thread safe: a single mutex serializes sink writes.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace larp::log {
+
+enum class Level { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Sets the minimum level that reaches the sink.
+void set_level(Level level) noexcept;
+[[nodiscard]] Level level() noexcept;
+
+/// Redirects output to the given stream (not owned); nullptr restores stderr.
+void set_sink(std::ostream* sink) noexcept;
+
+/// Emits one formatted line if `lvl` passes the threshold.
+void write(Level lvl, const std::string& component, const std::string& message);
+
+namespace detail {
+[[nodiscard]] bool enabled(Level lvl) noexcept;
+}
+
+}  // namespace larp::log
+
+/// Streaming log macros: LARP_LOG_INFO("tsdb") << "consolidated " << n;
+#define LARP_LOG_IMPL(lvl, component)                                        \
+  if (!::larp::log::detail::enabled(lvl)) {                                  \
+  } else                                                                     \
+    ::larp::log::LineEmitter(lvl, component)
+
+namespace larp::log {
+
+/// Accumulates one log line and flushes it on destruction.
+class LineEmitter {
+ public:
+  LineEmitter(Level lvl, std::string component)
+      : level_(lvl), component_(std::move(component)) {}
+  ~LineEmitter() { write(level_, component_, buffer_.str()); }
+  template <typename T>
+  LineEmitter& operator<<(const T& value) {
+    buffer_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::string component_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace larp::log
+
+#define LARP_LOG_TRACE(component) LARP_LOG_IMPL(::larp::log::Level::Trace, component)
+#define LARP_LOG_DEBUG(component) LARP_LOG_IMPL(::larp::log::Level::Debug, component)
+#define LARP_LOG_INFO(component) LARP_LOG_IMPL(::larp::log::Level::Info, component)
+#define LARP_LOG_WARN(component) LARP_LOG_IMPL(::larp::log::Level::Warn, component)
+#define LARP_LOG_ERROR(component) LARP_LOG_IMPL(::larp::log::Level::Error, component)

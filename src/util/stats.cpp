@@ -1,0 +1,266 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace larp::stats {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    const double d = x - mu;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    const double d = x - mu;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  for (double x : xs) best = std::min(best, x);
+  return best;
+}
+
+double max(std::span<const double> xs) noexcept {
+  double best = -std::numeric_limits<double>::infinity();
+  for (double x : xs) best = std::max(best, x);
+  return best;
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> copy(xs.begin(), xs.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + mid, copy.end());
+  if (copy.size() % 2 == 1) return copy[mid];
+  const double upper = copy[mid];
+  std::nth_element(copy.begin(), copy.begin() + mid - 1, copy.begin() + mid);
+  return 0.5 * (copy[mid - 1] + upper);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw InvalidArgument("percentile: p outside [0,100]");
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  const double rank = p / 100.0 * static_cast<double>(copy.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, copy.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return copy[lo] + frac * (copy[hi] - copy[lo]);
+}
+
+double trimmed_mean(std::span<const double> xs, double trim_fraction) {
+  if (xs.empty()) return 0.0;
+  if (trim_fraction < 0.0 || trim_fraction >= 0.5) {
+    throw InvalidArgument("trimmed_mean: trim_fraction outside [0, 0.5)");
+  }
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  const std::size_t cut =
+      static_cast<std::size_t>(trim_fraction * static_cast<double>(copy.size()));
+  const std::size_t kept = copy.size() - 2 * cut;
+  if (kept == 0) return median(xs);
+  double total = 0.0;
+  for (std::size_t i = cut; i < copy.size() - cut; ++i) total += copy[i];
+  return total / static_cast<double>(kept);
+}
+
+namespace {
+void require_same_length(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw InvalidArgument("error metric: prediction/observation length mismatch");
+  }
+}
+}  // namespace
+
+double mse(std::span<const double> predicted, std::span<const double> observed) {
+  require_same_length(predicted, observed);
+  if (predicted.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - observed[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+double rmse(std::span<const double> predicted, std::span<const double> observed) {
+  return std::sqrt(mse(predicted, observed));
+}
+
+double mae(std::span<const double> predicted, std::span<const double> observed) {
+  require_same_length(predicted, observed);
+  if (predicted.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    acc += std::abs(predicted[i] - observed[i]);
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  if (lag >= xs.size()) return 0.0;
+  const double mu = mean(xs);
+  double denom = 0.0;
+  for (double x : xs) {
+    const double d = x - mu;
+    denom += d * d;
+  }
+  if (denom == 0.0) return lag == 0 ? 1.0 : 0.0;
+  double numer = 0.0;
+  for (std::size_t i = lag; i < xs.size(); ++i) {
+    numer += (xs[i] - mu) * (xs[i - lag] - mu);
+  }
+  return numer / denom;
+}
+
+std::vector<double> autocorrelations(std::span<const double> xs, std::size_t max_lag) {
+  std::vector<double> acf(max_lag + 1, 0.0);
+  acf[0] = 1.0;
+  if (xs.empty()) return acf;
+  const double mu = mean(xs);
+  double denom = 0.0;
+  for (double x : xs) {
+    const double d = x - mu;
+    denom += d * d;
+  }
+  if (denom == 0.0) return acf;  // constant series: acf[k>0] = 0 by convention
+  for (std::size_t lag = 1; lag <= max_lag && lag < xs.size(); ++lag) {
+    double numer = 0.0;
+    for (std::size_t i = lag; i < xs.size(); ++i) {
+      numer += (xs[i] - mu) * (xs[i - lag] - mu);
+    }
+    acf[lag] = numer / denom;
+  }
+  return acf;
+}
+
+double hurst_exponent(std::span<const double> xs) {
+  if (xs.size() < 32) {
+    throw InvalidArgument("hurst_exponent: need at least 32 points");
+  }
+  if (variance(xs) == 0.0) return 0.5;
+
+  // Average R/S over non-overlapping chunks for each chunk size 8,16,32,...
+  std::vector<double> log_size, log_rs;
+  for (std::size_t chunk = 8; chunk <= xs.size() / 2; chunk *= 2) {
+    double rs_total = 0.0;
+    std::size_t rs_count = 0;
+    for (std::size_t start = 0; start + chunk <= xs.size(); start += chunk) {
+      const auto part = xs.subspan(start, chunk);
+      const double mu = mean(part);
+      // Range of the cumulative deviation series.
+      double cum = 0.0, lo = 0.0, hi = 0.0;
+      for (double x : part) {
+        cum += x - mu;
+        lo = std::min(lo, cum);
+        hi = std::max(hi, cum);
+      }
+      const double sd = stddev(part);
+      if (sd > 0.0 && hi > lo) {
+        rs_total += (hi - lo) / sd;
+        ++rs_count;
+      }
+    }
+    if (rs_count > 0) {
+      log_size.push_back(std::log(static_cast<double>(chunk)));
+      log_rs.push_back(std::log(rs_total / static_cast<double>(rs_count)));
+    }
+  }
+  if (log_size.size() < 2) return 0.5;  // not enough scales to fit a slope
+
+  // Closed-form simple linear regression slope.
+  const double mx = mean(log_size);
+  const double my = mean(log_rs);
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < log_size.size(); ++i) {
+    sxx += (log_size[i] - mx) * (log_size[i] - mx);
+    sxy += (log_size[i] - mx) * (log_rs[i] - my);
+  }
+  return sxx > 0.0 ? sxy / sxx : 0.5;
+}
+
+void RunningMoments::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningMoments::merge(const RunningMoments& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+}
+
+double RunningMoments::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningMse::add(double predicted, double observed) noexcept {
+  const double d = predicted - observed;
+  sum_sq_ += d * d;
+  ++n_;
+}
+
+WindowedMse::WindowedMse(std::size_t window) : window_(window) {
+  if (window == 0) throw InvalidArgument("WindowedMse: window must be positive");
+  buffer_.reserve(window);
+}
+
+void WindowedMse::add(double predicted, double observed) {
+  const double d = predicted - observed;
+  const double sq = d * d;
+  if (buffer_.size() < window_) {
+    buffer_.push_back(sq);
+    sum_ += sq;
+  } else {
+    sum_ += sq - buffer_[head_];
+    buffer_[head_] = sq;
+    head_ = (head_ + 1) % window_;
+  }
+}
+
+double WindowedMse::value() const noexcept {
+  return buffer_.empty() ? 0.0 : sum_ / static_cast<double>(buffer_.size());
+}
+
+void WindowedMse::reset() noexcept {
+  buffer_.clear();
+  head_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace larp::stats

@@ -1,0 +1,131 @@
+// Descriptive statistics and error metrics used throughout the library.
+//
+// All routines operate on std::span<const double> so they can be applied to
+// raw vectors, matrix rows, and database extracts without copies.  The
+// prediction-error metrics implement the definitions in §4 of the paper
+// (MSE, eq. 5) plus the companions (MAE, RMSE) used in the benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace larp::stats {
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Population variance (divide by N); 0 for spans shorter than 1.
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+
+/// Sample variance (divide by N-1); 0 for spans shorter than 2.
+[[nodiscard]] double sample_variance(std::span<const double> xs) noexcept;
+
+/// Population standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Minimum value; +inf for an empty span.
+[[nodiscard]] double min(std::span<const double> xs) noexcept;
+
+/// Maximum value; -inf for an empty span.
+[[nodiscard]] double max(std::span<const double> xs) noexcept;
+
+/// Median (by copy-and-nth_element); 0 for an empty span.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0,100].
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Mean of the central values after trimming `trim_fraction` from each tail.
+[[nodiscard]] double trimmed_mean(std::span<const double> xs, double trim_fraction);
+
+/// Mean squared error between predictions and observations (same length).
+[[nodiscard]] double mse(std::span<const double> predicted,
+                         std::span<const double> observed);
+
+/// Root mean squared error.
+[[nodiscard]] double rmse(std::span<const double> predicted,
+                          std::span<const double> observed);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const double> predicted,
+                         std::span<const double> observed);
+
+/// Biased sample autocorrelation at the given lag (denominator N·var),
+/// the estimator the Yule–Walker fit consumes.  Returns 0 when the series
+/// variance is zero or the lag is out of range.
+[[nodiscard]] double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// Autocorrelation values for lags 0..max_lag inclusive (acf[0] == 1 unless
+/// the series is constant, in which case all entries are 0 except acf[0]=1).
+[[nodiscard]] std::vector<double> autocorrelations(std::span<const double> xs,
+                                                   std::size_t max_lag);
+
+/// Hurst exponent estimated by the classic rescaled-range (R/S) method:
+/// the series is cut into chunks of doubling sizes, the rescaled range
+/// R/S is averaged per size, and H is the slope of log(R/S) vs log(size).
+/// H ~ 0.5 for uncorrelated noise, > 0.5 for persistent (self-similar)
+/// series like Dinda's host-load traces, < 0.5 for anti-persistent ones.
+/// Requires at least 32 points; throws InvalidArgument otherwise.  Returns
+/// 0.5 for constant series (no variability to scale).
+[[nodiscard]] double hurst_exponent(std::span<const double> xs);
+
+/// Numerically stable streaming accumulator (Welford) for mean/variance.
+class RunningMoments {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningMoments& other) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance.
+  [[nodiscard]] double variance() const noexcept { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Streaming squared-error accumulator: the "cumulative MSE" of the NWS
+/// predictor-selection baseline (§2) and of the Quality Assuror audits.
+class RunningMse {
+ public:
+  /// Records one (prediction, observation) pair.
+  void add(double predicted, double observed) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  /// Mean squared error so far; 0 before any sample.
+  [[nodiscard]] double value() const noexcept {
+    return n_ ? sum_sq_ / static_cast<double>(n_) : 0.0;
+  }
+  [[nodiscard]] double sum_squared_error() const noexcept { return sum_sq_; }
+  void reset() noexcept { n_ = 0; sum_sq_ = 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_sq_ = 0.0;
+};
+
+/// Fixed-capacity sliding-window MSE: the W-Cum.MSE baseline of Fig. 6 keeps
+/// only the last `window` squared errors.
+class WindowedMse {
+ public:
+  explicit WindowedMse(std::size_t window);
+  void add(double predicted, double observed);
+  [[nodiscard]] std::size_t count() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+  /// Mean of the retained squared errors; 0 before any sample.
+  [[nodiscard]] double value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::size_t window_;
+  std::vector<double> buffer_;  // ring buffer of squared errors
+  std::size_t head_ = 0;        // next slot to overwrite once full
+  double sum_ = 0.0;
+};
+
+}  // namespace larp::stats

@@ -1,0 +1,44 @@
+#include "util/time_axis.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace larp {
+
+TimeAxis::TimeAxis(Timestamp start, Timestamp step, std::size_t samples)
+    : start_(start), step_(step), samples_(samples) {
+  if (step <= 0) throw InvalidArgument("TimeAxis: step must be positive");
+}
+
+Timestamp TimeAxis::at(std::size_t index) const {
+  if (index >= samples_) throw InvalidArgument("TimeAxis::at: index out of range");
+  return start_ + static_cast<Timestamp>(index) * step_;
+}
+
+bool TimeAxis::contains(Timestamp ts) const noexcept {
+  if (ts < start_ || ts >= end()) return false;
+  return (ts - start_) % step_ == 0;
+}
+
+std::size_t TimeAxis::index_of(Timestamp ts) const {
+  if (!contains(ts)) {
+    throw InvalidArgument("TimeAxis::index_of: timestamp off-grid or out of range");
+  }
+  return static_cast<std::size_t>((ts - start_) / step_);
+}
+
+TimeAxis TimeAxis::slice(std::size_t first, std::size_t count) const {
+  if (first + count > samples_) {
+    throw InvalidArgument("TimeAxis::slice: range out of bounds");
+  }
+  return TimeAxis(at(first), step_, count);
+}
+
+std::string TimeAxis::describe() const {
+  std::ostringstream os;
+  os << "start=" << start_ << " step=" << step_ << "s n=" << samples_;
+  return os.str();
+}
+
+}  // namespace larp

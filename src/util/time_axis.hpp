@@ -1,0 +1,67 @@
+// Discrete time axis shared by the monitoring, storage and prediction layers.
+//
+// The paper's pipeline is built on uniformly sampled series (vmkusage samples
+// every minute; the profiler extracts 5- or 30-minute series).  TimeAxis
+// captures "start + fixed step" and converts between timestamps and sample
+// indices, so alignment bugs surface as exceptions instead of silent
+// off-by-one shifts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace larp {
+
+/// Seconds since an arbitrary epoch; the library never needs wall-clock time.
+using Timestamp = std::int64_t;
+
+/// Common sampling intervals used in the paper's experiments.
+inline constexpr Timestamp kSecond = 1;
+inline constexpr Timestamp kMinute = 60;
+inline constexpr Timestamp kFiveMinutes = 5 * kMinute;
+inline constexpr Timestamp kThirtyMinutes = 30 * kMinute;
+inline constexpr Timestamp kHour = 60 * kMinute;
+inline constexpr Timestamp kDay = 24 * kHour;
+
+/// A uniform sampling grid: sample i is at `start + i*step`.
+class TimeAxis {
+ public:
+  TimeAxis() = default;
+
+  /// Constructs an axis; throws InvalidArgument for a non-positive step.
+  TimeAxis(Timestamp start, Timestamp step, std::size_t samples);
+
+  [[nodiscard]] Timestamp start() const noexcept { return start_; }
+  [[nodiscard]] Timestamp step() const noexcept { return step_; }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_; }
+  [[nodiscard]] bool empty() const noexcept { return samples_ == 0; }
+
+  /// Timestamp of sample `index`; throws InvalidArgument when out of range.
+  [[nodiscard]] Timestamp at(std::size_t index) const;
+
+  /// Timestamp one step past the final sample (exclusive end).
+  [[nodiscard]] Timestamp end() const noexcept {
+    return start_ + static_cast<Timestamp>(samples_) * step_;
+  }
+
+  /// True when `ts` falls exactly on a grid point within range.
+  [[nodiscard]] bool contains(Timestamp ts) const noexcept;
+
+  /// Sample index for `ts`; throws InvalidArgument if off-grid/out of range.
+  [[nodiscard]] std::size_t index_of(Timestamp ts) const;
+
+  /// Axis covering samples [first, first+count) of this axis.
+  [[nodiscard]] TimeAxis slice(std::size_t first, std::size_t count) const;
+
+  /// Human-readable "start=.. step=..s n=.." description for logs.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const TimeAxis&, const TimeAxis&) = default;
+
+ private:
+  Timestamp start_ = 0;
+  Timestamp step_ = kMinute;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace larp

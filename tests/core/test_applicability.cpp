@@ -1,0 +1,128 @@
+// Tests for the §8 applicability assessor.
+#include "core/applicability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tracegen/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace larp::core {
+namespace {
+
+LarConfig test_config() {
+  LarConfig config;
+  config.window = 5;
+  config.pca_components = 0;
+  config.pca_min_variance = 0.85;
+  return config;
+}
+
+ml::CrossValidationPlan quick_plan() {
+  ml::CrossValidationPlan plan;
+  plan.folds = 3;
+  return plan;
+}
+
+TEST(Applicability, ConstantSeriesNotApplicable) {
+  const std::vector<double> flat(200, 3.0);
+  const auto pool = predictors::make_paper_pool(5);
+  Rng rng(1);
+  const auto report =
+      assess_applicability(flat, pool, test_config(), quick_plan(), rng);
+  EXPECT_EQ(report.verdict, ApplicabilityVerdict::NotApplicable);
+  EXPECT_FALSE(report.explanation.empty());
+}
+
+TEST(Applicability, RandomWalkPrefersSingleExpert) {
+  // A pure random walk: LAST is optimal and the oracle headroom over it is
+  // small — the assessor must say "run the single expert".
+  Rng gen(2);
+  std::vector<double> walk(600);
+  double level = 100.0;
+  for (auto& x : walk) {
+    level += gen.normal(0.0, 1.0);
+    x = level;
+  }
+  const auto pool = predictors::make_paper_pool(5);
+  Rng rng(3);
+  const auto report =
+      assess_applicability(walk, pool, test_config(), quick_plan(), rng);
+  EXPECT_NE(report.verdict, ApplicabilityVerdict::NotApplicable);
+  // LAST should be identified as the best single expert.
+  EXPECT_EQ(report.best_single_label, 0u);
+  EXPECT_LT(report.oracle_headroom, 0.6);
+}
+
+TEST(Applicability, RegimeSwitchingTraceScoresHeadroom) {
+  const auto trace = tracegen::make_trace("VM2", "load15", 7, 500);
+  const auto pool = predictors::make_paper_pool(5);
+  Rng rng(4);
+  const auto report =
+      assess_applicability(trace.values, pool, test_config(), quick_plan(), rng);
+  EXPECT_NE(report.verdict, ApplicabilityVerdict::NotApplicable);
+  EXPECT_GT(report.oracle_headroom, 0.05);
+  EXPECT_GT(report.label_entropy, 0.2);   // multiple classes genuinely used
+  EXPECT_GT(report.label_churn, 0.0);     // and they alternate
+  EXPECT_GT(report.selection_accuracy, report.chance_accuracy);
+}
+
+TEST(Applicability, ReportFieldsConsistent) {
+  const auto trace = tracegen::make_trace("VM4", "CPU_usedsec", 9, 400);
+  const auto pool = predictors::make_paper_pool(5);
+  Rng rng(5);
+  const auto report =
+      assess_applicability(trace.values, pool, test_config(), quick_plan(), rng);
+  // Ratios must match the raw MSEs they were derived from.
+  EXPECT_NEAR(report.oracle_headroom,
+              1.0 - report.mse_oracle / report.mse_best_single, 1e-12);
+  EXPECT_NEAR(report.realized_gain,
+              1.0 - report.mse_lar / report.mse_best_single, 1e-12);
+  EXPECT_LE(report.mse_oracle, report.mse_best_single + 1e-12);
+  EXPECT_DOUBLE_EQ(report.chance_accuracy, 1.0 / 3.0);
+  EXPECT_GE(report.label_entropy, 0.0);
+  EXPECT_LE(report.label_entropy, 1.0);
+  EXPECT_FALSE(report.explanation.empty());
+}
+
+TEST(Applicability, VerdictStringsDistinct) {
+  EXPECT_STRNE(to_string(ApplicabilityVerdict::NotApplicable),
+               to_string(ApplicabilityVerdict::Recommended));
+  EXPECT_STRNE(to_string(ApplicabilityVerdict::SingleExpertSuffices),
+               to_string(ApplicabilityVerdict::HeadroomUnrealized));
+}
+
+TEST(Applicability, ThresholdsShiftVerdicts) {
+  const auto trace = tracegen::make_trace("VM2", "NIC1_received", 11, 400);
+  const auto pool = predictors::make_paper_pool(5);
+
+  ApplicabilityThresholds lenient;
+  lenient.min_headroom = 0.0;
+  lenient.min_realized_gain = -1.0;  // any realized result passes
+  Rng rng_a(6);
+  const auto relaxed = assess_applicability(trace.values, pool, test_config(),
+                                            quick_plan(), rng_a, lenient);
+  EXPECT_EQ(relaxed.verdict, ApplicabilityVerdict::Recommended);
+
+  ApplicabilityThresholds strict;
+  strict.min_headroom = 0.99;  // nothing has 99% headroom
+  Rng rng_b(6);
+  const auto denied = assess_applicability(trace.values, pool, test_config(),
+                                           quick_plan(), rng_b, strict);
+  EXPECT_EQ(denied.verdict, ApplicabilityVerdict::SingleExpertSuffices);
+}
+
+TEST(Applicability, DeterministicForFixedSeed) {
+  const auto trace = tracegen::make_trace("VM5", "NIC2_received", 13, 400);
+  const auto pool = predictors::make_paper_pool(5);
+  Rng a(7), b(7);
+  const auto ra =
+      assess_applicability(trace.values, pool, test_config(), quick_plan(), a);
+  const auto rb =
+      assess_applicability(trace.values, pool, test_config(), quick_plan(), b);
+  EXPECT_EQ(ra.verdict, rb.verdict);
+  EXPECT_DOUBLE_EQ(ra.oracle_headroom, rb.oracle_headroom);
+  EXPECT_DOUBLE_EQ(ra.realized_gain, rb.realized_gain);
+}
+
+}  // namespace
+}  // namespace larp::core

@@ -1,0 +1,241 @@
+// Tests for the fold walk and cross-validation experiment runner (§7
+// machinery) — the invariants every paper figure rests on.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tracegen/catalog.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace larp::core {
+namespace {
+
+LarConfig paper_config(std::size_t window = 5) {
+  LarConfig config;
+  config.window = window;
+  return config;
+}
+
+std::vector<double> regime_series(std::size_t n, std::uint64_t seed) {
+  // Alternating smooth / bursty regimes to give every expert a turn.
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  double dev = 0.0;
+  bool smooth = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 60 == 0) smooth = !smooth;
+    if (smooth) {
+      dev = 0.9 * dev + rng.normal(0.0, 1.0);
+      xs.push_back(50.0 + dev);
+    } else {
+      xs.push_back(rng.bernoulli(0.3) ? 50.0 + rng.pareto(10.0, 1.8)
+                                      : 45.0 + rng.normal(0.0, 2.0));
+    }
+  }
+  return xs;
+}
+
+TEST(EvaluateFold, Validation) {
+  const auto series = regime_series(100, 1);
+  const auto pool = predictors::make_paper_pool(5);
+  EXPECT_THROW(
+      (void)evaluate_fold(series, 4, pool, paper_config()),  // split < m+1
+      InvalidArgument);
+  EXPECT_THROW((void)evaluate_fold(series, 100, pool, paper_config()),
+               InvalidArgument);  // no test targets
+  const std::vector<double> flat(100, 2.0);
+  EXPECT_THROW((void)evaluate_fold(flat, 50, pool, paper_config()), StateError);
+}
+
+TEST(EvaluateFold, StepCountMatchesTestSide) {
+  const auto series = regime_series(200, 2);
+  const auto pool = predictors::make_paper_pool(5);
+  const auto result = evaluate_fold(series, 100, pool, paper_config());
+  // Targets at indices 100..199 -> 100 test steps.
+  EXPECT_EQ(result.steps(), 100u);
+  EXPECT_EQ(result.observed_best.size(), 100u);
+  EXPECT_EQ(result.lar_choice.size(), 100u);
+  EXPECT_EQ(result.nws_choice.size(), 100u);
+  EXPECT_EQ(result.wnws_choice.size(), 100u);
+}
+
+TEST(EvaluateFold, OracleIsLowerBoundOnEveryStrategy) {
+  // P-LAR picks the per-step best, so its MSE can never exceed any other
+  // strategy evaluated on the same forecasts — the paper's "upper bound of
+  // prediction accuracy" claim for Table 2's P-LAR column.
+  for (std::uint64_t seed : {3u, 4u, 5u}) {
+    const auto series = regime_series(300, seed);
+    const auto pool = predictors::make_paper_pool(5);
+    const auto r = evaluate_fold(series, 150, pool, paper_config());
+    EXPECT_LE(r.mse_oracle, r.mse_lar + 1e-12);
+    EXPECT_LE(r.mse_oracle, r.mse_nws + 1e-12);
+    EXPECT_LE(r.mse_oracle, r.mse_wnws + 1e-12);
+    for (double single : r.mse_single) {
+      EXPECT_LE(r.mse_oracle, single + 1e-12);
+    }
+  }
+}
+
+TEST(EvaluateFold, AccuraciesAreProbabilities) {
+  const auto series = regime_series(300, 6);
+  const auto pool = predictors::make_paper_pool(5);
+  const auto r = evaluate_fold(series, 150, pool, paper_config());
+  for (double a : {r.lar_accuracy, r.nws_accuracy, r.wnws_accuracy}) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(EvaluateFold, ChoicesAreValidLabels) {
+  const auto series = regime_series(250, 7);
+  const auto pool = predictors::make_paper_pool(5);
+  const auto r = evaluate_fold(series, 120, pool, paper_config());
+  for (std::size_t i = 0; i < r.steps(); ++i) {
+    EXPECT_LT(r.observed_best[i], 3u);
+    EXPECT_LT(r.lar_choice[i], 3u);
+    EXPECT_LT(r.nws_choice[i], 3u);
+    EXPECT_LT(r.wnws_choice[i], 3u);
+  }
+}
+
+TEST(EvaluateFold, LarMseBetweenOracleAndWorst) {
+  const auto series = regime_series(400, 8);
+  const auto pool = predictors::make_paper_pool(5);
+  const auto r = evaluate_fold(series, 200, pool, paper_config());
+  const double worst =
+      *std::max_element(r.mse_single.begin(), r.mse_single.end());
+  EXPECT_GE(r.mse_lar, r.mse_oracle - 1e-12);
+  EXPECT_LE(r.mse_lar, worst + 1e-12);
+}
+
+TEST(EvaluateFold, DeterministicForIdenticalInputs) {
+  const auto series = regime_series(300, 9);
+  const auto pool = predictors::make_paper_pool(5);
+  const auto a = evaluate_fold(series, 150, pool, paper_config());
+  const auto b = evaluate_fold(series, 150, pool, paper_config());
+  EXPECT_EQ(a.lar_choice, b.lar_choice);
+  EXPECT_DOUBLE_EQ(a.mse_lar, b.mse_lar);
+}
+
+TEST(EvaluateFold, ColdNwsOptionChangesWarmup) {
+  const auto series = regime_series(300, 10);
+  const auto pool = predictors::make_paper_pool(5);
+  FoldOptions warm, cold;
+  cold.warm_nws_on_train = false;
+  const auto rw = evaluate_fold(series, 150, pool, paper_config(), warm);
+  const auto rc = evaluate_fold(series, 150, pool, paper_config(), cold);
+  // LAR is unaffected by the option; NWS selections may differ.
+  EXPECT_DOUBLE_EQ(rw.mse_lar, rc.mse_lar);
+}
+
+TEST(EvaluateFold, NormalizedMseNearUnityForLastOnWhiteNoise) {
+  // Sanity anchor for Table 2's magnitudes: on z-scored white noise the
+  // LAST model's normalized MSE is ~2 (var of difference of two unit
+  // normals) and SW_AVG's is ~1.
+  Rng rng(11);
+  std::vector<double> noise(2000);
+  for (auto& x : noise) x = rng.normal(10.0, 3.0);
+  const auto pool = predictors::make_paper_pool(5);
+  const auto r = evaluate_fold(noise, 1000, pool, paper_config());
+  EXPECT_NEAR(r.mse_single[0], 2.0, 0.3);  // LAST
+  EXPECT_NEAR(r.mse_single[2], 1.0, 0.2);  // SW_AVG over m=5 -> ~1.2
+}
+
+TEST(CrossValidate, AveragesOverRequestedFolds) {
+  const auto series = regime_series(300, 12);
+  const auto pool = predictors::make_paper_pool(5);
+  ml::CrossValidationPlan plan;
+  plan.folds = 4;
+  Rng rng(13);
+  const auto result = cross_validate(series, pool, paper_config(), plan, rng);
+  EXPECT_FALSE(result.degenerate);
+  EXPECT_EQ(result.folds, 4u);
+  EXPECT_LE(result.mse_oracle, result.mse_lar + 1e-12);
+  EXPECT_EQ(result.mse_single.size(), 3u);
+}
+
+TEST(CrossValidate, DegenerateTraceYieldsNaN) {
+  const std::vector<double> flat(200, 7.0);
+  const auto pool = predictors::make_paper_pool(5);
+  ml::CrossValidationPlan plan;
+  Rng rng(14);
+  const auto result = cross_validate(flat, pool, paper_config(), plan, rng);
+  EXPECT_TRUE(result.degenerate);
+  EXPECT_TRUE(std::isnan(result.mse_lar));
+  EXPECT_TRUE(std::isnan(result.mse_single[0]));
+}
+
+TEST(CrossValidate, BestSingleLabelAndFlags) {
+  const auto series = regime_series(400, 15);
+  const auto pool = predictors::make_paper_pool(5);
+  ml::CrossValidationPlan plan;
+  plan.folds = 3;
+  Rng rng(16);
+  const auto result = cross_validate(series, pool, paper_config(), plan, rng);
+  const std::size_t best = result.best_single_label();
+  ASSERT_LT(best, 3u);
+  for (double v : result.mse_single) {
+    EXPECT_LE(result.mse_single[best], v + 1e-12);
+  }
+  // Flags consistent with their definitions.
+  EXPECT_EQ(result.lar_beats_best_single(),
+            result.mse_lar <= result.mse_single[best]);
+  EXPECT_EQ(result.lar_beats_nws(), result.mse_lar < result.mse_nws);
+}
+
+TEST(CrossValidate, ReproducibleForSameSeed) {
+  const auto series = regime_series(300, 17);
+  const auto pool = predictors::make_paper_pool(5);
+  ml::CrossValidationPlan plan;
+  Rng a(18), b(18);
+  const auto ra = cross_validate(series, pool, paper_config(), plan, a);
+  const auto rb = cross_validate(series, pool, paper_config(), plan, b);
+  EXPECT_DOUBLE_EQ(ra.mse_lar, rb.mse_lar);
+  EXPECT_DOUBLE_EQ(ra.lar_accuracy, rb.lar_accuracy);
+}
+
+TEST(CrossValidate, RunsOnCatalogTraces) {
+  // Smoke across a couple of catalog traces at paper shapes.
+  const auto pool = predictors::make_paper_pool(5);
+  ml::CrossValidationPlan plan;
+  plan.folds = 2;
+  for (const auto* metric : {"CPU_usedsec", "NIC1_received"}) {
+    const auto trace = tracegen::make_trace("VM2", metric, 99);
+    Rng rng(20);
+    const auto result =
+        cross_validate(trace.values, pool, paper_config(), plan, rng);
+    EXPECT_FALSE(result.degenerate) << metric;
+    EXPECT_GT(result.lar_accuracy, 0.0) << metric;
+  }
+}
+
+// Property sweep over window sizes and splits: the oracle bound and
+// label-validity invariants hold everywhere.
+class FoldProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(FoldProperty, InvariantsHold) {
+  const auto [window, split_pct, seed] = GetParam();
+  const auto series = regime_series(300, seed);
+  const auto pool = predictors::make_paper_pool(window);
+  const std::size_t split = 300 * split_pct / 100;
+  const auto r = evaluate_fold(series, split, pool, paper_config(window));
+  EXPECT_LE(r.mse_oracle, r.mse_lar + 1e-12);
+  EXPECT_LE(r.mse_oracle, r.mse_nws + 1e-12);
+  EXPECT_EQ(r.steps(), 300u - split);
+  EXPECT_GE(r.lar_accuracy, 0.0);
+  EXPECT_LE(r.lar_accuracy, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FoldProperty,
+    ::testing::Combine(::testing::Values(4, 5, 8, 16),
+                       ::testing::Values(35, 50, 65),
+                       ::testing::Values(21, 22)));
+
+}  // namespace
+}  // namespace larp::core

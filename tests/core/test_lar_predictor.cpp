@@ -1,0 +1,229 @@
+// Tests for the LARPredictor training/testing pipeline (§6).
+#include "core/lar_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "predictors/last.hpp"
+#include "predictors/pool.hpp"
+#include "predictors/sliding_window_average.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace larp::core {
+namespace {
+
+LarConfig paper_config(std::size_t window = 5) {
+  LarConfig config;
+  config.window = window;
+  config.pca_components = 2;
+  config.knn_k = 3;
+  return config;
+}
+
+std::vector<double> ar1_series(std::size_t n, std::uint64_t seed,
+                               double phi = 0.8, double mean = 50.0,
+                               double sigma = 5.0) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  double dev = 0.0;
+  for (auto& x : xs) {
+    dev = phi * dev + rng.normal(0.0, sigma);
+    x = mean + dev;
+  }
+  return xs;
+}
+
+TEST(LarPredictor, ConstructionValidation) {
+  EXPECT_THROW(LarPredictor(predictors::PredictorPool{}, paper_config()),
+               InvalidArgument);
+  LarConfig zero_window = paper_config();
+  zero_window.window = 0;
+  EXPECT_THROW(LarPredictor(predictors::make_paper_pool(5), zero_window),
+               InvalidArgument);
+  // Window smaller than AR order is rejected.
+  LarConfig small = paper_config(3);
+  EXPECT_THROW(LarPredictor(predictors::make_paper_pool(5), small),
+               InvalidArgument);
+  LarConfig zero_k = paper_config();
+  zero_k.knn_k = 0;
+  EXPECT_THROW(LarPredictor(predictors::make_paper_pool(5), zero_k),
+               InvalidArgument);
+}
+
+TEST(LarPredictor, UntrainedAccessThrows) {
+  LarPredictor lar(predictors::make_paper_pool(5), paper_config());
+  EXPECT_FALSE(lar.trained());
+  EXPECT_THROW((void)lar.predict_next(), StateError);
+  EXPECT_THROW(lar.observe(1.0), StateError);
+  EXPECT_THROW((void)lar.selector(), StateError);
+  EXPECT_THROW((void)lar.training_labels(), StateError);
+  EXPECT_THROW((void)lar.normalizer(), StateError);
+}
+
+TEST(LarPredictor, TrainValidatesLength) {
+  LarPredictor lar(predictors::make_paper_pool(5), paper_config());
+  EXPECT_THROW(lar.train(std::vector<double>(6, 1.0)), InvalidArgument);
+}
+
+TEST(LarPredictor, TrainingProducesOneLabelPerSupervisedWindow) {
+  const auto series = ar1_series(200, 1);
+  LarPredictor lar(predictors::make_paper_pool(5), paper_config());
+  lar.train(series);
+  ASSERT_TRUE(lar.trained());
+  EXPECT_EQ(lar.training_labels().size(), 200u - 5u);
+  for (std::size_t label : lar.training_labels()) EXPECT_LT(label, 3u);
+  EXPECT_EQ(lar.observed_count(), 200u);
+}
+
+TEST(LarPredictor, ForecastIsFiniteAndInRawUnits) {
+  const auto series = ar1_series(300, 2);
+  LarPredictor lar(predictors::make_paper_pool(5), paper_config());
+  lar.train(series);
+  const auto forecast = lar.predict_next();
+  EXPECT_TRUE(std::isfinite(forecast.value));
+  EXPECT_LT(forecast.label, 3u);
+  // Raw units: an AR(1) around 50 should forecast in that neighbourhood.
+  EXPECT_GT(forecast.value, 0.0);
+  EXPECT_LT(forecast.value, 120.0);
+}
+
+TEST(LarPredictor, OnlineObservationsShiftTheWindow) {
+  const auto series = ar1_series(300, 3);
+  LarPredictor lar(predictors::make_paper_pool(5), paper_config());
+  lar.train(series);
+  const auto before = lar.predict_next();
+  lar.observe(series.back() + 10.0);
+  const auto after = lar.predict_next();
+  // The window changed, so (for LAST/AR selections at least) the forecast
+  // should respond.  Equality of both is possible only for SW_AVG quirks;
+  // assert the pipeline didn't throw and labels remain valid.
+  EXPECT_LT(after.label, 3u);
+  EXPECT_TRUE(std::isfinite(after.value));
+  (void)before;
+}
+
+TEST(LarPredictor, LabelsTrackWorkloadCharacter) {
+  // Construct a series whose first half is smooth (LAST/AR territory) and
+  // whose second half is violent noise (SW_AVG territory); the training
+  // labels must not collapse to a single class.
+  Rng rng(4);
+  std::vector<double> series;
+  double dev = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    dev = 0.95 * dev + rng.normal(0.0, 0.3);
+    series.push_back(50.0 + dev);
+  }
+  for (int i = 0; i < 200; ++i) {
+    series.push_back(rng.bernoulli(0.5) ? 80.0 + rng.normal(0, 5)
+                                        : 20.0 + rng.normal(0, 5));
+  }
+  LarPredictor lar(predictors::make_paper_pool(5), paper_config());
+  lar.train(series);
+  const auto& labels = lar.training_labels();
+  std::vector<std::size_t> counts(3, 0);
+  for (std::size_t l : labels) ++counts[l];
+  EXPECT_GT(counts[0] + counts[1], 0u);
+  EXPECT_GT(counts[2], 0u);  // SW_AVG must win somewhere in the noise half
+}
+
+TEST(LarPredictor, SelectorAgreesWithKnnOnTrainingWindows) {
+  const auto series = ar1_series(150, 5);
+  LarPredictor lar(predictors::make_paper_pool(5), paper_config());
+  lar.train(series);
+  // Selector must produce a valid label for any window-sized input.
+  auto selector = lar.selector().clone();
+  const std::vector<double> window(5, 0.0);
+  EXPECT_LT(selector->select(window), 3u);
+}
+
+TEST(LarPredictor, RetrainReplacesModel) {
+  const auto first = ar1_series(200, 6, 0.8, 10.0, 1.0);
+  const auto second = ar1_series(200, 7, 0.8, 1000.0, 1.0);
+  LarPredictor lar(predictors::make_paper_pool(5), paper_config());
+  lar.train(first);
+  const double mean_before = lar.normalizer().mean();
+  lar.retrain(second);
+  EXPECT_GT(lar.normalizer().mean(), 10.0 * mean_before);
+  const auto forecast = lar.predict_next();
+  EXPECT_GT(forecast.value, 500.0);  // now forecasting in the new regime
+}
+
+TEST(LarPredictor, WorksWithExtendedPool) {
+  const auto series = ar1_series(400, 8);
+  LarConfig config = paper_config(8);
+  LarPredictor lar(predictors::make_extended_pool(8), config);
+  lar.train(series);
+  const auto forecast = lar.predict_next();
+  EXPECT_LT(forecast.label, predictors::make_extended_pool(8).size());
+  EXPECT_TRUE(std::isfinite(forecast.value));
+}
+
+TEST(LarPredictor, PcaSpaceAblationStillPredicts) {
+  const auto series = ar1_series(300, 9);
+  LarConfig config = paper_config();
+  config.predict_in_pca_space = true;
+  LarPredictor lar(predictors::make_paper_pool(5), config);
+  lar.train(series);
+  const auto forecast = lar.predict_next();
+  EXPECT_TRUE(std::isfinite(forecast.value));
+}
+
+TEST(LarPredictor, KdTreeBackendMatchesBruteForceSelections) {
+  const auto series = ar1_series(300, 10);
+  LarConfig brute_cfg = paper_config();
+  LarConfig tree_cfg = paper_config();
+  tree_cfg.knn_backend = ml::KnnBackend::KdTree;
+
+  LarPredictor brute(predictors::make_paper_pool(5), brute_cfg);
+  LarPredictor tree(predictors::make_paper_pool(5), tree_cfg);
+  brute.train(series);
+  tree.train(series);
+
+  auto bsel = brute.selector().clone();
+  auto tsel = tree.selector().clone();
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> window(5);
+    for (auto& w : window) w = rng.uniform(-2, 2);
+    EXPECT_EQ(bsel->select(window), tsel->select(window));
+  }
+}
+
+TEST(LabelBestPredictors, MatchesManualComputation) {
+  // Tiny deterministic series; verify a label by hand.
+  // series (already "normalized" for the test's purpose): 0,0,0,10
+  // window m=3 -> one supervised window (0,0,0) with target 10.
+  // LAST -> 0 (err 10); AR unfit? use SW_AVG/LAST-only pool to keep it
+  // parameter-free: SW_AVG -> 0 (err 10). Tie -> label 0 (LAST).
+  predictors::PredictorPool pool;
+  pool.add(std::make_unique<predictors::LastValue>());
+  pool.add(std::make_unique<predictors::SlidingWindowAverage>());
+  const std::vector<double> series{0, 0, 0, 10};
+  const auto labels = label_best_predictors(pool, series, 3);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0], 0u);
+}
+
+TEST(LabelBestPredictors, PrefersTheGenuinelyBetterExpert) {
+  // Rising ramp: LAST undershoots by 1 each step, SW_AVG by more.
+  predictors::PredictorPool pool;
+  pool.add(std::make_unique<predictors::LastValue>());
+  pool.add(std::make_unique<predictors::SlidingWindowAverage>());
+  std::vector<double> ramp(50);
+  for (std::size_t i = 0; i < ramp.size(); ++i) ramp[i] = static_cast<double>(i);
+  const auto labels = label_best_predictors(pool, ramp, 4);
+  for (std::size_t l : labels) EXPECT_EQ(l, 0u);  // LAST always closer
+}
+
+TEST(LabelBestPredictors, Validation) {
+  auto pool = predictors::make_paper_pool(3);
+  EXPECT_THROW((void)label_best_predictors(pool, std::vector<double>(3, 1.0), 3),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace larp::core

@@ -1,0 +1,130 @@
+// Tests for the online-learning extension (classifier index grows during
+// deployment).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lar_predictor.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace larp::core {
+namespace {
+
+// Two-regime series: the FIRST half is smooth only; the violent regime only
+// appears after training, so a frozen classifier has never seen it.
+std::vector<double> smooth_then_wild(std::size_t half, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  double dev = 0.0;
+  for (std::size_t i = 0; i < half; ++i) {
+    dev = 0.9 * dev + rng.normal(0.0, 0.5);
+    xs.push_back(40.0 + dev);
+  }
+  for (std::size_t i = 0; i < half; ++i) {
+    xs.push_back(rng.bernoulli(0.5) ? 80.0 + rng.normal(0.0, 4.0)
+                                    : 10.0 + rng.normal(0.0, 4.0));
+  }
+  return xs;
+}
+
+LarConfig online_config(ClassifierKind kind = ClassifierKind::Knn) {
+  LarConfig config;
+  config.window = 5;
+  config.online_learning = true;
+  config.classifier = kind;
+  return config;
+}
+
+TEST(OnlineLearning, DisabledByDefault) {
+  const auto series = smooth_then_wild(150, 1);
+  LarConfig config;
+  config.window = 5;
+  LarPredictor lar(predictors::make_paper_pool(5), config);
+  lar.train(std::span<const double>(series.data(), 150));
+  for (std::size_t t = 150; t < 200; ++t) lar.observe(series[t]);
+  EXPECT_EQ(lar.online_windows_learned(), 0u);
+}
+
+TEST(OnlineLearning, LearnsOneWindowPerObservation) {
+  const auto series = smooth_then_wild(150, 2);
+  LarPredictor lar(predictors::make_paper_pool(5), online_config());
+  lar.train(std::span<const double>(series.data(), 150));
+  for (std::size_t t = 150; t < 200; ++t) lar.observe(series[t]);
+  EXPECT_EQ(lar.online_windows_learned(), 50u);
+}
+
+TEST(OnlineLearning, WorksWithEveryClassifierAndBackend) {
+  const auto series = smooth_then_wild(150, 3);
+  for (const auto kind :
+       {ClassifierKind::Knn, ClassifierKind::NearestCentroid}) {
+    for (const auto backend :
+         {ml::KnnBackend::BruteForce, ml::KnnBackend::KdTree}) {
+      auto config = online_config(kind);
+      config.knn_backend = backend;
+      LarPredictor lar(predictors::make_paper_pool(5), config);
+      lar.train(std::span<const double>(series.data(), 150));
+      for (std::size_t t = 150; t < 250; ++t) {
+        lar.observe(series[t]);
+        const auto forecast = lar.predict_next();
+        ASSERT_TRUE(std::isfinite(forecast.value));
+      }
+      EXPECT_EQ(lar.online_windows_learned(), 100u);
+    }
+  }
+}
+
+TEST(OnlineLearning, AdaptsToAPostTrainingRegime) {
+  // Train on the smooth half only, then walk the wild half.  The online
+  // learner absorbs wild-regime windows; across seeds it must on average
+  // match or beat the frozen classifier on the remainder of the wild half.
+  double frozen_total = 0.0, online_total = 0.0;
+  for (std::uint64_t seed : {4u, 5u, 6u, 7u, 8u}) {
+    const auto series = smooth_then_wild(300, seed);
+    const std::size_t split = 300;
+
+    const auto run = [&](bool online) {
+      LarConfig config;
+      config.window = 5;
+      config.online_learning = online;
+      LarPredictor lar(predictors::make_paper_pool(5), config);
+      lar.train(std::span<const double>(series.data(), split));
+      stats::RunningMse mse;
+      for (std::size_t t = split; t < series.size(); ++t) {
+        const auto forecast = lar.predict_next();
+        // Score only after the learner has had some wild-regime exposure.
+        if (t > split + 60) mse.add(forecast.value, series[t]);
+        lar.observe(series[t]);
+      }
+      return mse.value();
+    };
+    frozen_total += run(false);
+    online_total += run(true);
+  }
+  EXPECT_LE(online_total, frozen_total * 1.05)
+      << "online learning should not be materially worse on a regime the "
+         "frozen classifier never saw";
+}
+
+TEST(OnlineLearning, LabelsStayWithinPool) {
+  const auto series = smooth_then_wild(150, 9);
+  LarPredictor lar(predictors::make_paper_pool(5), online_config());
+  lar.train(std::span<const double>(series.data(), 150));
+  for (std::size_t t = 150; t < 300; ++t) {
+    lar.observe(series[t]);
+    EXPECT_LT(lar.predict_next().label, 3u);
+  }
+}
+
+TEST(OnlineLearning, PerStepLabelingVariantRuns) {
+  const auto series = smooth_then_wild(150, 10);
+  auto config = online_config();
+  config.labeling = Labeling::StepAbsoluteError;
+  LarPredictor lar(predictors::make_paper_pool(5), config);
+  lar.train(std::span<const double>(series.data(), 150));
+  for (std::size_t t = 150; t < 200; ++t) lar.observe(series[t]);
+  EXPECT_EQ(lar.online_windows_learned(), 50u);
+}
+
+}  // namespace
+}  // namespace larp::core

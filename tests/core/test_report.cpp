@@ -1,0 +1,74 @@
+// Tests for the report/table formatting helpers.
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace larp::core {
+namespace {
+
+TEST(TextTable, ValidatesShape) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TextTable, PrintsAlignedColumns) {
+  TextTable table({"Metric", "MSE"});
+  table.add_row({"CPU_usedsec", "0.9508"});
+  table.add_row({"NIC1_received", "0.5436"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Metric"), std::string::npos);
+  EXPECT_NE(text.find("0.9508"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Four lines: header, separator, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(TextTable, NumFormatsLikeThePaper) {
+  EXPECT_EQ(TextTable::num(0.95078), "0.9508");
+  EXPECT_EQ(TextTable::num(1.0), "1.0000");
+  EXPECT_EQ(TextTable::num(1.0, 2), "1.00");
+  EXPECT_EQ(TextTable::num(std::nan("")), "NaN");
+}
+
+TEST(TextTable, PctFormatting) {
+  EXPECT_EQ(TextTable::pct(0.5598), "55.98%");
+  EXPECT_EQ(TextTable::pct(0.4423), "44.23%");
+  EXPECT_EQ(TextTable::pct(std::nan("")), "NaN");
+}
+
+TEST(LabelStrip, OneLanePerClass) {
+  const std::vector<std::size_t> series{0, 0, 1, 1, 2, 2};
+  const auto strip =
+      render_label_strip(series, {"LAST", "AR", "SW_AVG"}, 6);
+  // Three lanes, each with its name.
+  EXPECT_NE(strip.find("LAST"), std::string::npos);
+  EXPECT_NE(strip.find("AR"), std::string::npos);
+  EXPECT_NE(strip.find("SW_AVG"), std::string::npos);
+  EXPECT_EQ(std::count(strip.begin(), strip.end(), '\n'), 3);
+  // Exactly one '#' per column across all lanes.
+  EXPECT_EQ(std::count(strip.begin(), strip.end(), '#'), 6);
+}
+
+TEST(LabelStrip, DownsamplesLongSeries) {
+  const std::vector<std::size_t> series(1000, 1);
+  const auto strip = render_label_strip(series, {"A", "B"}, 50);
+  EXPECT_EQ(std::count(strip.begin(), strip.end(), '#'), 50);
+}
+
+TEST(LabelStrip, EmptySeries) {
+  const auto strip = render_label_strip({}, {"A"});
+  EXPECT_EQ(std::count(strip.begin(), strip.end(), '#'), 0);
+  EXPECT_THROW((void)render_label_strip({0}, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace larp::core

@@ -1,0 +1,107 @@
+// Tests for the Forecast::uncertainty online residual estimate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lar_predictor.hpp"
+#include "tracegen/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace larp::core {
+namespace {
+
+LarPredictor trained_predictor(std::uint64_t seed, double sigma = 2.0) {
+  Rng rng(seed);
+  std::vector<double> series(400);
+  double dev = 0.0;
+  for (auto& x : series) {
+    dev = 0.8 * dev + rng.normal(0.0, sigma);
+    x = 50.0 + dev;
+  }
+  LarConfig config;
+  config.window = 5;
+  LarPredictor lar(predictors::make_paper_pool(5), config);
+  lar.train(series);
+  return lar;
+}
+
+TEST(ForecastUncertainty, NaNUntilEnoughResolvedForecasts) {
+  auto lar = trained_predictor(1);
+  const auto first = lar.predict_next();
+  EXPECT_TRUE(std::isnan(first.uncertainty));
+  EXPECT_EQ(lar.resolved_forecasts(), 0u);
+}
+
+TEST(ForecastUncertainty, BecomesFiniteAfterWarmup) {
+  auto lar = trained_predictor(2);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    (void)lar.predict_next();
+    lar.observe(50.0 + rng.normal(0.0, 2.0));
+  }
+  EXPECT_EQ(lar.resolved_forecasts(), 10u);
+  const auto forecast = lar.predict_next();
+  EXPECT_TRUE(std::isfinite(forecast.uncertainty));
+  EXPECT_GT(forecast.uncertainty, 0.0);
+}
+
+TEST(ForecastUncertainty, TracksResidualScale) {
+  // Feed values far from any sane forecast: uncertainty must grow to the
+  // scale of the injected errors.
+  auto lar = trained_predictor(4);
+  for (int i = 0; i < 12; ++i) {
+    (void)lar.predict_next();
+    lar.observe(i % 2 == 0 ? 150.0 : -50.0);  // ~100-unit errors
+  }
+  const auto wild = lar.predict_next();
+  EXPECT_GT(wild.uncertainty, 30.0);
+
+  // A well-behaved stream instead yields uncertainty near the noise scale.
+  auto calm = trained_predictor(5, /*sigma=*/1.0);
+  Rng rng(6);
+  double dev = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    (void)calm.predict_next();
+    dev = 0.8 * dev + rng.normal(0.0, 1.0);
+    calm.observe(50.0 + dev);
+  }
+  const auto steady = calm.predict_next();
+  EXPECT_LT(steady.uncertainty, 5.0);
+}
+
+TEST(ForecastUncertainty, ObserveWithoutPredictDoesNotResolve) {
+  auto lar = trained_predictor(7);
+  lar.observe(50.0);
+  lar.observe(51.0);
+  EXPECT_EQ(lar.resolved_forecasts(), 0u);
+}
+
+TEST(ForecastUncertainty, RepeatedPredictKeepsOnlyLatest) {
+  auto lar = trained_predictor(8);
+  (void)lar.predict_next();
+  (void)lar.predict_next();  // replaces the pending forecast
+  lar.observe(50.0);
+  EXPECT_EQ(lar.resolved_forecasts(), 1u);
+}
+
+TEST(ForecastUncertainty, RetrainResetsResidualState) {
+  auto lar = trained_predictor(9);
+  Rng rng(10);
+  for (int i = 0; i < 8; ++i) {
+    (void)lar.predict_next();
+    lar.observe(50.0 + rng.normal(0.0, 2.0));
+  }
+  EXPECT_GT(lar.resolved_forecasts(), 0u);
+  std::vector<double> fresh(200);
+  double dev = 0.0;
+  for (auto& x : fresh) {
+    dev = 0.8 * dev + rng.normal(0.0, 2.0);
+    x = 50.0 + dev;
+  }
+  lar.retrain(fresh);
+  EXPECT_EQ(lar.resolved_forecasts(), 0u);
+  EXPECT_TRUE(std::isnan(lar.predict_next().uncertainty));
+}
+
+}  // namespace
+}  // namespace larp::core

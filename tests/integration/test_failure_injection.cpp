@@ -1,0 +1,135 @@
+// Failure-injection tests: corrupted inputs (NaN/Inf samples, truncated
+// data, out-of-order feeds) must be rejected loudly at the boundary instead
+// of silently poisoning downstream estimates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/experiment.hpp"
+#include "core/lar_predictor.hpp"
+#include "qa/prediction_service.hpp"
+#include "tracegen/catalog.hpp"
+#include "tsdb/rrd.hpp"
+#include "util/error.hpp"
+
+namespace larp {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(FailureInjection, RrdRejectsNonFiniteSamples) {
+  tsdb::RoundRobinDatabase db(tsdb::make_vmkusage_config());
+  const tsdb::SeriesKey key{"VM1", "cpu", "CPU_usedsec"};
+  db.update(key, 0, 1.0);
+  EXPECT_THROW(db.update(key, kMinute, kNan), InvalidArgument);
+  EXPECT_THROW(db.update(key, kMinute, kInf), InvalidArgument);
+  EXPECT_THROW(db.update(key, kMinute, -kInf), InvalidArgument);
+  // The stream is still usable after the rejected sample.
+  EXPECT_NO_THROW(db.update(key, kMinute, 2.0));
+}
+
+TEST(FailureInjection, LarTrainRejectsNonFiniteSeries) {
+  core::LarConfig config;
+  config.window = 5;
+  core::LarPredictor lar(predictors::make_paper_pool(5), config);
+  std::vector<double> series(100, 1.0);
+  series[1] = 2.0;  // non-constant
+  series[50] = kNan;
+  EXPECT_THROW(lar.train(series), InvalidArgument);
+  series[50] = kInf;
+  EXPECT_THROW(lar.train(series), InvalidArgument);
+  series[50] = 1.5;
+  EXPECT_NO_THROW(lar.train(series));
+}
+
+TEST(FailureInjection, LarObserveRejectsNonFiniteSample) {
+  const auto trace = tracegen::make_trace("VM2", "CPU_usedsec", 1);
+  core::LarConfig config;
+  config.window = 5;
+  core::LarPredictor lar(predictors::make_paper_pool(5), config);
+  lar.train(trace.values);
+  EXPECT_THROW(lar.observe(kNan), InvalidArgument);
+  EXPECT_THROW(lar.observe(kInf), InvalidArgument);
+  // State unharmed: the predictor still forecasts finitely.
+  lar.observe(trace.values.back());
+  EXPECT_TRUE(std::isfinite(lar.predict_next().value));
+}
+
+TEST(FailureInjection, RrdRejectsOutOfOrderAndGappedFeeds) {
+  tsdb::RoundRobinDatabase db(tsdb::make_vmkusage_config());
+  const tsdb::SeriesKey key{"VM2", "nic1", "NIC1_received"};
+  db.update(key, 10 * kMinute, 1.0);
+  EXPECT_THROW(db.update(key, 9 * kMinute, 1.0), InvalidArgument);   // backwards
+  EXPECT_THROW(db.update(key, 10 * kMinute, 1.0), InvalidArgument);  // duplicate
+  EXPECT_THROW(db.update(key, 12 * kMinute, 1.0), InvalidArgument);  // gap
+  EXPECT_NO_THROW(db.update(key, 11 * kMinute, 1.0));
+}
+
+TEST(FailureInjection, ServiceSurvivesTrainOnInsufficientData) {
+  tsdb::RoundRobinDatabase db(tsdb::make_vmkusage_config());
+  const tsdb::SeriesKey key{"VM3", "cpu", "CPU_usedsec"};
+  for (int i = 0; i < 30; ++i) db.update(key, i * kMinute, 5.0 + i % 3);
+
+  qa::ServiceConfig config;
+  config.lar.window = 5;
+  config.train_samples = 100;  // far more than the 6 closed 5-min bins
+  qa::PredictionService service(db, predictors::make_paper_pool(5), config);
+  EXPECT_THROW(service.train(key), Error);
+  EXPECT_FALSE(service.is_trained(key));
+  // More data arrives; training then succeeds.
+  for (int i = 30; i < 600; ++i) db.update(key, i * kMinute, 5.0 + i % 7);
+  EXPECT_NO_THROW(service.train(key));
+  EXPECT_TRUE(service.is_trained(key));
+}
+
+TEST(FailureInjection, EvaluateFoldSurvivesPathologicalSplits) {
+  const auto trace = tracegen::make_trace("VM2", "CPU_usedsec", 2);
+  const auto pool = predictors::make_paper_pool(5);
+  core::LarConfig config;
+  config.window = 5;
+  // Smallest legal training side.
+  EXPECT_NO_THROW(
+      (void)core::evaluate_fold(trace.values, 6, pool, config));
+  // Largest legal split (exactly one test target).
+  EXPECT_NO_THROW((void)core::evaluate_fold(
+      trace.values, trace.values.size() - 1, pool, config));
+}
+
+TEST(FailureInjection, ConstantTrainingHalfReportedNotCrashed) {
+  // First half constant, second half active: the fold must throw StateError
+  // (caught and skipped by cross_validate), never divide by zero.
+  std::vector<double> series(200, 1.0);
+  Rng rng(3);
+  for (std::size_t i = 100; i < 200; ++i) series[i] = rng.uniform(0, 10);
+  const auto pool = predictors::make_paper_pool(5);
+  core::LarConfig config;
+  config.window = 5;
+  EXPECT_THROW((void)core::evaluate_fold(series, 100, pool, config), StateError);
+
+  ml::CrossValidationPlan plan;
+  plan.folds = 5;
+  plan.min_fraction = 0.45;
+  plan.max_fraction = 0.55;
+  Rng cv_rng(4);
+  EXPECT_NO_THROW(
+      (void)core::cross_validate(series, pool, config, plan, cv_rng));
+}
+
+TEST(FailureInjection, PredictorsRejectShortWindows) {
+  auto pool = predictors::make_extended_pool(5);
+  const auto trace = tracegen::make_trace("VM4", "CPU_usedsec", 5);
+  pool.fit_all(trace.values);
+  const std::vector<double> tiny{1.0};
+  // Members requiring more than one value must throw, not read out of range.
+  EXPECT_THROW((void)pool.at(pool.label_of("AR")).predict(tiny),
+               InvalidArgument);
+  EXPECT_THROW((void)pool.at(pool.label_of("TENDENCY")).predict(tiny),
+               InvalidArgument);
+  EXPECT_THROW((void)pool.at(pool.label_of("POLY_FIT(d2)")).predict(tiny),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace larp

@@ -1,0 +1,93 @@
+// Grid-wide invariants: every (VM, metric) cell of the paper's evaluation
+// grid must satisfy the structural guarantees the reproduction rests on —
+// parameterized over all 60 traces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "tracegen/catalog.hpp"
+#include "util/stats.hpp"
+
+namespace larp {
+namespace {
+
+struct Cell {
+  std::string vm;
+  std::string metric;
+};
+
+std::vector<Cell> full_grid() {
+  std::vector<Cell> grid;
+  for (const auto& vm : tracegen::paper_vms()) {
+    for (const auto& metric : tracegen::paper_metrics()) {
+      grid.push_back({vm.vm_id, metric});
+    }
+  }
+  return grid;
+}
+
+class GridInvariants : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(GridInvariants, HoldOnThisTrace) {
+  const auto& cell = GetParam();
+  const auto trace = tracegen::make_trace(cell.vm, cell.metric, /*seed=*/31);
+
+  // Trace-level guarantees.
+  ASSERT_EQ(trace.size(), tracegen::vm_spec(cell.vm).samples);
+  for (double v : trace.values) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_GE(v, 0.0);  // resource metrics are non-negative
+  }
+
+  core::LarConfig config;
+  config.window = cell.vm == "VM1" ? 16 : 5;
+  config.pca_components = 0;
+  config.pca_min_variance = 0.85;
+  const auto pool = predictors::make_paper_pool(config.window);
+  ml::CrossValidationPlan plan;
+  plan.folds = 2;
+  Rng rng(17);
+  const auto result =
+      core::cross_validate(trace.values, pool, config, plan, rng);
+
+  if (stats::variance(trace.values) == 0.0) {
+    EXPECT_TRUE(result.degenerate) << "constant trace must be degenerate";
+    return;
+  }
+  ASSERT_FALSE(result.degenerate);
+
+  // Oracle bound: P-LAR is a lower bound on every strategy.
+  EXPECT_LE(result.mse_oracle, result.mse_lar + 1e-9);
+  EXPECT_LE(result.mse_oracle, result.mse_nws + 1e-9);
+  EXPECT_LE(result.mse_oracle, result.mse_wnws + 1e-9);
+  for (double single : result.mse_single) {
+    EXPECT_LE(result.mse_oracle, single + 1e-9);
+  }
+  // LAR never exceeds the worst expert.
+  const double worst =
+      *std::max_element(result.mse_single.begin(), result.mse_single.end());
+  EXPECT_LE(result.mse_lar, worst + 1e-9);
+  // Accuracies are probabilities.
+  for (double a :
+       {result.lar_accuracy, result.nws_accuracy, result.wnws_accuracy}) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+  // All MSEs are finite and non-negative.
+  for (double m : {result.mse_oracle, result.mse_lar, result.mse_nws,
+                   result.mse_wnws}) {
+    EXPECT_TRUE(std::isfinite(m));
+    EXPECT_GE(m, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSixtyTraces, GridInvariants, ::testing::ValuesIn(full_grid()),
+    [](const ::testing::TestParamInfo<Cell>& info) {
+      return info.param.vm + "_" + info.param.metric;
+    });
+
+}  // namespace
+}  // namespace larp

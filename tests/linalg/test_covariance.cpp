@@ -1,0 +1,95 @@
+// Tests for covariance estimation.
+#include "linalg/covariance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace larp::linalg {
+namespace {
+
+TEST(Covariance, ColumnMeans) {
+  const Matrix samples{{1, 10}, {3, 20}, {5, 30}};
+  const auto means = column_means(samples);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 3.0);
+  EXPECT_DOUBLE_EQ(means[1], 20.0);
+  EXPECT_THROW((void)column_means(Matrix(0, 3)), InvalidArgument);
+}
+
+TEST(Covariance, DiagonalMatchesSampleVariance) {
+  Rng rng(77);
+  Matrix samples(200, 3);
+  for (std::size_t r = 0; r < samples.rows(); ++r) {
+    samples(r, 0) = rng.normal(0, 1);
+    samples(r, 1) = rng.normal(5, 2);
+    samples(r, 2) = rng.normal(-3, 0.5);
+  }
+  const Matrix cov = covariance(samples);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(cov(c, c), stats::sample_variance(samples.col(c)), 1e-10);
+  }
+}
+
+TEST(Covariance, PerfectlyCorrelatedColumns) {
+  // y = 2x => cov(x,y) = 2 var(x).
+  Matrix samples(50, 2);
+  for (std::size_t r = 0; r < 50; ++r) {
+    const double x = static_cast<double>(r);
+    samples(r, 0) = x;
+    samples(r, 1) = 2.0 * x;
+  }
+  const Matrix cov = covariance(samples);
+  EXPECT_NEAR(cov(0, 1), 2.0 * cov(0, 0), 1e-9);
+  EXPECT_NEAR(cov(1, 1), 4.0 * cov(0, 0), 1e-9);
+}
+
+TEST(Covariance, IndependentColumnsNearZeroOffDiagonal) {
+  Rng rng(78);
+  Matrix samples(20000, 2);
+  for (std::size_t r = 0; r < samples.rows(); ++r) {
+    samples(r, 0) = rng.normal();
+    samples(r, 1) = rng.normal();
+  }
+  const Matrix cov = covariance(samples);
+  EXPECT_NEAR(cov(0, 1), 0.0, 0.03);
+}
+
+TEST(Covariance, SymmetricResult) {
+  Rng rng(79);
+  Matrix samples(40, 5);
+  for (auto& v : samples.data()) v = rng.uniform(-1, 1);
+  const Matrix cov = covariance(samples);
+  EXPECT_TRUE(cov.is_symmetric(1e-12));
+}
+
+TEST(Covariance, PrecomputedMeansAgree) {
+  const Matrix samples{{1, 2}, {3, 4}, {5, 9}};
+  const auto means = column_means(samples);
+  EXPECT_EQ(covariance(samples), covariance(samples, means));
+  EXPECT_THROW((void)covariance(samples, Vector{1.0}), InvalidArgument);
+}
+
+TEST(Covariance, SingleRowUsesNDenominator) {
+  const Matrix samples{{1, 2}};
+  const Matrix cov = covariance(samples);
+  EXPECT_DOUBLE_EQ(cov(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(cov(1, 1), 0.0);
+}
+
+TEST(Covariance, CenteredRemovesMeans) {
+  const Matrix samples{{1, 10}, {3, 20}};
+  Vector means;
+  const Matrix c = centered(samples, means);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 5.0);
+  const auto post_means = column_means(c);
+  EXPECT_NEAR(post_means[0], 0.0, 1e-12);
+  EXPECT_NEAR(post_means[1], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace larp::linalg

@@ -1,0 +1,139 @@
+// Tests for the Jacobi symmetric eigensolver.
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace larp::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r; c < n; ++c) {
+      const double v = rng.uniform(-5, 5);
+      m(r, c) = v;
+      m(c, r) = v;
+    }
+  }
+  return m;
+}
+
+TEST(Eigen, DiagonalMatrixEigenvaluesSortedDescending) {
+  const Matrix d{{1, 0, 0}, {0, 5, 0}, {0, 0, 3}};
+  const auto eig = eigen_symmetric(d);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-12);
+}
+
+TEST(Eigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors (1,1), (1,-1).
+  const Matrix m{{2, 1}, {1, 2}};
+  const auto eig = eigen_symmetric(m);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), inv_sqrt2, 1e-10);
+  EXPECT_NEAR(std::abs(eig.vectors(1, 0)), inv_sqrt2, 1e-10);
+}
+
+TEST(Eigen, RejectsNonSquare) {
+  EXPECT_THROW((void)eigen_symmetric(Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(Eigen, RejectsAsymmetric) {
+  const Matrix m{{1, 2}, {0, 1}};
+  EXPECT_THROW((void)eigen_symmetric(m), InvalidArgument);
+}
+
+TEST(Eigen, IdentityHasUnitEigenvalues) {
+  const auto eig = eigen_symmetric(Matrix::identity(4));
+  for (double v : eig.values) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(Eigen, SignConventionDeterministic) {
+  const Matrix m{{4, 1}, {1, 3}};
+  const auto a = eigen_symmetric(m);
+  const auto b = eigen_symmetric(m);
+  EXPECT_EQ(a.vectors, b.vectors);
+  // Largest-magnitude component of each eigenvector is positive.
+  for (std::size_t j = 0; j < 2; ++j) {
+    double best = 0.0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      if (std::abs(a.vectors(i, j)) > std::abs(best)) best = a.vectors(i, j);
+    }
+    EXPECT_GT(best, 0.0);
+  }
+}
+
+// Property suite over random symmetric matrices of several sizes.
+class EigenProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EigenProperty, ReconstructsAndIsOrthonormal) {
+  const auto [size, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + size);
+  const Matrix a = random_symmetric(size, rng);
+  const auto eig = eigen_symmetric(a);
+
+  const std::size_t n = a.rows();
+  // 1. Orthonormal eigenvectors: V^T V = I.
+  const Matrix vtv = eig.vectors.transposed() * eig.vectors;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      EXPECT_NEAR(vtv(r, c), r == c ? 1.0 : 0.0, 1e-9)
+          << "V^T V not identity at (" << r << "," << c << ")";
+    }
+  }
+  // 2. Reconstruction: V diag(lambda) V^T = A.
+  Matrix lambda(n, n);
+  for (std::size_t i = 0; i < n; ++i) lambda(i, i) = eig.values[i];
+  const Matrix rebuilt = eig.vectors * lambda * eig.vectors.transposed();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      EXPECT_NEAR(rebuilt(r, c), a(r, c), 1e-8);
+    }
+  }
+  // 3. Sorted descending.
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_GE(eig.values[i - 1], eig.values[i] - 1e-12);
+  }
+  // 4. Trace preserved (sum of eigenvalues == trace).
+  double trace = 0.0, eig_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += a(i, i);
+    eig_sum += eig.values[i];
+  }
+  EXPECT_NEAR(trace, eig_sum, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, EigenProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 16, 32),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Eigen, RankDeficientCovarianceStyleMatrix) {
+  // Outer product v v^T has one non-zero eigenvalue = |v|^2.
+  const Vector v{1, 2, 2};
+  Matrix m(3, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v[r] * v[c];
+  }
+  const auto eig = eigen_symmetric(m);
+  EXPECT_NEAR(eig.values[0], 9.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 0.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 0.0, 1e-10);
+}
+
+TEST(Eigen, EmptyMatrix) {
+  const auto eig = eigen_symmetric(Matrix(0, 0));
+  EXPECT_TRUE(eig.values.empty());
+}
+
+}  // namespace
+}  // namespace larp::linalg

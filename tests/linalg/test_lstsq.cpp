@@ -1,0 +1,115 @@
+// Tests for the dense solver and least squares.
+#include "linalg/lstsq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace larp::linalg {
+namespace {
+
+TEST(SolveDense, KnownSystem) {
+  // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+  const auto x = solve_dense(Matrix{{2, 1}, {1, -1}}, Vector{5, 1});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveDense, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_dense(Matrix{{0, 1}, {1, 0}}, Vector{3, 7});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveDense, Validation) {
+  EXPECT_THROW((void)solve_dense(Matrix(2, 3), Vector{1, 2}), InvalidArgument);
+  EXPECT_THROW((void)solve_dense(Matrix(2, 2), Vector{1}), InvalidArgument);
+  EXPECT_THROW((void)solve_dense(Matrix{{1, 1}, {1, 1}}, Vector{1, 2}),
+               NumericalError);
+}
+
+TEST(SolveDense, RandomRoundTrip) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + trial % 6;
+    Matrix a(n, n);
+    for (auto& v : a.data()) v = rng.uniform(-2, 2);
+    Vector truth(n);
+    for (auto& v : truth) v = rng.uniform(-3, 3);
+    const Vector b = a * truth;
+    const auto x = solve_dense(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], truth[i], 1e-8);
+  }
+}
+
+TEST(LeastSquares, ExactSystemRecovered) {
+  // Overdetermined but consistent: y = 3x - 1 sampled at 5 points.
+  Matrix a(5, 2);
+  Vector b(5);
+  for (int i = 0; i < 5; ++i) {
+    a(i, 0) = i;
+    a(i, 1) = 1.0;
+    b[i] = 3.0 * i - 1.0;
+  }
+  const auto x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-6);
+  EXPECT_NEAR(x[1], -1.0, 1e-6);
+}
+
+TEST(LeastSquares, NoisyRegressionCloseToTruth) {
+  Rng rng(2);
+  const double slope = 1.5, intercept = -2.0;
+  Matrix a(500, 2);
+  Vector b(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-5, 5);
+    a(i, 0) = x;
+    a(i, 1) = 1.0;
+    b[i] = slope * x + intercept + rng.normal(0.0, 0.2);
+  }
+  const auto coeffs = solve_least_squares(a, b);
+  EXPECT_NEAR(coeffs[0], slope, 0.02);
+  EXPECT_NEAR(coeffs[1], intercept, 0.03);
+}
+
+TEST(LeastSquares, ResidualIsOrthogonalToColumns) {
+  Rng rng(3);
+  Matrix a(50, 3);
+  Vector b(50);
+  for (auto& v : a.data()) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const auto x = solve_least_squares(a, b, 0.0);
+  // r = b - a x must satisfy aᵀ r ~ 0 (normal equations).
+  Vector residual = b;
+  const Vector ax = a * x;
+  for (std::size_t i = 0; i < residual.size(); ++i) residual[i] -= ax[i];
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(dot(a.col(c), residual), 0.0, 1e-8) << "column " << c;
+  }
+}
+
+TEST(LeastSquares, RidgeHandlesCollinearColumns) {
+  // Two identical columns: singular normal equations without the ridge.
+  Matrix a(10, 2);
+  Vector b(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = static_cast<double>(i);
+    b[i] = 2.0 * static_cast<double>(i);
+  }
+  const auto x = solve_least_squares(a, b);  // default ridge
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-4);       // any split summing to 2 is fine
+}
+
+TEST(LeastSquares, Validation) {
+  EXPECT_THROW((void)solve_least_squares(Matrix(3, 2), Vector{1, 2}),
+               InvalidArgument);
+  EXPECT_THROW((void)solve_least_squares(Matrix(2, 3), Vector{1, 2}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace larp::linalg

@@ -1,0 +1,171 @@
+// Tests for the dense matrix substrate.
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace larp::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+  }
+  const Matrix filled(2, 2, 7.5);
+  EXPECT_DOUBLE_EQ(filled(1, 1), 7.5);
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, FromRows) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+  EXPECT_THROW((void)Matrix::from_rows({{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix eye = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, BoundsCheckedAccess) {
+  Matrix m(2, 2);
+  EXPECT_NO_THROW((void)m.at(1, 1));
+  EXPECT_THROW((void)m.at(2, 0), InvalidArgument);
+  EXPECT_THROW((void)m.at(0, 2), InvalidArgument);
+}
+
+TEST(Matrix, RowSpanIsMutableView) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+  EXPECT_THROW((void)m.row(2), InvalidArgument);
+}
+
+TEST(Matrix, ColumnCopy) {
+  const Matrix m{{1, 2}, {3, 4}};
+  const auto col = m.col(1);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_DOUBLE_EQ(col[0], 2.0);
+  EXPECT_DOUBLE_EQ(col[1], 4.0);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, Multiply) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatch) {
+  const Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW((void)(a * b), InvalidArgument);
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop) {
+  const Matrix a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(a * Matrix::identity(3), a);
+  EXPECT_EQ(Matrix::identity(2) * a, a);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Vector x{5, 6};
+  const Vector y = a * x;
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+  EXPECT_THROW((void)(a * Vector{1, 2, 3}), InvalidArgument);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{10, 20}, {30, 40}};
+  EXPECT_DOUBLE_EQ((a + b)(1, 1), 44.0);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 9.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(1, 0), 6.0);
+  EXPECT_THROW(a += Matrix(3, 2), InvalidArgument);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix m{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, SymmetryChecks) {
+  const Matrix sym{{1, 2}, {2, 1}};
+  const Matrix asym{{1, 2}, {3, 1}};
+  EXPECT_TRUE(sym.is_symmetric());
+  EXPECT_FALSE(asym.is_symmetric());
+  EXPECT_FALSE(Matrix(2, 3).is_symmetric());
+  EXPECT_DOUBLE_EQ(asym.max_off_diagonal(), 3.0);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  const Vector a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(norm(Vector{3, 4}), 5.0);
+  EXPECT_THROW((void)dot(a, Vector{1}), InvalidArgument);
+}
+
+TEST(VectorOps, Distances) {
+  const Vector a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_THROW((void)squared_distance(a, Vector{1}), InvalidArgument);
+}
+
+TEST(Matrix, AppendRowGrowsMatrix) {
+  Matrix m(1, 2);
+  m(0, 0) = 1.0;
+  m.append_row(Vector{3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+  EXPECT_THROW(m.append_row(Vector{1.0}), InvalidArgument);
+}
+
+TEST(Matrix, AppendRowToEmptyAdoptsWidth) {
+  Matrix m;
+  m.append_row(Vector{1.0, 2.0, 3.0});
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_THROW(m.append_row(Vector{1.0}), InvalidArgument);
+}
+
+TEST(Matrix, DescribeIsInformative) {
+  const Matrix m{{1, 2}, {3, 4}};
+  const auto desc = m.describe();
+  EXPECT_NE(desc.find("2x2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace larp::linalg

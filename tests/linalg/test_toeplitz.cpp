@@ -1,0 +1,223 @@
+// Tests for the Levinson–Durbin recursion and Yule–Walker fitting.
+#include "linalg/toeplitz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace larp::linalg {
+namespace {
+
+// Direct dense solve of the Yule-Walker system R psi = r for cross-checking
+// (Gaussian elimination, no pivot issues for positive-definite R).
+Vector solve_yule_walker_dense(const std::vector<double>& acf, std::size_t p) {
+  Matrix r_matrix(p, p);
+  Vector rhs(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    rhs[i] = acf[i + 1];
+    for (std::size_t j = 0; j < p; ++j) {
+      r_matrix(i, j) = acf[i > j ? i - j : j - i];
+    }
+  }
+  // Gaussian elimination.
+  for (std::size_t col = 0; col < p; ++col) {
+    for (std::size_t row = col + 1; row < p; ++row) {
+      const double f = r_matrix(row, col) / r_matrix(col, col);
+      for (std::size_t k = col; k < p; ++k) r_matrix(row, k) -= f * r_matrix(col, k);
+      rhs[row] -= f * rhs[col];
+    }
+  }
+  Vector x(p, 0.0);
+  for (std::size_t i = p; i-- > 0;) {
+    double acc = rhs[i];
+    for (std::size_t k = i + 1; k < p; ++k) acc -= r_matrix(i, k) * x[k];
+    x[i] = acc / r_matrix(i, i);
+  }
+  return x;
+}
+
+TEST(Levinson, Ar1Analytic) {
+  // For AR(1) with parameter phi, acf = {1, phi, phi^2, ...};
+  // Levinson must recover psi_1 = phi exactly at order 1.
+  const double phi = 0.6;
+  const std::vector<double> acf{1.0, phi};
+  const auto sol = levinson_durbin(acf);
+  ASSERT_EQ(sol.coefficients.size(), 1u);
+  EXPECT_NEAR(sol.coefficients[0], phi, 1e-14);
+  EXPECT_NEAR(sol.innovation_variance, 1.0 - phi * phi, 1e-14);
+  EXPECT_NEAR(sol.reflection[0], phi, 1e-14);
+}
+
+TEST(Levinson, Ar1FittedAtHigherOrderHasZeroExtraCoefficients) {
+  // acf of a true AR(1) fitted at order 3: psi = (phi, 0, 0).
+  const double phi = 0.7;
+  const std::vector<double> acf{1.0, phi, phi * phi, phi * phi * phi};
+  const auto sol = levinson_durbin(acf);
+  ASSERT_EQ(sol.coefficients.size(), 3u);
+  EXPECT_NEAR(sol.coefficients[0], phi, 1e-12);
+  EXPECT_NEAR(sol.coefficients[1], 0.0, 1e-12);
+  EXPECT_NEAR(sol.coefficients[2], 0.0, 1e-12);
+}
+
+TEST(Levinson, MatchesDenseSolveOnRandomAcf) {
+  // Generate a valid acf from a random series, compare against dense solve.
+  Rng rng(31337);
+  std::vector<double> series(4000);
+  double a = 0.0, b = 0.0;
+  for (auto& x : series) {
+    const double next = 0.5 * a - 0.3 * b + rng.normal();
+    b = a;
+    a = next;
+    x = next;
+  }
+  for (std::size_t order : {1u, 2u, 4u, 8u}) {
+    const auto acf = stats::autocorrelations(series, order);
+    const auto fast = levinson_durbin(acf);
+    const auto dense = solve_yule_walker_dense(acf, order);
+    for (std::size_t i = 0; i < order; ++i) {
+      EXPECT_NEAR(fast.coefficients[i], dense[i], 1e-9)
+          << "order " << order << " coefficient " << i;
+    }
+  }
+}
+
+TEST(Levinson, RejectsShortInput) {
+  EXPECT_THROW((void)levinson_durbin(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(Levinson, RejectsNonPositiveR0) {
+  EXPECT_THROW((void)levinson_durbin(std::vector<double>{0.0, 0.5}),
+               NumericalError);
+  EXPECT_THROW((void)levinson_durbin(std::vector<double>{-1.0, 0.5}),
+               NumericalError);
+}
+
+TEST(Levinson, PerfectlyPredictableSeriesClampsVariance) {
+  // acf of a deterministic alternating series: r_k = (-1)^k.
+  const std::vector<double> acf{1.0, -1.0, 1.0};
+  const auto sol = levinson_durbin(acf);
+  EXPECT_DOUBLE_EQ(sol.innovation_variance, 0.0);
+  EXPECT_NEAR(sol.coefficients[0], -1.0, 1e-12);
+}
+
+TEST(YuleWalker, RecoversAr2Coefficients) {
+  Rng rng(4242);
+  const double psi1 = 0.5, psi2 = -0.3;
+  std::vector<double> series(60000);
+  double a = 0.0, b = 0.0;
+  for (auto& x : series) {
+    const double next = psi1 * a + psi2 * b + rng.normal();
+    b = a;
+    a = next;
+    x = next;
+  }
+  const auto sol = yule_walker(series, 2);
+  EXPECT_NEAR(sol.coefficients[0], psi1, 0.02);
+  EXPECT_NEAR(sol.coefficients[1], psi2, 0.02);
+  // yule_walker runs on autocorrelations, so the innovation variance is the
+  // FRACTION of series variance left unexplained:
+  //   1 - (psi1*rho1 + psi2*rho2), with rho1 = psi1/(1-psi2) = 0.3846 and
+  //   rho2 = psi1*rho1 + psi2 = -0.1077  ->  0.7754.
+  EXPECT_NEAR(sol.innovation_variance, 0.7754, 0.02);
+  // Equivalent absolute statement: fraction x measured variance = sigma^2.
+  EXPECT_NEAR(sol.innovation_variance * stats::variance(series), 1.0, 0.05);
+}
+
+TEST(YuleWalker, ConstantSeriesDegeneratesToZeroCoefficients) {
+  const std::vector<double> series(100, 5.0);
+  const auto sol = yule_walker(series, 4);
+  for (double c : sol.coefficients) EXPECT_DOUBLE_EQ(c, 0.0);
+  EXPECT_DOUBLE_EQ(sol.innovation_variance, 0.0);
+}
+
+TEST(YuleWalker, ArgumentValidation) {
+  const std::vector<double> series{1, 2, 3};
+  EXPECT_THROW((void)yule_walker(series, 0), InvalidArgument);
+  EXPECT_THROW((void)yule_walker(series, 3), InvalidArgument);
+  EXPECT_NO_THROW((void)yule_walker(series, 2));
+}
+
+TEST(SelectArOrder, Validation) {
+  const std::vector<double> series{1, 2, 3};
+  EXPECT_THROW((void)select_ar_order(series, 0), InvalidArgument);
+  EXPECT_THROW((void)select_ar_order(series, 3), InvalidArgument);
+}
+
+TEST(SelectArOrder, ConstantSeriesReturnsOne) {
+  EXPECT_EQ(select_ar_order(std::vector<double>(100, 2.0), 8), 1u);
+}
+
+TEST(SelectArOrder, FindsTrueArOrder) {
+  // FPE should identify the generating order for clean AR(p) processes.
+  Rng rng(2024);
+  {
+    std::vector<double> series(20000);
+    double prev = 0.0;
+    for (auto& x : series) {
+      prev = 0.7 * prev + rng.normal();
+      x = prev;
+    }
+    EXPECT_EQ(select_ar_order(series, 10), 1u);
+  }
+  {
+    std::vector<double> series(40000);
+    double a = 0.0, b = 0.0;
+    for (auto& x : series) {
+      const double next = 0.5 * a - 0.4 * b + rng.normal();
+      b = a;
+      a = next;
+      x = next;
+    }
+    EXPECT_EQ(select_ar_order(series, 10), 2u);
+  }
+}
+
+TEST(SelectArOrder, WhiteNoiseGainIsNegligible) {
+  // On pure noise the FPE landscape is flat and the argmin lands on a
+  // spurious lag; what must hold is that whatever order it picks buys
+  // essentially nothing over order 1.
+  Rng rng(2025);
+  std::vector<double> noise(20000);
+  for (auto& x : noise) x = rng.normal();
+  const std::size_t chosen = select_ar_order(noise, 16);
+  const double var_chosen = yule_walker(noise, chosen).innovation_variance;
+  const double var_one = yule_walker(noise, 1).innovation_variance;
+  EXPECT_GT(var_chosen, 0.995 * var_one);
+}
+
+// Property: reflection coefficients lie in [-1, 1] for valid acfs, and the
+// innovation variance never increases with order.
+class LevinsonStability : public ::testing::TestWithParam<int> {};
+
+TEST_P(LevinsonStability, ReflectionBoundedAndVarianceMonotone) {
+  Rng rng(GetParam() * 1009);
+  std::vector<double> series(3000);
+  double prev = 0.0;
+  for (auto& x : series) {
+    prev = rng.uniform(0.2, 0.9) * prev + rng.normal();
+    x = prev;
+  }
+  const auto acf = stats::autocorrelations(series, 12);
+  const auto sol = levinson_durbin(acf);
+  for (double k : sol.reflection) {
+    EXPECT_LE(std::abs(k), 1.0 + 1e-12);
+  }
+  // Re-run at increasing orders: variance must be non-increasing.
+  double last_var = acf[0];
+  for (std::size_t order = 1; order <= 12; ++order) {
+    const auto partial = levinson_durbin(
+        std::span<const double>(acf.data(), order + 1));
+    EXPECT_LE(partial.innovation_variance, last_var + 1e-12);
+    last_var = partial.innovation_variance;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevinsonStability, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace larp::linalg

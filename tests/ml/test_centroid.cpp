@@ -1,0 +1,145 @@
+// Tests for the nearest-centroid classifier.
+#include "ml/centroid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/knn.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace larp::ml {
+namespace {
+
+TEST(NearestCentroid, Validation) {
+  NearestCentroidClassifier nc;
+  EXPECT_FALSE(nc.fitted());
+  EXPECT_THROW(nc.fit(linalg::Matrix(0, 2), {}), InvalidArgument);
+  EXPECT_THROW(nc.fit(linalg::Matrix(2, 2), {0}), InvalidArgument);
+  EXPECT_THROW((void)nc.classify(linalg::Vector{1, 2}), StateError);
+}
+
+TEST(NearestCentroid, ComputesPerClassMeans) {
+  NearestCentroidClassifier nc;
+  nc.fit(linalg::Matrix{{0, 0}, {2, 2}, {10, 10}, {12, 12}}, {0, 0, 1, 1});
+  ASSERT_EQ(nc.classes(), 2u);
+  EXPECT_EQ(nc.class_label(0), 0u);
+  EXPECT_DOUBLE_EQ(nc.centroid(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(nc.centroid(1)[1], 11.0);
+  EXPECT_THROW((void)nc.centroid(2), InvalidArgument);
+}
+
+TEST(NearestCentroid, ClassifiesByNearestMean) {
+  NearestCentroidClassifier nc;
+  nc.fit(linalg::Matrix{{0, 0}, {10, 0}}, {5, 9});
+  EXPECT_EQ(nc.classify(linalg::Vector{2, 0}), 5u);
+  EXPECT_EQ(nc.classify(linalg::Vector{8, 0}), 9u);
+}
+
+TEST(NearestCentroid, TieBreaksTowardSmallestLabel) {
+  NearestCentroidClassifier nc;
+  nc.fit(linalg::Matrix{{-1, 0}, {1, 0}}, {3, 1});
+  // Query equidistant from both centroids: ascending-label iteration keeps
+  // the smallest label (1).
+  EXPECT_EQ(nc.classify(linalg::Vector{0, 0}), 1u);
+}
+
+TEST(NearestCentroid, DimensionChecked) {
+  NearestCentroidClassifier nc;
+  nc.fit(linalg::Matrix{{0, 0}}, {0});
+  EXPECT_THROW((void)nc.classify(linalg::Vector{1}), InvalidArgument);
+}
+
+TEST(NearestCentroid, SparseLabelsSupported) {
+  // Labels need not be contiguous.
+  NearestCentroidClassifier nc;
+  nc.fit(linalg::Matrix{{0, 0}, {5, 5}}, {2, 7});
+  EXPECT_EQ(nc.classify(linalg::Vector{0.5, 0.5}), 2u);
+}
+
+TEST(NearestCentroid, AgreesWithKnnOnWellSeparatedClusters) {
+  Rng rng(123);
+  linalg::Matrix points(300, 2);
+  std::vector<std::size_t> labels(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const std::size_t cls = i % 3;
+    const double cx = cls == 0 ? -10.0 : cls == 1 ? 0.0 : 10.0;
+    points(i, 0) = cx + rng.normal(0.0, 0.5);
+    points(i, 1) = rng.normal(0.0, 0.5);
+    labels[i] = cls;
+  }
+  NearestCentroidClassifier nc;
+  nc.fit(points, labels);
+  KnnClassifier knn(3);
+  knn.fit(points, labels);
+  for (int q = 0; q < 100; ++q) {
+    const std::size_t cls = q % 3;
+    const double cx = cls == 0 ? -10.0 : cls == 1 ? 0.0 : 10.0;
+    const linalg::Vector query{cx + rng.normal(0.0, 1.0),
+                               rng.normal(0.0, 1.0)};
+    EXPECT_EQ(nc.classify(query), knn.classify(query));
+  }
+}
+
+TEST(NearestCentroid, AddUpdatesCentroidIncrementally) {
+  NearestCentroidClassifier nc;
+  nc.fit(linalg::Matrix{{0.0, 0.0}}, {0});
+  nc.add(linalg::Vector{2.0, 2.0}, 0);
+  // Centroid of {(0,0), (2,2)} is (1,1).
+  EXPECT_DOUBLE_EQ(nc.centroid(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(nc.centroid(0)[1], 1.0);
+}
+
+TEST(NearestCentroid, AddOpensNewClass) {
+  NearestCentroidClassifier nc;
+  nc.fit(linalg::Matrix{{0.0}}, {5});
+  nc.add(linalg::Vector{10.0}, 2);
+  EXPECT_EQ(nc.classes(), 2u);
+  // Labels stay ascending so tie-breaking semantics are preserved.
+  EXPECT_EQ(nc.class_label(0), 2u);
+  EXPECT_EQ(nc.class_label(1), 5u);
+  EXPECT_EQ(nc.classify(linalg::Vector{9.0}), 2u);
+  EXPECT_THROW(nc.add(linalg::Vector{1.0, 2.0}, 0), InvalidArgument);
+}
+
+TEST(NearestCentroid, AddMatchesBatchRefit) {
+  Rng rng(42);
+  linalg::Matrix points(30, 2);
+  std::vector<std::size_t> labels(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    points(i, 0) = rng.uniform(-3, 3);
+    points(i, 1) = rng.uniform(-3, 3);
+    labels[i] = i % 3;
+  }
+  // Incremental: fit on the first 10, add the rest one by one.
+  NearestCentroidClassifier incremental;
+  {
+    linalg::Matrix head(10, 2);
+    std::vector<std::size_t> head_labels(labels.begin(), labels.begin() + 10);
+    for (std::size_t i = 0; i < 10; ++i) {
+      head(i, 0) = points(i, 0);
+      head(i, 1) = points(i, 1);
+    }
+    incremental.fit(head, head_labels);
+  }
+  for (std::size_t i = 10; i < 30; ++i) {
+    incremental.add(points.row(i), labels[i]);
+  }
+  // Batch: fit on everything at once.
+  NearestCentroidClassifier batch;
+  batch.fit(points, labels);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(incremental.centroid(c)[0], batch.centroid(c)[0], 1e-12);
+    EXPECT_NEAR(incremental.centroid(c)[1], batch.centroid(c)[1], 1e-12);
+  }
+}
+
+TEST(NearestCentroid, RefitReplacesModel) {
+  NearestCentroidClassifier nc;
+  nc.fit(linalg::Matrix{{0.0}}, {0});
+  nc.fit(linalg::Matrix{{5.0}, {9.0}}, {1, 2});
+  EXPECT_EQ(nc.classes(), 2u);
+  EXPECT_EQ(nc.classify(linalg::Vector{8.5}), 2u);
+}
+
+}  // namespace
+}  // namespace larp::ml

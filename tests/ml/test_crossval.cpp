@@ -1,0 +1,85 @@
+// Tests for the repeated random-split cross-validation plan (§7.2).
+#include "ml/crossval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace larp::ml {
+namespace {
+
+TEST(CrossVal, ProducesRequestedFoldCount) {
+  Rng rng(1);
+  const auto folds = make_random_split_folds(288, CrossValidationPlan{}, rng);
+  EXPECT_EQ(folds.size(), 10u);  // paper: ten-fold
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.length, 288u);
+    EXPECT_EQ(fold.train_size() + fold.test_size(), 288u);
+  }
+}
+
+TEST(CrossVal, SplitsStayInsideFractionBand) {
+  Rng rng(2);
+  CrossValidationPlan plan;
+  plan.folds = 200;
+  plan.min_fraction = 0.4;
+  plan.max_fraction = 0.6;
+  const auto folds = make_random_split_folds(1000, plan, rng);
+  for (const auto& fold : folds) {
+    EXPECT_GE(fold.split, 399u);
+    EXPECT_LE(fold.split, 601u);
+  }
+}
+
+TEST(CrossVal, SplitsVaryAcrossFolds) {
+  Rng rng(3);
+  const auto folds = make_random_split_folds(1000, CrossValidationPlan{}, rng);
+  std::size_t distinct = 1;
+  for (std::size_t i = 1; i < folds.size(); ++i) {
+    if (folds[i].split != folds[0].split) ++distinct;
+  }
+  EXPECT_GT(distinct, 5u);
+}
+
+TEST(CrossVal, MinSidePointsRespected) {
+  Rng rng(4);
+  CrossValidationPlan plan;
+  plan.folds = 100;
+  plan.min_fraction = 0.01;
+  plan.max_fraction = 0.99;
+  const auto folds = make_random_split_folds(50, plan, rng, 17);
+  for (const auto& fold : folds) {
+    EXPECT_GE(fold.train_size(), 17u);
+    EXPECT_GE(fold.test_size(), 17u);
+  }
+}
+
+TEST(CrossVal, DeterministicForFixedSeed) {
+  Rng a(99), b(99);
+  const auto fa = make_random_split_folds(500, CrossValidationPlan{}, a);
+  const auto fb = make_random_split_folds(500, CrossValidationPlan{}, b);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].split, fb[i].split);
+  }
+}
+
+TEST(CrossVal, Validation) {
+  Rng rng(5);
+  CrossValidationPlan plan;
+  EXPECT_THROW((void)make_random_split_folds(0, plan, rng), InvalidArgument);
+  plan.folds = 0;
+  EXPECT_THROW((void)make_random_split_folds(100, plan, rng), InvalidArgument);
+  plan.folds = 10;
+  plan.min_fraction = 0.0;
+  EXPECT_THROW((void)make_random_split_folds(100, plan, rng), InvalidArgument);
+  plan.min_fraction = 0.7;
+  plan.max_fraction = 0.3;
+  EXPECT_THROW((void)make_random_split_folds(100, plan, rng), InvalidArgument);
+  plan.min_fraction = 0.4;
+  plan.max_fraction = 0.6;
+  EXPECT_THROW((void)make_random_split_folds(10, plan, rng, 6), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace larp::ml

@@ -1,0 +1,68 @@
+// Tests for series framing (§6 / Fig. 3).
+#include "ml/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace larp::ml {
+namespace {
+
+TEST(Framing, SupervisedWindowsAndTargets) {
+  const std::vector<double> series{1, 2, 3, 4, 5};
+  const auto framed = frame_supervised(series, 2);
+  ASSERT_EQ(framed.windows.rows(), 3u);
+  ASSERT_EQ(framed.windows.cols(), 2u);
+  ASSERT_EQ(framed.targets.size(), 3u);
+  // Window i = (x_i, x_{i+1}), target = x_{i+2}.
+  EXPECT_DOUBLE_EQ(framed.windows(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(framed.windows(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(framed.targets[0], 3.0);
+  EXPECT_DOUBLE_EQ(framed.windows(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(framed.targets[2], 5.0);
+}
+
+TEST(Framing, SupervisedCountIsLengthMinusWindow) {
+  const std::vector<double> series(100, 0.0);
+  for (std::size_t m : {1u, 5u, 16u, 99u}) {
+    const auto framed = frame_supervised(series, m);
+    EXPECT_EQ(framed.windows.rows(), 100 - m) << "m=" << m;
+  }
+}
+
+TEST(Framing, SupervisedValidation) {
+  const std::vector<double> series{1, 2, 3};
+  EXPECT_THROW((void)frame_supervised(series, 0), InvalidArgument);
+  EXPECT_THROW((void)frame_supervised(series, 3), InvalidArgument);
+  EXPECT_NO_THROW((void)frame_supervised(series, 2));
+}
+
+TEST(Framing, WindowsVariantIncludesFinalTargetlessWindow) {
+  const std::vector<double> series{1, 2, 3, 4};
+  // The paper's X'_{(u-m+1) x m} count.
+  const auto windows = frame_windows(series, 2);
+  EXPECT_EQ(windows.rows(), 3u);
+  EXPECT_DOUBLE_EQ(windows(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(windows(2, 1), 4.0);
+}
+
+TEST(Framing, WindowsExactFit) {
+  const std::vector<double> series{7, 8};
+  const auto windows = frame_windows(series, 2);
+  EXPECT_EQ(windows.rows(), 1u);
+  EXPECT_THROW((void)frame_windows(series, 3), InvalidArgument);
+}
+
+TEST(Framing, WindowsOverlapByOne) {
+  const std::vector<double> series{10, 20, 30, 40};
+  const auto windows = frame_windows(series, 3);
+  ASSERT_EQ(windows.rows(), 2u);
+  // Consecutive windows share m-1 values.
+  EXPECT_DOUBLE_EQ(windows(0, 1), windows(1, 0));
+  EXPECT_DOUBLE_EQ(windows(0, 2), windows(1, 1));
+}
+
+}  // namespace
+}  // namespace larp::ml

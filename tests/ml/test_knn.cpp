@@ -1,0 +1,223 @@
+// Tests for the k-NN classifier and the kd-tree backend (§5.1 / §7.3).
+#include "ml/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace larp::ml {
+namespace {
+
+TEST(MajorityVote, SimpleMajority) {
+  EXPECT_EQ(majority_vote({1, 1, 2}), 1u);
+  EXPECT_EQ(majority_vote({2, 2, 2}), 2u);
+  EXPECT_EQ(majority_vote({0}), 0u);
+}
+
+TEST(MajorityVote, TieBreaksTowardSmallestLabel) {
+  EXPECT_EQ(majority_vote({2, 1}), 1u);
+  EXPECT_EQ(majority_vote({0, 1, 2}), 0u);
+  EXPECT_EQ(majority_vote({3, 3, 1, 1}), 1u);
+}
+
+TEST(MajorityVote, EmptyThrows) {
+  EXPECT_THROW((void)majority_vote({}), InvalidArgument);
+}
+
+TEST(Knn, ValidatesConstruction) {
+  EXPECT_THROW(KnnClassifier(0), InvalidArgument);
+}
+
+TEST(Knn, FitValidation) {
+  KnnClassifier knn(3);
+  EXPECT_THROW(knn.fit(linalg::Matrix(0, 2), {}), InvalidArgument);
+  EXPECT_THROW(knn.fit(linalg::Matrix(2, 2), {0}), InvalidArgument);
+  EXPECT_THROW((void)knn.classify(linalg::Vector{1, 2}), StateError);
+}
+
+TEST(Knn, OneNearestNeighbor) {
+  KnnClassifier knn(1);
+  knn.fit(linalg::Matrix{{0, 0}, {10, 10}}, {0, 1});
+  EXPECT_EQ(knn.classify(linalg::Vector{1, 1}), 0u);
+  EXPECT_EQ(knn.classify(linalg::Vector{9, 9}), 1u);
+}
+
+TEST(Knn, ThreeNearestMajority) {
+  // Two class-0 points near the query outvote one closer class-1 point.
+  KnnClassifier knn(3);
+  knn.fit(linalg::Matrix{{0, 0}, {0.5, 0}, {0.2, 0.1}, {50, 50}}, {0, 0, 1, 1});
+  EXPECT_EQ(knn.classify(linalg::Vector{0.2, 0.0}), 0u);
+}
+
+TEST(Knn, KClampedToTrainingSize) {
+  KnnClassifier knn(5);
+  knn.fit(linalg::Matrix{{0, 0}, {1, 1}}, {1, 1});
+  EXPECT_EQ(knn.classify(linalg::Vector{0, 0}), 1u);
+}
+
+TEST(Knn, QueryDimensionMismatch) {
+  KnnClassifier knn(1);
+  knn.fit(linalg::Matrix{{0, 0}}, {0});
+  EXPECT_THROW((void)knn.classify(linalg::Vector{1}), InvalidArgument);
+}
+
+TEST(Knn, NeighborsSortedByDistance) {
+  KnnClassifier knn(3);
+  knn.fit(linalg::Matrix{{5, 0}, {1, 0}, {3, 0}}, {0, 1, 2});
+  const auto hits = knn.neighbors(linalg::Vector{0, 0});
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].index, 1u);  // distance 1
+  EXPECT_EQ(hits[1].index, 2u);  // distance 3
+  EXPECT_EQ(hits[2].index, 0u);  // distance 5
+  EXPECT_DOUBLE_EQ(hits[0].squared_distance, 1.0);
+}
+
+TEST(Knn, EqualDistanceTieBreaksByIndex) {
+  KnnClassifier knn(1);
+  knn.fit(linalg::Matrix{{1, 0}, {-1, 0}}, {7, 3});
+  const auto hits = knn.neighbors(linalg::Vector{0, 0});
+  EXPECT_EQ(hits[0].index, 0u);  // same distance; lower index wins
+}
+
+TEST(Knn, MatrixClassifyMatchesPointwise) {
+  Rng rng(1234);
+  linalg::Matrix train(100, 2);
+  std::vector<std::size_t> labels(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    train(i, 0) = rng.uniform(-1, 1);
+    train(i, 1) = rng.uniform(-1, 1);
+    labels[i] = train(i, 0) > 0 ? 1 : 0;
+  }
+  KnnClassifier knn(3);
+  knn.fit(train, labels);
+  linalg::Matrix queries(10, 2);
+  for (auto& v : queries.data()) v = rng.uniform(-1, 1);
+  const auto batch = knn.classify(queries);
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    EXPECT_EQ(batch[i], knn.classify(queries.row(i)));
+  }
+}
+
+TEST(Knn, LearnsLinearlySeparableClasses) {
+  Rng rng(777);
+  linalg::Matrix train(400, 2);
+  std::vector<std::size_t> labels(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    train(i, 0) = rng.uniform(-1, 1);
+    train(i, 1) = rng.uniform(-1, 1);
+    labels[i] = (train(i, 0) + train(i, 1) > 0) ? 1 : 0;
+  }
+  KnnClassifier knn(3);
+  knn.fit(train, labels);
+  int correct = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const linalg::Vector q{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    if (std::abs(q[0] + q[1]) < 0.2) continue;  // skip the boundary band
+    ++total;
+    if (knn.classify(q) == ((q[0] + q[1] > 0) ? 1u : 0u)) ++correct;
+  }
+  EXPECT_GT(total, 50);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.95);
+}
+
+// The two backends must return identical neighbours on identical data.
+class BackendEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BackendEquivalence, BruteAndKdTreeAgree) {
+  const auto [n_points, dims, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 31 + n_points + dims);
+  linalg::Matrix points(n_points, dims);
+  std::vector<std::size_t> labels(n_points);
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    for (std::size_t d = 0; d < points.cols(); ++d) {
+      points(i, d) = rng.uniform(-10, 10);
+    }
+    labels[i] = i % 3;
+  }
+  KnnClassifier brute(3, KnnBackend::BruteForce);
+  KnnClassifier tree(3, KnnBackend::KdTree);
+  brute.fit(points, labels);
+  tree.fit(points, labels);
+
+  for (int q = 0; q < 50; ++q) {
+    linalg::Vector query(dims);
+    for (auto& v : query) v = rng.uniform(-12, 12);
+    const auto brute_hits = brute.neighbors(query);
+    const auto tree_hits = tree.neighbors(query);
+    ASSERT_EQ(brute_hits.size(), tree_hits.size());
+    for (std::size_t i = 0; i < brute_hits.size(); ++i) {
+      EXPECT_EQ(brute_hits[i].index, tree_hits[i].index)
+          << "query " << q << " neighbour " << i;
+      EXPECT_NEAR(brute_hits[i].squared_distance, tree_hits[i].squared_distance,
+                  1e-9);
+    }
+    EXPECT_EQ(brute.classify(query), tree.classify(query));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BackendEquivalence,
+    ::testing::Combine(::testing::Values(1, 5, 64, 500),
+                       ::testing::Values(1, 2, 5),
+                       ::testing::Values(1, 2)));
+
+TEST(Knn, AddGrowsIndexAndChangesDecisions) {
+  KnnClassifier knn(1);
+  knn.fit(linalg::Matrix{{0.0, 0.0}}, {0});
+  EXPECT_EQ(knn.classify(linalg::Vector{5.0, 5.0}), 0u);
+  knn.add(linalg::Vector{5.0, 5.0}, 1);
+  EXPECT_EQ(knn.size(), 2u);
+  EXPECT_EQ(knn.classify(linalg::Vector{5.5, 5.5}), 1u);
+  EXPECT_EQ(knn.classify(linalg::Vector{0.1, 0.1}), 0u);
+  EXPECT_THROW(knn.add(linalg::Vector{1.0}, 0), InvalidArgument);
+}
+
+TEST(Knn, AddKeepsBackendsEquivalent) {
+  Rng rng(555);
+  linalg::Matrix points(50, 2);
+  std::vector<std::size_t> labels(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    points(i, 0) = rng.uniform(-5, 5);
+    points(i, 1) = rng.uniform(-5, 5);
+    labels[i] = i % 2;
+  }
+  KnnClassifier brute(3, KnnBackend::BruteForce);
+  KnnClassifier tree(3, KnnBackend::KdTree);
+  brute.fit(points, labels);
+  tree.fit(points, labels);
+  for (int i = 0; i < 30; ++i) {
+    const linalg::Vector p{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    brute.add(p, i % 3);
+    tree.add(p, i % 3);
+    const linalg::Vector q{rng.uniform(-6, 6), rng.uniform(-6, 6)};
+    EXPECT_EQ(brute.classify(q), tree.classify(q)) << "after add " << i;
+  }
+}
+
+TEST(KdTree, EmptyTree) {
+  const KdTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.nearest(linalg::Vector{}, 3).empty());
+}
+
+TEST(KdTree, DuplicatePointsAllRetrievable) {
+  linalg::Matrix points(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    points(i, 0) = 1.0;
+    points(i, 1) = 1.0;
+  }
+  const KdTree tree(points);
+  const auto hits = tree.nearest(linalg::Vector{1.0, 1.0}, 4);
+  ASSERT_EQ(hits.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(hits[i].index, i);  // index-ordered among equal distances
+    EXPECT_DOUBLE_EQ(hits[i].squared_distance, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace larp::ml

@@ -1,0 +1,85 @@
+// Tests for classification metrics.
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace larp::ml {
+namespace {
+
+TEST(ConfusionMatrix, ValidatesConstruction) {
+  EXPECT_THROW(ConfusionMatrix(0), InvalidArgument);
+}
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  cm.add(1, 2);
+  cm.add(2, 0);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(1, 2), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 3.0 / 5.0);
+}
+
+TEST(ConfusionMatrix, EmptyAccuracyZero) {
+  ConfusionMatrix cm(2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, LabelRangeChecked) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), InvalidArgument);
+  EXPECT_THROW(cm.add(0, 2), InvalidArgument);
+  EXPECT_THROW((void)cm.count(2, 0), InvalidArgument);
+}
+
+TEST(ConfusionMatrix, RecallPerClass) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  const auto recall = cm.recall();
+  EXPECT_NEAR(recall[0], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(recall[1], 1.0);
+}
+
+TEST(ConfusionMatrix, PrecisionPerClass) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  cm.add(1, 1);
+  const auto precision = cm.precision();
+  EXPECT_DOUBLE_EQ(precision[0], 0.5);
+  EXPECT_DOUBLE_EQ(precision[1], 1.0);
+}
+
+TEST(ConfusionMatrix, UnseenClassZeroRecallPrecision) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.recall()[2], 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision()[2], 0.0);
+}
+
+TEST(ConfusionMatrix, RenderContainsNamesAndCounts) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 1);
+  const auto text = cm.render({"LAST", "AR"});
+  EXPECT_NE(text.find("LAST"), std::string::npos);
+  EXPECT_NE(text.find("AR"), std::string::npos);
+  EXPECT_THROW((void)cm.render({"one"}), InvalidArgument);
+}
+
+TEST(Accuracy, SequenceComparison) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 0, 0}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+  EXPECT_THROW((void)accuracy({1}, {1, 2}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace larp::ml

@@ -1,0 +1,79 @@
+// Tests for z-score normalization with train-derived coefficients.
+#include "ml/normalizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace larp::ml {
+namespace {
+
+TEST(Normalizer, UsedBeforeFitThrows) {
+  ZScoreNormalizer norm;
+  EXPECT_FALSE(norm.fitted());
+  EXPECT_THROW((void)norm.transform(1.0), StateError);
+  EXPECT_THROW((void)norm.inverse(1.0), StateError);
+}
+
+TEST(Normalizer, EmptySeriesRejected) {
+  ZScoreNormalizer norm;
+  EXPECT_THROW(norm.fit(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Normalizer, TransformedSeriesHasZeroMeanUnitVariance) {
+  Rng rng(11);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.normal(42.0, 7.0);
+  ZScoreNormalizer norm;
+  norm.fit(xs);
+  const auto zs = norm.transform(xs);
+  EXPECT_NEAR(stats::mean(zs), 0.0, 1e-10);
+  EXPECT_NEAR(stats::variance(zs), 1.0, 1e-10);
+}
+
+TEST(Normalizer, InverseRoundTrips) {
+  const std::vector<double> xs{1.0, 5.0, -2.0, 8.0};
+  ZScoreNormalizer norm;
+  norm.fit(xs);
+  for (double x : xs) {
+    EXPECT_NEAR(norm.inverse(norm.transform(x)), x, 1e-12);
+  }
+  const auto zs = norm.transform(xs);
+  const auto back = norm.inverse(zs);
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_NEAR(back[i], xs[i], 1e-12);
+}
+
+TEST(Normalizer, ConstantSeriesMapsToZeros) {
+  const std::vector<double> xs(50, 3.0);
+  ZScoreNormalizer norm;
+  norm.fit(xs);
+  EXPECT_DOUBLE_EQ(norm.stddev(), 1.0);  // divide-by-zero guard
+  for (double z : norm.transform(xs)) EXPECT_DOUBLE_EQ(z, 0.0);
+}
+
+TEST(Normalizer, TrainCoefficientsReplayOnTestData) {
+  // The §6.2 leak-prevention property: test data normalized with TRAIN
+  // statistics, not its own.
+  const std::vector<double> train{0, 2, 4, 6, 8};  // mean 4, sd sqrt(8)
+  const std::vector<double> test{104.0};
+  ZScoreNormalizer norm;
+  norm.fit(train);
+  EXPECT_NEAR(norm.transform(test[0]), 100.0 / norm.stddev(), 1e-12);
+  EXPECT_DOUBLE_EQ(norm.mean(), 4.0);
+}
+
+TEST(Normalizer, RefitReplacesCoefficients) {
+  ZScoreNormalizer norm;
+  norm.fit(std::vector<double>{0.0, 10.0});
+  const double before = norm.transform(5.0);
+  norm.fit(std::vector<double>{100.0, 102.0});
+  EXPECT_NE(norm.transform(5.0), before);
+  EXPECT_DOUBLE_EQ(norm.mean(), 101.0);
+}
+
+}  // namespace
+}  // namespace larp::ml

@@ -1,0 +1,183 @@
+// Tests for the PCA feature-space reduction (§5.2).
+#include "ml/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/covariance.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace larp::ml {
+namespace {
+
+// Samples concentrated along a line in 3D with small isotropic noise.
+linalg::Matrix line_cloud(std::size_t n, Rng& rng, double noise = 0.05) {
+  linalg::Matrix samples(n, 3);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double t = rng.uniform(-5, 5);
+    samples(r, 0) = 2.0 * t + rng.normal(0.0, noise) + 1.0;
+    samples(r, 1) = -1.0 * t + rng.normal(0.0, noise) + 2.0;
+    samples(r, 2) = 0.5 * t + rng.normal(0.0, noise) - 3.0;
+  }
+  return samples;
+}
+
+TEST(Pca, UsedBeforeFitThrows) {
+  Pca pca;
+  EXPECT_FALSE(pca.fitted());
+  EXPECT_THROW((void)pca.transform(linalg::Vector{1, 2}), StateError);
+  EXPECT_THROW((void)pca.explained_variance_ratio(), StateError);
+}
+
+TEST(Pca, ValidatesInputs) {
+  Pca pca;
+  EXPECT_THROW(pca.fit(linalg::Matrix(0, 3)), InvalidArgument);
+  PcaPolicy bad;
+  bad.fixed_components = 0;
+  bad.min_variance_fraction = 0.0;
+  EXPECT_THROW(pca.fit(linalg::Matrix(3, 3), bad), InvalidArgument);
+}
+
+TEST(Pca, FixedComponentsReducesDimension) {
+  Rng rng(101);
+  const auto cloud = line_cloud(300, rng);
+  Pca pca;
+  pca.fit(cloud, PcaPolicy{2, 0.9});
+  EXPECT_EQ(pca.components(), 2u);
+  EXPECT_EQ(pca.input_dimension(), 3u);
+  const auto reduced = pca.transform(cloud);
+  EXPECT_EQ(reduced.rows(), 300u);
+  EXPECT_EQ(reduced.cols(), 2u);
+}
+
+TEST(Pca, FixedComponentsClampedToDimension) {
+  Rng rng(102);
+  const auto cloud = line_cloud(50, rng);
+  Pca pca;
+  pca.fit(cloud, PcaPolicy{10, 0.9});
+  EXPECT_EQ(pca.components(), 3u);
+}
+
+TEST(Pca, FirstComponentCapturesLineVariance) {
+  Rng rng(103);
+  const auto cloud = line_cloud(2000, rng, 0.01);
+  Pca pca;
+  pca.fit(cloud, PcaPolicy{3, 0.9});
+  const auto ratio = pca.explained_variance_ratio();
+  EXPECT_GT(ratio[0], 0.999);  // nearly all variance along the line
+  EXPECT_NEAR(ratio[0] + ratio[1] + ratio[2], 1.0, 1e-9);
+}
+
+TEST(Pca, MinVarianceFractionSelectsComponentCount) {
+  Rng rng(104);
+  const auto cloud = line_cloud(500, rng, 0.01);
+  Pca pca;
+  pca.fit(cloud, PcaPolicy{0, 0.99});
+  EXPECT_EQ(pca.components(), 1u);  // the line alone explains > 99%
+
+  Pca strict;
+  strict.fit(cloud, PcaPolicy{0, 0.9999999});
+  EXPECT_GE(strict.components(), 2u);
+}
+
+TEST(Pca, EigenvaluesDescending) {
+  Rng rng(105);
+  linalg::Matrix cloud(200, 4);
+  for (auto& v : cloud.data()) v = rng.uniform(-1, 1);
+  Pca pca;
+  pca.fit(cloud, PcaPolicy{4, 0.9});
+  const auto& values = pca.eigenvalues();
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_GE(values[i - 1], values[i] - 1e-12);
+  }
+}
+
+TEST(Pca, TransformDimensionMismatchThrows) {
+  Rng rng(106);
+  Pca pca;
+  pca.fit(line_cloud(50, rng), PcaPolicy{2, 0.9});
+  EXPECT_THROW((void)pca.transform(linalg::Vector{1, 2}), InvalidArgument);
+  EXPECT_THROW((void)pca.transform(linalg::Matrix(5, 4)), InvalidArgument);
+  EXPECT_THROW((void)pca.inverse_transform(linalg::Vector{1, 2, 3}),
+               InvalidArgument);
+}
+
+TEST(Pca, FullRankTransformIsInvertible) {
+  Rng rng(107);
+  linalg::Matrix cloud(100, 3);
+  for (auto& v : cloud.data()) v = rng.uniform(-2, 2);
+  Pca pca;
+  pca.fit(cloud, PcaPolicy{3, 0.9});
+  for (std::size_t r = 0; r < 10; ++r) {
+    const auto reduced = pca.transform(cloud.row(r));
+    const auto rebuilt = pca.inverse_transform(reduced);
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(rebuilt[c], cloud(r, c), 1e-9);
+    }
+  }
+}
+
+TEST(Pca, ReducedReconstructionIsLeastSquaresClose) {
+  // With components = 1 on a line cloud, reconstruction error should be on
+  // the order of the injected noise, not the line's extent.
+  Rng rng(108);
+  const auto cloud = line_cloud(1000, rng, 0.05);
+  Pca pca;
+  pca.fit(cloud, PcaPolicy{1, 0.9});
+  double worst = 0.0;
+  for (std::size_t r = 0; r < cloud.rows(); ++r) {
+    const auto rebuilt = pca.inverse_transform(pca.transform(cloud.row(r)));
+    worst = std::max(worst, linalg::distance(rebuilt, cloud.row(r)));
+  }
+  EXPECT_LT(worst, 0.5);
+}
+
+TEST(Pca, ProjectionDecorrelatesComponents) {
+  Rng rng(109);
+  // Correlated 2D cloud.
+  linalg::Matrix cloud(3000, 2);
+  for (std::size_t r = 0; r < cloud.rows(); ++r) {
+    const double x = rng.normal();
+    cloud(r, 0) = x + rng.normal(0.0, 0.3);
+    cloud(r, 1) = x - rng.normal(0.0, 0.3);
+  }
+  Pca pca;
+  pca.fit(cloud, PcaPolicy{2, 0.9});
+  const auto reduced = pca.transform(cloud);
+  const auto cov = linalg::covariance(reduced);
+  EXPECT_NEAR(cov(0, 1), 0.0, 0.02);
+  EXPECT_GT(cov(0, 0), cov(1, 1));  // descending variance order
+}
+
+TEST(Pca, ZeroVarianceDataHandled) {
+  const linalg::Matrix constant(20, 3, 5.0);
+  Pca pca;
+  pca.fit(constant, PcaPolicy{0, 0.9});
+  EXPECT_GE(pca.components(), 1u);
+  const auto reduced = pca.transform(constant.row(0));
+  for (double v : reduced) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Pca, PaperConfigurationWindowToTwoComponents) {
+  // The paper's setting: windows of m = 16 reduced to n = 2.
+  Rng rng(110);
+  linalg::Matrix windows(200, 16);
+  for (std::size_t r = 0; r < windows.rows(); ++r) {
+    double prev = rng.normal();
+    for (std::size_t c = 0; c < 16; ++c) {
+      prev = 0.9 * prev + rng.normal(0.0, 0.2);
+      windows(r, c) = prev;
+    }
+  }
+  Pca pca;
+  pca.fit(windows, PcaPolicy{2, 0.9});
+  EXPECT_EQ(pca.components(), 2u);
+  const auto reduced = pca.transform(windows);
+  EXPECT_EQ(reduced.cols(), 2u);
+}
+
+}  // namespace
+}  // namespace larp::ml

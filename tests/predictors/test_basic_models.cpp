@@ -1,0 +1,84 @@
+// Tests for the paper's parameter-free models: LAST and SW_AVG.
+#include <gtest/gtest.h>
+
+#include "predictors/last.hpp"
+#include "predictors/sliding_window_average.hpp"
+#include "util/error.hpp"
+
+namespace larp::predictors {
+namespace {
+
+TEST(LastValue, PredictsMostRecent) {
+  LastValue model;
+  EXPECT_EQ(model.name(), "LAST");
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{1, 2, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{-7}), -7.0);
+}
+
+TEST(LastValue, RejectsEmptyWindow) {
+  LastValue model;
+  EXPECT_THROW((void)model.predict(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(LastValue, CloneIsIndependent) {
+  LastValue model;
+  const auto copy = model.clone();
+  EXPECT_EQ(copy->name(), "LAST");
+  EXPECT_DOUBLE_EQ(copy->predict(std::vector<double>{5.0}), 5.0);
+}
+
+TEST(LastValue, PerfectOnConstantSeries) {
+  // The paper's observation: LAST excels on smooth traces.
+  LastValue model;
+  const std::vector<double> window(8, 2.5);
+  EXPECT_DOUBLE_EQ(model.predict(window), 2.5);
+}
+
+TEST(LastValue, FitAndObserveAreNoops) {
+  LastValue model;
+  model.fit(std::vector<double>{1, 2, 3});
+  model.observe(9.0);
+  model.reset();
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{4.0}), 4.0);
+}
+
+TEST(SlidingWindowAverage, AveragesWholeWindowByDefault) {
+  SlidingWindowAverage model;
+  EXPECT_EQ(model.name(), "SW_AVG");
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{1, 2, 3, 4}), 2.5);
+}
+
+TEST(SlidingWindowAverage, FixedWindowUsesSuffix) {
+  SlidingWindowAverage model(2);
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{100, 1, 3}), 2.0);
+  EXPECT_EQ(model.min_history(), 2u);
+}
+
+TEST(SlidingWindowAverage, FixedWindowRequiresEnoughHistory) {
+  SlidingWindowAverage model(4);
+  EXPECT_THROW((void)model.predict(std::vector<double>{1, 2, 3}), InvalidArgument);
+}
+
+TEST(SlidingWindowAverage, DampsSpikes) {
+  // The reason SW_AVG wins on bursty traces: a single spike moves the
+  // forecast by only spike/window.
+  SlidingWindowAverage model;
+  const double quiet = model.predict(std::vector<double>{1, 1, 1, 1});
+  const double spiked = model.predict(std::vector<double>{1, 1, 1, 101});
+  EXPECT_DOUBLE_EQ(quiet, 1.0);
+  EXPECT_DOUBLE_EQ(spiked, 26.0);  // vs LAST which would say 101
+}
+
+TEST(SlidingWindowAverage, CloneKeepsWindowSize) {
+  SlidingWindowAverage model(3);
+  const auto copy = model.clone();
+  EXPECT_EQ(copy->min_history(), 3u);
+}
+
+TEST(SlidingWindowAverage, SingleElementWindow) {
+  SlidingWindowAverage model;
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{7.0}), 7.0);
+}
+
+}  // namespace
+}  // namespace larp::predictors

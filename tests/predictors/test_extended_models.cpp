@@ -1,0 +1,197 @@
+// Tests for the extension pool (NWS battery / SC'03 / CCGrid'06 models).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "predictors/adaptive_window.hpp"
+#include "predictors/ewma.hpp"
+#include "predictors/median_window.hpp"
+#include "predictors/polyfit.hpp"
+#include "predictors/running_mean.hpp"
+#include "predictors/tendency.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace larp::predictors {
+namespace {
+
+TEST(RunningMean, TracksEntireHistory) {
+  RunningMean model;
+  model.observe(2.0);
+  model.observe(4.0);
+  model.observe(6.0);
+  // The window contents are irrelevant once history exists.
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{100.0}), 4.0);
+  EXPECT_EQ(model.observed_count(), 3u);
+}
+
+TEST(RunningMean, FallsBackToWindowMeanWhenCold) {
+  RunningMean model;
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{1, 3}), 2.0);
+}
+
+TEST(RunningMean, ResetClearsHistory) {
+  RunningMean model;
+  model.observe(10.0);
+  model.reset();
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{2.0}), 2.0);
+}
+
+TEST(RunningMean, CloneCarriesState) {
+  RunningMean model;
+  model.observe(8.0);
+  const auto copy = model.clone();
+  EXPECT_DOUBLE_EQ(copy->predict(std::vector<double>{0.0}), 8.0);
+}
+
+TEST(Ewma, ValidatesAlpha) {
+  EXPECT_THROW(Ewma(0.0), InvalidArgument);
+  EXPECT_THROW(Ewma(1.5), InvalidArgument);
+  EXPECT_NO_THROW(Ewma(1.0));
+}
+
+TEST(Ewma, SmoothingRecursion) {
+  Ewma model(0.5);
+  model.observe(10.0);  // state = 10
+  model.observe(20.0);  // state = 15
+  model.observe(10.0);  // state = 12.5
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{0.0}), 12.5);
+}
+
+TEST(Ewma, AlphaOneBehavesLikeLast) {
+  Ewma model(1.0);
+  model.observe(3.0);
+  model.observe(9.0);
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{0.0}), 9.0);
+}
+
+TEST(Ewma, ColdStartUsesWindow) {
+  Ewma model(0.5);
+  // window EWMA of {4, 8}: s = 4 then 0.5*8+0.5*4 = 6.
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{4.0, 8.0}), 6.0);
+}
+
+TEST(Ewma, NameEncodesAlpha) {
+  EXPECT_EQ(Ewma(0.2).name(), "EWMA(0.2)");
+}
+
+TEST(MedianWindow, RobustToOutliers) {
+  MedianWindow model;
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{1, 1, 1000, 1, 1}), 1.0);
+}
+
+TEST(MedianWindow, FixedWindowSuffix) {
+  MedianWindow model(3);
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{1000, 1, 2, 3}), 2.0);
+  EXPECT_THROW((void)model.predict(std::vector<double>{1, 2}), InvalidArgument);
+}
+
+TEST(TrimmedMean, BetweenMeanAndMedian) {
+  TrimmedMeanWindow model(0.2);
+  const std::vector<double> window{1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(model.predict(window), 3.0);
+  EXPECT_THROW(TrimmedMeanWindow(0.5), InvalidArgument);
+}
+
+TEST(AdaptiveMean, ValidatesWindow) {
+  EXPECT_THROW(AdaptiveMean(0), InvalidArgument);
+}
+
+TEST(AdaptiveMean, LearnsShortWindowOnRegimeShifts) {
+  // Series with abrupt level changes: short averaging windows track better,
+  // so the adaptive model should converge to a small best_window.
+  AdaptiveMean model(16);
+  Rng rng(321);
+  double level = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    if (i % 25 == 0) level = rng.uniform(-50, 50);
+    model.observe(level + rng.normal(0.0, 0.1));
+  }
+  EXPECT_LE(model.best_window(), 2u);
+}
+
+TEST(AdaptiveMean, LearnsLongWindowOnNoisyStationary) {
+  // Pure noise around a constant: longer windows average it out.
+  AdaptiveMean model(16);
+  Rng rng(322);
+  for (int i = 0; i < 2000; ++i) model.observe(rng.normal(10.0, 5.0));
+  EXPECT_GE(model.best_window(), 8u);
+}
+
+TEST(AdaptiveMean, PredictsWithBestWindow) {
+  AdaptiveMean model(4);
+  // Without feedback, defaults to the shortest window (LAST-like).
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{1, 2, 9}), 9.0);
+}
+
+TEST(AdaptiveMedian, SameMachineryRobustStatistic) {
+  AdaptiveMedian model(8);
+  Rng rng(323);
+  for (int i = 0; i < 500; ++i) model.observe(rng.normal(5.0, 1.0));
+  const std::vector<double> window{4, 5, 6, 5, 4, 5, 6, 1000};
+  // Best window is long by now; the median shrugs off the spike.
+  EXPECT_LT(model.predict(window), 100.0);
+}
+
+TEST(Tendency, ContinuesDirection) {
+  Tendency model;
+  // Window rising by steps of ~2: forecast continues above the last value.
+  const std::vector<double> rising{1, 3, 5, 7};
+  EXPECT_GT(model.predict(rising), 7.0);
+  const std::vector<double> falling{7, 5, 3, 1};
+  EXPECT_LT(model.predict(falling), 1.0);
+}
+
+TEST(Tendency, FlatSeriesPredictsCurrent) {
+  Tendency model;
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{5, 5, 5}), 5.0);
+}
+
+TEST(Tendency, OnlineStateRefinesStepEstimate) {
+  Tendency model(1.0);  // no smoothing: estimate equals the last step size
+  model.observe(0.0);
+  model.observe(10.0);  // step 10
+  const std::vector<double> window{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(model.predict(window), 20.0);
+}
+
+TEST(Tendency, ValidatesParameters) {
+  EXPECT_THROW(Tendency(0.0), InvalidArgument);
+  EXPECT_THROW(Tendency(0.5, 1.5), InvalidArgument);
+  EXPECT_THROW((void)Tendency().predict(std::vector<double>{1.0}),
+               InvalidArgument);
+}
+
+TEST(PolynomialFit, ExactOnPolynomialData) {
+  // Degree-2 fit must extrapolate an exact quadratic perfectly.
+  PolynomialFit model(2);
+  std::vector<double> window;
+  for (int x = 0; x < 6; ++x) window.push_back(2.0 * x * x - 3.0 * x + 1.0);
+  const double expected = 2.0 * 36 - 3.0 * 6 + 1.0;
+  EXPECT_NEAR(model.predict(window), expected, 1e-8);
+}
+
+TEST(PolynomialFit, LinearFitExtrapolatesTrend) {
+  PolynomialFit model(1);
+  EXPECT_NEAR(model.predict(std::vector<double>{1, 2, 3, 4}), 5.0, 1e-10);
+}
+
+TEST(PolynomialFit, ValidatesConfiguration) {
+  EXPECT_THROW(PolynomialFit(0), InvalidArgument);
+  EXPECT_THROW(PolynomialFit(2, 2), InvalidArgument);
+  PolynomialFit model(2);
+  EXPECT_THROW((void)model.predict(std::vector<double>{1, 2}), InvalidArgument);
+}
+
+TEST(PolynomialFit, NameEncodesDegree) {
+  EXPECT_EQ(PolynomialFit(2).name(), "POLY_FIT(d2)");
+}
+
+TEST(PolynomialFit, FitPointsLimitTheLookback) {
+  // With fit_points=2 and degree 1, only the last two points define the line.
+  PolynomialFit model(1, 2);
+  EXPECT_NEAR(model.predict(std::vector<double>{100, 100, 1, 2}), 3.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace larp::predictors

@@ -1,0 +1,138 @@
+// Tests for the predictor pool and its factory configurations.
+#include "predictors/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "predictors/last.hpp"
+#include "predictors/running_mean.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace larp::predictors {
+namespace {
+
+std::vector<double> noisy_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  double prev = 0.0;
+  for (auto& x : xs) {
+    prev = 0.7 * prev + rng.normal();
+    x = prev;
+  }
+  return xs;
+}
+
+TEST(PredictorPool, PaperPoolOrderMatchesClassNumbering) {
+  const auto pool = make_paper_pool(5);
+  ASSERT_EQ(pool.size(), 3u);
+  // Paper: 1-LAST, 2-AR, 3-SW_AVG (0-based 0, 1, 2).
+  EXPECT_EQ(pool.name(0), "LAST");
+  EXPECT_EQ(pool.name(1), "AR");
+  EXPECT_EQ(pool.name(2), "SW_AVG");
+}
+
+TEST(PredictorPool, ExtendedPoolSupersetOfPaperPool) {
+  const auto pool = make_extended_pool(5);
+  EXPECT_GE(pool.size(), 10u);
+  EXPECT_EQ(pool.name(0), "LAST");
+  EXPECT_EQ(pool.name(1), "AR");
+  EXPECT_EQ(pool.name(2), "SW_AVG");
+  EXPECT_NO_THROW((void)pool.label_of("TENDENCY"));
+  EXPECT_NO_THROW((void)pool.label_of("POLY_FIT(d2)"));
+}
+
+TEST(PredictorPool, AddRejectsNull) {
+  PredictorPool pool;
+  EXPECT_THROW((void)pool.add(nullptr), InvalidArgument);
+}
+
+TEST(PredictorPool, LabelLookup) {
+  const auto pool = make_paper_pool(3);
+  EXPECT_EQ(pool.label_of("AR"), 1u);
+  EXPECT_THROW((void)pool.label_of("NOPE"), NotFound);
+  EXPECT_THROW((void)pool.at(3), InvalidArgument);
+  EXPECT_THROW((void)pool.name(99), InvalidArgument);
+}
+
+TEST(PredictorPool, MinHistoryIsMaxOverMembers) {
+  const auto pool = make_paper_pool(7);
+  EXPECT_EQ(pool.min_history(), 7u);  // AR(7) dominates LAST/SW_AVG
+}
+
+TEST(PredictorPool, PredictAllMatchesMembers) {
+  auto pool = make_paper_pool(3);
+  const auto series = noisy_series(500, 42);
+  pool.fit_all(series);
+  const std::vector<double> window{1.0, 2.0, 3.0};
+  const auto all = pool.predict_all(window);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_DOUBLE_EQ(all[0], pool.at(0).predict(window));
+  EXPECT_DOUBLE_EQ(all[1], pool.at(1).predict(window));
+  EXPECT_DOUBLE_EQ(all[2], pool.at(2).predict(window));
+  EXPECT_DOUBLE_EQ(all[0], 3.0);  // LAST
+  EXPECT_DOUBLE_EQ(all[2], 2.0);  // SW_AVG
+}
+
+TEST(PredictorPool, ObserveAllFeedsStatefulMembers) {
+  PredictorPool pool;
+  pool.add(std::make_unique<LastValue>());
+  pool.add(std::make_unique<RunningMean>());
+  pool.observe_all(4.0);
+  pool.observe_all(8.0);
+  const auto all = pool.predict_all(std::vector<double>{1.0});
+  EXPECT_DOUBLE_EQ(all[0], 1.0);  // LAST sees the window
+  EXPECT_DOUBLE_EQ(all[1], 6.0);  // RunningMean sees the observations
+}
+
+TEST(PredictorPool, ResetAllClearsState) {
+  PredictorPool pool;
+  pool.add(std::make_unique<RunningMean>());
+  pool.observe_all(100.0);
+  pool.reset_all();
+  const auto all = pool.predict_all(std::vector<double>{2.0});
+  EXPECT_DOUBLE_EQ(all[0], 2.0);
+}
+
+TEST(PredictorPool, CloneIsDeepAndIndependent) {
+  PredictorPool pool;
+  pool.add(std::make_unique<RunningMean>());
+  pool.observe_all(10.0);
+  auto copy = pool.clone();
+  // Clone carries the state snapshot...
+  EXPECT_DOUBLE_EQ(copy.predict_all(std::vector<double>{0.0})[0], 10.0);
+  // ...but evolves independently afterwards.
+  copy.observe_all(20.0);
+  EXPECT_DOUBLE_EQ(pool.predict_all(std::vector<double>{0.0})[0], 10.0);
+  EXPECT_DOUBLE_EQ(copy.predict_all(std::vector<double>{0.0})[0], 15.0);
+}
+
+TEST(PredictorPool, FitAllFitsAr) {
+  auto pool = make_paper_pool(2);
+  const auto series = noisy_series(2000, 7);
+  EXPECT_NO_THROW(pool.fit_all(series));
+  // AR must now predict without throwing.
+  EXPECT_NO_THROW((void)pool.at(1).predict(std::vector<double>{0.1, 0.2}));
+}
+
+TEST(PredictorPool, NamesVectorInLabelOrder) {
+  const auto pool = make_paper_pool(4);
+  const auto names = pool.names();
+  EXPECT_EQ(names, (std::vector<std::string>{"LAST", "AR", "SW_AVG"}));
+}
+
+TEST(PredictorPool, ExtendedPoolSurvivesFullFitPredictCycle) {
+  auto pool = make_extended_pool(5);
+  const auto series = noisy_series(1000, 99);
+  pool.fit_all(series);
+  pool.reset_all();
+  for (std::size_t i = 0; i < 10; ++i) pool.observe_all(series[i]);
+  const std::vector<double> window(series.begin(), series.begin() + 5);
+  const auto all = pool.predict_all(window);
+  EXPECT_EQ(all.size(), pool.size());
+  for (double f : all) EXPECT_TRUE(std::isfinite(f));
+}
+
+}  // namespace
+}  // namespace larp::predictors

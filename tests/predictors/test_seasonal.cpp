@@ -1,0 +1,96 @@
+// Tests for the seasonal-naive predictor.
+#include "predictors/seasonal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "predictors/last.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace larp::predictors {
+namespace {
+
+TEST(SeasonalNaive, Validation) {
+  EXPECT_THROW(SeasonalNaive(0), InvalidArgument);
+  SeasonalNaive model(4);
+  EXPECT_THROW((void)model.predict(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(SeasonalNaive, NameAndPeriod) {
+  SeasonalNaive model(288);
+  EXPECT_EQ(model.name(), "SEASONAL(288)");
+  EXPECT_EQ(model.period(), 288u);
+  EXPECT_FALSE(model.primed());
+}
+
+TEST(SeasonalNaive, DegradesToLastBeforePrimed) {
+  SeasonalNaive model(10);
+  model.observe(1.0);
+  EXPECT_FALSE(model.primed());
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(SeasonalNaive, ExactOnPurelyPeriodicSeries) {
+  // A deterministic period-4 cycle: once primed, forecasts are perfect.
+  const double cycle[4] = {10, 20, 30, 40};
+  SeasonalNaive model(4);
+  for (int t = 0; t < 4; ++t) model.observe(cycle[t % 4]);
+  EXPECT_TRUE(model.primed());
+  for (int t = 4; t < 40; ++t) {
+    // Forecast the value at t given observations through t-1.
+    const std::vector<double> window{cycle[(t - 1) % 4]};
+    EXPECT_DOUBLE_EQ(model.predict(window), cycle[t % 4]) << "t=" << t;
+    model.observe(cycle[t % 4]);
+  }
+}
+
+TEST(SeasonalNaive, BeatsLastOnDiurnalSeries) {
+  // Sinusoid of period 48 with small noise: LAST lags the slope, the
+  // seasonal expert nails each phase.
+  Rng rng(5);
+  const std::size_t period = 48;
+  std::vector<double> series(period * 20);
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    series[t] = 50.0 +
+                20.0 * std::sin(2.0 * std::numbers::pi * t / period) +
+                rng.normal(0.0, 0.5);
+  }
+  SeasonalNaive seasonal(period);
+  LastValue last;
+  stats::RunningMse seasonal_mse, last_mse;
+  for (std::size_t t = 0; t + 1 < series.size(); ++t) {
+    seasonal.observe(series[t]);
+    if (t >= period) {
+      const std::vector<double> window{series[t]};
+      seasonal_mse.add(seasonal.predict(window), series[t + 1]);
+      last_mse.add(last.predict(window), series[t + 1]);
+    }
+  }
+  EXPECT_LT(seasonal_mse.value(), 0.6 * last_mse.value());
+}
+
+TEST(SeasonalNaive, ResetClearsRing) {
+  SeasonalNaive model(3);
+  for (double v : {1.0, 2.0, 3.0}) model.observe(v);
+  EXPECT_TRUE(model.primed());
+  model.reset();
+  EXPECT_FALSE(model.primed());
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{9.0}), 9.0);
+}
+
+TEST(SeasonalNaive, CloneCarriesRing) {
+  SeasonalNaive model(2);
+  model.observe(5.0);
+  model.observe(6.0);
+  const auto copy = model.clone();
+  const std::vector<double> window{0.0};
+  EXPECT_DOUBLE_EQ(copy->predict(window), model.predict(window));
+  EXPECT_DOUBLE_EQ(copy->predict(window), 5.0);  // one period back
+}
+
+}  // namespace
+}  // namespace larp::predictors

@@ -1,0 +1,141 @@
+// Tests for the five-VM trace catalog.
+#include "tracegen/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace larp::tracegen {
+namespace {
+
+TEST(Catalog, PaperMetricListMatchesTable2) {
+  const auto& metrics = paper_metrics();
+  ASSERT_EQ(metrics.size(), 12u);
+  EXPECT_EQ(metrics.front(), "CPU_usedsec");
+  EXPECT_EQ(metrics.back(), "VD2_write");
+}
+
+TEST(Catalog, FiveVmsWithPaperExtractionShapes) {
+  const auto& vms = paper_vms();
+  ASSERT_EQ(vms.size(), 5u);
+  // VM1: 7 days at 30 minutes; VM2-5: 24 h at 5 minutes.
+  EXPECT_EQ(vms[0].interval, kThirtyMinutes);
+  EXPECT_EQ(vms[0].samples, 336u);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_EQ(vms[i].interval, kFiveMinutes);
+    EXPECT_EQ(vms[i].samples, 288u);
+  }
+}
+
+TEST(Catalog, VmSpecLookup) {
+  EXPECT_EQ(vm_spec("VM3").vm_id, "VM3");
+  EXPECT_THROW((void)vm_spec("VM9"), NotFound);
+}
+
+TEST(Catalog, DeviceMapping) {
+  EXPECT_EQ(device_of_metric("CPU_ready"), "cpu");
+  EXPECT_EQ(device_of_metric("Memory_size"), "memory");
+  EXPECT_EQ(device_of_metric("NIC2_received"), "nic2");
+  EXPECT_EQ(device_of_metric("VD1_write"), "vd1");
+  EXPECT_EQ(device_of_metric("load15"), "cpu");
+  EXPECT_EQ(device_of_metric("PktIn"), "nic1");
+  EXPECT_THROW((void)device_of_metric("bogus"), NotFound);
+}
+
+TEST(Catalog, EveryVmMetricPairHasAModel) {
+  for (const auto& vm : paper_vms()) {
+    for (const auto& metric : paper_metrics()) {
+      EXPECT_NO_THROW((void)make_metric_model(vm.vm_id, metric))
+          << vm.vm_id << "/" << metric;
+    }
+  }
+  // Fig. 4/5 special traces live on VM2 only.
+  EXPECT_NO_THROW((void)make_metric_model("VM2", "load15"));
+  EXPECT_NO_THROW((void)make_metric_model("VM2", "PktIn"));
+  EXPECT_THROW((void)make_metric_model("VM1", "load15"), NotFound);
+  EXPECT_THROW((void)make_metric_model("VM9", "CPU_ready"), NotFound);
+}
+
+TEST(Catalog, TracesAreDeterministicPerSeed) {
+  const auto a = make_trace("VM2", "CPU_usedsec", 7);
+  const auto b = make_trace("VM2", "CPU_usedsec", 7);
+  const auto c = make_trace("VM2", "CPU_usedsec", 8);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(Catalog, DistinctMetricsGetDistinctStreams) {
+  const auto a = make_trace("VM4", "VD1_read", 7);
+  const auto b = make_trace("VM4", "VD1_write", 7);
+  EXPECT_NE(a.values, b.values);
+}
+
+TEST(Catalog, TraceShapesFollowVmSpec) {
+  const auto vm1 = make_trace("VM1", "CPU_usedsec", 1);
+  EXPECT_EQ(vm1.size(), 336u);
+  EXPECT_EQ(vm1.axis.step(), kThirtyMinutes);
+  const auto vm5 = make_trace("VM5", "CPU_usedsec", 1);
+  EXPECT_EQ(vm5.size(), 288u);
+  EXPECT_EQ(vm5.axis.step(), kFiveMinutes);
+  const auto custom = make_trace("VM5", "CPU_usedsec", 1, 100);
+  EXPECT_EQ(custom.size(), 100u);
+}
+
+TEST(Catalog, IdleDevicesAreConstant) {
+  // The NaN cells of Table 3: VM3's unattached devices and VM5's NIC1.
+  for (const auto& metric :
+       {"Memory_swapped", "NIC2_received", "NIC2_transmitted", "VD1_read",
+        "VD1_write"}) {
+    const auto trace = make_trace("VM3", metric, 3);
+    EXPECT_DOUBLE_EQ(stats::variance(trace.values), 0.0) << "VM3/" << metric;
+  }
+  for (const auto& metric : {"NIC1_received", "NIC1_transmitted", "VD2_read"}) {
+    const auto trace = make_trace("VM5", metric, 3);
+    EXPECT_DOUBLE_EQ(stats::variance(trace.values), 0.0) << "VM5/" << metric;
+  }
+}
+
+TEST(Catalog, ActiveMetricsHaveVariance) {
+  for (const auto& vm : paper_vms()) {
+    const auto cpu = make_trace(vm.vm_id, "CPU_usedsec", 5);
+    EXPECT_GT(stats::variance(cpu.values), 0.0) << vm.vm_id;
+  }
+}
+
+TEST(Catalog, CpuTracesAreAutocorrelated) {
+  // Smooth-CPU character preserved through the catalog parameters.
+  const auto trace = make_trace("VM3", "CPU_usedsec", 11, 2000);
+  EXPECT_GT(stats::autocorrelation(trace.values, 1), 0.5);
+}
+
+TEST(Catalog, NicTracesAreBurstier) {
+  const auto nic = make_trace("VM2", "NIC1_received", 11, 5000);
+  const double med = stats::median(nic.values);
+  const double p99 = stats::percentile(nic.values, 99);
+  EXPECT_GT(p99, 3.0 * (med + 1.0));
+}
+
+TEST(Catalog, SuiteContainsAllTwelveMetrics) {
+  const auto suite = make_vm_suite("VM4", 9);
+  ASSERT_EQ(suite.size(), 12u);
+  for (const auto& [key, series] : suite) {
+    EXPECT_EQ(key.vm_id, "VM4");
+    EXPECT_EQ(series.size(), 288u);
+    EXPECT_EQ(key.device_id, device_of_metric(key.metric));
+  }
+}
+
+TEST(Catalog, NonNegativeResourceValues) {
+  for (const auto& vm : paper_vms()) {
+    for (const auto& metric : paper_metrics()) {
+      const auto trace = make_trace(vm.vm_id, metric, 13);
+      for (double v : trace.values) {
+        ASSERT_GE(v, 0.0) << vm.vm_id << "/" << metric;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace larp::tracegen

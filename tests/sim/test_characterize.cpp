@@ -1,0 +1,128 @@
+// Tests for the Hurst estimator and the trace-characterization fingerprint.
+#include "tracegen/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tracegen/catalog.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace larp {
+namespace {
+
+TEST(Hurst, RequiresEnoughPoints) {
+  EXPECT_THROW((void)stats::hurst_exponent(std::vector<double>(31, 1.0)),
+               InvalidArgument);
+}
+
+TEST(Hurst, ConstantSeriesIsNeutral) {
+  EXPECT_DOUBLE_EQ(stats::hurst_exponent(std::vector<double>(100, 7.0)), 0.5);
+}
+
+TEST(Hurst, WhiteNoiseNearHalf) {
+  Rng rng(1);
+  std::vector<double> xs(8192);
+  for (auto& x : xs) x = rng.normal();
+  EXPECT_NEAR(stats::hurst_exponent(xs), 0.5, 0.12);
+}
+
+TEST(Hurst, PersistentSeriesAboveHalf) {
+  // A random walk's R/S scales with H ~ 1 (fully persistent increments).
+  Rng rng(2);
+  std::vector<double> xs(8192);
+  double level = 0.0;
+  for (auto& x : xs) {
+    level += rng.normal();
+    x = level;
+  }
+  EXPECT_GT(stats::hurst_exponent(xs), 0.8);
+}
+
+TEST(Hurst, AntiPersistentSeriesBelowNoiseAndWalk) {
+  // Strongly negatively-correlated AR(1): successive deviations cancel.
+  // The R/S estimator has a known positive small-sample bias, so assert the
+  // ordering (anti-persistent < noise < walk) rather than an absolute bound.
+  Rng rng(3);
+  std::vector<double> seesaw(8192), noise(8192), walk(8192);
+  double prev = 0.0, level = 0.0;
+  for (std::size_t i = 0; i < seesaw.size(); ++i) {
+    prev = -0.7 * prev + rng.normal();
+    seesaw[i] = prev;
+    noise[i] = rng.normal();
+    level += rng.normal();
+    walk[i] = level;
+  }
+  const double h_seesaw = stats::hurst_exponent(seesaw);
+  const double h_noise = stats::hurst_exponent(noise);
+  const double h_walk = stats::hurst_exponent(walk);
+  EXPECT_LT(h_seesaw, h_noise);
+  EXPECT_LT(h_noise, h_walk);
+  EXPECT_LT(h_seesaw, 0.5);
+}
+
+TEST(Characterize, Validation) {
+  EXPECT_THROW((void)tracegen::characterize(std::vector<double>(10, 1.0)),
+               InvalidArgument);
+}
+
+TEST(Characterize, ConstantTraceFlagged) {
+  const auto c = tracegen::characterize(std::vector<double>(100, 2.0));
+  EXPECT_TRUE(c.constant);
+  EXPECT_EQ(c.family(), "idle");
+}
+
+TEST(Characterize, CatalogFamiliesMatchDesign) {
+  // The substitution record's per-class characters must be measurable on
+  // the traces themselves.
+  const auto idle = tracegen::characterize(
+      tracegen::make_trace("VM3", "NIC2_received", 1, 500).values);
+  EXPECT_EQ(idle.family(), "idle");
+
+  const auto smooth = tracegen::characterize(
+      tracegen::make_trace("VM3", "CPU_usedsec", 1, 2000).values);
+  EXPECT_GT(smooth.acf1, 0.5);
+  EXPECT_FALSE(smooth.constant);
+
+  const auto memory = tracegen::characterize(
+      tracegen::make_trace("VM1", "Memory_size", 1, 2000).values);
+  EXPECT_GT(memory.acf1, 0.8);          // near-random-walk footprint
+  EXPECT_GT(memory.hurst, 0.6);          // persistent
+
+  const auto bursty = tracegen::characterize(
+      tracegen::make_trace("VM2", "NIC1_received", 1, 4000).values);
+  EXPECT_GT(bursty.spike_ratio, 3.0);    // heavy-tailed network traffic
+}
+
+TEST(Characterize, DindaStyleCpuPersistence) {
+  // Dinda [6]: host load is strongly correlated over time.  Our smooth CPU
+  // class must show persistent Hurst behaviour.
+  const auto trace = tracegen::make_trace("VM5", "CPU_usedsec", 5, 4096);
+  const auto c = tracegen::characterize(trace.values);
+  EXPECT_GT(c.hurst, 0.55);
+  EXPECT_GT(c.acf1, 0.5);
+}
+
+TEST(Characterize, SpikeRatioSeparatesFamilies) {
+  const auto memory = tracegen::characterize(
+      tracegen::make_trace("VM1", "Memory_size", 2, 1000).values);
+  const auto network = tracegen::characterize(
+      tracegen::make_trace("VM2", "NIC1_received", 2, 1000).values);
+  EXPECT_LT(memory.spike_ratio, network.spike_ratio);
+}
+
+TEST(Characterize, StreamOutputContainsFields) {
+  const auto c = tracegen::characterize(
+      tracegen::make_trace("VM4", "CPU_usedsec", 3, 500).values);
+  std::ostringstream os;
+  os << c;
+  const auto text = os.str();
+  EXPECT_NE(text.find("acf1="), std::string::npos);
+  EXPECT_NE(text.find("H="), std::string::npos);
+  EXPECT_NE(text.find("family="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace larp

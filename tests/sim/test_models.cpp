@@ -1,0 +1,338 @@
+// Tests for the stochastic metric models — each must exhibit the trace
+// character it stands in for (DESIGN.md substitution record).
+#include "tracegen/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace larp::tracegen {
+namespace {
+
+std::vector<double> run(MetricModel& model, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = model.next(rng);
+  return xs;
+}
+
+TEST(ArProcess, Validation) {
+  ArProcess::Params p;
+  p.coefficients.clear();
+  EXPECT_THROW(ArProcess{p}, InvalidArgument);
+  p.coefficients = {0.5};
+  p.noise_sigma = -1.0;
+  EXPECT_THROW(ArProcess{p}, InvalidArgument);
+}
+
+TEST(ArProcess, StronglyAutocorrelated) {
+  // The CPU-load character: Dinda's "strongly correlated over time".
+  ArProcess::Params p;
+  p.coefficients = {0.9};
+  p.mean = 50.0;
+  p.noise_sigma = 3.0;
+  ArProcess model(p);
+  const auto xs = run(model, 20000, 1);
+  EXPECT_GT(stats::autocorrelation(xs, 1), 0.8);
+  EXPECT_NEAR(stats::mean(xs), 50.0, 2.0);
+}
+
+TEST(ArProcess, RespectsClamps) {
+  ArProcess::Params p;
+  p.coefficients = {0.5};
+  p.mean = 1.0;
+  p.noise_sigma = 10.0;
+  p.clamp_min = 0.0;
+  p.clamp_max = 100.0;
+  ArProcess model(p);
+  for (double x : run(model, 5000, 2)) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(ArProcess, ResetRestoresInitialState) {
+  ArProcess::Params p;
+  p.coefficients = {0.8};
+  p.noise_sigma = 1.0;
+  ArProcess model(p);
+  const auto first = run(model, 100, 42);
+  model.reset();
+  const auto second = run(model, 100, 42);
+  EXPECT_EQ(first, second);
+}
+
+TEST(OnOffBurst, Validation) {
+  OnOffBurst::Params p;
+  p.p_enter_on = 1.5;
+  EXPECT_THROW(OnOffBurst{p}, InvalidArgument);
+  p = {};
+  p.pareto_scale = 0.0;
+  EXPECT_THROW(OnOffBurst{p}, InvalidArgument);
+}
+
+TEST(OnOffBurst, BurstyHeavyTailedCharacter) {
+  // Network character: long quiet periods punctuated by large bursts, so the
+  // max dwarfs the median and the distribution is right-skewed.
+  OnOffBurst::Params p;
+  OnOffBurst model(p);
+  const auto xs = run(model, 50000, 3);
+  const double med = stats::median(xs);
+  const double p99 = stats::percentile(xs, 99);
+  EXPECT_GT(p99, 5.0 * med);
+  for (double x : xs) EXPECT_GE(x, 0.0);
+}
+
+TEST(OnOffBurst, OffLevelDominatesWhenOnIsRare) {
+  OnOffBurst::Params p;
+  p.p_enter_on = 0.001;
+  p.p_exit_on = 0.9;
+  p.off_level = 5.0;
+  p.off_noise = 0.1;
+  OnOffBurst model(p);
+  const auto xs = run(model, 10000, 4);
+  EXPECT_NEAR(stats::median(xs), 5.0, 0.5);
+}
+
+TEST(StepLevel, PlateausWithJumps) {
+  StepLevel::Params p;
+  p.initial_level = 100.0;
+  p.jump_probability = 0.02;
+  p.jump_sigma = 50.0;
+  p.hold_noise = 0.0;
+  StepLevel model(p);
+  const auto xs = run(model, 5000, 5);
+  // Count distinct levels: many consecutive equal values, few changes.
+  std::size_t changes = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] != xs[i - 1]) ++changes;
+  }
+  EXPECT_GT(changes, 20u);
+  EXPECT_LT(changes, 500u);
+}
+
+TEST(StepLevel, FloorRespected) {
+  StepLevel::Params p;
+  p.initial_level = 1.0;
+  p.jump_probability = 0.5;
+  p.jump_sigma = 100.0;
+  p.floor = 0.0;
+  StepLevel model(p);
+  for (double x : run(model, 2000, 6)) EXPECT_GE(x, 0.0);
+}
+
+TEST(StepLevel, ZeroDynamicsIsExactlyConstant) {
+  // The idle-device configuration behind Table 3's NaN cells.
+  StepLevel::Params p;
+  p.initial_level = 0.0;
+  p.jump_probability = 0.0;
+  p.jump_sigma = 0.0;
+  p.hold_noise = 0.0;
+  StepLevel model(p);
+  const auto xs = run(model, 1000, 7);
+  EXPECT_DOUBLE_EQ(stats::variance(xs), 0.0);
+}
+
+TEST(PoissonSpikes, Validation) {
+  PoissonSpikes::Params p;
+  p.decay = 1.0;
+  EXPECT_THROW(PoissonSpikes{p}, InvalidArgument);
+  p = {};
+  p.arrival_rate = -0.1;
+  EXPECT_THROW(PoissonSpikes{p}, InvalidArgument);
+}
+
+TEST(PoissonSpikes, SpikesDecayBackToBaseline) {
+  PoissonSpikes::Params p;
+  p.base_level = 5.0;
+  p.base_noise = 0.1;
+  p.arrival_rate = 0.01;
+  p.spike_mean = 200.0;
+  p.decay = 0.5;
+  PoissonSpikes model(p);
+  const auto xs = run(model, 50000, 8);
+  // Most samples hug the baseline; spikes exist.
+  EXPECT_NEAR(stats::median(xs), 5.0, 1.0);
+  EXPECT_GT(stats::max(xs), 50.0);
+}
+
+TEST(Diurnal, AddsPeriodicComponent) {
+  // A diurnal wrap over a constant child is a clean sinusoid.
+  StepLevel::Params flat;
+  flat.initial_level = 50.0;
+  flat.jump_probability = 0.0;
+  flat.hold_noise = 0.0;
+  Diurnal model(std::make_unique<StepLevel>(flat), 100.0, 10.0);
+  const auto xs = run(model, 400, 9);
+  // Autocorrelation at one full period is high; at half period, negative.
+  // (The biased estimator scales lag-k values by ~(N-k)/N, so the bounds
+  // account for N=400: acf(100) ~ 0.75, acf(50) ~ -0.875.)
+  EXPECT_GT(stats::autocorrelation(xs, 100), 0.7);
+  EXPECT_LT(stats::autocorrelation(xs, 50), -0.8);
+}
+
+TEST(Diurnal, Validation) {
+  EXPECT_THROW(Diurnal(nullptr, 100.0, 1.0), InvalidArgument);
+  StepLevel::Params flat;
+  EXPECT_THROW(Diurnal(std::make_unique<StepLevel>(flat), 0.0, 1.0),
+               InvalidArgument);
+}
+
+TEST(RegimeSwitching, Validation) {
+  std::vector<std::unique_ptr<MetricModel>> none;
+  EXPECT_THROW(RegimeSwitching(std::move(none), 10.0), InvalidArgument);
+}
+
+TEST(RegimeSwitching, SwitchesBetweenRegimes) {
+  // Two constant regimes far apart: the output must visit both.
+  StepLevel::Params low, high;
+  low.initial_level = 0.0;
+  low.jump_probability = 0.0;
+  low.hold_noise = 0.0;
+  high = low;
+  high.initial_level = 100.0;
+  std::vector<std::unique_ptr<MetricModel>> regimes;
+  regimes.push_back(std::make_unique<StepLevel>(low));
+  regimes.push_back(std::make_unique<StepLevel>(high));
+  RegimeSwitching model(std::move(regimes), 20.0);
+  const auto xs = run(model, 2000, 10);
+  std::size_t at_low = 0, at_high = 0;
+  for (double x : xs) {
+    if (x == 0.0) ++at_low;
+    if (x == 100.0) ++at_high;
+  }
+  EXPECT_EQ(at_low + at_high, xs.size());
+  EXPECT_GT(at_low, 100u);
+  EXPECT_GT(at_high, 100u);
+}
+
+TEST(RegimeSwitching, DwellTimeRoughlyGeometric) {
+  StepLevel::Params a, b;
+  a.initial_level = 0.0;
+  a.jump_probability = 0.0;
+  a.hold_noise = 0.0;
+  b = a;
+  b.initial_level = 1.0;
+  std::vector<std::unique_ptr<MetricModel>> regimes;
+  regimes.push_back(std::make_unique<StepLevel>(a));
+  regimes.push_back(std::make_unique<StepLevel>(b));
+  const double dwell = 25.0;
+  RegimeSwitching model(std::move(regimes), dwell);
+  const auto xs = run(model, 100000, 11);
+  std::size_t switches = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] != xs[i - 1]) ++switches;
+  }
+  const double mean_dwell = static_cast<double>(xs.size()) / (switches + 1);
+  EXPECT_NEAR(mean_dwell, dwell, dwell * 0.2);
+}
+
+std::unique_ptr<MetricModel> flat(double level) {
+  StepLevel::Params p;
+  p.initial_level = level;
+  p.jump_probability = 0.0;
+  p.hold_noise = 0.0;
+  return std::make_unique<StepLevel>(p);
+}
+
+TEST(ScriptedSequence, Validation) {
+  EXPECT_THROW(ScriptedSequence(std::vector<ScriptedSequence::Phase>{}),
+               InvalidArgument);
+  std::vector<ScriptedSequence::Phase> bad;
+  bad.push_back({nullptr, 5});
+  EXPECT_THROW(ScriptedSequence(std::move(bad)), InvalidArgument);
+  std::vector<ScriptedSequence::Phase> zero;
+  zero.push_back({flat(1.0), 0});
+  EXPECT_THROW(ScriptedSequence(std::move(zero)), InvalidArgument);
+}
+
+TEST(ScriptedSequence, PlaysPhasesInOrderAndCycles) {
+  std::vector<ScriptedSequence::Phase> phases;
+  phases.push_back({flat(1.0), 3});
+  phases.push_back({flat(2.0), 2});
+  ScriptedSequence model(std::move(phases));
+  const auto xs = run(model, 12, 1);
+  const std::vector<double> expected{1, 1, 1, 2, 2, 1, 1, 1, 2, 2, 1, 1};
+  EXPECT_EQ(xs, expected);
+}
+
+TEST(ScriptedSequence, ResetRestartsSchedule) {
+  std::vector<ScriptedSequence::Phase> phases;
+  phases.push_back({flat(1.0), 2});
+  phases.push_back({flat(2.0), 2});
+  ScriptedSequence model(std::move(phases));
+  Rng rng(2);
+  (void)model.next(rng);
+  (void)model.next(rng);
+  (void)model.next(rng);  // into phase 2
+  EXPECT_EQ(model.active_phase(), 1u);
+  model.reset();
+  EXPECT_EQ(model.active_phase(), 0u);
+  EXPECT_DOUBLE_EQ(model.next(rng), 1.0);
+}
+
+TEST(ScriptedSequence, CloneContinuesMidPhase) {
+  std::vector<ScriptedSequence::Phase> phases;
+  phases.push_back({flat(1.0), 3});
+  phases.push_back({flat(2.0), 3});
+  ScriptedSequence model(std::move(phases));
+  Rng rng(3);
+  (void)model.next(rng);
+  (void)model.next(rng);
+  const auto copy = model.clone();
+  Rng ra(4), rb(4);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(model.next(ra), copy->next(rb)) << "step " << i;
+  }
+}
+
+TEST(Superposition, SumsWeightedComponents) {
+  StepLevel::Params five, three;
+  five.initial_level = 5.0;
+  five.jump_probability = 0.0;
+  five.hold_noise = 0.0;
+  three = five;
+  three.initial_level = 3.0;
+  std::vector<Superposition::Component> parts;
+  parts.push_back({std::make_unique<StepLevel>(five), 1.0});
+  parts.push_back({std::make_unique<StepLevel>(three), 2.0});
+  Superposition model(std::move(parts));
+  Rng rng(12);
+  EXPECT_DOUBLE_EQ(model.next(rng), 11.0);
+}
+
+TEST(Superposition, Validation) {
+  EXPECT_THROW(Superposition(std::vector<Superposition::Component>{}),
+               InvalidArgument);
+}
+
+TEST(AllModels, CloneProducesEqualFuture) {
+  OnOffBurst::Params p;
+  OnOffBurst model(p);
+  Rng warm(13);
+  for (int i = 0; i < 100; ++i) (void)model.next(warm);
+  const auto copy = model.clone();
+  Rng ra(14), rb(14);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(model.next(ra), copy->next(rb));
+  }
+}
+
+TEST(Generate, DrivesModelOverAxis) {
+  StepLevel::Params p;
+  p.initial_level = 2.0;
+  p.jump_probability = 0.0;
+  p.hold_noise = 0.0;
+  StepLevel model(p);
+  Rng rng(15);
+  const auto series = generate(model, TimeAxis(0, kFiveMinutes, 12), rng);
+  EXPECT_EQ(series.size(), 12u);
+  EXPECT_EQ(series.axis.step(), kFiveMinutes);
+  for (double v : series.values) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+}  // namespace
+}  // namespace larp::tracegen

@@ -1,0 +1,145 @@
+// Tests for the host/VM contention model and the monitoring agent.
+#include <gtest/gtest.h>
+
+#include "monitor/agent.hpp"
+#include "monitor/host_model.hpp"
+#include "tracegen/models.hpp"
+#include "util/error.hpp"
+
+namespace larp::monitor {
+namespace {
+
+std::unique_ptr<tracegen::MetricModel> constant(double level) {
+  tracegen::StepLevel::Params p;
+  p.initial_level = level;
+  p.jump_probability = 0.0;
+  p.hold_noise = 0.0;
+  return std::make_unique<tracegen::StepLevel>(p);
+}
+
+TEST(GuestVm, Validation) {
+  EXPECT_THROW(GuestVm(""), InvalidArgument);
+  GuestVm vm("VM1");
+  EXPECT_THROW(vm.set_metric_model("CPU_usedsec", nullptr), InvalidArgument);
+  Rng rng(1);
+  EXPECT_THROW((void)vm.sample_demand("CPU_usedsec", rng), NotFound);
+}
+
+TEST(GuestVm, MetricRegistry) {
+  GuestVm vm("VM1");
+  vm.set_metric_model("CPU_usedsec", constant(10.0));
+  EXPECT_TRUE(vm.has_metric("CPU_usedsec"));
+  EXPECT_FALSE(vm.has_metric("CPU_ready"));
+  EXPECT_EQ(vm.metrics().size(), 1u);
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(vm.sample_demand("CPU_usedsec", rng), 10.0);
+}
+
+TEST(GuestVm, CatalogGuestCarriesAllPaperMetrics) {
+  const GuestVm vm = make_catalog_guest("VM2");
+  EXPECT_EQ(vm.metrics().size(), 12u);
+}
+
+TEST(HostServer, Validation) {
+  EXPECT_THROW(HostServer(0.0), InvalidArgument);
+  HostServer host(100.0);
+  GuestVm a("VM1"), b("VM1");
+  host.add_guest(std::move(a));
+  EXPECT_THROW(host.add_guest(std::move(b)), InvalidArgument);
+}
+
+TEST(HostServer, NoContentionPassesDemandThrough) {
+  HostServer host(100.0);
+  GuestVm vm("VM1");
+  vm.set_metric_model("CPU_usedsec", constant(30.0));
+  vm.set_metric_model("CPU_ready", constant(1.0));
+  host.add_guest(std::move(vm));
+  Rng rng(3);
+  const auto observed = host.step(rng);
+  EXPECT_DOUBLE_EQ(observed.at("VM1").at("CPU_usedsec"), 30.0);
+  EXPECT_DOUBLE_EQ(observed.at("VM1").at("CPU_ready"), 1.0);
+}
+
+TEST(HostServer, ContentionScalesSharesAndRaisesReady) {
+  // Two guests demanding 80 + 40 = 120 against capacity 100: each gets a
+  // proportional 5/6 share, the unmet 1/6 shows up as CPU_ready.
+  HostServer host(100.0);
+  GuestVm a("VM1"), b("VM2");
+  a.set_metric_model("CPU_usedsec", constant(80.0));
+  a.set_metric_model("CPU_ready", constant(0.0));
+  b.set_metric_model("CPU_usedsec", constant(40.0));
+  b.set_metric_model("CPU_ready", constant(0.0));
+  host.add_guest(std::move(a));
+  host.add_guest(std::move(b));
+
+  Rng rng(4);
+  const auto observed = host.step(rng);
+  const double granted_a = observed.at("VM1").at("CPU_usedsec");
+  const double granted_b = observed.at("VM2").at("CPU_usedsec");
+  EXPECT_NEAR(granted_a, 80.0 * 100.0 / 120.0, 1e-9);
+  EXPECT_NEAR(granted_b, 40.0 * 100.0 / 120.0, 1e-9);
+  // Capacity conserved.
+  EXPECT_NEAR(granted_a + granted_b, 100.0, 1e-9);
+  // Unmet demand surfaces as ready time (Table 1's CPU_Ready definition).
+  EXPECT_NEAR(observed.at("VM1").at("CPU_ready"), 80.0 / 6.0, 1e-9);
+  EXPECT_NEAR(observed.at("VM2").at("CPU_ready"), 40.0 / 6.0, 1e-9);
+}
+
+TEST(HostServer, NonCpuMetricsUnaffectedByContention) {
+  HostServer host(50.0);
+  GuestVm vm("VM1");
+  vm.set_metric_model("CPU_usedsec", constant(200.0));
+  vm.set_metric_model("NIC1_received", constant(33.0));
+  host.add_guest(std::move(vm));
+  Rng rng(5);
+  const auto observed = host.step(rng);
+  EXPECT_DOUBLE_EQ(observed.at("VM1").at("NIC1_received"), 33.0);
+  EXPECT_DOUBLE_EQ(observed.at("VM1").at("CPU_usedsec"), 50.0);
+}
+
+TEST(MonitoringAgent, WritesEveryGuestMetricPerTick) {
+  tsdb::RoundRobinDatabase db(tsdb::make_vmkusage_config());
+  HostServer host(400.0);
+  host.add_guest(make_catalog_guest("VM1"));
+  host.add_guest(make_catalog_guest("VM2"));
+  MonitoringAgent agent(host, db);
+
+  Rng rng(6);
+  const Timestamp next = agent.run(0, 10, rng);
+  EXPECT_EQ(next, 10 * kMinute);
+  EXPECT_EQ(agent.samples_written(), 10u * 2u * 12u);
+  EXPECT_EQ(db.key_count(), 24u);
+
+  const tsdb::SeriesKey key{"VM1", "cpu", "CPU_usedsec"};
+  const auto raw = db.fetch(key, kMinute, 0, 10 * kMinute);
+  EXPECT_EQ(raw.size(), 10u);
+}
+
+TEST(MonitoringAgent, ResumesFromReturnedTimestamp) {
+  tsdb::RoundRobinDatabase db(tsdb::make_vmkusage_config());
+  HostServer host(400.0);
+  host.add_guest(make_catalog_guest("VM3"));
+  MonitoringAgent agent(host, db);
+  Rng rng(7);
+  Timestamp t = agent.run(0, 5, rng);
+  t = agent.run(t, 5, rng);
+  EXPECT_EQ(t, 10 * kMinute);
+  const tsdb::SeriesKey key{"VM3", "cpu", "CPU_usedsec"};
+  EXPECT_NO_THROW((void)db.fetch(key, kMinute, 0, 10 * kMinute));
+}
+
+TEST(MonitoringAgent, FiveMinuteArchiveFillsThroughConsolidation) {
+  // End-to-end vmkusage semantics: minute sampling, 5-minute AVERAGE tier.
+  tsdb::RoundRobinDatabase db(tsdb::make_vmkusage_config());
+  HostServer host(400.0);
+  host.add_guest(make_catalog_guest("VM4"));
+  MonitoringAgent agent(host, db);
+  Rng rng(8);
+  (void)agent.run(0, 25, rng);
+  const tsdb::SeriesKey key{"VM4", "memory", "Memory_size"};
+  const auto consolidated = db.fetch(key, kFiveMinutes, 0, 5 * kFiveMinutes);
+  EXPECT_EQ(consolidated.size(), 5u);
+}
+
+}  // namespace
+}  // namespace larp::monitor

@@ -1,0 +1,128 @@
+// Tests for the prediction database ([vmID, deviceID, timeStamp, metricName]
+// keyed forecast store).
+#include "tsdb/prediction_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace larp::tsdb {
+namespace {
+
+const SeriesKey kKey{"VM3", "memory", "Memory_size"};
+
+TEST(PredictionDb, RecordAndResolve) {
+  PredictionDatabase db;
+  db.record_prediction(kKey, 300, 10.0, 1);
+  EXPECT_EQ(db.size(), 1u);
+
+  auto rec = db.find(kKey, 300);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_FALSE(rec->resolved());
+  EXPECT_DOUBLE_EQ(rec->predicted, 10.0);
+  EXPECT_EQ(rec->predictor_label, 1u);
+  EXPECT_THROW((void)rec->squared_error(), StateError);
+
+  db.record_observation(kKey, 300, 12.0);
+  rec = db.find(kKey, 300);
+  ASSERT_TRUE(rec->resolved());
+  EXPECT_DOUBLE_EQ(rec->squared_error(), 4.0);
+}
+
+TEST(PredictionDb, DuplicateForecastRejected) {
+  PredictionDatabase db;
+  db.record_prediction(kKey, 300, 10.0, 0);
+  EXPECT_THROW(db.record_prediction(kKey, 300, 11.0, 0), InvalidArgument);
+}
+
+TEST(PredictionDb, ObservationValidation) {
+  PredictionDatabase db;
+  EXPECT_THROW(db.record_observation(kKey, 300, 1.0), NotFound);
+  db.record_prediction(kKey, 300, 10.0, 0);
+  EXPECT_THROW(db.record_observation(kKey, 600, 1.0), NotFound);
+  db.record_observation(kKey, 300, 1.0);
+  EXPECT_THROW(db.record_observation(kKey, 300, 2.0), StateError);
+}
+
+TEST(PredictionDb, FindMissing) {
+  PredictionDatabase db;
+  EXPECT_FALSE(db.find(kKey, 300).has_value());
+  db.record_prediction(kKey, 300, 1.0, 0);
+  EXPECT_FALSE(db.find(kKey, 600).has_value());
+  EXPECT_FALSE(db.find(SeriesKey{"x", "y", "z"}, 300).has_value());
+}
+
+TEST(PredictionDb, ResolvedRangeFiltersAndOrders) {
+  PredictionDatabase db;
+  for (Timestamp ts = 0; ts < 600; ts += 100) {
+    db.record_prediction(kKey, ts, 1.0, 0);
+  }
+  db.record_observation(kKey, 100, 1.5);
+  db.record_observation(kKey, 300, 2.0);
+  db.record_observation(kKey, 500, 2.5);
+
+  const auto range = db.resolved_range(kKey, 100, 500);
+  ASSERT_EQ(range.size(), 2u);  // 500 excluded (end-exclusive)
+  EXPECT_EQ(range[0].first, 100);
+  EXPECT_EQ(range[1].first, 300);
+}
+
+TEST(PredictionDb, AuditMse) {
+  PredictionDatabase db;
+  db.record_prediction(kKey, 0, 0.0, 0);
+  db.record_prediction(kKey, 100, 0.0, 0);
+  db.record_observation(kKey, 0, 1.0);   // sq err 1
+  db.record_observation(kKey, 100, 3.0); // sq err 9
+  const auto mse = db.audit_mse(kKey, 0, 200);
+  ASSERT_TRUE(mse.has_value());
+  EXPECT_DOUBLE_EQ(*mse, 5.0);
+  EXPECT_FALSE(db.audit_mse(kKey, 200, 400).has_value());
+}
+
+TEST(PredictionDb, LatestResolvedReturnsTimeOrderedSuffix) {
+  PredictionDatabase db;
+  for (Timestamp ts = 0; ts < 1000; ts += 100) {
+    db.record_prediction(kKey, ts, 0.0, 0);
+    db.record_observation(kKey, ts, 1.0);
+  }
+  const auto latest = db.latest_resolved(kKey, 3);
+  ASSERT_EQ(latest.size(), 3u);
+  EXPECT_EQ(latest[0].first, 700);
+  EXPECT_EQ(latest[2].first, 900);
+}
+
+TEST(PredictionDb, LatestResolvedSkipsUnresolved) {
+  PredictionDatabase db;
+  db.record_prediction(kKey, 0, 0.0, 0);
+  db.record_observation(kKey, 0, 1.0);
+  db.record_prediction(kKey, 100, 0.0, 0);  // pending
+  const auto latest = db.latest_resolved(kKey, 5);
+  ASSERT_EQ(latest.size(), 1u);
+  EXPECT_EQ(latest[0].first, 0);
+}
+
+TEST(PredictionDb, PruneBeforeDropsOldRecords) {
+  PredictionDatabase db;
+  for (Timestamp ts = 0; ts < 500; ts += 100) {
+    db.record_prediction(kKey, ts, 0.0, 0);
+  }
+  db.prune_before(kKey, 300);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_FALSE(db.find(kKey, 200).has_value());
+  EXPECT_TRUE(db.find(kKey, 300).has_value());
+  // Pruning an unknown key is a no-op.
+  EXPECT_NO_THROW(db.prune_before(SeriesKey{"a", "b", "c"}, 100));
+}
+
+TEST(PredictionDb, StreamsAreIndependent) {
+  PredictionDatabase db;
+  const SeriesKey other{"VM4", "cpu", "CPU_ready"};
+  db.record_prediction(kKey, 0, 1.0, 0);
+  db.record_prediction(other, 0, 2.0, 1);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_DOUBLE_EQ(db.find(kKey, 0)->predicted, 1.0);
+  EXPECT_DOUBLE_EQ(db.find(other, 0)->predicted, 2.0);
+}
+
+}  // namespace
+}  // namespace larp::tsdb

@@ -1,0 +1,83 @@
+// Tests for the profiler extraction layer.
+#include "tsdb/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace larp::tsdb {
+namespace {
+
+const SeriesKey kKey{"VM2", "nic1", "NIC1_received"};
+
+RoundRobinDatabase filled_db(int minutes) {
+  RoundRobinDatabase db(make_vmkusage_config());
+  for (int i = 0; i < minutes; ++i) {
+    db.update(kKey, i * kMinute, static_cast<double>(i % 60));
+  }
+  return db;
+}
+
+TEST(Profiler, ExtractByRequest) {
+  const auto db = filled_db(60);
+  const Profiler profiler(db);
+  ProfileRequest request;
+  request.key = kKey;
+  request.interval = kFiveMinutes;
+  request.start = 0;
+  request.end = 30 * kMinute;
+  const TimeSeries s = profiler.extract(request);
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_DOUBLE_EQ(s.values[0], 2.0);  // mean of 0..4
+}
+
+TEST(Profiler, ExtractAllCoversRetention) {
+  const auto db = filled_db(50);
+  const Profiler profiler(db);
+  const TimeSeries s = profiler.extract_all(kKey, kFiveMinutes);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.axis.start(), 0);
+}
+
+TEST(Profiler, ExtractAllEmptyArchiveThrows) {
+  RoundRobinDatabase db(make_vmkusage_config());
+  db.update(kKey, 0, 1.0);  // one sample: 5-minute bin not closed yet
+  const Profiler profiler(db);
+  EXPECT_THROW((void)profiler.extract_all(kKey, kFiveMinutes), InvalidArgument);
+}
+
+TEST(Profiler, ExtractRecentTakesSuffix) {
+  const auto db = filled_db(100);
+  const Profiler profiler(db);
+  const TimeSeries s = profiler.extract_recent(kKey, kFiveMinutes, 4);
+  EXPECT_EQ(s.size(), 4u);
+  // 100 minutes -> 20 closed bins; the last 4 start at bin 16.
+  EXPECT_EQ(s.axis.start(), 16 * kFiveMinutes);
+}
+
+TEST(Profiler, ExtractRecentClampsToRetention) {
+  const auto db = filled_db(25);  // 5 closed five-minute bins
+  const Profiler profiler(db);
+  const TimeSeries s = profiler.extract_recent(kKey, kFiveMinutes, 100);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Profiler, ExtractRecentValidation) {
+  const auto db = filled_db(30);
+  const Profiler profiler(db);
+  EXPECT_THROW((void)profiler.extract_recent(kKey, kFiveMinutes, 0),
+               InvalidArgument);
+  EXPECT_THROW(
+      (void)profiler.extract_recent(SeriesKey{"no", "such", "key"},
+                                    kFiveMinutes, 5),
+      NotFound);
+}
+
+TEST(Profiler, UnknownResolutionPropagates) {
+  const auto db = filled_db(30);
+  const Profiler profiler(db);
+  EXPECT_THROW((void)profiler.extract_all(kKey, 7 * kMinute), NotFound);
+}
+
+}  // namespace
+}  // namespace larp::tsdb

@@ -1,0 +1,218 @@
+// Tests for the round-robin performance database.
+#include "tsdb/rrd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace larp::tsdb {
+namespace {
+
+const SeriesKey kKey{"VM1", "cpu", "CPU_usedsec"};
+
+RrdConfig tiny_config() {
+  RrdConfig config;
+  config.base_step = kMinute;
+  config.archives.push_back(ArchiveSpec{Consolidation::Average, 1, 8});
+  config.archives.push_back(ArchiveSpec{Consolidation::Average, 5, 4});
+  return config;
+}
+
+TEST(Rrd, ConfigValidation) {
+  RrdConfig bad = tiny_config();
+  bad.base_step = 0;
+  EXPECT_THROW(RoundRobinDatabase{bad}, InvalidArgument);
+
+  bad = tiny_config();
+  bad.archives.clear();
+  EXPECT_THROW(RoundRobinDatabase{bad}, InvalidArgument);
+
+  bad = tiny_config();
+  bad.archives[0].capacity = 0;
+  EXPECT_THROW(RoundRobinDatabase{bad}, InvalidArgument);
+
+  bad = tiny_config();
+  bad.archives[0].steps_per_bin = 0;
+  EXPECT_THROW(RoundRobinDatabase{bad}, InvalidArgument);
+}
+
+TEST(Rrd, UpdateValidation) {
+  RoundRobinDatabase db(tiny_config());
+  db.update(kKey, 0, 1.0);
+  EXPECT_THROW(db.update(kKey, 0, 2.0), InvalidArgument);    // non-increasing
+  EXPECT_THROW(db.update(kKey, 30, 2.0), InvalidArgument);   // off-grid
+  EXPECT_THROW(db.update(kKey, 180, 2.0), InvalidArgument);  // gap
+  EXPECT_NO_THROW(db.update(kKey, 60, 2.0));
+}
+
+TEST(Rrd, RawArchiveRoundTrip) {
+  RoundRobinDatabase db(tiny_config());
+  for (int i = 0; i < 5; ++i) {
+    db.update(kKey, i * kMinute, static_cast<double>(i));
+  }
+  const TimeSeries s = db.fetch(kKey, kMinute, 0, 5 * kMinute);
+  ASSERT_EQ(s.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(s.values[i], i);
+  EXPECT_EQ(s.axis.step(), kMinute);
+}
+
+TEST(Rrd, FiveMinuteAverageConsolidation) {
+  // The vmkusage behaviour the paper describes: five one-minute samples
+  // consolidate into one five-minute average.
+  RoundRobinDatabase db(tiny_config());
+  for (int i = 0; i < 10; ++i) {
+    db.update(kKey, i * kMinute, static_cast<double>(i));
+  }
+  const TimeSeries s = db.fetch(kKey, kFiveMinutes, 0, 2 * kFiveMinutes);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.values[0], 2.0);  // mean of 0..4
+  EXPECT_DOUBLE_EQ(s.values[1], 7.0);  // mean of 5..9
+}
+
+TEST(Rrd, MinMaxLastConsolidation) {
+  RrdConfig config;
+  config.base_step = kMinute;
+  config.archives.push_back(ArchiveSpec{Consolidation::Min, 3, 10});
+  config.archives.push_back(ArchiveSpec{Consolidation::Max, 3, 10});
+  config.archives.push_back(ArchiveSpec{Consolidation::Last, 3, 10});
+  // Same step for all three archives is ambiguous on fetch; give them
+  // distinct steps instead.
+  config.archives[1].steps_per_bin = 2;
+  config.archives[2].steps_per_bin = 6;
+
+  RoundRobinDatabase db(config);
+  const double values[] = {5, 1, 3, 9, 2, 4};
+  for (int i = 0; i < 6; ++i) db.update(kKey, i * kMinute, values[i]);
+
+  EXPECT_DOUBLE_EQ(db.fetch(kKey, 3 * kMinute, 0, 6 * kMinute).values[0], 1.0);
+  EXPECT_DOUBLE_EQ(db.fetch(kKey, 2 * kMinute, 0, 2 * kMinute).values[0], 5.0);
+  EXPECT_DOUBLE_EQ(db.fetch(kKey, 6 * kMinute, 0, 6 * kMinute).values[0], 4.0);
+}
+
+TEST(Rrd, RoundRobinOverwriteSlidesWindow) {
+  RoundRobinDatabase db(tiny_config());  // raw archive capacity 8
+  for (int i = 0; i < 12; ++i) {
+    db.update(kKey, i * kMinute, static_cast<double>(i));
+  }
+  const auto range = db.retained_range(kKey, kMinute);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->first, 4 * kMinute);   // bins 0..3 overwritten
+  EXPECT_EQ(range->second, 11 * kMinute);
+  // Oldest retained data fetches correctly after the wrap.
+  const TimeSeries s = db.fetch(kKey, kMinute, 4 * kMinute, 12 * kMinute);
+  ASSERT_EQ(s.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(s.values[i], 4.0 + i);
+  // Evicted window rejected.
+  EXPECT_THROW((void)db.fetch(kKey, kMinute, 0, 4 * kMinute), InvalidArgument);
+}
+
+TEST(Rrd, FetchValidation) {
+  RoundRobinDatabase db(tiny_config());
+  for (int i = 0; i < 6; ++i) db.update(kKey, i * kMinute, 1.0);
+  EXPECT_THROW((void)db.fetch(SeriesKey{"x", "y", "z"}, kMinute, 0, 60),
+               NotFound);
+  EXPECT_THROW((void)db.fetch(kKey, 7 * kMinute, 0, 60), NotFound);
+  EXPECT_THROW((void)db.fetch(kKey, kMinute, 0, 0), InvalidArgument);  // empty
+  EXPECT_THROW((void)db.fetch(kKey, kMinute, 30, 90), InvalidArgument);  // misaligned
+  EXPECT_THROW((void)db.fetch(kKey, kMinute, 0, 20 * kMinute), InvalidArgument);
+}
+
+TEST(Rrd, KeysAndContains) {
+  RoundRobinDatabase db(tiny_config());
+  EXPECT_EQ(db.key_count(), 0u);
+  EXPECT_FALSE(db.contains(kKey));
+  db.update(kKey, 0, 1.0);
+  EXPECT_TRUE(db.contains(kKey));
+  const SeriesKey other{"VM2", "nic1", "NIC1_received"};
+  db.update(other, 0, 2.0);
+  EXPECT_EQ(db.key_count(), 2u);
+  EXPECT_EQ(db.keys().size(), 2u);
+}
+
+TEST(Rrd, PartialBinNotVisibleUntilClosed) {
+  RoundRobinDatabase db(tiny_config());
+  for (int i = 0; i < 4; ++i) db.update(kKey, i * kMinute, 10.0);
+  // Only 4 of 5 samples for the first 5-minute bin: nothing consolidated.
+  EXPECT_FALSE(db.retained_range(kKey, kFiveMinutes).has_value());
+  db.update(kKey, 4 * kMinute, 10.0);
+  const auto range = db.retained_range(kKey, kFiveMinutes);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->first, 0);
+}
+
+TEST(Rrd, AvailableStepsSortedUnique) {
+  RoundRobinDatabase db(make_vmkusage_config());
+  db.update(kKey, 0, 1.0);
+  const auto steps = db.available_steps(kKey);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0], kMinute);
+  EXPECT_EQ(steps[1], kFiveMinutes);
+  EXPECT_EQ(steps[2], kThirtyMinutes);
+  EXPECT_THROW((void)db.available_steps(SeriesKey{"a", "b", "c"}), NotFound);
+}
+
+TEST(Rrd, VmkusageConfigCoversPaperExtractions) {
+  // 24 h of minute samples must yield 288 five-minute bins and 48
+  // thirty-minute bins — the paper's VM2-5 and VM1 extraction grids.
+  RoundRobinDatabase db(make_vmkusage_config());
+  const auto day_minutes = static_cast<int>(kDay / kMinute);
+  for (int i = 0; i < day_minutes; ++i) {
+    db.update(kKey, i * kMinute, 1.0);
+  }
+  const TimeSeries five = db.fetch(kKey, kFiveMinutes, 0, kDay);
+  EXPECT_EQ(five.size(), 288u);
+  const TimeSeries thirty = db.fetch(kKey, kThirtyMinutes, 0, kDay);
+  EXPECT_EQ(thirty.size(), 48u);
+}
+
+TEST(Rrd, HoldLastGapPolicyBridgesShortGaps) {
+  RrdConfig config = tiny_config();
+  config.gap_policy = GapPolicy::HoldLast;
+  RoundRobinDatabase db(config);
+  db.update(kKey, 0, 10.0);
+  // Two missing minutes: samples at 1 and 2 minutes are synthesized as 10.
+  db.update(kKey, 3 * kMinute, 40.0);
+  const TimeSeries s = db.fetch(kKey, kMinute, 0, 4 * kMinute);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.values[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.values[1], 10.0);
+  EXPECT_DOUBLE_EQ(s.values[2], 10.0);
+  EXPECT_DOUBLE_EQ(s.values[3], 40.0);
+}
+
+TEST(Rrd, HoldLastFeedsConsolidationCompletely) {
+  RrdConfig config = tiny_config();
+  config.gap_policy = GapPolicy::HoldLast;
+  RoundRobinDatabase db(config);
+  db.update(kKey, 0, 5.0);
+  db.update(kKey, 4 * kMinute, 10.0);  // bridges minutes 1-3 with 5.0
+  // 5-minute bin closes with {5, 5, 5, 5, 10} -> mean 6.
+  const TimeSeries s = db.fetch(kKey, kFiveMinutes, 0, kFiveMinutes);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.values[0], 6.0);
+}
+
+TEST(Rrd, HoldLastRefusesDeadStreams) {
+  RrdConfig config = tiny_config();
+  config.gap_policy = GapPolicy::HoldLast;
+  config.max_gap_steps = 3;
+  RoundRobinDatabase db(config);
+  db.update(kKey, 0, 1.0);
+  EXPECT_THROW(db.update(kKey, 5 * kMinute, 2.0), InvalidArgument);  // 4 missing
+  EXPECT_NO_THROW(db.update(kKey, 4 * kMinute, 2.0));                // 3 missing
+}
+
+TEST(Rrd, RejectPolicyUnchangedByDefault) {
+  RoundRobinDatabase db(tiny_config());
+  db.update(kKey, 0, 1.0);
+  EXPECT_THROW(db.update(kKey, 2 * kMinute, 1.0), InvalidArgument);
+}
+
+TEST(Rrd, SeriesKeyFormatting) {
+  EXPECT_EQ(kKey.to_string(), "VM1/cpu/CPU_usedsec");
+  EXPECT_EQ(kKey, (SeriesKey{"VM1", "cpu", "CPU_usedsec"}));
+  EXPECT_NE(kKey, (SeriesKey{"VM1", "cpu", "CPU_ready"}));
+}
+
+}  // namespace
+}  // namespace larp::tsdb

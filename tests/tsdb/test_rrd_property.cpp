@@ -1,0 +1,121 @@
+// Property tests: the ring-buffered RRD must agree exactly with a naive
+// keep-everything reference across long random update streams, for every
+// consolidation function and tier shape.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "tsdb/rrd.hpp"
+#include "util/rng.hpp"
+
+namespace larp::tsdb {
+namespace {
+
+// Naive reference: consolidates the full sample history on demand.
+class ReferenceArchive {
+ public:
+  ReferenceArchive(Consolidation fn, std::size_t steps_per_bin,
+                   std::size_t capacity, Timestamp base_step)
+      : fn_(fn), steps_(steps_per_bin), capacity_(capacity), base_(base_step) {}
+
+  void update(Timestamp ts, double value) {
+    samples_.emplace_back(ts, value);
+  }
+
+  // All currently retained (timestamp, consolidated value) bins.
+  [[nodiscard]] std::vector<std::pair<Timestamp, double>> bins() const {
+    std::vector<std::pair<Timestamp, double>> out;
+    for (std::size_t start = 0; start + steps_ <= samples_.size();
+         start += steps_) {
+      double acc = 0.0, lo = samples_[start].second, hi = lo, last = lo;
+      for (std::size_t i = start; i < start + steps_; ++i) {
+        const double v = samples_[i].second;
+        acc += v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        last = v;
+      }
+      double value = 0.0;
+      switch (fn_) {
+        case Consolidation::Average: value = acc / double(steps_); break;
+        case Consolidation::Min: value = lo; break;
+        case Consolidation::Max: value = hi; break;
+        case Consolidation::Last: value = last; break;
+      }
+      out.emplace_back(samples_[start].first, value);
+    }
+    if (out.size() > capacity_) {
+      out.erase(out.begin(), out.end() - static_cast<std::ptrdiff_t>(capacity_));
+    }
+    return out;
+  }
+
+ private:
+  Consolidation fn_;
+  std::size_t steps_;
+  std::size_t capacity_;
+  Timestamp base_;
+  std::vector<std::pair<Timestamp, double>> samples_;
+};
+
+struct Shape {
+  Consolidation fn;
+  std::size_t steps_per_bin;
+  std::size_t capacity;
+};
+
+class RrdAgainstReference : public ::testing::TestWithParam<
+                                std::tuple<Shape, int /*stream length*/, int>> {};
+
+TEST_P(RrdAgainstReference, RetainedBinsIdentical) {
+  const auto [shape, length, seed] = GetParam();
+  RrdConfig config;
+  config.base_step = kMinute;
+  config.archives.push_back(
+      ArchiveSpec{shape.fn, shape.steps_per_bin, shape.capacity});
+  RoundRobinDatabase db(config);
+  ReferenceArchive reference(shape.fn, shape.steps_per_bin, shape.capacity,
+                             kMinute);
+  const SeriesKey key{"VMx", "dev", "metric"};
+
+  Rng rng(static_cast<std::uint64_t>(seed) * 1299709 + length);
+  for (int i = 0; i < length; ++i) {
+    const double value = rng.uniform(-100, 100);
+    db.update(key, i * kMinute, value);
+    reference.update(i * kMinute, value);
+  }
+
+  const auto expected = reference.bins();
+  const auto range = db.retained_range(
+      key, kMinute * static_cast<Timestamp>(shape.steps_per_bin));
+  if (expected.empty()) {
+    EXPECT_FALSE(range.has_value());
+    return;
+  }
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->first, expected.front().first);
+  EXPECT_EQ(range->second, expected.back().first);
+
+  const Timestamp step = kMinute * static_cast<Timestamp>(shape.steps_per_bin);
+  const auto series = db.fetch(key, step, range->first, range->second + step);
+  ASSERT_EQ(series.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(series.axis.at(i), expected[i].first) << "bin " << i;
+    EXPECT_DOUBLE_EQ(series.values[i], expected[i].second) << "bin " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RrdAgainstReference,
+    ::testing::Combine(
+        ::testing::Values(Shape{Consolidation::Average, 1, 7},
+                          Shape{Consolidation::Average, 5, 12},
+                          Shape{Consolidation::Min, 3, 4},
+                          Shape{Consolidation::Max, 4, 9},
+                          Shape{Consolidation::Last, 2, 5}),
+        // Stream lengths around and far past the wrap point.
+        ::testing::Values(3, 20, 61, 500),
+        ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace larp::tsdb

@@ -1,0 +1,100 @@
+// Tests for the CSV reader/writer.
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace larp::csv {
+namespace {
+
+TEST(Csv, ReadsSimpleTable) {
+  std::istringstream in("a,b,c\n1,2,3\n4,5,6\n");
+  const Table t = read(in);
+  ASSERT_EQ(t.header.size(), 3u);
+  EXPECT_EQ(t.header[0], "a");
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][2], "6");
+}
+
+TEST(Csv, EmptyStreamYieldsEmptyTable) {
+  std::istringstream in("");
+  const Table t = read(in);
+  EXPECT_TRUE(t.header.empty());
+  EXPECT_TRUE(t.rows.empty());
+}
+
+TEST(Csv, HandlesQuotedCells) {
+  std::istringstream in("name,note\nx,\"hello, world\"\ny,\"say \"\"hi\"\"\"\n");
+  const Table t = read(in);
+  EXPECT_EQ(t.rows[0][1], "hello, world");
+  EXPECT_EQ(t.rows[1][1], "say \"hi\"");
+}
+
+TEST(Csv, PadsRaggedRows) {
+  std::istringstream in("a,b,c\n1,2\n");
+  const Table t = read(in);
+  ASSERT_EQ(t.rows[0].size(), 3u);
+  EXPECT_EQ(t.rows[0][2], "");
+}
+
+TEST(Csv, StripsCarriageReturns) {
+  std::istringstream in("a,b\r\n1,2\r\n");
+  const Table t = read(in);
+  EXPECT_EQ(t.header[1], "b");
+  EXPECT_EQ(t.rows[0][1], "2");
+}
+
+TEST(Csv, ColumnLookup) {
+  std::istringstream in("x,y\n1,2\n");
+  const Table t = read(in);
+  EXPECT_EQ(t.column("y"), 1u);
+  EXPECT_THROW((void)t.column("z"), NotFound);
+}
+
+TEST(Csv, NumericColumnParses) {
+  std::istringstream in("x,v\na,1.5\nb,-2\nc,3e2\n");
+  const Table t = read(in);
+  const auto vs = t.numeric_column("v");
+  ASSERT_EQ(vs.size(), 3u);
+  EXPECT_DOUBLE_EQ(vs[0], 1.5);
+  EXPECT_DOUBLE_EQ(vs[1], -2.0);
+  EXPECT_DOUBLE_EQ(vs[2], 300.0);
+}
+
+TEST(Csv, NumericColumnRejectsText) {
+  std::istringstream in("v\nhello\n");
+  const Table t = read(in);
+  EXPECT_THROW((void)t.numeric_column("v"), InvalidArgument);
+}
+
+TEST(Csv, RoundTripPreservesContent) {
+  Table t;
+  t.header = {"metric", "value"};
+  t.rows = {{"cpu, busy", "1.25"}, {"quote\"d", "-3"}};
+  std::ostringstream out;
+  write(out, t);
+  std::istringstream in(out.str());
+  const Table back = read(in);
+  EXPECT_EQ(back.header, t.header);
+  EXPECT_EQ(back.rows, t.rows);
+}
+
+TEST(Csv, WriteSeriesLayout) {
+  std::ostringstream out;
+  write_series(out, "load", {1.5, 2.5});
+  std::istringstream in(out.str());
+  const Table t = read(in);
+  EXPECT_EQ(t.header, (std::vector<std::string>{"index", "load"}));
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][0], "1");
+}
+
+TEST(Csv, ReadFileMissingThrows) {
+  EXPECT_THROW((void)read_file("/nonexistent/file.csv"), NotFound);
+}
+
+}  // namespace
+}  // namespace larp::csv

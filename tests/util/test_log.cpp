@@ -1,0 +1,82 @@
+// Tests for the leveled logger.
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace larp::log {
+namespace {
+
+// RAII guard restoring the global logger state after each test.
+class LogCapture {
+ public:
+  LogCapture() : previous_level_(level()) {
+    set_sink(&buffer_);
+    set_level(Level::Trace);
+  }
+  ~LogCapture() {
+    set_sink(nullptr);
+    set_level(previous_level_);
+  }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  Level previous_level_;
+};
+
+TEST(Log, WritesFormattedLine) {
+  LogCapture capture;
+  write(Level::Info, "tsdb", "consolidated 5 bins");
+  EXPECT_EQ(capture.text(), "[INFO] [tsdb] consolidated 5 bins\n");
+}
+
+TEST(Log, LevelThresholdFilters) {
+  LogCapture capture;
+  set_level(Level::Warn);
+  write(Level::Debug, "core", "dropped");
+  write(Level::Info, "core", "dropped");
+  write(Level::Warn, "core", "kept");
+  write(Level::Error, "core", "kept too");
+  const auto text = capture.text();
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+  EXPECT_NE(text.find("kept"), std::string::npos);
+  EXPECT_NE(text.find("kept too"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogCapture capture;
+  set_level(Level::Off);
+  write(Level::Error, "core", "even errors");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Log, StreamingMacroBuildsMessage) {
+  LogCapture capture;
+  LARP_LOG_INFO("bench") << "ran " << 3 << " folds in " << 1.5 << "s";
+  EXPECT_EQ(capture.text(), "[INFO] [bench] ran 3 folds in 1.5s\n");
+}
+
+TEST(Log, MacroShortCircuitsBelowThreshold) {
+  LogCapture capture;
+  set_level(Level::Error);
+  int evaluations = 0;
+  const auto count = [&] {
+    ++evaluations;
+    return 1;
+  };
+  LARP_LOG_DEBUG("core") << count();
+  EXPECT_EQ(evaluations, 0);  // operands not evaluated when filtered
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Log, LevelRoundTrip) {
+  const Level before = level();
+  set_level(Level::Debug);
+  EXPECT_EQ(level(), Level::Debug);
+  set_level(before);
+}
+
+}  // namespace
+}  // namespace larp::log

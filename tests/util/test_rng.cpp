@@ -1,0 +1,159 @@
+// Tests for the deterministic RNG substrate.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace larp {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.25);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsCloseToStandard) {
+  Rng rng(13);
+  std::vector<double> draws(100000);
+  for (auto& d : draws) d = rng.normal();
+  EXPECT_NEAR(stats::mean(draws), 0.0, 0.02);
+  EXPECT_NEAR(stats::variance(draws), 1.0, 0.03);
+}
+
+TEST(Rng, NormalParametrized) {
+  Rng rng(17);
+  std::vector<double> draws(50000);
+  for (auto& d : draws) d = rng.normal(10.0, 2.0);
+  EXPECT_NEAR(stats::mean(draws), 10.0, 0.05);
+  EXPECT_NEAR(stats::stddev(draws), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  std::vector<double> draws(50000);
+  for (auto& d : draws) d = rng.exponential(0.5);
+  EXPECT_NEAR(stats::mean(draws), 2.0, 0.1);
+  for (double d : draws) EXPECT_GE(d, 0.0);
+}
+
+TEST(Rng, ParetoRespectsScaleFloor) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(5.0, 1.5), 5.0);
+  }
+}
+
+TEST(Rng, ParetoMedianMatchesTheory) {
+  // Median of Pareto(xm, alpha) is xm * 2^(1/alpha).
+  Rng rng(29);
+  std::vector<double> draws(40000);
+  for (auto& d : draws) d = rng.pareto(1.0, 2.0);
+  EXPECT_NEAR(stats::median(draws), std::pow(2.0, 0.5), 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, PoissonSmallLambdaMean) {
+  Rng rng(37);
+  double total = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) total += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(total / kDraws, 3.0, 0.1);
+}
+
+TEST(Rng, PoissonLargeLambdaUsesNormalApprox) {
+  Rng rng(41);
+  double total = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) total += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(total / kDraws, 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroLambdaIsZero) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(47);
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / double(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(kDraws), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / double(kDraws), 0.6, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndStable) {
+  Rng parent(99);
+  Rng child_a = parent.split(0);
+  Rng child_b = parent.split(1);
+  Rng child_a_again = Rng(99).split(0);
+  EXPECT_EQ(child_a(), child_a_again());
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child_a() != child_b()) ++differences;
+  }
+  EXPECT_GT(differences, 95);
+}
+
+TEST(Rng, SplitDoesNotPerturbParent) {
+  Rng a(5), b(5);
+  (void)a.split(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
+}
+
+}  // namespace
+}  // namespace larp

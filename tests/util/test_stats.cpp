@@ -1,0 +1,230 @@
+// Tests for descriptive statistics and the error-tracking accumulators.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace larp::stats {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{-5}), -5.0);
+}
+
+TEST(Stats, VarianceConventions) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);          // population
+  EXPECT_NEAR(sample_variance(xs), 32.0 / 7, 1e-12);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  // Accumulated rounding in the mean leaves variance at ~1e-29, not exactly
+  // zero, for non-representable constants.
+  const std::vector<double> xs(100, 3.14);
+  EXPECT_NEAR(variance(xs), 0.0, 1e-24);
+  EXPECT_NEAR(sample_variance(xs), 0.0, 1e-24);
+  // Exactly representable constants give exactly zero.
+  const std::vector<double> ys(100, 2.0);
+  EXPECT_DOUBLE_EQ(variance(ys), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3, -1, 7, 0};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.0);
+  EXPECT_TRUE(std::isinf(min(std::vector<double>{})));
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{9}), 9.0);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  const std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 62.5), 35.0);
+}
+
+TEST(Stats, PercentileRejectsBadP) {
+  const std::vector<double> xs{1, 2};
+  EXPECT_THROW((void)percentile(xs, -1), InvalidArgument);
+  EXPECT_THROW((void)percentile(xs, 101), InvalidArgument);
+}
+
+TEST(Stats, TrimmedMeanDropsOutliers) {
+  const std::vector<double> xs{1, 2, 3, 4, 100};
+  // 20% trim drops one from each tail: mean of {2,3,4}.
+  EXPECT_DOUBLE_EQ(trimmed_mean(xs, 0.2), 3.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean(xs, 0.0), 22.0);
+  EXPECT_THROW((void)trimmed_mean(xs, 0.5), InvalidArgument);
+}
+
+TEST(Stats, MseMatchesDefinition) {
+  const std::vector<double> pred{1, 2, 3};
+  const std::vector<double> obs{2, 2, 1};
+  EXPECT_NEAR(mse(pred, obs), (1.0 + 0.0 + 4.0) / 3.0, 1e-12);
+  EXPECT_NEAR(rmse(pred, obs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(mae(pred, obs), (1.0 + 0.0 + 2.0) / 3.0, 1e-12);
+}
+
+TEST(Stats, MseRejectsLengthMismatch) {
+  const std::vector<double> a{1, 2}, b{1};
+  EXPECT_THROW((void)mse(a, b), InvalidArgument);
+  EXPECT_THROW((void)mae(a, b), InvalidArgument);
+}
+
+TEST(Stats, AutocorrelationLagZeroIsOne) {
+  const std::vector<double> xs{1, 3, 2, 5, 4, 6};
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 0), 1.0);
+}
+
+TEST(Stats, AutocorrelationOfAr1IsPhi) {
+  // A long AR(1) series has acf(k) ~= phi^k.
+  Rng rng(123);
+  const double phi = 0.8;
+  std::vector<double> xs(50000);
+  double prev = 0.0;
+  for (auto& x : xs) {
+    prev = phi * prev + rng.normal();
+    x = prev;
+  }
+  EXPECT_NEAR(autocorrelation(xs, 1), phi, 0.02);
+  EXPECT_NEAR(autocorrelation(xs, 2), phi * phi, 0.03);
+}
+
+TEST(Stats, AutocorrelationConstantSeries) {
+  const std::vector<double> xs(50, 2.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 1), 0.0);
+  const auto acf = autocorrelations(xs, 3);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+  EXPECT_DOUBLE_EQ(acf[1], 0.0);
+}
+
+TEST(Stats, AutocorrelationsVectorConsistent) {
+  const std::vector<double> xs{1, 2, 1, 3, 2, 4, 3, 5};
+  const auto acf = autocorrelations(xs, 3);
+  ASSERT_EQ(acf.size(), 4u);
+  for (std::size_t lag = 0; lag <= 3; ++lag) {
+    EXPECT_DOUBLE_EQ(acf[lag], autocorrelation(xs, lag)) << "lag " << lag;
+  }
+}
+
+TEST(RunningMoments, MatchesBatchStatistics) {
+  Rng rng(55);
+  std::vector<double> xs(1000);
+  RunningMoments rm;
+  for (auto& x : xs) {
+    x = rng.normal(3.0, 2.0);
+    rm.add(x);
+  }
+  EXPECT_EQ(rm.count(), xs.size());
+  EXPECT_NEAR(rm.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(rm.variance(), variance(xs), 1e-9);
+  EXPECT_NEAR(rm.sample_variance(), sample_variance(xs), 1e-9);
+}
+
+TEST(RunningMoments, MergeEqualsSinglePass) {
+  Rng rng(56);
+  RunningMoments all, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-10, 10);
+    all.add(x);
+    (i < 200 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningMoments, MergeWithEmpty) {
+  RunningMoments a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningMse, AccumulatesSquaredErrors) {
+  RunningMse mse;
+  EXPECT_DOUBLE_EQ(mse.value(), 0.0);
+  mse.add(1.0, 2.0);   // err^2 = 1
+  mse.add(0.0, -3.0);  // err^2 = 9
+  EXPECT_EQ(mse.count(), 2u);
+  EXPECT_DOUBLE_EQ(mse.value(), 5.0);
+  mse.reset();
+  EXPECT_EQ(mse.count(), 0u);
+  EXPECT_DOUBLE_EQ(mse.value(), 0.0);
+}
+
+TEST(WindowedMse, KeepsOnlyRecentErrors) {
+  WindowedMse wm(2);
+  wm.add(0.0, 1.0);  // 1
+  wm.add(0.0, 2.0);  // 4
+  EXPECT_DOUBLE_EQ(wm.value(), 2.5);
+  wm.add(0.0, 3.0);  // 9; evicts 1
+  EXPECT_DOUBLE_EQ(wm.value(), 6.5);
+  wm.add(0.0, 0.0);  // 0; evicts 4
+  EXPECT_DOUBLE_EQ(wm.value(), 4.5);
+}
+
+TEST(WindowedMse, PartiallyFilledAveragesOverCount) {
+  WindowedMse wm(10);
+  wm.add(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(wm.value(), 4.0);
+  EXPECT_EQ(wm.count(), 1u);
+}
+
+TEST(WindowedMse, RejectsZeroWindow) {
+  EXPECT_THROW(WindowedMse(0), InvalidArgument);
+}
+
+TEST(WindowedMse, ResetClears) {
+  WindowedMse wm(3);
+  wm.add(1.0, 5.0);
+  wm.reset();
+  EXPECT_EQ(wm.count(), 0u);
+  EXPECT_DOUBLE_EQ(wm.value(), 0.0);
+  wm.add(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(wm.value(), 1.0);
+}
+
+// Property sweep: WindowedMse with a huge window equals RunningMse.
+class WindowedEqualsRunning : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowedEqualsRunning, WhenWindowCoversEverything) {
+  Rng rng(GetParam());
+  RunningMse run;
+  WindowedMse win(10000);
+  for (int i = 0; i < 500; ++i) {
+    const double p = rng.uniform(-1, 1);
+    const double o = rng.uniform(-1, 1);
+    run.add(p, o);
+    win.add(p, o);
+  }
+  EXPECT_NEAR(run.value(), win.value(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowedEqualsRunning,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace larp::stats

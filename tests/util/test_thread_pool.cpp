@@ -1,0 +1,116 @@
+// Tests for the experiment-sweep thread pool.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace larp {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  pool.parallel_for(7, 3, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::logic_error("bad index");
+                        }),
+      std::logic_error);
+}
+
+TEST(ThreadPool, ParallelForSurvivesExceptionAndStaysUsable) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(0, 10, [](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 50, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelMap, CollectsResultsInOrder) {
+  const auto results = parallel_map(64, [](std::size_t i) {
+    return static_cast<int>(i) * 3;
+  });
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(ParallelMap, SingleElementRunsInline) {
+  const auto results = parallel_map(1, [](std::size_t) { return 7; });
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], 7);
+}
+
+TEST(ParallelMap, ZeroElements) {
+  const auto results = parallel_map(0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(ThreadPool, DeterministicWorkWithSplitRngs) {
+  // The canonical usage pattern: per-task private RNG streams make parallel
+  // results independent of scheduling.
+  const auto run = [] {
+    Rng parent(2024);
+    return parallel_map(16, [&](std::size_t i) {
+      Rng rng = parent.split(i);
+      double acc = 0.0;
+      for (int j = 0; j < 100; ++j) acc += rng.uniform();
+      return acc;
+    });
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace larp

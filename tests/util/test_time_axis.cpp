@@ -1,0 +1,83 @@
+// Tests for the uniform sampling grid.
+#include "util/time_axis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace larp {
+namespace {
+
+TEST(TimeAxis, BasicAccessors) {
+  const TimeAxis axis(100, kFiveMinutes, 4);
+  EXPECT_EQ(axis.start(), 100);
+  EXPECT_EQ(axis.step(), 300);
+  EXPECT_EQ(axis.size(), 4u);
+  EXPECT_EQ(axis.end(), 100 + 4 * 300);
+  EXPECT_FALSE(axis.empty());
+}
+
+TEST(TimeAxis, RejectsNonPositiveStep) {
+  EXPECT_THROW(TimeAxis(0, 0, 5), InvalidArgument);
+  EXPECT_THROW(TimeAxis(0, -60, 5), InvalidArgument);
+}
+
+TEST(TimeAxis, AtAndIndexOfAreInverses) {
+  const TimeAxis axis(60, kMinute, 10);
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    EXPECT_EQ(axis.index_of(axis.at(i)), i);
+  }
+}
+
+TEST(TimeAxis, AtOutOfRangeThrows) {
+  const TimeAxis axis(0, 60, 3);
+  EXPECT_THROW((void)axis.at(3), InvalidArgument);
+}
+
+TEST(TimeAxis, ContainsChecksGridAndRange) {
+  const TimeAxis axis(120, 60, 3);  // samples at 120, 180, 240
+  EXPECT_TRUE(axis.contains(120));
+  EXPECT_TRUE(axis.contains(240));
+  EXPECT_FALSE(axis.contains(300));  // past the end
+  EXPECT_FALSE(axis.contains(150));  // off-grid
+  EXPECT_FALSE(axis.contains(60));   // before start
+}
+
+TEST(TimeAxis, IndexOfOffGridThrows) {
+  const TimeAxis axis(0, 60, 3);
+  EXPECT_THROW((void)axis.index_of(30), InvalidArgument);
+  EXPECT_THROW((void)axis.index_of(180), InvalidArgument);
+}
+
+TEST(TimeAxis, SliceSelectsSubrange) {
+  const TimeAxis axis(0, 60, 10);
+  const TimeAxis part = axis.slice(3, 4);
+  EXPECT_EQ(part.start(), 180);
+  EXPECT_EQ(part.size(), 4u);
+  EXPECT_EQ(part.step(), 60);
+  EXPECT_THROW((void)axis.slice(8, 3), InvalidArgument);
+}
+
+TEST(TimeAxis, EqualityAndDescribe) {
+  const TimeAxis a(0, 60, 5), b(0, 60, 5), c(60, 60, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_FALSE(a.describe().empty());
+}
+
+TEST(TimeAxis, EmptyDefault) {
+  const TimeAxis axis;
+  EXPECT_TRUE(axis.empty());
+  EXPECT_EQ(axis.end(), axis.start());
+}
+
+TEST(TimeAxis, PaperIntervals) {
+  // The two extraction configurations used in §7.
+  const TimeAxis vm2(0, kFiveMinutes, 288);
+  EXPECT_EQ(vm2.end(), kDay);
+  const TimeAxis vm1(0, kThirtyMinutes, 336);
+  EXPECT_EQ(vm1.end(), 7 * kDay);
+}
+
+}  // namespace
+}  // namespace larp

@@ -1,0 +1,268 @@
+// larp_cli: command-line driver over the library's public API, for running
+// the LARPredictor machinery on externally collected traces (CSV).
+//
+//   larp_cli characterize <csv> <column>      trace fingerprint
+//   larp_cli assess       <csv> <column>      §8 applicability report
+//   larp_cli evaluate     <csv> <column>      cross-validated strategy table
+//   larp_cli forecast     <csv> <column>      stream one-step forecasts (CSV)
+//   larp_cli walk         <csv> <column>      rolling-origin evaluation
+//   larp_cli export       <vm>  <out.csv>     write a catalog VM's trace suite
+//
+// Common options:
+//   --window N       prediction window m            (default 5)
+//   --k N            k-NN neighbours                 (default 3)
+//   --folds N        cross-validation repetitions    (default 10)
+//   --pool NAME      paper | extended                (default paper)
+//   --seed N         RNG seed                        (default 2007)
+//   --train-frac F   forecast: training prefix share (default 0.5)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/applicability.hpp"
+#include "core/experiment.hpp"
+#include "core/lar_predictor.hpp"
+#include "core/report.hpp"
+#include "core/rolling.hpp"
+#include "tracegen/catalog.hpp"
+#include "tracegen/characterize.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace larp;
+
+struct Options {
+  std::string command;
+  std::vector<std::string> positional;
+  std::size_t window = 5;
+  std::size_t k = 3;
+  std::size_t folds = 10;
+  std::string pool = "paper";
+  std::uint64_t seed = 2007;
+  double train_fraction = 0.5;
+};
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message) std::fprintf(stderr, "error: %s\n\n", message);
+  std::fprintf(stderr,
+               "usage: larp_cli <command> [args] [options]\n"
+               "  characterize <csv> <column>\n"
+               "  assess       <csv> <column>\n"
+               "  evaluate     <csv> <column>\n"
+               "  forecast     <csv> <column>\n"
+               "  walk         <csv> <column>\n"
+               "  export       <vm>  <out.csv>\n"
+               "options: --window N --k N --folds N --pool paper|extended\n"
+               "         --seed N --train-frac F\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Options options;
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--window") options.window = std::stoul(next());
+    else if (arg == "--k") options.k = std::stoul(next());
+    else if (arg == "--folds") options.folds = std::stoul(next());
+    else if (arg == "--pool") options.pool = next();
+    else if (arg == "--seed") options.seed = std::stoull(next());
+    else if (arg == "--train-frac") options.train_fraction = std::stod(next());
+    else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
+    else options.positional.push_back(arg);
+  }
+  return options;
+}
+
+std::vector<double> load_column(const Options& options) {
+  if (options.positional.size() < 2) usage("need <csv> <column>");
+  const auto table = csv::read_file(options.positional[0]);
+  return table.numeric_column(options.positional[1]);
+}
+
+predictors::PredictorPool make_pool(const Options& options) {
+  if (options.pool == "paper") return predictors::make_paper_pool(options.window);
+  if (options.pool == "extended") {
+    return predictors::make_extended_pool(options.window);
+  }
+  usage("--pool must be 'paper' or 'extended'");
+}
+
+core::LarConfig make_config(const Options& options) {
+  core::LarConfig config;
+  config.window = options.window;
+  config.knn_k = options.k;
+  config.pca_components = 0;
+  config.pca_min_variance = 0.85;
+  return config;
+}
+
+int cmd_characterize(const Options& options) {
+  const auto series = load_column(options);
+  const auto c = tracegen::characterize(series);
+  std::cout << options.positional[1] << ": " << c << '\n';
+  return 0;
+}
+
+int cmd_assess(const Options& options) {
+  const auto series = load_column(options);
+  const auto pool = make_pool(options);
+  ml::CrossValidationPlan plan;
+  plan.folds = options.folds;
+  Rng rng(options.seed);
+  const auto report = core::assess_applicability(series, pool,
+                                                 make_config(options), plan, rng);
+  std::printf("verdict: %s\n", core::to_string(report.verdict));
+  if (report.verdict != core::ApplicabilityVerdict::NotApplicable) {
+    std::printf("best single expert: %s (MSE %.6g)\n",
+                pool.name(report.best_single_label).c_str(),
+                report.mse_best_single);
+    std::printf("oracle headroom:    %.1f%% (P-LAR MSE %.6g)\n",
+                100.0 * report.oracle_headroom, report.mse_oracle);
+    std::printf("realized gain:      %.1f%% (LAR MSE %.6g)\n",
+                100.0 * report.realized_gain, report.mse_lar);
+    std::printf("selection accuracy: %.1f%% (chance %.1f%%)\n",
+                100.0 * report.selection_accuracy,
+                100.0 * report.chance_accuracy);
+    std::printf("label churn:        %.1f%%   label entropy: %.1f%%\n",
+                100.0 * report.label_churn, 100.0 * report.label_entropy);
+  }
+  std::printf("%s\n", report.explanation.c_str());
+  return 0;
+}
+
+int cmd_evaluate(const Options& options) {
+  const auto series = load_column(options);
+  const auto pool = make_pool(options);
+  ml::CrossValidationPlan plan;
+  plan.folds = options.folds;
+  Rng rng(options.seed);
+  const auto result = core::cross_validate(series, pool, make_config(options),
+                                           plan, rng);
+  if (result.degenerate) {
+    std::printf("degenerate trace (zero variance): nothing to evaluate\n");
+    return 0;
+  }
+  core::TextTable table({"strategy", "normalized MSE", "accuracy"});
+  table.add_row({"P-LAR (oracle)", core::TextTable::num(result.mse_oracle), "-"});
+  table.add_row({"LAR (k-NN)", core::TextTable::num(result.mse_lar),
+                 core::TextTable::pct(result.lar_accuracy)});
+  table.add_row({"NWS Cum.MSE", core::TextTable::num(result.mse_nws),
+                 core::TextTable::pct(result.nws_accuracy)});
+  table.add_row({"NWS W-Cum.MSE(2)", core::TextTable::num(result.mse_wnws),
+                 core::TextTable::pct(result.wnws_accuracy)});
+  for (std::size_t p = 0; p < pool.size(); ++p) {
+    table.add_row({pool.name(p), core::TextTable::num(result.mse_single[p]), "-"});
+  }
+  table.print(std::cout);
+  std::printf("\nLAR %s the best single expert; LAR %s the NWS selection "
+              "(%zu folds).\n",
+              result.lar_beats_best_single() ? "matched/beat" : "trailed",
+              result.lar_beats_nws() ? "beat" : "trailed", result.folds);
+  return 0;
+}
+
+int cmd_forecast(const Options& options) {
+  const auto series = load_column(options);
+  if (options.train_fraction <= 0.0 || options.train_fraction >= 1.0) {
+    usage("--train-frac must be in (0, 1)");
+  }
+  const std::size_t split =
+      static_cast<std::size_t>(series.size() * options.train_fraction);
+  core::LarPredictor lar(make_pool(options), make_config(options));
+  lar.train(std::span<const double>(series.data(), split));
+
+  const auto pool_names = lar.pool().names();
+  csv::write_row(std::cout, {"index", "actual", "forecast", "expert",
+                             "uncertainty"});
+  for (std::size_t t = split; t < series.size(); ++t) {
+    const auto forecast = lar.predict_next();
+    csv::write_row(std::cout,
+                   {std::to_string(t), std::to_string(series[t]),
+                    std::to_string(forecast.value), pool_names[forecast.label],
+                    std::to_string(forecast.uncertainty)});
+    lar.observe(series[t]);
+  }
+  return 0;
+}
+
+int cmd_walk(const Options& options) {
+  const auto series = load_column(options);
+  const auto pool = make_pool(options);
+  core::RollingOriginConfig config;
+  config.lar = make_config(options);
+  config.initial_train = static_cast<std::size_t>(
+      series.size() * options.train_fraction);
+  config.retrain_every = 48;
+  const auto r = core::rolling_origin_evaluate(series, pool, config);
+
+  core::TextTable table({"strategy", "raw MSE"});
+  table.add_row({"P-LAR (oracle)", core::TextTable::num(r.mse_oracle, 3)});
+  table.add_row({"LAR (deployed)", core::TextTable::num(r.mse_lar, 3)});
+  table.add_row({"NWS Cum.MSE", core::TextTable::num(r.mse_nws, 3)});
+  table.add_row({"NWS W-Cum.MSE(2)", core::TextTable::num(r.mse_wnws, 3)});
+  for (std::size_t p = 0; p < pool.size(); ++p) {
+    table.add_row({pool.name(p), core::TextTable::num(r.mse_single[p], 3)});
+  }
+  table.print(std::cout);
+  std::printf("\nwalked %zu steps, re-trained %zu times; expert usage:",
+              r.steps, r.retrains);
+  for (std::size_t p = 0; p < pool.size(); ++p) {
+    std::printf(" %s=%zu", pool.name(p).c_str(), r.expert_usage[p]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_export(const Options& options) {
+  if (options.positional.size() < 2) usage("need <vm> <out.csv>");
+  const auto suite = tracegen::make_vm_suite(options.positional[0],
+                                             options.seed);
+  csv::Table table;
+  table.header.push_back("timestamp");
+  for (const auto& [key, series] : suite) table.header.push_back(key.metric);
+  const auto& axis = suite.front().second.axis;
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    std::vector<std::string> row{std::to_string(axis.at(i))};
+    for (const auto& [key, series] : suite) {
+      row.push_back(std::to_string(series.values[i]));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  std::ofstream out(options.positional[1]);
+  if (!out) usage("cannot open output file");
+  csv::write(out, table);
+  std::printf("wrote %zu samples x %zu metrics to %s\n", table.rows.size(),
+              suite.size(), options.positional[1].c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+  try {
+    if (options.command == "characterize") return cmd_characterize(options);
+    if (options.command == "assess") return cmd_assess(options);
+    if (options.command == "evaluate") return cmd_evaluate(options);
+    if (options.command == "forecast") return cmd_forecast(options);
+    if (options.command == "walk") return cmd_walk(options);
+    if (options.command == "export") return cmd_export(options);
+    usage(("unknown command " + options.command).c_str());
+  } catch (const larp::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
