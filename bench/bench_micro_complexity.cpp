@@ -175,6 +175,27 @@ void BM_SoftVoteLarStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SoftVoteLarStep);
 
+// The online-learning hot path: one labeled point appended to the kd-tree
+// index.  Incremental insertion keeps this amortized O(log N) — before the
+// fix every add rebuilt the whole tree, making it O(N log N).
+void BM_KnnAddKdTree(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  ml::KnnClassifier knn(3, ml::KnnBackend::KdTree);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = i % 3;
+  knn.fit(random_points(n, 2, 12), labels);
+  Rng rng(13);
+  std::size_t label = 0;
+  for (auto _ : state) {
+    const linalg::Vector point{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    knn.add(point, label);
+    label = (label + 1) % 3;
+    benchmark::DoNotOptimize(knn.size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_KnnAddKdTree)->Arg(1000)->Arg(10000)->Arg(100000)->Complexity();
+
 void BM_KdTreeBuild(benchmark::State& state) {
   const std::size_t n = state.range(0);
   const auto points = random_points(n, 2, 11);

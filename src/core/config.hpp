@@ -57,6 +57,15 @@ struct LarConfig {
   /// Number of recent online residuals backing Forecast::uncertainty.
   std::size_t uncertainty_window = 32;
 
+  /// Resolved predict/observe pairs required before Forecast::uncertainty
+  /// turns finite: an eighth of the residual window (minimum 1), so shorter
+  /// windows warm up proportionally faster.  (The default window of 32
+  /// keeps the historical warm-up of 4.)
+  [[nodiscard]] std::size_t uncertainty_warmup() const noexcept {
+    const std::size_t warmup = uncertainty_window / 8;
+    return warmup > 0 ? warmup : 1;
+  }
+
   /// Soft voting (the "probability-based voting" combination strategy of
   /// the paper's §2 citations [16]): instead of running only the
   /// majority-vote winner, the forecast is the neighbour-vote-share-weighted

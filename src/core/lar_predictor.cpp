@@ -200,7 +200,7 @@ LarPredictor::Forecast LarPredictor::predict_next() {
 
   Forecast forecast{normalizer_.inverse(z), label,
                     std::numeric_limits<double>::quiet_NaN()};
-  if (resolved_forecasts_ >= 4) {
+  if (resolved_forecasts_ >= config_.uncertainty_warmup()) {
     forecast.uncertainty = std::sqrt(residuals_->value());
   }
   pending_forecast_ = forecast.value;

@@ -14,8 +14,18 @@
 //   the current window is projected through the SAME normalizer and PCA,
 //   classified by the k-NN majority vote, and ONLY the winning predictor is
 //   run — the paper's efficiency claim over NWS-style parallel evaluation.
+//
+// Thread-safety / locking contract (relied on by serve::PredictionEngine):
+//   a LarPredictor is NOT internally synchronized.  predict_next() is
+//   non-const by design — the Selector interface is stateful in general and
+//   predict_next() records the pending forecast for residual tracking — so
+//   both the mutating entry points (train/retrain/observe/predict_next) and
+//   the const accessors must be serialized under one external mutex per
+//   predictor instance.  Distinct instances share no mutable state and may
+//   be driven from different threads without any locking.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <optional>
 #include <span>
@@ -50,9 +60,11 @@ class LarPredictor {
     double value = 0.0;     // raw (de-normalized) predicted next value
     std::size_t label = 0;  // pool member that produced it
     /// One-sigma error estimate from the predictor's own recent online
-    /// residuals (LarConfig::uncertainty_window); NaN until enough
-    /// predict/observe pairs have been seen.
-    double uncertainty = 0.0;
+    /// residuals (LarConfig::uncertainty_window); NaN until
+    /// LarConfig::uncertainty_warmup() predict/observe pairs have resolved.
+    /// Defaults to NaN so a default-constructed forecast can never pass for
+    /// a zero-uncertainty (perfectly confident) one.
+    double uncertainty = std::numeric_limits<double>::quiet_NaN();
   };
 
   /// Feeds one raw observation into the online window and the pool members'

@@ -22,10 +22,55 @@ bool heap_less(const Neighbor& a, const Neighbor& b) {
 KdTree::KdTree(linalg::Matrix points) : points_(std::move(points)) {
   if (points_.rows() == 0) return;
   if (points_.cols() == 0) throw InvalidArgument("KdTree: zero-dimensional points");
+  rebuild();
+}
+
+void KdTree::rebuild() {
   std::vector<std::size_t> items(points_.rows());
   for (std::size_t i = 0; i < items.size(); ++i) items[i] = i;
+  nodes_.clear();
   nodes_.reserve(points_.rows());
   root_ = build(items, 0, items.size());
+  inserted_since_build_ = 0;
+}
+
+void KdTree::insert(std::span<const double> point) {
+  if (point.empty()) throw InvalidArgument("KdTree::insert: empty point");
+  if (size() > 0 && point.size() != dimension()) {
+    throw InvalidArgument("KdTree::insert: point dimension mismatch");
+  }
+  points_.append_row(point);
+  const std::size_t index = points_.rows() - 1;
+
+  // Doubling rule: once the post-build inserts outnumber the points the
+  // balanced build saw, re-balance from scratch.  The O(N log N) rebuild is
+  // charged against the >= N/2 preceding O(depth) inserts, so each insert
+  // pays amortized O(log N).
+  if (inserted_since_build_ + 1 > points_.rows() / 2) {
+    rebuild();
+    return;
+  }
+  ++inserted_since_build_;
+
+  // Descend to the leaf position.  The search invariant only needs the left
+  // subtree <= node <= right subtree along each split dimension, so points
+  // equal on the split coordinate may go either way.
+  const std::int32_t leaf = static_cast<std::int32_t>(nodes_.size());
+  std::int32_t current = root_;
+  for (;;) {
+    Node& node = nodes_[current];
+    const bool go_left = point[node.split_dim] <= points_(node.point, node.split_dim);
+    std::int32_t& child = go_left ? node.left : node.right;
+    if (child < 0) {
+      // Cycle the split dimension past the parent's — a leaf holds a single
+      // point, so there is no spread to pick the widest dimension from.
+      const std::size_t split_dim = (node.split_dim + 1) % points_.cols();
+      child = leaf;
+      nodes_.push_back(Node{index, split_dim, -1, -1});
+      return;
+    }
+    current = child;
+  }
 }
 
 std::int32_t KdTree::build(std::vector<std::size_t>& items, std::size_t lo,

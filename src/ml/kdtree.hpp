@@ -6,6 +6,14 @@
 // The tree stores point indices into the caller's matrix; splitting is by
 // median along the widest-spread dimension, which keeps the tree balanced
 // for the clustered window distributions produced by real traces.
+//
+// insert() supports the online-learning path: a new point descends to a
+// leaf position (O(depth)), and once more than half the points postdate the
+// last full build the tree is rebuilt from scratch, so insertion stays
+// amortized O(log N) and the depth stays bounded regardless of insertion
+// order.  Queries remain exact at every moment — the tests assert
+// neighbour-identical results against brute force across interleaved
+// inserts.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +45,12 @@ class KdTree {
   [[nodiscard]] std::vector<Neighbor> nearest(std::span<const double> query,
                                               std::size_t k) const;
 
+  /// Appends one point to the index (its index is the previous size()).
+  /// O(depth) leaf insertion; a full rebalance runs once the inserted
+  /// points outnumber the ones present at the last build, keeping the
+  /// amortized cost O(log N).  An empty tree adopts the point's dimension.
+  void insert(std::span<const double> point);
+
  private:
   struct Node {
     std::size_t point = 0;        // row index of the splitting point
@@ -47,12 +61,14 @@ class KdTree {
 
   std::int32_t build(std::vector<std::size_t>& items, std::size_t lo,
                      std::size_t hi);
+  void rebuild();
   void search(std::int32_t node_id, std::span<const double> query,
               std::size_t k, std::vector<Neighbor>& heap) const;
 
   linalg::Matrix points_;
   std::vector<Node> nodes_;
   std::int32_t root_ = -1;
+  std::size_t inserted_since_build_ = 0;
 };
 
 }  // namespace larp::ml

@@ -36,9 +36,7 @@ void KnnClassifier::add(std::span<const double> point, std::size_t label) {
   }
   points_.append_row(point);
   labels_.push_back(label);
-  if (backend_ == KnnBackend::KdTree) {
-    tree_.emplace(points_);  // rebuild; cheap at these training-set sizes
-  }
+  if (tree_) tree_->insert(point);  // amortized O(log N) incremental insert
 }
 
 void KnnClassifier::require_fitted() const {

@@ -33,8 +33,9 @@ class KnnClassifier {
   void fit(linalg::Matrix points, std::vector<std::size_t> labels);
 
   /// Appends one labeled point to the index (online learning).  O(1) for
-  /// the brute-force backend; the kd-tree backend rebuilds its index
-  /// (O(N log N) — still microseconds at this domain's training sizes).
+  /// the brute-force backend; the kd-tree backend inserts incrementally
+  /// (amortized O(log N) — see KdTree::insert), so the online-learning
+  /// per-step cost does not grow with the indexed-point count.
   void add(std::span<const double> point, std::size_t label);
 
   [[nodiscard]] bool fitted() const noexcept { return fitted_; }

@@ -1,0 +1,257 @@
+#include "serve/prediction_engine.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace larp::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t nanos_since(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+PredictionEngine::PredictionEngine(predictors::PredictorPool pool_prototype,
+                                   EngineConfig config)
+    : pool_prototype_(std::move(pool_prototype)),
+      config_(config),
+      pool_(config.threads) {
+  if (pool_prototype_.empty()) {
+    throw InvalidArgument("PredictionEngine: empty pool prototype");
+  }
+  if (config_.shards == 0) {
+    throw InvalidArgument("PredictionEngine: need at least one shard");
+  }
+  if (config_.train_samples < config_.lar.window + 2) {
+    throw InvalidArgument(
+        "PredictionEngine: train_samples must be at least window + 2");
+  }
+  if (config_.history_capacity < config_.train_samples) {
+    config_.history_capacity = config_.train_samples;
+  }
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->qa.emplace(shard->predictions, config_.quality);
+    // The handler runs inside audit() while the shard mutex is held by the
+    // auditing thread, so the flag write is race-free.
+    Shard* raw = shard.get();
+    shard->qa->set_retrain_handler([raw](const tsdb::SeriesKey& key) {
+      const auto it = raw->series.find(key);
+      if (it != raw->series.end()) it->second.retrain_requested = true;
+    });
+    shards_.push_back(std::move(shard));
+  }
+  LARP_LOG_INFO("serve") << "PredictionEngine: " << config_.shards
+                         << " shards, " << pool_.size() << " threads, pool of "
+                         << pool_prototype_.size();
+}
+
+PredictionEngine::Shard& PredictionEngine::shard_of(const tsdb::SeriesKey& key) {
+  return *shards_[std::hash<tsdb::SeriesKey>{}(key) % shards_.size()];
+}
+
+const PredictionEngine::Shard& PredictionEngine::shard_of(
+    const tsdb::SeriesKey& key) const {
+  return *shards_[std::hash<tsdb::SeriesKey>{}(key) % shards_.size()];
+}
+
+template <typename KeyOf, typename Fn>
+void PredictionEngine::for_each_shard(std::size_t count, const KeyOf& key_of,
+                                      const Fn& fn) {
+  // Group batch indices by shard (preserving batch order within a shard),
+  // then run one task per non-empty shard so each mutex is taken once.
+  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    by_shard[std::hash<tsdb::SeriesKey>{}(key_of(i)) % shards_.size()]
+        .push_back(i);
+  }
+  std::vector<std::size_t> active;
+  active.reserve(shards_.size());
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    if (!by_shard[s].empty()) active.push_back(s);
+  }
+  if (active.size() <= 1 || pool_.size() <= 1) {
+    for (std::size_t s : active) fn(s, by_shard[s]);
+    return;
+  }
+  pool_.parallel_for(0, active.size(), [&](std::size_t a) {
+    fn(active[a], by_shard[active[a]]);
+  });
+}
+
+void PredictionEngine::train_series(Shard& shard, const tsdb::SeriesKey& key,
+                                    SeriesState& state, bool is_retrain) {
+  const std::size_t take =
+      std::min(state.history.size(), config_.train_samples);
+  const std::vector<double> recent(state.history.end() - take,
+                                   state.history.end());
+  if (is_retrain) {
+    state.predictor->retrain(recent);
+    // Forget the audited records that triggered the order — including any
+    // still-pending forecast the pre-retrain predictor issued — so the next
+    // audit judges the re-trained predictor on fresh forecasts only.
+    shard.predictions.prune_before(key, state.next_ts + 1);
+    ++shard.retrains;
+  } else {
+    state.predictor.emplace(pool_prototype_.clone(), config_.lar);
+    state.predictor->train(recent);
+    ++shard.trains;
+  }
+  state.retrain_requested = false;
+}
+
+void PredictionEngine::absorb(Shard& shard, const tsdb::SeriesKey& key,
+                              double value) {
+  SeriesState& state = shard.series[key];
+
+  // Resolve the forecast issued for this logical timestamp, if any.
+  if (state.predictor) {
+    if (const auto record = shard.predictions.find(key, state.next_ts);
+        record && !record->resolved()) {
+      shard.predictions.record_observation(key, state.next_ts, value);
+      const double err = record->predicted - value;
+      ++shard.resolved;
+      shard.abs_error_sum += std::abs(err);
+      shard.sq_error_sum += err * err;
+    }
+    state.predictor->observe(value);
+  }
+
+  state.history.push_back(value);
+  while (state.history.size() > config_.history_capacity) {
+    state.history.pop_front();
+  }
+  ++state.next_ts;
+
+  // Lazy training once enough history has accumulated.
+  if (!state.predictor && state.history.size() >= config_.train_samples) {
+    train_series(shard, key, state, /*is_retrain=*/false);
+    return;
+  }
+
+  // QA audit on cadence; a breach flags the series and we re-train from the
+  // retained history right away.
+  if (state.predictor && config_.audit_every > 0 &&
+      ++state.since_audit >= config_.audit_every) {
+    state.since_audit = 0;
+    (void)shard.qa->audit(key);
+    if (state.retrain_requested) {
+      train_series(shard, key, state, /*is_retrain=*/true);
+    }
+  }
+}
+
+void PredictionEngine::observe(std::span<const Observation> batch) {
+  const auto start = Clock::now();
+  for_each_shard(
+      batch.size(), [&](std::size_t i) -> const tsdb::SeriesKey& {
+        return batch[i].key;
+      },
+      [&](std::size_t s, const std::vector<std::size_t>& indices) {
+        Shard& shard = *shards_[s];
+        std::lock_guard lock(shard.mutex);
+        for (std::size_t i : indices) {
+          absorb(shard, batch[i].key, batch[i].value);
+        }
+      });
+  observations_.fetch_add(batch.size(), std::memory_order_relaxed);
+  observe_nanos_.fetch_add(nanos_since(start), std::memory_order_relaxed);
+}
+
+void PredictionEngine::observe(const tsdb::SeriesKey& key, double value) {
+  const Observation one{key, value};
+  observe(std::span<const Observation>(&one, 1));
+}
+
+Prediction PredictionEngine::forecast(Shard& shard,
+                                      const tsdb::SeriesKey& key) {
+  const auto it = shard.series.find(key);
+  if (it == shard.series.end() || !it->second.predictor) return Prediction{};
+  SeriesState& state = it->second;
+  const auto raw = state.predictor->predict_next();
+  // Forecasts in the DB are immutable once issued; re-predicting the same
+  // step keeps the first record (the predictor itself tracks only the
+  // latest pending value for residuals).
+  if (!shard.predictions.find(key, state.next_ts)) {
+    shard.predictions.record_prediction(key, state.next_ts, raw.value,
+                                        raw.label);
+  }
+  return Prediction{true, raw.value, raw.label, raw.uncertainty};
+}
+
+std::vector<Prediction> PredictionEngine::predict(
+    std::span<const tsdb::SeriesKey> keys) {
+  const auto start = Clock::now();
+  std::vector<Prediction> out(keys.size());
+  for_each_shard(
+      keys.size(),
+      [&](std::size_t i) -> const tsdb::SeriesKey& { return keys[i]; },
+      [&](std::size_t s, const std::vector<std::size_t>& indices) {
+        Shard& shard = *shards_[s];
+        std::lock_guard lock(shard.mutex);
+        for (std::size_t i : indices) out[i] = forecast(shard, keys[i]);
+      });
+  predictions_.fetch_add(keys.size(), std::memory_order_relaxed);
+  predict_nanos_.fetch_add(nanos_since(start), std::memory_order_relaxed);
+  return out;
+}
+
+Prediction PredictionEngine::predict(const tsdb::SeriesKey& key) {
+  return predict(std::span<const tsdb::SeriesKey>(&key, 1)).front();
+}
+
+std::size_t PredictionEngine::series_count() const {
+  std::size_t count = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    count += shard->series.size();
+  }
+  return count;
+}
+
+bool PredictionEngine::is_trained(const tsdb::SeriesKey& key) const {
+  const Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.series.find(key);
+  return it != shard.series.end() && it->second.predictor.has_value();
+}
+
+EngineStats PredictionEngine::stats() const {
+  EngineStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    stats.series += shard->series.size();
+    for (const auto& [key, state] : shard->series) {
+      if (state.predictor) ++stats.trained_series;
+    }
+    stats.trains += shard->trains;
+    stats.retrains += shard->retrains;
+    stats.audits += shard->qa->audits_performed();
+    stats.resolved += shard->resolved;
+    stats.mean_absolute_error += shard->abs_error_sum;
+    stats.mean_squared_error += shard->sq_error_sum;
+  }
+  if (stats.resolved > 0) {
+    stats.mean_absolute_error /= static_cast<double>(stats.resolved);
+    stats.mean_squared_error /= static_cast<double>(stats.resolved);
+  }
+  stats.observations = observations_.load(std::memory_order_relaxed);
+  stats.predictions = predictions_.load(std::memory_order_relaxed);
+  stats.observe_seconds =
+      static_cast<double>(observe_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  stats.predict_seconds =
+      static_cast<double>(predict_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return stats;
+}
+
+}  // namespace larp::serve

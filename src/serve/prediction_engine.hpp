@@ -1,0 +1,168 @@
+// PredictionEngine: the production serving layer over core::LarPredictor —
+// thousands of concurrent (host, resource) series behind one batched API.
+//
+// Architecture:
+//   * series are hash-partitioned into shards; each shard owns its series
+//     map, a tsdb::PredictionDatabase, and a qa::QualityAssuror, all guarded
+//     by one shard mutex — so two series in different shards never contend;
+//   * observe(batch) / predict(batch) group the batch by shard and fan the
+//     per-shard work across a ThreadPool::parallel_for, taking each shard's
+//     mutex exactly once per batch;
+//   * per-series lifecycle is lazy: a series trains itself after
+//     EngineConfig::train_samples observations, and the Quality Assuror's
+//     audit (every audit_every observations) can order a re-train from the
+//     series' retained raw history (§3.2 of the paper, scaled out);
+//   * aggregate accuracy (resolved-forecast MAE/MSE) and latency counters
+//     are maintained per shard / atomically and snapshot by stats().
+//
+// Locking contract: LarPredictor is not internally synchronized (see
+// core/lar_predictor.hpp); every touch of a predictor happens under its
+// shard's mutex.  Keys within one batch are processed in batch order per
+// shard, so per-series results are deterministic and independent of the
+// thread count — the tests assert engine output identical to a standalone
+// LarPredictor fed the same stream.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/lar_predictor.hpp"
+#include "qa/quality_assuror.hpp"
+#include "tsdb/prediction_db.hpp"
+#include "util/thread_pool.hpp"
+
+namespace larp::serve {
+
+struct EngineConfig {
+  core::LarConfig lar;
+  qa::QaConfig quality;
+  /// Hash partitions; more shards = less cross-series contention.
+  std::size_t shards = 8;
+  /// Worker threads backing the batched calls (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Observations before a series lazily trains itself, and the number of
+  /// recent samples a QA-ordered re-train uses.
+  std::size_t train_samples = 144;
+  /// Raw samples retained per series (clamped up to train_samples).
+  std::size_t history_capacity = 288;
+  /// One QA audit per series every this many observations (0 = never).
+  std::size_t audit_every = 24;
+};
+
+/// One incoming raw sample of a series.
+struct Observation {
+  tsdb::SeriesKey key;
+  double value = 0.0;
+};
+
+/// One engine forecast.  `ready` is false while the series is still
+/// accumulating its training window (value/uncertainty are NaN then).
+struct Prediction {
+  bool ready = false;
+  double value = std::numeric_limits<double>::quiet_NaN();
+  std::size_t label = 0;
+  double uncertainty = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Aggregate counters across all shards (stats() snapshot).
+struct EngineStats {
+  std::size_t series = 0;            // series ever observed
+  std::size_t trained_series = 0;    // series past lazy training
+  std::size_t observations = 0;      // samples absorbed
+  std::size_t predictions = 0;       // forecasts issued
+  std::size_t trains = 0;            // lazy trainings performed
+  std::size_t retrains = 0;          // QA-ordered re-trains
+  std::size_t audits = 0;            // QA audits run
+  std::size_t resolved = 0;          // forecasts resolved by an observation
+  double mean_absolute_error = 0.0;  // over resolved forecasts (raw units)
+  double mean_squared_error = 0.0;   // over resolved forecasts (raw units)
+  double observe_seconds = 0.0;      // cumulative wall time in observe()
+  double predict_seconds = 0.0;      // cumulative wall time in predict()
+};
+
+class PredictionEngine {
+ public:
+  /// Takes the expert-pool prototype every series' predictor clones.
+  /// Throws InvalidArgument for zero shards or an empty pool.
+  PredictionEngine(predictors::PredictorPool pool_prototype,
+                   EngineConfig config);
+
+  /// Joins the worker pool; no batched call may be in flight.
+  ~PredictionEngine() = default;
+
+  PredictionEngine(const PredictionEngine&) = delete;
+  PredictionEngine& operator=(const PredictionEngine&) = delete;
+
+  /// Absorbs a batch of raw samples, fanned across shards.  Per series (in
+  /// batch order): resolve the pending forecast, feed the predictor (or
+  /// train it once train_samples have accumulated), and audit on cadence.
+  void observe(std::span<const Observation> batch);
+  void observe(const tsdb::SeriesKey& key, double value);
+
+  /// One forecast per requested key, in request order.  Forecasts are
+  /// recorded in the shard's prediction DB and resolved by the series' next
+  /// observation.
+  [[nodiscard]] std::vector<Prediction> predict(
+      std::span<const tsdb::SeriesKey> keys);
+  [[nodiscard]] Prediction predict(const tsdb::SeriesKey& key);
+
+  [[nodiscard]] std::size_t series_count() const;
+  [[nodiscard]] bool is_trained(const tsdb::SeriesKey& key) const;
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
+
+ private:
+  struct SeriesState {
+    std::deque<double> history;  // recent raw samples, capacity-bounded
+    std::optional<core::LarPredictor> predictor;
+    Timestamp next_ts = 0;  // logical clock: index of the next sample
+    std::size_t since_audit = 0;
+    bool retrain_requested = false;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<tsdb::SeriesKey, SeriesState> series;
+    tsdb::PredictionDatabase predictions;
+    std::optional<qa::QualityAssuror> qa;
+    // Aggregate accuracy over resolved forecasts (raw units).
+    std::size_t resolved = 0;
+    double abs_error_sum = 0.0;
+    double sq_error_sum = 0.0;
+    std::size_t trains = 0;
+    std::size_t retrains = 0;
+  };
+
+  [[nodiscard]] Shard& shard_of(const tsdb::SeriesKey& key);
+  [[nodiscard]] const Shard& shard_of(const tsdb::SeriesKey& key) const;
+  void absorb(Shard& shard, const tsdb::SeriesKey& key, double value);
+  [[nodiscard]] Prediction forecast(Shard& shard, const tsdb::SeriesKey& key);
+  void train_series(Shard& shard, const tsdb::SeriesKey& key,
+                    SeriesState& state, bool is_retrain);
+
+  /// Groups batch indices by shard and runs fn(shard_id, indices) across
+  /// the worker pool, one task per shard with work.
+  template <typename KeyOf, typename Fn>
+  void for_each_shard(std::size_t count, const KeyOf& key_of, const Fn& fn);
+
+  predictors::PredictorPool pool_prototype_;
+  EngineConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ThreadPool pool_;
+
+  std::atomic<std::size_t> observations_{0};
+  std::atomic<std::size_t> predictions_{0};
+  std::atomic<std::uint64_t> observe_nanos_{0};
+  std::atomic<std::uint64_t> predict_nanos_{0};
+};
+
+}  // namespace larp::serve

@@ -16,13 +16,22 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
+    if (stopping_ && workers_.empty()) return;  // already shut down
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard lock(mutex_);
+  return stopping_;
 }
 
 void ThreadPool::worker_loop() {
@@ -52,26 +61,40 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   std::mutex done_mutex;
   std::condition_variable done_cv;
 
+  // Shutdown safety: if submit() throws mid-loop (pool shut down
+  // concurrently), the already-submitted jobs still reference this frame's
+  // locals — so never leave before `remaining` reaches zero.  The
+  // unsubmitted chunks are credited below and the submit error is rethrown
+  // only after the in-flight jobs have drained.
+  std::exception_ptr submit_error;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
-    // Fire-and-forget job; completion is tracked via `remaining`.
-    (void)submit([&, lo, hi] {
-      try {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-      } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(done_mutex);
-        done_cv.notify_all();
-      }
-    });
+    try {
+      // Fire-and-forget job; completion is tracked via `remaining`.
+      (void)submit([&, lo, hi] {
+        try {
+          for (std::size_t i = lo; i < hi; ++i) fn(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard lock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    } catch (...) {
+      submit_error = std::current_exception();
+      remaining.fetch_sub(chunks - c, std::memory_order_acq_rel);
+      break;
+    }
   }
 
   std::unique_lock lock(done_mutex);
   done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  lock.unlock();
+  if (submit_error) std::rethrow_exception(submit_error);
   if (first_error) std::rethrow_exception(first_error);
 }
 

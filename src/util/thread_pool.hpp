@@ -27,11 +27,19 @@ class ThreadPool {
   /// (minimum 1).
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Drains outstanding tasks and joins the workers.
+  /// Equivalent to shutdown().
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks and joins the workers.  Idempotent; after it
+  /// returns, submit() and parallel_for() throw instead of enqueueing.
+  /// Must not be called from a worker thread (a task cannot join itself).
+  void shutdown();
+
+  /// True once shutdown() has begun; submissions are rejected from then on.
+  [[nodiscard]] bool stopped() const;
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
@@ -62,7 +70,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };

@@ -37,6 +37,25 @@ std::vector<double> ar1_series(std::size_t n, std::uint64_t seed,
   return xs;
 }
 
+// End-to-end on a zero-variance trace: the normalizer's stddev-1 fallback
+// must carry through training, prediction, and online observation without
+// NaNs — the forecast is the flat level itself.
+TEST(LarPredictor, ConstantSeriesEndToEnd) {
+  const std::vector<double> flat(100, 42.0);
+  LarPredictor lar(predictors::make_paper_pool(5), paper_config());
+  lar.train(flat);
+  EXPECT_TRUE(lar.trained());
+  EXPECT_DOUBLE_EQ(lar.normalizer().stddev(), 1.0);
+
+  for (int step = 0; step < 20; ++step) {
+    const auto forecast = lar.predict_next();
+    EXPECT_DOUBLE_EQ(forecast.value, 42.0) << "step " << step;
+    lar.observe(42.0);
+  }
+  // Residuals are exactly zero, so the warmed-up uncertainty is too.
+  EXPECT_DOUBLE_EQ(lar.predict_next().uncertainty, 0.0);
+}
+
 TEST(LarPredictor, ConstructionValidation) {
   EXPECT_THROW(LarPredictor(predictors::PredictorPool{}, paper_config()),
                InvalidArgument);

@@ -10,7 +10,8 @@
 namespace larp::core {
 namespace {
 
-LarPredictor trained_predictor(std::uint64_t seed, double sigma = 2.0) {
+LarPredictor trained_predictor_with(LarConfig config, std::uint64_t seed,
+                                    double sigma = 2.0) {
   Rng rng(seed);
   std::vector<double> series(400);
   double dev = 0.0;
@@ -18,11 +19,26 @@ LarPredictor trained_predictor(std::uint64_t seed, double sigma = 2.0) {
     dev = 0.8 * dev + rng.normal(0.0, sigma);
     x = 50.0 + dev;
   }
-  LarConfig config;
-  config.window = 5;
-  LarPredictor lar(predictors::make_paper_pool(5), config);
+  LarPredictor lar(predictors::make_paper_pool(config.window), config);
   lar.train(series);
   return lar;
+}
+
+LarPredictor trained_predictor(std::uint64_t seed, double sigma = 2.0) {
+  LarConfig config;
+  config.window = 5;
+  return trained_predictor_with(config, seed, sigma);
+}
+
+/// Resolves `count` predict/observe pairs and returns the next forecast.
+LarPredictor::Forecast resolve_and_predict(LarPredictor& lar, int count,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    (void)lar.predict_next();
+    lar.observe(50.0 + rng.normal(0.0, 2.0));
+  }
+  return lar.predict_next();
 }
 
 TEST(ForecastUncertainty, NaNUntilEnoughResolvedForecasts) {
@@ -67,6 +83,34 @@ TEST(ForecastUncertainty, TracksResidualScale) {
   }
   const auto steady = calm.predict_next();
   EXPECT_LT(steady.uncertainty, 5.0);
+}
+
+// The warm-up is derived from LarConfig::uncertainty_window (window / 8,
+// minimum 1), not a hard-coded count: the default window of 32 needs 4
+// resolved pairs, a window of 8 needs just 1.
+TEST(ForecastUncertainty, WarmupScalesWithUncertaintyWindow) {
+  LarConfig wide;
+  wide.window = 5;
+  wide.uncertainty_window = 32;
+  EXPECT_EQ(wide.uncertainty_warmup(), 4u);
+  auto lar32 = trained_predictor_with(wide, 21);
+  EXPECT_TRUE(std::isnan(resolve_and_predict(lar32, 3, 22).uncertainty));
+  auto lar32_warm = trained_predictor_with(wide, 21);
+  EXPECT_TRUE(std::isfinite(resolve_and_predict(lar32_warm, 4, 22).uncertainty));
+
+  LarConfig narrow;
+  narrow.window = 5;
+  narrow.uncertainty_window = 8;
+  EXPECT_EQ(narrow.uncertainty_warmup(), 1u);
+  auto lar8 = trained_predictor_with(narrow, 23);
+  EXPECT_TRUE(std::isnan(lar8.predict_next().uncertainty));
+  EXPECT_TRUE(std::isfinite(resolve_and_predict(lar8, 1, 24).uncertainty));
+}
+
+// A default-constructed Forecast must not look like a zero-uncertainty one.
+TEST(ForecastUncertainty, DefaultConstructedForecastIsNaN) {
+  const LarPredictor::Forecast forecast;
+  EXPECT_TRUE(std::isnan(forecast.uncertainty));
 }
 
 TEST(ForecastUncertainty, ObserveWithoutPredictDoesNotResolve) {

@@ -198,6 +198,77 @@ TEST(Knn, AddKeepsBackendsEquivalent) {
   }
 }
 
+// Incremental insertion must keep kd-tree queries exactly neighbour-identical
+// to brute force, across enough adds to cross several doubling rebuilds.
+TEST(Knn, IncrementalInsertMatchesBruteForceNeighbors) {
+  Rng rng(909);
+  const std::size_t initial = 24;
+  linalg::Matrix points(initial, 2);
+  std::vector<std::size_t> labels(initial);
+  for (std::size_t i = 0; i < initial; ++i) {
+    points(i, 0) = rng.uniform(-10, 10);
+    points(i, 1) = rng.uniform(-10, 10);
+    labels[i] = i % 3;
+  }
+  KnnClassifier brute(3, KnnBackend::BruteForce);
+  KnnClassifier tree(3, KnnBackend::KdTree);
+  brute.fit(points, labels);
+  tree.fit(points, labels);
+
+  // 24 -> ~400 points: the doubling rule rebuilds several times in between.
+  for (int i = 0; i < 380; ++i) {
+    const linalg::Vector p{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    brute.add(p, i % 3);
+    tree.add(p, i % 3);
+    const linalg::Vector q{rng.uniform(-12, 12), rng.uniform(-12, 12)};
+    const auto brute_hits = brute.neighbors(q);
+    const auto tree_hits = tree.neighbors(q);
+    ASSERT_EQ(brute_hits.size(), tree_hits.size()) << "after add " << i;
+    for (std::size_t h = 0; h < brute_hits.size(); ++h) {
+      ASSERT_EQ(brute_hits[h].index, tree_hits[h].index)
+          << "after add " << i << " neighbour " << h;
+      ASSERT_NEAR(brute_hits[h].squared_distance,
+                  tree_hits[h].squared_distance, 1e-9);
+    }
+  }
+  EXPECT_EQ(tree.size(), initial + 380);
+}
+
+// Adversarial insertion order (sorted points would degenerate a kd-tree
+// without rebalancing) must still return exact neighbours.
+TEST(Knn, IncrementalInsertSortedOrderStaysExact) {
+  KnnClassifier brute(3, KnnBackend::BruteForce);
+  KnnClassifier tree(3, KnnBackend::KdTree);
+  brute.fit(linalg::Matrix{{0.0, 0.0}}, {0});
+  tree.fit(linalg::Matrix{{0.0, 0.0}}, {0});
+  for (int i = 1; i <= 200; ++i) {
+    const linalg::Vector p{static_cast<double>(i), static_cast<double>(i)};
+    brute.add(p, i % 2);
+    tree.add(p, i % 2);
+  }
+  Rng rng(31);
+  for (int q = 0; q < 40; ++q) {
+    const linalg::Vector query{rng.uniform(0, 200), rng.uniform(0, 200)};
+    const auto brute_hits = brute.neighbors(query);
+    const auto tree_hits = tree.neighbors(query);
+    ASSERT_EQ(brute_hits.size(), tree_hits.size());
+    for (std::size_t h = 0; h < brute_hits.size(); ++h) {
+      EXPECT_EQ(brute_hits[h].index, tree_hits[h].index) << "query " << q;
+    }
+  }
+}
+
+TEST(KdTree, InsertIntoEmptyTreeAdoptsDimension) {
+  KdTree tree;
+  tree.insert(linalg::Vector{1.0, 2.0});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.dimension(), 2u);
+  const auto hits = tree.nearest(linalg::Vector{1.0, 2.0}, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].index, 0u);
+  EXPECT_THROW(tree.insert(linalg::Vector{1.0}), InvalidArgument);
+}
+
 TEST(KdTree, EmptyTree) {
   const KdTree tree;
   EXPECT_EQ(tree.size(), 0u);

@@ -55,6 +55,25 @@ TEST(Normalizer, ConstantSeriesMapsToZeros) {
   for (double z : norm.transform(xs)) EXPECT_DOUBLE_EQ(z, 0.0);
 }
 
+// The zero-variance path substitutes stddev 1, which makes the transform a
+// pure mean shift: the round trip must be exact (not just approximate) for
+// every value, on and off the flat level.
+TEST(Normalizer, ConstantSeriesRoundTripIsExact) {
+  const std::vector<double> flat(64, -7.25);
+  ZScoreNormalizer norm;
+  norm.fit(flat);
+  EXPECT_DOUBLE_EQ(norm.mean(), -7.25);
+  for (double x : {-7.25, 0.0, 12.5, -100.0}) {
+    EXPECT_DOUBLE_EQ(norm.inverse(norm.transform(x)), x);
+    EXPECT_DOUBLE_EQ(norm.transform(x), x + 7.25);  // unit-slope shift
+  }
+  const auto zs = norm.transform(flat);
+  const auto back = norm.inverse(zs);
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i], flat[i]);
+  }
+}
+
 TEST(Normalizer, TrainCoefficientsReplayOnTestData) {
   // The §6.2 leak-prevention property: test data normalized with TRAIN
   // statistics, not its own.

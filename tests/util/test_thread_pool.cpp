@@ -76,6 +76,36 @@ TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPool, ShutdownDrainsQueuedTasksAndIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&] { ++done; }));
+  }
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_EQ(done.load(), 32);  // queued work ran before the join
+  for (auto& f : futures) f.get();
+  pool.shutdown();  // second call is a no-op
+  EXPECT_TRUE(pool.stopped());
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForAfterShutdownThrowsWithoutHanging) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  std::atomic<int> count{0};
+  EXPECT_THROW(pool.parallel_for(0, 10, [&](std::size_t) { ++count; }),
+               std::runtime_error);
+  EXPECT_EQ(count.load(), 0);
+}
+
 TEST(ParallelMap, CollectsResultsInOrder) {
   const auto results = parallel_map(64, [](std::size_t i) {
     return static_cast<int>(i) * 3;

@@ -7,6 +7,7 @@
 //   larp_cli forecast     <csv> <column>      stream one-step forecasts (CSV)
 //   larp_cli walk         <csv> <column>      rolling-origin evaluation
 //   larp_cli export       <vm>  <out.csv>     write a catalog VM's trace suite
+//   larp_cli serve-sim                        multi-series PredictionEngine sim
 //
 // Common options:
 //   --window N       prediction window m            (default 5)
@@ -15,6 +16,10 @@
 //   --pool NAME      paper | extended                (default paper)
 //   --seed N         RNG seed                        (default 2007)
 //   --train-frac F   forecast: training prefix share (default 0.5)
+//   --series N       serve-sim: concurrent series    (default 256)
+//   --steps N        serve-sim: post-warm-up steps   (default 96)
+//   --threads N      serve-sim: worker threads (0 = all cores)
+//   --shards N       serve-sim: engine shards        (default 16)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,15 +28,19 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "core/applicability.hpp"
 #include "core/experiment.hpp"
 #include "core/lar_predictor.hpp"
 #include "core/report.hpp"
 #include "core/rolling.hpp"
+#include "serve/prediction_engine.hpp"
 #include "tracegen/catalog.hpp"
 #include "tracegen/characterize.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -47,6 +56,10 @@ struct Options {
   std::string pool = "paper";
   std::uint64_t seed = 2007;
   double train_fraction = 0.5;
+  std::size_t series = 256;
+  std::size_t steps = 96;
+  std::size_t threads = 0;
+  std::size_t shards = 16;
 };
 
 [[noreturn]] void usage(const char* message = nullptr) {
@@ -59,8 +72,10 @@ struct Options {
                "  forecast     <csv> <column>\n"
                "  walk         <csv> <column>\n"
                "  export       <vm>  <out.csv>\n"
+               "  serve-sim\n"
                "options: --window N --k N --folds N --pool paper|extended\n"
-               "         --seed N --train-frac F\n");
+               "         --seed N --train-frac F\n"
+               "         --series N --steps N --threads N --shards N (serve-sim)\n");
   std::exit(2);
 }
 
@@ -80,6 +95,10 @@ Options parse(int argc, char** argv) {
     else if (arg == "--pool") options.pool = next();
     else if (arg == "--seed") options.seed = std::stoull(next());
     else if (arg == "--train-frac") options.train_fraction = std::stod(next());
+    else if (arg == "--series") options.series = std::stoul(next());
+    else if (arg == "--steps") options.steps = std::stoul(next());
+    else if (arg == "--threads") options.threads = std::stoul(next());
+    else if (arg == "--shards") options.shards = std::stoul(next());
     else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
     else options.positional.push_back(arg);
   }
@@ -226,6 +245,84 @@ int cmd_walk(const Options& options) {
   return 0;
 }
 
+int cmd_serve_sim(const Options& options) {
+  if (options.series == 0 || options.steps == 0) {
+    usage("--series and --steps must be positive");
+  }
+  serve::EngineConfig config;
+  config.lar = make_config(options);
+  config.shards = options.shards;
+  config.threads = options.threads;
+  // Raw units.  The AR(1) streams below have a one-step forecast MSE around
+  // 4.4, so this fires only on genuinely degraded series, not on the noise
+  // floor.
+  config.quality.mse_threshold = 6.5;
+
+  serve::PredictionEngine engine(make_pool(options), config);
+
+  // One synthetic AR(1) stream per (host, metric) series, each with a
+  // private RNG split so results are independent of batch composition.
+  Rng parent(options.seed);
+  std::vector<tsdb::SeriesKey> keys(options.series);
+  std::vector<Rng> rngs;
+  std::vector<double> level(options.series, 0.0);
+  rngs.reserve(options.series);
+  for (std::size_t s = 0; s < options.series; ++s) {
+    keys[s] = {"host" + std::to_string(s / 8), "dev" + std::to_string(s % 8),
+               "metric"};
+    rngs.push_back(parent.split(s));
+  }
+  const auto sample = [&](std::size_t s) {
+    level[s] = 0.8 * level[s] + rngs[s].normal(0.0, 2.0);
+    return 50.0 + level[s];
+  };
+
+  std::vector<serve::Observation> batch(options.series);
+  const auto fill_batch = [&] {
+    for (std::size_t s = 0; s < options.series; ++s) {
+      batch[s] = {keys[s], sample(s)};
+    }
+  };
+
+  // Warm-up: feed until every series has lazily trained itself.
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < config.train_samples; ++i) {
+    fill_batch();
+    engine.observe(batch);
+  }
+
+  // Steady state: one predict + observe round per step, all series batched.
+  const auto t1 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < options.steps; ++i) {
+    (void)engine.predict(keys);
+    fill_batch();
+    engine.observe(batch);
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const auto stats = engine.stats();
+  const double steady_sec =
+      std::chrono::duration<double>(t2 - t1).count();
+  const double series_steps = static_cast<double>(options.series) *
+                              static_cast<double>(options.steps);
+  std::printf("serve-sim: %zu series x %zu steps, %zu shards, %zu threads\n",
+              options.series, options.steps, options.shards, engine.threads());
+  std::printf("  warm-up           %.3f s (%zu samples/series)\n",
+              std::chrono::duration<double>(t1 - t0).count(),
+              config.train_samples);
+  std::printf("  steady state      %.3f s -> %.0f series-steps/s\n",
+              steady_sec, series_steps / steady_sec);
+  std::printf("  trained series    %zu/%zu (trains %zu, retrains %zu, audits %zu)\n",
+              stats.trained_series, stats.series, stats.trains, stats.retrains,
+              stats.audits);
+  std::printf("  resolved          %zu forecasts, MAE %.4f, MSE %.4f\n",
+              stats.resolved, stats.mean_absolute_error,
+              stats.mean_squared_error);
+  std::printf("  engine time       observe %.3f s, predict %.3f s\n",
+              stats.observe_seconds, stats.predict_seconds);
+  return 0;
+}
+
 int cmd_export(const Options& options) {
   if (options.positional.size() < 2) usage("need <vm> <out.csv>");
   const auto suite = tracegen::make_vm_suite(options.positional[0],
@@ -260,6 +357,7 @@ int main(int argc, char** argv) {
     if (options.command == "forecast") return cmd_forecast(options);
     if (options.command == "walk") return cmd_walk(options);
     if (options.command == "export") return cmd_export(options);
+    if (options.command == "serve-sim") return cmd_serve_sim(options);
     usage(("unknown command " + options.command).c_str());
   } catch (const larp::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
