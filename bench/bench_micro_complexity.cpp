@@ -7,7 +7,14 @@
 //     the whole pool) — the paper's core efficiency claim.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
 #include "core/lar_predictor.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/toeplitz.hpp"
 #include "ml/framing.hpp"
 #include "ml/kdtree.hpp"
@@ -215,6 +222,177 @@ void BM_TraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceGeneration);
 
+// ---------------------------------------------------------------------------
+// Self-timed hot-path section (--hotpath_json=PATH): measures the scratch
+// query paths against the allocating reference paths — which keep the exact
+// pre-PR formulation (O(N) candidate buffer + partial_sort + std::map vote),
+// so the recorded speedup is a same-binary, same-run before/after comparison.
+// Emits a JSON fragment consumed by scripts/run_benchmarks.sh, which merges
+// it into BENCH_hotpath.json.
+// ---------------------------------------------------------------------------
+
+struct LatencyStats {
+  double ops_per_sec = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+/// Times `op()` once per sample and summarizes the per-op latency
+/// distribution.  Individual timing (not batch-averaged) so the percentiles
+/// are real per-call numbers.
+template <typename Op>
+LatencyStats measure(std::size_t samples, Op&& op) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> ns(samples);
+  double total = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto start = Clock::now();
+    op(i);
+    const double elapsed = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+    ns[i] = elapsed;
+    total += elapsed;
+  }
+  std::sort(ns.begin(), ns.end());
+  LatencyStats stats;
+  stats.ops_per_sec = static_cast<double>(samples) / (total * 1e-9);
+  stats.p50_ns = ns[samples / 2];
+  stats.p99_ns = ns[(samples * 99) / 100];
+  return stats;
+}
+
+void print_stats_json(std::FILE* out, const char* key,
+                      const LatencyStats& stats, bool trailing_comma) {
+  std::fprintf(out,
+               "    \"%s\": {\"ops_per_sec\": %.1f, \"p50_ns\": %.0f, "
+               "\"p99_ns\": %.0f}%s\n",
+               key, stats.ops_per_sec, stats.p50_ns, stats.p99_ns,
+               trailing_comma ? "," : "");
+}
+
+/// Allocating classify vs scratch classify on one backend; the JSON object
+/// carries both plus the throughput speedup.
+void bench_hotpath_classify(std::FILE* out, const char* key,
+                            ml::KnnBackend backend, std::size_t n,
+                            std::size_t samples, bool trailing_comma) {
+  constexpr std::size_t kDims = 2;
+  ml::KnnClassifier knn(3, backend);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = i % 3;
+  knn.fit(random_points(n, kDims, 21), labels);
+
+  // A pool of queries cycled through so the branch/cache behaviour is not
+  // one artificially hot query.
+  constexpr std::size_t kQueries = 256;
+  const auto queries = random_points(kQueries, kDims, 22);
+  const auto query = [&](std::size_t i) { return queries.row(i % kQueries); };
+
+  std::size_t sink = 0;
+  const auto baseline = measure(samples, [&](std::size_t i) {
+    sink += knn.classify(query(i));
+  });
+  ml::NeighborScratch scratch;
+  (void)knn.classify(query(0), scratch);  // warm the scratch capacity
+  const auto with_scratch = measure(samples, [&](std::size_t i) {
+    sink += knn.classify(query(i), scratch);
+  });
+  benchmark::DoNotOptimize(sink);
+
+  std::fprintf(out, "    \"%s\": {\n", key);
+  std::fprintf(out, "      \"index_size\": %zu, \"k\": 3,\n", n);
+  std::fprintf(out,
+               "      \"baseline\": {\"ops_per_sec\": %.1f, \"p50_ns\": %.0f, "
+               "\"p99_ns\": %.0f},\n",
+               baseline.ops_per_sec, baseline.p50_ns, baseline.p99_ns);
+  std::fprintf(out,
+               "      \"scratch\": {\"ops_per_sec\": %.1f, \"p50_ns\": %.0f, "
+               "\"p99_ns\": %.0f},\n",
+               with_scratch.ops_per_sec, with_scratch.p50_ns,
+               with_scratch.p99_ns);
+  std::fprintf(out, "      \"speedup\": %.2f\n",
+               with_scratch.ops_per_sec / baseline.ops_per_sec);
+  std::fprintf(out, "    }%s\n", trailing_comma ? "," : "");
+}
+
+void run_hotpath(const std::string& json_path, bool quick) {
+  namespace kernels = larp::linalg::kernels;
+  const std::size_t samples = quick ? 400 : 4000;
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "    \"isa\": \"%s\",\n",
+               kernels::active_isa() == kernels::Isa::Avx2 ? "avx2" : "scalar");
+  std::fprintf(out, "    \"samples_per_metric\": %zu,\n", samples);
+
+  // The acceptance metric: scratch classify vs the pre-PR allocating
+  // formulation on the brute-force backend.
+  bench_hotpath_classify(out, "knn_classify_bruteforce",
+                         ml::KnnBackend::BruteForce, 4096, samples, true);
+  bench_hotpath_classify(out, "knn_classify_kdtree", ml::KnnBackend::KdTree,
+                         4096, samples, true);
+
+  // The deployed LAR step (predict_next + observe): the end-to-end loop the
+  // zero-allocation contract covers.
+  {
+    const auto series = ar1_series(1000, 23);
+    core::LarConfig config;
+    config.window = 5;
+    core::LarPredictor lar(predictors::make_paper_pool(5), config);
+    lar.train(series);
+    const auto live = ar1_series(samples + 100, 24);
+    for (std::size_t i = 0; i < 100; ++i) {  // warm scratch + residual window
+      benchmark::DoNotOptimize(lar.predict_next());
+      lar.observe(live[i]);
+    }
+    const auto step = measure(samples, [&](std::size_t i) {
+      benchmark::DoNotOptimize(lar.predict_next());
+      lar.observe(live[100 + i]);
+    });
+    print_stats_json(out, "lar_deployed_step", step, false);
+  }
+
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("hotpath metrics written to %s\n", json_path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Custom flags (stripped before google-benchmark sees the arguments):
+  //   --hotpath_json=PATH  run the self-timed hot-path section, emit JSON
+  //   --hotpath_quick      fewer samples (CI smoke)
+  //   --hotpath_only       skip the registered google-benchmark suite
+  std::string json_path;
+  bool quick = false;
+  bool hotpath_only = false;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--hotpath_json=", 0) == 0) {
+      json_path = arg.substr(15);
+    } else if (arg == "--hotpath_quick") {
+      quick = true;
+    } else if (arg == "--hotpath_only") {
+      hotpath_only = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) run_hotpath(json_path, quick);
+  if (hotpath_only) return 0;
+
+  int pass_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&pass_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

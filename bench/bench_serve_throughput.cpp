@@ -16,6 +16,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -76,24 +78,31 @@ double engine_throughput(std::size_t threads, std::size_t series,
   return static_cast<double>(series) * static_cast<double>(steps) / elapsed;
 }
 
-void bench_engine_scaling() {
+struct ScalingPoint {
+  std::size_t threads = 0;
+  double rate = 0.0;
+};
+
+std::vector<ScalingPoint> bench_engine_scaling(bool quick) {
   const std::size_t cores =
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
   std::vector<std::size_t> thread_counts{1};
   if (cores / 2 > 1) thread_counts.push_back(cores / 2);
   if (cores > 1) thread_counts.push_back(cores);
 
-  constexpr std::size_t kSeries = 256;
-  constexpr std::size_t kSteps = 24;
+  const std::size_t series = quick ? 64 : 256;
+  const std::size_t steps = quick ? 8 : 24;
   std::printf("PredictionEngine throughput (%zu series, %zu steps/config)\n",
-              kSeries, kSteps);
+              series, steps);
   std::printf("%10s %20s %10s\n", "threads", "series-steps/s", "scaling");
   double base = 0.0;
   double best = 0.0;
+  std::vector<ScalingPoint> points;
   for (std::size_t threads : thread_counts) {
-    const double rate = engine_throughput(threads, kSeries, kSteps);
+    const double rate = engine_throughput(threads, series, steps);
     if (base == 0.0) base = rate;
     best = std::max(best, rate);
+    points.push_back({threads, rate});
     std::printf("%10zu %20.0f %9.2fx\n", threads, rate, rate / base);
   }
   if (cores == 1) {
@@ -102,9 +111,16 @@ void bench_engine_scaling() {
     std::printf("peak scaling 1 -> %zu threads: %.2fx (target > 2x)\n", cores,
                 best / base);
   }
+  return points;
 }
 
-void bench_kdtree_add() {
+struct AddPoint {
+  std::size_t index_size = 0;
+  double ns_per_add = 0.0;
+  double rebuild_ns = 0.0;
+};
+
+std::vector<AddPoint> bench_kdtree_add(bool quick) {
   // Amortized per-add cost, measured the way amortization is defined: grow
   // the index from N/2 to N points so the doubling-rule rebuild and the
   // backing vectors' geometric reallocations are charged against the adds
@@ -117,7 +133,10 @@ void bench_kdtree_add() {
   std::printf("\nKnnClassifier::add, kd-tree backend (index grown N/2 -> N)\n");
   std::printf("%12s %14s %14s %14s %10s\n", "index size", "ns/add",
               "/log2(N)", "rebuild ns", "speedup");
-  for (const std::size_t n : {1024u, 4096u, 16384u, 65536u, 262144u}) {
+  std::vector<AddPoint> results;
+  std::vector<std::size_t> sizes{1024, 4096, 16384, 65536, 262144};
+  if (quick) sizes = {1024, 16384};
+  for (const std::size_t n : sizes) {
     Rng rng(n);
     const std::size_t half = n / 2;
     linalg::Matrix points(half, 2);
@@ -146,16 +165,61 @@ void bench_kdtree_add() {
     const double log_n = std::log2(static_cast<double>(n));
     std::printf("%12zu %14.0f %14.1f %14.0f %9.0fx\n", n, ns_per_add,
                 ns_per_add / log_n, rebuild_ns, rebuild_ns / ns_per_add);
+    results.push_back({n, ns_per_add, rebuild_ns});
   }
+  return results;
+}
+
+void write_json(const char* path, const std::vector<ScalingPoint>& scaling,
+                const std::vector<AddPoint>& adds) {
+  std::FILE* out = std::fopen(path, "w");
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n    \"engine_scaling\": [\n");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    std::fprintf(out,
+                 "      {\"threads\": %zu, \"series_steps_per_sec\": %.0f}%s\n",
+                 scaling[i].threads, scaling[i].rate,
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n    \"kdtree_add\": [\n");
+  for (std::size_t i = 0; i < adds.size(); ++i) {
+    std::fprintf(out,
+                 "      {\"index_size\": %zu, \"ns_per_add\": %.0f, "
+                 "\"rebuild_ns\": %.0f}%s\n",
+                 adds[i].index_size, adds[i].ns_per_add, adds[i].rebuild_ns,
+                 i + 1 < adds.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n}\n");
+  std::fclose(out);
+  std::printf("\nserve metrics written to %s\n", path);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --json PATH : also emit the measurements as a JSON fragment
+  // --quick     : smaller workload (CI smoke)
+  const char* json_path = nullptr;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--quick]\n", argv[0]);
+      return 1;
+    }
+  }
   std::printf("================================================================\n");
   std::printf("bench_serve_throughput — sharded serving layer + online kd-tree\n");
   std::printf("================================================================\n\n");
-  bench_engine_scaling();
-  bench_kdtree_add();
+  const auto scaling = bench_engine_scaling(quick);
+  const auto adds = bench_kdtree_add(quick);
+  if (json_path) write_json(json_path, scaling, adds);
   return 0;
 }

@@ -1,7 +1,23 @@
 #!/usr/bin/env bash
 # Runs every benchmark binary and archives outputs under results/.
-# Usage: scripts/run_benchmarks.sh [build-dir] [results-dir]
+# Usage: scripts/run_benchmarks.sh [--hotpath-only] [--quick] [build-dir] [results-dir]
+#
+# The hot-path emitters (bench_micro_complexity --hotpath_json,
+# bench_serve_throughput --json) each write a JSON fragment; this script
+# merges them into $RESULTS_DIR/BENCH_hotpath.json — the recorded perf
+# trajectory (see docs/PERFORMANCE.md).  --hotpath-only runs just those two
+# emitters (the CI smoke job); --quick shrinks their workloads.
 set -euo pipefail
+
+HOTPATH_ONLY=0
+QUICK=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --hotpath-only) HOTPATH_ONLY=1; shift ;;
+    --quick) QUICK=1; shift ;;
+    *) break ;;
+  esac
+done
 
 BUILD_DIR="${1:-build}"
 RESULTS_DIR="${2:-results}"
@@ -13,6 +29,34 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
 fi
 
 mkdir -p "$RESULTS_DIR"
+
+emit_hotpath_json() {
+  local micro_args=("--hotpath_json=$RESULTS_DIR/.hotpath_micro.json" "--hotpath_only")
+  local serve_args=("--json" "$RESULTS_DIR/.hotpath_serve.json")
+  if [ "$QUICK" = 1 ]; then
+    micro_args+=("--hotpath_quick")
+    serve_args+=("--quick")
+  fi
+  echo "== hotpath: bench_micro_complexity"
+  "$BUILD_DIR/bench/bench_micro_complexity" "${micro_args[@]}"
+  echo "== hotpath: bench_serve_throughput"
+  "$BUILD_DIR/bench/bench_serve_throughput" "${serve_args[@]}"
+
+  # Merge the two fragments (each a complete JSON object) into one document.
+  {
+    echo "{"
+    echo "  \"micro\": $(cat "$RESULTS_DIR/.hotpath_micro.json"),"
+    echo "  \"serve\": $(cat "$RESULTS_DIR/.hotpath_serve.json")"
+    echo "}"
+  } > "$RESULTS_DIR/BENCH_hotpath.json"
+  rm -f "$RESULTS_DIR/.hotpath_micro.json" "$RESULTS_DIR/.hotpath_serve.json"
+  echo "hot-path trajectory written to $RESULTS_DIR/BENCH_hotpath.json"
+}
+
+if [ "$HOTPATH_ONLY" = 1 ]; then
+  emit_hotpath_json
+  exit 0
+fi
 
 for bench in "$BUILD_DIR"/bench/*; do
   name="$(basename "$bench")"
@@ -28,5 +72,7 @@ for bench in "$BUILD_DIR"/bench/*; do
   esac
   echo
 done
+
+emit_hotpath_json
 
 echo "all benchmark outputs archived under $RESULTS_DIR/"

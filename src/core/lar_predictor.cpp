@@ -42,18 +42,23 @@ std::vector<std::size_t> label_best_predictors(
   for (std::size_t i = 0; i < window; ++i) {
     pool.observe_all(normalized_series[i]);
   }
+  // Per-step buffers hoisted out of the walk: the labeling pass runs over
+  // every training window, so per-step vector churn shows up in train().
+  std::vector<double> forecasts;
+  std::vector<double> errors;
+  forecasts.reserve(pool.size());
+  errors.reserve(pool.size());
   for (std::size_t i = 0; i < count; ++i) {
     const auto win = normalized_series.subspan(i, window);
     const double target = normalized_series[i + window];
-    const auto forecasts = pool.predict_all(win);
+    pool.predict_all_into(win, forecasts);
     if (labeling == Labeling::StepAbsoluteError) {
       labels.push_back(selection::best_forecast_label(forecasts, target));
     } else {
       for (std::size_t p = 0; p < pool.size(); ++p) {
         trackers[p].add(forecasts[p], target);
       }
-      std::vector<double> errors;
-      errors.reserve(pool.size());
+      errors.clear();
       for (const auto& tracker : trackers) errors.push_back(tracker.value());
       labels.push_back(selection::argmin_label(errors));
     }
@@ -137,20 +142,19 @@ void LarPredictor::observe(double raw_value) {
   // best-predictor label, and grow the classifier's index.
   if (config_.online_learning && online_window_.size() == config_.window &&
       selector_->supports_online_learning()) {
-    const auto forecasts = pool_.predict_all(online_window_);
+    pool_.predict_all_into(online_window_, scratch_.forecasts);
     std::size_t label;
     if (config_.labeling == Labeling::StepAbsoluteError) {
-      label = selection::best_forecast_label(forecasts, z);
+      label = selection::best_forecast_label(scratch_.forecasts, z);
     } else {
       for (std::size_t p = 0; p < pool_.size(); ++p) {
-        online_label_trackers_[p].add(forecasts[p], z);
+        online_label_trackers_[p].add(scratch_.forecasts[p], z);
       }
-      std::vector<double> errors;
-      errors.reserve(pool_.size());
+      scratch_.errors.clear();
       for (const auto& tracker : online_label_trackers_) {
-        errors.push_back(tracker.value());
+        scratch_.errors.push_back(tracker.value());
       }
-      label = selection::argmin_label(errors);
+      label = selection::argmin_label(scratch_.errors);
     }
     selector_->learn(online_window_, label);
     ++online_windows_learned_;
@@ -164,15 +168,20 @@ void LarPredictor::observe(double raw_value) {
   ++observed_count_;
 }
 
-std::vector<double> LarPredictor::prediction_window() const {
+std::span<const double> LarPredictor::prediction_window() {
   if (online_window_.size() < config_.window) {
     throw StateError("LarPredictor: fewer observations than the window size");
   }
   if (!config_.predict_in_pca_space) return online_window_;
   // Ablation: run the expert on the PCA-reconstructed window, i.e. only the
-  // information the retained components carry (DESIGN.md §5).
-  const auto projected = pca_.transform(online_window_);
-  return pca_.inverse_transform(projected);
+  // information the retained components carry (DESIGN.md §5).  Both the
+  // projection and the reconstruction land in reusable scratch.
+  scratch_.reduced.resize(pca_.components());
+  scratch_.window.resize(config_.window);
+  pca_.transform_into(online_window_, std::span<double>(scratch_.reduced));
+  pca_.inverse_transform_into(scratch_.reduced,
+                              std::span<double>(scratch_.window));
+  return scratch_.window;
 }
 
 LarPredictor::Forecast LarPredictor::predict_next() {
@@ -182,7 +191,9 @@ LarPredictor::Forecast LarPredictor::predict_next() {
   std::size_t label;
   double z;
   if (config_.soft_vote) {
-    const auto weights = selector_->select_weights(online_window_, pool_.size());
+    selector_->select_weights_into(online_window_, pool_.size(),
+                                   scratch_.weights);
+    const auto& weights = scratch_.weights;
     z = 0.0;
     label = 0;  // reported label = the dominant vote
     double best_weight = -1.0;

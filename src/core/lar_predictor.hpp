@@ -108,7 +108,10 @@ class LarPredictor {
 
  private:
   void require_trained() const;
-  [[nodiscard]] std::vector<double> prediction_window() const;
+  /// The window the chosen expert predicts from: a view of online_window_,
+  /// or (predict_in_pca_space) the PCA-reconstructed window materialized in
+  /// scratch_.window.  Never allocates in steady state.
+  [[nodiscard]] std::span<const double> prediction_window();
 
   predictors::PredictorPool pool_;
   LarConfig config_;
@@ -129,6 +132,18 @@ class LarPredictor {
   // trackers continuing the training phase's labeling rule.
   std::vector<stats::WindowedMse> online_label_trackers_;
   std::size_t online_windows_learned_ = 0;
+
+  // Per-step scratch: every observe()/predict_next() buffer lives here and
+  // reuses its capacity across steps, so the steady-state hot path performs
+  // zero heap allocations (asserted by the allocation-counter test).
+  struct StepScratch {
+    std::vector<double> forecasts;  // pool predict_all_into results
+    std::vector<double> errors;     // per-member tracker errors for labeling
+    std::vector<double> weights;    // soft-vote weights
+    std::vector<double> reduced;    // PCA projection (predict_in_pca_space)
+    std::vector<double> window;     // reconstructed window (pca-space mode)
+  };
+  StepScratch scratch_;
 };
 
 /// Labels every supervised window of a normalized series by running all pool

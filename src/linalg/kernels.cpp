@@ -1,0 +1,361 @@
+#include "linalg/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/error.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define LARP_KERNELS_AVX2 1
+#include <immintrin.h>
+#else
+#define LARP_KERNELS_AVX2 0
+#endif
+
+namespace larp::linalg::kernels {
+
+// ---------------------------------------------------------------------------
+// Scalar variants.  Reductions use four explicit lanes (element i mod 4) and
+// the (l0+l2)+(l1+l3) combine so they execute the exact IEEE operation
+// sequence of the AVX2 variants — this is what makes dispatch bit-identical.
+// The lane structure also hands the compiler an auto-vectorizable loop with
+// no cross-iteration dependence.
+// ---------------------------------------------------------------------------
+namespace {
+
+double dot_scalar(const double* a, const double* b, std::size_t n) noexcept {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += a[i] * b[i];
+    l1 += a[i + 1] * b[i + 1];
+    l2 += a[i + 2] * b[i + 2];
+    l3 += a[i + 3] * b[i + 3];
+  }
+  double sum = (l0 + l2) + (l1 + l3);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double dot_centered_scalar(const double* a, const double* b, std::size_t n,
+                           double center) noexcept {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += a[i] * (b[i] - center);
+    l1 += a[i + 1] * (b[i + 1] - center);
+    l2 += a[i + 2] * (b[i + 2] - center);
+    l3 += a[i + 3] * (b[i + 3] - center);
+  }
+  double sum = (l0 + l2) + (l1 + l3);
+  for (; i < n; ++i) sum += a[i] * (b[i] - center);
+  return sum;
+}
+
+double squared_distance_scalar(const double* a, const double* b,
+                               std::size_t n) noexcept {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    l0 += d0 * d0;
+    l1 += d1 * d1;
+    l2 += d2 * d2;
+    l3 += d3 * d3;
+  }
+  double sum = (l0 + l2) + (l1 + l3);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+void batch_squared_distance_scalar(const double* points, std::size_t n_points,
+                                   std::size_t dims, const double* query,
+                                   double* out) noexcept {
+  if (dims == 2) {
+    // The paper's configuration: 2 PCA components.  Each distance is the
+    // two-term sum d0^2 + d1^2 — the same operation sequence the per-point
+    // kernel's sequential tail performs, so values stay bit-identical.
+    const double q0 = query[0], q1 = query[1];
+    for (std::size_t i = 0; i < n_points; ++i) {
+      const double d0 = points[2 * i] - q0;
+      const double d1 = points[2 * i + 1] - q1;
+      out[i] = d0 * d0 + d1 * d1;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n_points; ++i) {
+    out[i] = squared_distance_scalar(points + i * dims, query, dims);
+  }
+}
+
+void axpy_scalar(double alpha, const double* x, double* y,
+                 std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void zscore_scalar(const double* x, std::size_t n, double mean, double stddev,
+                   double* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = (x[i] - mean) / stddev;
+}
+
+void zscore_inverse_scalar(const double* x, std::size_t n, double mean,
+                           double stddev, double* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = mean + x[i] * stddev;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 variants.  Plain vmulpd/vaddpd only — no FMA contraction, so every
+// lane performs the same two roundings as the scalar code.
+// ---------------------------------------------------------------------------
+#if LARP_KERNELS_AVX2
+
+__attribute__((target("avx2"))) double reduce4(__m256d acc) noexcept {
+  const __m128d lo = _mm256_castpd256_pd128(acc);       // lanes 0, 1
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);     // lanes 2, 3
+  const __m128d pair = _mm_add_pd(lo, hi);              // [l0+l2, l1+l3]
+  return _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+}
+
+__attribute__((target("avx2"))) double dot_avx2(const double* a,
+                                                const double* b,
+                                                std::size_t n) noexcept {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  double sum = reduce4(acc);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("avx2"))) double dot_centered_avx2(
+    const double* a, const double* b, std::size_t n, double center) noexcept {
+  const __m256d vcenter = _mm256_set1_pd(center);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d centered =
+        _mm256_sub_pd(_mm256_loadu_pd(b + i), vcenter);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), centered));
+  }
+  double sum = reduce4(acc);
+  for (; i < n; ++i) sum += a[i] * (b[i] - center);
+  return sum;
+}
+
+__attribute__((target("avx2"))) double squared_distance_avx2(
+    const double* a, const double* b, std::size_t n) noexcept {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  double sum = reduce4(acc);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) void batch_squared_distance_avx2(
+    const double* points, std::size_t n_points, std::size_t dims,
+    const double* query, double* out) noexcept {
+  if (dims == 2) {
+    // Four points per iteration: two 256-bit loads hold points [i, i+1] and
+    // [i+2, i+3] as interleaved (x, y) pairs.  hadd_pd sums each pair
+    // in-lane — the same single d0^2 + d1^2 addition as the scalar path —
+    // and yields [d_i, d_{i+2}, d_{i+1}, d_{i+3}], which permute4x64
+    // reorders to memory order.
+    const __m256d q = _mm256_setr_pd(query[0], query[1], query[0], query[1]);
+    std::size_t i = 0;
+    for (; i + 4 <= n_points; i += 4) {
+      const __m256d d01 = _mm256_sub_pd(_mm256_loadu_pd(points + 2 * i), q);
+      const __m256d d23 =
+          _mm256_sub_pd(_mm256_loadu_pd(points + 2 * i + 4), q);
+      const __m256d sums =
+          _mm256_hadd_pd(_mm256_mul_pd(d01, d01), _mm256_mul_pd(d23, d23));
+      _mm256_storeu_pd(out + i,
+                       _mm256_permute4x64_pd(sums, _MM_SHUFFLE(3, 1, 2, 0)));
+    }
+    const double q0 = query[0], q1 = query[1];
+    for (; i < n_points; ++i) {
+      const double d0 = points[2 * i] - q0;
+      const double d1 = points[2 * i + 1] - q1;
+      out[i] = d0 * d0 + d1 * d1;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n_points; ++i) {
+    out[i] = squared_distance_avx2(points + i * dims, query, dims);
+  }
+}
+
+__attribute__((target("avx2"))) void axpy_avx2(double alpha, const double* x,
+                                               double* y,
+                                               std::size_t n) noexcept {
+  const __m256d valpha = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d updated = _mm256_add_pd(
+        _mm256_loadu_pd(y + i), _mm256_mul_pd(valpha, _mm256_loadu_pd(x + i)));
+    _mm256_storeu_pd(y + i, updated);
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2"))) void zscore_avx2(const double* x, std::size_t n,
+                                                 double mean, double stddev,
+                                                 double* out) noexcept {
+  const __m256d vmean = _mm256_set1_pd(mean);
+  const __m256d vstd = _mm256_set1_pd(stddev);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_div_pd(_mm256_sub_pd(_mm256_loadu_pd(x + i), vmean), vstd));
+  }
+  for (; i < n; ++i) out[i] = (x[i] - mean) / stddev;
+}
+
+__attribute__((target("avx2"))) void zscore_inverse_avx2(
+    const double* x, std::size_t n, double mean, double stddev,
+    double* out) noexcept {
+  const __m256d vmean = _mm256_set1_pd(mean);
+  const __m256d vstd = _mm256_set1_pd(stddev);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_add_pd(vmean, _mm256_mul_pd(_mm256_loadu_pd(x + i), vstd)));
+  }
+  for (; i < n; ++i) out[i] = mean + x[i] * stddev;
+}
+
+#endif  // LARP_KERNELS_AVX2
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+Isa detect() noexcept {
+#if LARP_KERNELS_AVX2
+  if (__builtin_cpu_supports("avx2")) return Isa::Avx2;
+#endif
+  return Isa::Scalar;
+}
+
+std::atomic<Isa>& active_slot() noexcept {
+  static std::atomic<Isa> slot{detect()};
+  return slot;
+}
+
+inline bool use_avx2() noexcept {
+#if LARP_KERNELS_AVX2
+  return active_slot().load(std::memory_order_relaxed) == Isa::Avx2;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+Isa detected_isa() noexcept {
+  static const Isa isa = detect();
+  return isa;
+}
+
+Isa active_isa() noexcept {
+  return active_slot().load(std::memory_order_relaxed);
+}
+
+bool avx2_available() noexcept { return detected_isa() == Isa::Avx2; }
+
+void force_isa(std::optional<Isa> isa) {
+  if (isa && *isa == Isa::Avx2 && !avx2_available()) {
+    throw InvalidArgument("kernels::force_isa: AVX2 not supported on this host");
+  }
+  active_slot().store(isa.value_or(detected_isa()), std::memory_order_relaxed);
+}
+
+double dot(const double* a, const double* b, std::size_t n) noexcept {
+#if LARP_KERNELS_AVX2
+  if (use_avx2()) return dot_avx2(a, b, n);
+#endif
+  return dot_scalar(a, b, n);
+}
+
+double dot_centered(const double* a, const double* b, std::size_t n,
+                    double center) noexcept {
+#if LARP_KERNELS_AVX2
+  if (use_avx2()) return dot_centered_avx2(a, b, n, center);
+#endif
+  return dot_centered_scalar(a, b, n, center);
+}
+
+double squared_distance(const double* a, const double* b,
+                        std::size_t n) noexcept {
+#if LARP_KERNELS_AVX2
+  if (use_avx2()) return squared_distance_avx2(a, b, n);
+#endif
+  return squared_distance_scalar(a, b, n);
+}
+
+void batch_squared_distance(const double* points, std::size_t n_points,
+                            std::size_t dims, const double* query,
+                            double* out) noexcept {
+  if (n_points == 0) return;  // the fast paths pre-load query components
+#if LARP_KERNELS_AVX2
+  if (use_avx2()) {
+    return batch_squared_distance_avx2(points, n_points, dims, query, out);
+  }
+#endif
+  batch_squared_distance_scalar(points, n_points, dims, query, out);
+}
+
+void axpy(double alpha, const double* x, double* y, std::size_t n) noexcept {
+#if LARP_KERNELS_AVX2
+  if (use_avx2()) return axpy_avx2(alpha, x, y, n);
+#endif
+  axpy_scalar(alpha, x, y, n);
+}
+
+void zscore(const double* x, std::size_t n, double mean, double stddev,
+            double* out) noexcept {
+#if LARP_KERNELS_AVX2
+  if (use_avx2()) return zscore_avx2(x, n, mean, stddev, out);
+#endif
+  zscore_scalar(x, n, mean, stddev, out);
+}
+
+void zscore_inverse(const double* x, std::size_t n, double mean, double stddev,
+                    double* out) noexcept {
+#if LARP_KERNELS_AVX2
+  if (use_avx2()) return zscore_inverse_avx2(x, n, mean, stddev, out);
+#endif
+  zscore_inverse_scalar(x, n, mean, stddev, out);
+}
+
+void project_centered(const double* x, const double* mu, const double* basis,
+                      std::size_t m, std::size_t n, double* out) noexcept {
+  std::fill(out, out + n, 0.0);
+  // Row sweep: each row of the basis contributes alpha_i * A(i, :) to the
+  // output, so the inner loop is contiguous in A and vectorizes — and the
+  // per-component accumulation order over i matches the naive column-dot
+  // formulation exactly (same additions, same order).
+  for (std::size_t i = 0; i < m; ++i) {
+    axpy(x[i] - mu[i], basis + i * n, out, n);
+  }
+}
+
+}  // namespace larp::linalg::kernels

@@ -1,0 +1,92 @@
+// larp::linalg::kernels — the vectorized primitives under the serving hot
+// path (observe -> frame -> normalize -> PCA-project -> kNN -> forecast).
+//
+// Every kernel has a scalar implementation and, on x86-64 builds, an AVX2
+// variant selected once at startup by runtime CPUID detection.  The two are
+// BIT-IDENTICAL by construction: both accumulate reductions in the same four
+// virtual lanes (element i lands in lane i mod 4), combine the lanes in the
+// same (l0+l2)+(l1+l3) order, process the tail sequentially afterwards, and
+// neither uses FMA contraction — so forecasts do not depend on the host CPU,
+// which the dispatch-parity tests assert.
+//
+// Dispatch can be overridden (force_isa) so tests and benchmarks can pin
+// either variant; the override is process-global and not thread-safe against
+// concurrent kernel calls — set it up front, as the tests do.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace larp::linalg::kernels {
+
+/// Instruction set an individual kernel call runs with.
+enum class Isa {
+  Scalar,  // portable C++, auto-vectorizable, 4-lane accumulation
+  Avx2,    // 256-bit AVX2 intrinsics (x86-64 only)
+};
+
+/// Best ISA the running CPU supports (detected once, cached).
+[[nodiscard]] Isa detected_isa() noexcept;
+
+/// ISA the kernels currently dispatch to (override or detected).
+[[nodiscard]] Isa active_isa() noexcept;
+
+/// True when the AVX2 variant exists in this build AND the CPU supports it.
+[[nodiscard]] bool avx2_available() noexcept;
+
+/// Test/bench override: force dispatch to `isa` (std::nullopt restores
+/// autodetection).  Throws InvalidArgument when forcing Avx2 on a host
+/// without AVX2 support.
+void force_isa(std::optional<Isa> isa);
+
+/// RAII guard for force_isa in tests.
+class IsaOverrideGuard {
+ public:
+  explicit IsaOverrideGuard(Isa isa) { force_isa(isa); }
+  ~IsaOverrideGuard() { force_isa(std::nullopt); }
+  IsaOverrideGuard(const IsaOverrideGuard&) = delete;
+  IsaOverrideGuard& operator=(const IsaOverrideGuard&) = delete;
+};
+
+/// sum_i a[i] * b[i]
+[[nodiscard]] double dot(const double* a, const double* b,
+                         std::size_t n) noexcept;
+
+/// sum_i a[i] * (b[i] - center) — the AR coefficient product on a
+/// mean-centered window without materializing the centered copy.
+[[nodiscard]] double dot_centered(const double* a, const double* b,
+                                  std::size_t n, double center) noexcept;
+
+/// sum_i (a[i] - b[i])^2 — the kNN / kd-tree / centroid distance kernel.
+[[nodiscard]] double squared_distance(const double* a, const double* b,
+                                      std::size_t n) noexcept;
+
+/// out[i] = squared distance from `query` to row i of a row-major
+/// (n_points x dims) block — the brute-force kNN scan as ONE kernel call,
+/// so dispatch happens once per scan instead of once per point and the
+/// dims == 2 case (the paper's PCA-reduced windows) vectorizes ACROSS
+/// points.  Each out[i] is bit-identical to squared_distance on that row.
+void batch_squared_distance(const double* points, std::size_t n_points,
+                            std::size_t dims, const double* query,
+                            double* out) noexcept;
+
+/// y[i] += alpha * x[i]
+void axpy(double alpha, const double* x, double* y, std::size_t n) noexcept;
+
+/// out[i] = (x[i] - mean) / stddev — batched z-score (sub+div keeps the
+/// exact rounding of the scalar ZScoreNormalizer::transform).
+void zscore(const double* x, std::size_t n, double mean, double stddev,
+            double* out) noexcept;
+
+/// out[i] = mean + x[i] * stddev — batched inverse z-score.
+void zscore_inverse(const double* x, std::size_t n, double mean, double stddev,
+                    double* out) noexcept;
+
+/// gemv-style centered projection: out[j] = sum_i (x[i] - mu[i]) * A(i, j)
+/// for a row-major m x n matrix A (leading dimension = n).  Implemented as a
+/// row sweep of axpy so the inner loop is contiguous in A — this is the PCA
+/// projection x -> basis^T (x - mu) without per-sample temporaries.
+void project_centered(const double* x, const double* mu, const double* basis,
+                      std::size_t m, std::size_t n, double* out) noexcept;
+
+}  // namespace larp::linalg::kernels

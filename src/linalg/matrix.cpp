@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "linalg/kernels.hpp"
 #include "util/error.hpp"
 
 namespace larp::linalg {
@@ -194,25 +195,16 @@ std::string Matrix::describe() const {
 
 double dot(std::span<const double> a, std::span<const double> b) {
   if (a.size() != b.size()) throw InvalidArgument("dot: length mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::dot(a.data(), b.data(), a.size());
 }
 
 double norm(std::span<const double> xs) noexcept {
-  double acc = 0.0;
-  for (double x : xs) acc += x * x;
-  return std::sqrt(acc);
+  return std::sqrt(kernels::dot(xs.data(), xs.data(), xs.size()));
 }
 
 double squared_distance(std::span<const double> a, std::span<const double> b) {
   if (a.size() != b.size()) throw InvalidArgument("squared_distance: length mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return kernels::squared_distance(a.data(), b.data(), a.size());
 }
 
 double distance(std::span<const double> a, std::span<const double> b) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/kernels.hpp"
 #include "util/error.hpp"
 
 namespace larp::ml {
@@ -118,11 +119,9 @@ void KdTree::search(std::int32_t node_id, std::span<const double> query,
   const Node& node = nodes_[node_id];
   const auto point = points_.row(node.point);
 
-  double sq = 0.0;
-  for (std::size_t d = 0; d < query.size(); ++d) {
-    const double diff = query[d] - point[d];
-    sq += diff * diff;
-  }
+  const double sq = linalg::kernels::squared_distance(query.data(),
+                                                      point.data(),
+                                                      query.size());
   const Neighbor candidate{node.point, sq};
   if (heap.size() < k) {
     heap.push_back(candidate);
@@ -147,16 +146,24 @@ void KdTree::search(std::int32_t node_id, std::span<const double> query,
 
 std::vector<Neighbor> KdTree::nearest(std::span<const double> query,
                                       std::size_t k) const {
+  NeighborScratch scratch;
+  const auto hits = nearest(query, k, scratch);
+  return {hits.begin(), hits.end()};
+}
+
+std::span<const Neighbor> KdTree::nearest(std::span<const double> query,
+                                          std::size_t k,
+                                          NeighborScratch& scratch) const {
+  scratch.heap.clear();
   if (size() == 0 || k == 0) return {};
   if (query.size() != dimension()) {
     throw InvalidArgument("KdTree::nearest: query dimension mismatch");
   }
   k = std::min(k, size());
-  std::vector<Neighbor> heap;
-  heap.reserve(k);
-  search(root_, query, k, heap);
-  std::sort_heap(heap.begin(), heap.end(), heap_less);
-  return heap;
+  scratch.heap.reserve(k);
+  search(root_, query, k, scratch.heap);
+  std::sort_heap(scratch.heap.begin(), scratch.heap.end(), heap_less);
+  return scratch.heap;
 }
 
 }  // namespace larp::ml

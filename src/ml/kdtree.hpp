@@ -29,6 +29,16 @@ struct Neighbor {
   double squared_distance;
 };
 
+/// Caller-owned scratch for allocation-free k-NN queries: the k-best heap
+/// and the vote counts reuse their capacity across queries, so steady-state
+/// nearest()/classify() calls perform zero heap allocations.  One scratch
+/// instance per querying thread; a scratch must not be shared concurrently.
+struct NeighborScratch {
+  std::vector<Neighbor> heap;       // k-best candidates, sorted on return
+  std::vector<std::size_t> votes;   // per-label counts (KnnClassifier)
+  std::vector<double> distances;    // batched brute-force distance sweep
+};
+
 class KdTree {
  public:
   KdTree() = default;
@@ -44,6 +54,14 @@ class KdTree {
   /// when distances are equal).  k is clamped to size().
   [[nodiscard]] std::vector<Neighbor> nearest(std::span<const double> query,
                                               std::size_t k) const;
+
+  /// Allocation-free variant: the result lives in scratch.heap (sorted
+  /// ascending, same order as the allocating overload) and the returned span
+  /// views it.  Steady-state queries reuse the scratch capacity and perform
+  /// no heap allocations.
+  std::span<const Neighbor> nearest(std::span<const double> query,
+                                    std::size_t k,
+                                    NeighborScratch& scratch) const;
 
   /// Appends one point to the index (its index is the previous size()).
   /// O(depth) leaf insertion; a full rebalance runs once the inserted

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "linalg/kernels.hpp"
 #include "util/error.hpp"
 
 namespace larp::ml {
@@ -21,6 +22,7 @@ void KnnClassifier::fit(linalg::Matrix points, std::vector<std::size_t> labels) 
   }
   points_ = std::move(points);
   labels_ = std::move(labels);
+  max_label_ = *std::max_element(labels_.begin(), labels_.end());
   if (backend_ == KnnBackend::KdTree) {
     tree_.emplace(points_);
   } else {
@@ -36,6 +38,7 @@ void KnnClassifier::add(std::span<const double> point, std::size_t label) {
   }
   points_.append_row(point);
   labels_.push_back(label);
+  max_label_ = std::max(max_label_, label);
   if (tree_) tree_->insert(point);  // amortized O(log N) incremental insert
 }
 
@@ -70,6 +73,50 @@ std::vector<Neighbor> KnnClassifier::neighbors(
   return all;
 }
 
+std::span<const Neighbor> KnnClassifier::neighbors(
+    std::span<const double> query, NeighborScratch& scratch) const {
+  require_fitted();
+  if (query.size() != points_.cols()) {
+    throw InvalidArgument("KnnClassifier: query dimension mismatch");
+  }
+  const std::size_t k = std::min(k_, points_.rows());
+
+  if (tree_) return tree_->nearest(query, k, scratch);
+
+  // Brute force without the O(N) candidate buffer: one batched kernel call
+  // sweeps every distance into scratch (dispatch + vectorization across
+  // points, not per point), then a k-bounded max-heap keeps the best.  The
+  // comparator matches the allocating path's partial_sort ordering
+  // (distance, then index), so the retained set and its order are identical.
+  const auto heap_less = [](const Neighbor& a, const Neighbor& b) {
+    if (a.squared_distance != b.squared_distance) {
+      return a.squared_distance < b.squared_distance;
+    }
+    return a.index < b.index;
+  };
+  auto& heap = scratch.heap;
+  heap.clear();
+  heap.reserve(k);
+  const std::size_t rows = points_.rows();
+  scratch.distances.resize(rows);
+  linalg::kernels::batch_squared_distance(points_.data().data(), rows,
+                                          points_.cols(), query.data(),
+                                          scratch.distances.data());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const Neighbor candidate{i, scratch.distances[i]};
+    if (heap.size() < k) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), heap_less);
+    } else if (heap_less(candidate, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), heap_less);
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end(), heap_less);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), heap_less);
+  return heap;
+}
+
 std::size_t KnnClassifier::label_of(std::size_t index) const {
   require_fitted();
   if (index >= labels_.size()) {
@@ -84,6 +131,25 @@ std::size_t KnnClassifier::classify(std::span<const double> query) const {
   votes.reserve(hits.size());
   for (const auto& hit : hits) votes.push_back(labels_[hit.index]);
   return majority_vote(votes);
+}
+
+std::size_t KnnClassifier::classify(std::span<const double> query,
+                                    NeighborScratch& scratch) const {
+  const auto hits = neighbors(query, scratch);
+  // Flat majority vote: counts indexed by label, scanned ascending so ties
+  // resolve to the smallest label — the same convention as majority_vote's
+  // ordered-map walk.  assign() reuses the vector's capacity.
+  scratch.votes.assign(max_label_ + 1, 0);
+  for (const auto& hit : hits) ++scratch.votes[labels_[hit.index]];
+  std::size_t winner = 0;
+  std::size_t best = 0;
+  for (std::size_t label = 0; label < scratch.votes.size(); ++label) {
+    if (scratch.votes[label] > best) {
+      best = scratch.votes[label];
+      winner = label;
+    }
+  }
+  return winner;
 }
 
 std::vector<std::size_t> KnnClassifier::classify(

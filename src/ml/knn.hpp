@@ -44,8 +44,19 @@ class KnnClassifier {
   [[nodiscard]] KnnBackend backend() const noexcept { return backend_; }
 
   /// The k nearest training points, ascending distance (index tiebreak).
+  /// Allocates its result; doubles as the reference implementation the
+  /// scratch path is tested against (brute force keeps the full scan +
+  /// partial-sort formulation here).
   [[nodiscard]] std::vector<Neighbor> neighbors(
       std::span<const double> query) const;
+
+  /// Allocation-free variant: results live in scratch.heap and the returned
+  /// span views them.  Neighbour-for-neighbour identical to the allocating
+  /// overload across both backends (asserted by the parity tests); the
+  /// brute-force backend additionally drops the O(N) candidate buffer for a
+  /// k-bounded heap.
+  std::span<const Neighbor> neighbors(std::span<const double> query,
+                                      NeighborScratch& scratch) const;
 
   /// Class label of the indexed training point (for vote-share queries).
   [[nodiscard]] std::size_t label_of(std::size_t index) const;
@@ -54,6 +65,12 @@ class KnnClassifier {
   /// the smallest label value, matching the paper's class numbering
   /// (1-LAST < 2-AR < 3-SW_AVG).
   [[nodiscard]] std::size_t classify(std::span<const double> query) const;
+
+  /// Allocation-free classify: neighbour search and majority vote run
+  /// entirely in caller-owned scratch (flat per-label counts instead of a
+  /// node-allocating std::map).  Same result as classify(query).
+  std::size_t classify(std::span<const double> query,
+                       NeighborScratch& scratch) const;
 
   /// classify() for every row of a query matrix.
   [[nodiscard]] std::vector<std::size_t> classify(
@@ -66,6 +83,7 @@ class KnnClassifier {
   KnnBackend backend_;
   linalg::Matrix points_;
   std::vector<std::size_t> labels_;
+  std::size_t max_label_ = 0;  // bound for flat vote counting
   std::optional<KdTree> tree_;
   bool fitted_ = false;
 };

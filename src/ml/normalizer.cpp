@@ -1,5 +1,6 @@
 #include "ml/normalizer.hpp"
 
+#include "linalg/kernels.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -24,10 +25,18 @@ double ZScoreNormalizer::transform(double x) const {
 
 std::vector<double> ZScoreNormalizer::transform(std::span<const double> xs) const {
   require_fitted();
-  std::vector<double> out;
-  out.reserve(xs.size());
-  for (double x : xs) out.push_back((x - mean_) / stddev_);
+  std::vector<double> out(xs.size());
+  transform_into(xs, out);
   return out;
+}
+
+void ZScoreNormalizer::transform_into(std::span<const double> xs,
+                                      std::span<double> out) const {
+  require_fitted();
+  if (xs.size() != out.size()) {
+    throw InvalidArgument("ZScoreNormalizer::transform_into: size mismatch");
+  }
+  linalg::kernels::zscore(xs.data(), xs.size(), mean_, stddev_, out.data());
 }
 
 double ZScoreNormalizer::inverse(double z) const {
@@ -37,10 +46,19 @@ double ZScoreNormalizer::inverse(double z) const {
 
 std::vector<double> ZScoreNormalizer::inverse(std::span<const double> zs) const {
   require_fitted();
-  std::vector<double> out;
-  out.reserve(zs.size());
-  for (double z : zs) out.push_back(mean_ + z * stddev_);
+  std::vector<double> out(zs.size());
+  inverse_into(zs, out);
   return out;
+}
+
+void ZScoreNormalizer::inverse_into(std::span<const double> zs,
+                                    std::span<double> out) const {
+  require_fitted();
+  if (zs.size() != out.size()) {
+    throw InvalidArgument("ZScoreNormalizer::inverse_into: size mismatch");
+  }
+  linalg::kernels::zscore_inverse(zs.data(), zs.size(), mean_, stddev_,
+                                  out.data());
 }
 
 }  // namespace larp::ml

@@ -27,9 +27,17 @@ class ZScoreNormalizer {
   [[nodiscard]] double transform(double x) const;
   [[nodiscard]] std::vector<double> transform(std::span<const double> xs) const;
 
+  /// Batched, allocation-free transform into caller-owned storage (same
+  /// length as the input; in-place xs == out is fine).  Vectorized through
+  /// the linalg kernel layer with rounding identical to the scalar overload.
+  void transform_into(std::span<const double> xs, std::span<double> out) const;
+
   /// mean + z * stddev.
   [[nodiscard]] double inverse(double z) const;
   [[nodiscard]] std::vector<double> inverse(std::span<const double> zs) const;
+
+  /// Batched, allocation-free inverse into caller-owned storage.
+  void inverse_into(std::span<const double> zs, std::span<double> out) const;
 
  private:
   void require_fitted() const;

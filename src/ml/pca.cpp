@@ -4,6 +4,7 @@
 
 #include "linalg/covariance.hpp"
 #include "linalg/eigen.hpp"
+#include "linalg/kernels.hpp"
 #include "util/error.hpp"
 
 namespace larp::ml {
@@ -69,19 +70,31 @@ linalg::Vector Pca::explained_variance_ratio() const {
   return ratio;
 }
 
-linalg::Vector Pca::transform(std::span<const double> sample) const {
+void Pca::transform_into(std::span<const double> sample,
+                         std::span<double> out) const {
   require_fitted();
   if (sample.size() != dimension_) {
     throw InvalidArgument("Pca::transform: sample dimension mismatch");
   }
-  linalg::Vector reduced(components_, 0.0);
-  for (std::size_t c = 0; c < components_; ++c) {
-    double acc = 0.0;
-    for (std::size_t r = 0; r < dimension_; ++r) {
-      acc += (sample[r] - means_[r]) * basis_(r, c);
-    }
-    reduced[c] = acc;
+  if (out.size() != components_) {
+    throw InvalidArgument("Pca::transform_into: output size mismatch");
   }
+  linalg::kernels::project_centered(sample.data(), means_.data(),
+                                    basis_.data().data(), dimension_,
+                                    components_, out.data());
+}
+
+void Pca::transform_into(std::span<const double> sample,
+                         linalg::Vector& out) const {
+  require_fitted();
+  out.resize(components_);
+  transform_into(sample, std::span<double>(out));
+}
+
+linalg::Vector Pca::transform(std::span<const double> sample) const {
+  require_fitted();
+  linalg::Vector reduced(components_, 0.0);
+  transform_into(sample, std::span<double>(reduced));
   return reduced;
 }
 
@@ -90,29 +103,39 @@ linalg::Matrix Pca::transform(const linalg::Matrix& samples) const {
   if (samples.cols() != dimension_) {
     throw InvalidArgument("Pca::transform: sample dimension mismatch");
   }
+  // Single pass: project each row directly into the output matrix — no
+  // per-row temporary Vector, no per-row dimension re-validation.
   linalg::Matrix reduced(samples.rows(), components_);
+  const double* in = samples.data().data();
+  double* out = reduced.data().data();
   for (std::size_t i = 0; i < samples.rows(); ++i) {
-    const auto projected = transform(samples.row(i));
-    auto out = reduced.row(i);
-    std::copy(projected.begin(), projected.end(), out.begin());
+    linalg::kernels::project_centered(in + i * dimension_, means_.data(),
+                                      basis_.data().data(), dimension_,
+                                      components_, out + i * components_);
   }
   return reduced;
 }
 
 linalg::Vector Pca::inverse_transform(std::span<const double> reduced) const {
   require_fitted();
+  linalg::Vector sample(dimension_, 0.0);
+  inverse_transform_into(reduced, sample);
+  return sample;
+}
+
+void Pca::inverse_transform_into(std::span<const double> reduced,
+                                 std::span<double> out) const {
+  require_fitted();
   if (reduced.size() != components_) {
     throw InvalidArgument("Pca::inverse_transform: dimension mismatch");
   }
-  linalg::Vector sample(means_.begin(), means_.end());
-  for (std::size_t r = 0; r < dimension_; ++r) {
-    double acc = 0.0;
-    for (std::size_t c = 0; c < components_; ++c) {
-      acc += basis_(r, c) * reduced[c];
-    }
-    sample[r] += acc;
+  if (out.size() != dimension_) {
+    throw InvalidArgument("Pca::inverse_transform_into: output size mismatch");
   }
-  return sample;
+  for (std::size_t r = 0; r < dimension_; ++r) {
+    out[r] = means_[r] + linalg::kernels::dot(basis_.data().data() + r * components_,
+                                              reduced.data(), components_);
+  }
 }
 
 }  // namespace larp::ml

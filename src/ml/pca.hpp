@@ -52,13 +52,27 @@ class Pca {
   /// Projects one sample (length m) to the reduced space (length n).
   [[nodiscard]] linalg::Vector transform(std::span<const double> sample) const;
 
-  /// Projects a whole sample matrix.
+  /// Allocation-free projection into caller-owned storage (length n).
+  /// The hot-path variant: no temporary Vector per sample.
+  void transform_into(std::span<const double> sample,
+                      std::span<double> out) const;
+
+  /// Convenience overload that resizes `out` to components() — no
+  /// reallocation once the capacity is established.
+  void transform_into(std::span<const double> sample, linalg::Vector& out) const;
+
+  /// Projects a whole sample matrix in a single pass: every row is projected
+  /// straight into the output matrix, with dimensions validated once.
   [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& samples) const;
 
   /// Maps a reduced vector (length n) back to the original space (length m);
   /// lossy unless n == m.
   [[nodiscard]] linalg::Vector inverse_transform(
       std::span<const double> reduced) const;
+
+  /// Allocation-free inverse projection into caller-owned storage (length m).
+  void inverse_transform_into(std::span<const double> reduced,
+                              std::span<double> out) const;
 
  private:
   void require_fitted() const;

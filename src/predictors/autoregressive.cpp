@@ -1,5 +1,8 @@
 #include "predictors/autoregressive.hpp"
 
+#include <algorithm>
+
+#include "linalg/kernels.hpp"
 #include "linalg/toeplitz.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -13,6 +16,7 @@ Autoregressive::Autoregressive(std::size_t order) : order_(order) {
 void Autoregressive::fit(std::span<const double> training_series) {
   const auto solution = linalg::yule_walker(training_series, order_);
   coefficients_ = solution.coefficients;
+  coefficients_reversed_.assign(coefficients_.rbegin(), coefficients_.rend());
   innovation_variance_ = solution.innovation_variance;
   mean_ = stats::mean(training_series);
   fitted_ = true;
@@ -21,15 +25,15 @@ void Autoregressive::fit(std::span<const double> training_series) {
 double Autoregressive::predict(std::span<const double> window) const {
   if (!fitted_) throw StateError("AR: predict() before fit()");
   require_window(window, order_);
-  // coefficients_[i] multiplies Z_{t-1-i}; window.back() is Z_{t-1}.
-  // The AR model is fitted on the mean-removed series, so forecast in
-  // deviations around the training mean (the mean is ~0 for normalized data).
-  double forecast = 0.0;
-  const std::size_t last = window.size() - 1;
-  for (std::size_t i = 0; i < order_; ++i) {
-    forecast += coefficients_[i] * (window[last - i] - mean_);
-  }
-  return mean_ + forecast;
+  // coefficients_[i] multiplies Z_{t-1-i}; window.back() is Z_{t-1}.  With
+  // the reversed coefficient copy the sum is one contiguous centered dot
+  // product over the window tail, vectorized by the kernel layer.  The AR
+  // model is fitted on the mean-removed series, so forecast in deviations
+  // around the training mean (the mean is ~0 for normalized data).
+  const std::size_t start = window.size() - order_;
+  return mean_ + linalg::kernels::dot_centered(coefficients_reversed_.data(),
+                                               window.data() + start, order_,
+                                               mean_);
 }
 
 std::unique_ptr<Predictor> Autoregressive::clone() const {

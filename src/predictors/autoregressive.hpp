@@ -48,6 +48,9 @@ class Autoregressive final : public Predictor {
  private:
   std::size_t order_;
   std::vector<double> coefficients_;
+  // coefficients_ reversed so predict() is one contiguous dot product over
+  // the window tail (coefficients_reversed_[j] multiplies window[end-p+j]).
+  std::vector<double> coefficients_reversed_;
   double mean_ = 0.0;
   double innovation_variance_ = 0.0;
   bool fitted_ = false;

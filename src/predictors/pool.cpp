@@ -77,11 +77,17 @@ void PredictorPool::observe_all(double value) {
 std::vector<double> PredictorPool::predict_all(
     std::span<const double> window) const {
   std::vector<double> forecasts;
-  forecasts.reserve(members_.size());
-  for (const auto& member : members_) {
-    forecasts.push_back(member->predict(window));
-  }
+  predict_all_into(window, forecasts);
   return forecasts;
+}
+
+void PredictorPool::predict_all_into(std::span<const double> window,
+                                     std::vector<double>& out) const {
+  out.clear();
+  out.reserve(members_.size());
+  for (const auto& member : members_) {
+    out.push_back(member->predict(window));
+  }
 }
 
 PredictorPool PredictorPool::clone() const {

@@ -57,6 +57,11 @@ class PredictorPool {
   [[nodiscard]] std::vector<double> predict_all(
       std::span<const double> window) const;
 
+  /// predict_all into caller-owned storage (cleared and refilled; no
+  /// reallocation once capacity is established) — the per-step hot path.
+  void predict_all_into(std::span<const double> window,
+                        std::vector<double>& out) const;
+
   /// Deep copy (each experiment thread owns a private pool).
   [[nodiscard]] PredictorPool clone() const;
 

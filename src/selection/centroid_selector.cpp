@@ -14,11 +14,13 @@ CentroidSelector::CentroidSelector(ml::Pca pca,
 }
 
 std::size_t CentroidSelector::select(std::span<const double> window) {
-  return classifier_.classify(pca_.transform(window));
+  pca_.transform_into(window, reduced_scratch_);
+  return classifier_.classify(reduced_scratch_);
 }
 
 void CentroidSelector::learn(std::span<const double> window, std::size_t label) {
-  classifier_.add(pca_.transform(window), label);
+  pca_.transform_into(window, reduced_scratch_);
+  classifier_.add(reduced_scratch_, label);
 }
 
 std::unique_ptr<Selector> CentroidSelector::clone() const {

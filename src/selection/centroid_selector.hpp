@@ -29,6 +29,9 @@ class CentroidSelector final : public Selector {
  private:
   ml::Pca pca_;
   ml::NearestCentroidClassifier classifier_;
+  // Reused projection buffer; instances are externally serialized (see the
+  // LarPredictor locking contract), so this is race-free.
+  linalg::Vector reduced_scratch_;
 };
 
 }  // namespace larp::selection

@@ -13,31 +13,34 @@ KnnSelector::KnnSelector(ml::Pca pca, ml::KnnClassifier classifier)
 }
 
 std::size_t KnnSelector::select(std::span<const double> window) {
-  const auto reduced = pca_.transform(window);
-  return classifier_.classify(reduced);
+  pca_.transform_into(window, reduced_scratch_);
+  return classifier_.classify(reduced_scratch_, query_scratch_);
 }
 
 void KnnSelector::learn(std::span<const double> window, std::size_t label) {
-  classifier_.add(pca_.transform(window), label);
+  // Index growth allocates by nature (the point is appended); the projection
+  // still reuses the scratch.
+  pca_.transform_into(window, reduced_scratch_);
+  classifier_.add(reduced_scratch_, label);
 }
 
-std::vector<double> KnnSelector::select_weights(std::span<const double> window,
-                                                std::size_t pool_size) {
-  const auto reduced = pca_.transform(window);
-  const auto hits = classifier_.neighbors(reduced);
-  std::vector<double> weights(pool_size, 0.0);
+void KnnSelector::select_weights_into(std::span<const double> window,
+                                      std::size_t pool_size,
+                                      std::vector<double>& out) {
+  pca_.transform_into(window, reduced_scratch_);
+  const auto hits = classifier_.neighbors(reduced_scratch_, query_scratch_);
+  out.assign(pool_size, 0.0);
   for (const auto& hit : hits) {
     const std::size_t label = classifier_.label_of(hit.index);
     if (label >= pool_size) {
       throw InvalidArgument("KnnSelector: training label outside the pool");
     }
-    weights[label] += 1.0;
+    out[label] += 1.0;
   }
   const double total = static_cast<double>(hits.size());
   if (total > 0.0) {
-    for (double& w : weights) w /= total;
+    for (double& w : out) w /= total;
   }
-  return weights;
 }
 
 std::unique_ptr<Selector> KnnSelector::clone() const {

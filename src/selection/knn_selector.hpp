@@ -23,9 +23,12 @@ class KnnSelector final : public Selector {
 
   [[nodiscard]] std::string name() const override { return "LAR(kNN)"; }
   [[nodiscard]] std::size_t select(std::span<const double> window) override;
-  /// Neighbour vote shares (count of each label among the k nearest / k).
-  [[nodiscard]] std::vector<double> select_weights(
-      std::span<const double> window, std::size_t pool_size) override;
+  /// Neighbour vote shares (count of each label among the k nearest / k),
+  /// written into caller-owned storage.  Zero-allocation in steady state:
+  /// projection and neighbour search reuse the selector's internal scratch.
+  void select_weights_into(std::span<const double> window,
+                           std::size_t pool_size,
+                           std::vector<double>& out) override;
   /// Projects the window through the training PCA and appends it to the
   /// k-NN index (online learning).
   void learn(std::span<const double> window, std::size_t label) override;
@@ -42,6 +45,12 @@ class KnnSelector final : public Selector {
  private:
   ml::Pca pca_;
   ml::KnnClassifier classifier_;
+  // Per-instance query scratch.  LarPredictor instances are externally
+  // serialized (see core/lar_predictor.hpp's locking contract), so reusing
+  // these across select() calls is race-free and keeps the steady-state
+  // select path allocation-free.
+  linalg::Vector reduced_scratch_;
+  ml::NeighborScratch query_scratch_;
 };
 
 }  // namespace larp::selection

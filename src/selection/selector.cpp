@@ -13,13 +13,20 @@ void Selector::record(std::span<const double> /*forecasts*/, double /*actual*/) 
 
 std::vector<double> Selector::select_weights(std::span<const double> window,
                                              std::size_t pool_size) {
-  std::vector<double> weights(pool_size, 0.0);
+  std::vector<double> weights;
+  select_weights_into(window, pool_size, weights);
+  return weights;
+}
+
+void Selector::select_weights_into(std::span<const double> window,
+                                   std::size_t pool_size,
+                                   std::vector<double>& out) {
+  out.assign(pool_size, 0.0);
   const std::size_t pick = select(window);
   if (pick >= pool_size) {
     throw InvalidArgument("select_weights: selected label outside the pool");
   }
-  weights[pick] = 1.0;
-  return weights;
+  out[pick] = 1.0;
 }
 
 void Selector::learn(std::span<const double> /*window*/, std::size_t /*label*/) {}
@@ -46,10 +53,18 @@ std::size_t best_forecast_label(std::span<const double> forecasts, double actual
   if (forecasts.empty()) {
     throw InvalidArgument("best_forecast_label: empty forecasts");
   }
-  std::vector<double> errors;
-  errors.reserve(forecasts.size());
-  for (double f : forecasts) errors.push_back(std::abs(f - actual));
-  return argmin_label(errors);
+  // Direct argmin — no temporary error vector; strict < keeps the lowest
+  // label on ties, matching argmin_label's convention.
+  std::size_t best = 0;
+  double best_error = std::abs(forecasts[0] - actual);
+  for (std::size_t i = 1; i < forecasts.size(); ++i) {
+    const double error = std::abs(forecasts[i] - actual);
+    if (error < best_error) {
+      best_error = error;
+      best = i;
+    }
+  }
+  return best;
 }
 
 }  // namespace larp::selection

@@ -43,6 +43,14 @@ class Selector {
   [[nodiscard]] virtual std::vector<double> select_weights(
       std::span<const double> window, std::size_t pool_size);
 
+  /// Allocation-free soft selection into caller-owned storage (resized to
+  /// pool_size; no reallocation once capacity is established).  The default
+  /// writes the one-hot vector of select(); hot-path selectors (k-NN)
+  /// override it to reuse their internal scratch.
+  virtual void select_weights_into(std::span<const double> window,
+                                   std::size_t pool_size,
+                                   std::vector<double>& out);
+
   /// Post-step feedback: the forecasts every pool member produced for this
   /// step, and the value that actually materialized.
   virtual void record(std::span<const double> forecasts, double actual);

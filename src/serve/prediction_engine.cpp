@@ -70,14 +70,25 @@ void PredictionEngine::for_each_shard(std::size_t count, const KeyOf& key_of,
                                       const Fn& fn) {
   // Group batch indices by shard (preserving batch order within a shard),
   // then run one task per non-empty shard so each mutex is taken once.
-  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  // The grouping buffers are thread-local so steady-state batches reuse
+  // their capacity instead of allocating one vector per shard per call;
+  // concurrent observe()/predict() callers each get their own scratch.
+  thread_local std::vector<std::vector<std::size_t>> by_shard_tls;
+  thread_local std::vector<std::size_t> active_tls;
+  // Bind the caller thread's instances to ordinary references: a lambda does
+  // not capture thread_local storage, so naming the TLS variables inside the
+  // parallel_for body would resolve to each worker's own (empty) buffers.
+  auto& by_shard = by_shard_tls;
+  auto& active = active_tls;
+  if (by_shard.size() < shards_.size()) by_shard.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) by_shard[s].clear();
   for (std::size_t i = 0; i < count; ++i) {
     by_shard[std::hash<tsdb::SeriesKey>{}(key_of(i)) % shards_.size()]
         .push_back(i);
   }
-  std::vector<std::size_t> active;
+  active.clear();
   active.reserve(shards_.size());
-  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (!by_shard[s].empty()) active.push_back(s);
   }
   if (active.size() <= 1 || pool_.size() <= 1) {

@@ -129,7 +129,11 @@ class PredictionEngine {
     bool retrain_requested = false;
   };
 
-  struct Shard {
+  // Cache-line aligned so that when shards sit adjacently in memory, one
+  // shard's mutex and hot counters never share a line with a neighbour's —
+  // batched observe/predict takes the shard mutexes from different worker
+  // threads concurrently, and false sharing there serializes the shards.
+  struct alignas(64) Shard {
     mutable std::mutex mutex;
     std::unordered_map<tsdb::SeriesKey, SeriesState> series;
     tsdb::PredictionDatabase predictions;

@@ -222,8 +222,10 @@ ModelPtr vm1_cpu() {
   return std::make_unique<Superposition>(std::move(parts));
 }
 
-// CPU_ready (scheduling contention): bursty, loosely tracks load.
-ModelPtr contention_cpu(double idle, double busy, double dwell) {
+// CPU_ready (scheduling contention): bursty, loosely tracks load.  Kept as
+// the documented alternative to the regime_mix the catalogs currently use.
+[[maybe_unused]] ModelPtr contention_cpu(double idle, double busy,
+                                         double dwell) {
   return switching_cpu(idle, busy, dwell);
 }
 

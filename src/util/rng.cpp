@@ -45,8 +45,9 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
   if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
   // Lemire's multiply-shift rejection-free-enough reduction; the modulo bias
   // for span << 2^64 is below 2^-53 and irrelevant for simulation purposes.
-  const unsigned __int128 product =
-      static_cast<unsigned __int128>((*this)()) * span;
+  // __extension__ keeps -Wpedantic quiet about the non-ISO 128-bit type.
+  __extension__ typedef unsigned __int128 uint128;
+  const uint128 product = static_cast<uint128>((*this)()) * span;
   return lo + static_cast<std::int64_t>(product >> 64);
 }
 

@@ -1,0 +1,28 @@
+// Global-operator-new instrumentation for the zero-allocation tests.
+//
+// The overriding operator new/delete definitions live in alloc_counter.cpp
+// and are linked ONLY into the larp_tests_hotpath binary, so no other test
+// target pays for the counting.  Counting is off by default; AllocationCount
+// brackets a region and reports how many heap allocations happened inside.
+#pragma once
+
+#include <cstddef>
+
+namespace larp::testing {
+
+/// Number of operator-new calls since counting was last enabled.
+std::size_t allocation_count() noexcept;
+
+/// RAII bracket: zeroes the counter and enables counting for its lifetime.
+class AllocationCount {
+ public:
+  AllocationCount();
+  ~AllocationCount();
+  AllocationCount(const AllocationCount&) = delete;
+  AllocationCount& operator=(const AllocationCount&) = delete;
+
+  /// Allocations observed since construction.
+  [[nodiscard]] std::size_t count() const noexcept;
+};
+
+}  // namespace larp::testing

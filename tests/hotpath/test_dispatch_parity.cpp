@@ -1,0 +1,85 @@
+// End-to-end dispatch parity: an entire train + online forecast run produces
+// BIT-IDENTICAL results whether the kernels dispatch to the scalar or the
+// AVX2 variants.  This is the system-level consequence of the kernel-level
+// bit-identity contract (tests/linalg/test_kernels.cpp) — forecasts must not
+// depend on the host CPU.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/lar_predictor.hpp"
+#include "linalg/kernels.hpp"
+#include "predictors/pool.hpp"
+#include "util/rng.hpp"
+
+namespace larp::core {
+namespace {
+
+namespace kernels = linalg::kernels;
+
+std::vector<double> noisy_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  double dev = 0.0;
+  for (auto& x : xs) {
+    dev = 0.85 * dev + rng.normal(0.0, 4.0);
+    x = 60.0 + dev;
+  }
+  return xs;
+}
+
+struct RunResult {
+  std::vector<double> values;
+  std::vector<std::size_t> labels;
+  std::vector<std::size_t> training_labels;
+};
+
+RunResult run_pipeline(kernels::Isa isa, const LarConfig& config) {
+  kernels::IsaOverrideGuard guard(isa);
+  const auto train = noisy_series(200, 1234);
+  const auto live = noisy_series(120, 5678);
+
+  LarPredictor lar(predictors::make_paper_pool(5), config);
+  lar.train(train);
+
+  RunResult result;
+  result.training_labels = lar.training_labels();
+  for (double value : live) {
+    const auto forecast = lar.predict_next();
+    result.values.push_back(forecast.value);
+    result.labels.push_back(forecast.label);
+    lar.observe(value);
+  }
+  return result;
+}
+
+class DispatchParity : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DispatchParity, ScalarAndAvx2ForecastsBitIdentical) {
+  if (!kernels::avx2_available()) {
+    GTEST_SKIP() << "no AVX2 on this host/build";
+  }
+  LarConfig config;
+  config.knn_backend =
+      GetParam() ? ml::KnnBackend::KdTree : ml::KnnBackend::BruteForce;
+
+  const RunResult scalar = run_pipeline(kernels::Isa::Scalar, config);
+  const RunResult avx2 = run_pipeline(kernels::Isa::Avx2, config);
+
+  EXPECT_EQ(scalar.training_labels, avx2.training_labels);
+  EXPECT_EQ(scalar.labels, avx2.labels);
+  ASSERT_EQ(scalar.values.size(), avx2.values.size());
+  for (std::size_t i = 0; i < scalar.values.size(); ++i) {
+    // operator== on double: exact bit-level agreement, not a tolerance.
+    EXPECT_EQ(scalar.values[i], avx2.values[i]) << "step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, DispatchParity, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "KdTree" : "BruteForce";
+                         });
+
+}  // namespace
+}  // namespace larp::core

@@ -1,0 +1,222 @@
+// Tests for the vectorized hot-path kernels: correctness against naive
+// references across awkward tail sizes, the dispatch-override API, and the
+// bit-identity contract between the scalar and AVX2 variants.
+#include "linalg/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace larp::linalg::kernels {
+namespace {
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(0.0, 3.0);
+  return xs;
+}
+
+double naive_dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double naive_sqdist(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+// Sizes chosen to hit the empty case, pure-tail cases (< one 4-wide step),
+// exact multiples of the vector width, and multiples plus every tail length.
+const std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33};
+
+TEST(Kernels, DotMatchesNaive) {
+  for (std::size_t n : kSizes) {
+    const auto a = random_vec(n, 11 + n);
+    const auto b = random_vec(n, 29 + n);
+    const double expected = naive_dot(a, b);
+    EXPECT_NEAR(dot(a.data(), b.data(), n), expected,
+                1e-12 * (1.0 + std::abs(expected)))
+        << "n=" << n;
+  }
+}
+
+TEST(Kernels, DotCenteredMatchesNaive) {
+  for (std::size_t n : kSizes) {
+    const auto a = random_vec(n, 101 + n);
+    const auto b = random_vec(n, 211 + n);
+    const double center = 0.75;
+    double expected = 0.0;
+    for (std::size_t i = 0; i < n; ++i) expected += a[i] * (b[i] - center);
+    EXPECT_NEAR(dot_centered(a.data(), b.data(), n, center), expected,
+                1e-12 * (1.0 + std::abs(expected)))
+        << "n=" << n;
+  }
+}
+
+TEST(Kernels, SquaredDistanceMatchesNaive) {
+  for (std::size_t n : kSizes) {
+    const auto a = random_vec(n, 3 + n);
+    const auto b = random_vec(n, 7 + n);
+    const double expected = naive_sqdist(a, b);
+    EXPECT_NEAR(squared_distance(a.data(), b.data(), n), expected,
+                1e-12 * (1.0 + expected))
+        << "n=" << n;
+    // A distance is non-negative and zero against itself, exactly.
+    EXPECT_EQ(squared_distance(a.data(), a.data(), n), 0.0);
+  }
+}
+
+TEST(Kernels, BatchSquaredDistanceMatchesPerPointKernel) {
+  // dims == 2 exercises the vectorized fast path (including the < 4-point
+  // tail); the other dims exercise the generic per-point path.
+  for (std::size_t dims : {1UL, 2UL, 3UL, 5UL, 8UL}) {
+    for (std::size_t n_points : {0UL, 1UL, 2UL, 3UL, 4UL, 5UL, 7UL, 33UL}) {
+      const auto points = random_vec(n_points * dims, 71 + n_points + dims);
+      const auto query = random_vec(dims, 73 + dims);
+      std::vector<double> out(n_points, std::nan(""));
+      batch_squared_distance(points.data(), n_points, dims, query.data(),
+                             out.data());
+      for (std::size_t i = 0; i < n_points; ++i) {
+        // Bit-identical to the per-point kernel, per the header contract.
+        EXPECT_EQ(out[i],
+                  squared_distance(points.data() + i * dims, query.data(), dims))
+            << "dims=" << dims << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Kernels, AxpyMatchesNaive) {
+  for (std::size_t n : kSizes) {
+    const auto x = random_vec(n, 13 + n);
+    auto y = random_vec(n, 17 + n);
+    auto expected = y;
+    const double alpha = -1.25;
+    for (std::size_t i = 0; i < n; ++i) expected[i] += alpha * x[i];
+    axpy(alpha, x.data(), y.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y[i], expected[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Kernels, ZscoreRoundTrip) {
+  for (std::size_t n : kSizes) {
+    const auto x = random_vec(n, 41 + n);
+    const double mean = 2.5, stddev = 1.75;
+    std::vector<double> z(n), back(n);
+    zscore(x.data(), n, mean, stddev, z.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      // Elementwise ops: exactly the scalar normalizer's (x - mean) / stddev.
+      EXPECT_EQ(z[i], (x[i] - mean) / stddev) << "n=" << n << " i=" << i;
+    }
+    zscore_inverse(z.data(), n, mean, stddev, back.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(back[i], mean + z[i] * stddev) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Kernels, ProjectCenteredMatchesNaive) {
+  // Rectangular shapes including degenerate dimensions.
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {1, 1}, {3, 2}, {5, 2}, {8, 8}, {16, 3}, {17, 5}, {2, 9}};
+  for (const auto& [m, n] : shapes) {
+    const auto x = random_vec(m, 51 + m);
+    const auto mu = random_vec(m, 53 + m);
+    const auto basis = random_vec(m * n, 57 + m * n);  // row-major m x n
+    std::vector<double> out(n, std::nan(""));
+    project_centered(x.data(), mu.data(), basis.data(), m, n, out.data());
+    for (std::size_t j = 0; j < n; ++j) {
+      double expected = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        expected += (x[i] - mu[i]) * basis[i * n + j];
+      }
+      EXPECT_NEAR(out[j], expected, 1e-12 * (1.0 + std::abs(expected)))
+          << "m=" << m << " n=" << n << " j=" << j;
+    }
+  }
+}
+
+TEST(Kernels, DispatchOverrideApi) {
+  const Isa detected = detected_isa();
+  EXPECT_EQ(active_isa(), detected);
+
+  force_isa(Isa::Scalar);
+  EXPECT_EQ(active_isa(), Isa::Scalar);
+  force_isa(std::nullopt);
+  EXPECT_EQ(active_isa(), detected);
+
+  if (avx2_available()) {
+    IsaOverrideGuard guard(Isa::Avx2);
+    EXPECT_EQ(active_isa(), Isa::Avx2);
+  } else {
+    EXPECT_THROW(force_isa(Isa::Avx2), InvalidArgument);
+    EXPECT_EQ(active_isa(), detected);
+  }
+  EXPECT_EQ(active_isa(), detected);
+}
+
+// The load-bearing contract: both variants accumulate in the same four lanes,
+// reduce in the same order, and never contract into FMA — so every kernel is
+// bit-identical across ISAs, and forecasts cannot depend on the host CPU.
+TEST(Kernels, ScalarAndAvx2AreBitIdentical) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host/build";
+  for (std::size_t n : kSizes) {
+    const auto a = random_vec(n, 61 + n);
+    const auto b = random_vec(n, 67 + n);
+
+    double dot_s, dotc_s, dist_s;
+    std::vector<double> axpy_s = b, z_s(n), zi_s(n);
+    std::vector<double> batch2_s(n / 2), batch3_s(n / 3);
+    {
+      IsaOverrideGuard guard(Isa::Scalar);
+      dot_s = dot(a.data(), b.data(), n);
+      dotc_s = dot_centered(a.data(), b.data(), n, 0.5);
+      dist_s = squared_distance(a.data(), b.data(), n);
+      axpy(1.5, a.data(), axpy_s.data(), n);
+      zscore(a.data(), n, 0.25, 2.0, z_s.data());
+      zscore_inverse(a.data(), n, 0.25, 2.0, zi_s.data());
+      batch_squared_distance(a.data(), n / 2, 2, b.data(), batch2_s.data());
+      batch_squared_distance(a.data(), n / 3, 3, b.data(), batch3_s.data());
+    }
+
+    double dot_v, dotc_v, dist_v;
+    std::vector<double> axpy_v = b, z_v(n), zi_v(n);
+    std::vector<double> batch2_v(n / 2), batch3_v(n / 3);
+    {
+      IsaOverrideGuard guard(Isa::Avx2);
+      dot_v = dot(a.data(), b.data(), n);
+      dotc_v = dot_centered(a.data(), b.data(), n, 0.5);
+      dist_v = squared_distance(a.data(), b.data(), n);
+      axpy(1.5, a.data(), axpy_v.data(), n);
+      zscore(a.data(), n, 0.25, 2.0, z_v.data());
+      zscore_inverse(a.data(), n, 0.25, 2.0, zi_v.data());
+      batch_squared_distance(a.data(), n / 2, 2, b.data(), batch2_v.data());
+      batch_squared_distance(a.data(), n / 3, 3, b.data(), batch3_v.data());
+    }
+
+    EXPECT_EQ(dot_s, dot_v) << "n=" << n;
+    EXPECT_EQ(dotc_s, dotc_v) << "n=" << n;
+    EXPECT_EQ(dist_s, dist_v) << "n=" << n;
+    EXPECT_EQ(axpy_s, axpy_v) << "n=" << n;
+    EXPECT_EQ(z_s, z_v) << "n=" << n;
+    EXPECT_EQ(zi_s, zi_v) << "n=" << n;
+    EXPECT_EQ(batch2_s, batch2_v) << "n=" << n;
+    EXPECT_EQ(batch3_s, batch3_v) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace larp::linalg::kernels

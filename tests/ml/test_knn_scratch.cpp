@@ -1,0 +1,141 @@
+// Parity tests for the allocation-free kNN query paths: the scratch-based
+// neighbors()/classify() overloads must agree neighbour-for-neighbour with
+// the allocating reference implementations, across both search backends and
+// through interleaved online add()s.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/kdtree.hpp"
+#include "ml/knn.hpp"
+#include "util/rng.hpp"
+
+namespace larp::ml {
+namespace {
+
+linalg::Matrix random_points(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal(0.0, 2.0);
+  }
+  return m;
+}
+
+std::vector<std::size_t> cyclic_labels(std::size_t n, std::size_t classes) {
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = i % classes;
+  return labels;
+}
+
+void expect_same_neighbors(std::span<const Neighbor> scratch_result,
+                           const std::vector<Neighbor>& reference,
+                           const char* context) {
+  ASSERT_EQ(scratch_result.size(), reference.size()) << context;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(scratch_result[i].index, reference[i].index)
+        << context << " rank " << i;
+    EXPECT_EQ(scratch_result[i].squared_distance, reference[i].squared_distance)
+        << context << " rank " << i;
+  }
+}
+
+class KnnScratchParity : public ::testing::TestWithParam<KnnBackend> {};
+
+TEST_P(KnnScratchParity, NeighborsAndClassifyMatchAllocatingPath) {
+  const std::size_t dims = 3, n = 64, k = 5;
+  KnnClassifier knn(k, GetParam());
+  knn.fit(random_points(n, dims, 99), cyclic_labels(n, 3));
+
+  NeighborScratch scratch;
+  Rng rng(123);
+  for (int q = 0; q < 50; ++q) {
+    std::vector<double> query(dims);
+    for (auto& x : query) x = rng.normal(0.0, 2.5);
+
+    expect_same_neighbors(knn.neighbors(query, scratch), knn.neighbors(query),
+                          "static index");
+    EXPECT_EQ(knn.classify(query, scratch), knn.classify(query));
+  }
+}
+
+TEST_P(KnnScratchParity, ParityHoldsAcrossInterleavedAdds) {
+  const std::size_t dims = 2, k = 3;
+  KnnClassifier knn(k, GetParam());
+  knn.fit(random_points(8, dims, 7), cyclic_labels(8, 3));
+
+  NeighborScratch scratch;
+  Rng rng(31);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<double> point(dims);
+    for (auto& x : point) x = rng.normal(0.0, 2.0);
+    // Grow the index (online learning), with labels beyond the fitted range
+    // so the flat vote table has to track the running max label.
+    knn.add(point, static_cast<std::size_t>(round % 5));
+
+    std::vector<double> query(dims);
+    for (auto& x : query) x = rng.normal(0.0, 2.0);
+    expect_same_neighbors(knn.neighbors(query, scratch), knn.neighbors(query),
+                          "growing index");
+    EXPECT_EQ(knn.classify(query, scratch), knn.classify(query));
+  }
+}
+
+TEST_P(KnnScratchParity, FewerPointsThanK) {
+  KnnClassifier knn(7, GetParam());
+  knn.fit(random_points(4, 2, 17), cyclic_labels(4, 2));
+  NeighborScratch scratch;
+  const std::vector<double> query{0.1, -0.2};
+  expect_same_neighbors(knn.neighbors(query, scratch), knn.neighbors(query),
+                        "N < k");
+  EXPECT_EQ(knn.classify(query, scratch), knn.classify(query));
+}
+
+// Duplicate points force distance ties; both paths must break them toward
+// the lower training-point index.
+TEST_P(KnnScratchParity, TiedDistancesBreakIdentically) {
+  linalg::Matrix points(6, 2);
+  for (std::size_t r = 0; r < 6; ++r) {
+    points(r, 0) = static_cast<double>(r % 2);  // three copies of two points
+    points(r, 1) = 0.0;
+  }
+  KnnClassifier knn(4, GetParam());
+  knn.fit(std::move(points), cyclic_labels(6, 3));
+  NeighborScratch scratch;
+  const std::vector<double> query{0.5, 0.0};
+  expect_same_neighbors(knn.neighbors(query, scratch), knn.neighbors(query),
+                        "ties");
+  EXPECT_EQ(knn.classify(query, scratch), knn.classify(query));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, KnnScratchParity,
+                         ::testing::Values(KnnBackend::BruteForce,
+                                           KnnBackend::KdTree),
+                         [](const auto& info) {
+                           return info.param == KnnBackend::BruteForce
+                                      ? "BruteForce"
+                                      : "KdTree";
+                         });
+
+// The kd-tree's own scratch overload, exercised directly.
+TEST(KdTreeScratch, NearestMatchesAllocatingPath) {
+  const std::size_t dims = 4, n = 100;
+  const auto points = random_points(n, dims, 55);
+  KdTree tree(points);
+  NeighborScratch scratch;
+  Rng rng(77);
+  for (int q = 0; q < 30; ++q) {
+    std::vector<double> query(dims);
+    for (auto& x : query) x = rng.normal(0.0, 2.0);
+    for (std::size_t k : {1UL, 3UL, 10UL}) {
+      expect_same_neighbors(tree.nearest(query, k, scratch),
+                            tree.nearest(query, k), "kd-tree direct");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace larp::ml

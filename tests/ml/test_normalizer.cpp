@@ -85,6 +85,32 @@ TEST(Normalizer, TrainCoefficientsReplayOnTestData) {
   EXPECT_DOUBLE_EQ(norm.mean(), 4.0);
 }
 
+// Batch kernels must keep the exact rounding of the scalar transform —
+// bitwise equality, not a tolerance.
+TEST(Normalizer, BatchTransformIntoMatchesScalarExactly) {
+  Rng rng(901);
+  std::vector<double> xs(37);
+  for (auto& x : xs) x = rng.normal(20.0, 7.0);
+
+  ZScoreNormalizer norm;
+  norm.fit(xs);
+
+  std::vector<double> z(xs.size()), back(xs.size());
+  norm.transform_into(xs, z);
+  const auto z_ref = norm.transform(xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(z[i], norm.transform(xs[i])) << "i=" << i;
+    EXPECT_EQ(z[i], z_ref[i]) << "i=" << i;
+  }
+
+  norm.inverse_into(z, back);
+  const auto back_ref = norm.inverse(z);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(back[i], norm.inverse(z[i])) << "i=" << i;
+    EXPECT_EQ(back[i], back_ref[i]) << "i=" << i;
+  }
+}
+
 TEST(Normalizer, RefitReplacesCoefficients) {
   ZScoreNormalizer norm;
   norm.fit(std::vector<double>{0.0, 10.0});

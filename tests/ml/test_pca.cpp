@@ -161,6 +161,47 @@ TEST(Pca, ZeroVarianceDataHandled) {
   for (double v : reduced) EXPECT_NEAR(v, 0.0, 1e-12);
 }
 
+// The scratch overloads and the single-pass matrix transform are the
+// hot-path forms of the allocating API; all three must agree exactly.
+TEST(Pca, TransformIntoMatchesAllocatingTransform) {
+  Rng rng(311);
+  const auto cloud = line_cloud(60, rng);
+  Pca pca;
+  pca.fit(cloud, PcaPolicy{2, 0.9});
+
+  const auto all = pca.transform(cloud);  // single-pass matrix transform
+  linalg::Vector reduced_scratch;
+  std::vector<double> rebuilt(3);
+  for (std::size_t r = 0; r < cloud.rows(); ++r) {
+    const auto reference = pca.transform(cloud.row(r));
+    pca.transform_into(cloud.row(r), reduced_scratch);
+    ASSERT_EQ(reduced_scratch.size(), reference.size());
+    for (std::size_t c = 0; c < reference.size(); ++c) {
+      EXPECT_EQ(reduced_scratch[c], reference[c]) << "row " << r;
+      EXPECT_EQ(all(r, c), reference[c]) << "row " << r;
+    }
+    const auto rebuilt_ref = pca.inverse_transform(reference);
+    pca.inverse_transform_into(reference, rebuilt);
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(rebuilt[c], rebuilt_ref[c]) << "row " << r;
+    }
+  }
+}
+
+TEST(Pca, TransformIntoValidatesSpans) {
+  Rng rng(313);
+  Pca pca;
+  pca.fit(line_cloud(40, rng), PcaPolicy{2, 0.9});
+  std::vector<double> sample{1.0, 2.0, 3.0};
+  std::vector<double> wrong_out(3);  // components() is 2
+  EXPECT_THROW(pca.transform_into(sample, std::span<double>(wrong_out)),
+               InvalidArgument);
+  std::vector<double> bad_sample{1.0, 2.0};
+  std::vector<double> out(2);
+  EXPECT_THROW(pca.transform_into(bad_sample, std::span<double>(out)),
+               InvalidArgument);
+}
+
 TEST(Pca, PaperConfigurationWindowToTwoComponents) {
   // The paper's setting: windows of m = 16 reduced to n = 2.
   Rng rng(110);
