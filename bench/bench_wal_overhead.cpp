@@ -1,0 +1,228 @@
+// Durability-layer benchmark backing the PR's overhead claims:
+//
+//   1. WAL append overhead on the observe hot path: steady-state
+//      predict+observe throughput with durability off vs. each fsync policy
+//      (every_n, interval, always).  The first two must stay within a small
+//      factor of the in-memory engine; `always` pays one fdatasync per batch
+//      frame and is the documented worst case.
+//   2. snapshot(): stop-the-world latency and payload size for a trained
+//      multi-series engine, and restore() wall time from that snapshot.
+//
+// Plain chrono timing like the table/figure benches (exit code 0 always;
+// the numbers are the artifact).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "persist/snapshot.hpp"
+#include "serve/prediction_engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace larp;
+namespace fs = std::filesystem;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Workload {
+  std::vector<tsdb::SeriesKey> keys;
+  std::vector<Rng> rngs;
+  std::vector<double> level;
+  std::vector<serve::Observation> batch;
+
+  explicit Workload(std::size_t series)
+      : keys(series), level(series, 0.0), batch(series) {
+    Rng parent(2007);
+    rngs.reserve(series);
+    for (std::size_t s = 0; s < series; ++s) {
+      keys[s] = {"host" + std::to_string(s / 8), "dev" + std::to_string(s % 8),
+                 "cpu"};
+      rngs.push_back(parent.split(s));
+    }
+  }
+
+  void fill() {
+    for (std::size_t s = 0; s < keys.size(); ++s) {
+      level[s] = 0.8 * level[s] + rngs[s].normal(0.0, 2.0);
+      batch[s] = {keys[s], 50.0 + level[s]};
+    }
+  }
+};
+
+serve::EngineConfig engine_config(const fs::path& data_dir,
+                                  persist::FsyncPolicy policy) {
+  serve::EngineConfig config;
+  config.lar.window = 5;
+  config.shards = 16;
+  config.threads = 2;
+  config.train_samples = 48;
+  if (!data_dir.empty()) {
+    config.durability.data_dir = data_dir;
+    config.durability.wal.fsync = policy;
+    config.durability.wal.fsync_every_n = 64;
+  }
+  return config;
+}
+
+/// Steady-state series-steps/sec for one durability configuration.
+double observe_throughput(const fs::path& data_dir, persist::FsyncPolicy policy,
+                          std::size_t series, std::size_t steps) {
+  if (!data_dir.empty()) fs::remove_all(data_dir);
+  serve::PredictionEngine engine(predictors::make_paper_pool(5),
+                                 engine_config(data_dir, policy));
+  Workload load(series);
+  const auto warmup = engine.config().train_samples;
+  for (std::size_t i = 0; i < warmup; ++i) {
+    load.fill();
+    engine.observe(load.batch);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < steps; ++i) {
+    (void)engine.predict(load.keys);
+    load.fill();
+    engine.observe(load.batch);
+  }
+  const double elapsed = seconds_since(start);
+  if (!data_dir.empty()) fs::remove_all(data_dir);
+  return static_cast<double>(series) * static_cast<double>(steps) / elapsed;
+}
+
+struct WalPoint {
+  std::string name;
+  double rate = 0.0;
+  double overhead_pct = 0.0;  // slowdown vs. durability off
+};
+
+std::vector<WalPoint> bench_wal_overhead(const fs::path& scratch, bool quick) {
+  const std::size_t series = quick ? 64 : 256;
+  const std::size_t steps = quick ? 8 : 96;
+  std::printf("observe-path WAL overhead (%zu series, %zu steps, 2 threads)\n",
+              series, steps);
+  std::printf("%16s %20s %10s\n", "durability", "series-steps/s", "overhead");
+
+  std::vector<WalPoint> points;
+  const auto run = [&](const std::string& name, const fs::path& dir,
+                       persist::FsyncPolicy policy) {
+    const double rate = observe_throughput(dir, policy, series, steps);
+    double overhead = 0.0;
+    if (!points.empty()) {
+      overhead = 100.0 * (points.front().rate / rate - 1.0);
+    }
+    points.push_back({name, rate, overhead});
+    std::printf("%16s %20.0f %9.1f%%\n", name.c_str(), rate, overhead);
+  };
+  run("off", {}, persist::FsyncPolicy::EveryN);
+  run("wal-every-64", scratch / "every_n", persist::FsyncPolicy::EveryN);
+  run("wal-interval", scratch / "interval", persist::FsyncPolicy::Interval);
+  if (!quick) {
+    run("wal-always", scratch / "always", persist::FsyncPolicy::Always);
+  }
+  return points;
+}
+
+struct SnapshotPoint {
+  std::size_t series = 0;
+  double snapshot_ms = 0.0;
+  double restore_ms = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+SnapshotPoint bench_snapshot_cycle(const fs::path& scratch, bool quick) {
+  const std::size_t series = quick ? 64 : 256;
+  const fs::path dir = scratch / "snapshot_cycle";
+  fs::remove_all(dir);
+  serve::PredictionEngine engine(
+      predictors::make_paper_pool(5),
+      engine_config(dir, persist::FsyncPolicy::EveryN));
+  Workload load(series);
+  for (std::size_t i = 0; i < engine.config().train_samples + 8; ++i) {
+    load.fill();
+    (void)engine.predict(load.keys);
+    engine.observe(load.batch);
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  (void)engine.snapshot();
+  const double snapshot_ms = seconds_since(start) * 1e3;
+
+  std::uint64_t bytes = 0;
+  for (const auto& info : persist::list_snapshots(dir)) {
+    bytes = std::max<std::uint64_t>(bytes, fs::file_size(info.path));
+  }
+
+  start = std::chrono::steady_clock::now();
+  auto restored =
+      serve::PredictionEngine::restore(predictors::make_paper_pool(5), dir);
+  const double restore_ms = seconds_since(start) * 1e3;
+  restored.reset();
+  fs::remove_all(dir);
+
+  std::printf("\nsnapshot/restore cycle (%zu trained series)\n", series);
+  std::printf("  snapshot (stop-the-world)  %8.2f ms, %llu bytes on disk\n",
+              snapshot_ms, static_cast<unsigned long long>(bytes));
+  std::printf("  restore (load + wal replay)%8.2f ms\n", restore_ms);
+  return {series, snapshot_ms, restore_ms, bytes};
+}
+
+void write_json(const char* path, const std::vector<WalPoint>& wal,
+                const SnapshotPoint& snap) {
+  std::FILE* out = std::fopen(path, "w");
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n    \"wal_observe_path\": [\n");
+  for (std::size_t i = 0; i < wal.size(); ++i) {
+    std::fprintf(out,
+                 "      {\"mode\": \"%s\", \"series_steps_per_sec\": %.0f, "
+                 "\"overhead_pct\": %.1f}%s\n",
+                 wal[i].name.c_str(), wal[i].rate, wal[i].overhead_pct,
+                 i + 1 < wal.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "    ],\n    \"snapshot_cycle\": {\"series\": %zu, "
+               "\"snapshot_ms\": %.2f, \"restore_ms\": %.2f, "
+               "\"snapshot_bytes\": %llu}\n}\n",
+               snap.series, snap.snapshot_ms, snap.restore_ms,
+               static_cast<unsigned long long>(snap.bytes));
+  std::fclose(out);
+  std::printf("\ndurability metrics written to %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --json PATH : also emit the measurements as a JSON fragment
+  // --quick     : smaller workload (CI smoke)
+  const char* json_path = nullptr;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--quick]\n", argv[0]);
+      return 1;
+    }
+  }
+  const fs::path scratch =
+      fs::temp_directory_path() / "larp_bench_wal_overhead";
+  std::printf("================================================================\n");
+  std::printf("bench_wal_overhead — snapshot + WAL durability cost\n");
+  std::printf("================================================================\n\n");
+  const auto wal = bench_wal_overhead(scratch, quick);
+  const auto snap = bench_snapshot_cycle(scratch, quick);
+  fs::remove_all(scratch);
+  if (json_path) write_json(json_path, wal, snap);
+  return 0;
+}

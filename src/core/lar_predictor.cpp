@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "ml/framing.hpp"
+#include "persist/io.hpp"
 #include "selection/centroid_selector.hpp"
 #include "selection/knn_selector.hpp"
 #include "util/error.hpp"
@@ -240,6 +241,133 @@ const ml::Pca& LarPredictor::pca() const {
 const std::vector<std::size_t>& LarPredictor::training_labels() const {
   require_trained();
   return training_labels_;
+}
+
+namespace {
+
+constexpr std::uint8_t kSelectorKnn = 1;
+constexpr std::uint8_t kSelectorCentroid = 2;
+
+void save_windowed(persist::io::Writer& w, const stats::WindowedMse& m) {
+  w.f64_span(m.raw_buffer());
+  w.u64(m.head());
+  w.f64(m.sum());
+}
+
+void load_windowed(persist::io::Reader& r, stats::WindowedMse& m) {
+  auto buffer = r.f64_vector();
+  const auto head = static_cast<std::size_t>(r.u64());
+  const double sum = r.f64();
+  try {
+    m.restore(std::move(buffer), head, sum);
+  } catch (const Error& e) {
+    // An impossible ring state means the payload disagrees with this
+    // configuration — surface it as corruption, not a usage error.
+    throw persist::CorruptData(e.what());
+  }
+}
+
+}  // namespace
+
+void LarPredictor::save_state(persist::io::Writer& w) const {
+  w.boolean(trained());
+  if (!trained()) return;
+
+  normalizer_.save(w);
+  pca_.save(w);
+
+  if (const auto* knn =
+          dynamic_cast<const selection::KnnSelector*>(selector_.get())) {
+    w.u8(kSelectorKnn);
+    knn->pca().save(w);
+    knn->classifier().save(w);
+  } else if (const auto* centroid = dynamic_cast<const selection::CentroidSelector*>(
+                 selector_.get())) {
+    w.u8(kSelectorCentroid);
+    centroid->pca().save(w);
+    centroid->classifier().save(w);
+  } else {
+    throw StateError("LarPredictor::save_state: unknown selector type");
+  }
+
+  w.u64_span(training_labels_);
+  w.f64_span(online_window_);
+  w.u64(observed_count_);
+
+  w.boolean(pending_forecast_.has_value());
+  if (pending_forecast_) w.f64(*pending_forecast_);
+  w.boolean(residuals_.has_value());
+  if (residuals_) save_windowed(w, *residuals_);
+  w.u64(resolved_forecasts_);
+
+  w.u64(online_label_trackers_.size());
+  for (const auto& tracker : online_label_trackers_) save_windowed(w, tracker);
+  w.u64(online_windows_learned_);
+
+  w.u64(pool_.size());
+  for (std::size_t p = 0; p < pool_.size(); ++p) pool_.at(p).save_state(w);
+}
+
+void LarPredictor::load_state(persist::io::Reader& r) {
+  if (!r.boolean()) {
+    // Serialized before training: nothing beyond the construction state.
+    selector_.reset();
+    return;
+  }
+
+  normalizer_.load(r);
+  pca_.load(r);
+
+  const std::uint8_t kind = r.u8();
+  ml::Pca selector_pca;
+  selector_pca.load(r);
+  if (kind == kSelectorKnn) {
+    ml::KnnClassifier classifier;
+    classifier.load(r);
+    selector_ = std::make_unique<selection::KnnSelector>(std::move(selector_pca),
+                                                         std::move(classifier));
+  } else if (kind == kSelectorCentroid) {
+    ml::NearestCentroidClassifier classifier;
+    classifier.load(r);
+    selector_ = std::make_unique<selection::CentroidSelector>(
+        std::move(selector_pca), std::move(classifier));
+  } else {
+    throw persist::CorruptData("LarPredictor: unknown serialized selector kind");
+  }
+
+  training_labels_ = r.u64_vector();
+  online_window_ = r.f64_vector();
+  if (online_window_.size() > config_.window) {
+    throw persist::CorruptData("LarPredictor: serialized window too long");
+  }
+  observed_count_ = static_cast<std::size_t>(r.u64());
+
+  pending_forecast_.reset();
+  if (r.boolean()) pending_forecast_ = r.f64();
+  residuals_.reset();
+  if (r.boolean()) {
+    residuals_.emplace(std::max<std::size_t>(1, config_.uncertainty_window));
+    load_windowed(r, *residuals_);
+  }
+  resolved_forecasts_ = static_cast<std::size_t>(r.u64());
+
+  const auto trackers = static_cast<std::size_t>(r.u64());
+  if (trackers != pool_.size()) {
+    throw persist::CorruptData(
+        "LarPredictor: serialized tracker count disagrees with pool");
+  }
+  const std::size_t horizon =
+      config_.label_window == 0 ? config_.window : config_.label_window;
+  online_label_trackers_.assign(pool_.size(), stats::WindowedMse(horizon));
+  for (auto& tracker : online_label_trackers_) load_windowed(r, tracker);
+  online_windows_learned_ = static_cast<std::size_t>(r.u64());
+
+  const auto members = static_cast<std::size_t>(r.u64());
+  if (members != pool_.size()) {
+    throw persist::CorruptData(
+        "LarPredictor: serialized pool size disagrees with config");
+  }
+  for (std::size_t p = 0; p < pool_.size(); ++p) pool_.at(p).load_state(r);
 }
 
 }  // namespace larp::core

@@ -38,6 +38,11 @@
 #include "selection/selector.hpp"
 #include "util/stats.hpp"
 
+namespace larp::persist::io {
+class Reader;
+class Writer;
+}  // namespace larp::persist::io
+
 namespace larp::core {
 
 class LarPredictor {
@@ -105,6 +110,14 @@ class LarPredictor {
   [[nodiscard]] std::size_t online_windows_learned() const noexcept {
     return online_windows_learned_;
   }
+
+  /// Serializes the full trained + online state (normalizer, PCA, selector
+  /// index, residual trackers, pool member state) so a restored predictor
+  /// continues the forecast sequence bit-identically.  load_state() must run
+  /// against an instance constructed with the same pool composition and
+  /// LarConfig — snapshots store state, not configuration.
+  void save_state(persist::io::Writer& w) const;
+  void load_state(persist::io::Reader& r);
 
  private:
   void require_trained() const;

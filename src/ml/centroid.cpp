@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "ml/serialize.hpp"
 #include "util/error.hpp"
 
 namespace larp::ml {
@@ -95,6 +96,35 @@ std::size_t NearestCentroidClassifier::classify(
     }
   }
   return labels_[best];
+}
+
+void NearestCentroidClassifier::save(persist::io::Writer& w) const {
+  w.u64_span(labels_);
+  w.u64(centroids_.size());
+  for (const auto& c : centroids_) w.f64_span(c);
+  w.u64_span(counts_);
+  w.u64(dimension_);
+  w.boolean(fitted_);
+}
+
+void NearestCentroidClassifier::load(persist::io::Reader& r) {
+  labels_ = r.u64_vector();
+  const auto count =
+      static_cast<std::size_t>(r.length(r.u64(), sizeof(std::uint64_t)));
+  centroids_.clear();
+  centroids_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) centroids_.push_back(r.f64_vector());
+  counts_ = r.u64_vector();
+  dimension_ = static_cast<std::size_t>(r.u64());
+  fitted_ = r.boolean();
+  if (centroids_.size() != labels_.size() || counts_.size() != labels_.size()) {
+    throw persist::CorruptData("centroid: serialized class arrays mismatch");
+  }
+  for (const auto& c : centroids_) {
+    if (c.size() != dimension_) {
+      throw persist::CorruptData("centroid: serialized centroid dimension");
+    }
+  }
 }
 
 }  // namespace larp::ml

@@ -13,6 +13,11 @@
 
 #include "linalg/matrix.hpp"
 
+namespace larp::persist::io {
+class Reader;
+class Writer;
+}  // namespace larp::persist::io
+
 namespace larp::ml {
 
 class NearestCentroidClassifier {
@@ -37,6 +42,10 @@ class NearestCentroidClassifier {
   /// Folds one labeled point into its class centroid (online learning);
   /// a previously unseen label opens a new class.
   void add(std::span<const double> point, std::size_t label);
+
+  /// Exact-state serialization for durable snapshots (persist layer).
+  void save(persist::io::Writer& w) const;
+  void load(persist::io::Reader& r);
 
  private:
   std::vector<std::size_t> labels_;      // distinct class labels, ascending

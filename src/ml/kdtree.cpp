@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "linalg/kernels.hpp"
+#include "ml/serialize.hpp"
 #include "util/error.hpp"
 
 namespace larp::ml {
@@ -164,6 +165,49 @@ std::span<const Neighbor> KdTree::nearest(std::span<const double> query,
   search(root_, query, k, scratch.heap);
   std::sort_heap(scratch.heap.begin(), scratch.heap.end(), heap_less);
   return scratch.heap;
+}
+
+void KdTree::save(persist::io::Writer& w) const {
+  save_matrix(w, points_);
+  w.u64(nodes_.size());
+  for (const Node& n : nodes_) {
+    w.u64(n.point);
+    w.u64(n.split_dim);
+    w.i64(n.left);
+    w.i64(n.right);
+  }
+  w.i64(root_);
+  w.u64(inserted_since_build_);
+}
+
+void KdTree::load(persist::io::Reader& r) {
+  points_ = load_matrix(r);
+  const auto count =
+      static_cast<std::size_t>(r.length(r.u64(), 4 * sizeof(std::uint64_t)));
+  nodes_.clear();
+  nodes_.reserve(count);
+  const auto valid_child = [count](std::int64_t id) {
+    return id == -1 || (id >= 0 && static_cast<std::size_t>(id) < count);
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    Node node;
+    node.point = static_cast<std::size_t>(r.u64());
+    node.split_dim = static_cast<std::size_t>(r.u64());
+    const std::int64_t left = r.i64();
+    const std::int64_t right = r.i64();
+    if (node.point >= points_.rows() ||
+        (points_.cols() != 0 && node.split_dim >= points_.cols()) ||
+        !valid_child(left) || !valid_child(right)) {
+      throw persist::CorruptData("kdtree: node references out of range");
+    }
+    node.left = static_cast<std::int32_t>(left);
+    node.right = static_cast<std::int32_t>(right);
+    nodes_.push_back(node);
+  }
+  const std::int64_t root = r.i64();
+  if (!valid_child(root)) throw persist::CorruptData("kdtree: root out of range");
+  root_ = static_cast<std::int32_t>(root);
+  inserted_since_build_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace larp::ml

@@ -21,6 +21,11 @@
 
 #include "linalg/matrix.hpp"
 
+namespace larp::persist::io {
+class Reader;
+class Writer;
+}  // namespace larp::persist::io
+
 namespace larp::ml {
 
 /// A neighbour hit: index of the training point and squared distance.
@@ -68,6 +73,12 @@ class KdTree {
   /// points outnumber the ones present at the last build, keeping the
   /// amortized cost O(log N).  An empty tree adopts the point's dimension.
   void insert(std::span<const double> point);
+
+  /// Exact-structure serialization: nodes and split dimensions round-trip
+  /// verbatim, so a restored tree visits neighbours in the identical order
+  /// (equal-distance ties included) as the one that was snapshotted.
+  void save(persist::io::Writer& w) const;
+  void load(persist::io::Reader& r);
 
  private:
   struct Node {

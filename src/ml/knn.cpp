@@ -4,6 +4,7 @@
 #include <map>
 
 #include "linalg/kernels.hpp"
+#include "ml/serialize.hpp"
 #include "util/error.hpp"
 
 namespace larp::ml {
@@ -176,6 +177,38 @@ std::size_t majority_vote(const std::vector<std::size_t>& labels) {
     }
   }
   return winner;
+}
+
+void KnnClassifier::save(persist::io::Writer& w) const {
+  w.u64(k_);
+  w.u8(backend_ == KnnBackend::KdTree ? 1 : 0);
+  save_matrix(w, points_);
+  w.u64_span(labels_);
+  w.u64(max_label_);
+  w.boolean(tree_.has_value());
+  if (tree_) tree_->save(w);
+  w.boolean(fitted_);
+}
+
+void KnnClassifier::load(persist::io::Reader& r) {
+  const auto k = static_cast<std::size_t>(r.u64());
+  if (k == 0) throw persist::CorruptData("knn: serialized k must be positive");
+  const std::uint8_t backend = r.u8();
+  if (backend > 1) throw persist::CorruptData("knn: unknown serialized backend");
+  k_ = k;
+  backend_ = backend == 1 ? KnnBackend::KdTree : KnnBackend::BruteForce;
+  points_ = load_matrix(r);
+  labels_ = r.u64_vector();
+  max_label_ = static_cast<std::size_t>(r.u64());
+  tree_.reset();
+  if (r.boolean()) {
+    tree_.emplace();
+    tree_->load(r);
+  }
+  fitted_ = r.boolean();
+  if (labels_.size() != points_.rows()) {
+    throw persist::CorruptData("knn: serialized labels/points mismatch");
+  }
 }
 
 }  // namespace larp::ml

@@ -16,6 +16,11 @@
 #include "linalg/matrix.hpp"
 #include "ml/kdtree.hpp"
 
+namespace larp::persist::io {
+class Reader;
+class Writer;
+}  // namespace larp::persist::io
+
 namespace larp::ml {
 
 enum class KnnBackend { BruteForce, KdTree };
@@ -75,6 +80,12 @@ class KnnClassifier {
   /// classify() for every row of a query matrix.
   [[nodiscard]] std::vector<std::size_t> classify(
       const linalg::Matrix& queries) const;
+
+  /// Exact-state serialization: k, backend, the labeled point set, and the
+  /// kd-tree structure (when present) all round-trip verbatim so restored
+  /// classifications are bit-identical, tie-breaking included.
+  void save(persist::io::Writer& w) const;
+  void load(persist::io::Reader& r);
 
  private:
   void require_fitted() const;

@@ -1,6 +1,7 @@
 #include "ml/normalizer.hpp"
 
 #include "linalg/kernels.hpp"
+#include "persist/io.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -59,6 +60,18 @@ void ZScoreNormalizer::inverse_into(std::span<const double> zs,
   }
   linalg::kernels::zscore_inverse(zs.data(), zs.size(), mean_, stddev_,
                                   out.data());
+}
+
+void ZScoreNormalizer::save(persist::io::Writer& w) const {
+  w.f64(mean_);
+  w.f64(stddev_);
+  w.boolean(fitted_);
+}
+
+void ZScoreNormalizer::load(persist::io::Reader& r) {
+  mean_ = r.f64();
+  stddev_ = r.f64();
+  fitted_ = r.boolean();
 }
 
 }  // namespace larp::ml

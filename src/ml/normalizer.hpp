@@ -10,6 +10,11 @@
 #include <span>
 #include <vector>
 
+namespace larp::persist::io {
+class Reader;
+class Writer;
+}  // namespace larp::persist::io
+
 namespace larp::ml {
 
 class ZScoreNormalizer {
@@ -38,6 +43,10 @@ class ZScoreNormalizer {
 
   /// Batched, allocation-free inverse into caller-owned storage.
   void inverse_into(std::span<const double> zs, std::span<double> out) const;
+
+  /// Exact-state serialization for durable snapshots (persist layer).
+  void save(persist::io::Writer& w) const;
+  void load(persist::io::Reader& r);
 
  private:
   void require_fitted() const;

@@ -5,6 +5,7 @@
 #include "linalg/covariance.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/kernels.hpp"
+#include "ml/serialize.hpp"
 #include "util/error.hpp"
 
 namespace larp::ml {
@@ -135,6 +136,28 @@ void Pca::inverse_transform_into(std::span<const double> reduced,
   for (std::size_t r = 0; r < dimension_; ++r) {
     out[r] = means_[r] + linalg::kernels::dot(basis_.data().data() + r * components_,
                                               reduced.data(), components_);
+  }
+}
+
+void Pca::save(persist::io::Writer& w) const {
+  w.f64_span(means_);
+  save_matrix(w, basis_);
+  w.f64_span(eigenvalues_);
+  w.u64(components_);
+  w.u64(dimension_);
+  w.boolean(fitted_);
+}
+
+void Pca::load(persist::io::Reader& r) {
+  means_ = r.f64_vector();
+  basis_ = load_matrix(r);
+  eigenvalues_ = r.f64_vector();
+  components_ = static_cast<std::size_t>(r.u64());
+  dimension_ = static_cast<std::size_t>(r.u64());
+  fitted_ = r.boolean();
+  if (fitted_ && (basis_.rows() != dimension_ || basis_.cols() != components_ ||
+                  means_.size() != dimension_)) {
+    throw persist::CorruptData("pca: inconsistent serialized dimensions");
   }
 }
 

@@ -15,6 +15,11 @@
 
 #include "linalg/matrix.hpp"
 
+namespace larp::persist::io {
+class Reader;
+class Writer;
+}  // namespace larp::persist::io
+
 namespace larp::ml {
 
 /// Component-selection policy.
@@ -73,6 +78,10 @@ class Pca {
   /// Allocation-free inverse projection into caller-owned storage (length m).
   void inverse_transform_into(std::span<const double> reduced,
                               std::span<double> out) const;
+
+  /// Exact-state serialization for durable snapshots (persist layer).
+  void save(persist::io::Writer& w) const;
+  void load(persist::io::Reader& r);
 
  private:
   void require_fitted() const;

@@ -1,0 +1,33 @@
+// persist::io helpers for the linalg substrate types the ml layer
+// serializes (matrices, vectors of class labels).  Header-only and included
+// from the ml .cpp files, so linalg itself never grows a persist dependency.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "persist/io.hpp"
+
+namespace larp::ml {
+
+/// [rows u64][cols u64][rows*cols f64 bit patterns, row-major].
+inline void save_matrix(persist::io::Writer& w, const linalg::Matrix& m) {
+  w.u64(m.rows());
+  w.u64(m.cols());
+  for (double x : m.data()) w.f64(x);
+}
+
+inline linalg::Matrix load_matrix(persist::io::Reader& r) {
+  const auto rows = static_cast<std::size_t>(r.length(r.u64(), sizeof(double)));
+  const auto cols = static_cast<std::size_t>(r.length(r.u64(), sizeof(double)));
+  // Each dimension alone fits the buffer; guard their product too before
+  // allocating (rows * 8 cannot overflow: rows <= remaining / 8).
+  if (rows != 0 && cols > r.remaining() / (rows * sizeof(double))) {
+    throw persist::CorruptData("persist: matrix dimensions exceed payload");
+  }
+  linalg::Matrix m(rows, cols);
+  for (double& x : m.data()) x = r.f64();
+  return m;
+}
+
+}  // namespace larp::ml

@@ -1,0 +1,69 @@
+#include "persist/crc32c.hpp"
+
+#include <array>
+
+namespace larp::persist {
+
+namespace {
+
+// 8 tables of 256 entries: table[0] is the classic byte-at-a-time table for
+// the reflected polynomial 0x82F63B78; table[k] advances a byte through k
+// additional zero bytes, which is what lets the hot loop fold 8 input bytes
+// per iteration (slicing-by-8).
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  constexpr Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t slice = 1; slice < 8; ++slice) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[slice][i] = crc;
+      }
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32c_init() noexcept { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32c_update(std::uint32_t state,
+                            std::span<const std::byte> data) noexcept {
+  const auto& t = kTables.t;
+  std::uint32_t crc = state;
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+  for (; i + 8 <= n; i += 8) {
+    const auto b = [&](std::size_t j) {
+      return static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(data[i + j]));
+    };
+    const std::uint32_t low = crc ^ (b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24));
+    crc = t[7][low & 0xFFu] ^ t[6][(low >> 8) & 0xFFu] ^
+          t[5][(low >> 16) & 0xFFu] ^ t[4][low >> 24] ^
+          t[3][b(4)] ^ t[2][b(5)] ^ t[1][b(6)] ^ t[0][b(7)];
+  }
+  for (; i < n; ++i) {
+    crc = t[0][(crc ^ std::to_integer<std::uint8_t>(data[i])) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint32_t crc32c_finish(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32c(std::span<const std::byte> data) noexcept {
+  return crc32c_finish(crc32c_update(crc32c_init(), data));
+}
+
+}  // namespace larp::persist

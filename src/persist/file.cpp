@@ -1,0 +1,143 @@
+#include "persist/file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace larp::persist {
+
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what,
+                              const std::filesystem::path& path) {
+  throw IoError(what + " " + path.string() + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+AppendFile::~AppendFile() { close(); }
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void AppendFile::open(const std::filesystem::path& path) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) raise_errno("AppendFile: cannot open", path);
+  path_ = path;
+}
+
+void AppendFile::append(std::span<const std::byte> data) {
+  const auto* p = reinterpret_cast<const char*>(data.data());
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("AppendFile: write failed on", path_);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+std::uint64_t AppendFile::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) raise_errno("AppendFile: fstat failed on", path_);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void AppendFile::truncate(std::uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    raise_errno("AppendFile: ftruncate failed on", path_);
+  }
+}
+
+void AppendFile::sync() {
+  if (::fdatasync(fd_) != 0) raise_errno("AppendFile: fdatasync failed on", path_);
+}
+
+void AppendFile::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::vector<std::byte> read_file(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) raise_errno("read_file: cannot open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    raise_errno("read_file: fstat failed on", path);
+  }
+  std::vector<std::byte> contents(static_cast<std::size_t>(st.st_size));
+  std::size_t got = 0;
+  while (got < contents.size()) {
+    const ssize_t n = ::read(fd, contents.data() + got, contents.size() - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      raise_errno("read_file: read failed on", path);
+    }
+    if (n == 0) break;  // file shrank under us; keep what we have
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  contents.resize(got);
+  return contents;
+}
+
+void publish_file(const std::filesystem::path& path,
+                  std::span<const std::byte> contents) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    AppendFile file;
+    // O_APPEND over a fresh file: remove any orphaned tmp first so a retry
+    // after a crash does not append to stale bytes.
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    file.open(tmp);
+    file.append(contents);
+    file.sync();
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    raise_errno("publish_file: rename failed for", path);
+  }
+  sync_directory(path.parent_path());
+}
+
+void sync_directory(const std::filesystem::path& dir) {
+  const std::filesystem::path target = dir.empty() ? "." : dir;
+  const int fd = ::open(target.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) raise_errno("sync_directory: cannot open", target);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) raise_errno("sync_directory: fsync failed on", target);
+}
+
+void ensure_directory(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw IoError("ensure_directory: cannot create " + dir.string() + ": " +
+                  ec.message());
+  }
+}
+
+}  // namespace larp::persist

@@ -1,0 +1,82 @@
+// Thin POSIX file layer for the durability subsystem: append-only writes,
+// explicit fsync, atomic publish via write-to-temp + rename.
+//
+// Everything durable goes through this file so the fsync discipline is
+// auditable in one place:
+//  * AppendFile::sync() is fdatasync (frame data + size, not timestamps);
+//  * publish_file() fsyncs the temp file BEFORE the rename and the parent
+//    directory AFTER it — the order that makes the rename itself durable;
+//  * readers never see a half-written published file: a crash leaves either
+//    the old name, a *.tmp orphan (ignored by directory scans), or the
+//    complete new file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace larp::persist {
+
+/// Thrown when the OS rejects a durability operation (open/write/fsync/
+/// rename failures).  Distinct from CorruptData: this is an environment
+/// problem, not an integrity one.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An append-only file descriptor with explicit durability control.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+
+  /// Opens (creating if absent) for appending.  Throws IoError on failure.
+  void open(const std::filesystem::path& path);
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+
+  /// Appends every byte (loops over partial writes).  Throws IoError.
+  void append(std::span<const std::byte> data);
+
+  /// Current file size in bytes.
+  [[nodiscard]] std::uint64_t size() const;
+
+  /// Truncates to `size` bytes (torn-tail repair).  Throws IoError.
+  void truncate(std::uint64_t size);
+
+  /// fdatasync: makes every appended byte durable.  Throws IoError.
+  void sync();
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::filesystem::path path_;
+};
+
+/// Reads a whole file into memory; throws IoError when unreadable.
+[[nodiscard]] std::vector<std::byte> read_file(const std::filesystem::path& path);
+
+/// Atomically publishes `contents` at `path`: writes `path` + ".tmp", fsyncs
+/// it, renames over `path`, and fsyncs the parent directory.  A crash at any
+/// point leaves either no file, a stale ".tmp" orphan, or the complete file.
+void publish_file(const std::filesystem::path& path,
+                  std::span<const std::byte> contents);
+
+/// fsyncs a directory so previously renamed/created entries are durable.
+void sync_directory(const std::filesystem::path& dir);
+
+/// mkdir -p with IoError on failure.
+void ensure_directory(const std::filesystem::path& dir);
+
+}  // namespace larp::persist

@@ -1,0 +1,198 @@
+// persist::io — the explicit, versioned binary encoding every durable
+// artifact (snapshot payloads, WAL frames) is written in.
+//
+// Encoding rules
+// --------------
+//  * every integer is little-endian with an explicit width (u8/u32/u64/i64);
+//    std::size_t never hits the wire directly — container sizes travel as
+//    u64, so a snapshot written on one ABI reads back on another;
+//  * doubles travel as the little-endian bytes of their IEEE-754 bit
+//    pattern (std::bit_cast), which is what makes restore *bit-identical*:
+//    no text round-trip, no rounding;
+//  * strings and byte blobs are u64-length-prefixed;
+//  * there is no field tagging — layout is fixed per format version, and the
+//    container formats (snapshot header, WAL frame header) carry the version
+//    plus a CRC32C over everything, so a reader never parses bytes it cannot
+//    trust.
+//
+// Reader is strictly bounds-checked: any overrun or contract mismatch throws
+// CorruptData, which the recovery layer treats as "stop trusting this file
+// here" rather than a crash.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace larp::persist {
+
+/// Thrown when durable bytes fail validation (checksum mismatch, truncated
+/// buffer, impossible length, wrong magic/version).  Recovery code catches
+/// this to fall back to the previous valid artifact.
+class CorruptData : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace io {
+
+/// Append-only little-endian encoder into an in-memory buffer.  The buffer
+/// is exposed as bytes() for framing/checksumming by the caller; reusing one
+/// Writer across frames (clear()) keeps the append path allocation-free in
+/// steady state.
+class Writer {
+ public:
+  void clear() noexcept { buffer_.clear(); }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return buffer_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+  void u8(std::uint8_t v) { buffer_.push_back(static_cast<std::byte>(v)); }
+  void u32(std::uint32_t v) { raw_le(v); }
+  void u64(std::uint64_t v) { raw_le(v); }
+  void i64(std::int64_t v) { raw_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { raw_le(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    const auto* data = reinterpret_cast<const std::byte*>(s.data());
+    buffer_.insert(buffer_.end(), data, data + s.size());
+  }
+
+  void bytes(std::span<const std::byte> blob) {
+    buffer_.insert(buffer_.end(), blob.begin(), blob.end());
+  }
+
+  /// u64 count followed by the raw IEEE-754 bit patterns.
+  void f64_span(std::span<const double> xs) {
+    u64(xs.size());
+    for (double x : xs) f64(x);
+  }
+
+  /// u64 count followed by u64 values.
+  void u64_span(std::span<const std::size_t> xs) {
+    u64(xs.size());
+    for (std::size_t x : xs) u64(x);
+  }
+
+  /// Reserves a u64 slot to be patched later (e.g. a blob length written
+  /// before the blob is encoded); returns the slot's byte offset.
+  [[nodiscard]] std::size_t reserve_u64() {
+    const std::size_t at = buffer_.size();
+    u64(0);
+    return at;
+  }
+  void patch_u64(std::size_t at, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buffer_[at + static_cast<std::size_t>(i)] =
+          static_cast<std::byte>((v >> (8 * i)) & 0xFFu);
+    }
+  }
+
+ private:
+  template <typename U>
+  void raw_le(U v) {
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      buffer_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+
+  std::vector<std::byte> buffer_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte range.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - cursor_;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return cursor_; }
+  [[nodiscard]] bool exhausted() const noexcept { return cursor_ == data_.size(); }
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return std::to_integer<std::uint8_t>(data_[cursor_++]);
+  }
+  [[nodiscard]] std::uint32_t u32() { return raw_le<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return raw_le<std::uint64_t>(); }
+  [[nodiscard]] std::int64_t i64() {
+    return static_cast<std::int64_t>(raw_le<std::uint64_t>());
+  }
+  [[nodiscard]] double f64() { return std::bit_cast<double>(raw_le<std::uint64_t>()); }
+  [[nodiscard]] bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw CorruptData("persist::io: boolean byte out of range");
+    return v == 1;
+  }
+
+  [[nodiscard]] std::string str() {
+    const std::uint64_t n = length(u64());
+    std::string s(reinterpret_cast<const char*>(data_.data() + cursor_),
+                  static_cast<std::size_t>(n));
+    cursor_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  [[nodiscard]] std::span<const std::byte> bytes(std::size_t n) {
+    need(n);
+    const auto view = data_.subspan(cursor_, n);
+    cursor_ += n;
+    return view;
+  }
+
+  [[nodiscard]] std::vector<double> f64_vector() {
+    const std::uint64_t n = length(u64(), sizeof(double));
+    std::vector<double> xs(static_cast<std::size_t>(n));
+    for (auto& x : xs) x = f64();
+    return xs;
+  }
+
+  [[nodiscard]] std::vector<std::size_t> u64_vector() {
+    const std::uint64_t n = length(u64(), sizeof(std::uint64_t));
+    std::vector<std::size_t> xs(static_cast<std::size_t>(n));
+    for (auto& x : xs) x = static_cast<std::size_t>(u64());
+    return xs;
+  }
+
+  /// Validates that a u64-encoded count is actually satisfiable by the
+  /// remaining bytes (guards against reserving gigabytes off a corrupt
+  /// length before the per-element reads would have caught it).
+  [[nodiscard]] std::uint64_t length(std::uint64_t n, std::size_t element_size = 1) {
+    if (element_size == 0 || n > remaining() / element_size) {
+      throw CorruptData("persist::io: length prefix exceeds remaining bytes");
+    }
+    return n;
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) {
+      throw CorruptData("persist::io: read past end of buffer");
+    }
+  }
+
+  template <typename U>
+  [[nodiscard]] U raw_le() {
+    need(sizeof(U));
+    U v = 0;
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      v |= static_cast<U>(std::to_integer<std::uint8_t>(data_[cursor_ + i]))
+           << (8 * i);
+    }
+    cursor_ += sizeof(U);
+    return v;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace io
+}  // namespace larp::persist

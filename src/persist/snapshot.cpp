@@ -1,0 +1,134 @@
+#include "persist/snapshot.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+#include "persist/crc32c.hpp"
+#include "persist/file.hpp"
+#include "util/log.hpp"
+
+namespace larp::persist {
+
+namespace {
+
+// "LARPSNP1" as a little-endian u64.
+constexpr std::uint64_t kMagic = 0x31504E5350524C41ull;
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;  // magic+version+epoch+size
+constexpr std::size_t kFooterBytes = 4;              // masked crc32c
+
+std::filesystem::path snapshot_path(const std::filesystem::path& dir,
+                                    std::uint64_t epoch) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "snapshot-%020llu.snap",
+                static_cast<unsigned long long>(epoch));
+  return dir / name;
+}
+
+}  // namespace
+
+std::filesystem::path publish_snapshot(const std::filesystem::path& dir,
+                                       std::uint64_t epoch,
+                                       std::span<const std::byte> payload) {
+  ensure_directory(dir);
+  io::Writer w;
+  w.u64(kMagic);
+  w.u32(kSnapshotFormatVersion);
+  w.u64(epoch);
+  w.u64(payload.size());
+  w.bytes(payload);
+  const std::uint32_t crc = crc32c(w.bytes());
+  w.u32(crc32c_mask(crc));
+
+  const auto path = snapshot_path(dir, epoch);
+  publish_file(path, w.bytes());
+  return path;
+}
+
+std::vector<SnapshotInfo> list_snapshots(const std::filesystem::path& dir) {
+  std::vector<SnapshotInfo> found;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return found;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("snapshot-") || !name.ends_with(".snap")) continue;
+    const std::string digits = name.substr(9, name.size() - 9 - 5);
+    std::uint64_t epoch = 0;
+    const auto [ptr, parse] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), epoch);
+    if (parse != std::errc{} || ptr != digits.data() + digits.size()) continue;
+    found.push_back({entry.path(), epoch});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.epoch < b.epoch; });
+  return found;
+}
+
+LoadedSnapshot load_snapshot(const std::filesystem::path& path) {
+  const auto contents = read_file(path);
+  if (contents.size() < kHeaderBytes + kFooterBytes) {
+    throw CorruptData("snapshot: file shorter than header + checksum");
+  }
+  io::Reader header{std::span(contents).first(kHeaderBytes)};
+  if (header.u64() != kMagic) throw CorruptData("snapshot: bad magic");
+  LoadedSnapshot loaded;
+  loaded.version = header.u32();
+  if (loaded.version == 0 || loaded.version > kSnapshotFormatVersion) {
+    throw CorruptData("snapshot: unsupported format version");
+  }
+  loaded.epoch = header.u64();
+  const std::uint64_t payload_size = header.u64();
+  if (payload_size != contents.size() - kHeaderBytes - kFooterBytes) {
+    throw CorruptData("snapshot: payload size does not match file size");
+  }
+
+  const auto body = std::span(contents).first(contents.size() - kFooterBytes);
+  io::Reader footer{std::span(contents).last(kFooterBytes)};
+  if (crc32c_unmask(footer.u32()) != crc32c(body)) {
+    throw CorruptData("snapshot: checksum mismatch");
+  }
+  loaded.payload.assign(body.begin() + kHeaderBytes, body.end());
+  return loaded;
+}
+
+std::optional<LoadedSnapshot> load_newest_valid(
+    const std::filesystem::path& dir) {
+  const auto snapshots = list_snapshots(dir);
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    try {
+      return load_snapshot(it->path);
+    } catch (const Error& e) {
+      LARP_LOG_WARN("persist") << "skipping invalid snapshot "
+                               << it->path.string() << ": " << e.what();
+    }
+  }
+  return std::nullopt;
+}
+
+void retain_snapshots(const std::filesystem::path& dir, std::size_t keep) {
+  if (keep == 0) keep = 1;
+  const auto snapshots = list_snapshots(dir);
+  // Count only snapshots that validate toward the retained set, so a corrupt
+  // newest file never causes deletion of the fallback it shadows.
+  std::size_t valid_kept = 0;
+  std::vector<std::filesystem::path> removable;
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    if (valid_kept >= keep) {
+      removable.push_back(it->path);
+      continue;
+    }
+    try {
+      (void)load_snapshot(it->path);
+      ++valid_kept;
+    } catch (const Error&) {
+      // Invalid: neither retained nor trusted enough to delete siblings over.
+    }
+  }
+  for (const auto& path : removable) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+}
+
+}  // namespace larp::persist

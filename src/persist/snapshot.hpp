@@ -1,0 +1,72 @@
+// Versioned, checksummed model snapshots.
+//
+// A snapshot is one self-contained file holding a full serialized engine
+// state (payload bytes are produced by the caller — see
+// serve::PredictionEngine::snapshot).  File layout, all little-endian:
+//
+//   [ magic  u64 = "LARPSNP1" ]                      -- format identity
+//   [ version u32 ]                                  -- payload layout version
+//   [ epoch   u64 ]                                  -- snapshot ordinal (monotone)
+//   [ payload_size u64 ]
+//   [ payload bytes ... ]
+//   [ crc32c u32 (masked) over everything above ]
+//
+// Publication is atomic (write-to-temp + fsync + rename + directory fsync),
+// and validation is total: a reader accepts a snapshot only when the magic,
+// version, size, and checksum all hold, so a bit flip anywhere in the file
+// rejects it and recovery falls back to the previous retained snapshot.
+//
+// Naming: snapshot-<epoch, 20 digits>.snap in the snapshot directory, so a
+// lexicographic directory sort is also an epoch sort.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "persist/io.hpp"
+
+namespace larp::persist {
+
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// One discovered snapshot file (not yet validated).
+struct SnapshotInfo {
+  std::filesystem::path path;
+  std::uint64_t epoch = 0;
+};
+
+/// A validated, fully loaded snapshot.
+struct LoadedSnapshot {
+  std::uint64_t epoch = 0;
+  std::uint32_t version = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Atomically publishes `payload` as snapshot epoch `epoch` in `dir`
+/// (created if absent).  Returns the published path.
+std::filesystem::path publish_snapshot(const std::filesystem::path& dir,
+                                       std::uint64_t epoch,
+                                       std::span<const std::byte> payload);
+
+/// All snapshot files in `dir`, ascending epoch.  Temp files and foreign
+/// names are ignored; missing directory yields an empty list.
+[[nodiscard]] std::vector<SnapshotInfo> list_snapshots(
+    const std::filesystem::path& dir);
+
+/// Loads and validates one snapshot file; throws CorruptData when the magic,
+/// version, size, or checksum fails, IoError when unreadable.
+[[nodiscard]] LoadedSnapshot load_snapshot(const std::filesystem::path& path);
+
+/// The newest snapshot in `dir` that validates, walking backwards past
+/// corrupt or torn files; nullopt when none survives.
+[[nodiscard]] std::optional<LoadedSnapshot> load_newest_valid(
+    const std::filesystem::path& dir);
+
+/// Deletes the oldest snapshots beyond the newest `keep` (keep >= 1).
+/// Corrupt files do not count toward the retained set.
+void retain_snapshots(const std::filesystem::path& dir, std::size_t keep);
+
+}  // namespace larp::persist

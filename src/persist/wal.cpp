@@ -1,0 +1,320 @@
+#include "persist/wal.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+#include "persist/crc32c.hpp"
+#include "util/log.hpp"
+
+namespace larp::persist {
+
+namespace {
+
+// "LARPWAL1" as a little-endian u64.
+constexpr std::uint64_t kMagic = 0x314C415750524C41ull;
+constexpr std::size_t kSegmentHeaderBytes = 8 + 4 + 4 + 8;
+constexpr std::size_t kFrameHeaderBytes = 4 + 4;  // length + masked crc
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+std::filesystem::path segment_path(const std::filesystem::path& dir,
+                                   std::uint32_t shard, std::uint64_t start_seq) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "wal-%04u-%020llu.log", shard,
+                static_cast<unsigned long long>(start_seq));
+  return dir / name;
+}
+
+struct SegmentScan {
+  std::uint64_t start_seq = 0;
+  std::uint64_t next_seq = 0;     // after the last valid contiguous frame
+  std::uint64_t valid_bytes = 0;  // file offset just past that frame
+  bool clean = true;              // false: trailing torn/corrupt bytes exist
+};
+
+/// Walks a segment's frames, invoking fn(seq, payload) for each valid one in
+/// order, stopping at the first torn or corrupt frame.  Sequence numbers
+/// must be contiguous from the segment's start_seq — a gap is corruption.
+/// Throws CorruptData only for an unusable header; frame damage is reported
+/// via `clean` so callers recover the valid prefix.
+template <typename Fn>
+SegmentScan scan_segment(std::span<const std::byte> contents,
+                         std::uint32_t shard, const Fn& fn) {
+  if (contents.size() < kSegmentHeaderBytes) {
+    throw CorruptData("wal: segment shorter than its header");
+  }
+  io::Reader header(contents.first(kSegmentHeaderBytes));
+  if (header.u64() != kMagic) throw CorruptData("wal: bad segment magic");
+  const std::uint32_t version = header.u32();
+  if (version == 0 || version > kWalFormatVersion) {
+    throw CorruptData("wal: unsupported segment version");
+  }
+  if (header.u32() != shard) throw CorruptData("wal: segment shard mismatch");
+
+  SegmentScan scan;
+  scan.start_seq = header.u64();
+  scan.next_seq = scan.start_seq;
+  scan.valid_bytes = kSegmentHeaderBytes;
+
+  std::size_t offset = kSegmentHeaderBytes;
+  while (offset < contents.size()) {
+    if (contents.size() - offset < kFrameHeaderBytes) break;  // torn header
+    io::Reader frame_header(contents.subspan(offset, kFrameHeaderBytes));
+    const std::uint32_t length = frame_header.u32();
+    const std::uint32_t stored_crc = crc32c_unmask(frame_header.u32());
+    if (length < 8 || length > kMaxFrameBytes ||
+        length > contents.size() - offset - kFrameHeaderBytes) {
+      break;  // torn or corrupt length
+    }
+    const auto body = contents.subspan(offset + kFrameHeaderBytes, length);
+    if (crc32c(body) != stored_crc) break;  // corrupt frame
+    io::Reader body_reader(body);
+    const std::uint64_t seq = body_reader.u64();
+    if (seq != scan.next_seq) break;  // sequence hole: cannot trust onwards
+    fn(seq, body.subspan(8));
+    scan.next_seq = seq + 1;
+    offset += kFrameHeaderBytes + length;
+    scan.valid_bytes = offset;
+  }
+  scan.clean = (scan.valid_bytes == contents.size());
+  return scan;
+}
+
+}  // namespace
+
+std::vector<WalSegmentInfo> list_wal_segments(const std::filesystem::path& dir,
+                                              std::uint32_t shard) {
+  char prefix[16];
+  std::snprintf(prefix, sizeof(prefix), "wal-%04u-", shard);
+  std::vector<WalSegmentInfo> found;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return found;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with(prefix) || !name.ends_with(".log")) continue;
+    const std::string digits = name.substr(9, name.size() - 9 - 4);
+    std::uint64_t start_seq = 0;
+    const auto [ptr, parse] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), start_seq);
+    if (parse != std::errc{} || ptr != digits.data() + digits.size()) continue;
+    found.push_back({entry.path(), start_seq});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.start_seq < b.start_seq; });
+  return found;
+}
+
+WalReplayReport replay_wal(const std::filesystem::path& dir, std::uint32_t shard,
+                           std::uint64_t from_seq,
+                           const std::function<void(const WalFrame&)>& fn) {
+  WalReplayReport report;
+  report.next_seq = 0;
+  const auto segments = list_wal_segments(dir, shard);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    // Segments must themselves be contiguous: segment k starts where k-1's
+    // valid frames ended.  A mismatch (missing file, mid-log damage) ends
+    // the trustworthy prefix.
+    if (i > 0 && segments[i].start_seq != report.next_seq) {
+      report.truncated_tail = true;
+      return report;
+    }
+    std::vector<std::byte> contents;
+    SegmentScan scan;
+    try {
+      contents = read_file(segments[i].path);
+      scan = scan_segment(contents, shard, [&](std::uint64_t seq,
+                                               std::span<const std::byte> payload) {
+        if (seq >= from_seq) {
+          fn(WalFrame{seq, payload});
+          ++report.frames_delivered;
+        } else {
+          ++report.frames_skipped;
+        }
+      });
+    } catch (const Error& e) {
+      LARP_LOG_WARN("persist") << "wal replay stopped at unreadable segment "
+                               << segments[i].path.string() << ": " << e.what();
+      report.truncated_tail = true;
+      return report;
+    }
+    if (i == 0) report.next_seq = scan.start_seq;
+    report.next_seq = scan.next_seq;
+    if (!scan.clean) {
+      report.truncated_tail = true;
+      return report;
+    }
+  }
+  return report;
+}
+
+void repair_wal(const std::filesystem::path& dir, std::uint32_t shard,
+                std::uint64_t next_seq) {
+  const auto segments = list_wal_segments(dir, shard);
+  for (const auto& segment : segments) {
+    if (segment.start_seq >= next_seq) {
+      std::error_code ec;
+      std::filesystem::remove(segment.path, ec);
+      continue;
+    }
+    // Segment starts below the cut: keep its frames below next_seq.
+    std::vector<std::byte> contents;
+    try {
+      contents = read_file(segment.path);
+    } catch (const Error&) {
+      std::error_code ec;
+      std::filesystem::remove(segment.path, ec);
+      continue;
+    }
+    std::uint64_t cut_bytes = kSegmentHeaderBytes;
+    try {
+      std::uint64_t offset_after = kSegmentHeaderBytes;
+      const auto scan = scan_segment(
+          contents, shard,
+          [&](std::uint64_t seq, std::span<const std::byte> payload) {
+            offset_after += kFrameHeaderBytes + 8 + payload.size();
+            if (seq < next_seq) cut_bytes = offset_after;
+          });
+      (void)scan;
+    } catch (const Error&) {
+      std::error_code ec;
+      std::filesystem::remove(segment.path, ec);
+      continue;
+    }
+    if (cut_bytes < contents.size()) {
+      AppendFile file;
+      file.open(segment.path);
+      file.truncate(cut_bytes);
+      file.sync();
+    }
+  }
+  sync_directory(dir);
+}
+
+WalWriter::WalWriter(std::filesystem::path dir, std::uint32_t shard,
+                     WalConfig config, std::uint64_t expected_next_seq)
+    : dir_(std::move(dir)), shard_(shard), config_(config) {
+  if (config_.fsync_every_n == 0) config_.fsync_every_n = 1;
+  ensure_directory(dir_);
+  last_sync_ = std::chrono::steady_clock::now();
+
+  const auto segments = list_wal_segments(dir_, shard_);
+  if (segments.empty()) {
+    next_seq_ = expected_next_seq == kAnySeq ? 0 : expected_next_seq;
+    open_segment(next_seq_);
+    return;
+  }
+
+  // Adopt the newest segment: scan its valid prefix, truncate any torn
+  // tail, and continue appending after the last durable frame.
+  const auto& newest = segments.back();
+  const auto contents = read_file(newest.path);
+  const auto scan =
+      scan_segment(contents, shard_, [](std::uint64_t, std::span<const std::byte>) {});
+  next_seq_ = scan.next_seq;
+  if (expected_next_seq != kAnySeq && expected_next_seq != next_seq_) {
+    throw CorruptData(
+        "wal: directory position disagrees with the engine's replay "
+        "watermark; refusing to fork the log");
+  }
+  file_.open(newest.path);
+  if (!scan.clean) {
+    LARP_LOG_WARN("persist") << "wal: truncating torn tail of "
+                             << newest.path.string() << " at byte "
+                             << scan.valid_bytes;
+    file_.truncate(scan.valid_bytes);
+    file_.sync();
+  }
+  segment_size_ = scan.valid_bytes;
+  if (segment_size_ >= config_.segment_bytes) {
+    file_.sync();
+    open_segment(next_seq_);
+  }
+}
+
+void WalWriter::open_segment(std::uint64_t start_seq) {
+  io::Writer header;
+  header.u64(kMagic);
+  header.u32(kWalFormatVersion);
+  header.u32(shard_);
+  header.u64(start_seq);
+  file_.open(segment_path(dir_, shard_, start_seq));
+  file_.append(header.bytes());
+  segment_size_ = header.size();
+  // Make the segment's existence durable before any frame relies on it.
+  file_.sync();
+  sync_directory(dir_);
+}
+
+std::uint64_t WalWriter::append(std::span<const std::byte> payload) {
+  const std::uint64_t seq = next_seq_++;
+
+  frame_scratch_.clear();
+  const std::size_t total = kFrameHeaderBytes + 8 + payload.size();
+  if (frame_scratch_.capacity() < total) frame_scratch_.reserve(total);
+  const auto push_le = [&](auto v, std::size_t bytes) {
+    for (std::size_t i = 0; i < bytes; ++i) {
+      frame_scratch_.push_back(
+          static_cast<std::byte>((static_cast<std::uint64_t>(v) >> (8 * i)) & 0xFFu));
+    }
+  };
+  push_le(static_cast<std::uint32_t>(8 + payload.size()), 4);
+  push_le(std::uint32_t{0}, 4);  // crc slot, patched below
+  push_le(seq, 8);
+  frame_scratch_.insert(frame_scratch_.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = crc32c_mask(
+      crc32c(std::span(frame_scratch_).subspan(kFrameHeaderBytes)));
+  for (std::size_t i = 0; i < 4; ++i) {
+    frame_scratch_[4 + i] = static_cast<std::byte>((crc >> (8 * i)) & 0xFFu);
+  }
+
+  file_.append(frame_scratch_);
+  segment_size_ += frame_scratch_.size();
+  ++appends_since_sync_;
+  maybe_sync();
+
+  if (segment_size_ >= config_.segment_bytes) {
+    // A rotated-away segment is complete and durable; replay relies on the
+    // next segment's start matching this one's end.
+    sync();
+    open_segment(next_seq_);
+  }
+  return seq;
+}
+
+void WalWriter::maybe_sync() {
+  switch (config_.fsync) {
+    case FsyncPolicy::Always:
+      sync();
+      break;
+    case FsyncPolicy::EveryN:
+      if (appends_since_sync_ >= config_.fsync_every_n) sync();
+      break;
+    case FsyncPolicy::Interval: {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_sync_ >= config_.fsync_interval) sync();
+      break;
+    }
+  }
+}
+
+void WalWriter::sync() {
+  file_.sync();
+  appends_since_sync_ = 0;
+  last_sync_ = std::chrono::steady_clock::now();
+}
+
+void WalWriter::prune_below(std::uint64_t min_seq) {
+  const auto segments = list_wal_segments(dir_, shard_);
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    // A segment is removable when the NEXT segment starts at or below
+    // min_seq: every frame in it is then older than the retention point.
+    if (segments[i + 1].start_seq <= min_seq &&
+        segments[i].path != file_.path()) {
+      std::error_code ec;
+      std::filesystem::remove(segments[i].path, ec);
+    }
+  }
+}
+
+}  // namespace larp::persist

@@ -1,0 +1,146 @@
+// Per-shard append-only write-ahead log.
+//
+// Each engine shard owns one logical log: an ordered sequence of frames,
+// split across segment files for bounded recovery reads and cheap garbage
+// collection.  Segment naming:
+//
+//   wal-<shard, 4 digits>-<start_seq, 20 digits>.log
+//
+// Segment file layout:
+//   [ magic u64 = "LARPWAL1" ][ version u32 ][ shard u32 ][ start_seq u64 ]
+//   frame*
+//
+// Frame layout (all little-endian):
+//   [ length u32 ]        -- byte count of seq + payload (i.e. 8 + payload)
+//   [ crc    u32 ]        -- masked CRC32C over the seq + payload bytes
+//   [ seq    u64 ]        -- this frame's log sequence number
+//   [ payload bytes ... ]
+//
+// Durability policy (WalConfig::fsync):
+//   * Always  — fdatasync after every append (lose nothing, pay a sync per
+//               record);
+//   * EveryN  — fdatasync after every n-th append (lose at most n-1 records);
+//   * Interval— fdatasync when `interval` has elapsed since the last sync
+//               (checked on append; lose at most one interval of records).
+//
+// Recovery contract: replay() delivers the longest checksum-valid prefix of
+// the log at or past `from_seq` and stops at the first torn or corrupt
+// frame — bytes beyond a bad frame are unreachable by construction, because
+// sequence numbers past a hole cannot be trusted.  WalWriter::open()
+// truncates a torn tail off the newest segment so appends continue from the
+// last durable frame.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "persist/file.hpp"
+#include "persist/io.hpp"
+
+namespace larp::persist {
+
+inline constexpr std::uint32_t kWalFormatVersion = 1;
+
+enum class FsyncPolicy : std::uint8_t { Always, EveryN, Interval };
+
+struct WalConfig {
+  /// Rotate to a new segment once the current one exceeds this many bytes.
+  std::size_t segment_bytes = 4u << 20;
+  FsyncPolicy fsync = FsyncPolicy::EveryN;
+  /// FsyncPolicy::EveryN: sync after every n-th append (n >= 1).
+  std::size_t fsync_every_n = 64;
+  /// FsyncPolicy::Interval: sync when this much time elapsed since the last.
+  std::chrono::milliseconds fsync_interval{50};
+};
+
+/// Appender for one shard's log.  Not internally synchronized: the owning
+/// shard's mutex serializes append() with everything else, matching the
+/// engine's locking contract.
+class WalWriter {
+ public:
+  /// Opens the shard's log in `dir` (created if absent), repairs a torn tail
+  /// on the newest segment, and positions the writer at the next sequence
+  /// number after the last valid frame.  `expected_next_seq` (when not
+  /// npos-like ~0) must match that position — the engine passes its replay
+  /// watermark so an inconsistent directory fails loudly instead of forking
+  /// the log.
+  WalWriter(std::filesystem::path dir, std::uint32_t shard, WalConfig config,
+            std::uint64_t expected_next_seq = kAnySeq);
+
+  static constexpr std::uint64_t kAnySeq = ~0ull;
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one frame; returns its sequence number.  Durability follows the
+  /// configured fsync policy.  Steady-state appends reuse the frame buffer —
+  /// no heap allocation once its capacity is established.
+  std::uint64_t append(std::span<const std::byte> payload);
+
+  /// Forces buffered frames durable regardless of policy.
+  void sync();
+
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+
+  /// Deletes segments whose every frame is below `min_seq` (already covered
+  /// by a retained snapshot on every recovery path).
+  void prune_below(std::uint64_t min_seq);
+
+ private:
+  void open_segment(std::uint64_t start_seq);
+  void maybe_sync();
+
+  std::filesystem::path dir_;
+  std::uint32_t shard_;
+  WalConfig config_;
+  AppendFile file_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t segment_size_ = 0;
+  std::size_t appends_since_sync_ = 0;
+  std::chrono::steady_clock::time_point last_sync_{};
+  std::vector<std::byte> frame_scratch_;
+};
+
+/// One recovered frame.
+struct WalFrame {
+  std::uint64_t seq = 0;
+  std::span<const std::byte> payload;  // valid only during the callback
+};
+
+/// Statistics of one replay pass.
+struct WalReplayReport {
+  std::uint64_t frames_delivered = 0;   // callbacks invoked (seq >= from_seq)
+  std::uint64_t frames_skipped = 0;     // valid frames below from_seq
+  std::uint64_t next_seq = 0;           // sequence after the last valid frame
+  bool truncated_tail = false;          // stopped at a torn/corrupt frame
+};
+
+/// Replays shard `shard`'s log from `dir`, invoking `fn` for every valid
+/// frame with seq >= from_seq, in sequence order.  Stops at the first
+/// invalid frame (torn tail or corruption) — the checksum-valid prefix rule.
+WalReplayReport replay_wal(const std::filesystem::path& dir, std::uint32_t shard,
+                           std::uint64_t from_seq,
+                           const std::function<void(const WalFrame&)>& fn);
+
+/// Physically truncates shard `shard`'s log so that `next_seq` is the next
+/// sequence number a writer will assign: deletes segments starting at or
+/// past `next_seq`, and cuts the segment containing it back to its valid
+/// prefix below `next_seq`.  Recovery calls this after a replay stopped at
+/// a corrupt frame, discarding the untrustworthy suffix for good.
+void repair_wal(const std::filesystem::path& dir, std::uint32_t shard,
+                std::uint64_t next_seq);
+
+/// Segment files of one shard in `dir`, ascending start_seq.
+struct WalSegmentInfo {
+  std::filesystem::path path;
+  std::uint64_t start_seq = 0;
+};
+[[nodiscard]] std::vector<WalSegmentInfo> list_wal_segments(
+    const std::filesystem::path& dir, std::uint32_t shard);
+
+}  // namespace larp::persist

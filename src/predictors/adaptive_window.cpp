@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "persist/io.hpp"
 #include "util/error.hpp"
 
 namespace larp::predictors {
@@ -57,6 +58,34 @@ double AdaptiveWindowBase::predict(std::span<const double> window) const {
   require_window(window, 1);
   const std::size_t length = std::min(best_window(), window.size());
   return window_statistic(window, length);
+}
+
+void AdaptiveWindowBase::save_state(persist::io::Writer& w) const {
+  // candidates_ derive from the constructor's max_window; their count is
+  // written as a consistency check against a mismatched configuration.
+  w.u64(candidates_.size());
+  for (const auto& e : errors_) {
+    w.u64(e.count());
+    w.f64(e.sum_squared_error());
+  }
+  w.f64_span(history_);
+}
+
+void AdaptiveWindowBase::load_state(persist::io::Reader& r) {
+  const auto count = static_cast<std::size_t>(r.u64());
+  if (count != candidates_.size()) {
+    throw persist::CorruptData(
+        "AdaptiveWindow: serialized candidate ladder disagrees with config");
+  }
+  for (auto& e : errors_) {
+    const auto n = static_cast<std::size_t>(r.u64());
+    const double sum_sq = r.f64();
+    e.restore(n, sum_sq);
+  }
+  history_ = r.f64_vector();
+  if (history_.size() > candidates_.back()) {
+    throw persist::CorruptData("AdaptiveWindow: serialized history too long");
+  }
 }
 
 double AdaptiveMean::window_statistic(std::span<const double> window,

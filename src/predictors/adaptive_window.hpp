@@ -29,6 +29,9 @@ class AdaptiveWindowBase : public Predictor {
   /// Currently best candidate length (exposed for tests/diagnostics).
   [[nodiscard]] std::size_t best_window() const noexcept;
 
+  void save_state(persist::io::Writer& w) const override;
+  void load_state(persist::io::Reader& r) override;
+
  protected:
   /// Statistic over the last `length` values of `window` (length is clamped
   /// to the window size by the caller).

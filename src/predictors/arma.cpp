@@ -5,6 +5,7 @@
 
 #include "linalg/lstsq.hpp"
 #include "linalg/toeplitz.hpp"
+#include "persist/io.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -130,6 +131,30 @@ std::unique_ptr<Predictor> Arma::clone() const {
 
 std::unique_ptr<Arma> make_moving_average(std::size_t ma_order) {
   return std::make_unique<Arma>(0, ma_order);
+}
+
+void Arma::save_state(persist::io::Writer& w) const {
+  w.f64_span(phi_);
+  w.f64_span(theta_);
+  w.f64(mean_);
+  w.boolean(fitted_);
+  w.f64_span(innovations_);
+  w.f64_span(history_);
+}
+
+void Arma::load_state(persist::io::Reader& r) {
+  phi_ = r.f64_vector();
+  theta_ = r.f64_vector();
+  mean_ = r.f64();
+  fitted_ = r.boolean();
+  innovations_ = r.f64_vector();
+  history_ = r.f64_vector();
+  if (fitted_ && (phi_.size() != p_ || theta_.size() != q_)) {
+    throw persist::CorruptData("ARMA: serialized orders disagree with config");
+  }
+  if (innovations_.size() > q_ || history_.size() > p_) {
+    throw persist::CorruptData("ARMA: serialized online state too long");
+  }
 }
 
 }  // namespace larp::predictors

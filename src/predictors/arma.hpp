@@ -51,6 +51,9 @@ class Arma final : public Predictor {
   }
   [[nodiscard]] bool fitted() const noexcept { return fitted_; }
 
+  void save_state(persist::io::Writer& w) const override;
+  void load_state(persist::io::Reader& r) override;
+
  private:
   [[nodiscard]] double forecast_from(std::span<const double> window) const;
 

@@ -4,6 +4,7 @@
 
 #include "linalg/kernels.hpp"
 #include "linalg/toeplitz.hpp"
+#include "persist/io.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -38,6 +39,26 @@ double Autoregressive::predict(std::span<const double> window) const {
 
 std::unique_ptr<Predictor> Autoregressive::clone() const {
   return std::make_unique<Autoregressive>(*this);
+}
+
+void Autoregressive::save_state(persist::io::Writer& w) const {
+  w.f64_span(coefficients_);
+  w.f64_span(coefficients_reversed_);
+  w.f64(mean_);
+  w.f64(innovation_variance_);
+  w.boolean(fitted_);
+}
+
+void Autoregressive::load_state(persist::io::Reader& r) {
+  coefficients_ = r.f64_vector();
+  coefficients_reversed_ = r.f64_vector();
+  mean_ = r.f64();
+  innovation_variance_ = r.f64();
+  fitted_ = r.boolean();
+  if (coefficients_.size() != coefficients_reversed_.size() ||
+      (fitted_ && coefficients_.size() != order_)) {
+    throw persist::CorruptData("AR: serialized coefficients disagree with order");
+  }
 }
 
 }  // namespace larp::predictors

@@ -45,6 +45,9 @@ class Autoregressive final : public Predictor {
     return innovation_variance_;
   }
 
+  void save_state(persist::io::Writer& w) const override;
+  void load_state(persist::io::Reader& r) override;
+
  private:
   std::size_t order_;
   std::vector<double> coefficients_;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "persist/io.hpp"
 #include "util/error.hpp"
 
 namespace larp::predictors {
@@ -47,6 +48,16 @@ double Ewma::predict(std::span<const double> window) const {
 
 std::unique_ptr<Predictor> Ewma::clone() const {
   return std::make_unique<Ewma>(*this);
+}
+
+void Ewma::save_state(persist::io::Writer& w) const {
+  w.f64(state_);
+  w.boolean(primed_);
+}
+
+void Ewma::load_state(persist::io::Reader& r) {
+  state_ = r.f64();
+  primed_ = r.boolean();
 }
 
 }  // namespace larp::predictors

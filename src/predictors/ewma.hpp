@@ -22,6 +22,9 @@ class Ewma final : public Predictor {
 
   [[nodiscard]] double alpha() const noexcept { return alpha_; }
 
+  void save_state(persist::io::Writer& w) const override;
+  void load_state(persist::io::Reader& r) override;
+
  private:
   [[nodiscard]] double window_ewma(std::span<const double> window) const;
 

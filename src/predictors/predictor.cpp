@@ -12,6 +12,10 @@ void Predictor::observe(double /*value*/) {}
 
 std::size_t Predictor::min_history() const { return 1; }
 
+void Predictor::save_state(persist::io::Writer& /*w*/) const {}
+
+void Predictor::load_state(persist::io::Reader& /*r*/) {}
+
 void Predictor::require_window(std::span<const double> window,
                                std::size_t required) const {
   if (window.size() < required) {

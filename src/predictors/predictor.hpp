@@ -24,6 +24,11 @@
 #include <span>
 #include <string>
 
+namespace larp::persist::io {
+class Reader;
+class Writer;
+}  // namespace larp::persist::io
+
 namespace larp::predictors {
 
 class Predictor {
@@ -54,6 +59,14 @@ class Predictor {
 
   /// Deep copy (pools clone their prototypes for thread-private use).
   [[nodiscard]] virtual std::unique_ptr<Predictor> clone() const = 0;
+
+  /// Serializes fitted/online state for durable snapshots.  The default is
+  /// a no-op: window-only models have nothing to persist.  The contract is
+  /// symmetric — load_state() consumes exactly what save_state() wrote,
+  /// against an instance constructed with the same configuration (snapshots
+  /// store state, not constructor parameters).
+  virtual void save_state(persist::io::Writer& w) const;
+  virtual void load_state(persist::io::Reader& r);
 
  protected:
   /// Throws InvalidArgument when the window is shorter than required.

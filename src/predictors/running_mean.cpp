@@ -1,5 +1,7 @@
 #include "predictors/running_mean.hpp"
 
+#include "persist/io.hpp"
+
 namespace larp::predictors {
 
 double RunningMean::predict(std::span<const double> window) const {
@@ -10,6 +12,19 @@ double RunningMean::predict(std::span<const double> window) const {
 
 std::unique_ptr<Predictor> RunningMean::clone() const {
   return std::make_unique<RunningMean>(*this);
+}
+
+void RunningMean::save_state(persist::io::Writer& w) const {
+  w.u64(moments_.count());
+  w.f64(moments_.mean());
+  w.f64(moments_.sum_squared_deviations());
+}
+
+void RunningMean::load_state(persist::io::Reader& r) {
+  const auto n = static_cast<std::size_t>(r.u64());
+  const double mean = r.f64();
+  const double m2 = r.f64();
+  moments_.restore(n, mean, m2);
 }
 
 }  // namespace larp::predictors

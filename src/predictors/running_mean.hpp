@@ -25,6 +25,9 @@ class RunningMean final : public Predictor {
     return moments_.count();
   }
 
+  void save_state(persist::io::Writer& w) const override;
+  void load_state(persist::io::Reader& r) override;
+
  private:
   stats::RunningMoments moments_;
 };

@@ -1,5 +1,6 @@
 #include "predictors/seasonal.hpp"
 
+#include "persist/io.hpp"
 #include "util/error.hpp"
 
 namespace larp::predictors {
@@ -40,6 +41,22 @@ double SeasonalNaive::predict(std::span<const double> window) const {
 
 std::unique_ptr<Predictor> SeasonalNaive::clone() const {
   return std::make_unique<SeasonalNaive>(*this);
+}
+
+void SeasonalNaive::save_state(persist::io::Writer& w) const {
+  w.f64_span(ring_);
+  w.u64(head_);
+  w.u64(count_);
+}
+
+void SeasonalNaive::load_state(persist::io::Reader& r) {
+  ring_ = r.f64_vector();
+  head_ = static_cast<std::size_t>(r.u64());
+  count_ = static_cast<std::size_t>(r.u64());
+  if (ring_.size() > period_ || head_ >= period_) {
+    throw persist::CorruptData("SeasonalNaive: serialized ring out of range");
+  }
+  ring_.reserve(period_);
 }
 
 }  // namespace larp::predictors

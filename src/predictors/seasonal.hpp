@@ -28,6 +28,9 @@ class SeasonalNaive final : public Predictor {
   [[nodiscard]] std::size_t period() const noexcept { return period_; }
   [[nodiscard]] bool primed() const noexcept { return count_ >= period_; }
 
+  void save_state(persist::io::Writer& w) const override;
+  void load_state(persist::io::Reader& r) override;
+
  private:
   std::size_t period_;
   std::vector<double> ring_;   // last `period` observations

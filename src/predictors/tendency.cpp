@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "persist/io.hpp"
 #include "util/error.hpp"
 
 namespace larp::predictors {
@@ -52,6 +53,18 @@ double Tendency::predict(std::span<const double> window) const {
 
 std::unique_ptr<Predictor> Tendency::clone() const {
   return std::make_unique<Tendency>(*this);
+}
+
+void Tendency::save_state(persist::io::Writer& w) const {
+  w.f64(avg_step_);
+  w.f64(previous_);
+  w.boolean(primed_);
+}
+
+void Tendency::load_state(persist::io::Reader& r) {
+  avg_step_ = r.f64();
+  previous_ = r.f64();
+  primed_ = r.boolean();
 }
 
 }  // namespace larp::predictors

@@ -25,6 +25,9 @@ class Tendency final : public Predictor {
   [[nodiscard]] std::size_t min_history() const override { return 2; }
   [[nodiscard]] std::unique_ptr<Predictor> clone() const override;
 
+  void save_state(persist::io::Writer& w) const override;
+  void load_state(persist::io::Reader& r) override;
+
  private:
   double smoothing_;
   double damping_;

@@ -48,6 +48,12 @@ class QualityAssuror {
   [[nodiscard]] std::size_t audits_performed() const noexcept { return audits_; }
   [[nodiscard]] std::size_t retrains_ordered() const noexcept { return retrains_; }
 
+  /// Reinstates counters from a durable snapshot.
+  void restore_counters(std::size_t audits, std::size_t retrains) noexcept {
+    audits_ = audits;
+    retrains_ = retrains;
+  }
+
  private:
   const tsdb::PredictionDatabase* db_;
   QaConfig config_;

@@ -25,6 +25,9 @@ class CentroidSelector final : public Selector {
   [[nodiscard]] std::unique_ptr<Selector> clone() const override;
 
   [[nodiscard]] const ml::Pca& pca() const noexcept { return pca_; }
+  [[nodiscard]] const ml::NearestCentroidClassifier& classifier() const noexcept {
+    return classifier_;
+  }
 
  private:
   ml::Pca pca_;

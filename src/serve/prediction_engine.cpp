@@ -1,8 +1,11 @@
 #include "serve/prediction_engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
+#include "persist/file.hpp"
+#include "persist/snapshot.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -16,6 +19,78 @@ std::uint64_t nanos_since(Clock::time_point start) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start)
           .count());
+}
+
+// Engine snapshot payload version (inside the persist::snapshot container,
+// which carries its own format version and checksum).
+constexpr std::uint32_t kEnginePayloadVersion = 1;
+
+// WAL frame types.  predict() frames matter for bit-identical recovery:
+// predict_next() mutates the predictor's pending-forecast state and the
+// prediction DB, both of which feed the residual/uncertainty stream.
+constexpr std::uint8_t kWalObserve = 0;
+constexpr std::uint8_t kWalPredict = 1;
+constexpr std::uint8_t kWalErase = 2;
+
+std::uint8_t checked_enum(persist::io::Reader& r, const char* what) {
+  const std::uint8_t v = r.u8();
+  if (v > 1) {
+    throw persist::CorruptData(std::string("engine snapshot: bad ") + what);
+  }
+  return v;
+}
+
+// The identity-defining configuration travels in the snapshot so a restored
+// engine reproduces the original's behaviour exactly; runtime knobs
+// (threads, durability tuning) deliberately stay out.
+void save_engine_config(persist::io::Writer& w, const EngineConfig& c) {
+  const auto& l = c.lar;
+  w.u64(l.window);
+  w.u64(l.pca_components);
+  w.f64(l.pca_min_variance);
+  w.u8(l.classifier == core::ClassifierKind::NearestCentroid ? 1 : 0);
+  w.u64(l.knn_k);
+  w.u8(l.knn_backend == ml::KnnBackend::KdTree ? 1 : 0);
+  w.u8(l.labeling == core::Labeling::WindowMse ? 1 : 0);
+  w.u64(l.label_window);
+  w.u64(l.uncertainty_window);
+  w.boolean(l.soft_vote);
+  w.boolean(l.online_learning);
+  w.boolean(l.predict_in_pca_space);
+  w.f64(c.quality.mse_threshold);
+  w.u64(c.quality.audit_window);
+  w.u64(c.quality.min_records);
+  w.u64(c.shards);
+  w.u64(c.train_samples);
+  w.u64(c.history_capacity);
+  w.u64(c.audit_every);
+}
+
+void load_engine_config(persist::io::Reader& r, EngineConfig& c) {
+  auto& l = c.lar;
+  l.window = static_cast<std::size_t>(r.u64());
+  l.pca_components = static_cast<std::size_t>(r.u64());
+  l.pca_min_variance = r.f64();
+  l.classifier = checked_enum(r, "classifier") != 0
+                     ? core::ClassifierKind::NearestCentroid
+                     : core::ClassifierKind::Knn;
+  l.knn_k = static_cast<std::size_t>(r.u64());
+  l.knn_backend = checked_enum(r, "knn backend") != 0 ? ml::KnnBackend::KdTree
+                                                      : ml::KnnBackend::BruteForce;
+  l.labeling = checked_enum(r, "labeling") != 0 ? core::Labeling::WindowMse
+                                                : core::Labeling::StepAbsoluteError;
+  l.label_window = static_cast<std::size_t>(r.u64());
+  l.uncertainty_window = static_cast<std::size_t>(r.u64());
+  l.soft_vote = r.boolean();
+  l.online_learning = r.boolean();
+  l.predict_in_pca_space = r.boolean();
+  c.quality.mse_threshold = r.f64();
+  c.quality.audit_window = static_cast<std::size_t>(r.u64());
+  c.quality.min_records = static_cast<std::size_t>(r.u64());
+  c.shards = static_cast<std::size_t>(r.u64());
+  c.train_samples = static_cast<std::size_t>(r.u64());
+  c.history_capacity = static_cast<std::size_t>(r.u64());
+  c.audit_every = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace
@@ -51,9 +126,24 @@ PredictionEngine::PredictionEngine(predictors::PredictorPool pool_prototype,
     });
     shards_.push_back(std::move(shard));
   }
+  if (!config_.durability.data_dir.empty()) {
+    persist::ensure_directory(config_.durability.data_dir);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->wal.emplace(config_.durability.data_dir,
+                              static_cast<std::uint32_t>(s),
+                              config_.durability.wal);
+    }
+  }
   LARP_LOG_INFO("serve") << "PredictionEngine: " << config_.shards
                          << " shards, " << pool_.size() << " threads, pool of "
                          << pool_prototype_.size();
+}
+
+PredictionEngine::~PredictionEngine() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    if (shard->wal) shard->wal->sync();
+  }
 }
 
 PredictionEngine::Shard& PredictionEngine::shard_of(const tsdb::SeriesKey& key) {
@@ -172,6 +262,7 @@ void PredictionEngine::observe(std::span<const Observation> batch) {
         Shard& shard = *shards_[s];
         std::lock_guard lock(shard.mutex);
         for (std::size_t i : indices) {
+          wal_log(shard, kWalObserve, batch[i].key, &batch[i].value);
           absorb(shard, batch[i].key, batch[i].value);
         }
       });
@@ -210,7 +301,13 @@ std::vector<Prediction> PredictionEngine::predict(
       [&](std::size_t s, const std::vector<std::size_t>& indices) {
         Shard& shard = *shards_[s];
         std::lock_guard lock(shard.mutex);
-        for (std::size_t i : indices) out[i] = forecast(shard, keys[i]);
+        for (std::size_t i : indices) {
+          // Logged even for untrained series (where forecast() is a no-op):
+          // replay must reproduce the exact call sequence, and whether a key
+          // is trained at this point is itself a function of that sequence.
+          wal_log(shard, kWalPredict, keys[i], nullptr);
+          out[i] = forecast(shard, keys[i]);
+        }
       });
   predictions_.fetch_add(keys.size(), std::memory_order_relaxed);
   predict_nanos_.fetch_add(nanos_since(start), std::memory_order_relaxed);
@@ -219,6 +316,249 @@ std::vector<Prediction> PredictionEngine::predict(
 
 Prediction PredictionEngine::predict(const tsdb::SeriesKey& key) {
   return predict(std::span<const tsdb::SeriesKey>(&key, 1)).front();
+}
+
+bool PredictionEngine::erase(const tsdb::SeriesKey& key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mutex);
+  wal_log(shard, kWalErase, key, nullptr);
+  return erase_locked(shard, key);
+}
+
+bool PredictionEngine::erase_locked(Shard& shard, const tsdb::SeriesKey& key) {
+  const bool removed = shard.series.erase(key) > 0;
+  shard.predictions.erase_stream(key);
+  if (removed) ++shard.erases;
+  return removed;
+}
+
+void PredictionEngine::wal_log(Shard& shard, std::uint8_t type,
+                               const tsdb::SeriesKey& key, const double* value) {
+  if (!shard.wal) return;
+  auto& payload = shard.wal_payload;
+  payload.clear();
+  payload.u8(type);
+  payload.str(key.vm_id);
+  payload.str(key.device_id);
+  payload.str(key.metric);
+  if (value != nullptr) payload.f64(*value);
+  shard.wal->append(payload.bytes());
+}
+
+void PredictionEngine::save_shard(persist::io::Writer& w, Shard& shard,
+                                  std::uint64_t watermark) const {
+  w.u64(watermark);
+  w.u64(shard.resolved);
+  w.f64(shard.abs_error_sum);
+  w.f64(shard.sq_error_sum);
+  w.u64(shard.trains);
+  w.u64(shard.retrains);
+  w.u64(shard.erases);
+  w.u64(shard.qa->audits_performed());
+  w.u64(shard.qa->retrains_ordered());
+  w.u64(shard.series.size());
+  for (const auto& [key, state] : shard.series) {
+    w.str(key.vm_id);
+    w.str(key.device_id);
+    w.str(key.metric);
+    w.u64(state.history.size());
+    for (double v : state.history) w.f64(v);
+    w.i64(static_cast<std::int64_t>(state.next_ts));
+    w.u64(state.since_audit);
+    w.boolean(state.retrain_requested);
+    w.boolean(state.predictor.has_value());
+    if (state.predictor) state.predictor->save_state(w);
+    const auto records = shard.predictions.all_records(key);
+    w.u64(records.size());
+    for (const auto& [ts, record] : records) {
+      w.i64(static_cast<std::int64_t>(ts));
+      w.f64(record.predicted);
+      w.boolean(record.observed.has_value());
+      if (record.observed) w.f64(*record.observed);
+      w.u64(record.predictor_label);
+    }
+  }
+}
+
+std::uint64_t PredictionEngine::load_shard(persist::io::Reader& r,
+                                           Shard& shard) {
+  const std::uint64_t watermark = r.u64();
+  shard.resolved = static_cast<std::size_t>(r.u64());
+  shard.abs_error_sum = r.f64();
+  shard.sq_error_sum = r.f64();
+  shard.trains = static_cast<std::size_t>(r.u64());
+  shard.retrains = static_cast<std::size_t>(r.u64());
+  shard.erases = static_cast<std::size_t>(r.u64());
+  const auto audits = static_cast<std::size_t>(r.u64());
+  const auto qa_retrains = static_cast<std::size_t>(r.u64());
+  shard.qa->restore_counters(audits, qa_retrains);
+  const auto series_count =
+      static_cast<std::size_t>(r.length(r.u64(), sizeof(std::uint64_t)));
+  for (std::size_t i = 0; i < series_count; ++i) {
+    tsdb::SeriesKey key{r.str(), r.str(), r.str()};
+    SeriesState& state = shard.series[key];
+    const auto samples =
+        static_cast<std::size_t>(r.length(r.u64(), sizeof(double)));
+    for (std::size_t j = 0; j < samples; ++j) state.history.push_back(r.f64());
+    state.next_ts = static_cast<Timestamp>(r.i64());
+    state.since_audit = static_cast<std::size_t>(r.u64());
+    state.retrain_requested = r.boolean();
+    if (r.boolean()) {
+      state.predictor.emplace(pool_prototype_.clone(), config_.lar);
+      state.predictor->load_state(r);
+    }
+    const auto records =
+        static_cast<std::size_t>(r.length(r.u64(), sizeof(std::uint64_t)));
+    for (std::size_t j = 0; j < records; ++j) {
+      const auto ts = static_cast<Timestamp>(r.i64());
+      tsdb::PredictionRecord record;
+      record.predicted = r.f64();
+      if (r.boolean()) record.observed = r.f64();
+      record.predictor_label = static_cast<std::size_t>(r.u64());
+      shard.predictions.restore_record(key, ts, record);
+    }
+  }
+  return watermark;
+}
+
+std::uint64_t PredictionEngine::snapshot(const std::filesystem::path& dir) {
+  // Stop-the-world: every shard mutex is held at once so the payload is one
+  // consistent cut with exact per-shard WAL watermarks.  Batched calls take
+  // one shard mutex at a time, so acquiring all of them (in index order, the
+  // only order anyone takes more than one) cannot deadlock.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mutex);
+
+  persist::io::Writer w;
+  w.u32(kEnginePayloadVersion);
+  save_engine_config(w, config_);
+  w.u64(observations_.load(std::memory_order_relaxed));
+  w.u64(predictions_.load(std::memory_order_relaxed));
+  std::vector<std::uint64_t> watermarks(shards_.size(), 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    if (shard.wal) {
+      // The log must be durable up to the watermark BEFORE the snapshot can
+      // claim it: a crash between the two would otherwise leave a snapshot
+      // asking to replay from a position the log never reached on disk.
+      shard.wal->sync();
+      watermarks[s] = shard.wal->next_seq();
+    }
+    save_shard(w, shard, watermarks[s]);
+  }
+
+  const auto existing = persist::list_snapshots(dir);
+  const std::uint64_t epoch = existing.empty() ? 1 : existing.back().epoch + 1;
+  persist::publish_snapshot(dir, epoch, w.bytes());
+  persist::retain_snapshots(
+      dir, std::max<std::size_t>(1, config_.durability.keep_snapshots));
+  if (dir == config_.durability.data_dir) {
+    // Frames below the watermark are now covered by this snapshot on every
+    // recovery path, so whole segments beneath it can go.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s]->wal) shards_[s]->wal->prune_below(watermarks[s]);
+    }
+  }
+  return epoch;
+}
+
+std::uint64_t PredictionEngine::snapshot() {
+  if (config_.durability.data_dir.empty()) {
+    throw StateError("PredictionEngine::snapshot: durability is not configured");
+  }
+  return snapshot(config_.durability.data_dir);
+}
+
+void PredictionEngine::apply_wal_frame(Shard& shard,
+                                       std::span<const std::byte> payload) {
+  persist::io::Reader r{payload};
+  const std::uint8_t type = r.u8();
+  tsdb::SeriesKey key{r.str(), r.str(), r.str()};
+  switch (type) {
+    case kWalObserve: {
+      const double value = r.f64();
+      absorb(shard, key, value);
+      observations_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    case kWalPredict:
+      (void)forecast(shard, key);
+      predictions_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case kWalErase:
+      (void)erase_locked(shard, key);
+      break;
+    default:
+      throw persist::CorruptData("wal frame: unknown type " +
+                                 std::to_string(type));
+  }
+}
+
+std::unique_ptr<PredictionEngine> PredictionEngine::restore(
+    predictors::PredictorPool pool_prototype, const std::filesystem::path& dir,
+    std::optional<EngineConfig> config_override) {
+  auto loaded = persist::load_newest_valid(dir);
+
+  EngineConfig config = config_override.value_or(EngineConfig{});
+  std::optional<persist::io::Reader> reader;
+  if (loaded) {
+    reader.emplace(std::span<const std::byte>(loaded->payload));
+    const std::uint32_t payload_version = reader->u32();
+    if (payload_version != kEnginePayloadVersion) {
+      throw persist::CorruptData("engine snapshot: unsupported payload version " +
+                                 std::to_string(payload_version));
+    }
+    // Identity-defining fields come from the snapshot; the override only
+    // contributes runtime knobs (threads + durability tuning, read below).
+    load_engine_config(*reader, config);
+  }
+  DurabilityConfig durability = config.durability;
+  durability.data_dir = dir;
+
+  // Boot with durability off: the WAL writers open only after replay, at the
+  // sequence position recovery establishes.
+  EngineConfig boot = config;
+  boot.durability = DurabilityConfig{};
+  auto engine = std::make_unique<PredictionEngine>(std::move(pool_prototype),
+                                                   std::move(boot));
+
+  std::vector<std::uint64_t> watermarks(engine->shards_.size(), 0);
+  if (loaded) {
+    engine->observations_.store(static_cast<std::size_t>(reader->u64()),
+                                std::memory_order_relaxed);
+    engine->predictions_.store(static_cast<std::size_t>(reader->u64()),
+                               std::memory_order_relaxed);
+    for (std::size_t s = 0; s < engine->shards_.size(); ++s) {
+      watermarks[s] = engine->load_shard(*reader, *engine->shards_[s]);
+    }
+  }
+
+  persist::ensure_directory(dir);
+  for (std::size_t s = 0; s < engine->shards_.size(); ++s) {
+    Shard& shard = *engine->shards_[s];
+    std::lock_guard lock(shard.mutex);
+    const auto report = persist::replay_wal(
+        dir, static_cast<std::uint32_t>(s), watermarks[s],
+        [&](const persist::WalFrame& frame) {
+          engine->apply_wal_frame(shard, frame.payload);
+        });
+    // The writer resumes after the last frame actually applied; max() covers
+    // a log that lags the snapshot (e.g. segments pruned or lost wholesale).
+    const std::uint64_t next = std::max(watermarks[s], report.next_seq);
+    if (report.truncated_tail) {
+      // A torn or corrupt suffix was skipped — physically discard it so the
+      // on-disk log agrees with the state we restored.
+      persist::repair_wal(dir, static_cast<std::uint32_t>(s), next);
+    }
+    shard.wal.emplace(dir, static_cast<std::uint32_t>(s), durability.wal, next);
+  }
+  engine->config_.durability = std::move(durability);
+  LARP_LOG_INFO("serve") << "PredictionEngine: restored from " << dir.string()
+                         << (loaded ? " (snapshot epoch " +
+                                          std::to_string(loaded->epoch) + ")"
+                                    : " (no snapshot, WAL only)");
+  return engine;
 }
 
 std::size_t PredictionEngine::series_count() const {
@@ -247,6 +587,7 @@ EngineStats PredictionEngine::stats() const {
     }
     stats.trains += shard->trains;
     stats.retrains += shard->retrains;
+    stats.erases += shard->erases;
     stats.audits += shard->qa->audits_performed();
     stats.resolved += shard->resolved;
     stats.mean_absolute_error += shard->abs_error_sum;

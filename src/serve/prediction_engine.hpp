@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <filesystem>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -35,11 +36,24 @@
 #include <vector>
 
 #include "core/lar_predictor.hpp"
+#include "persist/io.hpp"
+#include "persist/wal.hpp"
 #include "qa/quality_assuror.hpp"
 #include "tsdb/prediction_db.hpp"
 #include "util/thread_pool.hpp"
 
 namespace larp::serve {
+
+/// Durability knobs.  Durability is OFF while data_dir is empty: no WAL is
+/// opened and the observe/predict hot paths stay allocation-free as before.
+struct DurabilityConfig {
+  /// Directory holding the snapshots and per-shard WAL segments.
+  std::filesystem::path data_dir;
+  /// Per-shard write-ahead-log tuning (segment size, fsync policy).
+  persist::WalConfig wal;
+  /// Validating snapshots retained by snapshot(); older ones are deleted.
+  std::size_t keep_snapshots = 2;
+};
 
 struct EngineConfig {
   core::LarConfig lar;
@@ -55,6 +69,8 @@ struct EngineConfig {
   std::size_t history_capacity = 288;
   /// One QA audit per series every this many observations (0 = never).
   std::size_t audit_every = 24;
+  /// Snapshot + write-ahead-log durability (off by default).
+  DurabilityConfig durability;
 };
 
 /// One incoming raw sample of a series.
@@ -81,6 +97,7 @@ struct EngineStats {
   std::size_t trains = 0;            // lazy trainings performed
   std::size_t retrains = 0;          // QA-ordered re-trains
   std::size_t audits = 0;            // QA audits run
+  std::size_t erases = 0;            // series torn down via erase()
   std::size_t resolved = 0;          // forecasts resolved by an observation
   double mean_absolute_error = 0.0;  // over resolved forecasts (raw units)
   double mean_squared_error = 0.0;   // over resolved forecasts (raw units)
@@ -95,11 +112,26 @@ class PredictionEngine {
   PredictionEngine(predictors::PredictorPool pool_prototype,
                    EngineConfig config);
 
-  /// Joins the worker pool; no batched call may be in flight.
-  ~PredictionEngine() = default;
+  /// Syncs any open WAL, then joins the worker pool; no batched call may be
+  /// in flight.
+  ~PredictionEngine();
 
   PredictionEngine(const PredictionEngine&) = delete;
   PredictionEngine& operator=(const PredictionEngine&) = delete;
+
+  /// Rebuilds an engine from `dir`: the newest valid snapshot (if any) is
+  /// loaded and every per-shard WAL is replayed past the snapshot's
+  /// watermark, so the result continues the forecast sequence bit-for-bit
+  /// where the original crashed.  Corrupt snapshots fall back to the
+  /// previous valid one; a torn or corrupt WAL suffix is discarded.  The
+  /// identity-defining configuration (lar, quality, shards, training
+  /// cadence) always comes from the snapshot; `config_override` contributes
+  /// only the runtime knobs (threads, durability tuning).  The restored
+  /// engine logs onward into `dir`.
+  static std::unique_ptr<PredictionEngine> restore(
+      predictors::PredictorPool pool_prototype,
+      const std::filesystem::path& dir,
+      std::optional<EngineConfig> config_override = std::nullopt);
 
   /// Absorbs a batch of raw samples, fanned across shards.  Per series (in
   /// batch order): resolve the pending forecast, feed the predictor (or
@@ -113,6 +145,19 @@ class PredictionEngine {
   [[nodiscard]] std::vector<Prediction> predict(
       std::span<const tsdb::SeriesKey> keys);
   [[nodiscard]] Prediction predict(const tsdb::SeriesKey& key);
+
+  /// Tears down one series: its state, predictor, and prediction-DB stream
+  /// are dropped (and the teardown is WAL-logged when durability is on).
+  /// Returns false when the key was never observed.
+  bool erase(const tsdb::SeriesKey& key);
+
+  /// Writes one atomic, checksummed snapshot of the full engine state into
+  /// `dir` (stop-the-world: all shard locks are held for the duration).
+  /// When `dir` is the configured data_dir, WAL segments made obsolete by
+  /// the new snapshot are pruned.  Returns the snapshot's epoch.
+  std::uint64_t snapshot(const std::filesystem::path& dir);
+  /// snapshot() into the configured durability data_dir.
+  std::uint64_t snapshot();
 
   [[nodiscard]] std::size_t series_count() const;
   [[nodiscard]] bool is_trained(const tsdb::SeriesKey& key) const;
@@ -144,6 +189,12 @@ class PredictionEngine {
     double sq_error_sum = 0.0;
     std::size_t trains = 0;
     std::size_t retrains = 0;
+    std::size_t erases = 0;
+    // Durability (engaged only when DurabilityConfig::data_dir is set).
+    // The payload writer is reused across frames, so steady-state WAL
+    // appends allocate nothing once capacities are established.
+    std::optional<persist::WalWriter> wal;
+    persist::io::Writer wal_payload;
   };
 
   [[nodiscard]] Shard& shard_of(const tsdb::SeriesKey& key);
@@ -152,6 +203,16 @@ class PredictionEngine {
   [[nodiscard]] Prediction forecast(Shard& shard, const tsdb::SeriesKey& key);
   void train_series(Shard& shard, const tsdb::SeriesKey& key,
                     SeriesState& state, bool is_retrain);
+  bool erase_locked(Shard& shard, const tsdb::SeriesKey& key);
+  /// Appends one WAL frame (type + key [+ value]) to the shard's log.
+  /// Must run under the shard mutex, BEFORE the mutation it describes.
+  void wal_log(Shard& shard, std::uint8_t type, const tsdb::SeriesKey& key,
+               const double* value);
+  void save_shard(persist::io::Writer& w, Shard& shard,
+                  std::uint64_t watermark) const;
+  std::uint64_t load_shard(persist::io::Reader& r, Shard& shard);
+  /// Applies one replayed WAL frame to its shard.
+  void apply_wal_frame(Shard& shard, std::span<const std::byte> payload);
 
   /// Groups batch indices by shard and runs fn(shard_id, indices) across
   /// the worker pool, one task per shard with work.

@@ -263,4 +263,18 @@ void WindowedMse::reset() noexcept {
   sum_ = 0.0;
 }
 
+void WindowedMse::restore(std::vector<double> buffer, std::size_t head,
+                          double sum) {
+  if (buffer.size() > window_) {
+    throw InvalidArgument("WindowedMse::restore: buffer exceeds window");
+  }
+  if (head >= window_) {
+    throw InvalidArgument("WindowedMse::restore: head out of range");
+  }
+  buffer_ = std::move(buffer);
+  buffer_.reserve(window_);
+  head_ = head;
+  sum_ = sum;
+}
+
 }  // namespace larp::stats

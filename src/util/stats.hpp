@@ -84,6 +84,18 @@ class RunningMoments {
   }
   [[nodiscard]] double stddev() const noexcept;
 
+  /// Exact internal state for persistence: the Welford accumulator's sum of
+  /// squared deviations.  Together with count()/mean() this round-trips the
+  /// accumulator bit-identically (variance() alone would re-divide).
+  [[nodiscard]] double sum_squared_deviations() const noexcept { return m2_; }
+  /// Restores state previously read via count()/mean()/
+  /// sum_squared_deviations().
+  void restore(std::size_t n, double mean, double m2) noexcept {
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
@@ -103,6 +115,11 @@ class RunningMse {
   }
   [[nodiscard]] double sum_squared_error() const noexcept { return sum_sq_; }
   void reset() noexcept { n_ = 0; sum_sq_ = 0.0; }
+  /// Restores state previously read via count()/sum_squared_error().
+  void restore(std::size_t n, double sum_sq) noexcept {
+    n_ = n;
+    sum_sq_ = sum_sq;
+  }
 
  private:
   std::size_t n_ = 0;
@@ -120,6 +137,18 @@ class WindowedMse {
   /// Mean of the retained squared errors; 0 before any sample.
   [[nodiscard]] double value() const noexcept;
   void reset() noexcept;
+
+  /// Exact ring-buffer state for persistence (squared errors in slot order,
+  /// next overwrite slot, running sum — the sum is an accumulator, so it
+  /// must round-trip verbatim for bit-identical continuation).
+  [[nodiscard]] std::span<const double> raw_buffer() const noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::size_t head() const noexcept { return head_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Restores state previously read via the accessors above; throws
+  /// InvalidArgument when buffer/head are impossible for this window.
+  void restore(std::vector<double> buffer, std::size_t head, double sum);
 
  private:
   std::size_t window_;

@@ -1,0 +1,153 @@
+// Randomized round-trip parity tests: the allocation-free *_into overloads
+// must produce bit-identical results to the allocating ones, across many
+// random fits and inputs — they share kernels, so any divergence is a bug.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/normalizer.hpp"
+#include "ml/pca.hpp"
+#include "util/rng.hpp"
+
+namespace larp::ml {
+namespace {
+
+std::vector<double> random_series(Rng& rng, std::size_t n, double mean,
+                                  double sd) {
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(mean, sd);
+  return xs;
+}
+
+void expect_bits_equal(std::span<const double> got, std::span<const double> want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i]),
+              std::bit_cast<std::uint64_t>(want[i]))
+        << "index " << i;
+  }
+}
+
+TEST(IntoParity, NormalizerTransformMatchesAllocatingOverload) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    ZScoreNormalizer normalizer;
+    normalizer.fit(random_series(rng, 16 + trial, rng.normal(0.0, 100.0),
+                                 0.1 + trial * 0.3));
+    const auto xs = random_series(rng, 1 + trial % 37, 5.0, 50.0);
+    const auto want = normalizer.transform(xs);
+    std::vector<double> got(xs.size());
+    normalizer.transform_into(xs, got);
+    expect_bits_equal(got, want);
+    // In-place operation is part of the contract.
+    auto in_place = xs;
+    normalizer.transform_into(in_place, in_place);
+    expect_bits_equal(in_place, want);
+  }
+}
+
+TEST(IntoParity, NormalizerInverseMatchesAndRoundTrips) {
+  Rng rng(202);
+  for (int trial = 0; trial < 50; ++trial) {
+    ZScoreNormalizer normalizer;
+    normalizer.fit(random_series(rng, 24, rng.normal(0.0, 10.0), 2.0));
+    const auto zs = random_series(rng, 1 + trial % 29, 0.0, 1.0);
+    const auto want = normalizer.inverse(zs);
+    std::vector<double> got(zs.size());
+    normalizer.inverse_into(zs, got);
+    expect_bits_equal(got, want);
+
+    // transform_into ∘ inverse_into round-trips to scalar precision.
+    std::vector<double> back(zs.size());
+    normalizer.transform_into(got, back);
+    for (std::size_t i = 0; i < zs.size(); ++i) {
+      EXPECT_NEAR(back[i], zs[i], 1e-12);
+    }
+  }
+}
+
+TEST(IntoParity, PcaTransformMatchesAllocatingOverload) {
+  Rng rng(303);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t dim = 3 + trial % 6;
+    const std::size_t rows = dim + 5 + trial % 10;
+    linalg::Matrix samples(rows, dim);
+    for (std::size_t r = 0; r < rows; ++r) {
+      // Correlated columns so the PCA basis is non-trivial.
+      const double base = rng.normal(0.0, 3.0);
+      for (std::size_t c = 0; c < dim; ++c) {
+        samples(r, c) = base * (1.0 + 0.2 * static_cast<double>(c)) +
+                        rng.normal(0.0, 0.5);
+      }
+    }
+    Pca pca;
+    PcaPolicy policy;
+    policy.fixed_components = 1 + trial % dim;
+    pca.fit(samples, policy);
+
+    const auto sample = random_series(rng, dim, 0.0, 3.0);
+    const auto want = pca.transform(sample);
+    std::vector<double> got(pca.components());
+    pca.transform_into(sample, std::span<double>(got));
+    expect_bits_equal(got, std::span<const double>(want.data(), want.size()));
+
+    // The Vector-resizing convenience overload agrees too.
+    linalg::Vector resized;
+    pca.transform_into(sample, resized);
+    expect_bits_equal(std::span<const double>(resized.data(), resized.size()),
+                      std::span<const double>(want.data(), want.size()));
+  }
+}
+
+TEST(IntoParity, PcaInverseTransformMatchesAllocatingOverload) {
+  Rng rng(404);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t dim = 4 + trial % 4;
+    linalg::Matrix samples(dim + 8, dim);
+    for (std::size_t r = 0; r < samples.rows(); ++r) {
+      for (std::size_t c = 0; c < dim; ++c) samples(r, c) = rng.normal(0.0, 2.0);
+    }
+    Pca pca;
+    PcaPolicy policy;
+    policy.fixed_components = 2;
+    pca.fit(samples, policy);
+
+    const auto reduced = random_series(rng, pca.components(), 0.0, 1.0);
+    const auto want = pca.inverse_transform(reduced);
+    std::vector<double> got(dim);
+    pca.inverse_transform_into(reduced, got);
+    expect_bits_equal(got, std::span<const double>(want.data(), want.size()));
+  }
+}
+
+// Full-rank PCA (n == m) makes inverse ∘ transform the identity up to
+// floating-point noise — a sanity check that the two _into paths compose.
+TEST(IntoParity, FullRankPcaRoundTripsThroughIntoOverloads) {
+  Rng rng(505);
+  const std::size_t dim = 5;
+  linalg::Matrix samples(20, dim);
+  for (std::size_t r = 0; r < samples.rows(); ++r) {
+    for (std::size_t c = 0; c < dim; ++c) samples(r, c) = rng.normal(0.0, 2.0);
+  }
+  Pca pca;
+  PcaPolicy policy;
+  policy.fixed_components = dim;
+  pca.fit(samples, policy);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto sample = random_series(rng, dim, 0.0, 4.0);
+    std::vector<double> reduced(dim);
+    std::vector<double> back(dim);
+    pca.transform_into(sample, std::span<double>(reduced));
+    pca.inverse_transform_into(reduced, back);
+    for (std::size_t i = 0; i < dim; ++i) {
+      EXPECT_NEAR(back[i], sample[i], 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace larp::ml

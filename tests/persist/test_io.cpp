@@ -1,0 +1,163 @@
+// Tests for the persist byte-level primitives: the little-endian io
+// encoder/decoder and the CRC32C checksum.
+#include "persist/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "persist/crc32c.hpp"
+#include "util/rng.hpp"
+
+namespace larp::persist {
+namespace {
+
+std::span<const std::byte> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+// The canonical check vector from the iSCSI CRC32C specification.
+TEST(Crc32c, MatchesKnownVectors) {
+  EXPECT_EQ(crc32c(as_bytes("123456789")), 0xE3069283u);
+  EXPECT_EQ(crc32c(as_bytes("")), 0x00000000u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c(as_bytes(zeros)), 0x8A9136AAu);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t state = crc32c_init();
+    state = crc32c_update(state, as_bytes(data.substr(0, split)));
+    state = crc32c_update(state, as_bytes(data.substr(split)));
+    EXPECT_EQ(crc32c_finish(state), crc32c(as_bytes(data)));
+  }
+}
+
+TEST(Crc32c, MaskRoundTrips) {
+  for (std::uint32_t crc : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu, 0xE3069283u}) {
+    EXPECT_EQ(crc32c_unmask(crc32c_mask(crc)), crc);
+    EXPECT_NE(crc32c_mask(crc), crc);  // masking must actually change it
+  }
+}
+
+TEST(IoWriter, RoundTripsEveryType) {
+  io::Writer w;
+  w.u8(0x7F);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.141592653589793);
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  w.boolean(true);
+  w.boolean(false);
+  w.str("hello");
+  w.str("");
+  w.f64_span(std::vector<double>{1.5, -2.5, 0.0});
+  const std::vector<std::size_t> labels{0, 7, 123456789};
+  w.u64_span(labels);
+
+  io::Reader r{w.bytes()};
+  EXPECT_EQ(r.u8(), 0x7F);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  EXPECT_TRUE(std::isnan(r.f64()));
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.f64_vector(), (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(r.u64_vector(), labels);
+  EXPECT_TRUE(r.exhausted());
+}
+
+// Doubles travel as IEEE-754 bit patterns: the round trip must be
+// bit-identical, not just approximately equal.
+TEST(IoWriter, DoublesAreBitIdentical) {
+  Rng rng(7);
+  io::Writer w;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.normal(0.0, 1e12));
+  values.push_back(-0.0);
+  values.push_back(std::numeric_limits<double>::infinity());
+  values.push_back(std::numeric_limits<double>::denorm_min());
+  for (double v : values) w.f64(v);
+  io::Reader r{w.bytes()};
+  for (double v : values) {
+    const double got = r.f64();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got), std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(IoWriter, LittleEndianOnTheWire) {
+  io::Writer w;
+  w.u32(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(std::to_integer<int>(w.bytes()[0]), 0x04);
+  EXPECT_EQ(std::to_integer<int>(w.bytes()[3]), 0x01);
+}
+
+TEST(IoWriter, PatchU64FillsReservedSlot) {
+  io::Writer w;
+  w.u8(0xAA);
+  const auto slot = w.reserve_u64();
+  w.u8(0xBB);
+  w.patch_u64(slot, 0xFEEDFACEull);
+  io::Reader r{w.bytes()};
+  EXPECT_EQ(r.u8(), 0xAA);
+  EXPECT_EQ(r.u64(), 0xFEEDFACEull);
+  EXPECT_EQ(r.u8(), 0xBB);
+}
+
+TEST(IoReader, ThrowsOnOverrun) {
+  io::Writer w;
+  w.u32(1);
+  io::Reader r{w.bytes()};
+  EXPECT_THROW((void)r.u64(), CorruptData);
+}
+
+TEST(IoReader, ThrowsOnBadBoolean) {
+  io::Writer w;
+  w.u8(2);
+  io::Reader r{w.bytes()};
+  EXPECT_THROW((void)r.boolean(), CorruptData);
+}
+
+// A corrupt length prefix must be rejected before any allocation happens —
+// this is the guard against reserving gigabytes off four flipped bytes.
+TEST(IoReader, ThrowsOnImpossibleLengthPrefix) {
+  io::Writer w;
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  {
+    io::Reader r{w.bytes()};
+    EXPECT_THROW((void)r.str(), CorruptData);
+  }
+  {
+    io::Reader r{w.bytes()};
+    EXPECT_THROW((void)r.f64_vector(), CorruptData);
+  }
+  {
+    io::Reader r{w.bytes()};
+    EXPECT_THROW((void)r.u64_vector(), CorruptData);
+  }
+}
+
+TEST(IoWriter, ClearReusesBuffer) {
+  io::Writer w;
+  w.u64(1);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  w.u8(9);
+  io::Reader r{w.bytes()};
+  EXPECT_EQ(r.u8(), 9);
+  EXPECT_TRUE(r.exhausted());
+}
+
+}  // namespace
+}  // namespace larp::persist

@@ -1,0 +1,341 @@
+// Engine-level crash-recovery integration tests: an engine restored from
+// snapshot + WAL must continue the forecast sequence BIT-identically to an
+// uninterrupted reference engine fed the same stream — doubles compared as
+// IEEE-754 bit patterns, not within a tolerance.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "persist/snapshot.hpp"
+#include "persist/wal.hpp"
+#include "serve/prediction_engine.hpp"
+#include "util/rng.hpp"
+
+namespace larp::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kSeries = 6;
+constexpr std::size_t kTrain = 40;
+
+tsdb::SeriesKey key_of(std::size_t s) {
+  return {"host" + std::to_string(s / 2), "dev" + std::to_string(s % 2), "cpu"};
+}
+
+EngineConfig base_config() {
+  EngineConfig config;
+  config.lar.window = 5;
+  config.shards = 4;
+  config.threads = 1;
+  config.train_samples = kTrain;
+  config.audit_every = 8;  // exercise QA audits through the WAL replay too
+  return config;
+}
+
+EngineConfig durable_config(const fs::path& dir) {
+  EngineConfig config = base_config();
+  config.durability.data_dir = dir;
+  // Always-fsync so "destroy the engine" is indistinguishable from a crash:
+  // every appended frame was already durable before the teardown.
+  config.durability.wal.fsync = persist::FsyncPolicy::Always;
+  return config;
+}
+
+/// Drives `steps` rounds of predict-all + observe-all with a deterministic
+/// AR(1) stream per series, continuing from `*step_state` so two engines fed
+/// via the same state object see the same values at the same offsets.
+struct StreamState {
+  std::vector<Rng> rngs;
+  std::vector<double> level;
+  StreamState() : level(kSeries, 0.0) {
+    Rng parent(2007);
+    for (std::size_t s = 0; s < kSeries; ++s) rngs.push_back(parent.split(s));
+  }
+  double sample(std::size_t s) {
+    level[s] = 0.8 * level[s] + rngs[s].normal(0.0, 2.0);
+    return 50.0 + level[s];
+  }
+};
+
+void drive(PredictionEngine& engine, StreamState& stream, std::size_t steps,
+           bool with_predict) {
+  std::vector<tsdb::SeriesKey> keys;
+  for (std::size_t s = 0; s < kSeries; ++s) keys.push_back(key_of(s));
+  std::vector<Observation> batch(kSeries);
+  for (std::size_t i = 0; i < steps; ++i) {
+    if (with_predict) (void)engine.predict(keys);
+    for (std::size_t s = 0; s < kSeries; ++s) {
+      batch[s] = {keys[s], stream.sample(s)};
+    }
+    engine.observe(batch);
+  }
+}
+
+/// Bit-exact comparison, treating NaN == NaN (early uncertainty is NaN).
+void expect_bit_identical(const Prediction& got, const Prediction& want,
+                          std::size_t series, std::size_t step) {
+  EXPECT_EQ(got.ready, want.ready) << "series " << series << " step " << step;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(got.value),
+            std::bit_cast<std::uint64_t>(want.value))
+      << "series " << series << " step " << step;
+  EXPECT_EQ(got.label, want.label) << "series " << series << " step " << step;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(got.uncertainty),
+            std::bit_cast<std::uint64_t>(want.uncertainty))
+      << "series " << series << " step " << step;
+}
+
+/// Feeds both engines the same post-recovery stream and asserts every
+/// forecast of every series matches bit-for-bit.
+void expect_identical_future(PredictionEngine& restored,
+                             PredictionEngine& reference, StreamState& stream_a,
+                             StreamState& stream_b, std::size_t steps) {
+  std::vector<tsdb::SeriesKey> keys;
+  for (std::size_t s = 0; s < kSeries; ++s) keys.push_back(key_of(s));
+  std::vector<Observation> batch(kSeries);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const auto got = restored.predict(keys);
+    const auto want = reference.predict(keys);
+    for (std::size_t s = 0; s < kSeries; ++s) {
+      expect_bit_identical(got[s], want[s], s, i);
+    }
+    for (std::size_t s = 0; s < kSeries; ++s) {
+      batch[s] = {keys[s], stream_a.sample(s)};
+      ASSERT_EQ(batch[s].value, stream_b.sample(s));
+    }
+    restored.observe(batch);
+    reference.observe(batch);
+  }
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("larp_recovery_" + std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+// The headline contract: snapshot mid-stream, keep serving (WAL only), crash,
+// restore — the restored engine and an uninterrupted reference then agree on
+// every future forecast, bit for bit.
+TEST_F(RecoveryTest, SnapshotPlusWalReplayIsBitIdentical) {
+  StreamState stream_a;
+  StreamState stream_b;
+  auto reference = std::make_unique<PredictionEngine>(
+      predictors::make_paper_pool(5), base_config());
+  {
+    PredictionEngine durable(predictors::make_paper_pool(5),
+                             durable_config(dir_));
+    drive(durable, stream_a, kTrain + 10, /*with_predict=*/true);
+    (void)durable.snapshot();
+    // 17 more rounds after the snapshot live only in the WAL.
+    drive(durable, stream_a, 17, /*with_predict=*/true);
+  }  // "crash"
+  drive(*reference, stream_b, kTrain + 10 + 17, /*with_predict=*/true);
+
+  auto restored =
+      PredictionEngine::restore(predictors::make_paper_pool(5), dir_);
+  const auto restored_stats = restored->stats();
+  const auto reference_stats = reference->stats();
+  EXPECT_EQ(restored_stats.observations, reference_stats.observations);
+  EXPECT_EQ(restored_stats.predictions, reference_stats.predictions);
+  EXPECT_EQ(restored_stats.trains, reference_stats.trains);
+  EXPECT_EQ(restored_stats.resolved, reference_stats.resolved);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(restored_stats.mean_squared_error),
+            std::bit_cast<std::uint64_t>(reference_stats.mean_squared_error));
+
+  expect_identical_future(*restored, *reference, stream_a, stream_b, 25);
+}
+
+// No snapshot was ever taken: recovery replays the whole log from zero.
+TEST_F(RecoveryTest, WalOnlyRecoveryFromEmptySnapshotDir) {
+  StreamState stream_a;
+  StreamState stream_b;
+  auto reference = std::make_unique<PredictionEngine>(
+      predictors::make_paper_pool(5), base_config());
+  {
+    PredictionEngine durable(predictors::make_paper_pool(5),
+                             durable_config(dir_));
+    drive(durable, stream_a, kTrain + 12, /*with_predict=*/true);
+  }
+  drive(*reference, stream_b, kTrain + 12, /*with_predict=*/true);
+
+  ASSERT_TRUE(persist::list_snapshots(dir_).empty());
+  // With no snapshot there is no stored identity: the override supplies the
+  // full configuration, which must match what the crashed engine ran with.
+  auto restored = PredictionEngine::restore(predictors::make_paper_pool(5),
+                                            dir_, base_config());
+  EXPECT_EQ(restored->stats().trains, reference->stats().trains);
+  expect_identical_future(*restored, *reference, stream_a, stream_b, 20);
+}
+
+// Restoring an empty directory yields a fresh, working durable engine.
+TEST_F(RecoveryTest, RestoreOfEmptyDirectoryStartsFresh) {
+  auto engine = PredictionEngine::restore(predictors::make_paper_pool(5), dir_,
+                                          base_config());
+  EXPECT_EQ(engine->series_count(), 0u);
+  StreamState stream;
+  drive(*engine, stream, kTrain + 2, /*with_predict=*/true);
+  EXPECT_EQ(engine->stats().trains, kSeries);
+  EXPECT_GT(engine->snapshot(), 0u);
+}
+
+// A bit-flipped newest snapshot must be rejected; recovery falls back to the
+// previous valid snapshot and replays the (longer) WAL suffix past it.
+TEST_F(RecoveryTest, BitFlippedSnapshotFallsBackToPreviousValid) {
+  StreamState stream_a;
+  StreamState stream_b;
+  auto reference = std::make_unique<PredictionEngine>(
+      predictors::make_paper_pool(5), base_config());
+  {
+    PredictionEngine durable(predictors::make_paper_pool(5),
+                             durable_config(dir_));
+    drive(durable, stream_a, kTrain + 5, /*with_predict=*/true);
+    (void)durable.snapshot();  // epoch 1 (valid fallback)
+    drive(durable, stream_a, 9, /*with_predict=*/true);
+    (void)durable.snapshot();  // epoch 2 (to be corrupted)
+    drive(durable, stream_a, 4, /*with_predict=*/true);
+  }
+  drive(*reference, stream_b, kTrain + 5 + 9 + 4, /*with_predict=*/true);
+
+  const auto snapshots = persist::list_snapshots(dir_);
+  ASSERT_EQ(snapshots.size(), 2u);
+  ASSERT_EQ(snapshots.back().epoch, 2u);
+  {
+    std::fstream f(snapshots.back().path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    const auto at =
+        static_cast<std::streamoff>(fs::file_size(snapshots.back().path) / 3);
+    f.seekg(at);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(at);
+    f.write(&byte, 1);
+  }
+
+  auto restored =
+      PredictionEngine::restore(predictors::make_paper_pool(5), dir_);
+  EXPECT_EQ(restored->stats().observations,
+            reference->stats().observations);
+  expect_identical_future(*restored, *reference, stream_a, stream_b, 15);
+}
+
+// A torn WAL tail (crash mid-append) recovers to the last valid frame; the
+// restored engine equals a reference that never saw the torn observations.
+TEST_F(RecoveryTest, TornWalTailRecoversToLastValidFrame) {
+  StreamState stream_a;
+  {
+    PredictionEngine durable(predictors::make_paper_pool(5),
+                             durable_config(dir_));
+    drive(durable, stream_a, kTrain + 8, /*with_predict=*/true);
+  }
+  // Tear bytes off the end of every shard's newest segment.
+  std::size_t torn_shards = 0;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    const auto segments = persist::list_wal_segments(dir_, s);
+    if (segments.empty()) continue;
+    const auto& tail = segments.back().path;
+    const auto size = fs::file_size(tail);
+    ASSERT_GT(size, 5u);
+    fs::resize_file(tail, size - 5);
+    ++torn_shards;
+  }
+  ASSERT_GT(torn_shards, 0u);
+
+  auto restored = PredictionEngine::restore(predictors::make_paper_pool(5),
+                                            dir_, base_config());
+  // One torn frame per shard at most: nothing threw, state is serviceable,
+  // and the repaired log accepts appends at the recovered position.
+  EXPECT_EQ(restored->series_count(), kSeries);
+  StreamState ignored;
+  drive(*restored, ignored, 5, /*with_predict=*/true);
+  restored.reset();
+
+  // The repaired directory restores cleanly a second time.
+  auto again = PredictionEngine::restore(predictors::make_paper_pool(5), dir_,
+                                         base_config());
+  EXPECT_EQ(again->series_count(), kSeries);
+}
+
+// erase() is WAL-logged: a restored engine must not resurrect the series.
+TEST_F(RecoveryTest, EraseSurvivesRecovery) {
+  StreamState stream;
+  {
+    PredictionEngine durable(predictors::make_paper_pool(5),
+                             durable_config(dir_));
+    drive(durable, stream, kTrain + 4, /*with_predict=*/true);
+    EXPECT_TRUE(durable.erase(key_of(0)));
+    EXPECT_FALSE(durable.erase(key_of(0)));  // second erase is a no-op
+    EXPECT_EQ(durable.series_count(), kSeries - 1);
+  }
+  auto restored = PredictionEngine::restore(predictors::make_paper_pool(5),
+                                            dir_, base_config());
+  EXPECT_EQ(restored->series_count(), kSeries - 1);
+  EXPECT_FALSE(restored->is_trained(key_of(0)));
+  EXPECT_TRUE(restored->is_trained(key_of(1)));
+  EXPECT_EQ(restored->stats().erases, 1u);
+}
+
+// The restore-time override contributes runtime knobs only; the snapshot's
+// identity fields (window, shards, train cadence) win.
+TEST_F(RecoveryTest, OverrideCannotChangeIdentityFields) {
+  StreamState stream;
+  {
+    PredictionEngine durable(predictors::make_paper_pool(5),
+                             durable_config(dir_));
+    drive(durable, stream, kTrain + 2, /*with_predict=*/false);
+    (void)durable.snapshot();
+  }
+  EngineConfig override_config = base_config();
+  override_config.lar.window = 9;   // identity: must be ignored
+  override_config.shards = 2;       // identity: must be ignored
+  override_config.threads = 2;      // runtime: must be honored
+  auto restored = PredictionEngine::restore(predictors::make_paper_pool(5),
+                                            dir_, override_config);
+  EXPECT_EQ(restored->config().lar.window, 5u);
+  EXPECT_EQ(restored->config().shards, 4u);
+  EXPECT_EQ(restored->config().durability.data_dir, dir_);
+}
+
+// snapshot() into the configured data_dir prunes WAL segments the snapshot
+// made obsolete (whole segments only).
+TEST_F(RecoveryTest, SnapshotPrunesCoveredWalSegments) {
+  auto config = durable_config(dir_);
+  config.durability.wal.segment_bytes = 512;  // force frequent rotation
+  StreamState stream;
+  {
+    PredictionEngine durable(predictors::make_paper_pool(5), config);
+    drive(durable, stream, kTrain + 20, /*with_predict=*/true);
+    std::size_t before = 0;
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      before += persist::list_wal_segments(dir_, s).size();
+    }
+    ASSERT_GT(before, 4u);  // rotation actually happened
+    (void)durable.snapshot();
+    std::size_t after = 0;
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      after += persist::list_wal_segments(dir_, s).size();
+    }
+    EXPECT_LT(after, before);
+  }
+  // And the pruned directory still restores.
+  auto restored =
+      PredictionEngine::restore(predictors::make_paper_pool(5), dir_);
+  EXPECT_EQ(restored->series_count(), kSeries);
+}
+
+}  // namespace
+}  // namespace larp::serve

@@ -1,0 +1,272 @@
+// Tests for the per-shard write-ahead log: append/replay round trips,
+// segment rotation, fsync policies, and fault injection on the tail.
+#include "persist/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace larp::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("larp_wal_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static std::vector<std::byte> payload(const std::string& s) {
+    std::vector<std::byte> out(s.size());
+    std::memcpy(out.data(), s.data(), s.size());
+    return out;
+  }
+
+  std::vector<std::pair<std::uint64_t, std::string>> replay_all(
+      std::uint32_t shard, std::uint64_t from_seq = 0) {
+    std::vector<std::pair<std::uint64_t, std::string>> frames;
+    last_report_ = replay_wal(dir_, shard, from_seq, [&](const WalFrame& f) {
+      frames.emplace_back(
+          f.seq, std::string(reinterpret_cast<const char*>(f.payload.data()),
+                             f.payload.size()));
+    });
+    return frames;
+  }
+
+  fs::path dir_;
+  WalReplayReport last_report_;
+};
+
+TEST_F(WalTest, AppendReplayRoundTrip) {
+  WalConfig config;
+  {
+    WalWriter writer(dir_, 0, config);
+    EXPECT_EQ(writer.append(payload("alpha")), 0u);
+    EXPECT_EQ(writer.append(payload("beta")), 1u);
+    EXPECT_EQ(writer.append(payload("")), 2u);  // empty payloads are legal
+    writer.sync();
+  }
+  const auto frames = replay_all(0);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], (std::pair<std::uint64_t, std::string>{0, "alpha"}));
+  EXPECT_EQ(frames[1], (std::pair<std::uint64_t, std::string>{1, "beta"}));
+  EXPECT_EQ(frames[2], (std::pair<std::uint64_t, std::string>{2, ""}));
+  EXPECT_EQ(last_report_.next_seq, 3u);
+  EXPECT_FALSE(last_report_.truncated_tail);
+}
+
+TEST_F(WalTest, ShardsAreIndependentLogs) {
+  WalConfig config;
+  WalWriter a(dir_, 0, config);
+  WalWriter b(dir_, 1, config);
+  a.append(payload("a0"));
+  b.append(payload("b0"));
+  b.append(payload("b1"));
+  a.sync();
+  b.sync();
+  EXPECT_EQ(replay_all(0).size(), 1u);
+  EXPECT_EQ(replay_all(1).size(), 2u);
+}
+
+TEST_F(WalTest, ReopenContinuesSequence) {
+  WalConfig config;
+  {
+    WalWriter writer(dir_, 0, config);
+    writer.append(payload("one"));
+    writer.append(payload("two"));
+  }  // destructor path: no explicit sync — buffered bytes still reach the file
+  {
+    WalWriter writer(dir_, 0, config);
+    EXPECT_EQ(writer.next_seq(), 2u);
+    EXPECT_EQ(writer.append(payload("three")), 2u);
+    writer.sync();
+  }
+  const auto frames = replay_all(0);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[2].second, "three");
+}
+
+TEST_F(WalTest, FromSeqSkipsCoveredPrefix) {
+  WalConfig config;
+  WalWriter writer(dir_, 0, config);
+  for (int i = 0; i < 10; ++i) writer.append(payload(std::to_string(i)));
+  writer.sync();
+  const auto frames = replay_all(0, 7);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].first, 7u);
+  EXPECT_EQ(last_report_.frames_skipped, 7u);
+  EXPECT_EQ(last_report_.frames_delivered, 3u);
+}
+
+TEST_F(WalTest, RotatesSegmentsAndReplaysAcrossThem) {
+  WalConfig config;
+  config.segment_bytes = 128;  // force rotation every few frames
+  WalWriter writer(dir_, 0, config);
+  const std::string blob(40, 'x');
+  for (int i = 0; i < 20; ++i) writer.append(payload(blob));
+  writer.sync();
+  const auto segments = list_wal_segments(dir_, 0);
+  ASSERT_GT(segments.size(), 2u);
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    EXPECT_GT(segments[i].start_seq, segments[i - 1].start_seq);
+  }
+  EXPECT_EQ(replay_all(0).size(), 20u);
+  EXPECT_EQ(last_report_.next_seq, 20u);
+}
+
+TEST_F(WalTest, FsyncPoliciesKeepEveryFrame) {
+  for (const auto policy :
+       {FsyncPolicy::Always, FsyncPolicy::EveryN, FsyncPolicy::Interval}) {
+    WalConfig config;
+    config.fsync = policy;
+    config.fsync_every_n = 3;
+    const auto shard = static_cast<std::uint32_t>(policy);
+    {
+      WalWriter writer(dir_, shard, config);
+      for (int i = 0; i < 8; ++i) writer.append(payload(std::to_string(i)));
+      writer.sync();
+    }
+    EXPECT_EQ(replay_all(shard).size(), 8u) << "policy " << int(policy);
+  }
+}
+
+// -- fault injection --------------------------------------------------------
+
+TEST_F(WalTest, TornTailIsTruncatedOnReplayAndReopen) {
+  WalConfig config;
+  {
+    WalWriter writer(dir_, 0, config);
+    for (int i = 0; i < 5; ++i) writer.append(payload("frame" + std::to_string(i)));
+    writer.sync();
+  }
+  // Tear the last frame: chop 3 bytes off the segment, as a crash mid-write
+  // would.
+  const auto segments = list_wal_segments(dir_, 0);
+  ASSERT_EQ(segments.size(), 1u);
+  const auto size = fs::file_size(segments[0].path);
+  fs::resize_file(segments[0].path, size - 3);
+
+  const auto frames = replay_all(0);
+  ASSERT_EQ(frames.size(), 4u);  // the torn 5th frame is gone
+  EXPECT_TRUE(last_report_.truncated_tail);
+  EXPECT_EQ(last_report_.next_seq, 4u);
+
+  // Reopening the writer repairs the tail and resumes at the cut.
+  WalWriter writer(dir_, 0, config);
+  EXPECT_EQ(writer.next_seq(), 4u);
+  writer.append(payload("replacement"));
+  writer.sync();
+  const auto after = replay_all(0);
+  ASSERT_EQ(after.size(), 5u);
+  EXPECT_EQ(after[4].second, "replacement");
+  EXPECT_FALSE(last_report_.truncated_tail);
+}
+
+TEST_F(WalTest, BitFlipStopsReplayAtLastValidFrame) {
+  WalConfig config;
+  {
+    WalWriter writer(dir_, 0, config);
+    for (int i = 0; i < 6; ++i) writer.append(payload("payload" + std::to_string(i)));
+    writer.sync();
+  }
+  const auto segments = list_wal_segments(dir_, 0);
+  ASSERT_EQ(segments.size(), 1u);
+  // Flip one bit roughly two-thirds into the file: frames before the flip
+  // replay, everything at or past it is untrusted.
+  const auto size = fs::file_size(segments[0].path);
+  const auto at = static_cast<std::streamoff>(size * 2 / 3);
+  std::fstream f(segments[0].path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(at);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  f.seekp(at);
+  f.write(&byte, 1);
+  f.close();
+
+  const auto frames = replay_all(0);
+  EXPECT_LT(frames.size(), 6u);
+  EXPECT_TRUE(last_report_.truncated_tail);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].second, "payload" + std::to_string(i));
+  }
+}
+
+TEST_F(WalTest, RepairDiscardsSuffixSegments) {
+  WalConfig config;
+  config.segment_bytes = 128;
+  {
+    WalWriter writer(dir_, 0, config);
+    const std::string blob(40, 'y');
+    for (int i = 0; i < 20; ++i) writer.append(payload(blob));
+    writer.sync();
+  }
+  ASSERT_GT(list_wal_segments(dir_, 0).size(), 2u);
+  repair_wal(dir_, 0, 5);
+  const auto frames = replay_all(0);
+  EXPECT_EQ(frames.size(), 5u);
+  EXPECT_EQ(last_report_.next_seq, 5u);
+  // A writer opened at the repaired position continues without forking.
+  WalWriter writer(dir_, 0, config, 5);
+  EXPECT_EQ(writer.next_seq(), 5u);
+}
+
+TEST_F(WalTest, ExpectedSeqMismatchFailsLoudly) {
+  WalConfig config;
+  {
+    WalWriter writer(dir_, 0, config);
+    for (int i = 0; i < 4; ++i) writer.append(payload("x"));
+    writer.sync();
+  }
+  EXPECT_THROW(WalWriter(dir_, 0, config, 2), Error);
+  EXPECT_NO_THROW(WalWriter(dir_, 0, config, 4));
+}
+
+TEST_F(WalTest, PruneBelowDropsWholeCoveredSegments) {
+  WalConfig config;
+  config.segment_bytes = 128;
+  WalWriter writer(dir_, 0, config);
+  const std::string blob(40, 'z');
+  for (int i = 0; i < 20; ++i) writer.append(payload(blob));
+  writer.sync();
+  const auto before = list_wal_segments(dir_, 0);
+  ASSERT_GT(before.size(), 2u);
+
+  const std::uint64_t cut = before[before.size() / 2].start_seq;
+  writer.prune_below(cut);
+  const auto after = list_wal_segments(dir_, 0);
+  EXPECT_LT(after.size(), before.size());
+  // Replay from the prune point is unaffected.
+  const auto frames = replay_all(0, cut);
+  EXPECT_EQ(last_report_.next_seq, 20u);
+  EXPECT_FALSE(last_report_.truncated_tail);
+  ASSERT_FALSE(frames.empty());
+  EXPECT_EQ(frames.front().first, cut);
+  EXPECT_EQ(frames.back().first, 19u);
+}
+
+TEST_F(WalTest, MissingDirectoryReplaysEmpty) {
+  const auto report = replay_wal(dir_ / "nope", 0, 0, [](const WalFrame&) {
+    FAIL() << "no frames expected";
+  });
+  EXPECT_EQ(report.frames_delivered, 0u);
+  EXPECT_EQ(report.next_seq, 0u);
+  EXPECT_FALSE(report.truncated_tail);
+}
+
+}  // namespace
+}  // namespace larp::persist

@@ -8,6 +8,9 @@
 //   larp_cli walk         <csv> <column>      rolling-origin evaluation
 //   larp_cli export       <vm>  <out.csv>     write a catalog VM's trace suite
 //   larp_cli serve-sim                        multi-series PredictionEngine sim
+//   larp_cli snapshot     <data-dir>          restore + write a fresh snapshot
+//   larp_cli restore      <data-dir>          restore an engine, print stats
+//   larp_cli inspect-snapshot <data-dir>      validate snapshots / list WAL
 //
 // Common options:
 //   --window N       prediction window m            (default 5)
@@ -20,8 +23,11 @@
 //   --steps N        serve-sim: post-warm-up steps   (default 96)
 //   --threads N      serve-sim: worker threads (0 = all cores)
 //   --shards N       serve-sim: engine shards        (default 16)
+//   --data-dir P     serve-sim: durability directory (snapshots + WAL)
+//   --snapshot-every N  serve-sim: snapshot cadence in steps (0 = end only)
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -35,6 +41,8 @@
 #include "core/lar_predictor.hpp"
 #include "core/report.hpp"
 #include "core/rolling.hpp"
+#include "persist/snapshot.hpp"
+#include "persist/wal.hpp"
 #include "serve/prediction_engine.hpp"
 #include "tracegen/catalog.hpp"
 #include "tracegen/characterize.hpp"
@@ -60,6 +68,8 @@ struct Options {
   std::size_t steps = 96;
   std::size_t threads = 0;
   std::size_t shards = 16;
+  std::string data_dir;
+  std::size_t snapshot_every = 0;
 };
 
 [[noreturn]] void usage(const char* message = nullptr) {
@@ -73,10 +83,45 @@ struct Options {
                "  walk         <csv> <column>\n"
                "  export       <vm>  <out.csv>\n"
                "  serve-sim\n"
+               "  snapshot     <data-dir>\n"
+               "  restore      <data-dir>\n"
+               "  inspect-snapshot <data-dir>\n"
                "options: --window N --k N --folds N --pool paper|extended\n"
                "         --seed N --train-frac F\n"
-               "         --series N --steps N --threads N --shards N (serve-sim)\n");
+               "         --series N --steps N --threads N --shards N (serve-sim)\n"
+               "         --data-dir PATH --snapshot-every N (durability)\n");
   std::exit(2);
+}
+
+// Strict numeric flag parsing: the whole value must convert, no sign tricks,
+// no trailing garbage — anything else is a usage error (exit 2), never an
+// uncaught std::invalid_argument.
+std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
+  std::size_t consumed = 0;
+  try {
+    if (value.empty() || value[0] == '-' || value[0] == '+') throw 0;
+    const unsigned long long v = std::stoull(value, &consumed);
+    if (consumed != value.size()) throw 0;
+    return v;
+  } catch (...) {
+    usage((flag + " expects a non-negative integer, got '" + value + "'")
+              .c_str());
+  }
+}
+
+std::size_t parse_size(const std::string& flag, const std::string& value) {
+  return static_cast<std::size_t>(parse_u64(flag, value));
+}
+
+double parse_f64(const std::string& flag, const std::string& value) {
+  std::size_t consumed = 0;
+  try {
+    const double v = std::stod(value, &consumed);
+    if (consumed != value.size()) throw 0;
+    return v;
+  } catch (...) {
+    usage((flag + " expects a number, got '" + value + "'").c_str());
+  }
 }
 
 Options parse(int argc, char** argv) {
@@ -89,16 +134,19 @@ Options parse(int argc, char** argv) {
       if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
       return argv[++i];
     };
-    if (arg == "--window") options.window = std::stoul(next());
-    else if (arg == "--k") options.k = std::stoul(next());
-    else if (arg == "--folds") options.folds = std::stoul(next());
+    if (arg == "--window") options.window = parse_size(arg, next());
+    else if (arg == "--k") options.k = parse_size(arg, next());
+    else if (arg == "--folds") options.folds = parse_size(arg, next());
     else if (arg == "--pool") options.pool = next();
-    else if (arg == "--seed") options.seed = std::stoull(next());
-    else if (arg == "--train-frac") options.train_fraction = std::stod(next());
-    else if (arg == "--series") options.series = std::stoul(next());
-    else if (arg == "--steps") options.steps = std::stoul(next());
-    else if (arg == "--threads") options.threads = std::stoul(next());
-    else if (arg == "--shards") options.shards = std::stoul(next());
+    else if (arg == "--seed") options.seed = parse_u64(arg, next());
+    else if (arg == "--train-frac") options.train_fraction = parse_f64(arg, next());
+    else if (arg == "--series") options.series = parse_size(arg, next());
+    else if (arg == "--steps") options.steps = parse_size(arg, next());
+    else if (arg == "--threads") options.threads = parse_size(arg, next());
+    else if (arg == "--shards") options.shards = parse_size(arg, next());
+    else if (arg == "--data-dir") options.data_dir = next();
+    else if (arg == "--snapshot-every")
+      options.snapshot_every = parse_size(arg, next());
     else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
     else options.positional.push_back(arg);
   }
@@ -257,6 +305,9 @@ int cmd_serve_sim(const Options& options) {
   // 4.4, so this fires only on genuinely degraded series, not on the noise
   // floor.
   config.quality.mse_threshold = 6.5;
+  if (!options.data_dir.empty()) {
+    config.durability.data_dir = options.data_dir;
+  }
 
   serve::PredictionEngine engine(make_pool(options), config);
 
@@ -292,13 +343,26 @@ int cmd_serve_sim(const Options& options) {
   }
 
   // Steady state: one predict + observe round per step, all series batched.
+  std::size_t snapshots_written = 0;
   const auto t1 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < options.steps; ++i) {
     (void)engine.predict(keys);
     fill_batch();
     engine.observe(batch);
+    if (!options.data_dir.empty() && options.snapshot_every > 0 &&
+        (i + 1) % options.snapshot_every == 0) {
+      (void)engine.snapshot();
+      ++snapshots_written;
+    }
   }
   const auto t2 = std::chrono::steady_clock::now();
+  if (!options.data_dir.empty()) {
+    const auto epoch = engine.snapshot();
+    ++snapshots_written;
+    std::printf("durability: %zu snapshot(s) into %s (final epoch %llu)\n",
+                snapshots_written, options.data_dir.c_str(),
+                static_cast<unsigned long long>(epoch));
+  }
 
   const auto stats = engine.stats();
   const double steady_sec =
@@ -321,6 +385,78 @@ int cmd_serve_sim(const Options& options) {
   std::printf("  engine time       observe %.3f s, predict %.3f s\n",
               stats.observe_seconds, stats.predict_seconds);
   return 0;
+}
+
+// The pool prototype must match the one used when the snapshot was written
+// (pool composition is not serialized); --pool/--window select it, with the
+// same defaults serve-sim uses.
+std::unique_ptr<serve::PredictionEngine> restore_engine(const Options& options) {
+  if (options.positional.empty()) usage("need <data-dir>");
+  return serve::PredictionEngine::restore(make_pool(options),
+                                          options.positional[0]);
+}
+
+void print_engine_summary(const serve::PredictionEngine& engine) {
+  const auto stats = engine.stats();
+  std::printf("engine: %zu shards, %zu series (%zu trained)\n",
+              engine.config().shards, stats.series, stats.trained_series);
+  std::printf("  lifetime          %zu observations, %zu predictions, "
+              "%zu erases\n",
+              stats.observations, stats.predictions, stats.erases);
+  std::printf("  training          %zu trains, %zu retrains, %zu audits\n",
+              stats.trains, stats.retrains, stats.audits);
+  std::printf("  resolved          %zu forecasts, MAE %.4f, MSE %.4f\n",
+              stats.resolved, stats.mean_absolute_error,
+              stats.mean_squared_error);
+}
+
+int cmd_restore(const Options& options) {
+  const auto engine = restore_engine(options);
+  std::printf("restored from %s\n", options.positional[0].c_str());
+  print_engine_summary(*engine);
+  return 0;
+}
+
+// Offline compaction: restore (snapshot + WAL replay), then publish a fresh
+// snapshot, which also prunes the WAL segments it makes obsolete.
+int cmd_snapshot(const Options& options) {
+  const auto engine = restore_engine(options);
+  const auto epoch = engine->snapshot();
+  std::printf("wrote snapshot epoch %llu to %s\n",
+              static_cast<unsigned long long>(epoch),
+              options.positional[0].c_str());
+  print_engine_summary(*engine);
+  return 0;
+}
+
+int cmd_inspect_snapshot(const Options& options) {
+  if (options.positional.empty()) usage("need <data-dir>");
+  const std::filesystem::path dir = options.positional[0];
+  const auto snapshots = persist::list_snapshots(dir);
+  if (snapshots.empty()) std::printf("no snapshots in %s\n", dir.c_str());
+  bool any_valid = false;
+  for (const auto& info : snapshots) {
+    try {
+      const auto loaded = persist::load_snapshot(info.path);
+      std::printf("%s  epoch %llu  payload-version %u  %zu payload bytes  OK\n",
+                  info.path.filename().c_str(),
+                  static_cast<unsigned long long>(loaded.epoch), loaded.version,
+                  loaded.payload.size());
+      any_valid = true;
+    } catch (const larp::Error& e) {
+      std::printf("%s  CORRUPT: %s\n", info.path.filename().c_str(), e.what());
+    }
+  }
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const auto name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) != 0 || entry.path().extension() != ".log") {
+      continue;
+    }
+    std::printf("%s  %llu bytes\n", name.c_str(),
+                static_cast<unsigned long long>(entry.file_size()));
+  }
+  return (snapshots.empty() || any_valid) ? 0 : 1;
 }
 
 int cmd_export(const Options& options) {
@@ -358,8 +494,16 @@ int main(int argc, char** argv) {
     if (options.command == "walk") return cmd_walk(options);
     if (options.command == "export") return cmd_export(options);
     if (options.command == "serve-sim") return cmd_serve_sim(options);
+    if (options.command == "snapshot") return cmd_snapshot(options);
+    if (options.command == "restore") return cmd_restore(options);
+    if (options.command == "inspect-snapshot") {
+      return cmd_inspect_snapshot(options);
+    }
     usage(("unknown command " + options.command).c_str());
   } catch (const larp::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
