@@ -10,12 +10,15 @@
 //
 // Plain chrono timing like the table/figure benches (exit code 0 always;
 // the numbers are the artifact).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <span>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "persist/snapshot.hpp"
@@ -72,9 +75,13 @@ serve::EngineConfig engine_config(const fs::path& data_dir,
   return config;
 }
 
-/// Steady-state series-steps/sec for one durability configuration.
+/// Steady-state series-steps/sec for one durability configuration.  The
+/// measured loop issues predict/observe in sub-batches of `batch_size`
+/// series per call, so the WAL group size per (shard, call) scales with it —
+/// batch_size == series is the original whole-fleet batch.
 double observe_throughput(const fs::path& data_dir, persist::FsyncPolicy policy,
-                          std::size_t series, std::size_t steps) {
+                          std::size_t series, std::size_t steps,
+                          std::size_t batch_size) {
   if (!data_dir.empty()) fs::remove_all(data_dir);
   serve::PredictionEngine engine(predictors::make_paper_pool(5),
                                  engine_config(data_dir, policy));
@@ -84,11 +91,19 @@ double observe_throughput(const fs::path& data_dir, persist::FsyncPolicy policy,
     load.fill();
     engine.observe(load.batch);
   }
+  const std::span<const tsdb::SeriesKey> keys(load.keys);
+  const std::span<const serve::Observation> batch(load.batch);
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < steps; ++i) {
-    (void)engine.predict(load.keys);
+    for (std::size_t off = 0; off < series; off += batch_size) {
+      const std::size_t n = std::min(batch_size, series - off);
+      (void)engine.predict(keys.subspan(off, n));
+    }
     load.fill();
-    engine.observe(load.batch);
+    for (std::size_t off = 0; off < series; off += batch_size) {
+      const std::size_t n = std::min(batch_size, series - off);
+      engine.observe(batch.subspan(off, n));
+    }
   }
   const double elapsed = seconds_since(start);
   if (!data_dir.empty()) fs::remove_all(data_dir);
@@ -111,7 +126,7 @@ std::vector<WalPoint> bench_wal_overhead(const fs::path& scratch, bool quick) {
   std::vector<WalPoint> points;
   const auto run = [&](const std::string& name, const fs::path& dir,
                        persist::FsyncPolicy policy) {
-    const double rate = observe_throughput(dir, policy, series, steps);
+    const double rate = observe_throughput(dir, policy, series, steps, series);
     double overhead = 0.0;
     if (!points.empty()) {
       overhead = 100.0 * (points.front().rate / rate - 1.0);
@@ -124,6 +139,99 @@ std::vector<WalPoint> bench_wal_overhead(const fs::path& scratch, bool quick) {
   run("wal-interval", scratch / "interval", persist::FsyncPolicy::Interval);
   if (!quick) {
     run("wal-always", scratch / "always", persist::FsyncPolicy::Always);
+  }
+  return points;
+}
+
+struct BatchSweepPoint {
+  std::size_t batch = 0;
+  double off_rate = 0.0;
+  double wal_rate = 0.0;
+  double overhead_pct = 0.0;  // wal-every-64 slowdown vs. off at this batch
+};
+
+// Like observe_throughput but on a single-shard, single-thread engine, so
+// every predict/observe call stages exactly `batch_size` frames into ONE
+// group: the sweep axis is the WAL group size itself, not group size diluted
+// across 16 shards.  Best-of-`reps` to shed scheduler noise.
+double sweep_throughput(const fs::path& data_dir, std::size_t series,
+                        std::size_t steps, std::size_t batch_size,
+                        int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    // Let writeback from the previous measurement drain; on a small host the
+    // flusher otherwise steals cycles from the durability-off points and
+    // inflates their variance (observed 450k..800k series-steps/s).
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    if (!data_dir.empty()) fs::remove_all(data_dir);
+    serve::EngineConfig config;
+    config.lar.window = 5;
+    config.shards = 1;
+    config.threads = 1;
+    config.train_samples = 48;
+    if (!data_dir.empty()) {
+      config.durability.data_dir = data_dir;
+      config.durability.wal.fsync = persist::FsyncPolicy::EveryN;
+      config.durability.wal.fsync_every_n = 64;
+    }
+    serve::PredictionEngine engine(predictors::make_paper_pool(5), config);
+    Workload load(series);
+    for (std::size_t i = 0; i < config.train_samples; ++i) {
+      load.fill();
+      engine.observe(load.batch);
+    }
+    const std::span<const tsdb::SeriesKey> keys(load.keys);
+    const std::span<const serve::Observation> batch(load.batch);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < steps; ++i) {
+      for (std::size_t off = 0; off < series; off += batch_size) {
+        const std::size_t n = std::min(batch_size, series - off);
+        (void)engine.predict(keys.subspan(off, n));
+      }
+      load.fill();
+      for (std::size_t off = 0; off < series; off += batch_size) {
+        const std::size_t n = std::min(batch_size, series - off);
+        engine.observe(batch.subspan(off, n));
+      }
+    }
+    const double rate = static_cast<double>(series) *
+                        static_cast<double>(steps) / seconds_since(start);
+    best = std::max(best, rate);
+    if (!data_dir.empty()) fs::remove_all(data_dir);
+  }
+  return best;
+}
+
+// Group-commit payoff curve.  batch=1 is the degenerate per-frame case (one
+// group of one frame per call, the pre-group-commit writer behaviour);
+// batch=64 matches fsync_every_n so each group carries exactly one sync; and
+// beyond that the single policy decision per group amortises the fdatasync
+// itself across the whole group.
+std::vector<BatchSweepPoint> bench_batch_sweep(const fs::path& scratch,
+                                               bool quick) {
+  const std::size_t series = quick ? 64 : 512;
+  const std::size_t steps = quick ? 8 : 96;
+  const int reps = quick ? 1 : 3;
+  const std::vector<std::size_t> batches =
+      quick ? std::vector<std::size_t>{1, 32}
+            : std::vector<std::size_t>{1, 8, 32, 64, 256, 512};
+  std::printf(
+      "\ngroup-commit batch sweep (%zu series, %zu steps, 1 shard, every-64, "
+      "best of %d)\n",
+      series, steps, reps);
+  std::printf("%8s %16s %16s %10s\n", "batch", "off/s", "wal-every-64/s",
+              "overhead");
+  std::vector<BatchSweepPoint> points;
+  for (const std::size_t batch : batches) {
+    BatchSweepPoint p;
+    p.batch = batch;
+    p.off_rate = sweep_throughput({}, series, steps, batch, reps);
+    p.wal_rate =
+        sweep_throughput(scratch / "sweep_every_n", series, steps, batch, reps);
+    p.overhead_pct = 100.0 * (p.off_rate / p.wal_rate - 1.0);
+    std::printf("%8zu %16.0f %16.0f %9.1f%%\n", p.batch, p.off_rate,
+                p.wal_rate, p.overhead_pct);
+    points.push_back(p);
   }
   return points;
 }
@@ -173,6 +281,7 @@ SnapshotPoint bench_snapshot_cycle(const fs::path& scratch, bool quick) {
 }
 
 void write_json(const char* path, const std::vector<WalPoint>& wal,
+                const std::vector<BatchSweepPoint>& sweep,
                 const SnapshotPoint& snap) {
   std::FILE* out = std::fopen(path, "w");
   if (!out) {
@@ -186,6 +295,14 @@ void write_json(const char* path, const std::vector<WalPoint>& wal,
                  "\"overhead_pct\": %.1f}%s\n",
                  wal[i].name.c_str(), wal[i].rate, wal[i].overhead_pct,
                  i + 1 < wal.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n    \"wal_batch_sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    std::fprintf(out,
+                 "      {\"batch\": %zu, \"off_per_sec\": %.0f, "
+                 "\"wal_every_64_per_sec\": %.0f, \"overhead_pct\": %.1f}%s\n",
+                 sweep[i].batch, sweep[i].off_rate, sweep[i].wal_rate,
+                 sweep[i].overhead_pct, i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(out,
                "    ],\n    \"snapshot_cycle\": {\"series\": %zu, "
@@ -221,8 +338,9 @@ int main(int argc, char** argv) {
   std::printf("bench_wal_overhead — snapshot + WAL durability cost\n");
   std::printf("================================================================\n\n");
   const auto wal = bench_wal_overhead(scratch, quick);
+  const auto sweep = bench_batch_sweep(scratch, quick);
   const auto snap = bench_snapshot_cycle(scratch, quick);
   fs::remove_all(scratch);
-  if (json_path) write_json(json_path, wal, snap);
+  if (json_path) write_json(json_path, wal, sweep, snap);
   return 0;
 }

@@ -84,16 +84,24 @@ SegmentScan scan_segment(std::span<const std::byte> contents,
 
 std::vector<WalSegmentInfo> list_wal_segments(const std::filesystem::path& dir,
                                               std::uint32_t shard) {
-  char prefix[16];
-  std::snprintf(prefix, sizeof(prefix), "wal-%04u-", shard);
+  // %04u is a minimum width: shard ids >= 10000 widen the prefix, so the
+  // start_seq digits must be located by the actual prefix length, not a
+  // hardcoded offset.
+  char prefix[24];
+  const auto prefix_len = static_cast<std::size_t>(
+      std::snprintf(prefix, sizeof(prefix), "wal-%04u-", shard));
   std::vector<WalSegmentInfo> found;
   std::error_code ec;
   std::filesystem::directory_iterator it(dir, ec);
   if (ec) return found;
   for (const auto& entry : it) {
     const std::string name = entry.path().filename().string();
-    if (!name.starts_with(prefix) || !name.ends_with(".log")) continue;
-    const std::string digits = name.substr(9, name.size() - 9 - 4);
+    if (!name.starts_with(prefix) || !name.ends_with(".log") ||
+        name.size() < prefix_len + 4) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix_len, name.size() - prefix_len - 4);
     std::uint64_t start_seq = 0;
     const auto [ptr, parse] =
         std::from_chars(digits.data(), digits.data() + digits.size(), start_seq);
@@ -138,7 +146,8 @@ WalReplayReport replay_wal(const std::filesystem::path& dir, std::uint32_t shard
       report.truncated_tail = true;
       return report;
     }
-    if (i == 0) report.next_seq = scan.start_seq;
+    // Invariant: a frameless segment (header only) still advances next_seq
+    // to its start_seq, because scan.next_seq starts there.
     report.next_seq = scan.next_seq;
     if (!scan.clean) {
       report.truncated_tail = true;
@@ -247,11 +256,19 @@ void WalWriter::open_segment(std::uint64_t start_seq) {
 }
 
 std::uint64_t WalWriter::append(std::span<const std::byte> payload) {
+  const std::uint64_t seq = stage(payload);
+  commit();
+  return seq;
+}
+
+std::uint64_t WalWriter::stage(std::span<const std::byte> payload) {
   const std::uint64_t seq = next_seq_++;
 
-  frame_scratch_.clear();
+  const std::size_t begin = frame_scratch_.size();
   const std::size_t total = kFrameHeaderBytes + 8 + payload.size();
-  if (frame_scratch_.capacity() < total) frame_scratch_.reserve(total);
+  if (frame_scratch_.capacity() < begin + total) {
+    frame_scratch_.reserve(begin + total);
+  }
   const auto push_le = [&](auto v, std::size_t bytes) {
     for (std::size_t i = 0; i < bytes; ++i) {
       frame_scratch_.push_back(
@@ -262,24 +279,52 @@ std::uint64_t WalWriter::append(std::span<const std::byte> payload) {
   push_le(std::uint32_t{0}, 4);  // crc slot, patched below
   push_le(seq, 8);
   frame_scratch_.insert(frame_scratch_.end(), payload.begin(), payload.end());
-  const std::uint32_t crc = crc32c_mask(
-      crc32c(std::span(frame_scratch_).subspan(kFrameHeaderBytes)));
+  const std::uint32_t crc = crc32c_mask(crc32c(
+      std::span(frame_scratch_).subspan(begin + kFrameHeaderBytes)));
   for (std::size_t i = 0; i < 4; ++i) {
-    frame_scratch_[4 + i] = static_cast<std::byte>((crc >> (8 * i)) & 0xFFu);
+    frame_scratch_[begin + 4 + i] =
+        static_cast<std::byte>((crc >> (8 * i)) & 0xFFu);
   }
-
-  file_.append(frame_scratch_);
-  segment_size_ += frame_scratch_.size();
-  ++appends_since_sync_;
-  maybe_sync();
-
-  if (segment_size_ >= config_.segment_bytes) {
-    // A rotated-away segment is complete and durable; replay relies on the
-    // next segment's start matching this one's end.
-    sync();
-    open_segment(next_seq_);
-  }
+  staged_sizes_.push_back(static_cast<std::uint32_t>(total));
   return seq;
+}
+
+void WalWriter::commit() {
+  if (staged_sizes_.empty()) return;
+  const std::span<const std::byte> staged(frame_scratch_);
+  // Sequence number of the frame AFTER staged frame i (for opening the next
+  // segment at the right start when frame i crosses the rotation boundary).
+  std::uint64_t seq_after = next_seq_ - staged_sizes_.size();
+  std::size_t pos = 0;        // bytes of the group walked so far
+  std::size_t run_begin = 0;  // start of the run destined for this segment
+  std::size_t run_frames = 0;
+  for (const std::uint32_t frame_bytes : staged_sizes_) {
+    pos += frame_bytes;
+    segment_size_ += frame_bytes;
+    ++seq_after;
+    ++run_frames;
+    if (segment_size_ >= config_.segment_bytes) {
+      // Rotation boundary inside the group: flush the run ending with this
+      // frame, make the completed segment durable, and continue the group in
+      // a fresh segment starting at the next staged sequence — replay's
+      // segment-contiguity check then holds however far a crash lets the
+      // remainder get.
+      file_.append(staged.subspan(run_begin, pos - run_begin));
+      sync();
+      open_segment(seq_after);
+      run_begin = pos;
+      run_frames = 0;
+    }
+  }
+  if (pos > run_begin) {
+    file_.append(staged.subspan(run_begin, pos - run_begin));
+  }
+  frame_scratch_.clear();
+  staged_sizes_.clear();
+  // One policy decision for the whole group, which counts as its frame count
+  // toward EveryN (frames already synced by a mid-group rotation excluded).
+  appends_since_sync_ += run_frames;
+  maybe_sync();
 }
 
 void WalWriter::maybe_sync() {
@@ -302,6 +347,17 @@ void WalWriter::sync() {
   file_.sync();
   appends_since_sync_ = 0;
   last_sync_ = std::chrono::steady_clock::now();
+}
+
+bool WalWriter::sync_if_due() {
+  if (config_.fsync != FsyncPolicy::Interval || appends_since_sync_ == 0) {
+    return false;
+  }
+  if (std::chrono::steady_clock::now() - last_sync_ < config_.fsync_interval) {
+    return false;
+  }
+  sync();
+  return true;
 }
 
 void WalWriter::prune_below(std::uint64_t min_seq) {

@@ -21,7 +21,14 @@
 //               record);
 //   * EveryN  — fdatasync after every n-th append (lose at most n-1 records);
 //   * Interval— fdatasync when `interval` has elapsed since the last sync
-//               (checked on append; lose at most one interval of records).
+//               (checked on append/commit; an idle writer needs a periodic
+//               sync_if_due() tick to keep the loss window bounded).
+//
+// Group commit: stage() encodes frames into an in-memory group and commit()
+// flushes the whole group with one write per segment run plus one policy
+// sync decision (a B-frame group counts as B appends toward EveryN).  The
+// serving engine stages one group per (shard, batch) under the shard lock,
+// paying one syscall per shard per batched call instead of one per frame.
 //
 // Recovery contract: replay() delivers the longest checksum-valid prefix of
 // the log at or past `from_seq` and stops at the first torn or corrupt
@@ -78,11 +85,42 @@ class WalWriter {
 
   /// Appends one frame; returns its sequence number.  Durability follows the
   /// configured fsync policy.  Steady-state appends reuse the frame buffer —
-  /// no heap allocation once its capacity is established.
+  /// no heap allocation once its capacity is established.  Equivalent to
+  /// stage() + commit() of a one-frame group.
   std::uint64_t append(std::span<const std::byte> payload);
+
+  /// Group commit, part 1: encodes one frame into the group buffer and
+  /// assigns its sequence number WITHOUT writing anything.  Staged frames
+  /// reach the file only at the next commit(); callers must commit before
+  /// releasing whatever lock serializes this writer, or the staged suffix is
+  /// silently dropped (never half-written — nothing hit the file).
+  std::uint64_t stage(std::span<const std::byte> payload);
+
+  /// Group commit, part 2: writes every staged frame with one append per
+  /// segment run and applies ONE policy-driven sync decision for the whole
+  /// group (the group counts as its frame count toward EveryN).  A group
+  /// that crosses the rotation boundary is split there — frames up to the
+  /// boundary are flushed and synced into the old segment, the rest open the
+  /// next one — so the replay contiguity invariant (segment k+1 starts where
+  /// k's valid frames end) holds for any crash point.  No-op when nothing is
+  /// staged.
+  void commit();
 
   /// Forces buffered frames durable regardless of policy.
   void sync();
+
+  /// Applies a due FsyncPolicy::Interval sync on an idle writer.  The policy
+  /// is otherwise only evaluated on the next append, so a writer that goes
+  /// idle would hold unsynced frames indefinitely — an unbounded loss
+  /// window.  Call this from a maintenance tick; returns true when a sync
+  /// was performed.  No-op (false) for other policies, when nothing is
+  /// unsynced, or when the interval has not yet elapsed.
+  bool sync_if_due();
+
+  /// Frames written since the last sync (0 = everything durable).
+  [[nodiscard]] std::size_t unsynced_appends() const noexcept {
+    return appends_since_sync_;
+  }
 
   [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
   [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
@@ -103,7 +141,12 @@ class WalWriter {
   std::uint64_t segment_size_ = 0;
   std::size_t appends_since_sync_ = 0;
   std::chrono::steady_clock::time_point last_sync_{};
+  // Staged-group state: frame_scratch_ holds the concatenated encoded frames
+  // of the open group, staged_sizes_ their individual byte counts (so commit
+  // can split the group at a segment-rotation boundary).  Both buffers keep
+  // their capacity across groups — steady-state batches allocate nothing.
   std::vector<std::byte> frame_scratch_;
+  std::vector<std::uint32_t> staged_sizes_;
 };
 
 /// One recovered frame.

@@ -261,8 +261,17 @@ void PredictionEngine::observe(std::span<const Observation> batch) {
       [&](std::size_t s, const std::vector<std::size_t>& indices) {
         Shard& shard = *shards_[s];
         std::lock_guard lock(shard.mutex);
+        if (shard.wal) {
+          // Group commit: every frame of this (shard, batch) pair is staged
+          // and flushed with one write + one sync decision, before any of
+          // the mutations it describes is applied — log-before-apply at
+          // group granularity, frame order identical to apply order.
+          for (std::size_t i : indices) {
+            wal_stage(shard, kWalObserve, batch[i].key, &batch[i].value);
+          }
+          shard.wal->commit();
+        }
         for (std::size_t i : indices) {
-          wal_log(shard, kWalObserve, batch[i].key, &batch[i].value);
           absorb(shard, batch[i].key, batch[i].value);
         }
       });
@@ -301,11 +310,17 @@ std::vector<Prediction> PredictionEngine::predict(
       [&](std::size_t s, const std::vector<std::size_t>& indices) {
         Shard& shard = *shards_[s];
         std::lock_guard lock(shard.mutex);
-        for (std::size_t i : indices) {
+        if (shard.wal) {
           // Logged even for untrained series (where forecast() is a no-op):
           // replay must reproduce the exact call sequence, and whether a key
           // is trained at this point is itself a function of that sequence.
-          wal_log(shard, kWalPredict, keys[i], nullptr);
+          // Staged and committed as one group, like observe().
+          for (std::size_t i : indices) {
+            wal_stage(shard, kWalPredict, keys[i], nullptr);
+          }
+          shard.wal->commit();
+        }
+        for (std::size_t i : indices) {
           out[i] = forecast(shard, keys[i]);
         }
       });
@@ -335,6 +350,13 @@ bool PredictionEngine::erase_locked(Shard& shard, const tsdb::SeriesKey& key) {
 void PredictionEngine::wal_log(Shard& shard, std::uint8_t type,
                                const tsdb::SeriesKey& key, const double* value) {
   if (!shard.wal) return;
+  wal_stage(shard, type, key, value);
+  shard.wal->commit();
+}
+
+void PredictionEngine::wal_stage(Shard& shard, std::uint8_t type,
+                                 const tsdb::SeriesKey& key,
+                                 const double* value) {
   auto& payload = shard.wal_payload;
   payload.clear();
   payload.u8(type);
@@ -342,7 +364,14 @@ void PredictionEngine::wal_log(Shard& shard, std::uint8_t type,
   payload.str(key.device_id);
   payload.str(key.metric);
   if (value != nullptr) payload.f64(*value);
-  shard.wal->append(payload.bytes());
+  shard.wal->stage(payload.bytes());
+}
+
+void PredictionEngine::sync_wals_if_due() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    if (shard->wal) (void)shard->wal->sync_if_due();
+  }
 }
 
 void PredictionEngine::save_shard(persist::io::Writer& w, Shard& shard,

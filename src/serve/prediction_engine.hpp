@@ -159,6 +159,13 @@ class PredictionEngine {
   /// snapshot() into the configured durability data_dir.
   std::uint64_t snapshot();
 
+  /// Durability maintenance tick: applies any due Interval-policy fsync on
+  /// every shard's WAL, so an idle writer's loss window stays bounded by
+  /// `fsync_interval` instead of stretching until its next append.  Cheap
+  /// no-op when durability is off or another policy is configured; call it
+  /// on whatever periodic cadence drives reporting.
+  void sync_wals_if_due();
+
   [[nodiscard]] std::size_t series_count() const;
   [[nodiscard]] bool is_trained(const tsdb::SeriesKey& key) const;
   [[nodiscard]] EngineStats stats() const;
@@ -208,6 +215,12 @@ class PredictionEngine {
   /// Must run under the shard mutex, BEFORE the mutation it describes.
   void wal_log(Shard& shard, std::uint8_t type, const tsdb::SeriesKey& key,
                const double* value);
+  /// Stages one WAL frame into the shard writer's open group without
+  /// writing it; requires shard.wal engaged and the shard mutex held.  The
+  /// batched paths stage every frame of a (shard, batch) pair, then group
+  /// commit once — still before any staged mutation is applied.
+  void wal_stage(Shard& shard, std::uint8_t type, const tsdb::SeriesKey& key,
+                 const double* value);
   void save_shard(persist::io::Writer& w, Shard& shard,
                   std::uint64_t watermark) const;
   std::uint64_t load_shard(persist::io::Reader& r, Shard& shard);

@@ -270,6 +270,68 @@ TEST_F(RecoveryTest, TornWalTailRecoversToLastValidFrame) {
   EXPECT_EQ(again->series_count(), kSeries);
 }
 
+// Crash mid-group: with one shard, every batched observe()/predict() call
+// stages one multi-frame WAL group, committed with a single write.  A tear
+// landing inside such a group must recover exactly the checksum-valid frame
+// prefix — asserted by restoring twice and demanding bit-identical state
+// (same replay cut, same accumulated error sums) both times.
+TEST_F(RecoveryTest, TornMidGroupTailRecoversValidPrefix) {
+  EngineConfig config = durable_config(dir_);
+  config.shards = 1;  // all kSeries frames of a batch land in one group
+  StreamState stream;
+  {
+    PredictionEngine durable(predictors::make_paper_pool(5), config);
+    drive(durable, stream, kTrain + 6, /*with_predict=*/true);
+  }
+  const auto count_frames = [&] {
+    return persist::replay_wal(dir_, 0, 0, [](const persist::WalFrame&) {});
+  };
+  const auto before = count_frames();
+  ASSERT_FALSE(before.truncated_tail);
+  ASSERT_GT(before.next_seq, 2 * kSeries);
+
+  // Tear into the middle of the final group: the last observe batch wrote
+  // kSeries frames of ~45 bytes each in one commit, so chopping 60 bytes
+  // removes at least one whole frame and tears another mid-frame.
+  const auto segments = persist::list_wal_segments(dir_, 0);
+  ASSERT_FALSE(segments.empty());
+  const auto& tail = segments.back().path;
+  const auto size = fs::file_size(tail);
+  ASSERT_GT(size, 100u);
+  fs::resize_file(tail, size - 60);
+
+  const auto torn = count_frames();
+  EXPECT_TRUE(torn.truncated_tail);
+  EXPECT_LT(torn.next_seq, before.next_seq);
+  EXPECT_GT(torn.next_seq, 0u);
+
+  EngineConfig restore_config = base_config();
+  restore_config.shards = 1;
+  EngineStats first_stats;
+  {
+    auto restored = PredictionEngine::restore(predictors::make_paper_pool(5),
+                                              dir_, restore_config);
+    EXPECT_EQ(restored->series_count(), kSeries);
+    first_stats = restored->stats();
+    // The tear cost frames: fewer calls replayed than the full log held.
+    EXPECT_LT(first_stats.observations + first_stats.predictions,
+              before.next_seq);
+  }
+  // The first restore repaired the torn suffix on disk; a second restore of
+  // the same directory must land on the exact same prefix.
+  auto again = PredictionEngine::restore(predictors::make_paper_pool(5), dir_,
+                                         restore_config);
+  const auto second_stats = again->stats();
+  EXPECT_EQ(second_stats.observations, first_stats.observations);
+  EXPECT_EQ(second_stats.predictions, first_stats.predictions);
+  EXPECT_EQ(second_stats.resolved, first_stats.resolved);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(second_stats.mean_squared_error),
+            std::bit_cast<std::uint64_t>(first_stats.mean_squared_error));
+  // And the repaired log accepts appends at the recovered position.
+  StreamState ignored;
+  drive(*again, ignored, 3, /*with_predict=*/true);
+}
+
 // erase() is WAL-logged: a restored engine must not resurrect the series.
 TEST_F(RecoveryTest, EraseSurvivesRecovery) {
   StreamState stream;
@@ -335,6 +397,38 @@ TEST_F(RecoveryTest, SnapshotPrunesCoveredWalSegments) {
   auto restored =
       PredictionEngine::restore(predictors::make_paper_pool(5), dir_);
   EXPECT_EQ(restored->series_count(), kSeries);
+}
+
+// Cross-version migration tripwire (ROADMAP: "add one before the first
+// format change"): a complete durable data directory — engine snapshot plus
+// post-snapshot WAL frames — produced by the v1 format is committed under
+// testdata/ and must keep restoring.  When the engine payload or WAL format
+// evolves, either the new reader still accepts v1 (this test proves it) or
+// the version constants were bumped without a migration path (this test
+// fails before the release does).
+TEST_F(RecoveryTest, GoldenV1EngineDirectoryStillRestores) {
+  const fs::path fixture =
+      fs::path(LARP_PERSIST_TESTDATA_DIR) / "engine-v1";
+  ASSERT_TRUE(fs::exists(fixture)) << "missing committed fixture " << fixture;
+  // Restore mutates the directory (WAL writers open, torn tails repaired),
+  // so work on a copy and leave the committed fixture pristine.
+  fs::copy(fixture, dir_, fs::copy_options::recursive);
+
+  auto restored =
+      PredictionEngine::restore(predictors::make_paper_pool(5), dir_);
+  const auto stats = restored->stats();
+  // Exact values baked in at fixture generation time (kTrain + 6 rounds,
+  // snapshot, 5 more rounds that live only in the WAL).
+  EXPECT_EQ(restored->series_count(), kSeries);
+  EXPECT_EQ(stats.trains, kSeries);
+  EXPECT_EQ(stats.observations, (kTrain + 11) * kSeries);
+  EXPECT_EQ(stats.predictions, (kTrain + 11) * kSeries);
+  EXPECT_EQ(restored->config().lar.window, 5u);
+  EXPECT_EQ(restored->config().shards, 4u);
+  // The restored engine serves: every series is past training and forecasts.
+  std::vector<tsdb::SeriesKey> keys;
+  for (std::size_t s = 0; s < kSeries; ++s) keys.push_back(key_of(s));
+  for (const auto& p : restored->predict(keys)) EXPECT_TRUE(p.ready);
 }
 
 }  // namespace

@@ -4,12 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "persist/crc32c.hpp"
 #include "persist/file.hpp"
 
 namespace larp::persist {
@@ -167,6 +170,52 @@ TEST_F(SnapshotTest, RetainDoesNotCountCorruptFiles) {
   const auto loaded = load_newest_valid(dir_);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->epoch, 1u);
+}
+
+// -- format evolution -------------------------------------------------------
+
+// A golden v1 snapshot committed to the repo must load forever: any change
+// to the container layout either bumps the format version (and keeps a v1
+// reader) or it is a corruption bug this test catches before release.
+TEST_F(SnapshotTest, GoldenV1FixtureStillLoads) {
+  const fs::path golden =
+      fs::path(LARP_PERSIST_TESTDATA_DIR) / "golden-v1.snap";
+  ASSERT_TRUE(fs::exists(golden)) << "missing committed fixture " << golden;
+  const auto loaded = load_snapshot(golden);
+  EXPECT_EQ(loaded.version, 1u);
+  EXPECT_EQ(loaded.epoch, 42u);
+  EXPECT_EQ(text(loaded.payload),
+            "LARPredictor golden snapshot payload (format v1)\n");
+}
+
+// A snapshot from a FUTURE format version must be rejected by the version
+// gate specifically — the file below is structurally perfect (valid magic,
+// size, recomputed checksum) except for version = current + 1.
+TEST_F(SnapshotTest, FutureFormatVersionRejectsWithClearError) {
+  const auto path = publish_snapshot(dir_, 1, payload("from the future"));
+  auto contents = read_file(path);
+  const std::uint32_t future = kSnapshotFormatVersion + 1;
+  for (std::size_t i = 0; i < 4; ++i) {  // version u32 sits after the magic
+    contents[8 + i] = static_cast<std::byte>((future >> (8 * i)) & 0xFFu);
+  }
+  const auto body = std::span(contents).first(contents.size() - 4);
+  const std::uint32_t crc = crc32c_mask(crc32c(body));
+  for (std::size_t i = 0; i < 4; ++i) {
+    contents[contents.size() - 4 + i] =
+        static_cast<std::byte>((crc >> (8 * i)) & 0xFFu);
+  }
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(contents.data()),
+            static_cast<std::streamsize>(contents.size()));
+  }
+  try {
+    (void)load_snapshot(path);
+    FAIL() << "a future-version snapshot must not load";
+  } catch (const CorruptData& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << "rejection should name the version gate, got: " << e.what();
+  }
 }
 
 TEST_F(SnapshotTest, PublicationIsAtomicOverExisting) {

@@ -4,11 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
@@ -142,6 +144,197 @@ TEST_F(WalTest, FsyncPoliciesKeepEveryFrame) {
     }
     EXPECT_EQ(replay_all(shard).size(), 8u) << "policy " << int(policy);
   }
+}
+
+// -- group commit -----------------------------------------------------------
+
+TEST_F(WalTest, GroupCommitRoundTrip) {
+  WalConfig config;
+  {
+    WalWriter writer(dir_, 0, config);
+    EXPECT_EQ(writer.stage(payload("g0")), 0u);
+    EXPECT_EQ(writer.stage(payload("g1")), 1u);
+    EXPECT_EQ(writer.stage(payload("")), 2u);  // empty payloads stay legal
+    writer.commit();
+    writer.commit();  // committing an empty group is a no-op
+    EXPECT_EQ(writer.append(payload("single")), 3u);  // append after a group
+    writer.sync();
+  }
+  const auto frames = replay_all(0);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[0], (std::pair<std::uint64_t, std::string>{0, "g0"}));
+  EXPECT_EQ(frames[1], (std::pair<std::uint64_t, std::string>{1, "g1"}));
+  EXPECT_EQ(frames[2], (std::pair<std::uint64_t, std::string>{2, ""}));
+  EXPECT_EQ(frames[3], (std::pair<std::uint64_t, std::string>{3, "single"}));
+  EXPECT_EQ(last_report_.next_seq, 4u);
+  EXPECT_FALSE(last_report_.truncated_tail);
+}
+
+TEST_F(WalTest, GroupCommitCountsFramesTowardEveryN) {
+  WalConfig config;
+  config.fsync = FsyncPolicy::EveryN;
+  config.fsync_every_n = 4;
+  WalWriter writer(dir_, 0, config);
+  for (int i = 0; i < 3; ++i) writer.stage(payload("x"));
+  writer.commit();
+  EXPECT_EQ(writer.unsynced_appends(), 3u);  // 3 < n: no sync yet
+  for (int i = 0; i < 2; ++i) writer.stage(payload("y"));
+  writer.commit();
+  EXPECT_EQ(writer.unsynced_appends(), 0u);  // 5 >= n: group synced
+}
+
+// A group larger than the rotation threshold must be split at the segment
+// boundary so the next segment's start_seq equals the previous segment's
+// valid end — the contiguity invariant replay() enforces.
+TEST_F(WalTest, GroupCommitSplitsAtRotationBoundary) {
+  WalConfig config;
+  config.segment_bytes = 128;
+  {
+    WalWriter writer(dir_, 0, config);
+    const std::string blob(40, 'x');
+    for (int round = 0; round < 4; ++round) {
+      for (int i = 0; i < 5; ++i) writer.stage(payload(blob));
+      writer.commit();  // each ~280-byte group spans >1 segment
+    }
+    writer.sync();
+  }
+  const auto segments = list_wal_segments(dir_, 0);
+  ASSERT_GT(segments.size(), 2u);
+  EXPECT_EQ(replay_all(0).size(), 20u);
+  EXPECT_EQ(last_report_.next_seq, 20u);
+  EXPECT_FALSE(last_report_.truncated_tail);
+}
+
+// Crash mid-group: a tear inside the third frame of a five-frame group must
+// recover exactly the frames before it, bit-identically, and a reopened
+// writer resumes at the cut.
+TEST_F(WalTest, TornMidGroupTailRecoversValidPrefix) {
+  WalConfig config;
+  {
+    WalWriter writer(dir_, 0, config);
+    writer.append(payload("pre"));
+    for (int i = 0; i < 5; ++i) {
+      writer.stage(payload("group" + std::to_string(i)));
+    }
+    writer.commit();
+    writer.sync();
+  }
+  // Each "groupN" frame is 4 (len) + 4 (crc) + 8 (seq) + 6 (payload) = 22
+  // bytes; chopping 2 frames + 3 bytes lands the tear mid-frame inside the
+  // group (frame seq 3 torn, 4-5 gone entirely).
+  const auto segments = list_wal_segments(dir_, 0);
+  ASSERT_EQ(segments.size(), 1u);
+  const auto size = fs::file_size(segments[0].path);
+  fs::resize_file(segments[0].path, size - (2 * 22 + 3));
+
+  const auto frames = replay_all(0);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[1].second, "group0");
+  EXPECT_EQ(frames[2].second, "group1");
+  EXPECT_TRUE(last_report_.truncated_tail);
+  EXPECT_EQ(last_report_.next_seq, 3u);
+
+  WalWriter writer(dir_, 0, config);
+  EXPECT_EQ(writer.next_seq(), 3u);
+  writer.append(payload("resumed"));
+  writer.sync();
+  const auto after = replay_all(0);
+  ASSERT_EQ(after.size(), 4u);
+  EXPECT_EQ(after[3].second, "resumed");
+  EXPECT_FALSE(last_report_.truncated_tail);
+}
+
+// -- durability policy hooks ------------------------------------------------
+
+TEST_F(WalTest, SyncIfDueIsANoOpOutsideIntervalPolicy) {
+  WalConfig config;
+  config.fsync = FsyncPolicy::EveryN;
+  config.fsync_every_n = 100;
+  WalWriter writer(dir_, 0, config);
+  writer.append(payload("x"));
+  EXPECT_EQ(writer.unsynced_appends(), 1u);
+  EXPECT_FALSE(writer.sync_if_due());  // EveryN's window is frames, not time
+  EXPECT_EQ(writer.unsynced_appends(), 1u);
+}
+
+TEST_F(WalTest, SyncIfDueBoundsTheIdleLossWindow) {
+  // Not-due branch, deterministic: a 10-minute interval cannot elapse here.
+  WalConfig config;
+  config.fsync = FsyncPolicy::Interval;
+  config.fsync_interval = std::chrono::minutes(10);
+  WalWriter idle(dir_, 0, config);
+  EXPECT_FALSE(idle.sync_if_due());  // nothing unsynced yet
+  idle.append(payload("idle"));
+  // Without the hook this frame would stay unsynced until the NEXT append —
+  // the unbounded idle-writer loss window.
+  EXPECT_EQ(idle.unsynced_appends(), 1u);
+  EXPECT_FALSE(idle.sync_if_due());  // interval has not elapsed
+  EXPECT_EQ(idle.unsynced_appends(), 1u);
+
+  // Due branch: catch the writer with an unsynced frame (the first append
+  // after a sync lands inside the 1 ms window essentially always; loop in
+  // case a scheduler stall syncs it on append), then wait the interval out
+  // with no further traffic and demand the hook makes it durable.
+  WalConfig due_config;
+  due_config.fsync = FsyncPolicy::Interval;
+  due_config.fsync_interval = std::chrono::milliseconds(1);
+  WalWriter writer(dir_, 1, due_config);
+  bool exercised = false;
+  for (int i = 0; i < 50 && !exercised; ++i) {
+    writer.append(payload("frame"));
+    if (writer.unsynced_appends() == 0) continue;
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    EXPECT_TRUE(writer.sync_if_due());
+    EXPECT_EQ(writer.unsynced_appends(), 0u);
+    EXPECT_FALSE(writer.sync_if_due());  // already durable: no repeat sync
+    exercised = true;
+  }
+  EXPECT_TRUE(exercised);
+}
+
+// -- segment listing --------------------------------------------------------
+
+// Regression: the listing used to slice the start_seq digits at a hardcoded
+// offset 9 ("wal-%04u-" for 4-digit shards), so shards >= 10000 — whose
+// printed prefix is wider — parsed as garbage and silently vanished from
+// replay and prune.
+TEST_F(WalTest, FiveDigitShardIdSegmentsAreListed) {
+  WalConfig config;
+  config.segment_bytes = 128;
+  const std::uint32_t shard = 12345;
+  WalWriter writer(dir_, shard, config);
+  const std::string blob(40, 'w');
+  for (int i = 0; i < 10; ++i) writer.append(payload(blob));
+  writer.sync();
+
+  const auto segments = list_wal_segments(dir_, shard);
+  ASSERT_GT(segments.size(), 1u);
+  EXPECT_EQ(segments.front().start_seq, 0u);
+  EXPECT_EQ(replay_all(shard).size(), 10u);
+  EXPECT_EQ(last_report_.next_seq, 10u);
+
+  // Pruning runs off the same listing.
+  writer.prune_below(segments.back().start_seq);
+  EXPECT_LT(list_wal_segments(dir_, shard).size(), segments.size());
+
+  // A shard whose printed id is a digit-prefix of another must not adopt its
+  // neighbour's segments (the "-" separator disambiguates).
+  WalWriter neighbour(dir_, 1234, config);
+  neighbour.append(payload("n"));
+  neighbour.sync();
+  EXPECT_EQ(list_wal_segments(dir_, 1234).size(), 1u);
+  EXPECT_EQ(replay_all(1234).size(), 1u);
+}
+
+// The invariant behind replay's next_seq bookkeeping: a frameless first
+// segment (header only) still reports its start_seq, not zero.
+TEST_F(WalTest, HeaderOnlyFirstSegmentReportsStartSeq) {
+  WalConfig config;
+  { WalWriter writer(dir_, 0, config, 7); }  // opens segment 7, writes nothing
+  const auto frames = replay_all(0);
+  EXPECT_TRUE(frames.empty());
+  EXPECT_EQ(last_report_.next_seq, 7u);
+  EXPECT_FALSE(last_report_.truncated_tail);
 }
 
 // -- fault injection --------------------------------------------------------

@@ -349,6 +349,9 @@ int cmd_serve_sim(const Options& options) {
     (void)engine.predict(keys);
     fill_batch();
     engine.observe(batch);
+    // Maintenance tick: bounds the Interval-policy loss window even when a
+    // shard's series all go quiet between steps.
+    engine.sync_wals_if_due();
     if (!options.data_dir.empty() && options.snapshot_every > 0 &&
         (i + 1) % options.snapshot_every == 0) {
       (void)engine.snapshot();
