@@ -7,7 +7,10 @@
 //      rebuild: KnnClassifier::add with the kd-tree backend is measured at
 //      geometrically growing index sizes — the per-add cost must stay flat
 //      (amortized O(log N)) instead of growing linearly as it did when every
-//      add rebuilt the tree (O(N log N)).
+//      add rebuilt the tree (O(N log N));
+//   3. the depth cap defuses adversarial insertion orders: sorted inserts —
+//      which would otherwise degenerate the tree to depth ~N/2 — keep both
+//      the amortized add cost and the query cost logarithmic.
 //
 // Plain chrono timing like the table/figure benches (exit code 0 always;
 // the numbers are the artifact).
@@ -21,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "ml/kdtree.hpp"
 #include "ml/knn.hpp"
 #include "serve/prediction_engine.hpp"
 #include "util/rng.hpp"
@@ -170,8 +174,63 @@ std::vector<AddPoint> bench_kdtree_add(bool quick) {
   return results;
 }
 
+struct AdversarialPoint {
+  std::size_t index_size = 0;
+  double ns_per_add = 0.0;  // sorted-order adds, depth cap active
+  double query_ns = 0.0;    // one 3-NN query after the sorted growth
+  std::size_t max_depth = 0;
+  std::size_t depth_limit = 0;
+};
+
+std::vector<AdversarialPoint> bench_kdtree_adversarial(bool quick) {
+  // Sorted insertion is the kd-tree's worst case: every point descends the
+  // same spine, so without the depth cap the tree degenerates to depth ~N/2
+  // and BOTH adds and queries go O(N).  With the cap the add column stays
+  // near the random-order cost (the occasional capped rebuild amortizes to
+  // O(N) total) and the query column stays O(log N) — max_depth is printed
+  // against the enforced limit as the proof.
+  std::printf("\nKdTree::insert, adversarial sorted order (depth cap active)\n");
+  std::printf("%12s %14s %14s %10s %8s\n", "index size", "ns/add",
+              "query ns", "max depth", "limit");
+  std::vector<AdversarialPoint> results;
+  std::vector<std::size_t> sizes{1024, 8192, 65536};
+  if (quick) sizes = {1024, 8192};
+  for (const std::size_t n : sizes) {
+    ml::KdTree tree;
+    auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = static_cast<double>(i);
+      const std::array<double, 2> point{v, v};
+      tree.insert(point);
+    }
+    const double ns_per_add =
+        seconds_since(start) * 1e9 / static_cast<double>(n);
+
+    Rng rng(n);
+    const std::size_t queries = quick ? 256 : 2048;
+    start = std::chrono::steady_clock::now();
+    double sink = 0.0;
+    for (std::size_t q = 0; q < queries; ++q) {
+      const std::array<double, 2> probe{rng.uniform(0, double(n)),
+                                        rng.uniform(0, double(n))};
+      sink += tree.nearest(probe, 3).front().squared_distance;
+    }
+    const double query_ns =
+        seconds_since(start) * 1e9 / static_cast<double>(queries);
+    if (sink < 0) std::printf("impossible\n");  // keep the loop observable
+
+    AdversarialPoint p{n, ns_per_add, query_ns, tree.max_depth(),
+                       ml::KdTree::depth_limit(n)};
+    std::printf("%12zu %14.0f %14.0f %10zu %8zu\n", p.index_size, p.ns_per_add,
+                p.query_ns, p.max_depth, p.depth_limit);
+    results.push_back(p);
+  }
+  return results;
+}
+
 void write_json(const char* path, const std::vector<ScalingPoint>& scaling,
-                const std::vector<AddPoint>& adds) {
+                const std::vector<AddPoint>& adds,
+                const std::vector<AdversarialPoint>& adversarial) {
   std::FILE* out = std::fopen(path, "w");
   if (!out) {
     std::fprintf(stderr, "error: cannot write %s\n", path);
@@ -191,6 +250,17 @@ void write_json(const char* path, const std::vector<ScalingPoint>& scaling,
                  "\"rebuild_ns\": %.0f}%s\n",
                  adds[i].index_size, adds[i].ns_per_add, adds[i].rebuild_ns,
                  i + 1 < adds.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n    \"kdtree_adversarial\": [\n");
+  for (std::size_t i = 0; i < adversarial.size(); ++i) {
+    std::fprintf(out,
+                 "      {\"index_size\": %zu, \"ns_per_add\": %.0f, "
+                 "\"query_ns\": %.0f, \"max_depth\": %zu, "
+                 "\"depth_limit\": %zu}%s\n",
+                 adversarial[i].index_size, adversarial[i].ns_per_add,
+                 adversarial[i].query_ns, adversarial[i].max_depth,
+                 adversarial[i].depth_limit,
+                 i + 1 < adversarial.size() ? "," : "");
   }
   std::fprintf(out, "    ]\n}\n");
   std::fclose(out);
@@ -220,6 +290,7 @@ int main(int argc, char** argv) {
   std::printf("================================================================\n\n");
   const auto scaling = bench_engine_scaling(quick);
   const auto adds = bench_kdtree_add(quick);
-  if (json_path) write_json(json_path, scaling, adds);
+  const auto adversarial = bench_kdtree_adversarial(quick);
+  if (json_path) write_json(json_path, scaling, adds, adversarial);
   return 0;
 }

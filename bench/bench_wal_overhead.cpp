@@ -2,11 +2,14 @@
 //
 //   1. WAL append overhead on the observe hot path: steady-state
 //      predict+observe throughput with durability off vs. each fsync policy
-//      (every_n, interval, always).  The first two must stay within a small
-//      factor of the in-memory engine; `always` pays one fdatasync per batch
-//      frame and is the documented worst case.
-//   2. snapshot(): stop-the-world latency and payload size for a trained
-//      multi-series engine, and restore() wall time from that snapshot.
+//      (every_n, interval, always), in both durability modes — Sync runs the
+//      policy's fdatasync inline on the serving threads, Async moves it onto
+//      the background WalSyncer so the appender only pays the write(2).
+//      `always` pays one inline fdatasync per batch frame in either mode and
+//      is the documented worst case.
+//   2. snapshot(): wall time, the longest single-shard serving pause (the
+//      incremental snapshot's real cost to traffic), payload size, and
+//      restore() wall time from that snapshot.
 //
 // Plain chrono timing like the table/figure benches (exit code 0 always;
 // the numbers are the artifact).
@@ -60,8 +63,9 @@ struct Workload {
   }
 };
 
-serve::EngineConfig engine_config(const fs::path& data_dir,
-                                  persist::FsyncPolicy policy) {
+serve::EngineConfig engine_config(
+    const fs::path& data_dir, persist::FsyncPolicy policy,
+    persist::DurabilityMode mode = persist::DurabilityMode::Sync) {
   serve::EngineConfig config;
   config.lar.window = 5;
   config.shards = 16;
@@ -71,6 +75,7 @@ serve::EngineConfig engine_config(const fs::path& data_dir,
     config.durability.data_dir = data_dir;
     config.durability.wal.fsync = policy;
     config.durability.wal.fsync_every_n = 64;
+    config.durability.wal.mode = mode;
   }
   return config;
 }
@@ -80,11 +85,11 @@ serve::EngineConfig engine_config(const fs::path& data_dir,
 /// series per call, so the WAL group size per (shard, call) scales with it —
 /// batch_size == series is the original whole-fleet batch.
 double observe_throughput(const fs::path& data_dir, persist::FsyncPolicy policy,
-                          std::size_t series, std::size_t steps,
-                          std::size_t batch_size) {
+                          persist::DurabilityMode mode, std::size_t series,
+                          std::size_t steps, std::size_t batch_size) {
   if (!data_dir.empty()) fs::remove_all(data_dir);
   serve::PredictionEngine engine(predictors::make_paper_pool(5),
-                                 engine_config(data_dir, policy));
+                                 engine_config(data_dir, policy, mode));
   Workload load(series);
   const auto warmup = engine.config().train_samples;
   for (std::size_t i = 0; i < warmup; ++i) {
@@ -125,8 +130,10 @@ std::vector<WalPoint> bench_wal_overhead(const fs::path& scratch, bool quick) {
 
   std::vector<WalPoint> points;
   const auto run = [&](const std::string& name, const fs::path& dir,
-                       persist::FsyncPolicy policy) {
-    const double rate = observe_throughput(dir, policy, series, steps, series);
+                       persist::FsyncPolicy policy,
+                       persist::DurabilityMode mode) {
+    const double rate =
+        observe_throughput(dir, policy, mode, series, steps, series);
     double overhead = 0.0;
     if (!points.empty()) {
       overhead = 100.0 * (points.front().rate / rate - 1.0);
@@ -134,11 +141,18 @@ std::vector<WalPoint> bench_wal_overhead(const fs::path& scratch, bool quick) {
     points.push_back({name, rate, overhead});
     std::printf("%16s %20.0f %9.1f%%\n", name.c_str(), rate, overhead);
   };
-  run("off", {}, persist::FsyncPolicy::EveryN);
-  run("wal-every-64", scratch / "every_n", persist::FsyncPolicy::EveryN);
-  run("wal-interval", scratch / "interval", persist::FsyncPolicy::Interval);
+  const auto kSync = persist::DurabilityMode::Sync;
+  const auto kAsync = persist::DurabilityMode::Async;
+  run("off", {}, persist::FsyncPolicy::EveryN, kSync);
+  run("wal-every-64", scratch / "every_n", persist::FsyncPolicy::EveryN, kSync);
+  run("wal-every-64-async", scratch / "every_n_async",
+      persist::FsyncPolicy::EveryN, kAsync);
+  run("wal-interval", scratch / "interval", persist::FsyncPolicy::Interval,
+      kSync);
+  run("wal-interval-async", scratch / "interval_async",
+      persist::FsyncPolicy::Interval, kAsync);
   if (!quick) {
-    run("wal-always", scratch / "always", persist::FsyncPolicy::Always);
+    run("wal-always", scratch / "always", persist::FsyncPolicy::Always, kSync);
   }
   return points;
 }
@@ -148,15 +162,17 @@ struct BatchSweepPoint {
   double off_rate = 0.0;
   double wal_rate = 0.0;
   double overhead_pct = 0.0;  // wal-every-64 slowdown vs. off at this batch
+  double async_rate = 0.0;    // same policy under DurabilityMode::Async
+  double async_overhead_pct = 0.0;
 };
 
 // Like observe_throughput but on a single-shard, single-thread engine, so
 // every predict/observe call stages exactly `batch_size` frames into ONE
 // group: the sweep axis is the WAL group size itself, not group size diluted
 // across 16 shards.  Best-of-`reps` to shed scheduler noise.
-double sweep_throughput(const fs::path& data_dir, std::size_t series,
-                        std::size_t steps, std::size_t batch_size,
-                        int reps) {
+double sweep_throughput(const fs::path& data_dir, persist::DurabilityMode mode,
+                        std::size_t series, std::size_t steps,
+                        std::size_t batch_size, int reps) {
   double best = 0.0;
   for (int r = 0; r < reps; ++r) {
     // Let writeback from the previous measurement drain; on a small host the
@@ -173,6 +189,7 @@ double sweep_throughput(const fs::path& data_dir, std::size_t series,
       config.durability.data_dir = data_dir;
       config.durability.wal.fsync = persist::FsyncPolicy::EveryN;
       config.durability.wal.fsync_every_n = 64;
+      config.durability.wal.mode = mode;
     }
     serve::PredictionEngine engine(predictors::make_paper_pool(5), config);
     Workload load(series);
@@ -219,18 +236,24 @@ std::vector<BatchSweepPoint> bench_batch_sweep(const fs::path& scratch,
       "\ngroup-commit batch sweep (%zu series, %zu steps, 1 shard, every-64, "
       "best of %d)\n",
       series, steps, reps);
-  std::printf("%8s %16s %16s %10s\n", "batch", "off/s", "wal-every-64/s",
-              "overhead");
+  std::printf("%8s %16s %16s %10s %16s %10s\n", "batch", "off/s",
+              "wal-every-64/s", "overhead", "async/s", "overhead");
   std::vector<BatchSweepPoint> points;
+  const auto kSync = persist::DurabilityMode::Sync;
+  const auto kAsync = persist::DurabilityMode::Async;
   for (const std::size_t batch : batches) {
     BatchSweepPoint p;
     p.batch = batch;
-    p.off_rate = sweep_throughput({}, series, steps, batch, reps);
-    p.wal_rate =
-        sweep_throughput(scratch / "sweep_every_n", series, steps, batch, reps);
+    p.off_rate = sweep_throughput({}, kSync, series, steps, batch, reps);
+    p.wal_rate = sweep_throughput(scratch / "sweep_every_n", kSync, series,
+                                  steps, batch, reps);
     p.overhead_pct = 100.0 * (p.off_rate / p.wal_rate - 1.0);
-    std::printf("%8zu %16.0f %16.0f %9.1f%%\n", p.batch, p.off_rate,
-                p.wal_rate, p.overhead_pct);
+    p.async_rate = sweep_throughput(scratch / "sweep_async", kAsync, series,
+                                    steps, batch, reps);
+    p.async_overhead_pct = 100.0 * (p.off_rate / p.async_rate - 1.0);
+    std::printf("%8zu %16.0f %16.0f %9.1f%% %16.0f %9.1f%%\n", p.batch,
+                p.off_rate, p.wal_rate, p.overhead_pct, p.async_rate,
+                p.async_overhead_pct);
     points.push_back(p);
   }
   return points;
@@ -239,6 +262,7 @@ std::vector<BatchSweepPoint> bench_batch_sweep(const fs::path& scratch,
 struct SnapshotPoint {
   std::size_t series = 0;
   double snapshot_ms = 0.0;
+  double max_shard_pause_ms = 0.0;  // longest single-shard lock hold
   double restore_ms = 0.0;
   std::uint64_t bytes = 0;
 };
@@ -260,6 +284,9 @@ SnapshotPoint bench_snapshot_cycle(const fs::path& scratch, bool quick) {
   auto start = std::chrono::steady_clock::now();
   (void)engine.snapshot();
   const double snapshot_ms = seconds_since(start) * 1e3;
+  // The serving pause is NOT the wall time above: shards are serialized one
+  // at a time, so traffic only ever waits on the longest single-shard hold.
+  const double pause_ms = engine.stats().snapshot_max_pause_seconds * 1e3;
 
   std::uint64_t bytes = 0;
   for (const auto& info : persist::list_snapshots(dir)) {
@@ -274,10 +301,11 @@ SnapshotPoint bench_snapshot_cycle(const fs::path& scratch, bool quick) {
   fs::remove_all(dir);
 
   std::printf("\nsnapshot/restore cycle (%zu trained series)\n", series);
-  std::printf("  snapshot (stop-the-world)  %8.2f ms, %llu bytes on disk\n",
+  std::printf("  snapshot (wall time)       %8.2f ms, %llu bytes on disk\n",
               snapshot_ms, static_cast<unsigned long long>(bytes));
+  std::printf("  max single-shard pause     %8.2f ms\n", pause_ms);
   std::printf("  restore (load + wal replay)%8.2f ms\n", restore_ms);
-  return {series, snapshot_ms, restore_ms, bytes};
+  return {series, snapshot_ms, pause_ms, restore_ms, bytes};
 }
 
 void write_json(const char* path, const std::vector<WalPoint>& wal,
@@ -300,16 +328,18 @@ void write_json(const char* path, const std::vector<WalPoint>& wal,
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     std::fprintf(out,
                  "      {\"batch\": %zu, \"off_per_sec\": %.0f, "
-                 "\"wal_every_64_per_sec\": %.0f, \"overhead_pct\": %.1f}%s\n",
+                 "\"wal_every_64_per_sec\": %.0f, \"overhead_pct\": %.1f, "
+                 "\"wal_async_per_sec\": %.0f, \"async_overhead_pct\": %.1f}%s\n",
                  sweep[i].batch, sweep[i].off_rate, sweep[i].wal_rate,
-                 sweep[i].overhead_pct, i + 1 < sweep.size() ? "," : "");
+                 sweep[i].overhead_pct, sweep[i].async_rate,
+                 sweep[i].async_overhead_pct, i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(out,
                "    ],\n    \"snapshot_cycle\": {\"series\": %zu, "
-               "\"snapshot_ms\": %.2f, \"restore_ms\": %.2f, "
-               "\"snapshot_bytes\": %llu}\n}\n",
-               snap.series, snap.snapshot_ms, snap.restore_ms,
-               static_cast<unsigned long long>(snap.bytes));
+               "\"snapshot_ms\": %.2f, \"snapshot_max_shard_pause_ms\": %.2f, "
+               "\"restore_ms\": %.2f, \"snapshot_bytes\": %llu}\n}\n",
+               snap.series, snap.snapshot_ms, snap.max_shard_pause_ms,
+               snap.restore_ms, static_cast<unsigned long long>(snap.bytes));
   std::fclose(out);
   std::printf("\ndurability metrics written to %s\n", path);
 }

@@ -1,8 +1,10 @@
 #include "ml/kdtree.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "linalg/kernels.hpp"
 #include "ml/serialize.hpp"
@@ -59,6 +61,7 @@ void KdTree::insert(std::span<const double> point) {
   // equal on the split coordinate may go either way.
   const std::int32_t leaf = static_cast<std::int32_t>(nodes_.size());
   std::int32_t current = root_;
+  std::size_t depth = 1;  // depth of `current`, in nodes (root = 1)
   for (;;) {
     Node& node = nodes_[current];
     const bool go_left = point[node.split_dim] <= points_(node.point, node.split_dim);
@@ -69,10 +72,41 @@ void KdTree::insert(std::span<const double> point) {
       const std::size_t split_dim = (node.split_dim + 1) % points_.cols();
       child = leaf;
       nodes_.push_back(Node{index, split_dim, -1, -1});
+      // Depth cap: an adversarial (e.g. sorted) insertion order deepens one
+      // path by 1 per insert, reaching depth N/2 long before the doubling
+      // rule runs — and query cost is O(depth).  Rebalance as soon as the
+      // new leaf breaches the cap; between two such rebuilds at least
+      // (depth_limit - log2 N) = Ω(log N) inserts must pass, so the
+      // O(N log N) rebuild amortizes to O(N) per insert even against the
+      // adversary, while queries stay O(log N) unconditionally.
+      if (depth + 1 > depth_limit(points_.rows())) rebuild();
       return;
     }
     current = child;
+    ++depth;
   }
+}
+
+std::size_t KdTree::depth_limit(std::size_t n) noexcept {
+  // c·log₂N with c = 2, plus constant slack so small/degenerate trees never
+  // thrash: bit_width(n) = floor(log2 n) + 1.
+  return 8 + 2 * static_cast<std::size_t>(std::bit_width(n));
+}
+
+std::size_t KdTree::max_depth() const {
+  if (root_ < 0) return 0;
+  std::size_t deepest = 0;
+  std::vector<std::pair<std::int32_t, std::size_t>> stack;
+  stack.emplace_back(root_, 1);
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    deepest = std::max(deepest, depth);
+    const Node& node = nodes_[static_cast<std::size_t>(id)];
+    if (node.left >= 0) stack.emplace_back(node.left, depth + 1);
+    if (node.right >= 0) stack.emplace_back(node.right, depth + 1);
+  }
+  return deepest;
 }
 
 std::int32_t KdTree::build(std::vector<std::size_t>& items, std::size_t lo,

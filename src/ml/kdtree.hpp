@@ -8,10 +8,17 @@
 // for the clustered window distributions produced by real traces.
 //
 // insert() supports the online-learning path: a new point descends to a
-// leaf position (O(depth)), and once more than half the points postdate the
-// last full build the tree is rebuilt from scratch, so insertion stays
-// amortized O(log N) and the depth stays bounded regardless of insertion
-// order.  Queries remain exact at every moment — the tests assert
+// leaf position (O(depth)); a full rebuild runs on either of two triggers:
+//   * doubling rule — more than half the points postdate the last build,
+//     which keeps insertion amortized O(log N) for benign orders;
+//   * depth cap — the new leaf would sit deeper than depth_limit(N)
+//     (c·log₂N + slack).  Adversarial insertion orders (sorted values all
+//     descending one path) grow depth linearly long before the doubling
+//     rule fires; the cap bounds query cost — and the recursion depth of
+//     search() — at O(log N) always, trading amortized O(N) insert cost in
+//     the adversarial case (the cap can fire only once per Ω(log N)
+//     inserts, since each insert deepens a path by at most one).
+// Queries remain exact at every moment — the tests assert
 // neighbour-identical results against brute force across interleaved
 // inserts.
 #pragma once
@@ -70,9 +77,18 @@ class KdTree {
 
   /// Appends one point to the index (its index is the previous size()).
   /// O(depth) leaf insertion; a full rebalance runs once the inserted
-  /// points outnumber the ones present at the last build, keeping the
-  /// amortized cost O(log N).  An empty tree adopts the point's dimension.
+  /// points outnumber the ones present at the last build (doubling rule) or
+  /// once the new leaf would exceed depth_limit(size()) (depth cap, the
+  /// adversarial-order guard).  An empty tree adopts the point's dimension.
   void insert(std::span<const double> point);
+
+  /// Deepest node, counted in nodes (empty tree = 0, lone root = 1).
+  /// Invariant after every insert(): max_depth() <= depth_limit(size()).
+  [[nodiscard]] std::size_t max_depth() const;
+
+  /// The depth bound insert() enforces: 2·⌈log₂N⌉-ish plus constant slack
+  /// (exact shape documented in the implementation; shared with the tests).
+  [[nodiscard]] static std::size_t depth_limit(std::size_t n) noexcept;
 
   /// Exact-structure serialization: nodes and split dimensions round-trip
   /// verbatim, so a restored tree visits neighbours in the identical order

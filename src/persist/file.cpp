@@ -71,11 +71,28 @@ void AppendFile::sync() {
   if (::fdatasync(fd_) != 0) raise_errno("AppendFile: fdatasync failed on", path_);
 }
 
+int AppendFile::duplicate_handle() const {
+  const int dup_fd = ::fcntl(fd_, F_DUPFD_CLOEXEC, 0);
+  if (dup_fd < 0) raise_errno("AppendFile: dup failed on", path_);
+  return dup_fd;
+}
+
 void AppendFile::close() noexcept {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+void sync_handle(int fd) {
+  if (::fdatasync(fd) != 0) {
+    throw IoError(std::string("sync_handle: fdatasync failed: ") +
+                  std::strerror(errno));
+  }
+}
+
+void close_handle(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
 }
 
 std::vector<std::byte> read_file(const std::filesystem::path& path) {

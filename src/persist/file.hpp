@@ -57,12 +57,27 @@ class AppendFile {
   /// fdatasync: makes every appended byte durable.  Throws IoError.
   void sync();
 
+  /// dup(2) of the open descriptor.  The duplicate shares the open file
+  /// description, so `sync_handle(duplicate_handle())` from another thread
+  /// makes every byte appended *so far* durable without blocking this
+  /// object — even if it rotates to a different file in the meantime (the
+  /// duplicate keeps the old description alive).  The caller owns the
+  /// handle: pair with sync_handle()/close_handle().  Throws IoError.
+  [[nodiscard]] int duplicate_handle() const;
+
   void close() noexcept;
 
  private:
   int fd_ = -1;
   std::filesystem::path path_;
 };
+
+/// fdatasync on a raw handle from AppendFile::duplicate_handle().  Throws
+/// IoError (the handle stays open; the caller still close_handle()s it).
+void sync_handle(int fd);
+
+/// Closes a handle from AppendFile::duplicate_handle().
+void close_handle(int fd) noexcept;
 
 /// Reads a whole file into memory; throws IoError when unreadable.
 [[nodiscard]] std::vector<std::byte> read_file(const std::filesystem::path& path);

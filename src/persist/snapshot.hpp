@@ -5,7 +5,7 @@
 // serve::PredictionEngine::snapshot).  File layout, all little-endian:
 //
 //   [ magic  u64 = "LARPSNP1" ]                      -- format identity
-//   [ version u32 ]                                  -- payload layout version
+//   [ version u32 ]                                  -- container format version
 //   [ epoch   u64 ]                                  -- snapshot ordinal (monotone)
 //   [ payload_size u64 ]
 //   [ payload bytes ... ]

@@ -202,14 +202,19 @@ void repair_wal(const std::filesystem::path& dir, std::uint32_t shard,
 
 WalWriter::WalWriter(std::filesystem::path dir, std::uint32_t shard,
                      WalConfig config, std::uint64_t expected_next_seq)
-    : dir_(std::move(dir)), shard_(shard), config_(config) {
+    : dir_(std::move(dir)),
+      shard_(shard),
+      config_(std::move(config)),
+      clock_(config_.clock ? config_.clock
+                           : [] { return std::chrono::steady_clock::now(); }) {
   if (config_.fsync_every_n == 0) config_.fsync_every_n = 1;
   ensure_directory(dir_);
-  last_sync_ = std::chrono::steady_clock::now();
+  last_sync_ = now();
 
   const auto segments = list_wal_segments(dir_, shard_);
   if (segments.empty()) {
     next_seq_ = expected_next_seq == kAnySeq ? 0 : expected_next_seq;
+    published_seq_ = durable_seq_ = next_seq_;
     open_segment(next_seq_);
     return;
   }
@@ -221,6 +226,7 @@ WalWriter::WalWriter(std::filesystem::path dir, std::uint32_t shard,
   const auto scan =
       scan_segment(contents, shard_, [](std::uint64_t, std::span<const std::byte>) {});
   next_seq_ = scan.next_seq;
+  published_seq_ = durable_seq_ = next_seq_;
   if (expected_next_seq != kAnySeq && expected_next_seq != next_seq_) {
     throw CorruptData(
         "wal: directory position disagrees with the engine's replay "
@@ -247,7 +253,13 @@ void WalWriter::open_segment(std::uint64_t start_seq) {
   header.u32(kWalFormatVersion);
   header.u32(shard_);
   header.u64(start_seq);
-  file_.open(segment_path(dir_, shard_, start_seq));
+  {
+    // The fd swap must be invisible to a concurrent sync_published(): its
+    // duplicate_handle() call happens under the same mutex, so it either
+    // dups the outgoing descriptor (kept alive by the dup) or the new one.
+    std::lock_guard lock(sync_mutex_);
+    file_.open(segment_path(dir_, shard_, start_seq));
+  }
   file_.append(header.bytes());
   segment_size_ = header.size();
   // Make the segment's existence durable before any frame relies on it.
@@ -297,67 +309,133 @@ void WalWriter::commit() {
   std::uint64_t seq_after = next_seq_ - staged_sizes_.size();
   std::size_t pos = 0;        // bytes of the group walked so far
   std::size_t run_begin = 0;  // start of the run destined for this segment
-  std::size_t run_frames = 0;
   for (const std::uint32_t frame_bytes : staged_sizes_) {
     pos += frame_bytes;
     segment_size_ += frame_bytes;
     ++seq_after;
-    ++run_frames;
     if (segment_size_ >= config_.segment_bytes) {
       // Rotation boundary inside the group: flush the run ending with this
       // frame, make the completed segment durable, and continue the group in
       // a fresh segment starting at the next staged sequence — replay's
       // segment-contiguity check then holds however far a crash lets the
-      // remainder get.
+      // remainder get.  Rotation syncs inline even under Async (amortized
+      // once per segment_bytes), preserving the invariant that only the
+      // current segment holds non-durable bytes.
       file_.append(staged.subspan(run_begin, pos - run_begin));
+      publish(seq_after);
       sync();
       open_segment(seq_after);
       run_begin = pos;
-      run_frames = 0;
     }
   }
   if (pos > run_begin) {
     file_.append(staged.subspan(run_begin, pos - run_begin));
   }
+  publish(next_seq_);
   frame_scratch_.clear();
   staged_sizes_.clear();
   // One policy decision for the whole group, which counts as its frame count
-  // toward EveryN (frames already synced by a mid-group rotation excluded).
-  appends_since_sync_ += run_frames;
+  // toward EveryN (frames already synced by a mid-group rotation excluded —
+  // the published/durable spread only covers the final run).
   maybe_sync();
+}
+
+void WalWriter::publish(std::uint64_t seq) {
+  std::lock_guard lock(sync_mutex_);
+  published_seq_ = seq;
 }
 
 void WalWriter::maybe_sync() {
   switch (config_.fsync) {
     case FsyncPolicy::Always:
+      // "Lose nothing" cannot be met by a background sync: Always stays
+      // inline in both durability modes.
       sync();
       break;
     case FsyncPolicy::EveryN:
-      if (appends_since_sync_ >= config_.fsync_every_n) sync();
+      if (config_.mode == DurabilityMode::Async) break;  // syncer's job
+      if (unsynced_appends() >= config_.fsync_every_n) sync();
       break;
-    case FsyncPolicy::Interval: {
-      const auto now = std::chrono::steady_clock::now();
-      if (now - last_sync_ >= config_.fsync_interval) sync();
+    case FsyncPolicy::Interval:
+      if (config_.mode == DurabilityMode::Async) break;  // syncer's job
+      if (now() - last_sync_time() >= config_.fsync_interval) sync();
       break;
-    }
   }
 }
 
 void WalWriter::sync() {
+  // Appender-side: every byte handed to write(2) so far becomes durable.
+  // published_seq_ cannot advance concurrently (the owner's lock serializes
+  // commit() with us), so durable := published is exact.
   file_.sync();
-  appends_since_sync_ = 0;
-  last_sync_ = std::chrono::steady_clock::now();
+  std::lock_guard lock(sync_mutex_);
+  durable_seq_ = published_seq_;
+  last_sync_ = now();
+}
+
+std::uint64_t WalWriter::flush() {
+  sync();
+  return durable_seq();
+}
+
+std::uint64_t WalWriter::sync_published() {
+  int fd = -1;
+  std::uint64_t target = 0;
+  {
+    std::lock_guard lock(sync_mutex_);
+    target = published_seq_;
+    if (durable_seq_ >= target) return durable_seq_;
+    fd = file_.duplicate_handle();
+  }
+  // The fdatasync runs outside sync_mutex_ so commit()'s publish() and even
+  // a rotation never wait on it.  The dup'd descriptor shares the open file
+  // description of whatever segment was current when `target` was read; all
+  // frames below `target` live either in that file or in already-synced
+  // older segments (rotation syncs before switching), so syncing it makes
+  // everything up to `target` durable.
+  try {
+    sync_handle(fd);
+  } catch (...) {
+    close_handle(fd);
+    throw;
+  }
+  close_handle(fd);
+  std::lock_guard lock(sync_mutex_);
+  // max(): an inline sync() may have advanced the watermark past our target
+  // while we were in fdatasync.
+  durable_seq_ = std::max(durable_seq_, target);
+  last_sync_ = now();
+  return durable_seq_;
 }
 
 bool WalWriter::sync_if_due() {
-  if (config_.fsync != FsyncPolicy::Interval || appends_since_sync_ == 0) {
+  if (config_.fsync != FsyncPolicy::Interval ||
+      config_.mode == DurabilityMode::Async || unsynced_appends() == 0) {
     return false;
   }
-  if (std::chrono::steady_clock::now() - last_sync_ < config_.fsync_interval) {
-    return false;
-  }
+  if (now() - last_sync_time() < config_.fsync_interval) return false;
   sync();
   return true;
+}
+
+std::uint64_t WalWriter::published_seq() const {
+  std::lock_guard lock(sync_mutex_);
+  return published_seq_;
+}
+
+std::uint64_t WalWriter::durable_seq() const {
+  std::lock_guard lock(sync_mutex_);
+  return durable_seq_;
+}
+
+std::chrono::steady_clock::time_point WalWriter::last_sync_time() const {
+  std::lock_guard lock(sync_mutex_);
+  return last_sync_;
+}
+
+std::size_t WalWriter::unsynced_appends() const {
+  std::lock_guard lock(sync_mutex_);
+  return static_cast<std::size_t>(published_seq_ - durable_seq_);
 }
 
 void WalWriter::prune_below(std::uint64_t min_seq) {

@@ -24,6 +24,24 @@
 //               (checked on append/commit; an idle writer needs a periodic
 //               sync_if_due() tick to keep the loss window bounded).
 //
+// Durability mode (WalConfig::mode):
+//   * Sync  — the policy runs inline on commit(), as described above;
+//   * Async — commit() only *publishes* its frames (one write(2), no sync);
+//             a background WalSyncer calls sync_published() to move the
+//             durable watermark forward on a backlog/deadline policy.  The
+//             appender is never blocked behind an fdatasync (except at the
+//             rare segment rotation), at the price of a loss window of up to
+//             backlog_frames + one in-flight group, time-bounded by the
+//             syncer deadline.  FsyncPolicy::Always ignores Async and stays
+//             inline — "lose nothing" cannot be met by a background sync.
+//
+// The writer tracks two watermarks for this split:
+//   published_seq — frames handed to write(2) by commit() (in page cache);
+//   durable_seq   — frames covered by a completed fdatasync.
+// Only the current segment ever holds non-durable bytes: rotation syncs the
+// outgoing segment before switching, so one fdatasync of the current file
+// always moves durable_seq all the way to the published watermark.
+//
 // Group commit: stage() encodes frames into an in-memory group and commit()
 // flushes the whole group with one write per segment run plus one policy
 // sync decision (a B-frame group counts as B appends toward EveryN).  The
@@ -42,6 +60,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -54,6 +73,16 @@ inline constexpr std::uint32_t kWalFormatVersion = 1;
 
 enum class FsyncPolicy : std::uint8_t { Always, EveryN, Interval };
 
+/// Sync: the fsync policy runs inline on commit().  Async: commit() never
+/// syncs (FsyncPolicy::Always excepted); a WalSyncer thread does.
+enum class DurabilityMode : std::uint8_t { Sync, Async };
+
+/// Injectable time source for the Interval policy and the syncer deadline.
+/// Null means std::chrono::steady_clock::now.  A test clock must be safe to
+/// call from two threads at once (e.g. read an atomic tick counter) — the
+/// writer calls it under the shard lock, the syncer from its own thread.
+using WalClock = std::function<std::chrono::steady_clock::time_point()>;
+
 struct WalConfig {
   /// Rotate to a new segment once the current one exceeds this many bytes.
   std::size_t segment_bytes = 4u << 20;
@@ -62,11 +91,20 @@ struct WalConfig {
   std::size_t fsync_every_n = 64;
   /// FsyncPolicy::Interval: sync when this much time elapsed since the last.
   std::chrono::milliseconds fsync_interval{50};
+  /// Inline (Sync) or background (Async) execution of the fsync policy.
+  DurabilityMode mode = DurabilityMode::Sync;
+  /// Time source override for tests; null = steady_clock.
+  WalClock clock{};
 };
 
-/// Appender for one shard's log.  Not internally synchronized: the owning
-/// shard's mutex serializes append() with everything else, matching the
-/// engine's locking contract.
+/// Appender for one shard's log.  The append surface (append/stage/commit/
+/// sync/flush/prune_below) is not internally synchronized: the owning
+/// shard's mutex serializes it, matching the engine's locking contract.
+/// The watermark surface (published_seq/durable_seq/unsynced_appends/
+/// last_sync_time/sync_published) IS internally synchronized so a WalSyncer
+/// thread can run it concurrently with the appender — sync_published()
+/// fdatasyncs through a dup(2)'d descriptor and never touches appender
+/// state, so the serving thread is never blocked behind a background sync.
 class WalWriter {
  public:
   /// Opens the shard's log in `dir` (created if absent), repairs a torn tail
@@ -106,21 +144,41 @@ class WalWriter {
   /// staged.
   void commit();
 
-  /// Forces buffered frames durable regardless of policy.
+  /// Forces buffered frames durable regardless of policy.  Appender-side
+  /// (runs under the owner's serialization).
   void sync();
+
+  /// sync() and return the durable watermark — "block until everything
+  /// committed so far is durable".  snapshot() and shutdown use this.
+  std::uint64_t flush();
 
   /// Applies a due FsyncPolicy::Interval sync on an idle writer.  The policy
   /// is otherwise only evaluated on the next append, so a writer that goes
   /// idle would hold unsynced frames indefinitely — an unbounded loss
   /// window.  Call this from a maintenance tick; returns true when a sync
-  /// was performed.  No-op (false) for other policies, when nothing is
-  /// unsynced, or when the interval has not yet elapsed.
+  /// was performed.  No-op (false) for other policies, under
+  /// DurabilityMode::Async (the syncer owns the deadline there), when
+  /// nothing is unsynced, or when the interval has not yet elapsed.
   bool sync_if_due();
 
-  /// Frames written since the last sync (0 = everything durable).
-  [[nodiscard]] std::size_t unsynced_appends() const noexcept {
-    return appends_since_sync_;
-  }
+  /// Syncer-side: makes every frame published at the moment of the call
+  /// durable, through a dup(2)'d descriptor, WITHOUT the owner's lock — the
+  /// appender keeps committing (and may even rotate segments) while the
+  /// fdatasync runs.  Returns the new durable watermark.  Safe to call from
+  /// exactly one syncer thread concurrently with the appender thread.
+  std::uint64_t sync_published();
+
+  /// Sequence number just past the last frame handed to write(2).
+  [[nodiscard]] std::uint64_t published_seq() const;
+  /// Sequence number just past the last frame covered by an fdatasync.
+  [[nodiscard]] std::uint64_t durable_seq() const;
+  /// When the durable watermark last advanced (injected-clock time).
+  [[nodiscard]] std::chrono::steady_clock::time_point last_sync_time() const;
+
+  /// Frames published but not yet durable (0 = everything durable).  Staged
+  /// frames of an uncommitted group are not counted — they never reached
+  /// write(2).
+  [[nodiscard]] std::size_t unsynced_appends() const;
 
   [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
   [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
@@ -131,15 +189,25 @@ class WalWriter {
 
  private:
   void open_segment(std::uint64_t start_seq);
+  void publish(std::uint64_t seq);
   void maybe_sync();
+  [[nodiscard]] std::chrono::steady_clock::time_point now() const {
+    return clock_();
+  }
 
   std::filesystem::path dir_;
   std::uint32_t shard_;
   WalConfig config_;
+  WalClock clock_;
   AppendFile file_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t segment_size_ = 0;
-  std::size_t appends_since_sync_ = 0;
+  // Watermark state shared with the syncer thread.  sync_mutex_ also covers
+  // the fd handoff at segment rotation, so duplicate_handle() never races
+  // the AppendFile::open() that replaces the descriptor.
+  mutable std::mutex sync_mutex_;
+  std::uint64_t published_seq_ = 0;
+  std::uint64_t durable_seq_ = 0;
   std::chrono::steady_clock::time_point last_sync_{};
   // Staged-group state: frame_scratch_ holds the concatenated encoded frames
   // of the open group, staged_sizes_ their individual byte counts (so commit

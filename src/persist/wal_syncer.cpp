@@ -1,0 +1,64 @@
+#include "persist/wal_syncer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace larp::persist {
+
+WalSyncer::WalSyncer(std::vector<WalWriter*> writers, Config config)
+    : writers_(std::move(writers)),
+      config_(std::move(config)),
+      clock_(config_.clock ? config_.clock
+                           : [] { return std::chrono::steady_clock::now(); }) {
+  if (config_.backlog_frames == 0) config_.backlog_frames = 1;
+}
+
+WalSyncer::~WalSyncer() { stop(); }
+
+void WalSyncer::start() {
+  if (worker_) return;
+  // Poll at a fraction of the deadline so a frame published right after a
+  // pass still goes durable within ~deadline, not deadline + period.
+  const auto period = std::clamp(config_.deadline / 4,
+                                 std::chrono::milliseconds(1),
+                                 std::chrono::milliseconds(1000));
+  worker_.emplace(period, [this] { (void)poll(); });
+}
+
+void WalSyncer::stop() { worker_.reset(); }
+
+void WalSyncer::notify() {
+  if (worker_) worker_->notify();
+}
+
+std::size_t WalSyncer::poll() {
+  if (config_.tick) config_.tick();
+  const auto now = clock_();
+  std::size_t synced = 0;
+  for (WalWriter* writer : writers_) {
+    const std::size_t backlog = writer->unsynced_appends();
+    if (backlog == 0) continue;
+    // Deadline age is measured from the writer's last durability advance —
+    // a conservative upper bound on how long any published frame has been
+    // waiting, so the loss window stays time-bounded even under a trickle
+    // of sub-backlog commits.
+    if (backlog >= config_.backlog_frames ||
+        now - writer->last_sync_time() >= config_.deadline) {
+      (void)writer->sync_published();
+      ++synced;
+    }
+  }
+  if (synced > 0) syncs_.fetch_add(synced, std::memory_order_relaxed);
+  return synced;
+}
+
+void WalSyncer::flush() {
+  for (WalWriter* writer : writers_) {
+    if (writer->unsynced_appends() > 0) {
+      (void)writer->sync_published();
+      syncs_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace larp::persist

@@ -1,0 +1,99 @@
+// WalSyncer — the background durability thread (RocksDB-style) behind
+// DurabilityMode::Async.  One instance per engine watches every shard's
+// WalWriter watermarks and issues the fdatasyncs the writers stopped doing
+// inline, on a backlog/deadline policy:
+//
+//   * backlog:  a writer with >= backlog_frames published-but-not-durable
+//               frames is synced on the next pass (the engine notify()s the
+//               worker when a commit crosses the threshold, so the pass runs
+//               promptly rather than at the next period);
+//   * deadline: a writer with ANY unsynced frame is synced once `deadline`
+//               has elapsed since its durable watermark last advanced — the
+//               time bound on the async loss window, and the generalization
+//               of the old idle-tick sync_if_due() to every policy.
+//
+// Syncs go through WalWriter::sync_published(), which fdatasyncs a dup(2)'d
+// descriptor WITHOUT the shard lock — serving threads keep committing while
+// the sync runs.  Loss window under Async: at most max(backlog_frames - 1,
+// frames published within one deadline) plus any group whose commit() raced
+// the crash; an acknowledged frame is NOT yet durable until the syncer (or
+// a flush) catches up.
+//
+// The optional `tick` hook runs first on every pass; the engine hangs its
+// Sync-mode Interval idle tick there so one maintenance thread serves both
+// durability modes (and larp_cli serve-sim no longer drives syncs by hand).
+//
+// Tests drive poll() directly with an injected clock instead of start()ing
+// the thread — the policy is then fully deterministic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "persist/wal.hpp"
+#include "util/background_worker.hpp"
+
+namespace larp::persist {
+
+class WalSyncer {
+ public:
+  struct Config {
+    /// Sync a writer once this many published frames await durability.
+    std::size_t backlog_frames = 64;
+    /// ... and at the latest this long after its last durability advance.
+    std::chrono::milliseconds deadline{50};
+    /// Time source override for tests; null = steady_clock.  Must be safe
+    /// to call concurrently (see WalClock).
+    WalClock clock{};
+    /// Extra hook run at the start of every pass (engine idle tick).
+    std::function<void()> tick{};
+  };
+
+  /// The writers must outlive this object.  Nothing runs until start().
+  WalSyncer(std::vector<WalWriter*> writers, Config config);
+
+  /// stop()s; does NOT run a final sync — owners flush the writers
+  /// themselves after the thread is gone (PredictionEngine's destructor
+  /// order guarantees exactly that).
+  ~WalSyncer();
+
+  WalSyncer(const WalSyncer&) = delete;
+  WalSyncer& operator=(const WalSyncer&) = delete;
+
+  /// Launches the background thread: poll() every ~deadline/4, and
+  /// immediately on notify().
+  void start();
+
+  /// Joins the background thread; idempotent.
+  void stop();
+
+  /// Kicks an immediate pass (a commit crossed the backlog threshold).
+  void notify();
+
+  /// One policy pass over every writer; returns how many were synced.
+  /// Thread-safe against the writers' appender threads, but poll() itself
+  /// must not run concurrently with poll()/flush() from a second thread
+  /// (the background thread is the only caller in production).
+  std::size_t poll();
+
+  /// Syncs every writer's published watermark unconditionally.
+  void flush();
+
+  /// Background fdatasyncs issued so far (monotonic; tests + stats).
+  [[nodiscard]] std::size_t syncs_performed() const noexcept {
+    return syncs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<WalWriter*> writers_;
+  Config config_;
+  WalClock clock_;
+  std::atomic<std::size_t> syncs_{0};
+  std::optional<BackgroundWorker> worker_;
+};
+
+}  // namespace larp::persist

@@ -23,7 +23,18 @@ std::uint64_t nanos_since(Clock::time_point start) {
 
 // Engine snapshot payload version (inside the persist::snapshot container,
 // which carries its own format version and checksum).
-constexpr std::uint32_t kEnginePayloadVersion = 1;
+//
+//   v1 — engine-global observe/predict counters after the config, then the
+//        shard sections each leading with their own WAL watermark (written
+//        by the old stop-the-world snapshot);
+//   v2 — a shard-count-prefixed watermark table after the config (written
+//        up front so restore knows every shard's replay cut before reading
+//        any section), then the shard sections, each carrying its own
+//        traffic counters.  Written by the incremental snapshot.
+//
+// restore() reads both: v1 maps its global counters onto shard 0, which
+// preserves every aggregate stats() total.
+constexpr std::uint32_t kEnginePayloadVersion = 2;
 
 // WAL frame types.  predict() frames matter for bit-identical recovery:
 // predict_next() mutates the predictor's pending-forecast state and the
@@ -133,6 +144,7 @@ PredictionEngine::PredictionEngine(predictors::PredictorPool pool_prototype,
                               static_cast<std::uint32_t>(s),
                               config_.durability.wal);
     }
+    start_syncer();
   }
   LARP_LOG_INFO("serve") << "PredictionEngine: " << config_.shards
                          << " shards, " << pool_.size() << " threads, pool of "
@@ -140,9 +152,43 @@ PredictionEngine::PredictionEngine(predictors::PredictorPool pool_prototype,
 }
 
 PredictionEngine::~PredictionEngine() {
+  // Join the maintenance thread first so the final flush below cannot race
+  // a background sync_published() against writers being torn down.
+  syncer_.reset();
   for (auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
     if (shard->wal) shard->wal->sync();
+  }
+}
+
+void PredictionEngine::start_syncer() {
+  const persist::WalConfig& wal_cfg = config_.durability.wal;
+  async_wal_ = wal_cfg.mode == persist::DurabilityMode::Async &&
+               wal_cfg.fsync != persist::FsyncPolicy::Always;
+  const bool idle_tick =
+      !async_wal_ && wal_cfg.fsync == persist::FsyncPolicy::Interval;
+  if (!async_wal_ && !idle_tick) return;
+  persist::WalSyncer::Config cfg;
+  cfg.backlog_frames = wal_cfg.fsync_every_n;
+  cfg.deadline = wal_cfg.fsync_interval;
+  cfg.clock = wal_cfg.clock;
+  std::vector<persist::WalWriter*> writers;
+  if (async_wal_) {
+    writers.reserve(shards_.size());
+    for (auto& shard : shards_) writers.push_back(&*shard->wal);
+  } else {
+    // Sync mode only needs the Interval idle tick folded into the same
+    // maintenance thread; the writers keep syncing inline.
+    cfg.tick = [this] { sync_wals_if_due(); };
+  }
+  syncer_.emplace(std::move(writers), std::move(cfg));
+  syncer_->start();
+}
+
+void PredictionEngine::maybe_notify_syncer(Shard& shard) {
+  if (!async_wal_) return;
+  if (shard.wal->unsynced_appends() >= config_.durability.wal.fsync_every_n) {
+    syncer_->notify();
   }
 }
 
@@ -270,12 +316,13 @@ void PredictionEngine::observe(std::span<const Observation> batch) {
             wal_stage(shard, kWalObserve, batch[i].key, &batch[i].value);
           }
           shard.wal->commit();
+          maybe_notify_syncer(shard);
         }
+        shard.observe_count += indices.size();
         for (std::size_t i : indices) {
           absorb(shard, batch[i].key, batch[i].value);
         }
       });
-  observations_.fetch_add(batch.size(), std::memory_order_relaxed);
   observe_nanos_.fetch_add(nanos_since(start), std::memory_order_relaxed);
 }
 
@@ -319,12 +366,13 @@ std::vector<Prediction> PredictionEngine::predict(
             wal_stage(shard, kWalPredict, keys[i], nullptr);
           }
           shard.wal->commit();
+          maybe_notify_syncer(shard);
         }
+        shard.predict_count += indices.size();
         for (std::size_t i : indices) {
           out[i] = forecast(shard, keys[i]);
         }
       });
-  predictions_.fetch_add(keys.size(), std::memory_order_relaxed);
   predict_nanos_.fetch_add(nanos_since(start), std::memory_order_relaxed);
   return out;
 }
@@ -352,6 +400,7 @@ void PredictionEngine::wal_log(Shard& shard, std::uint8_t type,
   if (!shard.wal) return;
   wal_stage(shard, type, key, value);
   shard.wal->commit();
+  maybe_notify_syncer(shard);
 }
 
 void PredictionEngine::wal_stage(Shard& shard, std::uint8_t type,
@@ -374,9 +423,9 @@ void PredictionEngine::sync_wals_if_due() {
   }
 }
 
-void PredictionEngine::save_shard(persist::io::Writer& w, Shard& shard,
-                                  std::uint64_t watermark) const {
-  w.u64(watermark);
+void PredictionEngine::save_shard(persist::io::Writer& w, Shard& shard) const {
+  w.u64(shard.observe_count);
+  w.u64(shard.predict_count);
   w.u64(shard.resolved);
   w.f64(shard.abs_error_sum);
   w.f64(shard.sq_error_sum);
@@ -409,9 +458,15 @@ void PredictionEngine::save_shard(persist::io::Writer& w, Shard& shard,
   }
 }
 
-std::uint64_t PredictionEngine::load_shard(persist::io::Reader& r,
-                                           Shard& shard) {
-  const std::uint64_t watermark = r.u64();
+std::uint64_t PredictionEngine::load_shard(persist::io::Reader& r, Shard& shard,
+                                           std::uint32_t payload_version) {
+  std::uint64_t watermark = 0;
+  if (payload_version == 1) {
+    watermark = r.u64();
+  } else {
+    shard.observe_count = static_cast<std::size_t>(r.u64());
+    shard.predict_count = static_cast<std::size_t>(r.u64());
+  }
   shard.resolved = static_cast<std::size_t>(r.u64());
   shard.abs_error_sum = r.f64();
   shard.sq_error_sum = r.f64();
@@ -451,31 +506,38 @@ std::uint64_t PredictionEngine::load_shard(persist::io::Reader& r,
 }
 
 std::uint64_t PredictionEngine::snapshot(const std::filesystem::path& dir) {
-  // Stop-the-world: every shard mutex is held at once so the payload is one
-  // consistent cut with exact per-shard WAL watermarks.  Batched calls take
-  // one shard mutex at a time, so acquiring all of them (in index order, the
-  // only order anyone takes more than one) cannot deadlock.
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(shards_.size());
-  for (auto& shard : shards_) locks.emplace_back(shard->mutex);
+  // Incremental, not stop-the-world: each shard is serialized into the
+  // staging buffer under its OWN mutex, one at a time, so concurrent
+  // observe/predict traffic only ever waits for the single shard currently
+  // being copied.  Consistency holds per shard, not engine-wide: each
+  // section flushes its shard's WAL and records that shard's watermark (the
+  // log must be durable up to the cut BEFORE the snapshot can claim it),
+  // and restore() replays each shard's WAL from its own watermark — shard
+  // state and replay cut always agree even though the sections were taken
+  // at different instants.
+  persist::io::Writer body;
+  std::vector<std::uint64_t> watermarks(shards_.size(), 0);
+  std::uint64_t max_pause_nanos = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    const auto locked_at = Clock::now();
+    std::lock_guard lock(shard.mutex);
+    if (shard.wal) {
+      watermarks[s] = shard.wal->flush();
+    }
+    save_shard(body, shard);
+    max_pause_nanos = std::max(max_pause_nanos, nanos_since(locked_at));
+  }
 
+  // Assemble the published payload: the watermark table travels up front
+  // (restore must know every shard's replay cut before the sections), the
+  // staged sections follow verbatim.
   persist::io::Writer w;
   w.u32(kEnginePayloadVersion);
   save_engine_config(w, config_);
-  w.u64(observations_.load(std::memory_order_relaxed));
-  w.u64(predictions_.load(std::memory_order_relaxed));
-  std::vector<std::uint64_t> watermarks(shards_.size(), 0);
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    Shard& shard = *shards_[s];
-    if (shard.wal) {
-      // The log must be durable up to the watermark BEFORE the snapshot can
-      // claim it: a crash between the two would otherwise leave a snapshot
-      // asking to replay from a position the log never reached on disk.
-      shard.wal->sync();
-      watermarks[s] = shard.wal->next_seq();
-    }
-    save_shard(w, shard, watermarks[s]);
-  }
+  w.u64(shards_.size());
+  for (std::uint64_t watermark : watermarks) w.u64(watermark);
+  w.bytes(body.bytes());
 
   const auto existing = persist::list_snapshots(dir);
   const std::uint64_t epoch = existing.empty() ? 1 : existing.back().epoch + 1;
@@ -486,9 +548,13 @@ std::uint64_t PredictionEngine::snapshot(const std::filesystem::path& dir) {
     // Frames below the watermark are now covered by this snapshot on every
     // recovery path, so whole segments beneath it can go.
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      if (shards_[s]->wal) shards_[s]->wal->prune_below(watermarks[s]);
+      Shard& shard = *shards_[s];
+      std::lock_guard lock(shard.mutex);
+      if (shard.wal) shard.wal->prune_below(watermarks[s]);
     }
   }
+  snapshot_pause_nanos_.store(max_pause_nanos, std::memory_order_relaxed);
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
   return epoch;
 }
 
@@ -507,13 +573,13 @@ void PredictionEngine::apply_wal_frame(Shard& shard,
   switch (type) {
     case kWalObserve: {
       const double value = r.f64();
+      ++shard.observe_count;
       absorb(shard, key, value);
-      observations_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     case kWalPredict:
+      ++shard.predict_count;
       (void)forecast(shard, key);
-      predictions_.fetch_add(1, std::memory_order_relaxed);
       break;
     case kWalErase:
       (void)erase_locked(shard, key);
@@ -531,10 +597,11 @@ std::unique_ptr<PredictionEngine> PredictionEngine::restore(
 
   EngineConfig config = config_override.value_or(EngineConfig{});
   std::optional<persist::io::Reader> reader;
+  std::uint32_t payload_version = kEnginePayloadVersion;
   if (loaded) {
     reader.emplace(std::span<const std::byte>(loaded->payload));
-    const std::uint32_t payload_version = reader->u32();
-    if (payload_version != kEnginePayloadVersion) {
+    payload_version = reader->u32();
+    if (payload_version == 0 || payload_version > kEnginePayloadVersion) {
       throw persist::CorruptData("engine snapshot: unsupported payload version " +
                                  std::to_string(payload_version));
     }
@@ -554,12 +621,28 @@ std::unique_ptr<PredictionEngine> PredictionEngine::restore(
 
   std::vector<std::uint64_t> watermarks(engine->shards_.size(), 0);
   if (loaded) {
-    engine->observations_.store(static_cast<std::size_t>(reader->u64()),
-                                std::memory_order_relaxed);
-    engine->predictions_.store(static_cast<std::size_t>(reader->u64()),
-                               std::memory_order_relaxed);
+    if (payload_version == 1) {
+      // v1 compat: the engine-global traffic counters land on shard 0, so
+      // every stats() aggregate a v1 snapshot recorded is preserved; the
+      // per-shard watermarks come from the section heads below.
+      engine->shards_[0]->observe_count = static_cast<std::size_t>(reader->u64());
+      engine->shards_[0]->predict_count = static_cast<std::size_t>(reader->u64());
+    } else {
+      const auto table_shards = static_cast<std::size_t>(
+          reader->length(reader->u64(), sizeof(std::uint64_t)));
+      if (table_shards != engine->shards_.size()) {
+        throw persist::CorruptData(
+            "engine snapshot: watermark table size disagrees with the shard "
+            "count");
+      }
+      for (std::size_t s = 0; s < table_shards; ++s) {
+        watermarks[s] = reader->u64();
+      }
+    }
     for (std::size_t s = 0; s < engine->shards_.size(); ++s) {
-      watermarks[s] = engine->load_shard(*reader, *engine->shards_[s]);
+      const std::uint64_t v1_mark =
+          engine->load_shard(*reader, *engine->shards_[s], payload_version);
+      if (payload_version == 1) watermarks[s] = v1_mark;
     }
   }
 
@@ -583,6 +666,7 @@ std::unique_ptr<PredictionEngine> PredictionEngine::restore(
     shard.wal.emplace(dir, static_cast<std::uint32_t>(s), durability.wal, next);
   }
   engine->config_.durability = std::move(durability);
+  engine->start_syncer();
   LARP_LOG_INFO("serve") << "PredictionEngine: restored from " << dir.string()
                          << (loaded ? " (snapshot epoch " +
                                           std::to_string(loaded->epoch) + ")"
@@ -621,17 +705,23 @@ EngineStats PredictionEngine::stats() const {
     stats.resolved += shard->resolved;
     stats.mean_absolute_error += shard->abs_error_sum;
     stats.mean_squared_error += shard->sq_error_sum;
+    stats.observations += shard->observe_count;
+    stats.predictions += shard->predict_count;
+    if (shard->wal) stats.wal_unsynced_frames += shard->wal->unsynced_appends();
   }
   if (stats.resolved > 0) {
     stats.mean_absolute_error /= static_cast<double>(stats.resolved);
     stats.mean_squared_error /= static_cast<double>(stats.resolved);
   }
-  stats.observations = observations_.load(std::memory_order_relaxed);
-  stats.predictions = predictions_.load(std::memory_order_relaxed);
   stats.observe_seconds =
       static_cast<double>(observe_nanos_.load(std::memory_order_relaxed)) * 1e-9;
   stats.predict_seconds =
       static_cast<double>(predict_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  stats.wal_background_syncs = syncer_ ? syncer_->syncs_performed() : 0;
+  stats.snapshots = snapshots_.load(std::memory_order_relaxed);
+  stats.snapshot_max_pause_seconds =
+      static_cast<double>(snapshot_pause_nanos_.load(std::memory_order_relaxed)) *
+      1e-9;
   return stats;
 }
 

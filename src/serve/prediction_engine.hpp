@@ -38,6 +38,7 @@
 #include "core/lar_predictor.hpp"
 #include "persist/io.hpp"
 #include "persist/wal.hpp"
+#include "persist/wal_syncer.hpp"
 #include "qa/quality_assuror.hpp"
 #include "tsdb/prediction_db.hpp"
 #include "util/thread_pool.hpp"
@@ -49,7 +50,11 @@ namespace larp::serve {
 struct DurabilityConfig {
   /// Directory holding the snapshots and per-shard WAL segments.
   std::filesystem::path data_dir;
-  /// Per-shard write-ahead-log tuning (segment size, fsync policy).
+  /// Per-shard write-ahead-log tuning (segment size, fsync policy, and
+  /// wal.mode: DurabilityMode::Sync runs the fsync policy inline on the
+  /// serving threads; DurabilityMode::Async moves every EveryN/Interval
+  /// fdatasync onto the engine's background WalSyncer — fsync_every_n
+  /// becomes the syncer's backlog trigger and fsync_interval its deadline).
   persist::WalConfig wal;
   /// Validating snapshots retained by snapshot(); older ones are deleted.
   std::size_t keep_snapshots = 2;
@@ -103,6 +108,13 @@ struct EngineStats {
   double mean_squared_error = 0.0;   // over resolved forecasts (raw units)
   double observe_seconds = 0.0;      // cumulative wall time in observe()
   double predict_seconds = 0.0;      // cumulative wall time in predict()
+  std::size_t wal_unsynced_frames = 0;  // published, not yet fdatasync'd
+  std::size_t wal_background_syncs = 0; // fdatasyncs issued by the WalSyncer
+  std::size_t snapshots = 0;            // snapshot() calls completed
+  /// Longest single-shard lock hold of the most recent snapshot() — the
+  /// serving pause an incremental snapshot actually causes (the engine-wide
+  /// stop-the-world pause it replaced was the sum over all shards).
+  double snapshot_max_pause_seconds = 0.0;
 };
 
 class PredictionEngine {
@@ -152,9 +164,13 @@ class PredictionEngine {
   bool erase(const tsdb::SeriesKey& key);
 
   /// Writes one atomic, checksummed snapshot of the full engine state into
-  /// `dir` (stop-the-world: all shard locks are held for the duration).
-  /// When `dir` is the configured data_dir, WAL segments made obsolete by
-  /// the new snapshot are pruned.  Returns the snapshot's epoch.
+  /// `dir` — incrementally: shards are serialized one at a time under their
+  /// own mutex (each section flushes that shard's WAL and records its
+  /// watermark), so the serving pause is bounded by the largest single
+  /// shard instead of the whole engine; see EngineStats::
+  /// snapshot_max_pause_seconds.  The combined file is still published
+  /// atomically.  When `dir` is the configured data_dir, WAL segments made
+  /// obsolete by the new snapshot are pruned.  Returns the snapshot's epoch.
   std::uint64_t snapshot(const std::filesystem::path& dir);
   /// snapshot() into the configured durability data_dir.
   std::uint64_t snapshot();
@@ -162,8 +178,10 @@ class PredictionEngine {
   /// Durability maintenance tick: applies any due Interval-policy fsync on
   /// every shard's WAL, so an idle writer's loss window stays bounded by
   /// `fsync_interval` instead of stretching until its next append.  Cheap
-  /// no-op when durability is off or another policy is configured; call it
-  /// on whatever periodic cadence drives reporting.
+  /// no-op when durability is off or another policy is configured.  The
+  /// engine's own WalSyncer thread drives this automatically (callers no
+  /// longer need a manual tick); it stays public for tests and embedders
+  /// without threads.
   void sync_wals_if_due();
 
   [[nodiscard]] std::size_t series_count() const;
@@ -197,6 +215,12 @@ class PredictionEngine {
     std::size_t trains = 0;
     std::size_t retrains = 0;
     std::size_t erases = 0;
+    // Traffic counters live per shard (not in engine-level atomics) so each
+    // shard's snapshot section is self-consistent: an incremental snapshot
+    // cuts shard s at its own watermark, and counters shared across shards
+    // could not be attributed to any single cut.
+    std::size_t observe_count = 0;
+    std::size_t predict_count = 0;
     // Durability (engaged only when DurabilityConfig::data_dir is set).
     // The payload writer is reused across frames, so steady-state WAL
     // appends allocate nothing once capacities are established.
@@ -221,9 +245,19 @@ class PredictionEngine {
   /// commit once — still before any staged mutation is applied.
   void wal_stage(Shard& shard, std::uint8_t type, const tsdb::SeriesKey& key,
                  const double* value);
-  void save_shard(persist::io::Writer& w, Shard& shard,
-                  std::uint64_t watermark) const;
-  std::uint64_t load_shard(persist::io::Reader& r, Shard& shard);
+  /// Wakes the WalSyncer when this shard's backlog crossed the threshold.
+  /// Called right after a commit, still under the shard mutex.
+  void maybe_notify_syncer(Shard& shard);
+  /// Builds and starts the maintenance thread (async syncer and/or the
+  /// Sync-mode Interval idle tick); no-op when neither is needed.
+  void start_syncer();
+  void save_shard(persist::io::Writer& w, Shard& shard) const;
+  /// Reads one shard section.  `payload_version` selects the layout: v1
+  /// sections lead with the shard's WAL watermark (returned); v2 sections
+  /// carry per-shard traffic counters instead and the watermark lives in
+  /// the payload-level table (returns 0).
+  std::uint64_t load_shard(persist::io::Reader& r, Shard& shard,
+                           std::uint32_t payload_version);
   /// Applies one replayed WAL frame to its shard.
   void apply_wal_frame(Shard& shard, std::span<const std::byte> payload);
 
@@ -237,10 +271,16 @@ class PredictionEngine {
   std::vector<std::unique_ptr<Shard>> shards_;
   ThreadPool pool_;
 
-  std::atomic<std::size_t> observations_{0};
-  std::atomic<std::size_t> predictions_{0};
   std::atomic<std::uint64_t> observe_nanos_{0};
   std::atomic<std::uint64_t> predict_nanos_{0};
+  std::atomic<std::uint64_t> snapshot_pause_nanos_{0};
+  std::atomic<std::size_t> snapshots_{0};
+  /// True when wal.mode == Async with a policy the syncer owns (not Always).
+  bool async_wal_ = false;
+  /// Declared after shards_ so it is destroyed (thread joined) before the
+  /// WalWriters it points into; the destructor also resets it explicitly
+  /// before the final flush.
+  std::optional<persist::WalSyncer> syncer_;
 };
 
 }  // namespace larp::serve

@@ -1,0 +1,43 @@
+#include "util/background_worker.hpp"
+
+#include <utility>
+
+namespace larp {
+
+BackgroundWorker::BackgroundWorker(std::chrono::milliseconds period,
+                                   std::function<void()> tick)
+    : period_(period), tick_(std::move(tick)), thread_([this] { run(); }) {}
+
+BackgroundWorker::~BackgroundWorker() { stop(); }
+
+void BackgroundWorker::notify() {
+  {
+    std::lock_guard lock(mutex_);
+    notified_ = true;
+  }
+  cv_.notify_one();
+}
+
+void BackgroundWorker::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+}
+
+void BackgroundWorker::run() {
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, period_, [this] { return stop_ || notified_; });
+    if (stop_) break;
+    notified_ = false;
+    lock.unlock();
+    tick_();
+    lock.lock();
+  }
+}
+
+}  // namespace larp

@@ -1,0 +1,54 @@
+// A single maintenance thread that runs a tick on a fixed period and
+// immediately on notify().  The building block for background housekeeping
+// (WAL syncing today; compaction-style jobs tomorrow) — one condition
+// variable, one thread, no task queue.
+//
+// Contract:
+//  * the tick runs outside the internal lock, so notify() never blocks
+//    behind a slow tick and the tick may itself call notify();
+//  * stop() (and the destructor) joins the thread without running a final
+//    tick — callers that need an end-of-life pass (e.g. a last fsync) do it
+//    themselves after stop() returns, when no tick can race them;
+//  * ticks never run concurrently with each other (single thread).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace larp {
+
+class BackgroundWorker {
+ public:
+  /// Starts the thread immediately.  `tick` must not throw — an exception
+  /// escaping it terminates the process (it has no caller to report to).
+  BackgroundWorker(std::chrono::milliseconds period, std::function<void()> tick);
+
+  /// stop()s.
+  ~BackgroundWorker();
+
+  BackgroundWorker(const BackgroundWorker&) = delete;
+  BackgroundWorker& operator=(const BackgroundWorker&) = delete;
+
+  /// Wakes the thread for an immediate tick (coalesced: several notifies
+  /// before the wakeup produce one tick).
+  void notify();
+
+  /// Joins the thread; idempotent.  No tick runs after this returns.
+  void stop();
+
+ private:
+  void run();
+
+  std::chrono::milliseconds period_;
+  std::function<void()> tick_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool notified_ = false;
+  std::thread thread_;
+};
+
+}  // namespace larp

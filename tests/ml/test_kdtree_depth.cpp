@@ -1,0 +1,123 @@
+// Depth-cap regression tests for KdTree::insert.  A sorted insertion order
+// is the adversary: every new point descends the same spine, so without the
+// cap the tree degenerates to a linked list (depth N) long before the
+// doubling rule fires — and query cost plus search() recursion depth are
+// both O(depth).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/kdtree.hpp"
+
+namespace larp::ml {
+namespace {
+
+std::vector<Neighbor> brute_force(const linalg::Matrix& points,
+                                  std::span<const double> query,
+                                  std::size_t k) {
+  std::vector<Neighbor> all;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    double sq = 0.0;
+    for (std::size_t d = 0; d < points.cols(); ++d) {
+      const double diff = query[d] - points(i, d);
+      sq += diff * diff;
+    }
+    all.push_back({i, sq});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.squared_distance != b.squared_distance) {
+      return a.squared_distance < b.squared_distance;
+    }
+    return a.index < b.index;
+  });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST(KdTreeDepth, DepthLimitIsLogarithmic) {
+  // Monotone, and clearly o(N): the cap for a million points is a few dozen.
+  EXPECT_GE(KdTree::depth_limit(1), 1u);
+  for (std::size_t n : {2u, 16u, 1024u, 1u << 20}) {
+    EXPECT_GE(KdTree::depth_limit(n), KdTree::depth_limit(n / 2));
+    EXPECT_LT(KdTree::depth_limit(n), 8 + 2 * 64u);
+  }
+  EXPECT_LE(KdTree::depth_limit(1u << 20), 50u);
+}
+
+TEST(KdTreeDepth, EmptyAndSingletonDepths) {
+  KdTree tree;
+  EXPECT_EQ(tree.max_depth(), 0u);
+  tree.insert(std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(tree.max_depth(), 1u);
+}
+
+// The adversarial order: strictly increasing points descend the right spine
+// on every insert.  The depth cap must hold after EVERY insert, not just at
+// the end — a transiently degenerate tree still serves degenerate queries.
+TEST(KdTreeDepth, SortedAscendingInsertionRespectsDepthCap) {
+  constexpr std::size_t kPoints = 2000;
+  KdTree tree;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    const double v = static_cast<double>(i);
+    tree.insert(std::vector<double>{v, v});
+    ASSERT_LE(tree.max_depth(), KdTree::depth_limit(tree.size()))
+        << "after insert " << i;
+  }
+  // Without the cap this tree would be ~kPoints/2 deep; with it the depth is
+  // logarithmic, so spine queries are cheap again.
+  EXPECT_LE(tree.max_depth(), KdTree::depth_limit(kPoints));
+}
+
+TEST(KdTreeDepth, SortedDescendingInsertionRespectsDepthCap) {
+  constexpr std::size_t kPoints = 1500;
+  KdTree tree;
+  for (std::size_t i = kPoints; i-- > 0;) {
+    const double v = static_cast<double>(i);
+    tree.insert(std::vector<double>{v, -v});
+    ASSERT_LE(tree.max_depth(), KdTree::depth_limit(tree.size()));
+  }
+}
+
+// Correctness under the adversary: rebuilds triggered by the cap must not
+// perturb results — exact parity with brute force, ties included.
+TEST(KdTreeDepth, SortedInsertionKeepsQueriesExact) {
+  constexpr std::size_t kPoints = 600;
+  linalg::Matrix points;
+  KdTree tree;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    const double v = static_cast<double>(i);
+    const std::vector<double> p{v, 2.0 * v};
+    points.append_row(p);
+    tree.insert(p);
+    if (i % 97 == 0 || i + 1 == kPoints) {
+      const std::vector<double> query{v * 0.5, v};
+      const auto got = tree.nearest(query, 5);
+      const auto want = brute_force(points, query, 5);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t j = 0; j < got.size(); ++j) {
+        EXPECT_EQ(got[j].index, want[j].index) << "insert " << i << " hit " << j;
+        EXPECT_DOUBLE_EQ(got[j].squared_distance, want[j].squared_distance);
+      }
+    }
+  }
+}
+
+// All-equal points: the pathological tie case degenerates into one spine per
+// split dimension cycle; the cap has to hold here too.
+TEST(KdTreeDepth, DuplicatePointsRespectDepthCap) {
+  constexpr std::size_t kPoints = 800;
+  KdTree tree;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    tree.insert(std::vector<double>{7.0, 7.0});
+    ASSERT_LE(tree.max_depth(), KdTree::depth_limit(tree.size()));
+  }
+  const auto hits = tree.nearest(std::vector<double>{7.0, 7.0}, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  for (const auto& h : hits) EXPECT_EQ(h.squared_distance, 0.0);
+}
+
+}  // namespace
+}  // namespace larp::ml

@@ -332,6 +332,59 @@ TEST_F(RecoveryTest, TornMidGroupTailRecoversValidPrefix) {
   drive(*again, ignored, 3, /*with_predict=*/true);
 }
 
+// Crash in the middle of a background snapshot: the publication protocol
+// writes snapshot-<epoch>.snap.tmp and renames only after a full fsync, so a
+// kill mid-write leaves an orphaned .tmp (possibly torn) next to the
+// previous retained snapshot.  Recovery must ignore the orphan, restore from
+// the previous snapshot, replay the WAL past it, and match an uninterrupted
+// reference bit for bit.
+TEST_F(RecoveryTest, CrashDuringSnapshotFallsBackToRetained) {
+  StreamState stream_a;
+  StreamState stream_b;
+  auto reference = std::make_unique<PredictionEngine>(
+      predictors::make_paper_pool(5), base_config());
+  {
+    PredictionEngine durable(predictors::make_paper_pool(5),
+                             durable_config(dir_));
+    drive(durable, stream_a, kTrain + 6, /*with_predict=*/true);
+    (void)durable.snapshot();  // epoch 1: the survivor
+    drive(durable, stream_a, 8, /*with_predict=*/true);
+  }  // crash "during" the epoch-2 snapshot, simulated below
+  drive(*reference, stream_b, kTrain + 6 + 8, /*with_predict=*/true);
+
+  // Fabricate the orphan the killed snapshot would leave: the first half of
+  // a would-be epoch-2 file (no trailing checksum, never renamed).
+  const auto snapshots = persist::list_snapshots(dir_);
+  ASSERT_EQ(snapshots.size(), 1u);
+  std::vector<char> half;
+  {
+    std::ifstream in(snapshots[0].path, std::ios::binary);
+    half.resize(static_cast<std::size_t>(fs::file_size(snapshots[0].path)) / 2);
+    in.read(half.data(), static_cast<std::streamsize>(half.size()));
+  }
+  const fs::path orphan =
+      dir_ / "snapshot-00000000000000000002.snap.tmp";
+  {
+    std::ofstream out(orphan, std::ios::binary);
+    out.write(half.data(), static_cast<std::streamsize>(half.size()));
+  }
+
+  // The orphan is invisible to snapshot discovery...
+  ASSERT_EQ(persist::list_snapshots(dir_).size(), 1u);
+  // ...and recovery = retained snapshot + full WAL suffix, bit-identical.
+  auto restored =
+      PredictionEngine::restore(predictors::make_paper_pool(5), dir_);
+  EXPECT_EQ(restored->stats().observations, reference->stats().observations);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(restored->stats().mean_squared_error),
+            std::bit_cast<std::uint64_t>(reference->stats().mean_squared_error));
+  expect_identical_future(*restored, *reference, stream_a, stream_b, 15);
+
+  // The next snapshot reclaims the epoch the orphan squatted on (publish
+  // removes a stale .tmp before writing).
+  EXPECT_EQ(restored->snapshot(), 2u);
+  EXPECT_EQ(persist::list_snapshots(dir_).size(), 2u);
+}
+
 // erase() is WAL-logged: a restored engine must not resurrect the series.
 TEST_F(RecoveryTest, EraseSurvivesRecovery) {
   StreamState stream;

@@ -4,13 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
@@ -19,6 +20,23 @@ namespace larp::persist {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Injectable time source: tests advance it explicitly, so Interval-policy
+/// and deadline behaviour is asserted exactly instead of raced against the
+/// scheduler.  Copyable into a WalConfig; the atomic makes it safe to read
+/// from a syncer thread while the test advances it.
+struct FakeClock {
+  std::shared_ptr<std::atomic<std::int64_t>> ms =
+      std::make_shared<std::atomic<std::int64_t>>(0);
+  [[nodiscard]] WalClock fn() const {
+    auto ticks = ms;
+    return [ticks] {
+      return std::chrono::steady_clock::time_point{} +
+             std::chrono::milliseconds(ticks->load());
+    };
+  }
+  void advance(std::chrono::milliseconds d) { ms->fetch_add(d.count()); }
+};
 
 class WalTest : public ::testing::Test {
  protected:
@@ -258,38 +276,134 @@ TEST_F(WalTest, SyncIfDueIsANoOpOutsideIntervalPolicy) {
 }
 
 TEST_F(WalTest, SyncIfDueBoundsTheIdleLossWindow) {
-  // Not-due branch, deterministic: a 10-minute interval cannot elapse here.
+  FakeClock clock;
   WalConfig config;
   config.fsync = FsyncPolicy::Interval;
-  config.fsync_interval = std::chrono::minutes(10);
-  WalWriter idle(dir_, 0, config);
-  EXPECT_FALSE(idle.sync_if_due());  // nothing unsynced yet
-  idle.append(payload("idle"));
+  config.fsync_interval = std::chrono::milliseconds(50);
+  config.clock = clock.fn();
+  WalWriter writer(dir_, 0, config);
+
+  EXPECT_FALSE(writer.sync_if_due());  // nothing unsynced yet
+  writer.append(payload("idle"));
   // Without the hook this frame would stay unsynced until the NEXT append —
   // the unbounded idle-writer loss window.
-  EXPECT_EQ(idle.unsynced_appends(), 1u);
-  EXPECT_FALSE(idle.sync_if_due());  // interval has not elapsed
-  EXPECT_EQ(idle.unsynced_appends(), 1u);
+  EXPECT_EQ(writer.unsynced_appends(), 1u);
+  clock.advance(std::chrono::milliseconds(49));
+  EXPECT_FALSE(writer.sync_if_due());  // interval has not elapsed
+  EXPECT_EQ(writer.unsynced_appends(), 1u);
 
-  // Due branch: catch the writer with an unsynced frame (the first append
-  // after a sync lands inside the 1 ms window essentially always; loop in
-  // case a scheduler stall syncs it on append), then wait the interval out
-  // with no further traffic and demand the hook makes it durable.
-  WalConfig due_config;
-  due_config.fsync = FsyncPolicy::Interval;
-  due_config.fsync_interval = std::chrono::milliseconds(1);
-  WalWriter writer(dir_, 1, due_config);
-  bool exercised = false;
-  for (int i = 0; i < 50 && !exercised; ++i) {
-    writer.append(payload("frame"));
-    if (writer.unsynced_appends() == 0) continue;
-    std::this_thread::sleep_for(std::chrono::milliseconds(3));
-    EXPECT_TRUE(writer.sync_if_due());
-    EXPECT_EQ(writer.unsynced_appends(), 0u);
-    EXPECT_FALSE(writer.sync_if_due());  // already durable: no repeat sync
-    exercised = true;
-  }
-  EXPECT_TRUE(exercised);
+  clock.advance(std::chrono::milliseconds(1));  // exactly the interval
+  EXPECT_TRUE(writer.sync_if_due());
+  EXPECT_EQ(writer.unsynced_appends(), 0u);
+  EXPECT_FALSE(writer.sync_if_due());  // already durable: no repeat sync
+}
+
+TEST_F(WalTest, IntervalPolicySyncsOnAppendOnceElapsed) {
+  FakeClock clock;
+  WalConfig config;
+  config.fsync = FsyncPolicy::Interval;
+  config.fsync_interval = std::chrono::milliseconds(50);
+  config.clock = clock.fn();
+  WalWriter writer(dir_, 0, config);
+
+  writer.append(payload("a"));  // inside the window: stays unsynced
+  writer.append(payload("b"));
+  EXPECT_EQ(writer.unsynced_appends(), 2u);
+  clock.advance(std::chrono::milliseconds(50));
+  writer.append(payload("c"));  // interval elapsed: this append syncs all 3
+  EXPECT_EQ(writer.unsynced_appends(), 0u);
+  EXPECT_EQ(writer.durable_seq(), 3u);
+}
+
+// -- async durability mode --------------------------------------------------
+
+TEST_F(WalTest, AsyncModeNeverSyncsInline) {
+  WalConfig config;
+  config.fsync = FsyncPolicy::EveryN;
+  config.fsync_every_n = 2;  // would sync every other append under Sync
+  config.mode = DurabilityMode::Async;
+  WalWriter writer(dir_, 0, config);
+
+  for (int i = 0; i < 5; ++i) writer.append(payload("x"));
+  EXPECT_EQ(writer.published_seq(), 5u);
+  EXPECT_EQ(writer.durable_seq(), 0u);  // no inline sync happened
+  EXPECT_EQ(writer.unsynced_appends(), 5u);
+  EXPECT_FALSE(writer.sync_if_due());  // the syncer owns the deadline
+
+  // The syncer-side call makes the published watermark durable.
+  EXPECT_EQ(writer.sync_published(), 5u);
+  EXPECT_EQ(writer.durable_seq(), 5u);
+  EXPECT_EQ(writer.unsynced_appends(), 0u);
+  // Nothing new published: a second call is a cheap no-op at the watermark.
+  EXPECT_EQ(writer.sync_published(), 5u);
+}
+
+TEST_F(WalTest, AsyncModeIntervalPolicyDoesNotSyncOnAppend) {
+  FakeClock clock;
+  WalConfig config;
+  config.fsync = FsyncPolicy::Interval;
+  config.fsync_interval = std::chrono::milliseconds(1);
+  config.mode = DurabilityMode::Async;
+  config.clock = clock.fn();
+  WalWriter writer(dir_, 0, config);
+
+  writer.append(payload("a"));
+  clock.advance(std::chrono::milliseconds(10));  // interval long elapsed
+  writer.append(payload("b"));  // Sync mode would fdatasync here
+  EXPECT_EQ(writer.unsynced_appends(), 2u);
+  EXPECT_EQ(writer.flush(), 2u);  // flush works regardless of mode
+  EXPECT_EQ(writer.unsynced_appends(), 0u);
+}
+
+TEST_F(WalTest, AsyncStagedFramesAreNotPublishedUntilCommit) {
+  WalConfig config;
+  config.mode = DurabilityMode::Async;
+  WalWriter writer(dir_, 0, config);
+
+  writer.stage(payload("g0"));
+  writer.stage(payload("g1"));
+  EXPECT_EQ(writer.published_seq(), 0u);  // staged frames never hit write(2)
+  EXPECT_EQ(writer.sync_published(), 0u);  // nothing for the syncer to do
+  writer.commit();
+  EXPECT_EQ(writer.published_seq(), 2u);
+  EXPECT_EQ(writer.durable_seq(), 0u);
+  EXPECT_EQ(writer.sync_published(), 2u);
+}
+
+// Rotation must keep the "only the current segment holds non-durable bytes"
+// invariant even under Async: the outgoing segment is synced inline at the
+// switch, so durable_seq can never lag behind a closed segment.
+TEST_F(WalTest, AsyncRotationSyncsTheOutgoingSegment) {
+  WalConfig config;
+  config.segment_bytes = 128;
+  config.fsync = FsyncPolicy::EveryN;
+  config.fsync_every_n = 1000;  // policy alone would never sync
+  config.mode = DurabilityMode::Async;
+  WalWriter writer(dir_, 0, config);
+
+  const std::string blob(40, 'x');
+  for (int i = 0; i < 20; ++i) writer.append(payload(blob));
+  const auto segments = list_wal_segments(dir_, 0);
+  ASSERT_GT(segments.size(), 2u);
+  // Everything up to the newest segment's start is durable; only current-
+  // segment frames can be in the loss window.
+  EXPECT_GE(writer.durable_seq(), segments.back().start_seq);
+  EXPECT_EQ(writer.published_seq(), 20u);
+  EXPECT_LE(writer.unsynced_appends(), 20u - segments.back().start_seq);
+
+  writer.sync_published();
+  EXPECT_EQ(writer.durable_seq(), 20u);
+  EXPECT_EQ(replay_all(0).size(), 20u);
+}
+
+TEST_F(WalTest, AlwaysPolicyStaysInlineUnderAsync) {
+  WalConfig config;
+  config.fsync = FsyncPolicy::Always;
+  config.mode = DurabilityMode::Async;  // must be ignored for Always
+  WalWriter writer(dir_, 0, config);
+  writer.append(payload("x"));
+  EXPECT_EQ(writer.unsynced_appends(), 0u);  // synced on the append itself
+  EXPECT_EQ(writer.durable_seq(), 1u);
 }
 
 // -- segment listing --------------------------------------------------------

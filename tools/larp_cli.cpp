@@ -25,6 +25,8 @@
 //   --shards N       serve-sim: engine shards        (default 16)
 //   --data-dir P     serve-sim: durability directory (snapshots + WAL)
 //   --snapshot-every N  serve-sim: snapshot cadence in steps (0 = end only)
+//   --durability M   serve-sim: sync | async — inline fsync policy vs the
+//                    background WalSyncer thread (default sync)
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -70,6 +72,7 @@ struct Options {
   std::size_t shards = 16;
   std::string data_dir;
   std::size_t snapshot_every = 0;
+  persist::DurabilityMode durability_mode = persist::DurabilityMode::Sync;
 };
 
 [[noreturn]] void usage(const char* message = nullptr) {
@@ -89,7 +92,8 @@ struct Options {
                "options: --window N --k N --folds N --pool paper|extended\n"
                "         --seed N --train-frac F\n"
                "         --series N --steps N --threads N --shards N (serve-sim)\n"
-               "         --data-dir PATH --snapshot-every N (durability)\n");
+               "         --data-dir PATH --snapshot-every N "
+               "--durability sync|async (durability)\n");
   std::exit(2);
 }
 
@@ -147,6 +151,13 @@ Options parse(int argc, char** argv) {
     else if (arg == "--data-dir") options.data_dir = next();
     else if (arg == "--snapshot-every")
       options.snapshot_every = parse_size(arg, next());
+    else if (arg == "--durability") {
+      const std::string mode = next();
+      if (mode == "sync") options.durability_mode = persist::DurabilityMode::Sync;
+      else if (mode == "async")
+        options.durability_mode = persist::DurabilityMode::Async;
+      else usage("--durability must be sync or async");
+    }
     else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
     else options.positional.push_back(arg);
   }
@@ -307,6 +318,7 @@ int cmd_serve_sim(const Options& options) {
   config.quality.mse_threshold = 6.5;
   if (!options.data_dir.empty()) {
     config.durability.data_dir = options.data_dir;
+    config.durability.wal.mode = options.durability_mode;
   }
 
   serve::PredictionEngine engine(make_pool(options), config);
@@ -349,9 +361,8 @@ int cmd_serve_sim(const Options& options) {
     (void)engine.predict(keys);
     fill_batch();
     engine.observe(batch);
-    // Maintenance tick: bounds the Interval-policy loss window even when a
-    // shard's series all go quiet between steps.
-    engine.sync_wals_if_due();
+    // No maintenance tick here: the engine's own WalSyncer thread bounds
+    // the Interval-policy (and async-mode) loss windows.
     if (!options.data_dir.empty() && options.snapshot_every > 0 &&
         (i + 1) % options.snapshot_every == 0) {
       (void)engine.snapshot();
@@ -441,10 +452,20 @@ int cmd_inspect_snapshot(const Options& options) {
   for (const auto& info : snapshots) {
     try {
       const auto loaded = persist::load_snapshot(info.path);
-      std::printf("%s  epoch %llu  payload-version %u  %zu payload bytes  OK\n",
-                  info.path.filename().c_str(),
-                  static_cast<unsigned long long>(loaded.epoch), loaded.version,
-                  loaded.payload.size());
+      // The container version is fixed; the engine payload carries its own
+      // layout version as its leading u32 (v1: global counters, v2:
+      // per-shard watermark table + counters).
+      unsigned engine_version = 0;
+      if (loaded.payload.size() >= 4) {
+        persist::io::Reader payload_head(loaded.payload);
+        engine_version = payload_head.u32();
+      }
+      std::printf(
+          "%s  epoch %llu  format %u  engine-payload v%u  %zu payload bytes"
+          "  OK\n",
+          info.path.filename().c_str(),
+          static_cast<unsigned long long>(loaded.epoch), loaded.version,
+          engine_version, loaded.payload.size());
       any_valid = true;
     } catch (const larp::Error& e) {
       std::printf("%s  CORRUPT: %s\n", info.path.filename().c_str(), e.what());
