@@ -32,7 +32,7 @@ mkdir -p "$RESULTS_DIR"
 
 emit_hotpath_json() {
   local micro_args=("--hotpath_json=$RESULTS_DIR/.hotpath_micro.json" "--hotpath_only")
-  local serve_args=("--json" "$RESULTS_DIR/.hotpath_serve.json")
+  local serve_args=("--json" "$RESULTS_DIR/.hotpath_serve.json" "--net")
   if [ "$QUICK" = 1 ]; then
     micro_args+=("--hotpath_quick")
     serve_args+=("--quick")

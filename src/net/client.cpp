@@ -1,0 +1,131 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace larp::net {
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : fd_(connect_tcp(host, port)) {}
+
+void Client::ping() {
+  const std::uint64_t id = next_id_++;
+  encode_ping(body_, id);
+  send_frame();
+  expect_reply(MsgType::kPong, id, reply_body_);
+}
+
+std::uint64_t Client::observe(std::span<const serve::Observation> batch) {
+  const std::uint64_t id = next_id_++;
+  encode_observe_request(body_, id, batch);
+  send_frame();
+  expect_reply(MsgType::kObserveAck, id, reply_body_);
+  persist::io::Reader r(reply_body_);
+  (void)decode_header(r);
+  return decode_observe_ack(r);
+}
+
+void Client::predict(std::span<const tsdb::SeriesKey> keys,
+                     std::vector<serve::Prediction>& out) {
+  const std::uint64_t id = next_id_++;
+  encode_predict_request(body_, id, keys);
+  send_frame();
+  expect_reply(MsgType::kPredictReply, id, reply_body_);
+  persist::io::Reader r(reply_body_);
+  (void)decode_header(r);
+  decode_predict_reply(r, out);
+  if (out.size() != keys.size()) {
+    throw NetError("net: predict reply count mismatch");
+  }
+}
+
+WireStats Client::stats() {
+  const std::uint64_t id = next_id_++;
+  encode_stats_request(body_, id);
+  send_frame();
+  expect_reply(MsgType::kStatsReply, id, reply_body_);
+  persist::io::Reader r(reply_body_);
+  (void)decode_header(r);
+  return decode_stats_reply(r);
+}
+
+void Client::send_raw(std::span<const std::byte> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t w = ::send(fd_.get(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    throw NetError(std::string("net: send: ") + std::strerror(errno));
+  }
+}
+
+FrameHeader Client::read_reply(std::vector<std::byte>& body) {
+  std::byte buf[16 * 1024];
+  for (;;) {
+    std::span<const std::byte> view;
+    const FrameDecoder::Status status = decoder_.next(view);
+    if (status == FrameDecoder::Status::kCorrupt) {
+      throw NetError("net: corrupt reply stream");
+    }
+    if (status == FrameDecoder::Status::kFrame) {
+      body.assign(view.begin(), view.end());
+      persist::io::Reader r(body);
+      return decode_header(r);
+    }
+    const ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.feed(
+          std::span<const std::byte>(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n == 0) throw NetError("net: connection closed by server");
+    if (errno == EINTR) continue;
+    throw NetError(std::string("net: read: ") + std::strerror(errno));
+  }
+}
+
+bool Client::eof() {
+  std::byte buf[4 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+    if (n == 0) return true;
+    if (n > 0) {
+      decoder_.feed(
+          std::span<const std::byte>(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+void Client::send_frame() {
+  out_.clear();
+  append_frame(out_, body_.bytes());
+  send_raw(out_);
+}
+
+void Client::expect_reply(MsgType type, std::uint64_t id,
+                          std::vector<std::byte>& body) {
+  const FrameHeader h = read_reply(body);
+  if (h.type == MsgType::kError) {
+    persist::io::Reader r(body);
+    (void)decode_header(r);
+    const WireError err = decode_error(r);
+    throw NetError("net: server error " +
+                   std::to_string(static_cast<int>(err.code)) + ": " +
+                   err.message);
+  }
+  if (h.type != type || h.id != id) {
+    throw NetError("net: unexpected reply type or id");
+  }
+}
+
+}  // namespace larp::net

@@ -1,0 +1,61 @@
+// net::Client — a blocking client for the serving protocol: one request on
+// the wire at a time, replies matched by the echoed request id.  This is
+// what larp_cli's load generator and the loopback tests drive; it also
+// exposes raw-byte hooks so protocol tests can send deliberately broken
+// frames and observe the server's error replies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace larp::net {
+
+class Client {
+ public:
+  /// Connects immediately (blocking); throws NetError on failure.
+  Client(const std::string& host, std::uint16_t port);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void ping();
+  /// Returns the number of observations the server accepted.
+  std::uint64_t observe(std::span<const serve::Observation> batch);
+  /// One prediction per key, in request order, into the caller's buffer
+  /// (reuse it across calls to keep the loop allocation-free).
+  void predict(std::span<const tsdb::SeriesKey> keys,
+               std::vector<serve::Prediction>& out);
+  [[nodiscard]] WireStats stats();
+
+  // -- test hooks -----------------------------------------------------------
+  /// Writes raw bytes to the socket, bypassing framing entirely.
+  void send_raw(std::span<const std::byte> bytes);
+  /// Blocks for the next well-formed reply frame; returns its header and
+  /// copies its body into `body`.  Throws NetError on EOF or a corrupt
+  /// reply stream.
+  FrameHeader read_reply(std::vector<std::byte>& body);
+  /// True when the server has closed the connection (after draining any
+  /// buffered replies).
+  [[nodiscard]] bool eof();
+
+ private:
+  void send_frame();
+  /// Waits for the reply to request `id`; throws NetError if the server
+  /// answered with an error frame or the wrong type/id.
+  void expect_reply(MsgType type, std::uint64_t id,
+                    std::vector<std::byte>& body);
+
+  Fd fd_;
+  FrameDecoder decoder_;
+  persist::io::Writer body_;
+  std::vector<std::byte> out_;
+  std::vector<std::byte> reply_body_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace larp::net

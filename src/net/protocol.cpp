@@ -1,0 +1,247 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+#include "persist/crc32c.hpp"
+#include "util/error.hpp"
+
+namespace larp::net {
+namespace {
+
+using persist::io::Reader;
+using persist::io::Writer;
+
+// Smallest possible encodings, used to reject absurd count prefixes before
+// any per-item work: three empty length-prefixed strings + f64 value.
+constexpr std::size_t kMinObservationBytes = 3 * 8 + 8;
+// Three empty length-prefixed strings.
+constexpr std::size_t kMinKeyBytes = 3 * 8;
+
+void put_u32_le(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+std::uint32_t get_u32_le(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void header(Writer& body, MsgType type, std::uint64_t id) {
+  body.clear();
+  body.u8(static_cast<std::uint8_t>(type));
+  body.u64(id);
+}
+
+void key_fields(Writer& body, const tsdb::SeriesKey& key) {
+  body.str(key.vm_id);
+  body.str(key.device_id);
+  body.str(key.metric);
+}
+
+void key_fields(Reader& r, tsdb::SeriesKey& key) {
+  // assign() keeps each string's existing capacity — the whole point of
+  // decoding into grown-only scratch.
+  key.vm_id.assign(r.str_view());
+  key.device_id.assign(r.str_view());
+  key.metric.assign(r.str_view());
+}
+
+}  // namespace
+
+void append_frame(std::vector<std::byte>& out,
+                  std::span<const std::byte> body) {
+  if (body.size() < kMinBodyBytes || body.size() > kMaxFrameBytes) {
+    throw InvalidArgument("net: frame body size out of bounds");
+  }
+  put_u32_le(out, static_cast<std::uint32_t>(body.size()));
+  put_u32_le(out, persist::crc32c_mask(persist::crc32c(body)));
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+void FrameDecoder::feed(std::span<const std::byte> data) {
+  // Compact before appending: any body view handed out by next() is
+  // documented to die here, so the memmove is safe and keeps the buffer
+  // bounded by one partial frame plus whatever just arrived.
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+  } else if (pos_ > 0) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  }
+  pos_ = 0;
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+FrameDecoder::Status FrameDecoder::next(std::span<const std::byte>& body) {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return Status::kNeedMore;
+  const std::uint32_t len = get_u32_le(buf_.data() + pos_);
+  const std::uint32_t stored_crc = get_u32_le(buf_.data() + pos_ + 4);
+  if (len < kMinBodyBytes || len > max_body_bytes_) return Status::kCorrupt;
+  if (avail < kFrameHeaderBytes + len) return Status::kNeedMore;
+  const std::span<const std::byte> candidate(
+      buf_.data() + pos_ + kFrameHeaderBytes, len);
+  if (persist::crc32c_mask(persist::crc32c(candidate)) != stored_crc) {
+    return Status::kCorrupt;
+  }
+  pos_ += kFrameHeaderBytes + len;
+  body = candidate;
+  return Status::kFrame;
+}
+
+void encode_ping(Writer& body, std::uint64_t id) {
+  header(body, MsgType::kPing, id);
+}
+
+void encode_pong(Writer& body, std::uint64_t id) {
+  header(body, MsgType::kPong, id);
+}
+
+void encode_observe_request(Writer& body, std::uint64_t id,
+                            std::span<const serve::Observation> batch) {
+  header(body, MsgType::kObserve, id);
+  body.u64(batch.size());
+  for (const auto& obs : batch) {
+    key_fields(body, obs.key);
+    body.f64(obs.value);
+  }
+}
+
+void encode_observe_ack(Writer& body, std::uint64_t id,
+                        std::uint64_t accepted) {
+  header(body, MsgType::kObserveAck, id);
+  body.u64(accepted);
+}
+
+void encode_predict_request(Writer& body, std::uint64_t id,
+                            std::span<const tsdb::SeriesKey> keys) {
+  header(body, MsgType::kPredict, id);
+  body.u64(keys.size());
+  for (const auto& key : keys) key_fields(body, key);
+}
+
+void encode_predict_reply(Writer& body, std::uint64_t id,
+                          std::span<const serve::Prediction> predictions) {
+  header(body, MsgType::kPredictReply, id);
+  body.u64(predictions.size());
+  for (const auto& p : predictions) {
+    body.boolean(p.ready);
+    body.f64(p.value);
+    body.u64(p.label);
+    body.f64(p.uncertainty);
+  }
+}
+
+void encode_stats_request(Writer& body, std::uint64_t id) {
+  header(body, MsgType::kStats, id);
+}
+
+void encode_stats_reply(Writer& body, std::uint64_t id,
+                        const serve::EngineStats& stats) {
+  header(body, MsgType::kStatsReply, id);
+  body.u64(stats.series);
+  body.u64(stats.trained_series);
+  body.u64(stats.observations);
+  body.u64(stats.predictions);
+  body.f64(stats.mean_absolute_error);
+  body.f64(stats.mean_squared_error);
+}
+
+void encode_error(Writer& body, std::uint64_t id, ErrorCode code,
+                  std::string_view message) {
+  header(body, MsgType::kError, id);
+  body.u8(static_cast<std::uint8_t>(code));
+  body.u64(message.size());
+  for (char c : message) body.u8(static_cast<std::uint8_t>(c));
+}
+
+FrameHeader decode_header(Reader& r) {
+  FrameHeader h;
+  h.type = static_cast<MsgType>(r.u8());
+  h.id = r.u64();
+  return h;
+}
+
+std::size_t decode_observe_items(Reader& r,
+                                 std::vector<serve::Observation>& scratch,
+                                 std::size_t used) {
+  const std::uint64_t n = r.length(r.u64(), kMinObservationBytes);
+  const std::size_t total = used + static_cast<std::size_t>(n);
+  if (scratch.size() < total) scratch.resize(total);
+  for (std::size_t i = used; i < total; ++i) {
+    key_fields(r, scratch[i].key);
+    scratch[i].value = r.f64();
+  }
+  if (!r.exhausted()) {
+    throw persist::CorruptData("net: trailing bytes after observe payload");
+  }
+  return total;
+}
+
+std::size_t decode_predict_keys(Reader& r,
+                                std::vector<tsdb::SeriesKey>& scratch,
+                                std::size_t used) {
+  const std::uint64_t n = r.length(r.u64(), kMinKeyBytes);
+  const std::size_t total = used + static_cast<std::size_t>(n);
+  if (scratch.size() < total) scratch.resize(total);
+  for (std::size_t i = used; i < total; ++i) key_fields(r, scratch[i]);
+  if (!r.exhausted()) {
+    throw persist::CorruptData("net: trailing bytes after predict payload");
+  }
+  return total;
+}
+
+std::uint64_t decode_observe_ack(Reader& r) {
+  const std::uint64_t accepted = r.u64();
+  if (!r.exhausted()) {
+    throw persist::CorruptData("net: trailing bytes after observe ack");
+  }
+  return accepted;
+}
+
+void decode_predict_reply(Reader& r, std::vector<serve::Prediction>& out) {
+  constexpr std::size_t kPredictionBytes = 1 + 8 + 8 + 8;
+  const std::uint64_t n = r.length(r.u64(), kPredictionBytes);
+  out.resize(static_cast<std::size_t>(n));
+  for (auto& p : out) {
+    p.ready = r.boolean();
+    p.value = r.f64();
+    p.label = static_cast<std::size_t>(r.u64());
+    p.uncertainty = r.f64();
+  }
+  if (!r.exhausted()) {
+    throw persist::CorruptData("net: trailing bytes after predict reply");
+  }
+}
+
+WireStats decode_stats_reply(Reader& r) {
+  WireStats s;
+  s.series = r.u64();
+  s.trained_series = r.u64();
+  s.observations = r.u64();
+  s.predictions = r.u64();
+  s.mean_absolute_error = r.f64();
+  s.mean_squared_error = r.f64();
+  if (!r.exhausted()) {
+    throw persist::CorruptData("net: trailing bytes after stats reply");
+  }
+  return s;
+}
+
+WireError decode_error(Reader& r) {
+  WireError e;
+  e.code = static_cast<ErrorCode>(r.u8());
+  e.message.assign(r.str_view());
+  if (!r.exhausted()) {
+    throw persist::CorruptData("net: trailing bytes after error reply");
+  }
+  return e;
+}
+
+}  // namespace larp::net

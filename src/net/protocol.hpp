@@ -1,0 +1,162 @@
+// net::protocol — the length-prefixed binary wire format the serving
+// front-end speaks, built from the same primitives as the durability layer:
+// persist::io::Writer/Reader for the body encoding and masked CRC32C for
+// integrity (a frame on the wire validates exactly like a frame in the WAL).
+//
+// Frame layout (little-endian):
+//
+//   [length u32][masked crc32c u32][body...]
+//
+// `length` counts body bytes only; the CRC covers the body.  Every body
+// starts with a fixed header:
+//
+//   [type u8][request id u64][payload...]
+//
+// Replies echo the request id so a client may pipeline requests and match
+// responses in order.  Reply types are the request type with the high bit
+// set; kError is the one reply any request can receive.
+//
+// Decode helpers are written for the server's zero-allocation discipline:
+// request items land in caller-owned, grown-only scratch vectors whose
+// inner std::strings are assigned (not re-constructed), so a steady-state
+// decode reuses every allocation from previous requests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "persist/io.hpp"
+#include "serve/prediction_engine.hpp"
+#include "tsdb/series.hpp"
+
+namespace larp::net {
+
+/// Bytes of the on-wire frame header ([length u32][masked crc u32]).
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+/// Smallest legal body: type u8 + request id u64.
+inline constexpr std::size_t kMinBodyBytes = 9;
+/// Largest body a peer may send; anything bigger is a protocol error, not
+/// an allocation request.
+inline constexpr std::size_t kMaxFrameBytes = 4u << 20;
+
+enum class MsgType : std::uint8_t {
+  kPing = 0x00,
+  kObserve = 0x01,
+  kPredict = 0x02,
+  kStats = 0x03,
+  kPong = 0x80,
+  kObserveAck = 0x81,
+  kPredictReply = 0x82,
+  kStatsReply = 0x83,
+  kError = 0xFF,
+};
+
+enum class ErrorCode : std::uint8_t {
+  kBadFrame = 1,    // framing/CRC failure — the stream itself is unusable
+  kBadRequest = 2,  // well-framed body that fails payload validation
+  kInternal = 3,    // the engine rejected an otherwise valid request
+};
+
+struct FrameHeader {
+  MsgType type = MsgType::kPing;
+  std::uint64_t id = 0;
+};
+
+/// Subset of EngineStats that travels in a kStatsReply.
+struct WireStats {
+  std::uint64_t series = 0;
+  std::uint64_t trained_series = 0;
+  std::uint64_t observations = 0;
+  std::uint64_t predictions = 0;
+  double mean_absolute_error = 0.0;
+  double mean_squared_error = 0.0;
+};
+
+struct WireError {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+// -- framing ----------------------------------------------------------------
+
+/// Appends [length][masked crc][body] to `out`.  Throws InvalidArgument if
+/// the body violates the size bounds (a server bug, not a peer's).
+void append_frame(std::vector<std::byte>& out, std::span<const std::byte> body);
+
+/// Incremental frame splitter over a byte stream.  feed() bytes as they
+/// arrive, then drain complete frames with next().  A returned body view
+/// borrows the internal buffer: it is valid until the next feed() call.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kNeedMore,  // no complete frame buffered
+    kFrame,     // `body` points at one validated frame body
+    kCorrupt,   // unrecoverable framing error; the stream must be dropped
+  };
+
+  explicit FrameDecoder(std::size_t max_body_bytes = kMaxFrameBytes)
+      : max_body_bytes_(max_body_bytes) {}
+
+  void feed(std::span<const std::byte> data);
+  [[nodiscard]] Status next(std::span<const std::byte>& body);
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+ private:
+  std::size_t max_body_bytes_;
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;
+};
+
+// -- body encoding ----------------------------------------------------------
+// Every encode_* clears the writer first, so one reused Writer per
+// connection serves all replies allocation-free in steady state.
+
+void encode_ping(persist::io::Writer& body, std::uint64_t id);
+void encode_pong(persist::io::Writer& body, std::uint64_t id);
+void encode_observe_request(persist::io::Writer& body, std::uint64_t id,
+                            std::span<const serve::Observation> batch);
+void encode_observe_ack(persist::io::Writer& body, std::uint64_t id,
+                        std::uint64_t accepted);
+void encode_predict_request(persist::io::Writer& body, std::uint64_t id,
+                            std::span<const tsdb::SeriesKey> keys);
+void encode_predict_reply(persist::io::Writer& body, std::uint64_t id,
+                          std::span<const serve::Prediction> predictions);
+void encode_stats_request(persist::io::Writer& body, std::uint64_t id);
+void encode_stats_reply(persist::io::Writer& body, std::uint64_t id,
+                        const serve::EngineStats& stats);
+void encode_error(persist::io::Writer& body, std::uint64_t id, ErrorCode code,
+                  std::string_view message);
+
+// -- body decoding ----------------------------------------------------------
+// All of these throw persist::CorruptData on payload validation failure;
+// the server answers that with a kBadRequest error reply.
+
+/// Reads the fixed [type][id] header.  The frame decoder guarantees at
+/// least kMinBodyBytes, so this never throws on a validated frame.
+[[nodiscard]] FrameHeader decode_header(persist::io::Reader& r);
+
+/// Appends the request's observations to `scratch` starting at index
+/// `used`, growing the vector only when needed; returns the new used count.
+/// Existing elements keep their string capacity (assign, not construct).
+[[nodiscard]] std::size_t decode_observe_items(
+    persist::io::Reader& r, std::vector<serve::Observation>& scratch,
+    std::size_t used);
+
+/// Same contract as decode_observe_items, for predict request keys.
+[[nodiscard]] std::size_t decode_predict_keys(
+    persist::io::Reader& r, std::vector<tsdb::SeriesKey>& scratch,
+    std::size_t used);
+
+[[nodiscard]] std::uint64_t decode_observe_ack(persist::io::Reader& r);
+void decode_predict_reply(persist::io::Reader& r,
+                          std::vector<serve::Prediction>& out);
+[[nodiscard]] WireStats decode_stats_reply(persist::io::Reader& r);
+[[nodiscard]] WireError decode_error(persist::io::Reader& r);
+
+}  // namespace larp::net

@@ -1,0 +1,465 @@
+#include "net/server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "persist/io.hpp"
+
+namespace larp::net {
+namespace {
+
+// What kind of engine call the connection's pending frame run coalesces to.
+enum class Run : std::uint8_t { kNone, kObserve, kPredict };
+
+struct RunEntry {
+  std::uint64_t id = 0;     // request id to ack
+  std::size_t count = 0;    // items this frame contributed to the run
+};
+
+}  // namespace
+
+struct Server::Conn {
+  Fd fd;
+  FrameDecoder decoder;
+  std::uint32_t interest = 0;  // epoll event mask currently registered
+  bool closing = false;        // stop reading; close once output drains
+  bool dead = false;           // EOF or hard I/O error: close now
+
+  std::vector<std::byte> out;
+  std::size_t out_pos = 0;
+
+  // Grown-only batching scratch: element strings keep their capacity across
+  // requests, so steady-state decode/encode allocates nothing.
+  Run run = Run::kNone;
+  std::vector<RunEntry> entries;
+  std::vector<serve::Observation> obs;
+  std::size_t obs_used = 0;
+  std::vector<tsdb::SeriesKey> keys;
+  std::size_t keys_used = 0;
+  std::vector<serve::Prediction> preds;
+  persist::io::Writer reply;
+
+  explicit Conn(Fd socket, std::size_t max_frame_bytes)
+      : fd(std::move(socket)), decoder(max_frame_bytes) {}
+
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return out.size() - out_pos;
+  }
+};
+
+struct Server::Loop {
+  Fd epoll;
+  Fd wake;
+  std::thread thread;
+  std::mutex inbox_mutex;
+  std::vector<int> inbox;  // raw fds handed over by the acceptor loop
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+};
+
+namespace {
+
+void epoll_ctl_or_throw(int epfd, int op, int fd, std::uint32_t events,
+                        void* tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = tag;
+  if (::epoll_ctl(epfd, op, fd, &ev) != 0) {
+    throw NetError(std::string("net: epoll_ctl: ") + std::strerror(errno));
+  }
+}
+
+void wake_loop(const Fd& wake) {
+  const std::uint64_t one = 1;
+  ssize_t rc;
+  do {
+    rc = ::write(wake.get(), &one, sizeof(one));
+  } while (rc < 0 && errno == EINTR);
+  // EAGAIN means the counter is already non-zero — the loop will wake.
+}
+
+}  // namespace
+
+Server::Server(serve::PredictionEngine& engine, ServerConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  if (config_.event_threads == 0) config_.event_threads = 1;
+  if (config_.max_frame_bytes < kMinBodyBytes) {
+    throw InvalidArgument("net: max_frame_bytes smaller than a header");
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (!loops_.empty()) throw StateError("net: server already started");
+  listener_ = listen_tcp(config_.host, config_.port);
+  running_.store(true, std::memory_order_release);
+  loops_.reserve(config_.event_threads);
+  for (std::size_t i = 0; i < config_.event_threads; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epoll = Fd(::epoll_create1(EPOLL_CLOEXEC));
+    if (!loop->epoll.valid()) {
+      throw NetError(std::string("net: epoll_create1: ") +
+                     std::strerror(errno));
+    }
+    loop->wake = Fd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+    if (!loop->wake.valid()) {
+      throw NetError(std::string("net: eventfd: ") + std::strerror(errno));
+    }
+    epoll_ctl_or_throw(loop->epoll.get(), EPOLL_CTL_ADD, loop->wake.get(),
+                       EPOLLIN, loop.get());
+    if (i == 0) {
+      epoll_ctl_or_throw(loop->epoll.get(), EPOLL_CTL_ADD, listener_.get(),
+                         EPOLLIN, this);
+    }
+    loops_.push_back(std::move(loop));
+  }
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    Loop& loop = *loops_[i];
+    loop.thread = std::thread([this, &loop, i] { run_loop(loop, i == 0); });
+  }
+}
+
+void Server::stop() {
+  if (loops_.empty()) {
+    listener_.reset();
+    return;
+  }
+  running_.store(false, std::memory_order_release);
+  for (auto& loop : loops_) wake_loop(loop->wake);
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  for (auto& loop : loops_) {
+    closed_.fetch_add(loop->conns.size(), std::memory_order_relaxed);
+    loop->conns.clear();
+    // Orphans handed off but never adopted still own raw fds.
+    for (int fd : loop->inbox) ::close(fd);
+    loop->inbox.clear();
+  }
+  loops_.clear();
+  listener_.reset();
+}
+
+std::uint16_t Server::port() const {
+  if (!listener_.valid()) throw StateError("net: server not started");
+  return local_port(listener_);
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_closed = closed_.load(std::memory_order_relaxed);
+  s.frames_in = frames_in_.load(std::memory_order_relaxed);
+  s.frames_out = frames_out_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.observe_batches = observe_batches_.load(std::memory_order_relaxed);
+  s.predict_batches = predict_batches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::run_loop(Loop& loop, bool is_acceptor) {
+  epoll_event events[64];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(loop.epoll.get(), events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // an unusable epoll fd cannot be recovered; exit the loop
+    }
+    for (int i = 0; i < n; ++i) {
+      void* tag = events[i].data.ptr;
+      if (tag == &loop) {
+        std::uint64_t drain = 0;
+        while (::read(loop.wake.get(), &drain, sizeof(drain)) > 0) {
+        }
+        adopt_inbox(loop);
+        continue;
+      }
+      if (is_acceptor && tag == this) {
+        try {
+          accept_ready();
+        } catch (const NetError&) {
+          // A transient accept failure (EMFILE, ENFILE) drops this wave of
+          // connections; the listener stays registered.
+        }
+        continue;
+      }
+      auto* conn = static_cast<Conn*>(tag);
+      try {
+        if ((events[i].events & EPOLLIN) != 0) handle_readable(loop, *conn);
+        if (!conn->dead && (events[i].events & EPOLLOUT) != 0) {
+          handle_writable(loop, *conn);
+        }
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+          conn->dead = true;
+        }
+      } catch (const std::exception&) {
+        conn->dead = true;  // never let an exception kill the event thread
+      }
+      if (conn->dead || (conn->closing && conn->pending() == 0)) {
+        close_conn(loop, *conn);
+      } else {
+        update_interest(loop, *conn);
+      }
+    }
+    if (!running_.load(std::memory_order_acquire)) break;
+  }
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    Fd socket = accept_conn(listener_);
+    if (!socket.valid()) return;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      set_nodelay(socket.get());
+    } catch (const NetError&) {
+      closed_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // peer vanished between accept and setsockopt
+    }
+    const std::size_t target =
+        next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+    Loop& loop = *loops_[target];
+    if (target == 0) {
+      add_conn(loop, std::move(socket));
+    } else {
+      {
+        const std::lock_guard<std::mutex> lock(loop.inbox_mutex);
+        loop.inbox.push_back(socket.release());
+      }
+      wake_loop(loop.wake);
+    }
+  }
+}
+
+void Server::adopt_inbox(Loop& loop) {
+  std::vector<int> fds;
+  {
+    const std::lock_guard<std::mutex> lock(loop.inbox_mutex);
+    fds.swap(loop.inbox);
+  }
+  for (int fd : fds) add_conn(loop, Fd(fd));
+}
+
+void Server::add_conn(Loop& loop, Fd fd) {
+  const int raw = fd.get();
+  auto conn = std::make_unique<Conn>(std::move(fd), config_.max_frame_bytes);
+  conn->interest = EPOLLIN;
+  try {
+    epoll_ctl_or_throw(loop.epoll.get(), EPOLL_CTL_ADD, raw, EPOLLIN,
+                       conn.get());
+  } catch (const NetError&) {
+    closed_.fetch_add(1, std::memory_order_relaxed);
+    return;  // conn's Fd destructor closes the socket
+  }
+  loop.conns.emplace(raw, std::move(conn));
+}
+
+void Server::close_conn(Loop& loop, Conn& conn) {
+  ::epoll_ctl(loop.epoll.get(), EPOLL_CTL_DEL, conn.fd.get(), nullptr);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  loop.conns.erase(conn.fd.get());  // destroys conn; do not touch it after
+}
+
+void Server::handle_readable(Loop& loop, Conn& conn) {
+  (void)loop;
+  std::byte buf[64 * 1024];
+  while (!conn.closing) {
+    const ssize_t r = ::read(conn.fd.get(), buf, sizeof(buf));
+    if (r > 0) {
+      conn.decoder.feed(
+          std::span<const std::byte>(buf, static_cast<std::size_t>(r)));
+      process_frames(conn);
+      // Backpressure: a slow consumer stops being read until the kernel
+      // accepts its reply backlog.
+      if (conn.pending() >= config_.write_backpressure_bytes) break;
+      if (static_cast<std::size_t>(r) < sizeof(buf)) break;
+      continue;
+    }
+    if (r == 0) {
+      conn.dead = true;  // peer closed; any unflushed replies are moot
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.dead = true;
+    break;
+  }
+  if (!conn.dead) try_flush(conn);
+}
+
+void Server::handle_writable(Loop& loop, Conn& conn) {
+  (void)loop;
+  try_flush(conn);
+}
+
+void Server::process_frames(Conn& conn) {
+  while (!conn.closing) {
+    std::span<const std::byte> body;
+    const FrameDecoder::Status status = conn.decoder.next(body);
+    if (status == FrameDecoder::Status::kNeedMore) break;
+    if (status == FrameDecoder::Status::kCorrupt) {
+      flush_runs(conn);  // frames before the corruption were valid
+      protocol_error(conn, 0, ErrorCode::kBadFrame,
+                     "unrecoverable frame: bad length or checksum");
+      break;
+    }
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    persist::io::Reader r(body);
+    const FrameHeader h = decode_header(r);
+    try {
+      switch (h.type) {
+        case MsgType::kObserve: {
+          if (conn.run != Run::kObserve) flush_runs(conn);
+          const std::size_t before = conn.obs_used;
+          conn.obs_used = decode_observe_items(r, conn.obs, conn.obs_used);
+          conn.run = Run::kObserve;
+          conn.entries.push_back({h.id, conn.obs_used - before});
+          break;
+        }
+        case MsgType::kPredict: {
+          if (conn.run != Run::kPredict) flush_runs(conn);
+          const std::size_t before = conn.keys_used;
+          conn.keys_used = decode_predict_keys(r, conn.keys, conn.keys_used);
+          conn.run = Run::kPredict;
+          conn.entries.push_back({h.id, conn.keys_used - before});
+          break;
+        }
+        case MsgType::kPing:
+          flush_runs(conn);
+          encode_pong(conn.reply, h.id);
+          append_frame(conn.out, conn.reply.bytes());
+          frames_out_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case MsgType::kStats:
+          flush_runs(conn);
+          encode_stats_reply(conn.reply, h.id, engine_.stats());
+          append_frame(conn.out, conn.reply.bytes());
+          frames_out_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        default:
+          flush_runs(conn);
+          protocol_error(conn, h.id, ErrorCode::kBadRequest,
+                         "unknown message type");
+          break;
+      }
+    } catch (const persist::CorruptData& e) {
+      // A partially-decoded item may sit beyond the used watermark in the
+      // scratch vectors; it is simply overwritten by the next request.
+      flush_runs(conn);
+      protocol_error(conn, h.id, ErrorCode::kBadRequest, e.what());
+    }
+  }
+  if (!conn.closing) flush_runs(conn);
+}
+
+void Server::flush_runs(Conn& conn) {
+  if (conn.entries.empty()) {
+    conn.run = Run::kNone;
+    conn.obs_used = 0;
+    conn.keys_used = 0;
+    return;
+  }
+  if (conn.run == Run::kObserve) {
+    try {
+      engine_.observe(std::span<const serve::Observation>(conn.obs.data(),
+                                                          conn.obs_used));
+      observe_batches_.fetch_add(1, std::memory_order_relaxed);
+      for (const RunEntry& entry : conn.entries) {
+        encode_observe_ack(conn.reply, entry.id, entry.count);
+        append_frame(conn.out, conn.reply.bytes());
+        frames_out_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (const Error& e) {
+      for (const RunEntry& entry : conn.entries) {
+        encode_error(conn.reply, entry.id, ErrorCode::kInternal, e.what());
+        append_frame(conn.out, conn.reply.bytes());
+        frames_out_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  } else if (conn.run == Run::kPredict) {
+    try {
+      engine_.predict_into(
+          std::span<const tsdb::SeriesKey>(conn.keys.data(), conn.keys_used),
+          conn.preds);
+      predict_batches_.fetch_add(1, std::memory_order_relaxed);
+      std::size_t offset = 0;
+      for (const RunEntry& entry : conn.entries) {
+        encode_predict_reply(
+            conn.reply, entry.id,
+            std::span<const serve::Prediction>(conn.preds.data() + offset,
+                                               entry.count));
+        offset += entry.count;
+        append_frame(conn.out, conn.reply.bytes());
+        frames_out_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (const Error& e) {
+      for (const RunEntry& entry : conn.entries) {
+        encode_error(conn.reply, entry.id, ErrorCode::kInternal, e.what());
+        append_frame(conn.out, conn.reply.bytes());
+        frames_out_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  conn.entries.clear();
+  conn.run = Run::kNone;
+  conn.obs_used = 0;
+  conn.keys_used = 0;
+}
+
+void Server::protocol_error(Conn& conn, std::uint64_t id, ErrorCode code,
+                            std::string_view message) {
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  encode_error(conn.reply, id, code, message);
+  append_frame(conn.out, conn.reply.bytes());
+  frames_out_.fetch_add(1, std::memory_order_relaxed);
+  conn.closing = true;  // stop reading; close once the error reply drains
+}
+
+void Server::try_flush(Conn& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t w =
+        ::send(conn.fd.get(), conn.out.data() + conn.out_pos,
+               conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (w > 0) {
+      conn.out_pos += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    conn.dead = true;
+    return;
+  }
+  if (conn.out_pos == conn.out.size()) {
+    conn.out.clear();  // keeps capacity: the reply path stays allocation-free
+    conn.out_pos = 0;
+  }
+}
+
+void Server::update_interest(Loop& loop, Conn& conn) {
+  std::uint32_t want = 0;
+  const bool read_paused =
+      conn.pending() >= config_.write_backpressure_bytes;
+  if (!conn.closing && !read_paused) want |= EPOLLIN;
+  if (conn.pending() > 0) want |= EPOLLOUT;
+  if (want == conn.interest) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.ptr = &conn;
+  if (::epoll_ctl(loop.epoll.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev) == 0) {
+    conn.interest = want;
+  } else {
+    conn.dead = true;
+    close_conn(loop, conn);
+  }
+}
+
+}  // namespace larp::net

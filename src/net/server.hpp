@@ -1,0 +1,115 @@
+// net::Server — the epoll front-end that puts a PredictionEngine on a TCP
+// port.
+//
+// Threading model: N event-loop threads, each with its own epoll instance.
+// Loop 0 additionally owns the (non-blocking) listener; accepted sockets
+// are handed to loops round-robin through a per-loop inbox + eventfd wake,
+// so a connection lives on exactly one loop for its whole life and needs no
+// per-connection locking.
+//
+// Batching: frames are processed strictly in arrival order, but consecutive
+// frames of the same type drained from one socket read are coalesced into a
+// single engine call — a client pipelining M observe frames costs one
+// engine.observe() spanning all of them, which is exactly the batch shape
+// the shard fan-out in PredictionEngine is built for.  Replies are emitted
+// per frame, in request order.
+//
+// Errors: a payload that fails validation gets a kBadRequest error reply; a
+// framing/CRC failure gets kBadFrame.  Either way the server stops reading
+// from that connection and closes it once the error reply has drained — a
+// peer whose stream is corrupt cannot be re-synchronized.
+//
+// Backpressure: when a connection's pending output exceeds
+// write_backpressure_bytes the server stops reading from it until the
+// kernel accepts the backlog, bounding memory per slow consumer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "serve/prediction_engine.hpp"
+
+namespace larp::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the real one back with port().
+  std::uint16_t port = 0;
+  /// Event-loop threads.  0 means one.
+  std::size_t event_threads = 1;
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Pending-output cap per connection before reads pause.
+  std::size_t write_backpressure_bytes = 1u << 20;
+};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t protocol_errors = 0;
+  /// Engine calls issued (after coalescing) — frames_in / batches is the
+  /// realized batching factor.
+  std::uint64_t observe_batches = 0;
+  std::uint64_t predict_batches = 0;
+};
+
+class Server {
+ public:
+  /// The engine must outlive the server.
+  Server(serve::PredictionEngine& engine, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, spawns the event-loop threads, returns once accepting.
+  void start();
+  /// Stops accepting, closes every connection, joins the threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Conn;
+  struct Loop;
+
+  void run_loop(Loop& loop, bool is_acceptor);
+  void accept_ready();
+  void adopt_inbox(Loop& loop);
+  void add_conn(Loop& loop, Fd fd);
+  void close_conn(Loop& loop, Conn& conn);
+  void handle_readable(Loop& loop, Conn& conn);
+  void handle_writable(Loop& loop, Conn& conn);
+  void process_frames(Conn& conn);
+  void flush_runs(Conn& conn);
+  void protocol_error(Conn& conn, std::uint64_t id, ErrorCode code,
+                      std::string_view message);
+  void try_flush(Conn& conn);
+  void update_interest(Loop& loop, Conn& conn);
+
+  serve::PredictionEngine& engine_;
+  ServerConfig config_;
+  Fd listener_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> next_loop_{0};
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_out_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> observe_batches_{0};
+  std::atomic<std::uint64_t> predict_batches_{0};
+};
+
+}  // namespace larp::net

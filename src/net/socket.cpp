@@ -1,0 +1,103 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace larp::net {
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw NetError("net: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("net: not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    // EINTR after close() leaves the fd state unspecified on Linux; the
+    // descriptor is gone either way, so never retry the close.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) raise_errno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    raise_errno("setsockopt(SO_REUSEADDR)");
+  }
+  const sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    raise_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) raise_errno("listen");
+  return fd;
+}
+
+std::uint16_t local_port(const Fd& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.get(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    raise_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) raise_errno("socket");
+  const sockaddr_in addr = make_addr(host, port);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) raise_errno("connect " + host + ":" + std::to_string(port));
+  set_nodelay(fd.get());
+  return fd;
+}
+
+Fd accept_conn(const Fd& listener) {
+  int rc;
+  do {
+    rc = ::accept4(listener.get(), nullptr, nullptr,
+                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return Fd();
+    }
+    raise_errno("accept");
+  }
+  return Fd(rc);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    raise_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+}  // namespace larp::net

@@ -1,0 +1,68 @@
+// net::socket — thin RAII + error-checked wrappers over the POSIX socket
+// calls the server and client share.  Everything here retries EINTR (the
+// same discipline the persist I/O path follows) and reports failures as
+// typed NetError exceptions carrying the errno text.
+//
+// IPv4 only, by design: the front-end binds loopback or an explicit
+// dotted-quad address; name resolution stays out of the serving path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace larp::net {
+
+/// Thrown for socket-layer failures (bind, connect, resolve, I/O).
+class NetError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Move-only owner of a file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a non-blocking listening socket bound to host:port (port 0 asks
+/// the kernel for an ephemeral port — read it back with local_port).
+[[nodiscard]] Fd listen_tcp(const std::string& host, std::uint16_t port,
+                            int backlog = 128);
+
+/// The port a bound socket actually listens on.
+[[nodiscard]] std::uint16_t local_port(const Fd& socket);
+
+/// Blocking connect; the returned socket stays blocking (client use).
+[[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Accepts one pending connection as a non-blocking socket; returns an
+/// invalid Fd when the listener has none pending (EAGAIN).
+[[nodiscard]] Fd accept_conn(const Fd& listener);
+
+/// Disables Nagle — the protocol writes whole frames, batching is explicit.
+void set_nodelay(int fd);
+
+}  // namespace larp::net

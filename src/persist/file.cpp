@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <string>
@@ -11,11 +12,54 @@
 
 namespace larp::persist {
 
+namespace testing {
+
+namespace {
+std::atomic<WriteHook> g_write_hook{nullptr};
+std::atomic<SyncHook> g_sync_hook{nullptr};
+}  // namespace
+
+WriteHook set_write_hook(WriteHook hook) noexcept {
+  return g_write_hook.exchange(hook);
+}
+
+SyncHook set_sync_hook(SyncHook hook) noexcept {
+  return g_sync_hook.exchange(hook);
+}
+
+}  // namespace testing
+
 namespace {
 
 [[noreturn]] void raise_errno(const std::string& what,
                               const std::filesystem::path& path) {
   throw IoError(what + " " + path.string() + ": " + std::strerror(errno));
+}
+
+ssize_t do_write(int fd, const void* buf, std::size_t count) {
+  const auto hook = testing::g_write_hook.load(std::memory_order_relaxed);
+  return hook ? hook(fd, buf, count) : ::write(fd, buf, count);
+}
+
+// fdatasync with EINTR retry.  A signal can interrupt the sync with the data
+// still in flight; the only state that makes the durability watermarks true
+// is a sync that ran to completion, so the interrupted call is reissued.
+int do_fdatasync(int fd) {
+  const auto hook = testing::g_sync_hook.load(std::memory_order_relaxed);
+  int rc;
+  do {
+    rc = hook ? hook(fd) : ::fdatasync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
+int do_fsync(int fd) {
+  const auto hook = testing::g_sync_hook.load(std::memory_order_relaxed);
+  int rc;
+  do {
+    rc = hook ? hook(fd) : ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
 }
 
 }  // namespace
@@ -42,13 +86,23 @@ void AppendFile::open(const std::filesystem::path& path) {
 }
 
 void AppendFile::append(std::span<const std::byte> data) {
+  // write(2) transfers as much as it likes: a signal, memory pressure, or a
+  // hooked fault injector can all return short.  Group commit hands this
+  // function multi-frame buffers, so looping here (not "one write per
+  // group") is what keeps WAL framing intact under partial transfers.
   const auto* p = reinterpret_cast<const char*>(data.data());
   std::size_t left = data.size();
   while (left > 0) {
-    const ssize_t n = ::write(fd_, p, left);
+    const ssize_t n = do_write(fd_, p, left);
     if (n < 0) {
       if (errno == EINTR) continue;
       raise_errno("AppendFile: write failed on", path_);
+    }
+    if (n == 0) {
+      // A zero-byte transfer for a non-zero request never makes progress;
+      // erroring out beats spinning forever on a wedged descriptor.
+      errno = EIO;
+      raise_errno("AppendFile: write returned 0 on", path_);
     }
     p += n;
     left -= static_cast<std::size_t>(n);
@@ -62,13 +116,17 @@ std::uint64_t AppendFile::size() const {
 }
 
 void AppendFile::truncate(std::uint64_t size) {
-  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
-    raise_errno("AppendFile: ftruncate failed on", path_);
-  }
+  int rc;
+  do {
+    rc = ::ftruncate(fd_, static_cast<off_t>(size));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) raise_errno("AppendFile: ftruncate failed on", path_);
 }
 
 void AppendFile::sync() {
-  if (::fdatasync(fd_) != 0) raise_errno("AppendFile: fdatasync failed on", path_);
+  if (do_fdatasync(fd_) != 0) {
+    raise_errno("AppendFile: fdatasync failed on", path_);
+  }
 }
 
 int AppendFile::duplicate_handle() const {
@@ -85,7 +143,7 @@ void AppendFile::close() noexcept {
 }
 
 void sync_handle(int fd) {
-  if (::fdatasync(fd) != 0) {
+  if (do_fdatasync(fd) != 0) {
     throw IoError(std::string("sync_handle: fdatasync failed: ") +
                   std::strerror(errno));
   }
@@ -143,7 +201,7 @@ void sync_directory(const std::filesystem::path& dir) {
   const std::filesystem::path target = dir.empty() ? "." : dir;
   const int fd = ::open(target.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (fd < 0) raise_errno("sync_directory: cannot open", target);
-  const int rc = ::fsync(fd);
+  const int rc = do_fsync(fd);
   ::close(fd);
   if (rc != 0) raise_errno("sync_directory: fsync failed on", target);
 }

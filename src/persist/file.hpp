@@ -11,6 +11,8 @@
 //    complete new file.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
@@ -75,6 +77,42 @@ class AppendFile {
 /// fdatasync on a raw handle from AppendFile::duplicate_handle().  Throws
 /// IoError (the handle stays open; the caller still close_handle()s it).
 void sync_handle(int fd);
+
+namespace testing {
+
+/// Fault-injection seams for the durability syscalls.  Every write(2) issued
+/// by this layer goes through the write hook and every fdatasync/fsync
+/// through the sync hook, so tests can force short writes, EINTR storms, and
+/// hard I/O failures at exact byte offsets — the conditions that become real
+/// once a network front-end shares the process (signals, socket pressure).
+/// A null hook (the default) means the real syscall.  Hooks are process-
+/// global: install from a single thread, restore the previous value when
+/// done, never leave one set across tests.
+using WriteHook = ssize_t (*)(int fd, const void* buf, std::size_t count);
+using SyncHook = int (*)(int fd);
+
+/// Returns the previously installed hook.
+WriteHook set_write_hook(WriteHook hook) noexcept;
+SyncHook set_sync_hook(SyncHook hook) noexcept;
+
+/// RAII install/restore for one test scope.
+class FaultInjectionGuard {
+ public:
+  FaultInjectionGuard(WriteHook write, SyncHook sync) noexcept
+      : prev_write_(set_write_hook(write)), prev_sync_(set_sync_hook(sync)) {}
+  ~FaultInjectionGuard() {
+    (void)set_write_hook(prev_write_);
+    (void)set_sync_hook(prev_sync_);
+  }
+  FaultInjectionGuard(const FaultInjectionGuard&) = delete;
+  FaultInjectionGuard& operator=(const FaultInjectionGuard&) = delete;
+
+ private:
+  WriteHook prev_write_;
+  SyncHook prev_sync_;
+};
+
+}  // namespace testing
 
 /// Closes a handle from AppendFile::duplicate_handle().
 void close_handle(int fd) noexcept;

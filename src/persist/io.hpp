@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/error.hpp"
@@ -132,10 +133,15 @@ class Reader {
     return v == 1;
   }
 
-  [[nodiscard]] std::string str() {
+  [[nodiscard]] std::string str() { return std::string(str_view()); }
+
+  /// Borrowed variant of str(): valid only while the underlying buffer is.
+  /// The network request path assigns these into reused std::strings so a
+  /// steady-state decode allocates nothing.
+  [[nodiscard]] std::string_view str_view() {
     const std::uint64_t n = length(u64());
-    std::string s(reinterpret_cast<const char*>(data_.data() + cursor_),
-                  static_cast<std::size_t>(n));
+    const std::string_view s(reinterpret_cast<const char*>(data_.data() + cursor_),
+                             static_cast<std::size_t>(n));
     cursor_ += static_cast<std::size_t>(n);
     return s;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
+#include <string_view>
 
 #include "persist/crc32c.hpp"
 #include "persist/file.hpp"
@@ -16,6 +17,11 @@ namespace {
 constexpr std::uint64_t kMagic = 0x31504E5350524C41ull;
 constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;  // magic+version+epoch+size
 constexpr std::size_t kFooterBytes = 4;              // masked crc32c
+
+// Epoch digits sit between these two; parse by their lengths, never by a
+// hardcoded offset (the list_wal_segments shard-id lesson).
+constexpr std::string_view kSnapshotPrefix = "snapshot-";
+constexpr std::string_view kSnapshotSuffix = ".snap";
 
 std::filesystem::path snapshot_path(const std::filesystem::path& dir,
                                     std::uint64_t epoch) {
@@ -52,8 +58,20 @@ std::vector<SnapshotInfo> list_snapshots(const std::filesystem::path& dir) {
   if (ec) return found;
   for (const auto& entry : it) {
     const std::string name = entry.path().filename().string();
-    if (!name.starts_with("snapshot-") || !name.ends_with(".snap")) continue;
-    const std::string digits = name.substr(9, name.size() - 9 - 5);
+    // Stray files — editor droppings, "snapshot-old.snap", orphaned
+    // "*.snap.tmp" — must be skipped, never misparsed or thrown on: recovery
+    // scans this directory after a crash, exactly when junk is most likely.
+    if (name.size() <= kSnapshotPrefix.size() + kSnapshotSuffix.size() ||
+        !name.starts_with(kSnapshotPrefix) || !name.ends_with(kSnapshotSuffix)) {
+      continue;
+    }
+    const std::string_view digits(
+        name.data() + kSnapshotPrefix.size(),
+        name.size() - kSnapshotPrefix.size() - kSnapshotSuffix.size());
+    if (std::any_of(digits.begin(), digits.end(),
+                    [](unsigned char c) { return c < '0' || c > '9'; })) {
+      continue;
+    }
     std::uint64_t epoch = 0;
     const auto [ptr, parse] =
         std::from_chars(digits.data(), digits.data() + digits.size(), epoch);

@@ -349,8 +349,15 @@ Prediction PredictionEngine::forecast(Shard& shard,
 
 std::vector<Prediction> PredictionEngine::predict(
     std::span<const tsdb::SeriesKey> keys) {
+  std::vector<Prediction> out;
+  predict_into(keys, out);
+  return out;
+}
+
+void PredictionEngine::predict_into(std::span<const tsdb::SeriesKey> keys,
+                                    std::vector<Prediction>& out) {
   const auto start = Clock::now();
-  std::vector<Prediction> out(keys.size());
+  out.resize(keys.size());
   for_each_shard(
       keys.size(),
       [&](std::size_t i) -> const tsdb::SeriesKey& { return keys[i]; },
@@ -374,7 +381,6 @@ std::vector<Prediction> PredictionEngine::predict(
         }
       });
   predict_nanos_.fetch_add(nanos_since(start), std::memory_order_relaxed);
-  return out;
 }
 
 Prediction PredictionEngine::predict(const tsdb::SeriesKey& key) {

@@ -158,6 +158,12 @@ class PredictionEngine {
       std::span<const tsdb::SeriesKey> keys);
   [[nodiscard]] Prediction predict(const tsdb::SeriesKey& key);
 
+  /// predict() into a caller-owned buffer (resized to keys.size()).  The
+  /// network request path reuses one buffer per connection so steady-state
+  /// serving allocates nothing here.
+  void predict_into(std::span<const tsdb::SeriesKey> keys,
+                    std::vector<Prediction>& out);
+
   /// Tears down one series: its state, predictor, and prediction-DB stream
   /// are dropped (and the teardown is WAL-logged when durability is on).
   /// Returns false when the key was never observed.

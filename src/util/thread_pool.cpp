@@ -54,8 +54,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t total = end - begin;
   const std::size_t chunks = std::min(total, std::max<std::size_t>(1, size() * 4));
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
+  // Ceil-division twice over: `chunks * chunk_size` can overshoot `total`,
+  // leaving trailing chunks with lo >= end.  Those carry no iterations but
+  // would still burn a submit slot (and a queue wakeup) each — skip them by
+  // submitting only the chunks that contain work.
+  const std::size_t used_chunks = (total + chunk_size - 1) / chunk_size;
 
-  std::atomic<std::size_t> remaining{chunks};
+  std::atomic<std::size_t> remaining{used_chunks};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::mutex done_mutex;
@@ -67,7 +72,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // unsubmitted chunks are credited below and the submit error is rethrown
   // only after the in-flight jobs have drained.
   std::exception_ptr submit_error;
-  for (std::size_t c = 0; c < chunks; ++c) {
+  for (std::size_t c = 0; c < used_chunks; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
     try {
@@ -86,7 +91,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       });
     } catch (...) {
       submit_error = std::current_exception();
-      remaining.fetch_sub(chunks - c, std::memory_order_acq_rel);
+      remaining.fetch_sub(used_chunks - c, std::memory_order_acq_rel);
       break;
     }
   }

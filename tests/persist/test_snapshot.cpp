@@ -86,6 +86,31 @@ TEST_F(SnapshotTest, ListOfMissingDirectoryIsEmpty) {
   EXPECT_TRUE(list_snapshots(dir_ / "never_created").empty());
 }
 
+TEST_F(SnapshotTest, ListSkipsStrayNonNumericNames) {
+  // Regression for the hardcoded substr(9, ...) parse: every name here
+  // shares the snapshot prefix and/or suffix but is NOT a snapshot, and the
+  // digits must be validated as digits end to end (mixed, signed, empty, or
+  // overlong numerals all disqualify — with no throw on any of them).
+  publish_snapshot(dir_, 5, payload("real"));
+  std::ofstream(dir_ / "snapshot-.snap") << "empty digits";
+  std::ofstream(dir_ / "snapshot-12ab34.snap") << "mixed digits";
+  std::ofstream(dir_ / "snapshot--5.snap") << "signed";
+  std::ofstream(dir_ / "snapshot-+7.snap") << "signed";
+  std::ofstream(dir_ / "snapshot-backup.snap") << "words";
+  std::ofstream(dir_ / "snapshot-99999999999999999999999999.snap")
+      << "overflows u64";
+  std::ofstream(dir_ / "snapshot") << "prefix only, no suffix";
+  std::ofstream(dir_ / ".snap") << "suffix only";
+  const auto infos = list_snapshots(dir_);
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].epoch, 5u);
+  // The stray files must not break recovery either: newest-valid still finds
+  // the real snapshot.
+  const auto loaded = load_newest_valid(dir_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 5u);
+}
+
 // Validation is total: a flip anywhere — header, payload, or trailing
 // checksum — must reject the file.
 TEST_F(SnapshotTest, AnySingleBitFlipRejects) {

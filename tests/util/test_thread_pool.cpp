@@ -106,6 +106,35 @@ TEST(ThreadPool, ParallelForAfterShutdownThrowsWithoutHanging) {
   EXPECT_EQ(count.load(), 0);
 }
 
+TEST(ThreadPool, ParallelForFewerIterationsThanChunkSlots) {
+  // total < size()*4 requested chunks: every index must run exactly once and
+  // the call must return (no lost completion credit for skipped slots).
+  ThreadPool pool(8);
+  for (std::size_t total : {1u, 2u, 3u, 5u, 7u}) {
+    std::vector<std::atomic<int>> hits(total);
+    pool.parallel_for(0, total, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForTailChunksPastEnd) {
+  // Ceil-division overshoot regression: with 2 workers (8 chunk slots) and
+  // 10 iterations, chunk_size is 2, so slots 5..7 start at or past `end`.
+  // They used to submit anyway; now they must neither run fn out of range
+  // nor deadlock the completion count.  Offsets exercise begin != 0.
+  ThreadPool pool(2);
+  for (std::size_t begin : {0u, 5u, 123u}) {
+    const std::size_t total = 10;
+    std::vector<std::atomic<int>> hits(total);
+    pool.parallel_for(begin, begin + total, [&](std::size_t i) {
+      ASSERT_GE(i, begin);
+      ASSERT_LT(i, begin + total);
+      hits[i - begin].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
 TEST(ParallelMap, CollectsResultsInOrder) {
   const auto results = parallel_map(64, [](std::size_t i) {
     return static_cast<int>(i) * 3;

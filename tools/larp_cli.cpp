@@ -8,6 +8,8 @@
 //   larp_cli walk         <csv> <column>      rolling-origin evaluation
 //   larp_cli export       <vm>  <out.csv>     write a catalog VM's trace suite
 //   larp_cli serve-sim                        multi-series PredictionEngine sim
+//   larp_cli serve                            epoll TCP front-end over an engine
+//   larp_cli loadgen                          drive a serve instance over TCP
 //   larp_cli snapshot     <data-dir>          restore + write a fresh snapshot
 //   larp_cli restore      <data-dir>          restore an engine, print stats
 //   larp_cli inspect-snapshot <data-dir>      validate snapshots / list WAL
@@ -27,6 +29,14 @@
 //   --snapshot-every N  serve-sim: snapshot cadence in steps (0 = end only)
 //   --durability M   serve-sim: sync | async — inline fsync policy vs the
 //                    background WalSyncer thread (default sync)
+//   --host H         serve/loadgen: bind/connect address (default 127.0.0.1)
+//   --port N         serve/loadgen: TCP port (serve: 0 = ephemeral)
+//   --net-threads N  serve: epoll event-loop threads   (default 1)
+//   --max-seconds N  serve: stop after N seconds (0 = until SIGINT/SIGTERM)
+//   --connections N  loadgen: concurrent client connections (default 1)
+//   --batch N        loadgen: series per request frame  (default 64)
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -34,6 +44,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <chrono>
@@ -43,6 +54,8 @@
 #include "core/lar_predictor.hpp"
 #include "core/report.hpp"
 #include "core/rolling.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "persist/snapshot.hpp"
 #include "persist/wal.hpp"
 #include "serve/prediction_engine.hpp"
@@ -73,6 +86,12 @@ struct Options {
   std::string data_dir;
   std::size_t snapshot_every = 0;
   persist::DurabilityMode durability_mode = persist::DurabilityMode::Sync;
+  std::string host = "127.0.0.1";
+  std::size_t port = 0;
+  std::size_t net_threads = 1;
+  std::size_t max_seconds = 0;
+  std::size_t connections = 1;
+  std::size_t batch = 64;
 };
 
 [[noreturn]] void usage(const char* message = nullptr) {
@@ -86,6 +105,8 @@ struct Options {
                "  walk         <csv> <column>\n"
                "  export       <vm>  <out.csv>\n"
                "  serve-sim\n"
+               "  serve\n"
+               "  loadgen\n"
                "  snapshot     <data-dir>\n"
                "  restore      <data-dir>\n"
                "  inspect-snapshot <data-dir>\n"
@@ -93,7 +114,10 @@ struct Options {
                "         --seed N --train-frac F\n"
                "         --series N --steps N --threads N --shards N (serve-sim)\n"
                "         --data-dir PATH --snapshot-every N "
-               "--durability sync|async (durability)\n");
+               "--durability sync|async (durability)\n"
+               "         --host H --port N --net-threads N --max-seconds N "
+               "(serve)\n"
+               "         --connections N --batch N (loadgen)\n");
   std::exit(2);
 }
 
@@ -148,6 +172,15 @@ Options parse(int argc, char** argv) {
     else if (arg == "--steps") options.steps = parse_size(arg, next());
     else if (arg == "--threads") options.threads = parse_size(arg, next());
     else if (arg == "--shards") options.shards = parse_size(arg, next());
+    else if (arg == "--host") options.host = next();
+    else if (arg == "--port") {
+      options.port = parse_size(arg, next());
+      if (options.port > 65535) usage("--port must fit in 16 bits");
+    }
+    else if (arg == "--net-threads") options.net_threads = parse_size(arg, next());
+    else if (arg == "--max-seconds") options.max_seconds = parse_size(arg, next());
+    else if (arg == "--connections") options.connections = parse_size(arg, next());
+    else if (arg == "--batch") options.batch = parse_size(arg, next());
     else if (arg == "--data-dir") options.data_dir = next();
     else if (arg == "--snapshot-every")
       options.snapshot_every = parse_size(arg, next());
@@ -401,6 +434,162 @@ int cmd_serve_sim(const Options& options) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+void serve_signal_handler(int) { g_serve_stop = 1; }
+
+int cmd_serve(const Options& options) {
+  serve::EngineConfig config;
+  config.lar = make_config(options);
+  config.shards = options.shards;
+  config.threads = options.threads;
+  if (!options.data_dir.empty()) {
+    config.durability.data_dir = options.data_dir;
+    config.durability.wal.mode = options.durability_mode;
+  }
+  serve::PredictionEngine engine(make_pool(options), config);
+
+  net::ServerConfig server_config;
+  server_config.host = options.host;
+  server_config.port = static_cast<std::uint16_t>(options.port);
+  server_config.event_threads = options.net_threads;
+  net::Server server(engine, server_config);
+  server.start();
+  // The bound port on its own line, flushed immediately, so wrapper scripts
+  // binding port 0 can read it before any client connects.
+  std::printf("listening on %s:%u\n", options.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (options.max_seconds > 0 &&
+        std::chrono::steady_clock::now() - t0 >=
+            std::chrono::seconds(options.max_seconds)) {
+      break;
+    }
+  }
+  server.stop();
+
+  const auto net_stats = server.stats();
+  const auto engine_stats = engine.stats();
+  std::printf("served: %llu connections, %llu frames in, %llu frames out\n",
+              static_cast<unsigned long long>(net_stats.connections_accepted),
+              static_cast<unsigned long long>(net_stats.frames_in),
+              static_cast<unsigned long long>(net_stats.frames_out));
+  std::printf("  batching          %llu observe batches, %llu predict "
+              "batches, %llu protocol errors\n",
+              static_cast<unsigned long long>(net_stats.observe_batches),
+              static_cast<unsigned long long>(net_stats.predict_batches),
+              static_cast<unsigned long long>(net_stats.protocol_errors));
+  std::printf("  engine            %zu series, %zu observations, "
+              "%zu predictions\n",
+              engine_stats.series, engine_stats.observations,
+              engine_stats.predictions);
+  if (!options.data_dir.empty()) {
+    const auto epoch = engine.snapshot();
+    std::printf("  final snapshot    epoch %llu into %s\n",
+                static_cast<unsigned long long>(epoch),
+                options.data_dir.c_str());
+  }
+  return 0;
+}
+
+int cmd_loadgen(const Options& options) {
+  if (options.port == 0) usage("loadgen needs --port");
+  if (options.connections == 0 || options.series == 0 || options.steps == 0 ||
+      options.batch == 0) {
+    usage("--connections, --series, --steps, --batch must be positive");
+  }
+  struct WorkerResult {
+    std::vector<double> latencies_us;  // per request round trip
+    std::uint64_t series_steps = 0;
+    std::string error;
+  };
+  std::vector<WorkerResult> results(options.connections);
+  std::vector<std::thread> workers;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < options.connections; ++c) {
+    workers.emplace_back([&, c] {
+      WorkerResult& result = results[c];
+      try {
+        net::Client client(options.host,
+                           static_cast<std::uint16_t>(options.port));
+        // Disjoint key space per connection so shard contention comes from
+        // concurrency, not key collisions.
+        std::vector<tsdb::SeriesKey> keys(options.series);
+        for (std::size_t s = 0; s < options.series; ++s) {
+          keys[s] = {"lg" + std::to_string(c), "dev" + std::to_string(s % 8),
+                     "m" + std::to_string(s)};
+        }
+        Rng rng(options.seed + c);
+        std::vector<serve::Observation> batch(options.batch);
+        std::vector<serve::Prediction> predictions;
+        result.latencies_us.reserve(options.steps * 2);
+        for (std::size_t step = 0; step < options.steps; ++step) {
+          for (std::size_t lo = 0; lo < options.series; lo += options.batch) {
+            const std::size_t n =
+                std::min(options.batch, options.series - lo);
+            for (std::size_t i = 0; i < n; ++i) {
+              batch[i] = {keys[lo + i], 50.0 + rng.normal(0.0, 2.0)};
+            }
+            const auto r0 = std::chrono::steady_clock::now();
+            (void)client.observe(std::span<const serve::Observation>(
+                batch.data(), n));
+            const auto r1 = std::chrono::steady_clock::now();
+            client.predict(
+                std::span<const tsdb::SeriesKey>(keys.data() + lo, n),
+                predictions);
+            const auto r2 = std::chrono::steady_clock::now();
+            result.latencies_us.push_back(
+                std::chrono::duration<double, std::micro>(r1 - r0).count());
+            result.latencies_us.push_back(
+                std::chrono::duration<double, std::micro>(r2 - r1).count());
+            result.series_steps += n;
+          }
+        }
+      } catch (const std::exception& e) {
+        result.error = e.what();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<double> latencies;
+  std::uint64_t series_steps = 0;
+  for (const auto& result : results) {
+    if (!result.error.empty()) {
+      std::fprintf(stderr, "error: loadgen worker failed: %s\n",
+                   result.error.c_str());
+      return 1;
+    }
+    latencies.insert(latencies.end(), result.latencies_us.begin(),
+                     result.latencies_us.end());
+    series_steps += result.series_steps;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double p) {
+    const auto at = static_cast<std::size_t>(
+        p * static_cast<double>(latencies.size() - 1));
+    return latencies[at];
+  };
+  std::printf("loadgen: %zu connections x %zu series x %zu steps "
+              "(batch %zu) against %s:%zu\n",
+              options.connections, options.series, options.steps,
+              options.batch, options.host.c_str(), options.port);
+  std::printf("  observe+predict   %.3f s -> %.0f series-steps/s\n", wall,
+              static_cast<double>(series_steps) / wall);
+  std::printf("  request latency   p50 %.1f us  p95 %.1f us  p99 %.1f us "
+              "(%zu requests)\n",
+              pct(0.50), pct(0.95), pct(0.99), latencies.size());
+  return 0;
+}
+
 // The pool prototype must match the one used when the snapshot was written
 // (pool composition is not serialized); --pool/--window select it, with the
 // same defaults serve-sim uses.
@@ -518,6 +707,8 @@ int main(int argc, char** argv) {
     if (options.command == "walk") return cmd_walk(options);
     if (options.command == "export") return cmd_export(options);
     if (options.command == "serve-sim") return cmd_serve_sim(options);
+    if (options.command == "serve") return cmd_serve(options);
+    if (options.command == "loadgen") return cmd_loadgen(options);
     if (options.command == "snapshot") return cmd_snapshot(options);
     if (options.command == "restore") return cmd_restore(options);
     if (options.command == "inspect-snapshot") {
