@@ -21,11 +21,12 @@
 // the numbers are the artifact).
 #include <algorithm>
 #include <array>
-#include <barrier>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -136,12 +137,51 @@ std::vector<ScalingPoint> bench_engine_scaling(bool quick) {
   return points;
 }
 
-/// One net scaling point: a real Server on a loopback ephemeral port with
-/// `server_threads` epoll loops and engine workers, driven by two client
-/// connections splitting the series between them.  Returns series-steps/s
-/// over the full wire path (frame encode, CRC, TCP, decode, engine, reply).
-double net_throughput(std::size_t server_threads, std::size_t series,
-                      std::size_t steps) {
+/// Host facts that gate how the committed scaling curve may be read: the
+/// monotonic 1 -> N improvement claim only applies when cores > 1, and a
+/// non-performance governor adds frequency noise to every number.
+struct HostInfo {
+  std::size_t cores = 1;
+  std::string governor = "unknown";
+};
+
+HostInfo host_info() {
+  HostInfo info;
+  info.cores = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (std::FILE* f = std::fopen(
+          "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof(buf), f) != nullptr) {
+      std::string g(buf);
+      while (!g.empty() && (g.back() == '\n' || g.back() == ' ')) g.pop_back();
+      if (!g.empty()) info.governor = g;
+    }
+    std::fclose(f);
+  }
+  return info;
+}
+
+/// One point of the net sweep: event-loop threads x concurrent connections,
+/// with the contention picture attached so a flat spot in the curve can be
+/// named (loop imbalance vs shard-lock waits vs out of cores).
+struct NetPoint {
+  std::size_t threads = 0;
+  std::size_t connections = 0;
+  double rate = 0.0;  // series-steps/s over the full wire path
+  bool reuseport = false;
+  double loop_busy_min = 0.0;  // busiest/idlest loop, fraction of elapsed
+  double loop_busy_max = 0.0;
+  std::uint64_t contended_locks = 0;
+  double lock_wait_seconds = 0.0;
+};
+
+/// A real Server on a loopback ephemeral port with `server_threads` epoll
+/// loops, driven by `connections` pipelined client connections (each round
+/// starts the request on every connection before finishing any) splitting
+/// the series between them.  The full wire path: frame encode, CRC, TCP,
+/// decode, engine, reply.
+NetPoint net_throughput(std::size_t server_threads, std::size_t connections,
+                        std::size_t series, std::size_t steps) {
   serve::EngineConfig config;
   config.lar.window = 5;
   config.shards = 32;
@@ -155,67 +195,103 @@ double net_throughput(std::size_t server_threads, std::size_t series,
   server.start();
   const std::uint16_t port = server.port();
 
-  const std::size_t clients = 2;
-  const std::size_t per_client = series / clients;
-  std::barrier sync(static_cast<std::ptrdiff_t>(clients + 1));
-  std::vector<std::thread> workers;
-  for (std::size_t c = 0; c < clients; ++c) {
-    workers.emplace_back([&, c] {
-      net::Client client("127.0.0.1", port);
-      Rng parent(2007 + c);
-      std::vector<tsdb::SeriesKey> keys(per_client);
-      std::vector<Rng> rngs;
-      std::vector<double> level(per_client, 0.0);
-      rngs.reserve(per_client);
-      for (std::size_t s = 0; s < per_client; ++s) {
-        keys[s] = {"net" + std::to_string(c), "dev" + std::to_string(s % 8),
-                   "m" + std::to_string(s)};
-        rngs.push_back(parent.split(s));
-      }
-      std::vector<serve::Observation> batch(per_client);
-      std::vector<serve::Prediction> predictions;
-      const auto fill = [&] {
-        for (std::size_t s = 0; s < per_client; ++s) {
-          level[s] = 0.8 * level[s] + rngs[s].normal(0.0, 2.0);
-          batch[s] = {keys[s], 50.0 + level[s]};
-        }
-      };
-      for (std::size_t i = 0; i < config.train_samples; ++i) {
-        fill();
-        (void)client.observe(batch);
-      }
-      sync.arrive_and_wait();  // all clients warmed before the clock starts
-      for (std::size_t i = 0; i < steps; ++i) {
-        client.predict(keys, predictions);
-        fill();
-        (void)client.observe(batch);
-      }
-    });
+  const std::size_t per_conn = std::max<std::size_t>(1, series / connections);
+  std::vector<std::unique_ptr<net::Client>> clients;
+  std::vector<std::vector<tsdb::SeriesKey>> keys(connections);
+  std::vector<std::vector<double>> level(connections);
+  std::vector<Rng> rngs;
+  for (std::size_t c = 0; c < connections; ++c) {
+    clients.push_back(std::make_unique<net::Client>("127.0.0.1", port));
+    keys[c].resize(per_conn);
+    level[c].assign(per_conn, 0.0);
+    for (std::size_t s = 0; s < per_conn; ++s) {
+      keys[c][s] = {"net" + std::to_string(c), "dev" + std::to_string(s % 8),
+                    "m" + std::to_string(s)};
+    }
+    rngs.emplace_back(2007 + c);
   }
-  sync.arrive_and_wait();
+  std::vector<serve::Observation> batch(per_conn);
+  std::vector<serve::Prediction> predictions;
+  std::vector<std::uint64_t> ids(connections);
+  const auto fill = [&](std::size_t c) {
+    for (std::size_t s = 0; s < per_conn; ++s) {
+      level[c][s] = 0.8 * level[c][s] + rngs[c].normal(0.0, 2.0);
+      batch[s] = {keys[c][s], 50.0 + level[c][s]};
+    }
+  };
+  const auto round = [&](bool predict) {
+    for (std::size_t c = 0; c < connections; ++c) {
+      if (predict) {
+        ids[c] = clients[c]->start_predict(keys[c]);
+      } else {
+        fill(c);
+        ids[c] = clients[c]->start_observe(batch);
+      }
+    }
+    for (std::size_t c = 0; c < connections; ++c) {
+      if (predict) {
+        clients[c]->finish_predict(ids[c], per_conn, predictions);
+      } else {
+        (void)clients[c]->finish_observe(ids[c]);
+      }
+    }
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < config.train_samples; ++i) {
+    round(/*predict=*/false);
+  }
   const auto start = std::chrono::steady_clock::now();
-  for (auto& w : workers) w.join();
+  for (std::size_t i = 0; i < steps; ++i) {
+    round(/*predict=*/true);
+    round(/*predict=*/false);
+  }
   const double elapsed = seconds_since(start);
+  const double wall = seconds_since(wall_start);
   server.stop();
-  return static_cast<double>(per_client * clients) *
-         static_cast<double>(steps) / elapsed;
+
+  NetPoint point;
+  point.threads = server_threads;
+  point.connections = connections;
+  point.rate = static_cast<double>(per_conn * connections) *
+               static_cast<double>(steps) / elapsed;
+  point.reuseport = server.stats().reuseport;
+  point.loop_busy_min = 1.0;
+  for (const auto& loop : server.loop_stats()) {
+    const double busy = wall > 0.0 ? loop.busy_seconds / wall : 0.0;
+    point.loop_busy_min = std::min(point.loop_busy_min, busy);
+    point.loop_busy_max = std::max(point.loop_busy_max, busy);
+  }
+  const auto engine_stats = engine.stats();
+  point.contended_locks = engine_stats.contended_locks;
+  point.lock_wait_seconds = engine_stats.lock_wait_seconds;
+  return point;
 }
 
-std::vector<ScalingPoint> bench_net_scaling(bool quick) {
+std::vector<NetPoint> bench_net_scaling(bool quick) {
   const std::vector<std::size_t> thread_counts = scaling_thread_counts();
+  const std::vector<std::size_t> conn_counts =
+      quick ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 8};
   const std::size_t series = quick ? 64 : 256;
   const std::size_t steps = quick ? 8 : 24;
   std::printf("\nloopback server throughput (%zu series, %zu steps/config, "
-              "2 connections)\n",
+              "pipelined connections)\n",
               series, steps);
-  std::printf("%10s %20s %10s\n", "threads", "series-steps/s", "scaling");
+  std::printf("%8s %6s %16s %8s %10s %12s %11s\n", "threads", "conns",
+              "series-steps/s", "scaling", "accept", "loop busy", "lock wait");
   double base = 0.0;
-  std::vector<ScalingPoint> points;
+  std::vector<NetPoint> points;
   for (std::size_t threads : thread_counts) {
-    const double rate = net_throughput(threads, series, steps);
-    if (base == 0.0) base = rate;
-    points.push_back({threads, rate});
-    std::printf("%10zu %20.0f %9.2fx\n", threads, rate, rate / base);
+    for (std::size_t conns : conn_counts) {
+      const NetPoint p = net_throughput(threads, conns, series, steps);
+      if (base == 0.0) base = p.rate;
+      points.push_back(p);
+      std::printf("%8zu %6zu %16.0f %7.2fx %10s %5.0f-%3.0f%% %9.1fms\n",
+                  p.threads, p.connections, p.rate, p.rate / base,
+                  p.reuseport ? "reuseport" : "handoff",
+                  100.0 * p.loop_busy_min, 100.0 * p.loop_busy_max,
+                  1e3 * p.lock_wait_seconds);
+    }
   }
   return points;
 }
@@ -331,7 +407,7 @@ std::vector<AdversarialPoint> bench_kdtree_adversarial(bool quick) {
 }
 
 void write_json(const char* path, const std::vector<ScalingPoint>& scaling,
-                const std::vector<ScalingPoint>& net_scaling,
+                const std::vector<NetPoint>& net_scaling,
                 const std::vector<AddPoint>& adds,
                 const std::vector<AdversarialPoint>& adversarial) {
   std::FILE* out = std::fopen(path, "w");
@@ -339,7 +415,11 @@ void write_json(const char* path, const std::vector<ScalingPoint>& scaling,
     std::fprintf(stderr, "error: cannot write %s\n", path);
     std::exit(1);
   }
-  std::fprintf(out, "{\n    \"engine_scaling\": [\n");
+  const HostInfo host = host_info();
+  std::fprintf(out,
+               "{\n    \"host\": {\"cores\": %zu, \"governor\": \"%s\"},\n",
+               host.cores, host.governor.c_str());
+  std::fprintf(out, "    \"engine_scaling\": [\n");
   for (std::size_t i = 0; i < scaling.size(); ++i) {
     std::fprintf(out,
                  "      {\"threads\": %zu, \"series_steps_per_sec\": %.0f}%s\n",
@@ -348,10 +428,17 @@ void write_json(const char* path, const std::vector<ScalingPoint>& scaling,
   }
   std::fprintf(out, "    ],\n    \"net_scaling\": [\n");
   for (std::size_t i = 0; i < net_scaling.size(); ++i) {
+    const NetPoint& p = net_scaling[i];
     std::fprintf(out,
-                 "      {\"threads\": %zu, \"series_steps_per_sec\": %.0f}%s\n",
-                 net_scaling[i].threads, net_scaling[i].rate,
-                 i + 1 < net_scaling.size() ? "," : "");
+                 "      {\"threads\": %zu, \"connections\": %zu, "
+                 "\"series_steps_per_sec\": %.0f, \"reuseport\": %s, "
+                 "\"loop_busy_min\": %.3f, \"loop_busy_max\": %.3f, "
+                 "\"contended_locks\": %llu, \"lock_wait_seconds\": %.6f}%s\n",
+                 p.threads, p.connections, p.rate,
+                 p.reuseport ? "true" : "false", p.loop_busy_min,
+                 p.loop_busy_max,
+                 static_cast<unsigned long long>(p.contended_locks),
+                 p.lock_wait_seconds, i + 1 < net_scaling.size() ? "," : "");
   }
   std::fprintf(out, "    ],\n    \"kdtree_add\": [\n");
   for (std::size_t i = 0; i < adds.size(); ++i) {
@@ -403,9 +490,12 @@ int main(int argc, char** argv) {
   std::printf("================================================================\n");
   std::printf("bench_serve_throughput — sharded serving layer + online kd-tree\n");
   std::printf("================================================================\n\n");
+  const HostInfo host = host_info();
+  std::printf("host: %zu cores, cpufreq governor %s\n\n", host.cores,
+              host.governor.c_str());
   const auto scaling = bench_engine_scaling(quick);
   const auto net_scaling =
-      net ? bench_net_scaling(quick) : std::vector<ScalingPoint>{};
+      net ? bench_net_scaling(quick) : std::vector<NetPoint>{};
   const auto adds = bench_kdtree_add(quick);
   const auto adversarial = bench_kdtree_adversarial(quick);
   if (json_path) {

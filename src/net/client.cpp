@@ -42,6 +42,38 @@ void Client::predict(std::span<const tsdb::SeriesKey> keys,
   }
 }
 
+std::uint64_t Client::start_observe(std::span<const serve::Observation> batch) {
+  const std::uint64_t id = next_id_++;
+  encode_observe_request(body_, id, batch);
+  send_frame();
+  return id;
+}
+
+std::uint64_t Client::start_predict(std::span<const tsdb::SeriesKey> keys) {
+  const std::uint64_t id = next_id_++;
+  encode_predict_request(body_, id, keys);
+  send_frame();
+  return id;
+}
+
+std::uint64_t Client::finish_observe(std::uint64_t id) {
+  expect_reply(MsgType::kObserveAck, id, reply_body_);
+  persist::io::Reader r(reply_body_);
+  (void)decode_header(r);
+  return decode_observe_ack(r);
+}
+
+void Client::finish_predict(std::uint64_t id, std::size_t expect_count,
+                            std::vector<serve::Prediction>& out) {
+  expect_reply(MsgType::kPredictReply, id, reply_body_);
+  persist::io::Reader r(reply_body_);
+  (void)decode_header(r);
+  decode_predict_reply(r, out);
+  if (out.size() != expect_count) {
+    throw NetError("net: predict reply count mismatch");
+  }
+}
+
 WireStats Client::stats() {
   const std::uint64_t id = next_id_++;
   encode_stats_request(body_, id);

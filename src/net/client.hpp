@@ -32,6 +32,19 @@ class Client {
                std::vector<serve::Prediction>& out);
   [[nodiscard]] WireStats stats();
 
+  // -- pipelined API --------------------------------------------------------
+  // start_*() puts the request on the wire and returns its id immediately;
+  // finish_*() blocks for that request's reply.  The server answers a
+  // connection's requests strictly in request order, so finishes must be
+  // issued in start order.  A load generator keeps several connections in
+  // flight from one thread by starting on all of them before finishing any.
+  std::uint64_t start_observe(std::span<const serve::Observation> batch);
+  std::uint64_t start_predict(std::span<const tsdb::SeriesKey> keys);
+  /// Returns the number of observations the server accepted.
+  std::uint64_t finish_observe(std::uint64_t id);
+  void finish_predict(std::uint64_t id, std::size_t expect_count,
+                      std::vector<serve::Prediction>& out);
+
   // -- test hooks -----------------------------------------------------------
   /// Writes raw bytes to the socket, bypassing framing entirely.
   void send_raw(std::span<const std::byte> bytes);

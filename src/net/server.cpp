@@ -3,9 +3,11 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <mutex>
 #include <thread>
@@ -17,6 +19,8 @@
 namespace larp::net {
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 // What kind of engine call the connection's pending frame run coalesces to.
 enum class Run : std::uint8_t { kNone, kObserve, kPredict };
 
@@ -25,17 +29,96 @@ struct RunEntry {
   std::size_t count = 0;    // items this frame contributed to the run
 };
 
+// Queued reply frames awaiting the wire.  Each frame keeps its own buffer
+// (a ring of grown-only vectors, so steady state allocates nothing) and the
+// flush path scatters up to kFlushIov of them into one sendmsg.  consume()
+// implements the partial-writev resume: the head frame carries an offset of
+// bytes already transferred, and a partial transfer may end mid-frame.
+class OutQueue {
+ public:
+  /// Cleared buffer to encode the next frame into; follow with push().
+  std::vector<std::byte>& next_slot() {
+    if (count_ == ring_.size()) grow();
+    auto& buf = ring_[(head_ + count_) % ring_.size()];
+    buf.clear();
+    return buf;
+  }
+  /// Queues the buffer next_slot() returned (now holding one whole frame).
+  void push() {
+    bytes_ += ring_[(head_ + count_) % ring_.size()].size();
+    ++count_;
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return bytes_; }
+
+  /// At most `max` iovecs over the unsent bytes, head frame from its resume
+  /// offset.  Returns the iovec count.
+  int fill_iov(iovec* iov, int max) const {
+    int n = 0;
+    for (std::size_t i = 0; i < count_ && n < max; ++i) {
+      const auto& buf = ring_[(head_ + i) % ring_.size()];
+      const std::size_t off = i == 0 ? head_off_ : 0;
+      iov[n].iov_base = const_cast<std::byte*>(buf.data()) + off;
+      iov[n].iov_len = buf.size() - off;
+      ++n;
+    }
+    return n;
+  }
+
+  /// Advances past `n` transferred bytes, retiring fully-sent frames (their
+  /// buffers stay in the ring, capacity intact) and recording the resume
+  /// offset when the transfer ended mid-frame.
+  void consume(std::size_t n) {
+    bytes_ -= n;
+    while (n > 0) {
+      const std::size_t left = ring_[head_].size() - head_off_;
+      if (n < left) {
+        head_off_ += n;
+        return;
+      }
+      n -= left;
+      head_off_ = 0;
+      head_ = (head_ + 1) % ring_.size();
+      --count_;
+    }
+  }
+
+ private:
+  void grow() {
+    std::vector<std::vector<std::byte>> bigger;
+    bigger.reserve(ring_.empty() ? 8 : ring_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger.push_back(std::move(ring_[(head_ + i) % ring_.size()]));
+    }
+    bigger.resize(bigger.capacity());
+    ring_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<std::vector<std::byte>> ring_;
+  std::size_t head_ = 0;      // ring index of the first unsent frame
+  std::size_t count_ = 0;     // queued frames
+  std::size_t head_off_ = 0;  // bytes of ring_[head_] already on the wire
+  std::size_t bytes_ = 0;     // total unsent bytes
+};
+
+constexpr int kFlushIov = 64;
+
 }  // namespace
 
 struct Server::Conn {
   Fd fd;
   FrameDecoder decoder;
-  std::uint32_t interest = 0;  // epoll event mask currently registered
+  // Edge-triggered readiness: an epoll edge sets these, the drain loops
+  // clear them on EAGAIN.  A set flag means "the kernel may have more for
+  // us and no further event is coming" — whoever stops a drain early
+  // (backpressure) must re-run it once unblocked.
+  bool can_read = false;
+  bool can_write = false;      // first EPOLLOUT edge arrives right after ADD
   bool closing = false;        // stop reading; close once output drains
-  bool dead = false;           // EOF or hard I/O error: close now
+  bool dead = false;           // hard I/O error or fully-drained EOF
 
-  std::vector<std::byte> out;
-  std::size_t out_pos = 0;
+  OutQueue out;
 
   // Grown-only batching scratch: element strings keep their capacity across
   // requests, so steady-state decode/encode allocates nothing.
@@ -51,18 +134,31 @@ struct Server::Conn {
   explicit Conn(Fd socket, std::size_t max_frame_bytes)
       : fd(std::move(socket)), decoder(max_frame_bytes) {}
 
-  [[nodiscard]] std::size_t pending() const noexcept {
-    return out.size() - out_pos;
-  }
+  [[nodiscard]] std::size_t pending() const noexcept { return out.pending(); }
 };
 
 struct Server::Loop {
   Fd epoll;
   Fd wake;
+  Fd listener;  // per-loop SO_REUSEPORT listener; invalid in handoff mode
+                // (except loop 0, which owns the single listener)
   std::thread thread;
   std::mutex inbox_mutex;
   std::vector<int> inbox;  // raw fds handed over by the acceptor loop
   std::unordered_map<int, std::unique_ptr<Conn>> conns;
+
+  // Loop-local traffic counters.  Only this loop's thread writes them
+  // (relaxed), so the hot path never bounces a shared cache line between
+  // loops; stats()/loop_stats() fold them from other threads.
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> closed{0};
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> observe_batches{0};
+  std::atomic<std::uint64_t> predict_batches{0};
+  std::atomic<std::uint64_t> wakeups{0};
+  std::atomic<std::uint64_t> busy_nanos{0};
 };
 
 namespace {
@@ -86,11 +182,19 @@ void wake_loop(const Fd& wake) {
   // EAGAIN means the counter is already non-zero — the loop will wake.
 }
 
+std::uint64_t nanos_since(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
 }  // namespace
 
 Server::Server(serve::PredictionEngine& engine, ServerConfig config)
     : engine_(engine), config_(std::move(config)) {
   if (config_.event_threads == 0) config_.event_threads = 1;
+  if (config_.epoll_events == 0) config_.epoll_events = 256;
   if (config_.max_frame_bytes < kMinBodyBytes) {
     throw InvalidArgument("net: max_frame_bytes smaller than a header");
   }
@@ -100,8 +204,27 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   if (!loops_.empty()) throw StateError("net: server already started");
-  listener_ = listen_tcp(config_.host, config_.port);
-  running_.store(true, std::memory_order_release);
+
+  // Accept-mode resolution.  kAuto probes SO_REUSEPORT by binding the first
+  // listener with it; a kernel that refuses the option falls back to the
+  // single-acceptor handoff design.
+  reuseport_ = config_.accept_mode != AcceptMode::kHandoff;
+  Fd first;
+  if (reuseport_) {
+    try {
+      first = listen_tcp(config_.host, config_.port, 128, /*reuse_port=*/true);
+    } catch (const NetError&) {
+      if (config_.accept_mode == AcceptMode::kReusePort) throw;
+      reuseport_ = false;
+    }
+  }
+  if (!first.valid()) {
+    first = listen_tcp(config_.host, config_.port);
+  }
+  // Ephemeral-port case: the remaining listeners must bind the port the
+  // kernel actually picked for the first one.
+  const std::uint16_t bound = local_port(first);
+
   loops_.reserve(config_.event_threads);
   for (std::size_t i = 0; i < config_.event_threads; ++i) {
     auto loop = std::make_unique<Loop>();
@@ -114,78 +237,116 @@ void Server::start() {
     if (!loop->wake.valid()) {
       throw NetError(std::string("net: eventfd: ") + std::strerror(errno));
     }
+    // The wake fd stays level-triggered on purpose: a wake posted between
+    // epoll_wait and the drain must not be lost.
     epoll_ctl_or_throw(loop->epoll.get(), EPOLL_CTL_ADD, loop->wake.get(),
-                       EPOLLIN, loop.get());
+                       EPOLLIN, &loop->wake);
     if (i == 0) {
-      epoll_ctl_or_throw(loop->epoll.get(), EPOLL_CTL_ADD, listener_.get(),
-                         EPOLLIN, this);
+      loop->listener = std::move(first);
+    } else if (reuseport_) {
+      loop->listener = listen_tcp(config_.host, bound, 128,
+                                  /*reuse_port=*/true);
+    }
+    if (loop->listener.valid()) {
+      // Edge-triggered: accept_ready() drains until EAGAIN, so one wakeup
+      // covers a whole burst of connections.
+      epoll_ctl_or_throw(loop->epoll.get(), EPOLL_CTL_ADD,
+                         loop->listener.get(), EPOLLIN | EPOLLET,
+                         &loop->listener);
     }
     loops_.push_back(std::move(loop));
   }
-  for (std::size_t i = 0; i < loops_.size(); ++i) {
-    Loop& loop = *loops_[i];
-    loop.thread = std::thread([this, &loop, i] { run_loop(loop, i == 0); });
+  running_.store(true, std::memory_order_release);
+  for (auto& loop_ptr : loops_) {
+    Loop& loop = *loop_ptr;
+    loop.thread = std::thread([this, &loop] { run_loop(loop); });
   }
 }
 
 void Server::stop() {
-  if (loops_.empty()) {
-    listener_.reset();
-    return;
-  }
+  if (loops_.empty()) return;
   running_.store(false, std::memory_order_release);
   for (auto& loop : loops_) wake_loop(loop->wake);
   for (auto& loop : loops_) {
     if (loop->thread.joinable()) loop->thread.join();
   }
   for (auto& loop : loops_) {
-    closed_.fetch_add(loop->conns.size(), std::memory_order_relaxed);
+    loop->closed.fetch_add(loop->conns.size(), std::memory_order_relaxed);
     loop->conns.clear();
     // Orphans handed off but never adopted still own raw fds.
     for (int fd : loop->inbox) ::close(fd);
     loop->inbox.clear();
   }
+  final_stats_ = stats();
+  final_loop_stats_ = loop_stats();
   loops_.clear();
-  listener_.reset();
 }
 
 std::uint16_t Server::port() const {
-  if (!listener_.valid()) throw StateError("net: server not started");
-  return local_port(listener_);
+  if (loops_.empty() || !loops_[0]->listener.valid()) {
+    throw StateError("net: server not started");
+  }
+  return local_port(loops_[0]->listener);
 }
 
 ServerStats Server::stats() const {
+  if (loops_.empty()) return final_stats_;
   ServerStats s;
-  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
-  s.connections_closed = closed_.load(std::memory_order_relaxed);
-  s.frames_in = frames_in_.load(std::memory_order_relaxed);
-  s.frames_out = frames_out_.load(std::memory_order_relaxed);
-  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-  s.observe_batches = observe_batches_.load(std::memory_order_relaxed);
-  s.predict_batches = predict_batches_.load(std::memory_order_relaxed);
+  for (const auto& loop : loops_) {
+    s.connections_accepted += loop->accepted.load(std::memory_order_relaxed);
+    s.connections_closed += loop->closed.load(std::memory_order_relaxed);
+    s.frames_in += loop->frames_in.load(std::memory_order_relaxed);
+    s.frames_out += loop->frames_out.load(std::memory_order_relaxed);
+    s.protocol_errors +=
+        loop->protocol_errors.load(std::memory_order_relaxed);
+    s.observe_batches += loop->observe_batches.load(std::memory_order_relaxed);
+    s.predict_batches += loop->predict_batches.load(std::memory_order_relaxed);
+  }
+  s.reuseport = reuseport_;
   return s;
 }
 
-void Server::run_loop(Loop& loop, bool is_acceptor) {
-  epoll_event events[64];
+std::vector<LoopStats> Server::loop_stats() const {
+  if (loops_.empty()) return final_loop_stats_;
+  std::vector<LoopStats> out;
+  out.reserve(loops_.size());
+  for (const auto& loop : loops_) {
+    LoopStats s;
+    s.connections = loop->accepted.load(std::memory_order_relaxed);
+    s.frames_in = loop->frames_in.load(std::memory_order_relaxed);
+    s.frames_out = loop->frames_out.load(std::memory_order_relaxed);
+    s.wakeups = loop->wakeups.load(std::memory_order_relaxed);
+    s.busy_seconds =
+        static_cast<double>(loop->busy_nanos.load(std::memory_order_relaxed)) *
+        1e-9;
+    out.push_back(s);
+  }
+  return out;
+}
+
+void Server::run_loop(Loop& loop) {
+  std::vector<epoll_event> events(config_.epoll_events);
   while (running_.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(loop.epoll.get(), events, 64, -1);
+    const int n = ::epoll_wait(loop.epoll.get(), events.data(),
+                               static_cast<int>(events.size()), -1);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // an unusable epoll fd cannot be recovered; exit the loop
     }
+    const auto woke_at = Clock::now();
+    loop.wakeups.fetch_add(1, std::memory_order_relaxed);
     for (int i = 0; i < n; ++i) {
       void* tag = events[i].data.ptr;
-      if (tag == &loop) {
+      if (tag == &loop.wake) {
         std::uint64_t drain = 0;
         while (::read(loop.wake.get(), &drain, sizeof(drain)) > 0) {
         }
         adopt_inbox(loop);
         continue;
       }
-      if (is_acceptor && tag == this) {
+      if (tag == &loop.listener) {
         try {
-          accept_ready();
+          accept_ready(loop);
         } catch (const NetError&) {
           // A transient accept failure (EMFILE, ENFILE) drops this wave of
           // connections; the listener stays registered.
@@ -193,49 +354,55 @@ void Server::run_loop(Loop& loop, bool is_acceptor) {
         continue;
       }
       auto* conn = static_cast<Conn*>(tag);
+      const std::uint32_t ev = events[i].events;
+      // EPOLLRDHUP rides with the read edge: the half-close is only
+      // observable as read() == 0, which the drain reaches promptly in
+      // this same wakeup instead of on some later one.
+      if ((ev & (EPOLLIN | EPOLLRDHUP)) != 0) conn->can_read = true;
+      if ((ev & EPOLLOUT) != 0) conn->can_write = true;
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) conn->dead = true;
       try {
-        if ((events[i].events & EPOLLIN) != 0) handle_readable(loop, *conn);
-        if (!conn->dead && (events[i].events & EPOLLOUT) != 0) {
-          handle_writable(loop, *conn);
-        }
-        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
-          conn->dead = true;
-        }
+        service_conn(loop, *conn);
       } catch (const std::exception&) {
         conn->dead = true;  // never let an exception kill the event thread
       }
       if (conn->dead || (conn->closing && conn->pending() == 0)) {
         close_conn(loop, *conn);
-      } else {
-        update_interest(loop, *conn);
       }
     }
+    loop.busy_nanos.fetch_add(nanos_since(woke_at), std::memory_order_relaxed);
     if (!running_.load(std::memory_order_acquire)) break;
   }
 }
 
-void Server::accept_ready() {
+void Server::accept_ready(Loop& loop) {
   for (;;) {
-    Fd socket = accept_conn(listener_);
+    Fd socket = accept_conn(loop.listener);
     if (!socket.valid()) return;
-    accepted_.fetch_add(1, std::memory_order_relaxed);
     try {
       set_nodelay(socket.get());
     } catch (const NetError&) {
-      closed_.fetch_add(1, std::memory_order_relaxed);
       continue;  // peer vanished between accept and setsockopt
     }
+    if (reuseport_ || loops_.size() == 1) {
+      loop.accepted.fetch_add(1, std::memory_order_relaxed);
+      add_conn(loop, std::move(socket));
+      continue;
+    }
+    // Handoff fallback: this loop (0) owns the only listener; spread the
+    // connection round-robin and wake the target's eventfd.
     const std::size_t target =
         next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
-    Loop& loop = *loops_[target];
+    Loop& owner = *loops_[target];
+    owner.accepted.fetch_add(1, std::memory_order_relaxed);
     if (target == 0) {
-      add_conn(loop, std::move(socket));
+      add_conn(owner, std::move(socket));
     } else {
       {
-        const std::lock_guard<std::mutex> lock(loop.inbox_mutex);
-        loop.inbox.push_back(socket.release());
+        const std::lock_guard<std::mutex> lock(owner.inbox_mutex);
+        owner.inbox.push_back(socket.release());
       }
-      wake_loop(loop.wake);
+      wake_loop(owner.wake);
     }
   }
 }
@@ -252,12 +419,15 @@ void Server::adopt_inbox(Loop& loop) {
 void Server::add_conn(Loop& loop, Fd fd) {
   const int raw = fd.get();
   auto conn = std::make_unique<Conn>(std::move(fd), config_.max_frame_bytes);
-  conn->interest = EPOLLIN;
+  // One registration for the connection's whole life: both directions,
+  // edge-triggered.  EPOLL_CTL_ADD reports the current readiness as the
+  // first edge, so a socket that arrived with data (or, always, with write
+  // space) gets its flags set by the first wakeup — no initial-state race.
   try {
-    epoll_ctl_or_throw(loop.epoll.get(), EPOLL_CTL_ADD, raw, EPOLLIN,
-                       conn.get());
+    epoll_ctl_or_throw(loop.epoll.get(), EPOLL_CTL_ADD, raw,
+                       EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET, conn.get());
   } catch (const NetError&) {
-    closed_.fetch_add(1, std::memory_order_relaxed);
+    loop.closed.fetch_add(1, std::memory_order_relaxed);
     return;  // conn's Fd destructor closes the socket
   }
   loop.conns.emplace(raw, std::move(conn));
@@ -265,60 +435,88 @@ void Server::add_conn(Loop& loop, Fd fd) {
 
 void Server::close_conn(Loop& loop, Conn& conn) {
   ::epoll_ctl(loop.epoll.get(), EPOLL_CTL_DEL, conn.fd.get(), nullptr);
-  closed_.fetch_add(1, std::memory_order_relaxed);
+  loop.closed.fetch_add(1, std::memory_order_relaxed);
   loop.conns.erase(conn.fd.get());  // destroys conn; do not touch it after
 }
 
-void Server::handle_readable(Loop& loop, Conn& conn) {
-  (void)loop;
+void Server::service_conn(Loop& loop, Conn& conn) {
+  // Alternate flush and read until neither can progress.  Every iteration
+  // either hits EAGAIN on a direction (clearing its flag) or empties /
+  // fills a buffer, so the loop terminates; kernel socket buffers bound
+  // how long one connection can monopolize the loop thread.
+  for (;;) {
+    if (conn.dead) return;
+    if (conn.can_write && conn.pending() > 0) try_flush(conn);
+    if (conn.dead || conn.closing) return;
+    const bool read_open = conn.can_read &&
+                           conn.pending() < config_.write_backpressure_bytes;
+    if (read_open) read_drain(loop, conn);
+    // Progress still possible?  (a) produced replies and the socket is
+    // writable; (b) flushing dropped us back under the backpressure cap
+    // while a read edge is still pending.
+    const bool want_flush = conn.can_write && conn.pending() > 0;
+    const bool want_read = conn.can_read && !conn.closing && !conn.dead &&
+                           conn.pending() < config_.write_backpressure_bytes;
+    if (!want_flush && !want_read) return;
+  }
+}
+
+void Server::read_drain(Loop& loop, Conn& conn) {
   std::byte buf[64 * 1024];
-  while (!conn.closing) {
+  while (conn.can_read && !conn.closing && !conn.dead) {
+    // Backpressure: a slow consumer stops being read until the kernel
+    // accepts its reply backlog.  can_read stays set — under ET no new
+    // edge will come for data already buffered, so service_conn resumes
+    // this drain itself once the flush frees space.
+    if (conn.pending() >= config_.write_backpressure_bytes) return;
     const ssize_t r = ::read(conn.fd.get(), buf, sizeof(buf));
     if (r > 0) {
       conn.decoder.feed(
           std::span<const std::byte>(buf, static_cast<std::size_t>(r)));
-      process_frames(conn);
-      // Backpressure: a slow consumer stops being read until the kernel
-      // accepts its reply backlog.
-      if (conn.pending() >= config_.write_backpressure_bytes) break;
-      if (static_cast<std::size_t>(r) < sizeof(buf)) break;
-      continue;
+      process_frames(loop, conn);
+      continue;  // ET contract: drain until EAGAIN, not until a short read
     }
     if (r == 0) {
-      conn.dead = true;  // peer closed; any unflushed replies are moot
-      break;
+      // EOF / peer half-close (EPOLLRDHUP lands here): no more requests,
+      // but replies already earned still drain before teardown.
+      conn.can_read = false;
+      conn.closing = true;
+      return;
     }
     if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      conn.can_read = false;
+      return;
+    }
     conn.dead = true;
-    break;
+    return;
   }
-  if (!conn.dead) try_flush(conn);
 }
 
-void Server::handle_writable(Loop& loop, Conn& conn) {
-  (void)loop;
-  try_flush(conn);
+void Server::enqueue_reply(Loop& loop, Conn& conn) {
+  append_frame(conn.out.next_slot(), conn.reply.bytes());
+  conn.out.push();
+  loop.frames_out.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Server::process_frames(Conn& conn) {
+void Server::process_frames(Loop& loop, Conn& conn) {
   while (!conn.closing) {
     std::span<const std::byte> body;
     const FrameDecoder::Status status = conn.decoder.next(body);
     if (status == FrameDecoder::Status::kNeedMore) break;
     if (status == FrameDecoder::Status::kCorrupt) {
-      flush_runs(conn);  // frames before the corruption were valid
-      protocol_error(conn, 0, ErrorCode::kBadFrame,
+      flush_runs(loop, conn);  // frames before the corruption were valid
+      protocol_error(loop, conn, 0, ErrorCode::kBadFrame,
                      "unrecoverable frame: bad length or checksum");
       break;
     }
-    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    loop.frames_in.fetch_add(1, std::memory_order_relaxed);
     persist::io::Reader r(body);
     const FrameHeader h = decode_header(r);
     try {
       switch (h.type) {
         case MsgType::kObserve: {
-          if (conn.run != Run::kObserve) flush_runs(conn);
+          if (conn.run != Run::kObserve) flush_runs(loop, conn);
           const std::size_t before = conn.obs_used;
           conn.obs_used = decode_observe_items(r, conn.obs, conn.obs_used);
           conn.run = Run::kObserve;
@@ -326,7 +524,7 @@ void Server::process_frames(Conn& conn) {
           break;
         }
         case MsgType::kPredict: {
-          if (conn.run != Run::kPredict) flush_runs(conn);
+          if (conn.run != Run::kPredict) flush_runs(loop, conn);
           const std::size_t before = conn.keys_used;
           conn.keys_used = decode_predict_keys(r, conn.keys, conn.keys_used);
           conn.run = Run::kPredict;
@@ -334,34 +532,32 @@ void Server::process_frames(Conn& conn) {
           break;
         }
         case MsgType::kPing:
-          flush_runs(conn);
+          flush_runs(loop, conn);
           encode_pong(conn.reply, h.id);
-          append_frame(conn.out, conn.reply.bytes());
-          frames_out_.fetch_add(1, std::memory_order_relaxed);
+          enqueue_reply(loop, conn);
           break;
         case MsgType::kStats:
-          flush_runs(conn);
+          flush_runs(loop, conn);
           encode_stats_reply(conn.reply, h.id, engine_.stats());
-          append_frame(conn.out, conn.reply.bytes());
-          frames_out_.fetch_add(1, std::memory_order_relaxed);
+          enqueue_reply(loop, conn);
           break;
         default:
-          flush_runs(conn);
-          protocol_error(conn, h.id, ErrorCode::kBadRequest,
+          flush_runs(loop, conn);
+          protocol_error(loop, conn, h.id, ErrorCode::kBadRequest,
                          "unknown message type");
           break;
       }
     } catch (const persist::CorruptData& e) {
       // A partially-decoded item may sit beyond the used watermark in the
       // scratch vectors; it is simply overwritten by the next request.
-      flush_runs(conn);
-      protocol_error(conn, h.id, ErrorCode::kBadRequest, e.what());
+      flush_runs(loop, conn);
+      protocol_error(loop, conn, h.id, ErrorCode::kBadRequest, e.what());
     }
   }
-  if (!conn.closing) flush_runs(conn);
+  if (!conn.closing) flush_runs(loop, conn);
 }
 
-void Server::flush_runs(Conn& conn) {
+void Server::flush_runs(Loop& loop, Conn& conn) {
   if (conn.entries.empty()) {
     conn.run = Run::kNone;
     conn.obs_used = 0;
@@ -372,17 +568,15 @@ void Server::flush_runs(Conn& conn) {
     try {
       engine_.observe(std::span<const serve::Observation>(conn.obs.data(),
                                                           conn.obs_used));
-      observe_batches_.fetch_add(1, std::memory_order_relaxed);
+      loop.observe_batches.fetch_add(1, std::memory_order_relaxed);
       for (const RunEntry& entry : conn.entries) {
         encode_observe_ack(conn.reply, entry.id, entry.count);
-        append_frame(conn.out, conn.reply.bytes());
-        frames_out_.fetch_add(1, std::memory_order_relaxed);
+        enqueue_reply(loop, conn);
       }
     } catch (const Error& e) {
       for (const RunEntry& entry : conn.entries) {
         encode_error(conn.reply, entry.id, ErrorCode::kInternal, e.what());
-        append_frame(conn.out, conn.reply.bytes());
-        frames_out_.fetch_add(1, std::memory_order_relaxed);
+        enqueue_reply(loop, conn);
       }
     }
   } else if (conn.run == Run::kPredict) {
@@ -390,7 +584,7 @@ void Server::flush_runs(Conn& conn) {
       engine_.predict_into(
           std::span<const tsdb::SeriesKey>(conn.keys.data(), conn.keys_used),
           conn.preds);
-      predict_batches_.fetch_add(1, std::memory_order_relaxed);
+      loop.predict_batches.fetch_add(1, std::memory_order_relaxed);
       std::size_t offset = 0;
       for (const RunEntry& entry : conn.entries) {
         encode_predict_reply(
@@ -398,14 +592,12 @@ void Server::flush_runs(Conn& conn) {
             std::span<const serve::Prediction>(conn.preds.data() + offset,
                                                entry.count));
         offset += entry.count;
-        append_frame(conn.out, conn.reply.bytes());
-        frames_out_.fetch_add(1, std::memory_order_relaxed);
+        enqueue_reply(loop, conn);
       }
     } catch (const Error& e) {
       for (const RunEntry& entry : conn.entries) {
         encode_error(conn.reply, entry.id, ErrorCode::kInternal, e.what());
-        append_frame(conn.out, conn.reply.bytes());
-        frames_out_.fetch_add(1, std::memory_order_relaxed);
+        enqueue_reply(loop, conn);
       }
     }
   }
@@ -415,50 +607,29 @@ void Server::flush_runs(Conn& conn) {
   conn.keys_used = 0;
 }
 
-void Server::protocol_error(Conn& conn, std::uint64_t id, ErrorCode code,
-                            std::string_view message) {
-  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+void Server::protocol_error(Loop& loop, Conn& conn, std::uint64_t id,
+                            ErrorCode code, std::string_view message) {
+  loop.protocol_errors.fetch_add(1, std::memory_order_relaxed);
   encode_error(conn.reply, id, code, message);
-  append_frame(conn.out, conn.reply.bytes());
-  frames_out_.fetch_add(1, std::memory_order_relaxed);
+  enqueue_reply(loop, conn);
   conn.closing = true;  // stop reading; close once the error reply drains
 }
 
 void Server::try_flush(Conn& conn) {
-  while (conn.out_pos < conn.out.size()) {
-    const ssize_t w =
-        ::send(conn.fd.get(), conn.out.data() + conn.out_pos,
-               conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+  while (conn.can_write && conn.out.pending() > 0) {
+    iovec iov[kFlushIov];
+    const int n = conn.out.fill_iov(iov, kFlushIov);
+    const ssize_t w = send_iov(conn.fd.get(), iov, n);
     if (w > 0) {
-      conn.out_pos += static_cast<std::size_t>(w);
+      conn.out.consume(static_cast<std::size_t>(w));
       continue;
     }
-    if (w < 0 && errno == EINTR) continue;
-    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (w == 0) {  // EAGAIN: wait for the next EPOLLOUT edge
+      conn.can_write = false;
+      return;
+    }
     conn.dead = true;
     return;
-  }
-  if (conn.out_pos == conn.out.size()) {
-    conn.out.clear();  // keeps capacity: the reply path stays allocation-free
-    conn.out_pos = 0;
-  }
-}
-
-void Server::update_interest(Loop& loop, Conn& conn) {
-  std::uint32_t want = 0;
-  const bool read_paused =
-      conn.pending() >= config_.write_backpressure_bytes;
-  if (!conn.closing && !read_paused) want |= EPOLLIN;
-  if (conn.pending() > 0) want |= EPOLLOUT;
-  if (want == conn.interest) return;
-  epoll_event ev{};
-  ev.events = want;
-  ev.data.ptr = &conn;
-  if (::epoll_ctl(loop.epoll.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev) == 0) {
-    conn.interest = want;
-  } else {
-    conn.dead = true;
-    close_conn(loop, conn);
   }
 }
 

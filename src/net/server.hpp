@@ -2,17 +2,34 @@
 // port.
 //
 // Threading model: N event-loop threads, each with its own epoll instance.
-// Loop 0 additionally owns the (non-blocking) listener; accepted sockets
-// are handed to loops round-robin through a per-loop inbox + eventfd wake,
-// so a connection lives on exactly one loop for its whole life and needs no
-// per-connection locking.
+// With AcceptMode::kReusePort (the default where the kernel supports it)
+// every loop owns its OWN listening socket bound with SO_REUSEPORT, accepts
+// directly, and keeps the connection for its whole life — no cross-thread
+// handoff, no wake round-trip, and the kernel load-balances new connections
+// across the loops.  AcceptMode::kHandoff keeps the older design as the
+// fallback: loop 0 owns the single listener and hands accepted sockets to
+// loops round-robin through a per-loop inbox + eventfd wake.  Either way a
+// connection lives on exactly one loop, so all its state is single-threaded
+// by construction.
+//
+// Edge-triggered epoll: connections are registered once with
+// EPOLLIN|EPOLLOUT|EPOLLRDHUP|EPOLLET and never re-armed via epoll_ctl.
+// Readiness is tracked in per-connection flags (`can_read`/`can_write`)
+// that an edge sets and a drain-until-EAGAIN loop clears — a hot connection
+// costs one epoll_wait wakeup per burst instead of one per frame.  The
+// invariant that makes ET safe: whenever a flag is left set without the
+// corresponding drain having hit EAGAIN (read paused by backpressure), the
+// server itself resumes that drain as soon as the blocking condition
+// clears, because no further edge is coming.
 //
 // Batching: frames are processed strictly in arrival order, but consecutive
 // frames of the same type drained from one socket read are coalesced into a
 // single engine call — a client pipelining M observe frames costs one
-// engine.observe() spanning all of them, which is exactly the batch shape
-// the shard fan-out in PredictionEngine is built for.  Replies are emitted
-// per frame, in request order.
+// engine.observe() spanning all of them.  Replies are emitted per frame, in
+// request order, each encoded into its own queued buffer; the flush
+// gathers the queued frames into iovecs and hands them to the kernel with
+// one writev-style sendmsg per syscall, resuming mid-frame after a partial
+// transfer.
 //
 // Errors: a payload that fails validation gets a kBadRequest error reply; a
 // framing/CRC failure gets kBadFrame.  Either way the server stops reading
@@ -21,7 +38,9 @@
 //
 // Backpressure: when a connection's pending output exceeds
 // write_backpressure_bytes the server stops reading from it until the
-// kernel accepts the backlog, bounding memory per slow consumer.
+// kernel accepts the backlog, bounding memory per slow consumer.  A peer
+// that half-closes (EPOLLRDHUP) stops being read immediately; its already
+// earned replies still drain before the connection is torn down.
 #pragma once
 
 #include <atomic>
@@ -36,15 +55,32 @@
 
 namespace larp::net {
 
+/// How accepted connections reach their event loop.
+enum class AcceptMode : std::uint8_t {
+  /// Try per-loop SO_REUSEPORT listeners; fall back to kHandoff if the
+  /// kernel refuses the option.
+  kAuto,
+  /// Per-loop listeners, required: start() throws where unsupported.
+  kReusePort,
+  /// Single acceptor on loop 0 + eventfd inbox handoff (the pre-reuseport
+  /// design, kept for kernels without SO_REUSEPORT).
+  kHandoff,
+};
+
 struct ServerConfig {
   std::string host = "127.0.0.1";
   /// 0 binds an ephemeral port; read the real one back with port().
   std::uint16_t port = 0;
   /// Event-loop threads.  0 means one.
   std::size_t event_threads = 1;
+  AcceptMode accept_mode = AcceptMode::kAuto;
   std::size_t max_frame_bytes = kMaxFrameBytes;
   /// Pending-output cap per connection before reads pause.
   std::size_t write_backpressure_bytes = 1u << 20;
+  /// epoll_wait batch size per loop (events drained per syscall).  Size it
+  /// near the expected connections per loop; too small costs extra
+  /// epoll_wait calls under fan-in.  0 means the 256 default.
+  std::size_t epoll_events = 256;
 };
 
 struct ServerStats {
@@ -57,6 +93,19 @@ struct ServerStats {
   /// realized batching factor.
   std::uint64_t observe_batches = 0;
   std::uint64_t predict_batches = 0;
+  /// True when the running server accepts on per-loop SO_REUSEPORT
+  /// listeners (false = single-acceptor handoff fallback).
+  bool reuseport = false;
+};
+
+/// Per-event-loop counters (stats() aggregates them; loop_stats() exposes
+/// the per-loop split so a scaling bench can see accept/load imbalance).
+struct LoopStats {
+  std::uint64_t connections = 0;  // connections this loop ever owned
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t wakeups = 0;      // epoll_wait returns with >= 1 event
+  double busy_seconds = 0.0;      // wall time spent servicing events
 };
 
 class Server {
@@ -77,39 +126,39 @@ class Server {
   /// The bound port (valid after start()).
   [[nodiscard]] std::uint16_t port() const;
   [[nodiscard]] ServerStats stats() const;
+  /// One entry per event loop, index-aligned with the spawn order.
+  [[nodiscard]] std::vector<LoopStats> loop_stats() const;
 
  private:
   struct Conn;
   struct Loop;
 
-  void run_loop(Loop& loop, bool is_acceptor);
-  void accept_ready();
+  void run_loop(Loop& loop);
+  void accept_ready(Loop& loop);
   void adopt_inbox(Loop& loop);
   void add_conn(Loop& loop, Fd fd);
   void close_conn(Loop& loop, Conn& conn);
-  void handle_readable(Loop& loop, Conn& conn);
-  void handle_writable(Loop& loop, Conn& conn);
-  void process_frames(Conn& conn);
-  void flush_runs(Conn& conn);
-  void protocol_error(Conn& conn, std::uint64_t id, ErrorCode code,
+  /// Drives a connection until neither direction can make progress:
+  /// flush while writable, read while readable and under the backpressure
+  /// cap, repeat — the ET re-arm loop described in the header comment.
+  void service_conn(Loop& loop, Conn& conn);
+  void read_drain(Loop& loop, Conn& conn);
+  void process_frames(Loop& loop, Conn& conn);
+  void flush_runs(Loop& loop, Conn& conn);
+  void protocol_error(Loop& loop, Conn& conn, std::uint64_t id, ErrorCode code,
                       std::string_view message);
   void try_flush(Conn& conn);
-  void update_interest(Loop& loop, Conn& conn);
+  void enqueue_reply(Loop& loop, Conn& conn);
 
   serve::PredictionEngine& engine_;
   ServerConfig config_;
-  Fd listener_;
+  bool reuseport_ = false;  // realized accept mode (valid after start())
   std::vector<std::unique_ptr<Loop>> loops_;
   std::atomic<bool> running_{false};
   std::atomic<std::size_t> next_loop_{0};
-
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> closed_{0};
-  std::atomic<std::uint64_t> frames_in_{0};
-  std::atomic<std::uint64_t> frames_out_{0};
-  std::atomic<std::uint64_t> protocol_errors_{0};
-  std::atomic<std::uint64_t> observe_batches_{0};
-  std::atomic<std::uint64_t> predict_batches_{0};
+  // Folded at stop() so counters stay readable after the loops are gone.
+  ServerStats final_stats_;
+  std::vector<LoopStats> final_loop_stats_;
 };
 
 }  // namespace larp::net

@@ -4,7 +4,11 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 
 #include <cerrno>
 #include <cstring>
@@ -37,13 +41,19 @@ void Fd::reset() noexcept {
   }
 }
 
-Fd listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+Fd listen_tcp(const std::string& host, std::uint16_t port, int backlog,
+              bool reuse_port) {
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
   if (!fd.valid()) raise_errno("socket");
   const int one = 1;
   if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
       0) {
     raise_errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (reuse_port &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+          0) {
+    raise_errno("setsockopt(SO_REUSEPORT)");
   }
   const sockaddr_in addr = make_addr(host, port);
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
@@ -97,6 +107,47 @@ void set_nodelay(int fd) {
   const int one = 1;
   if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
     raise_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+namespace {
+// 0 = unlimited.  Written only by tests, read on every send_iov.
+std::atomic<std::size_t> g_max_transfer_bytes{0};
+}  // namespace
+
+namespace testing {
+void set_max_transfer_bytes(std::size_t bytes) {
+  g_max_transfer_bytes.store(bytes, std::memory_order_relaxed);
+}
+}  // namespace testing
+
+ssize_t send_iov(int fd, const iovec* iov, int iovcnt) {
+  const std::size_t clamp =
+      g_max_transfer_bytes.load(std::memory_order_relaxed);
+  iovec clamped[8];
+  if (clamp > 0) {
+    // Truncate the vector list to at most `clamp` bytes so the kernel
+    // cannot transfer more — the caller then exercises its resume path
+    // exactly as it would after a genuine partial writev.
+    std::size_t budget = clamp;
+    int n = 0;
+    for (; n < iovcnt && n < 8 && budget > 0; ++n) {
+      clamped[n] = iov[n];
+      clamped[n].iov_len = std::min(clamped[n].iov_len, budget);
+      budget -= clamped[n].iov_len;
+    }
+    iov = clamped;
+    iovcnt = std::max(n, 1);
+  }
+  msghdr msg{};
+  msg.msg_iov = const_cast<iovec*>(iov);
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  for (;;) {
+    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w >= 0) return w;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
   }
 }
 

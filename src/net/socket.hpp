@@ -7,9 +7,14 @@
 // dotted-quad address; name resolution stays out of the serving path.
 #pragma once
 
+#include <sys/types.h>
+
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
+
+struct iovec;  // <sys/uio.h>
 
 #include "util/error.hpp"
 
@@ -48,9 +53,13 @@ class Fd {
 };
 
 /// Creates a non-blocking listening socket bound to host:port (port 0 asks
-/// the kernel for an ephemeral port — read it back with local_port).
+/// the kernel for an ephemeral port — read it back with local_port).  With
+/// `reuse_port` the socket additionally sets SO_REUSEPORT, so several
+/// listeners may bind the same address and the kernel load-balances
+/// incoming connections across them (one listener per event loop); throws
+/// NetError where the kernel lacks the option.
 [[nodiscard]] Fd listen_tcp(const std::string& host, std::uint16_t port,
-                            int backlog = 128);
+                            int backlog = 128, bool reuse_port = false);
 
 /// The port a bound socket actually listens on.
 [[nodiscard]] std::uint16_t local_port(const Fd& socket);
@@ -64,5 +73,20 @@ class Fd {
 
 /// Disables Nagle — the protocol writes whole frames, batching is explicit.
 void set_nodelay(int fd);
+
+/// Gathering send over `iov[0..iovcnt)` (sendmsg + MSG_NOSIGNAL), retrying
+/// EINTR.  Returns the byte count the kernel accepted (possibly a partial
+/// transfer ending mid-iovec), 0 on EAGAIN/EWOULDBLOCK, and -1 on a hard
+/// error (errno preserved).  The server's reply flush is built on this;
+/// testing::set_max_transfer_bytes can clamp each call to force the
+/// partial-writev resume paths.
+[[nodiscard]] ssize_t send_iov(int fd, const iovec* iov, int iovcnt);
+
+namespace testing {
+/// Clamps every send_iov transfer to at most `bytes` per call (0 restores
+/// unlimited).  Process-global; tests use it to inject partial writes
+/// across frame boundaries.
+void set_max_transfer_bytes(std::size_t bytes);
+}  // namespace testing
 
 }  // namespace larp::net

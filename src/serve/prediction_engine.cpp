@@ -196,6 +196,21 @@ PredictionEngine::Shard& PredictionEngine::shard_of(const tsdb::SeriesKey& key) 
   return *shards_[std::hash<tsdb::SeriesKey>{}(key) % shards_.size()];
 }
 
+std::unique_lock<std::mutex> PredictionEngine::lock_shard(Shard& shard) {
+  std::unique_lock lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Contended: charge the blocked wait to the shard so the scaling bench
+    // can tell lock contention from every other flattener.  The uncontended
+    // path pays only the try_lock — no clock reads.
+    const auto start = Clock::now();
+    lock.lock();
+    shard.lock_wait_nanos.fetch_add(nanos_since(start),
+                                    std::memory_order_relaxed);
+    shard.contended_locks.fetch_add(1, std::memory_order_relaxed);
+  }
+  return lock;
+}
+
 const PredictionEngine::Shard& PredictionEngine::shard_of(
     const tsdb::SeriesKey& key) const {
   return *shards_[std::hash<tsdb::SeriesKey>{}(key) % shards_.size()];
@@ -248,18 +263,21 @@ void PredictionEngine::train_series(Shard& shard, const tsdb::SeriesKey& key,
     // still-pending forecast the pre-retrain predictor issued — so the next
     // audit judges the re-trained predictor on fresh forecasts only.
     shard.predictions.prune_before(key, state.next_ts + 1);
-    ++shard.retrains;
+    shard.retrains.fetch_add(1, std::memory_order_relaxed);
   } else {
     state.predictor.emplace(pool_prototype_.clone(), config_.lar);
     state.predictor->train(recent);
-    ++shard.trains;
+    shard.trains.fetch_add(1, std::memory_order_relaxed);
+    shard.trained_count.fetch_add(1, std::memory_order_relaxed);
   }
   state.retrain_requested = false;
 }
 
 void PredictionEngine::absorb(Shard& shard, const tsdb::SeriesKey& key,
                               double value) {
-  SeriesState& state = shard.series[key];
+  const auto [it, inserted] = shard.series.try_emplace(key);
+  if (inserted) shard.series_count.fetch_add(1, std::memory_order_relaxed);
+  SeriesState& state = it->second;
 
   // Resolve the forecast issued for this logical timestamp, if any.
   if (state.predictor) {
@@ -267,9 +285,9 @@ void PredictionEngine::absorb(Shard& shard, const tsdb::SeriesKey& key,
         record && !record->resolved()) {
       shard.predictions.record_observation(key, state.next_ts, value);
       const double err = record->predicted - value;
-      ++shard.resolved;
-      shard.abs_error_sum += std::abs(err);
-      shard.sq_error_sum += err * err;
+      shard.resolved.fetch_add(1, std::memory_order_relaxed);
+      shard.abs_error_sum.fetch_add(std::abs(err), std::memory_order_relaxed);
+      shard.sq_error_sum.fetch_add(err * err, std::memory_order_relaxed);
     }
     state.predictor->observe(value);
   }
@@ -291,38 +309,57 @@ void PredictionEngine::absorb(Shard& shard, const tsdb::SeriesKey& key,
   if (state.predictor && config_.audit_every > 0 &&
       ++state.since_audit >= config_.audit_every) {
     state.since_audit = 0;
-    (void)shard.qa->audit(key);
+    // The lock-free mirror counts exactly what qa->audits_performed()
+    // counts: audits with enough resolved records to judge.
+    if (shard.qa->audit(key).audited) {
+      shard.audits.fetch_add(1, std::memory_order_relaxed);
+    }
     if (state.retrain_requested) {
       train_series(shard, key, state, /*is_retrain=*/true);
     }
   }
 }
 
+void PredictionEngine::observe_shard(Shard& shard,
+                                     std::span<const Observation> batch,
+                                     std::span<const std::size_t> indices) {
+  if (shard.wal) {
+    // Group commit: every frame of this (shard, batch) pair is staged
+    // and flushed with one write + one sync decision, before any of
+    // the mutations it describes is applied — log-before-apply at
+    // group granularity, frame order identical to apply order.
+    for (std::size_t i : indices) {
+      wal_stage(shard, kWalObserve, batch[i].key, &batch[i].value);
+    }
+    shard.wal->commit();
+    maybe_notify_syncer(shard);
+  }
+  shard.observe_count.fetch_add(indices.size(), std::memory_order_relaxed);
+  for (std::size_t i : indices) {
+    absorb(shard, batch[i].key, batch[i].value);
+  }
+}
+
 void PredictionEngine::observe(std::span<const Observation> batch) {
   const auto start = Clock::now();
-  for_each_shard(
-      batch.size(), [&](std::size_t i) -> const tsdb::SeriesKey& {
-        return batch[i].key;
-      },
-      [&](std::size_t s, const std::vector<std::size_t>& indices) {
-        Shard& shard = *shards_[s];
-        std::lock_guard lock(shard.mutex);
-        if (shard.wal) {
-          // Group commit: every frame of this (shard, batch) pair is staged
-          // and flushed with one write + one sync decision, before any of
-          // the mutations it describes is applied — log-before-apply at
-          // group granularity, frame order identical to apply order.
-          for (std::size_t i : indices) {
-            wal_stage(shard, kWalObserve, batch[i].key, &batch[i].value);
-          }
-          shard.wal->commit();
-          maybe_notify_syncer(shard);
-        }
-        shard.observe_count += indices.size();
-        for (std::size_t i : indices) {
-          absorb(shard, batch[i].key, batch[i].value);
-        }
-      });
+  if (batch.size() == 1) {
+    // Direct dispatch: a single-sample call skips the grouping pass and the
+    // thread-pool handoff entirely — one hash, one lock, one absorb.
+    static constexpr std::size_t kZero[] = {0};
+    Shard& shard = shard_of(batch[0].key);
+    const auto lock = lock_shard(shard);
+    observe_shard(shard, batch, kZero);
+  } else {
+    for_each_shard(
+        batch.size(), [&](std::size_t i) -> const tsdb::SeriesKey& {
+          return batch[i].key;
+        },
+        [&](std::size_t s, const std::vector<std::size_t>& indices) {
+          Shard& shard = *shards_[s];
+          const auto lock = lock_shard(shard);
+          observe_shard(shard, batch, indices);
+        });
+  }
   observe_nanos_.fetch_add(nanos_since(start), std::memory_order_relaxed);
 }
 
@@ -354,32 +391,47 @@ std::vector<Prediction> PredictionEngine::predict(
   return out;
 }
 
+void PredictionEngine::predict_shard(Shard& shard,
+                                     std::span<const tsdb::SeriesKey> keys,
+                                     std::span<const std::size_t> indices,
+                                     std::vector<Prediction>& out) {
+  if (shard.wal) {
+    // Logged even for untrained series (where forecast() is a no-op):
+    // replay must reproduce the exact call sequence, and whether a key
+    // is trained at this point is itself a function of that sequence.
+    // Staged and committed as one group, like observe().
+    for (std::size_t i : indices) {
+      wal_stage(shard, kWalPredict, keys[i], nullptr);
+    }
+    shard.wal->commit();
+    maybe_notify_syncer(shard);
+  }
+  shard.predict_count.fetch_add(indices.size(), std::memory_order_relaxed);
+  for (std::size_t i : indices) {
+    out[i] = forecast(shard, keys[i]);
+  }
+}
+
 void PredictionEngine::predict_into(std::span<const tsdb::SeriesKey> keys,
                                     std::vector<Prediction>& out) {
   const auto start = Clock::now();
   out.resize(keys.size());
-  for_each_shard(
-      keys.size(),
-      [&](std::size_t i) -> const tsdb::SeriesKey& { return keys[i]; },
-      [&](std::size_t s, const std::vector<std::size_t>& indices) {
-        Shard& shard = *shards_[s];
-        std::lock_guard lock(shard.mutex);
-        if (shard.wal) {
-          // Logged even for untrained series (where forecast() is a no-op):
-          // replay must reproduce the exact call sequence, and whether a key
-          // is trained at this point is itself a function of that sequence.
-          // Staged and committed as one group, like observe().
-          for (std::size_t i : indices) {
-            wal_stage(shard, kWalPredict, keys[i], nullptr);
-          }
-          shard.wal->commit();
-          maybe_notify_syncer(shard);
-        }
-        shard.predict_count += indices.size();
-        for (std::size_t i : indices) {
-          out[i] = forecast(shard, keys[i]);
-        }
-      });
+  if (keys.size() == 1) {
+    // Direct dispatch (see observe()): one hash, one lock, one forecast.
+    static constexpr std::size_t kZero[] = {0};
+    Shard& shard = shard_of(keys[0]);
+    const auto lock = lock_shard(shard);
+    predict_shard(shard, keys, kZero, out);
+  } else {
+    for_each_shard(
+        keys.size(),
+        [&](std::size_t i) -> const tsdb::SeriesKey& { return keys[i]; },
+        [&](std::size_t s, const std::vector<std::size_t>& indices) {
+          Shard& shard = *shards_[s];
+          const auto lock = lock_shard(shard);
+          predict_shard(shard, keys, indices, out);
+        });
+  }
   predict_nanos_.fetch_add(nanos_since(start), std::memory_order_relaxed);
 }
 
@@ -395,9 +447,17 @@ bool PredictionEngine::erase(const tsdb::SeriesKey& key) {
 }
 
 bool PredictionEngine::erase_locked(Shard& shard, const tsdb::SeriesKey& key) {
-  const bool removed = shard.series.erase(key) > 0;
+  const auto it = shard.series.find(key);
+  const bool removed = it != shard.series.end();
+  if (removed) {
+    if (it->second.predictor) {
+      shard.trained_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard.series.erase(it);
+    shard.series_count.fetch_sub(1, std::memory_order_relaxed);
+    shard.erases.fetch_add(1, std::memory_order_relaxed);
+  }
   shard.predictions.erase_stream(key);
-  if (removed) ++shard.erases;
   return removed;
 }
 
@@ -430,14 +490,14 @@ void PredictionEngine::sync_wals_if_due() {
 }
 
 void PredictionEngine::save_shard(persist::io::Writer& w, Shard& shard) const {
-  w.u64(shard.observe_count);
-  w.u64(shard.predict_count);
-  w.u64(shard.resolved);
-  w.f64(shard.abs_error_sum);
-  w.f64(shard.sq_error_sum);
-  w.u64(shard.trains);
-  w.u64(shard.retrains);
-  w.u64(shard.erases);
+  w.u64(shard.observe_count.load(std::memory_order_relaxed));
+  w.u64(shard.predict_count.load(std::memory_order_relaxed));
+  w.u64(shard.resolved.load(std::memory_order_relaxed));
+  w.f64(shard.abs_error_sum.load(std::memory_order_relaxed));
+  w.f64(shard.sq_error_sum.load(std::memory_order_relaxed));
+  w.u64(shard.trains.load(std::memory_order_relaxed));
+  w.u64(shard.retrains.load(std::memory_order_relaxed));
+  w.u64(shard.erases.load(std::memory_order_relaxed));
   w.u64(shard.qa->audits_performed());
   w.u64(shard.qa->retrains_ordered());
   w.u64(shard.series.size());
@@ -470,18 +530,25 @@ std::uint64_t PredictionEngine::load_shard(persist::io::Reader& r, Shard& shard,
   if (payload_version == 1) {
     watermark = r.u64();
   } else {
-    shard.observe_count = static_cast<std::size_t>(r.u64());
-    shard.predict_count = static_cast<std::size_t>(r.u64());
+    shard.observe_count.store(static_cast<std::size_t>(r.u64()),
+                              std::memory_order_relaxed);
+    shard.predict_count.store(static_cast<std::size_t>(r.u64()),
+                              std::memory_order_relaxed);
   }
-  shard.resolved = static_cast<std::size_t>(r.u64());
-  shard.abs_error_sum = r.f64();
-  shard.sq_error_sum = r.f64();
-  shard.trains = static_cast<std::size_t>(r.u64());
-  shard.retrains = static_cast<std::size_t>(r.u64());
-  shard.erases = static_cast<std::size_t>(r.u64());
+  shard.resolved.store(static_cast<std::size_t>(r.u64()),
+                       std::memory_order_relaxed);
+  shard.abs_error_sum.store(r.f64(), std::memory_order_relaxed);
+  shard.sq_error_sum.store(r.f64(), std::memory_order_relaxed);
+  shard.trains.store(static_cast<std::size_t>(r.u64()),
+                     std::memory_order_relaxed);
+  shard.retrains.store(static_cast<std::size_t>(r.u64()),
+                       std::memory_order_relaxed);
+  shard.erases.store(static_cast<std::size_t>(r.u64()),
+                     std::memory_order_relaxed);
   const auto audits = static_cast<std::size_t>(r.u64());
   const auto qa_retrains = static_cast<std::size_t>(r.u64());
   shard.qa->restore_counters(audits, qa_retrains);
+  shard.audits.store(audits, std::memory_order_relaxed);
   const auto series_count =
       static_cast<std::size_t>(r.length(r.u64(), sizeof(std::uint64_t)));
   for (std::size_t i = 0; i < series_count; ++i) {
@@ -508,6 +575,13 @@ std::uint64_t PredictionEngine::load_shard(persist::io::Reader& r, Shard& shard,
       shard.predictions.restore_record(key, ts, record);
     }
   }
+  // Re-seed the lock-free stats() mirrors from the restored series map.
+  std::size_t trained = 0;
+  for (const auto& [key, state] : shard.series) {
+    if (state.predictor) ++trained;
+  }
+  shard.series_count.store(shard.series.size(), std::memory_order_relaxed);
+  shard.trained_count.store(trained, std::memory_order_relaxed);
   return watermark;
 }
 
@@ -579,12 +653,12 @@ void PredictionEngine::apply_wal_frame(Shard& shard,
   switch (type) {
     case kWalObserve: {
       const double value = r.f64();
-      ++shard.observe_count;
+      shard.observe_count.fetch_add(1, std::memory_order_relaxed);
       absorb(shard, key, value);
       break;
     }
     case kWalPredict:
-      ++shard.predict_count;
+      shard.predict_count.fetch_add(1, std::memory_order_relaxed);
       (void)forecast(shard, key);
       break;
     case kWalErase:
@@ -631,8 +705,10 @@ std::unique_ptr<PredictionEngine> PredictionEngine::restore(
       // v1 compat: the engine-global traffic counters land on shard 0, so
       // every stats() aggregate a v1 snapshot recorded is preserved; the
       // per-shard watermarks come from the section heads below.
-      engine->shards_[0]->observe_count = static_cast<std::size_t>(reader->u64());
-      engine->shards_[0]->predict_count = static_cast<std::size_t>(reader->u64());
+      engine->shards_[0]->observe_count.store(
+          static_cast<std::size_t>(reader->u64()), std::memory_order_relaxed);
+      engine->shards_[0]->predict_count.store(
+          static_cast<std::size_t>(reader->u64()), std::memory_order_relaxed);
     } else {
       const auto table_shards = static_cast<std::size_t>(
           reader->length(reader->u64(), sizeof(std::uint64_t)));
@@ -683,8 +759,7 @@ std::unique_ptr<PredictionEngine> PredictionEngine::restore(
 std::size_t PredictionEngine::series_count() const {
   std::size_t count = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
-    count += shard->series.size();
+    count += shard->series_count.load(std::memory_order_relaxed);
   }
   return count;
 }
@@ -697,24 +772,33 @@ bool PredictionEngine::is_trained(const tsdb::SeriesKey& key) const {
 }
 
 EngineStats PredictionEngine::stats() const {
+  // Lock-free by design: every addend below is either a relaxed atomic
+  // mirror maintained under the shard mutex or an internally-synchronized
+  // WAL watermark read, so a monitoring poll never blocks (or is blocked
+  // by) the serving hot path.
   EngineStats stats;
+  std::uint64_t lock_wait_nanos = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
-    stats.series += shard->series.size();
-    for (const auto& [key, state] : shard->series) {
-      if (state.predictor) ++stats.trained_series;
-    }
-    stats.trains += shard->trains;
-    stats.retrains += shard->retrains;
-    stats.erases += shard->erases;
-    stats.audits += shard->qa->audits_performed();
-    stats.resolved += shard->resolved;
-    stats.mean_absolute_error += shard->abs_error_sum;
-    stats.mean_squared_error += shard->sq_error_sum;
-    stats.observations += shard->observe_count;
-    stats.predictions += shard->predict_count;
+    stats.series += shard->series_count.load(std::memory_order_relaxed);
+    stats.trained_series +=
+        shard->trained_count.load(std::memory_order_relaxed);
+    stats.trains += shard->trains.load(std::memory_order_relaxed);
+    stats.retrains += shard->retrains.load(std::memory_order_relaxed);
+    stats.erases += shard->erases.load(std::memory_order_relaxed);
+    stats.audits += shard->audits.load(std::memory_order_relaxed);
+    stats.resolved += shard->resolved.load(std::memory_order_relaxed);
+    stats.mean_absolute_error +=
+        shard->abs_error_sum.load(std::memory_order_relaxed);
+    stats.mean_squared_error +=
+        shard->sq_error_sum.load(std::memory_order_relaxed);
+    stats.observations += shard->observe_count.load(std::memory_order_relaxed);
+    stats.predictions += shard->predict_count.load(std::memory_order_relaxed);
+    stats.contended_locks +=
+        shard->contended_locks.load(std::memory_order_relaxed);
+    lock_wait_nanos += shard->lock_wait_nanos.load(std::memory_order_relaxed);
     if (shard->wal) stats.wal_unsynced_frames += shard->wal->unsynced_appends();
   }
+  stats.lock_wait_seconds = static_cast<double>(lock_wait_nanos) * 1e-9;
   if (stats.resolved > 0) {
     stats.mean_absolute_error /= static_cast<double>(stats.resolved);
     stats.mean_squared_error /= static_cast<double>(stats.resolved);

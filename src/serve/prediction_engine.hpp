@@ -111,6 +111,12 @@ struct EngineStats {
   std::size_t wal_unsynced_frames = 0;  // published, not yet fdatasync'd
   std::size_t wal_background_syncs = 0; // fdatasyncs issued by the WalSyncer
   std::size_t snapshots = 0;            // snapshot() calls completed
+  /// Shard-mutex contention on the batched hot paths: acquisitions that did
+  /// not take the lock on the first try, and the wall time spent blocked in
+  /// those acquisitions.  The scaling bench reads these to name the
+  /// flattener when the throughput curve goes flat.
+  std::size_t contended_locks = 0;
+  double lock_wait_seconds = 0.0;
   /// Longest single-shard lock hold of the most recent snapshot() — the
   /// serving pause an incremental snapshot actually causes (the engine-wide
   /// stop-the-world pause it replaced was the sum over all shards).
@@ -209,24 +215,37 @@ class PredictionEngine {
   // shard's mutex and hot counters never share a line with a neighbour's —
   // batched observe/predict takes the shard mutexes from different worker
   // threads concurrently, and false sharing there serializes the shards.
+  //
+  // Counter discipline: the aggregate counters below are relaxed atomics,
+  // written only under the shard mutex (so snapshot sections stay
+  // self-consistent) but READ lock-free — stats() folds them across shards
+  // without touching any mutex, so a monitoring poll never contends with
+  // the serving hot path.
   struct alignas(64) Shard {
     mutable std::mutex mutex;
     std::unordered_map<tsdb::SeriesKey, SeriesState> series;
     tsdb::PredictionDatabase predictions;
     std::optional<qa::QualityAssuror> qa;
     // Aggregate accuracy over resolved forecasts (raw units).
-    std::size_t resolved = 0;
-    double abs_error_sum = 0.0;
-    double sq_error_sum = 0.0;
-    std::size_t trains = 0;
-    std::size_t retrains = 0;
-    std::size_t erases = 0;
+    std::atomic<std::size_t> resolved{0};
+    std::atomic<double> abs_error_sum{0.0};
+    std::atomic<double> sq_error_sum{0.0};
+    std::atomic<std::size_t> trains{0};
+    std::atomic<std::size_t> retrains{0};
+    std::atomic<std::size_t> erases{0};
+    std::atomic<std::size_t> audits{0};
+    // series.size() / predictor-count mirrors, so stats() needs no lock.
+    std::atomic<std::size_t> series_count{0};
+    std::atomic<std::size_t> trained_count{0};
     // Traffic counters live per shard (not in engine-level atomics) so each
     // shard's snapshot section is self-consistent: an incremental snapshot
     // cuts shard s at its own watermark, and counters shared across shards
     // could not be attributed to any single cut.
-    std::size_t observe_count = 0;
-    std::size_t predict_count = 0;
+    std::atomic<std::size_t> observe_count{0};
+    std::atomic<std::size_t> predict_count{0};
+    // Hot-path lock contention (fed by lock_shard's slow path).
+    std::atomic<std::uint64_t> lock_wait_nanos{0};
+    std::atomic<std::size_t> contended_locks{0};
     // Durability (engaged only when DurabilityConfig::data_dir is set).
     // The payload writer is reused across frames, so steady-state WAL
     // appends allocate nothing once capacities are established.
@@ -236,6 +255,16 @@ class PredictionEngine {
 
   [[nodiscard]] Shard& shard_of(const tsdb::SeriesKey& key);
   [[nodiscard]] const Shard& shard_of(const tsdb::SeriesKey& key) const;
+  /// Takes the shard mutex, charging any blocked wait to the shard's
+  /// contention counters (a first-try acquisition costs no clock read).
+  [[nodiscard]] std::unique_lock<std::mutex> lock_shard(Shard& shard);
+  /// Observe/predict bodies shared by the batched fan-out and the
+  /// single-item fast path; run under the shard mutex.
+  void observe_shard(Shard& shard, std::span<const Observation> batch,
+                     std::span<const std::size_t> indices);
+  void predict_shard(Shard& shard, std::span<const tsdb::SeriesKey> keys,
+                     std::span<const std::size_t> indices,
+                     std::vector<Prediction>& out);
   void absorb(Shard& shard, const tsdb::SeriesKey& key, double value);
   [[nodiscard]] Prediction forecast(Shard& shard, const tsdb::SeriesKey& key);
   void train_series(Shard& shard, const tsdb::SeriesKey& key,

@@ -33,7 +33,9 @@
 //   --port N         serve/loadgen: TCP port (serve: 0 = ephemeral)
 //   --net-threads N  serve: epoll event-loop threads   (default 1)
 //   --max-seconds N  serve: stop after N seconds (0 = until SIGINT/SIGTERM)
-//   --connections N  loadgen: concurrent client connections (default 1)
+//   --threads N      loadgen: worker threads            (default 1)
+//   --connections N  loadgen: pipelined connections per worker thread
+//                    (default 1; the thread keeps all of them in flight)
 //   --batch N        loadgen: series per request frame  (default 64)
 #include <algorithm>
 #include <csignal>
@@ -117,7 +119,7 @@ struct Options {
                "--durability sync|async (durability)\n"
                "         --host H --port N --net-threads N --max-seconds N "
                "(serve)\n"
-               "         --connections N --batch N (loadgen)\n");
+               "         --threads N --connections N --batch N (loadgen)\n");
   std::exit(2);
 }
 
@@ -471,23 +473,42 @@ int cmd_serve(const Options& options) {
       break;
     }
   }
+  const double served_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   server.stop();
 
   const auto net_stats = server.stats();
+  const auto loop_stats = server.loop_stats();
   const auto engine_stats = engine.stats();
-  std::printf("served: %llu connections, %llu frames in, %llu frames out\n",
+  std::printf("served: %llu connections, %llu frames in, %llu frames out "
+              "(%s accept)\n",
               static_cast<unsigned long long>(net_stats.connections_accepted),
               static_cast<unsigned long long>(net_stats.frames_in),
-              static_cast<unsigned long long>(net_stats.frames_out));
+              static_cast<unsigned long long>(net_stats.frames_out),
+              net_stats.reuseport ? "reuseport" : "handoff");
   std::printf("  batching          %llu observe batches, %llu predict "
               "batches, %llu protocol errors\n",
               static_cast<unsigned long long>(net_stats.observe_batches),
               static_cast<unsigned long long>(net_stats.predict_batches),
               static_cast<unsigned long long>(net_stats.protocol_errors));
+  for (std::size_t i = 0; i < loop_stats.size(); ++i) {
+    const auto& loop = loop_stats[i];
+    std::printf("  loop %-2zu           %llu conns, %llu frames in, "
+                "%llu wakeups, %.1f%% busy\n",
+                i, static_cast<unsigned long long>(loop.connections),
+                static_cast<unsigned long long>(loop.frames_in),
+                static_cast<unsigned long long>(loop.wakeups),
+                served_seconds > 0.0
+                    ? 100.0 * loop.busy_seconds / served_seconds
+                    : 0.0);
+  }
   std::printf("  engine            %zu series, %zu observations, "
               "%zu predictions\n",
               engine_stats.series, engine_stats.observations,
               engine_stats.predictions);
+  std::printf("  shard contention  %zu contended locks, %.3f s blocked\n",
+              engine_stats.contended_locks, engine_stats.lock_wait_seconds);
   if (!options.data_dir.empty()) {
     const auto epoch = engine.snapshot();
     std::printf("  final snapshot    epoch %llu into %s\n",
@@ -503,51 +524,84 @@ int cmd_loadgen(const Options& options) {
       options.batch == 0) {
     usage("--connections, --series, --steps, --batch must be positive");
   }
-  struct WorkerResult {
+  // --threads worker threads, each fanning out over --connections pipelined
+  // connections: a round starts the request on every connection before
+  // finishing any, so one thread keeps C requests in flight — enough
+  // offered concurrency to exercise a multi-loop server without paying one
+  // OS thread per connection on the loadgen side.
+  const std::size_t threads = options.threads == 0 ? 1 : options.threads;
+  struct ConnResult {
     std::vector<double> latencies_us;  // per request round trip
     std::uint64_t series_steps = 0;
+  };
+  struct WorkerResult {
+    std::vector<ConnResult> conns;
     std::string error;
   };
-  std::vector<WorkerResult> results(options.connections);
+  std::vector<WorkerResult> results(threads);
   std::vector<std::thread> workers;
   const auto t0 = std::chrono::steady_clock::now();
-  for (std::size_t c = 0; c < options.connections; ++c) {
-    workers.emplace_back([&, c] {
-      WorkerResult& result = results[c];
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      WorkerResult& result = results[t];
+      result.conns.resize(options.connections);
       try {
-        net::Client client(options.host,
-                           static_cast<std::uint16_t>(options.port));
-        // Disjoint key space per connection so shard contention comes from
-        // concurrency, not key collisions.
-        std::vector<tsdb::SeriesKey> keys(options.series);
-        for (std::size_t s = 0; s < options.series; ++s) {
-          keys[s] = {"lg" + std::to_string(c), "dev" + std::to_string(s % 8),
-                     "m" + std::to_string(s)};
+        std::vector<std::unique_ptr<net::Client>> clients;
+        // Disjoint key space per (thread, connection) so shard contention
+        // comes from concurrency, not key collisions.
+        std::vector<std::vector<tsdb::SeriesKey>> keys(options.connections);
+        for (std::size_t c = 0; c < options.connections; ++c) {
+          clients.push_back(std::make_unique<net::Client>(
+              options.host, static_cast<std::uint16_t>(options.port)));
+          keys[c].resize(options.series);
+          for (std::size_t s = 0; s < options.series; ++s) {
+            keys[c][s] = {"lg" + std::to_string(t) + "c" + std::to_string(c),
+                          "dev" + std::to_string(s % 8),
+                          "m" + std::to_string(s)};
+          }
+          result.conns[c].latencies_us.reserve(options.steps * 2);
         }
-        Rng rng(options.seed + c);
+        Rng rng(options.seed + t);
         std::vector<serve::Observation> batch(options.batch);
         std::vector<serve::Prediction> predictions;
-        result.latencies_us.reserve(options.steps * 2);
+        std::vector<std::uint64_t> ids(options.connections);
+        std::vector<std::chrono::steady_clock::time_point> started(
+            options.connections);
+        const auto finish_round = [&](bool predicts, std::size_t n) {
+          for (std::size_t c = 0; c < options.connections; ++c) {
+            if (predicts) {
+              clients[c]->finish_predict(ids[c], n, predictions);
+            } else {
+              (void)clients[c]->finish_observe(ids[c]);
+            }
+            result.conns[c].latencies_us.push_back(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - started[c])
+                    .count());
+          }
+        };
         for (std::size_t step = 0; step < options.steps; ++step) {
           for (std::size_t lo = 0; lo < options.series; lo += options.batch) {
             const std::size_t n =
                 std::min(options.batch, options.series - lo);
-            for (std::size_t i = 0; i < n; ++i) {
-              batch[i] = {keys[lo + i], 50.0 + rng.normal(0.0, 2.0)};
+            for (std::size_t c = 0; c < options.connections; ++c) {
+              for (std::size_t i = 0; i < n; ++i) {
+                batch[i] = {keys[c][lo + i], 50.0 + rng.normal(0.0, 2.0)};
+              }
+              started[c] = std::chrono::steady_clock::now();
+              ids[c] = clients[c]->start_observe(
+                  std::span<const serve::Observation>(batch.data(), n));
             }
-            const auto r0 = std::chrono::steady_clock::now();
-            (void)client.observe(std::span<const serve::Observation>(
-                batch.data(), n));
-            const auto r1 = std::chrono::steady_clock::now();
-            client.predict(
-                std::span<const tsdb::SeriesKey>(keys.data() + lo, n),
-                predictions);
-            const auto r2 = std::chrono::steady_clock::now();
-            result.latencies_us.push_back(
-                std::chrono::duration<double, std::micro>(r1 - r0).count());
-            result.latencies_us.push_back(
-                std::chrono::duration<double, std::micro>(r2 - r1).count());
-            result.series_steps += n;
+            finish_round(/*predicts=*/false, n);
+            for (std::size_t c = 0; c < options.connections; ++c) {
+              started[c] = std::chrono::steady_clock::now();
+              ids[c] = clients[c]->start_predict(
+                  std::span<const tsdb::SeriesKey>(keys[c].data() + lo, n));
+            }
+            finish_round(/*predicts=*/true, n);
+            for (std::size_t c = 0; c < options.connections; ++c) {
+              result.conns[c].series_steps += n;
+            }
           }
         }
       } catch (const std::exception& e) {
@@ -560,33 +614,47 @@ int cmd_loadgen(const Options& options) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  std::vector<double> latencies;
+  const auto pct = [](const std::vector<double>& sorted, double p) {
+    const auto at = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[at];
+  };
+  std::vector<double> all;
+  std::vector<double> conn_p50s;
+  std::vector<double> conn_p99s;
   std::uint64_t series_steps = 0;
-  for (const auto& result : results) {
+  for (auto& result : results) {
     if (!result.error.empty()) {
       std::fprintf(stderr, "error: loadgen worker failed: %s\n",
                    result.error.c_str());
       return 1;
     }
-    latencies.insert(latencies.end(), result.latencies_us.begin(),
-                     result.latencies_us.end());
-    series_steps += result.series_steps;
+    for (auto& conn : result.conns) {
+      if (conn.latencies_us.empty()) continue;
+      std::sort(conn.latencies_us.begin(), conn.latencies_us.end());
+      conn_p50s.push_back(pct(conn.latencies_us, 0.50));
+      conn_p99s.push_back(pct(conn.latencies_us, 0.99));
+      all.insert(all.end(), conn.latencies_us.begin(),
+                 conn.latencies_us.end());
+      series_steps += conn.series_steps;
+    }
   }
-  std::sort(latencies.begin(), latencies.end());
-  const auto pct = [&](double p) {
-    const auto at = static_cast<std::size_t>(
-        p * static_cast<double>(latencies.size() - 1));
-    return latencies[at];
-  };
-  std::printf("loadgen: %zu connections x %zu series x %zu steps "
-              "(batch %zu) against %s:%zu\n",
-              options.connections, options.series, options.steps,
+  std::sort(all.begin(), all.end());
+  std::printf("loadgen: %zu threads x %zu connections x %zu series x %zu "
+              "steps (batch %zu) against %s:%zu\n",
+              threads, options.connections, options.series, options.steps,
               options.batch, options.host.c_str(), options.port);
   std::printf("  observe+predict   %.3f s -> %.0f series-steps/s\n", wall,
               static_cast<double>(series_steps) / wall);
   std::printf("  request latency   p50 %.1f us  p95 %.1f us  p99 %.1f us "
               "(%zu requests)\n",
-              pct(0.50), pct(0.95), pct(0.99), latencies.size());
+              pct(all, 0.50), pct(all, 0.95), pct(all, 0.99), all.size());
+  const auto minmax_p50 = std::minmax_element(conn_p50s.begin(), conn_p50s.end());
+  const auto minmax_p99 = std::minmax_element(conn_p99s.begin(), conn_p99s.end());
+  std::printf("  per-connection    p50 %.1f..%.1f us  p99 %.1f..%.1f us "
+              "(%zu connections)\n",
+              *minmax_p50.first, *minmax_p50.second, *minmax_p99.first,
+              *minmax_p99.second, conn_p50s.size());
   return 0;
 }
 
