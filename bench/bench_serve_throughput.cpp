@@ -429,16 +429,23 @@ void write_json(const char* path, const std::vector<ScalingPoint>& scaling,
   std::fprintf(out, "    ],\n    \"net_scaling\": [\n");
   for (std::size_t i = 0; i < net_scaling.size(); ++i) {
     const NetPoint& p = net_scaling[i];
+    // On a single-core host the point is tagged so downstream dashboards
+    // never mistake scheduling pressure for a scaling regression.
     std::fprintf(out,
                  "      {\"threads\": %zu, \"connections\": %zu, "
                  "\"series_steps_per_sec\": %.0f, \"reuseport\": %s, "
                  "\"loop_busy_min\": %.3f, \"loop_busy_max\": %.3f, "
-                 "\"contended_locks\": %llu, \"lock_wait_seconds\": %.6f}%s\n",
+                 "\"contended_locks\": %llu, \"lock_wait_seconds\": %.6f%s}%s\n",
                  p.threads, p.connections, p.rate,
                  p.reuseport ? "true" : "false", p.loop_busy_min,
                  p.loop_busy_max,
                  static_cast<unsigned long long>(p.contended_locks),
-                 p.lock_wait_seconds, i + 1 < net_scaling.size() ? "," : "");
+                 p.lock_wait_seconds,
+                 host.cores == 1
+                     ? ", \"warning\": \"single-core host: loops, engine "
+                       "workers, and loadgen share one core\""
+                     : "",
+                 i + 1 < net_scaling.size() ? "," : "");
   }
   std::fprintf(out, "    ],\n    \"kdtree_add\": [\n");
   for (std::size_t i = 0; i < adds.size(); ++i) {
@@ -493,6 +500,13 @@ int main(int argc, char** argv) {
   const HostInfo host = host_info();
   std::printf("host: %zu cores, cpufreq governor %s\n\n", host.cores,
               host.governor.c_str());
+  if (net && host.cores == 1) {
+    std::fprintf(stderr,
+                 "warning: --net on a single-core host — the server event "
+                 "loops, engine workers, and the in-process loadgen all share "
+                 "one core, so the net_scaling numbers measure scheduling "
+                 "pressure, not scaling; treat them as smoke coverage only\n");
+  }
   const auto scaling = bench_engine_scaling(quick);
   const auto net_scaling =
       net ? bench_net_scaling(quick) : std::vector<NetPoint>{};

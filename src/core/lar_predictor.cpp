@@ -186,6 +186,12 @@ std::span<const double> LarPredictor::prediction_window() {
 }
 
 LarPredictor::Forecast LarPredictor::predict_next() {
+  Forecast forecast = peek_next();
+  pending_forecast_ = forecast.value;
+  return forecast;
+}
+
+LarPredictor::Forecast LarPredictor::peek_next() {
   require_trained();
   const auto window = prediction_window();
   // Selection always happens in PCA space on the true window (§6.2).
@@ -215,7 +221,6 @@ LarPredictor::Forecast LarPredictor::predict_next() {
   if (resolved_forecasts_ >= config_.uncertainty_warmup()) {
     forecast.uncertainty = std::sqrt(residuals_->value());
   }
-  pending_forecast_ = forecast.value;
   return forecast;
 }
 

@@ -81,6 +81,14 @@ class LarPredictor {
   /// (Non-const because the Selector interface is stateful in general.)
   [[nodiscard]] Forecast predict_next();
 
+  /// predict_next() without the side effect: computes the same forecast but
+  /// does NOT record it as the pending forecast for residual tracking, so the
+  /// predictor's logical state is unchanged.  Replication followers serve
+  /// reads through this path — the leader's own predict_next() stream stays
+  /// the single source of the replicated residual history.  (Still non-const:
+  /// selection shares the stateful Selector interface and scratch buffers.)
+  [[nodiscard]] Forecast peek_next();
+
   /// Re-runs the training pass on fresh data (the Quality Assuror's
   /// re-training order, §3.2) — equivalent to train() but keeps the pool.
   void retrain(std::span<const double> recent_raw_series);

@@ -1,6 +1,7 @@
 #include "net/client.hpp"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -10,6 +11,28 @@ namespace larp::net {
 
 Client::Client(const std::string& host, std::uint16_t port)
     : fd_(connect_tcp(host, port)) {}
+
+Client::Client(const std::string& host, std::uint16_t port,
+               const ClientConfig& config)
+    : fd_(connect_tcp(host, port,
+                      static_cast<std::uint32_t>(
+                          config.connect_timeout.count() < 0
+                              ? 0
+                              : config.connect_timeout.count()))) {
+  if (config.read_timeout.count() > 0) {
+    // SO_RCVTIMEO turns a silent socket's blocking read into EAGAIN after
+    // the interval; read_reply maps that to a "timed out" NetError.
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(config.read_timeout.count() / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((config.read_timeout.count() % 1000) * 1000);
+    if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) !=
+        0) {
+      throw NetError(std::string("net: setsockopt(SO_RCVTIMEO): ") +
+                     std::strerror(errno));
+    }
+  }
+}
 
 void Client::ping() {
   const std::uint64_t id = next_id_++;
@@ -119,6 +142,10 @@ FrameHeader Client::read_reply(std::vector<std::byte>& body) {
     }
     if (n == 0) throw NetError("net: connection closed by server");
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Only reachable with ClientConfig::read_timeout set (SO_RCVTIMEO).
+      throw NetError("net: reply read timed out");
+    }
     throw NetError(std::string("net: read: ") + std::strerror(errno));
   }
 }
@@ -151,9 +178,10 @@ void Client::expect_reply(MsgType type, std::uint64_t id,
     persist::io::Reader r(body);
     (void)decode_header(r);
     const WireError err = decode_error(r);
-    throw NetError("net: server error " +
-                   std::to_string(static_cast<int>(err.code)) + ": " +
-                   err.message);
+    throw ServerError(err.code,
+                      "net: server error " +
+                          std::to_string(static_cast<int>(err.code)) + ": " +
+                          err.message);
   }
   if (h.type != type || h.id != id) {
     throw NetError("net: unexpected reply type or id");

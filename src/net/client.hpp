@@ -5,6 +5,7 @@
 // frames and observe the server's error replies.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -15,10 +16,37 @@
 
 namespace larp::net {
 
+/// A well-formed kError reply from the server, surfaced with its typed code
+/// so callers can react per class — in particular kStale from a lagging
+/// replication follower means "fail over to the leader", not "give up".
+class ServerError : public NetError {
+ public:
+  ServerError(ErrorCode code, const std::string& message)
+      : NetError(message), code_(code) {}
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+struct ClientConfig {
+  /// Abort a connect that has not completed within this window (0 = wait
+  /// however long the kernel takes).
+  std::chrono::milliseconds connect_timeout{0};
+  /// Abort a reply wait when the socket stays silent this long (0 = block
+  /// forever).  Applies per read(2), i.e. to reply *silence*, not to the
+  /// total transfer time of a large reply that keeps arriving.
+  std::chrono::milliseconds read_timeout{0};
+};
+
 class Client {
  public:
   /// Connects immediately (blocking); throws NetError on failure.
   Client(const std::string& host, std::uint16_t port);
+  /// Connect with timeouts (see ClientConfig); throws NetError on failure,
+  /// with "timed out" in the message when a deadline expired.
+  Client(const std::string& host, std::uint16_t port,
+         const ClientConfig& config);
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;

@@ -161,6 +161,69 @@ void encode_error(Writer& body, std::uint64_t id, ErrorCode code,
   for (char c : message) body.u8(static_cast<std::uint8_t>(c));
 }
 
+namespace {
+
+void position_table(Writer& body, std::span<const std::uint64_t> positions) {
+  body.u64(positions.size());
+  for (std::uint64_t p : positions) body.u64(p);
+}
+
+std::vector<std::uint64_t> position_table(Reader& r) {
+  const std::uint64_t n = r.length(r.u64(), sizeof(std::uint64_t));
+  std::vector<std::uint64_t> positions(static_cast<std::size_t>(n));
+  for (auto& p : positions) p = r.u64();
+  return positions;
+}
+
+}  // namespace
+
+void encode_repl_hello(Writer& body, std::uint64_t id,
+                       std::uint32_t proto_version,
+                       std::span<const std::uint64_t> positions) {
+  header(body, MsgType::kReplHello, id);
+  body.u32(proto_version);
+  position_table(body, positions);
+}
+
+void encode_repl_ack(Writer& body, std::uint64_t id,
+                     std::span<const std::uint64_t> positions) {
+  header(body, MsgType::kReplAck, id);
+  position_table(body, positions);
+}
+
+void encode_repl_snapshot_chunk(Writer& body, std::uint64_t id,
+                                std::uint64_t epoch, std::uint64_t total_bytes,
+                                std::uint64_t offset,
+                                std::span<const std::byte> data, bool last) {
+  header(body, MsgType::kReplSnapshotChunk, id);
+  body.u64(epoch);
+  body.u64(total_bytes);
+  body.u64(offset);
+  body.u64(data.size());
+  body.bytes(data);
+  body.boolean(last);
+}
+
+void encode_repl_frames(Writer& body, std::uint64_t id, std::uint32_t shard,
+                        std::span<const ReplFrame> frames) {
+  header(body, MsgType::kReplFrames, id);
+  body.u32(shard);
+  body.u64(frames.size());
+  for (const auto& f : frames) {
+    body.u64(f.seq);
+    body.u64(f.payload.size());
+    body.bytes(f.payload);
+  }
+}
+
+void encode_repl_heartbeat(Writer& body, std::uint64_t id,
+                           std::uint64_t leader_unix_ms,
+                           std::span<const std::uint64_t> positions) {
+  header(body, MsgType::kReplHeartbeat, id);
+  body.u64(leader_unix_ms);
+  position_table(body, positions);
+}
+
 FrameHeader decode_header(Reader& r) {
   FrameHeader h;
   h.type = static_cast<MsgType>(r.u8());
@@ -242,6 +305,70 @@ WireError decode_error(Reader& r) {
     throw persist::CorruptData("net: trailing bytes after error reply");
   }
   return e;
+}
+
+ReplHello decode_repl_hello(Reader& r) {
+  ReplHello h;
+  h.proto_version = r.u32();
+  h.positions = position_table(r);
+  if (!r.exhausted()) {
+    throw persist::CorruptData("net: trailing bytes after repl hello");
+  }
+  return h;
+}
+
+std::vector<std::uint64_t> decode_repl_ack(Reader& r) {
+  auto positions = position_table(r);
+  if (!r.exhausted()) {
+    throw persist::CorruptData("net: trailing bytes after repl ack");
+  }
+  return positions;
+}
+
+ReplSnapshotChunk decode_repl_snapshot_chunk(Reader& r) {
+  ReplSnapshotChunk c;
+  c.epoch = r.u64();
+  c.total_bytes = r.u64();
+  c.offset = r.u64();
+  const std::uint64_t n = r.length(r.u64());
+  c.data = r.bytes(static_cast<std::size_t>(n));
+  c.last = r.boolean();
+  if (!r.exhausted()) {
+    throw persist::CorruptData("net: trailing bytes after snapshot chunk");
+  }
+  if (c.offset > c.total_bytes || c.data.size() > c.total_bytes - c.offset) {
+    throw persist::CorruptData("net: snapshot chunk overruns container size");
+  }
+  return c;
+}
+
+std::uint32_t decode_repl_frames(Reader& r, std::vector<ReplFrame>& out) {
+  const std::uint32_t shard = r.u32();
+  // A WAL frame payload is at least one byte (its record type tag), so the
+  // cheapest legal frame encoding is seq + length prefix + that byte.
+  const std::uint64_t n = r.length(r.u64(), 8 + 8 + 1);
+  out.reserve(out.size() + static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ReplFrame f;
+    f.seq = r.u64();
+    const std::uint64_t len = r.length(r.u64());
+    f.payload = r.bytes(static_cast<std::size_t>(len));
+    out.push_back(f);
+  }
+  if (!r.exhausted()) {
+    throw persist::CorruptData("net: trailing bytes after repl frames");
+  }
+  return shard;
+}
+
+ReplHeartbeat decode_repl_heartbeat(Reader& r) {
+  ReplHeartbeat hb;
+  hb.leader_unix_ms = r.u64();
+  hb.positions = position_table(r);
+  if (!r.exhausted()) {
+    throw persist::CorruptData("net: trailing bytes after repl heartbeat");
+  }
+  return hb;
 }
 
 }  // namespace larp::net

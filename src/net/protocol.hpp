@@ -48,10 +48,17 @@ enum class MsgType : std::uint8_t {
   kObserve = 0x01,
   kPredict = 0x02,
   kStats = 0x03,
+  // Replication (follower → leader).
+  kReplHello = 0x10,
+  kReplAck = 0x11,
   kPong = 0x80,
   kObserveAck = 0x81,
   kPredictReply = 0x82,
   kStatsReply = 0x83,
+  // Replication (leader → follower).
+  kReplSnapshotChunk = 0x90,
+  kReplFrames = 0x91,
+  kReplHeartbeat = 0x92,
   kError = 0xFF,
 };
 
@@ -59,6 +66,7 @@ enum class ErrorCode : std::uint8_t {
   kBadFrame = 1,    // framing/CRC failure — the stream itself is unusable
   kBadRequest = 2,  // well-framed body that fails payload validation
   kInternal = 3,    // the engine rejected an otherwise valid request
+  kStale = 4,       // follower read refused: lag exceeds max_staleness
 };
 
 struct FrameHeader {
@@ -79,6 +87,47 @@ struct WireStats {
 struct WireError {
   ErrorCode code = ErrorCode::kInternal;
   std::string message;
+};
+
+// -- replication payloads ---------------------------------------------------
+// A follower opens the stream with kReplHello carrying its per-shard WAL
+// positions (next_seq it expects per shard).  An empty position table means
+// "I have nothing — bootstrap me": the leader answers with a snapshot shipped
+// in kReplSnapshotChunk frames, after which the follower restores locally and
+// re-sends Hello with its post-restore positions.  Live traffic then flows as
+// kReplFrames (verbatim WAL frames, per shard, in seq order) interleaved with
+// kReplHeartbeat (leader clock + published positions); the follower reports
+// applied positions back with kReplAck so the leader can hold WAL pruning.
+
+inline constexpr std::uint32_t kReplProtocolVersion = 1;
+
+struct ReplHello {
+  std::uint32_t proto_version = kReplProtocolVersion;
+  /// Per-shard next expected WAL seq.  Empty = fresh follower, bootstrap me.
+  std::vector<std::uint64_t> positions;
+};
+
+struct ReplSnapshotChunk {
+  std::uint64_t epoch = 0;        // snapshot epoch (its filename stamp)
+  std::uint64_t total_bytes = 0;  // full container size, repeated per chunk
+  std::uint64_t offset = 0;       // this chunk's byte offset
+  bool last = false;
+  /// Borrows the decoded frame body; valid until the decoder's next feed().
+  std::span<const std::byte> data;
+};
+
+/// One WAL frame in a kReplFrames batch.  The payload bytes are exactly the
+/// engine's WAL frame payload (post-seq), shipped verbatim so the follower
+/// appends/applies bit-identical records.
+struct ReplFrame {
+  std::uint64_t seq = 0;
+  std::span<const std::byte> payload;  // borrows the decoded frame body
+};
+
+struct ReplHeartbeat {
+  std::uint64_t leader_unix_ms = 0;
+  /// Leader's published per-shard positions (next_seq per shard).
+  std::vector<std::uint64_t> positions;
 };
 
 // -- framing ----------------------------------------------------------------
@@ -132,6 +181,21 @@ void encode_stats_reply(persist::io::Writer& body, std::uint64_t id,
                         const serve::EngineStats& stats);
 void encode_error(persist::io::Writer& body, std::uint64_t id, ErrorCode code,
                   std::string_view message);
+void encode_repl_hello(persist::io::Writer& body, std::uint64_t id,
+                       std::uint32_t proto_version,
+                       std::span<const std::uint64_t> positions);
+void encode_repl_ack(persist::io::Writer& body, std::uint64_t id,
+                     std::span<const std::uint64_t> positions);
+void encode_repl_snapshot_chunk(persist::io::Writer& body, std::uint64_t id,
+                                std::uint64_t epoch, std::uint64_t total_bytes,
+                                std::uint64_t offset,
+                                std::span<const std::byte> data, bool last);
+void encode_repl_frames(persist::io::Writer& body, std::uint64_t id,
+                        std::uint32_t shard,
+                        std::span<const ReplFrame> frames);
+void encode_repl_heartbeat(persist::io::Writer& body, std::uint64_t id,
+                           std::uint64_t leader_unix_ms,
+                           std::span<const std::uint64_t> positions);
 
 // -- body decoding ----------------------------------------------------------
 // All of these throw persist::CorruptData on payload validation failure;
@@ -158,5 +222,17 @@ void decode_predict_reply(persist::io::Reader& r,
                           std::vector<serve::Prediction>& out);
 [[nodiscard]] WireStats decode_stats_reply(persist::io::Reader& r);
 [[nodiscard]] WireError decode_error(persist::io::Reader& r);
+
+[[nodiscard]] ReplHello decode_repl_hello(persist::io::Reader& r);
+/// kReplAck payload is a bare position table, same layout as Hello's.
+[[nodiscard]] std::vector<std::uint64_t> decode_repl_ack(persist::io::Reader& r);
+/// The returned chunk's `data` borrows the reader's buffer.
+[[nodiscard]] ReplSnapshotChunk decode_repl_snapshot_chunk(
+    persist::io::Reader& r);
+/// Appends the batch's frames to `out` (payload views borrow the reader's
+/// buffer); returns the batch's shard.
+[[nodiscard]] std::uint32_t decode_repl_frames(persist::io::Reader& r,
+                                               std::vector<ReplFrame>& out);
+[[nodiscard]] ReplHeartbeat decode_repl_heartbeat(persist::io::Reader& r);
 
 }  // namespace larp::net

@@ -594,6 +594,14 @@ void Server::flush_runs(Loop& loop, Conn& conn) {
         offset += entry.count;
         enqueue_reply(loop, conn);
       }
+    } catch (const serve::StaleRead& e) {
+      // A lagging follower refuses the read but keeps the connection: the
+      // client fails this request over to the leader and may retry here
+      // once the follower catches up.
+      for (const RunEntry& entry : conn.entries) {
+        encode_error(conn.reply, entry.id, ErrorCode::kStale, e.what());
+        enqueue_reply(loop, conn);
+      }
     } catch (const Error& e) {
       for (const RunEntry& entry : conn.entries) {
         encode_error(conn.reply, entry.id, ErrorCode::kInternal, e.what());

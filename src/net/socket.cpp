@@ -1,8 +1,10 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
@@ -84,6 +86,52 @@ Fd connect_tcp(const std::string& host, std::uint16_t port) {
                    sizeof(addr));
   } while (rc != 0 && errno == EINTR);
   if (rc != 0) raise_errno("connect " + host + ":" + std::to_string(port));
+  set_nodelay(fd.get());
+  return fd;
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port,
+               std::uint32_t timeout_ms) {
+  if (timeout_ms == 0) return connect_tcp(host, port);
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) raise_errno("socket");
+  const sockaddr_in addr = make_addr(host, port);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      raise_errno("connect " + host + ":" + std::to_string(port));
+    }
+    // In progress: poll for writability until the deadline, then read the
+    // final status out of SO_ERROR (a refused connect reports there, not
+    // through poll's return value).
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) raise_errno("poll(connect)");
+    if (rc == 0) {
+      throw NetError("net: connect " + host + ":" + std::to_string(port) +
+                     " timed out after " + std::to_string(timeout_ms) + "ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      raise_errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      throw NetError("net: connect " + host + ":" + std::to_string(port) +
+                     ": " + std::strerror(err));
+    }
+  }
+  // Back to blocking mode for the client's synchronous read/write loops.
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    raise_errno("fcntl(clear O_NONBLOCK)");
+  }
   set_nodelay(fd.get());
   return fd;
 }

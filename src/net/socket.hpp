@@ -67,6 +67,13 @@ class Fd {
 /// Blocking connect; the returned socket stays blocking (client use).
 [[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port);
 
+/// connect_tcp with a deadline: the connect itself is attempted in
+/// non-blocking mode and polled for up to `timeout_ms`; on expiry a NetError
+/// mentioning "timed out" is thrown.  timeout_ms == 0 degrades to the plain
+/// blocking connect.  The returned socket is blocking either way.
+[[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port,
+                             std::uint32_t timeout_ms);
+
 /// Accepts one pending connection as a non-blocking socket; returns an
 /// invalid Fd when the listener has none pending (EAGAIN).
 [[nodiscard]] Fd accept_conn(const Fd& listener);

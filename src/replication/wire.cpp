@@ -1,0 +1,71 @@
+#include "replication/wire.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/socket.hpp"
+
+namespace larp::replication::detail {
+
+bool send_all(int fd, std::span<const std::byte> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t w = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, 100) < 0 && errno != EINTR) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+int wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return -1;
+  if (rc == 0) return 0;
+  if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) return -1;
+  return 1;
+}
+
+bool read_available(int fd, net::FrameDecoder& decoder) {
+  std::byte buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      decoder.feed(std::span<const std::byte>(buf, static_cast<std::size_t>(n)));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) return true;
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    return false;
+  }
+}
+
+void make_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw net::NetError(std::string("repl: fcntl(O_NONBLOCK): ") +
+                        std::strerror(errno));
+  }
+}
+
+}  // namespace larp::replication::detail

@@ -1,0 +1,30 @@
+// replication::detail — blocking-ish socket helpers the leader sessions and
+// the follower client share.  All of them work on non-blocking sockets:
+// send_all waits out EAGAIN with poll, read_available drains only what is
+// already buffered.  Internal to src/replication.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "net/protocol.hpp"
+
+namespace larp::replication::detail {
+
+/// Full-transfer send: EINTR retried, EAGAIN waited out with poll.  Returns
+/// false on a hard error or hangup.
+[[nodiscard]] bool send_all(int fd, std::span<const std::byte> bytes);
+
+/// Waits up to `timeout_ms` for readability; 1 = readable, 0 = timeout,
+/// -1 = hangup/error.
+[[nodiscard]] int wait_readable(int fd, int timeout_ms);
+
+/// Drains whatever is currently readable into the decoder without blocking.
+/// Returns false on EOF or a hard error.
+[[nodiscard]] bool read_available(int fd, net::FrameDecoder& decoder);
+
+/// Puts an already-connected socket into non-blocking mode (the follower
+/// client connects blocking, then drives the stream with poll).
+void make_nonblocking(int fd);
+
+}  // namespace larp::replication::detail

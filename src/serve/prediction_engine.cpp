@@ -21,6 +21,13 @@ std::uint64_t nanos_since(Clock::time_point start) {
           .count());
 }
 
+std::uint64_t now_nanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
 // Engine snapshot payload version (inside the persist::snapshot container,
 // which carries its own format version and checksum).
 //
@@ -341,6 +348,11 @@ void PredictionEngine::observe_shard(Shard& shard,
 }
 
 void PredictionEngine::observe(std::span<const Observation> batch) {
+  if (config_.role == EngineRole::kFollower) {
+    throw StateError(
+        "follower engine: observe() must reach the leader — follower state "
+        "mutates only through replication");
+  }
   const auto start = Clock::now();
   if (batch.size() == 1) {
     // Direct dispatch: a single-sample call skips the grouping pass and the
@@ -366,6 +378,14 @@ void PredictionEngine::observe(std::span<const Observation> batch) {
 void PredictionEngine::observe(const tsdb::SeriesKey& key, double value) {
   const Observation one{key, value};
   observe(std::span<const Observation>(&one, 1));
+}
+
+Prediction PredictionEngine::peek_forecast(Shard& shard,
+                                           const tsdb::SeriesKey& key) {
+  const auto it = shard.series.find(key);
+  if (it == shard.series.end() || !it->second.predictor) return Prediction{};
+  const auto raw = it->second.predictor->peek_next();
+  return Prediction{true, raw.value, raw.label, raw.uncertainty};
 }
 
 Prediction PredictionEngine::forecast(Shard& shard,
@@ -395,6 +415,17 @@ void PredictionEngine::predict_shard(Shard& shard,
                                      std::span<const tsdb::SeriesKey> keys,
                                      std::span<const std::size_t> indices,
                                      std::vector<Prediction>& out) {
+  if (config_.role == EngineRole::kFollower) {
+    // Follower reads are side-effect free: no WAL frame (the follower's log
+    // must stay a byte copy of the leader's) and no prediction-DB record or
+    // pending-forecast update (those replicate in via the leader's own
+    // kWalPredict frames).
+    shard.predict_count.fetch_add(indices.size(), std::memory_order_relaxed);
+    for (std::size_t i : indices) {
+      out[i] = peek_forecast(shard, keys[i]);
+    }
+    return;
+  }
   if (shard.wal) {
     // Logged even for untrained series (where forecast() is a no-op):
     // replay must reproduce the exact call sequence, and whether a key
@@ -414,6 +445,7 @@ void PredictionEngine::predict_shard(Shard& shard,
 
 void PredictionEngine::predict_into(std::span<const tsdb::SeriesKey> keys,
                                     std::vector<Prediction>& out) {
+  check_freshness();
   const auto start = Clock::now();
   out.resize(keys.size());
   if (keys.size() == 1) {
@@ -440,6 +472,11 @@ Prediction PredictionEngine::predict(const tsdb::SeriesKey& key) {
 }
 
 bool PredictionEngine::erase(const tsdb::SeriesKey& key) {
+  if (config_.role == EngineRole::kFollower) {
+    throw StateError(
+        "follower engine: erase() must reach the leader — follower state "
+        "mutates only through replication");
+  }
   Shard& shard = shard_of(key);
   std::lock_guard lock(shard.mutex);
   wal_log(shard, kWalErase, key, nullptr);
@@ -486,6 +523,83 @@ void PredictionEngine::sync_wals_if_due() {
   for (auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
     if (shard->wal) (void)shard->wal->sync_if_due();
+  }
+}
+
+void PredictionEngine::check_freshness() const {
+  if (config_.role != EngineRole::kFollower) return;
+  if (config_.max_staleness.count() <= 0) return;
+  const std::uint64_t last =
+      last_caught_up_nanos_.load(std::memory_order_relaxed);
+  const auto bound = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          config_.max_staleness)
+          .count());
+  if (last == 0 || now_nanos() - last > bound) {
+    throw StaleRead(
+        "follower predict: replication lag exceeds max_staleness");
+  }
+}
+
+void PredictionEngine::replicate_frames(
+    std::uint32_t shard_id, std::span<const ReplicatedFrame> frames) {
+  if (config_.role != EngineRole::kFollower) {
+    throw StateError("replicate_frames: engine is not a follower");
+  }
+  if (shard_id >= shards_.size()) {
+    throw InvalidArgument("replicate_frames: shard id out of range");
+  }
+  if (frames.empty()) return;
+  Shard& shard = *shards_[shard_id];
+  const auto lock = lock_shard(shard);
+  // Verify contiguity against the shard's position before any byte is
+  // logged: a gap or rewind means the stream and this engine disagree about
+  // history, and appending would fork the log.
+  std::uint64_t expect =
+      shard.wal ? shard.wal->next_seq()
+                : shard.replicated_next.load(std::memory_order_relaxed);
+  for (const auto& frame : frames) {
+    if (frame.seq != expect) {
+      throw StateError("replicate_frames: shard " + std::to_string(shard_id) +
+                       " expected seq " + std::to_string(expect) + ", got " +
+                       std::to_string(frame.seq));
+    }
+    ++expect;
+  }
+  if (shard.wal) {
+    // Same log-before-apply group commit as the leader's own write path, so
+    // a follower's directory recovers with the identical replay machinery.
+    for (const auto& frame : frames) (void)shard.wal->stage(frame.payload);
+    shard.wal->commit();
+    maybe_notify_syncer(shard);
+  }
+  for (const auto& frame : frames) apply_wal_frame(shard, frame.payload);
+  shard.replicated_next.store(expect, std::memory_order_relaxed);
+  replicated_frames_.fetch_add(frames.size(), std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> PredictionEngine::wal_positions() const {
+  std::vector<std::uint64_t> positions(shards_.size(), 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::lock_guard lock(shard.mutex);
+    positions[s] =
+        shard.wal ? shard.wal->next_seq()
+                  : shard.replicated_next.load(std::memory_order_relaxed);
+  }
+  return positions;
+}
+
+void PredictionEngine::note_caught_up() {
+  last_caught_up_nanos_.store(now_nanos(), std::memory_order_relaxed);
+}
+
+void PredictionEngine::set_replication_floor(
+    std::span<const std::uint64_t> positions) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->retain_floor.store(
+        s < positions.size() ? positions[s] : ~0ull,
+        std::memory_order_relaxed);
   }
 }
 
@@ -626,11 +740,17 @@ std::uint64_t PredictionEngine::snapshot(const std::filesystem::path& dir) {
       dir, std::max<std::size_t>(1, config_.durability.keep_snapshots));
   if (dir == config_.durability.data_dir) {
     // Frames below the watermark are now covered by this snapshot on every
-    // recovery path, so whole segments beneath it can go.
+    // recovery path, so whole segments beneath it can go — except frames a
+    // connected replication follower still needs (retain_floor holds the
+    // lowest position any follower has yet to acknowledge).
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       Shard& shard = *shards_[s];
       std::lock_guard lock(shard.mutex);
-      if (shard.wal) shard.wal->prune_below(watermarks[s]);
+      if (shard.wal) {
+        shard.wal->prune_below(std::min(
+            watermarks[s],
+            shard.retain_floor.load(std::memory_order_relaxed)));
+      }
     }
   }
   snapshot_pause_nanos_.store(max_pause_nanos, std::memory_order_relaxed);
@@ -812,6 +932,20 @@ EngineStats PredictionEngine::stats() const {
   stats.snapshot_max_pause_seconds =
       static_cast<double>(snapshot_pause_nanos_.load(std::memory_order_relaxed)) *
       1e-9;
+  stats.replicated_frames =
+      replicated_frames_.load(std::memory_order_relaxed);
+  if (config_.role == EngineRole::kFollower) {
+    const std::uint64_t last =
+        last_caught_up_nanos_.load(std::memory_order_relaxed);
+    stats.replication_lag_seconds =
+        last == 0 ? std::numeric_limits<double>::infinity()
+                  : static_cast<double>(now_nanos() - last) * 1e-9;
+    const double bound =
+        static_cast<double>(config_.max_staleness.count()) * 1e-3;
+    stats.replication_fresh =
+        config_.max_staleness.count() <= 0 ||
+        stats.replication_lag_seconds <= bound;
+  }
   return stats;
 }
 

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <filesystem>
@@ -60,6 +61,30 @@ struct DurabilityConfig {
   std::size_t keep_snapshots = 2;
 };
 
+/// Replication role.  A follower's state mutates ONLY through
+/// replicate_frames() — local observe()/erase() throw StateError — so its
+/// WAL is a byte-for-byte copy of the leader's and its per-shard positions
+/// are directly comparable to the leader's.  Follower predict() runs the
+/// read-only peek path (no prediction-DB record, no WAL frame) gated by
+/// max_staleness.
+enum class EngineRole : std::uint8_t { kLeader, kFollower };
+
+/// Thrown by a follower's predict() when the engine has not been marked
+/// caught-up (note_caught_up()) within EngineConfig::max_staleness.  The
+/// network front-end answers it with a typed kStale error reply so clients
+/// fail over to the leader instead of acting on possibly-wrong data.
+class StaleRead : public Error {
+ public:
+  using Error::Error;
+};
+
+/// One WAL frame shipped from a leader, applied via replicate_frames().
+/// `payload` is the engine WAL frame payload (post-seq bytes), verbatim.
+struct ReplicatedFrame {
+  std::uint64_t seq = 0;
+  std::span<const std::byte> payload;
+};
+
 struct EngineConfig {
   core::LarConfig lar;
   qa::QaConfig quality;
@@ -76,6 +101,12 @@ struct EngineConfig {
   std::size_t audit_every = 24;
   /// Snapshot + write-ahead-log durability (off by default).
   DurabilityConfig durability;
+  /// Replication role (see EngineRole).  Runtime knob, never serialized.
+  EngineRole role = EngineRole::kLeader;
+  /// Follower read bound: predict() throws StaleRead when the last
+  /// note_caught_up() is further back than this.  Zero = no bound (reads are
+  /// served regardless of lag).  Ignored on a leader.
+  std::chrono::milliseconds max_staleness{0};
 };
 
 /// One incoming raw sample of a series.
@@ -121,6 +152,13 @@ struct EngineStats {
   /// serving pause an incremental snapshot actually causes (the engine-wide
   /// stop-the-world pause it replaced was the sum over all shards).
   double snapshot_max_pause_seconds = 0.0;
+  /// Follower lag gauges (leader engines report 0 / fresh=true).
+  std::size_t replicated_frames = 0;  // WAL frames applied via replication
+  /// Seconds since the follower last confirmed it was caught up with the
+  /// leader (note_caught_up()); infinity until the first confirmation.
+  double replication_lag_seconds = 0.0;
+  /// Whether predict() would currently be served (lag within max_staleness).
+  bool replication_fresh = true;
 };
 
 class PredictionEngine {
@@ -202,6 +240,36 @@ class PredictionEngine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
 
+  // -- replication ----------------------------------------------------------
+
+  /// Follower only: applies one contiguous run of leader WAL frames to shard
+  /// `shard_id`.  Frames are WAL-logged locally (when durability is on) and
+  /// applied in order, exactly like the leader's own log-before-apply — so a
+  /// follower's directory restores and resumes like a leader's.  Each
+  /// frame's seq must equal the shard's current position; a gap or rewind
+  /// throws StateError (the replication client must re-resume or
+  /// re-bootstrap rather than fork the log).
+  void replicate_frames(std::uint32_t shard_id,
+                        std::span<const ReplicatedFrame> frames);
+
+  /// Per-shard log positions: the next WAL seq each shard would assign
+  /// (leader), or the next seq a follower expects to replicate.  Positions
+  /// are comparable across a leader/follower pair because follower state
+  /// mutates only through replicate_frames().
+  [[nodiscard]] std::vector<std::uint64_t> wal_positions() const;
+
+  /// Follower only: records "as of now, this engine had applied everything
+  /// the leader had published" — the staleness clock predict() checks.
+  /// Called by the replication client when a heartbeat confirms its applied
+  /// positions cover the leader's.
+  void note_caught_up();
+
+  /// Leader only: holds WAL pruning so every shard retains frames from
+  /// `positions[shard]` on, letting a connected follower resume after the
+  /// next snapshot.  An empty span clears the floor (prune by snapshot
+  /// watermark alone).
+  void set_replication_floor(std::span<const std::uint64_t> positions);
+
  private:
   struct SeriesState {
     std::deque<double> history;  // recent raw samples, capacity-bounded
@@ -251,6 +319,14 @@ class PredictionEngine {
     // appends allocate nothing once capacities are established.
     std::optional<persist::WalWriter> wal;
     persist::io::Writer wal_payload;
+    // Replication position when no WAL backs this shard (an in-memory
+    // follower): next seq replicate_frames() expects.  With a WAL the
+    // writer's own next_seq() is authoritative.
+    std::atomic<std::uint64_t> replicated_next{0};
+    // Leader-side prune floor: the lowest position any follower still needs
+    // (kNoFloor = unconstrained).  Written by set_replication_floor(), read
+    // by snapshot()'s pruning pass.
+    std::atomic<std::uint64_t> retain_floor{~0ull};
   };
 
   [[nodiscard]] Shard& shard_of(const tsdb::SeriesKey& key);
@@ -267,6 +343,13 @@ class PredictionEngine {
                      std::vector<Prediction>& out);
   void absorb(Shard& shard, const tsdb::SeriesKey& key, double value);
   [[nodiscard]] Prediction forecast(Shard& shard, const tsdb::SeriesKey& key);
+  /// Read-only forecast (LarPredictor::peek_next): no prediction-DB record,
+  /// no pending-forecast update — the follower read path.
+  [[nodiscard]] Prediction peek_forecast(Shard& shard,
+                                         const tsdb::SeriesKey& key);
+  /// Throws StaleRead when a bounded follower has not been caught up within
+  /// max_staleness; no-op on leaders and unbounded followers.
+  void check_freshness() const;
   void train_series(Shard& shard, const tsdb::SeriesKey& key,
                     SeriesState& state, bool is_retrain);
   bool erase_locked(Shard& shard, const tsdb::SeriesKey& key);
@@ -310,6 +393,10 @@ class PredictionEngine {
   std::atomic<std::uint64_t> predict_nanos_{0};
   std::atomic<std::uint64_t> snapshot_pause_nanos_{0};
   std::atomic<std::size_t> snapshots_{0};
+  // Follower freshness clock: steady-clock nanos of the last caught-up
+  // confirmation; 0 = never confirmed (stale until the first heartbeat).
+  std::atomic<std::uint64_t> last_caught_up_nanos_{0};
+  std::atomic<std::size_t> replicated_frames_{0};
   /// True when wal.mode == Async with a policy the syncer owns (not Always).
   bool async_wal_ = false;
   /// Declared after shards_ so it is destroyed (thread joined) before the

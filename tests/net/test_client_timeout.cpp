@@ -1,0 +1,93 @@
+// Client failure-path regressions: a connect against a closed port must
+// fail fast with NetError (not hang), a silent server must trip the
+// configured read timeout, and a server that dies mid-reply must surface a
+// NetError instead of blocking forever on the half-delivered frame.
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/socket.hpp"
+
+namespace larp::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Bind-and-release: the kernel handed this port out moments ago, so nothing
+// else is likely to be listening on it right after close.
+std::uint16_t recently_closed_port() {
+  const Fd listener = listen_tcp("127.0.0.1", 0);
+  return local_port(listener);
+}
+
+// Blocks until the listener has a pending connection, then accepts it.
+Fd accept_blocking(const Fd& listener) {
+  pollfd pfd{listener.get(), POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, 2000);
+  EXPECT_EQ(rc, 1);
+  return accept_conn(listener);
+}
+
+TEST(ClientTimeout, ClosedPortFailsFast) {
+  const std::uint16_t port = recently_closed_port();
+  ClientConfig config;
+  config.connect_timeout = 500ms;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW((Client{"127.0.0.1", port, config}), NetError);
+  // Loopback refuses immediately; the bound is just "didn't hang".
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+}
+
+TEST(ClientTimeout, SilentServerTripsReadTimeout) {
+  // A listener whose backlog completes the TCP handshake but whose owner
+  // never replies: the read deadline is the only way out.
+  const Fd listener = listen_tcp("127.0.0.1", 0);
+  ClientConfig config;
+  config.read_timeout = 100ms;
+  Client client("127.0.0.1", local_port(listener), config);
+  const Fd conn = accept_blocking(listener);
+  ASSERT_TRUE(conn.valid());
+
+  std::vector<std::byte> body;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)client.read_reply(body);
+    FAIL() << "read against a silent server returned";
+  } catch (const NetError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos)
+        << e.what();
+  }
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(waited, 50ms);
+  EXPECT_LT(waited, 5s);
+}
+
+TEST(ClientTimeout, ServerDyingMidReplyIsAnError) {
+  const Fd listener = listen_tcp("127.0.0.1", 0);
+  ClientConfig config;
+  config.read_timeout = 2000ms;
+  Client client("127.0.0.1", local_port(listener), config);
+  {
+    const Fd conn = accept_blocking(listener);
+    ASSERT_TRUE(conn.valid());
+    // Half a frame: a length header promising 64 bytes, then the "server"
+    // is gone.  accept_conn() hands back a non-blocking fd, but four bytes
+    // into an empty socket buffer never short-write.
+    const unsigned char partial[4] = {64, 0, 0, 0};
+    ASSERT_EQ(::send(conn.get(), partial, sizeof partial, MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof partial));
+  }  // conn closes here — EOF mid-frame on the client side
+
+  std::vector<std::byte> body;
+  EXPECT_THROW((void)client.read_reply(body), NetError);
+}
+
+}  // namespace
+}  // namespace larp::net

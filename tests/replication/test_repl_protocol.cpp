@@ -1,0 +1,319 @@
+// Replication wire-format tests: committed golden frames (byte-for-byte,
+// including the masked CRC32C), encode/decode round trips, and rejection of
+// truncated or corrupt payloads.  These frame layouts are protocol surface
+// shared between leader and follower builds — any byte-level change breaks
+// live replication streams and must trip here first.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "persist/crc32c.hpp"
+#include "persist/io.hpp"
+#include "util/error.hpp"
+
+namespace larp::net {
+namespace {
+
+using persist::io::Reader;
+using persist::io::Writer;
+
+std::vector<std::byte> frame_of(const Writer& body) {
+  std::vector<std::byte> out;
+  append_frame(out, body.bytes());
+  return out;
+}
+
+void push_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void push_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void expect_frame_bytes(const std::vector<std::byte>& frame,
+                        const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> expected;
+  push_u32(expected, static_cast<std::uint32_t>(body.size()));
+  push_u32(expected, persist::crc32c_mask(persist::crc32c(
+                         std::as_bytes(std::span(body)))));
+  expected.insert(expected.end(), body.begin(), body.end());
+  ASSERT_EQ(frame.size(), expected.size());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_EQ(std::to_integer<std::uint8_t>(frame[i]), expected[i])
+        << "byte " << i;
+  }
+}
+
+// -- golden frames ----------------------------------------------------------
+
+// Hello: [type=0x10][id][proto u32][count u64][positions u64...].
+TEST(ReplProtocol, GoldenHelloFrameBytes) {
+  Writer body;
+  const std::uint64_t positions[] = {7, 9};
+  encode_repl_hello(body, 0x0102030405060708ull, kReplProtocolVersion,
+                    positions);
+
+  std::vector<std::uint8_t> expected_body = {0x10};
+  push_u64(expected_body, 0x0102030405060708ull);
+  push_u32(expected_body, 1);  // kReplProtocolVersion, pinned
+  push_u64(expected_body, 2);
+  push_u64(expected_body, 7);
+  push_u64(expected_body, 9);
+  expect_frame_bytes(frame_of(body), expected_body);
+}
+
+// The masked CRC literal itself, pinned: a polynomial or masking change
+// would recompute consistently in the layout test above, so pin the exact
+// value today's implementation produces.
+TEST(ReplProtocol, GoldenHelloFrameCrcPinned) {
+  Writer body;
+  const std::uint64_t positions[] = {7, 9};
+  encode_repl_hello(body, 0x0102030405060708ull, kReplProtocolVersion,
+                    positions);
+  EXPECT_EQ(persist::crc32c_mask(persist::crc32c(body.bytes())), 0xD555741Du);
+}
+
+// Ack: [type=0x11][id][count u64][positions u64...] — a bare position table.
+TEST(ReplProtocol, GoldenAckFrameBytes) {
+  Writer body;
+  const std::uint64_t positions[] = {1, 0, 42};
+  encode_repl_ack(body, 5, positions);
+
+  std::vector<std::uint8_t> expected_body = {0x11};
+  push_u64(expected_body, 5);
+  push_u64(expected_body, 3);
+  push_u64(expected_body, 1);
+  push_u64(expected_body, 0);
+  push_u64(expected_body, 42);
+  expect_frame_bytes(frame_of(body), expected_body);
+}
+
+// SnapshotChunk: [0x90][id][epoch][total][offset][len u64][data...][last u8].
+TEST(ReplProtocol, GoldenSnapshotChunkFrameBytes) {
+  Writer body;
+  const std::uint8_t data[] = {0xAA, 0xBB, 0xCC};
+  encode_repl_snapshot_chunk(body, 2, /*epoch=*/4, /*total_bytes=*/10,
+                             /*offset=*/7, std::as_bytes(std::span(data)),
+                             /*last=*/true);
+
+  std::vector<std::uint8_t> expected_body = {0x90};
+  push_u64(expected_body, 2);
+  push_u64(expected_body, 4);
+  push_u64(expected_body, 10);
+  push_u64(expected_body, 7);
+  push_u64(expected_body, 3);
+  expected_body.insert(expected_body.end(), {0xAA, 0xBB, 0xCC});
+  expected_body.push_back(1);
+  expect_frame_bytes(frame_of(body), expected_body);
+}
+
+// Frames: [0x91][id][shard u32][count u64] then per frame [seq][len][bytes].
+TEST(ReplProtocol, GoldenFramesFrameBytes) {
+  Writer body;
+  const std::uint8_t payload[] = {0x01, 0x02, 0x03, 0x04, 0x05,
+                                  0x06, 0x07, 0x08, 0x09};
+  const ReplFrame frames[] = {{17, std::as_bytes(std::span(payload))}};
+  encode_repl_frames(body, 3, /*shard=*/2, frames);
+
+  std::vector<std::uint8_t> expected_body = {0x91};
+  push_u64(expected_body, 3);
+  push_u32(expected_body, 2);
+  push_u64(expected_body, 1);
+  push_u64(expected_body, 17);
+  push_u64(expected_body, 9);
+  expected_body.insert(expected_body.end(), std::begin(payload),
+                       std::end(payload));
+  expect_frame_bytes(frame_of(body), expected_body);
+}
+
+// Heartbeat: [0x92][id][leader_unix_ms u64][count u64][positions u64...].
+TEST(ReplProtocol, GoldenHeartbeatFrameBytes) {
+  Writer body;
+  const std::uint64_t positions[] = {100};
+  encode_repl_heartbeat(body, 9, /*leader_unix_ms=*/123456789, positions);
+
+  std::vector<std::uint8_t> expected_body = {0x92};
+  push_u64(expected_body, 9);
+  push_u64(expected_body, 123456789);
+  push_u64(expected_body, 1);
+  push_u64(expected_body, 100);
+  expect_frame_bytes(frame_of(body), expected_body);
+}
+
+// -- round trips ------------------------------------------------------------
+
+TEST(ReplProtocol, HelloRoundTrip) {
+  Writer body;
+  const std::uint64_t positions[] = {0, 3, 99, ~0ull};
+  encode_repl_hello(body, 77, kReplProtocolVersion, positions);
+
+  Reader r(body.bytes());
+  const FrameHeader h = decode_header(r);
+  EXPECT_EQ(h.type, MsgType::kReplHello);
+  EXPECT_EQ(h.id, 77u);
+  const ReplHello hello = decode_repl_hello(r);
+  EXPECT_EQ(hello.proto_version, kReplProtocolVersion);
+  ASSERT_EQ(hello.positions.size(), 4u);
+  EXPECT_EQ(hello.positions[2], 99u);
+  EXPECT_EQ(hello.positions[3], ~0ull);
+}
+
+TEST(ReplProtocol, EmptyHelloMeansBootstrap) {
+  Writer body;
+  encode_repl_hello(body, 1, kReplProtocolVersion, {});
+  Reader r(body.bytes());
+  (void)decode_header(r);
+  EXPECT_TRUE(decode_repl_hello(r).positions.empty());
+}
+
+TEST(ReplProtocol, AckRoundTrip) {
+  Writer body;
+  const std::uint64_t positions[] = {5, 6};
+  encode_repl_ack(body, 8, positions);
+  Reader r(body.bytes());
+  EXPECT_EQ(decode_header(r).type, MsgType::kReplAck);
+  const auto acked = decode_repl_ack(r);
+  ASSERT_EQ(acked.size(), 2u);
+  EXPECT_EQ(acked[0], 5u);
+  EXPECT_EQ(acked[1], 6u);
+}
+
+TEST(ReplProtocol, SnapshotChunkRoundTrip) {
+  Writer body;
+  std::vector<std::byte> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i & 0xFF);
+  }
+  encode_repl_snapshot_chunk(body, 11, 3, 5000, 2000, data, false);
+  Reader r(body.bytes());
+  EXPECT_EQ(decode_header(r).type, MsgType::kReplSnapshotChunk);
+  const ReplSnapshotChunk chunk = decode_repl_snapshot_chunk(r);
+  EXPECT_EQ(chunk.epoch, 3u);
+  EXPECT_EQ(chunk.total_bytes, 5000u);
+  EXPECT_EQ(chunk.offset, 2000u);
+  EXPECT_FALSE(chunk.last);
+  ASSERT_EQ(chunk.data.size(), data.size());
+  EXPECT_EQ(chunk.data[999], static_cast<std::byte>(999 & 0xFF));
+}
+
+TEST(ReplProtocol, FramesRoundTrip) {
+  Writer body;
+  const std::uint8_t p1[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::uint8_t p2[] = {9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  const ReplFrame frames[] = {{40, std::as_bytes(std::span(p1))},
+                              {41, std::as_bytes(std::span(p2))}};
+  encode_repl_frames(body, 6, 3, frames);
+
+  Reader r(body.bytes());
+  EXPECT_EQ(decode_header(r).type, MsgType::kReplFrames);
+  std::vector<ReplFrame> out;
+  EXPECT_EQ(decode_repl_frames(r, out), 3u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 40u);
+  EXPECT_EQ(out[1].seq, 41u);
+  ASSERT_EQ(out[1].payload.size(), 10u);
+  EXPECT_EQ(out[1].payload[0], static_cast<std::byte>(9));
+}
+
+TEST(ReplProtocol, HeartbeatRoundTrip) {
+  Writer body;
+  const std::uint64_t positions[] = {12, 0};
+  encode_repl_heartbeat(body, 2, 999, positions);
+  Reader r(body.bytes());
+  EXPECT_EQ(decode_header(r).type, MsgType::kReplHeartbeat);
+  const ReplHeartbeat hb = decode_repl_heartbeat(r);
+  EXPECT_EQ(hb.leader_unix_ms, 999u);
+  ASSERT_EQ(hb.positions.size(), 2u);
+  EXPECT_EQ(hb.positions[0], 12u);
+}
+
+// -- rejection --------------------------------------------------------------
+
+// Every decoder must reject a body truncated at any byte: a reader running
+// out of bytes mid-field throws CorruptData, never reads past the end.
+TEST(ReplProtocol, TruncatedBodiesRejected) {
+  Writer body;
+  const std::uint64_t positions[] = {7, 9};
+  encode_repl_hello(body, 1, kReplProtocolVersion, positions);
+  for (std::size_t cut = 9; cut < body.bytes().size(); ++cut) {
+    Reader r(body.bytes().first(cut));
+    (void)decode_header(r);
+    EXPECT_THROW((void)decode_repl_hello(r), persist::CorruptData)
+        << "cut at " << cut;
+  }
+
+  body.clear();
+  const std::uint8_t payload[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const ReplFrame frames[] = {{1, std::as_bytes(std::span(payload))}};
+  encode_repl_frames(body, 1, 0, frames);
+  for (std::size_t cut = 9; cut < body.bytes().size(); ++cut) {
+    Reader r(body.bytes().first(cut));
+    (void)decode_header(r);
+    std::vector<ReplFrame> out;
+    EXPECT_THROW((void)decode_repl_frames(r, out), persist::CorruptData)
+        << "cut at " << cut;
+  }
+}
+
+// Trailing bytes after a well-formed payload are corruption, not slack.
+TEST(ReplProtocol, TrailingBytesRejected) {
+  Writer body;
+  const std::uint64_t positions[] = {4};
+  encode_repl_ack(body, 1, positions);
+  std::vector<std::byte> padded(body.bytes().begin(), body.bytes().end());
+  padded.push_back(std::byte{0});
+  Reader r(padded);
+  (void)decode_header(r);
+  EXPECT_THROW((void)decode_repl_ack(r), persist::CorruptData);
+}
+
+// A chunk whose data overruns its own declared container size lies about
+// the transfer; the follower must never grow its buffer past total_bytes.
+TEST(ReplProtocol, SnapshotChunkOverrunRejected) {
+  Writer body;
+  const std::uint8_t data[] = {1, 2, 3, 4};
+  encode_repl_snapshot_chunk(body, 1, 1, /*total_bytes=*/5, /*offset=*/3,
+                             std::as_bytes(std::span(data)), true);
+  Reader r(body.bytes());
+  (void)decode_header(r);
+  EXPECT_THROW((void)decode_repl_snapshot_chunk(r), persist::CorruptData);
+}
+
+// An absurd frame count (length guard) must be rejected before allocation.
+TEST(ReplProtocol, FramesCountGuarded) {
+  Writer body;
+  body.u8(static_cast<std::uint8_t>(MsgType::kReplFrames));
+  body.u64(1);           // id
+  body.u32(0);           // shard
+  body.u64(~0ull >> 8);  // preposterous frame count
+  Reader r(body.bytes());
+  (void)decode_header(r);
+  std::vector<ReplFrame> out;
+  EXPECT_THROW((void)decode_repl_frames(r, out), persist::CorruptData);
+}
+
+// A corrupted frame on the wire (bit flip under the CRC) must surface as
+// kCorrupt from the FrameDecoder, identically to the request protocol.
+TEST(ReplProtocol, FlippedBitTripsFrameCrc) {
+  Writer body;
+  const std::uint64_t positions[] = {1, 2};
+  encode_repl_heartbeat(body, 1, 42, positions);
+  auto frame = frame_of(body);
+  frame[frame.size() / 2] ^= std::byte{0x10};
+
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  std::span<const std::byte> out;
+  EXPECT_EQ(decoder.next(out), FrameDecoder::Status::kCorrupt);
+}
+
+}  // namespace
+}  // namespace larp::net

@@ -9,6 +9,8 @@
 //   larp_cli export       <vm>  <out.csv>     write a catalog VM's trace suite
 //   larp_cli serve-sim                        multi-series PredictionEngine sim
 //   larp_cli serve                            epoll TCP front-end over an engine
+//   larp_cli replicate                        leader: serve + stream WAL to followers
+//   larp_cli follow                           follower: bootstrap + serve reads
 //   larp_cli loadgen                          drive a serve instance over TCP
 //   larp_cli snapshot     <data-dir>          restore + write a fresh snapshot
 //   larp_cli restore      <data-dir>          restore an engine, print stats
@@ -37,6 +39,12 @@
 //   --connections N  loadgen: pipelined connections per worker thread
 //                    (default 1; the thread keeps all of them in flight)
 //   --batch N        loadgen: series per request frame  (default 64)
+//   --repl-port N    replicate: replication listener port (0 = ephemeral)
+//   --leader-host H  follow: leader's replication address
+//   --leader-port N  follow: leader's replication port
+//   --max-staleness-ms N  follow: reject reads older than this (0 = no bound)
+//   --read-from-follower N  loadgen: send predicts to this port instead
+//                    (observes still go to --port; kStale counted per reply)
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
@@ -60,6 +68,8 @@
 #include "net/server.hpp"
 #include "persist/snapshot.hpp"
 #include "persist/wal.hpp"
+#include "replication/replica.hpp"
+#include "replication/server.hpp"
 #include "serve/prediction_engine.hpp"
 #include "tracegen/catalog.hpp"
 #include "tracegen/characterize.hpp"
@@ -94,6 +104,11 @@ struct Options {
   std::size_t max_seconds = 0;
   std::size_t connections = 1;
   std::size_t batch = 64;
+  std::size_t repl_port = 0;
+  std::string leader_host = "127.0.0.1";
+  std::size_t leader_port = 0;
+  std::size_t max_staleness_ms = 0;
+  std::size_t read_from_follower = 0;
 };
 
 [[noreturn]] void usage(const char* message = nullptr) {
@@ -108,6 +123,8 @@ struct Options {
                "  export       <vm>  <out.csv>\n"
                "  serve-sim\n"
                "  serve\n"
+               "  replicate\n"
+               "  follow\n"
                "  loadgen\n"
                "  snapshot     <data-dir>\n"
                "  restore      <data-dir>\n"
@@ -119,7 +136,11 @@ struct Options {
                "--durability sync|async (durability)\n"
                "         --host H --port N --net-threads N --max-seconds N "
                "(serve)\n"
-               "         --threads N --connections N --batch N (loadgen)\n");
+               "         --threads N --connections N --batch N "
+               "--read-from-follower N (loadgen)\n"
+               "         --repl-port N (replicate)\n"
+               "         --leader-host H --leader-port N --max-staleness-ms N "
+               "(follow)\n");
   std::exit(2);
 }
 
@@ -183,6 +204,23 @@ Options parse(int argc, char** argv) {
     else if (arg == "--max-seconds") options.max_seconds = parse_size(arg, next());
     else if (arg == "--connections") options.connections = parse_size(arg, next());
     else if (arg == "--batch") options.batch = parse_size(arg, next());
+    else if (arg == "--repl-port") {
+      options.repl_port = parse_size(arg, next());
+      if (options.repl_port > 65535) usage("--repl-port must fit in 16 bits");
+    }
+    else if (arg == "--leader-host") options.leader_host = next();
+    else if (arg == "--leader-port") {
+      options.leader_port = parse_size(arg, next());
+      if (options.leader_port > 65535) usage("--leader-port must fit in 16 bits");
+    }
+    else if (arg == "--max-staleness-ms")
+      options.max_staleness_ms = parse_size(arg, next());
+    else if (arg == "--read-from-follower") {
+      options.read_from_follower = parse_size(arg, next());
+      if (options.read_from_follower > 65535) {
+        usage("--read-from-follower must fit in 16 bits");
+      }
+    }
     else if (arg == "--data-dir") options.data_dir = next();
     else if (arg == "--snapshot-every")
       options.snapshot_every = parse_size(arg, next());
@@ -518,6 +556,134 @@ int cmd_serve(const Options& options) {
   return 0;
 }
 
+// Leader mode: a normal serve front-end plus a replication listener that
+// streams the engine's WAL to followers.  The data dir is required (that
+// WAL is what gets shipped); an existing dir is restored, a fresh one
+// starts empty.
+int cmd_replicate(const Options& options) {
+  if (options.data_dir.empty()) usage("replicate needs --data-dir");
+  serve::EngineConfig config;
+  config.lar = make_config(options);
+  config.shards = options.shards;
+  config.threads = options.threads;
+  config.durability.data_dir = options.data_dir;
+  config.durability.wal.mode = options.durability_mode;
+  const auto engine = serve::PredictionEngine::restore(
+      make_pool(options), options.data_dir, config);
+
+  net::ServerConfig server_config;
+  server_config.host = options.host;
+  server_config.port = static_cast<std::uint16_t>(options.port);
+  server_config.event_threads = options.net_threads;
+  net::Server server(*engine, server_config);
+  server.start();
+
+  replication::ReplicationServerConfig repl_config;
+  repl_config.host = options.host;
+  repl_config.port = static_cast<std::uint16_t>(options.repl_port);
+  replication::ReplicationServer repl(*engine, repl_config);
+  repl.start();
+
+  std::printf("listening on %s:%u\n", options.host.c_str(), server.port());
+  std::printf("replicating on %s:%u\n", options.host.c_str(), repl.port());
+  std::fflush(stdout);
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (options.max_seconds > 0 &&
+        std::chrono::steady_clock::now() - t0 >=
+            std::chrono::seconds(options.max_seconds)) {
+      break;
+    }
+  }
+  repl.stop();
+  server.stop();
+
+  const auto repl_stats = repl.stats();
+  std::printf("replication: %zu sessions (%zu live at stop), %zu frames "
+              "shipped, %zu snapshots shipped, %zu heartbeats\n",
+              repl_stats.sessions_total, repl_stats.followers_connected,
+              repl_stats.frames_shipped, repl_stats.snapshots_shipped,
+              repl_stats.heartbeats_sent);
+  const auto epoch = engine->snapshot();
+  std::printf("final snapshot epoch %llu into %s\n",
+              static_cast<unsigned long long>(epoch),
+              options.data_dir.c_str());
+  return 0;
+}
+
+// Follower mode: bootstrap/resume from the leader, then serve staleness-
+// bounded reads over the normal front-end (observes are rejected — they
+// must reach the leader).
+int cmd_follow(const Options& options) {
+  if (options.data_dir.empty()) usage("follow needs --data-dir");
+  if (options.leader_port == 0) usage("follow needs --leader-port");
+
+  replication::ReplicaConfig config;
+  config.leader_host = options.leader_host;
+  config.leader_port = static_cast<std::uint16_t>(options.leader_port);
+  config.data_dir = options.data_dir;
+  config.engine.lar = make_config(options);
+  config.engine.shards = options.shards;
+  config.engine.threads = options.threads;
+  config.engine.durability.wal.mode = options.durability_mode;
+  config.engine.max_staleness =
+      std::chrono::milliseconds(options.max_staleness_ms);
+
+  replication::Replica replica(make_pool(options), config);
+  replica.start();
+  serve::PredictionEngine* engine =
+      replica.wait_until_ready(std::chrono::seconds(30));
+  if (engine == nullptr) {
+    std::fprintf(stderr, "error: follower failed to bootstrap from %s:%zu\n",
+                 options.leader_host.c_str(), options.leader_port);
+    return 1;
+  }
+
+  net::ServerConfig server_config;
+  server_config.host = options.host;
+  server_config.port = static_cast<std::uint16_t>(options.port);
+  server_config.event_threads = options.net_threads;
+  net::Server server(*engine, server_config);
+  server.start();
+  std::printf("listening on %s:%u\n", options.host.c_str(), server.port());
+  std::printf("following %s:%zu\n", options.leader_host.c_str(),
+              options.leader_port);
+  std::fflush(stdout);
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (g_serve_stop == 0 && !replica.stats().failed) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (options.max_seconds > 0 &&
+        std::chrono::steady_clock::now() - t0 >=
+            std::chrono::seconds(options.max_seconds)) {
+      break;
+    }
+  }
+  server.stop();
+  replica.stop();
+
+  const auto replica_stats = replica.stats();
+  const auto engine_stats = engine->stats();
+  std::printf("follower: %zu bootstraps, %zu reconnects%s\n",
+              replica_stats.bootstraps, replica_stats.reconnects,
+              replica_stats.failed ? " (FAILED: restart to re-bootstrap)" : "");
+  std::printf("  replication       %zu frames applied, lag %.3f s, %s\n",
+              engine_stats.replicated_frames,
+              engine_stats.replication_lag_seconds,
+              engine_stats.replication_fresh ? "fresh" : "stale");
+  std::printf("  engine            %zu series, %zu predictions served\n",
+              engine_stats.series, engine_stats.predictions);
+  return replica_stats.failed ? 1 : 0;
+}
+
 int cmd_loadgen(const Options& options) {
   if (options.port == 0) usage("loadgen needs --port");
   if (options.connections == 0 || options.series == 0 || options.steps == 0 ||
@@ -533,6 +699,7 @@ int cmd_loadgen(const Options& options) {
   struct ConnResult {
     std::vector<double> latencies_us;  // per request round trip
     std::uint64_t series_steps = 0;
+    std::uint64_t stale_replies = 0;  // follower kStale refusals
   };
   struct WorkerResult {
     std::vector<ConnResult> conns;
@@ -547,12 +714,24 @@ int cmd_loadgen(const Options& options) {
       result.conns.resize(options.connections);
       try {
         std::vector<std::unique_ptr<net::Client>> clients;
+        // With --read-from-follower, predicts go to the follower's port on
+        // their own connections; observes still go to the leader (--port).
+        std::vector<std::unique_ptr<net::Client>> follower_clients;
+        std::vector<net::Client*> readers(options.connections);
         // Disjoint key space per (thread, connection) so shard contention
         // comes from concurrency, not key collisions.
         std::vector<std::vector<tsdb::SeriesKey>> keys(options.connections);
         for (std::size_t c = 0; c < options.connections; ++c) {
           clients.push_back(std::make_unique<net::Client>(
               options.host, static_cast<std::uint16_t>(options.port)));
+          if (options.read_from_follower != 0) {
+            follower_clients.push_back(std::make_unique<net::Client>(
+                options.host,
+                static_cast<std::uint16_t>(options.read_from_follower)));
+            readers[c] = follower_clients.back().get();
+          } else {
+            readers[c] = clients.back().get();
+          }
           keys[c].resize(options.series);
           for (std::size_t s = 0; s < options.series; ++s) {
             keys[c][s] = {"lg" + std::to_string(t) + "c" + std::to_string(c),
@@ -570,7 +749,14 @@ int cmd_loadgen(const Options& options) {
         const auto finish_round = [&](bool predicts, std::size_t n) {
           for (std::size_t c = 0; c < options.connections; ++c) {
             if (predicts) {
-              clients[c]->finish_predict(ids[c], n, predictions);
+              try {
+                readers[c]->finish_predict(ids[c], n, predictions);
+              } catch (const net::ServerError& e) {
+                // A follower refusing a read for lag is load-sheddable, not
+                // fatal: count it and keep the connection.
+                if (e.code() != net::ErrorCode::kStale) throw;
+                ++result.conns[c].stale_replies;
+              }
             } else {
               (void)clients[c]->finish_observe(ids[c]);
             }
@@ -595,7 +781,7 @@ int cmd_loadgen(const Options& options) {
             finish_round(/*predicts=*/false, n);
             for (std::size_t c = 0; c < options.connections; ++c) {
               started[c] = std::chrono::steady_clock::now();
-              ids[c] = clients[c]->start_predict(
+              ids[c] = readers[c]->start_predict(
                   std::span<const tsdb::SeriesKey>(keys[c].data() + lo, n));
             }
             finish_round(/*predicts=*/true, n);
@@ -623,6 +809,7 @@ int cmd_loadgen(const Options& options) {
   std::vector<double> conn_p50s;
   std::vector<double> conn_p99s;
   std::uint64_t series_steps = 0;
+  std::uint64_t stale_replies = 0;
   for (auto& result : results) {
     if (!result.error.empty()) {
       std::fprintf(stderr, "error: loadgen worker failed: %s\n",
@@ -630,6 +817,7 @@ int cmd_loadgen(const Options& options) {
       return 1;
     }
     for (auto& conn : result.conns) {
+      stale_replies += conn.stale_replies;
       if (conn.latencies_us.empty()) continue;
       std::sort(conn.latencies_us.begin(), conn.latencies_us.end());
       conn_p50s.push_back(pct(conn.latencies_us, 0.50));
@@ -655,6 +843,11 @@ int cmd_loadgen(const Options& options) {
               "(%zu connections)\n",
               *minmax_p50.first, *minmax_p50.second, *minmax_p99.first,
               *minmax_p99.second, conn_p50s.size());
+  if (options.read_from_follower != 0) {
+    std::printf("  follower reads    port %zu, %llu stale refusals\n",
+                options.read_from_follower,
+                static_cast<unsigned long long>(stale_replies));
+  }
   return 0;
 }
 
@@ -776,6 +969,8 @@ int main(int argc, char** argv) {
     if (options.command == "export") return cmd_export(options);
     if (options.command == "serve-sim") return cmd_serve_sim(options);
     if (options.command == "serve") return cmd_serve(options);
+    if (options.command == "replicate") return cmd_replicate(options);
+    if (options.command == "follow") return cmd_follow(options);
     if (options.command == "loadgen") return cmd_loadgen(options);
     if (options.command == "snapshot") return cmd_snapshot(options);
     if (options.command == "restore") return cmd_restore(options);
