@@ -66,6 +66,10 @@ for bench in "$BUILD_DIR"/bench/*; do
       # Figure benches also dump their plotted series as CSV.
       "$bench" "$RESULTS_DIR/$name.csv" | tee "$RESULTS_DIR/$name.txt"
       ;;
+    bench_selector_cost)
+      # Also regenerates the committed selector cost/accuracy grid.
+      "$bench" --json "$RESULTS_DIR/BENCH_selectors.json" | tee "$RESULTS_DIR/$name.txt"
+      ;;
     *)
       "$bench" | tee "$RESULTS_DIR/$name.txt"
       ;;

@@ -1,0 +1,140 @@
+#include "selection/history_selector.hpp"
+
+#include <algorithm>
+
+#include "persist/io.hpp"
+#include "util/error.hpp"
+
+namespace larp::selection {
+
+GlobalHistorySelector::GlobalHistorySelector(std::size_t pool_size,
+                                             std::size_t history_length,
+                                             std::size_t table_rows,
+                                             unsigned bits,
+                                             std::size_t min_records)
+    : pool_size_(pool_size),
+      history_length_(history_length),
+      table_rows_(table_rows),
+      bits_(bits),
+      max_(0),
+      min_records_(min_records),
+      table_(table_rows * pool_size, 0) {
+  if (pool_size == 0) throw InvalidArgument("GlobalHistorySelector: empty pool");
+  if (history_length == 0) {
+    throw InvalidArgument("GlobalHistorySelector: zero history length");
+  }
+  if (table_rows == 0) {
+    throw InvalidArgument("GlobalHistorySelector: zero table rows");
+  }
+  if (bits < 1 || bits > 16) {
+    throw InvalidArgument(
+        "GlobalHistorySelector: counter bits must be in [1, 16]");
+  }
+  max_ = static_cast<std::uint16_t>((1u << bits) - 1u);
+  // pool_size^history_length, saturating at 2^63 so the modulus never
+  // overflows; past that point old winners age out by table aliasing alone.
+  history_mod_ = 1;
+  for (std::size_t i = 0; i < history_length; ++i) {
+    if (history_mod_ > (1ull << 63) / pool_size) {
+      history_mod_ = 0;  // 0 = "wider than u64": skip the shift-out modulus
+      break;
+    }
+    history_mod_ *= pool_size;
+  }
+  reset();
+}
+
+std::string GlobalHistorySelector::name() const {
+  return "GlobalHistory(" + std::to_string(history_length_) + "x" +
+         std::to_string(table_rows_) + ")";
+}
+
+void GlobalHistorySelector::reset() {
+  std::fill(table_.begin(), table_.end(),
+            static_cast<std::uint16_t>(max_ / 2));
+  history_code_ = 0;
+  records_seen_ = 0;
+}
+
+std::size_t GlobalHistorySelector::select(std::span<const double> /*window*/) {
+  const std::uint16_t* row = table_.data() + current_row() * pool_size_;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pool_size_; ++i) {
+    if (row[i] > row[best]) best = i;
+  }
+  return best;
+}
+
+void GlobalHistorySelector::absorb_winner(std::size_t winner) {
+  // Train the row the current history addresses toward the winner...
+  std::uint16_t* row = table_.data() + current_row() * pool_size_;
+  for (std::size_t i = 0; i < pool_size_; ++i) {
+    if (i == winner) {
+      if (row[i] < max_) ++row[i];  // saturate, never wrap
+    } else if (row[i] > 0) {
+      --row[i];
+    }
+  }
+  // ...then shift the winner into the register (oldest digit falls off).
+  history_code_ = history_code_ * pool_size_ + winner;
+  if (history_mod_ != 0) history_code_ %= history_mod_;
+  ++records_seen_;
+}
+
+void GlobalHistorySelector::record(std::span<const double> forecasts,
+                                   double actual) {
+  if (forecasts.size() != pool_size_) {
+    throw InvalidArgument(
+        "GlobalHistorySelector: forecast count does not match pool size");
+  }
+  absorb_winner(best_forecast_label(forecasts, actual));
+}
+
+void GlobalHistorySelector::learn(std::span<const double> /*window*/,
+                                  std::size_t label) {
+  if (label >= pool_size_) {
+    throw InvalidArgument("GlobalHistorySelector: label outside the pool");
+  }
+  absorb_winner(label);
+}
+
+SelectorCost GlobalHistorySelector::cost() const noexcept {
+  return SelectorCost{SelectCostClass::kConstant, records_seen_, min_records_};
+}
+
+std::unique_ptr<Selector> GlobalHistorySelector::clone() const {
+  return std::make_unique<GlobalHistorySelector>(*this);
+}
+
+void GlobalHistorySelector::save(persist::io::Writer& w) const {
+  w.u64(pool_size_);
+  w.u64(history_length_);
+  w.u64(table_rows_);
+  w.u8(static_cast<std::uint8_t>(bits_));
+  w.u64(min_records_);
+  w.u64(records_seen_);
+  w.u64(history_code_);
+  for (std::uint16_t c : table_) w.u64(c);
+}
+
+GlobalHistorySelector GlobalHistorySelector::loaded(persist::io::Reader& r) {
+  const auto pool_size = static_cast<std::size_t>(r.u64());
+  const auto history_length = static_cast<std::size_t>(r.u64());
+  const auto table_rows = static_cast<std::size_t>(r.u64());
+  const unsigned bits = r.u8();
+  const auto min_records = static_cast<std::size_t>(r.u64());
+  GlobalHistorySelector s(pool_size, history_length, table_rows, bits,
+                          min_records);
+  s.records_seen_ = static_cast<std::size_t>(r.u64());
+  s.history_code_ = r.u64();
+  for (auto& c : s.table_) {
+    const auto v = r.u64();
+    if (v > s.max_) {
+      throw persist::CorruptData("GlobalHistorySelector: counter above ceiling");
+    }
+    c = static_cast<std::uint16_t>(v);
+  }
+  return s;
+}
+
+}  // namespace larp::selection

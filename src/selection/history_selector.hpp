@@ -1,0 +1,76 @@
+// GlobalHistorySelector: a two-level (GAg-style) predictor over expert
+// winners — a k-deep shift register of recent hindsight winners indexes a
+// pattern table of per-member saturating counters.
+//
+// Where the tournament selector tracks "who wins lately" with no context,
+// the pattern table learns CONDITIONAL streaks: "after LAST beat AR twice,
+// SW_AVG wins next".  The history register encodes the last
+// `history_length` winners base-pool_size; the table row is that code
+// modulo `table_rows`, so (exactly like real pattern history tables) deep
+// histories alias onto shared rows — bounded memory traded for occasional
+// destructive interference, exercised by the aliasing test.
+//
+// select() is one row lookup + a P-way argmax; record() updates the row the
+// CURRENT history addresses toward the step's hindsight winner, then shifts
+// the winner into the register.  O(1), zero steady-state allocation.
+#pragma once
+
+#include <cstdint>
+
+#include "selection/selector.hpp"
+
+namespace larp::persist::io {
+class Reader;
+class Writer;
+}  // namespace larp::persist::io
+
+namespace larp::selection {
+
+class GlobalHistorySelector final : public Selector {
+ public:
+  /// `history_length` winners are remembered (k bits of history in the
+  /// branch-predictor sense, one base-P digit each); the pattern table has
+  /// `table_rows` rows of pool_size saturating `bits`-wide counters.
+  /// Throws InvalidArgument for an empty pool, zero history, zero rows, or
+  /// a counter width outside [1, 16].
+  GlobalHistorySelector(std::size_t pool_size, std::size_t history_length = 4,
+                        std::size_t table_rows = 64, unsigned bits = 2,
+                        std::size_t min_records = 8);
+
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+  [[nodiscard]] std::size_t select(std::span<const double> window) override;
+  void record(std::span<const double> forecasts, double actual) override;
+  /// Absorbs one hindsight winner directly (warm-up walks).
+  void learn(std::span<const double> window, std::size_t label) override;
+  [[nodiscard]] bool supports_online_learning() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] SelectorCost cost() const noexcept override;
+  [[nodiscard]] std::unique_ptr<Selector> clone() const override;
+
+  /// Row the current history addresses (diagnostics / aliasing tests).
+  [[nodiscard]] std::size_t current_row() const noexcept {
+    return static_cast<std::size_t>(history_code_ % table_rows_);
+  }
+  [[nodiscard]] std::size_t table_rows() const noexcept { return table_rows_; }
+
+  void save(persist::io::Writer& w) const;
+  static GlobalHistorySelector loaded(persist::io::Reader& r);
+
+ private:
+  void absorb_winner(std::size_t winner);
+
+  std::size_t pool_size_;
+  std::size_t history_length_;
+  std::size_t table_rows_;
+  unsigned bits_;
+  std::uint16_t max_;
+  std::size_t min_records_;
+  std::uint64_t history_code_ = 0;  // base-pool_size shift register
+  std::uint64_t history_mod_ = 0;   // pool_size^history_length (shift-out)
+  std::vector<std::uint16_t> table_;  // table_rows_ x pool_size_, row-major
+  std::size_t records_seen_ = 0;
+};
+
+}  // namespace larp::selection

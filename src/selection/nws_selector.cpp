@@ -76,7 +76,18 @@ void EwmaMseSelector::reset() {
 }
 
 std::size_t EwmaMseSelector::select(std::span<const double> /*window*/) {
-  return argmin_label(weighted_sq_);
+  // Argmin over SCORED members only (see seen_): before any feedback every
+  // tracker reads 0.0, and an unseen member must not win on that phantom
+  // zero once real errors exist.  Cold start (nothing seen) keeps the
+  // documented label-0 fallback.
+  std::size_t best = weighted_sq_.size();
+  for (std::size_t i = 0; i < weighted_sq_.size(); ++i) {
+    if (!seen_[i]) continue;
+    if (best == weighted_sq_.size() || weighted_sq_[i] < weighted_sq_[best]) {
+      best = i;
+    }
+  }
+  return best == weighted_sq_.size() ? 0 : best;
 }
 
 void EwmaMseSelector::record(std::span<const double> forecasts, double actual) {

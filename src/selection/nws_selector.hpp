@@ -46,6 +46,9 @@ class EwmaMseSelector final : public Selector {
 
   [[nodiscard]] std::string name() const override;
   void reset() override;
+  /// Unscored members are excluded from the argmin: an unseen tracker reads
+  /// 0.0 and would otherwise beat every member with real (nonzero) error.
+  /// Falls back to label 0 only while NO member has been scored.
   [[nodiscard]] std::size_t select(std::span<const double> window) override;
   void record(std::span<const double> forecasts, double actual) override;
   [[nodiscard]] std::unique_ptr<Selector> clone() const override;
@@ -55,7 +58,7 @@ class EwmaMseSelector final : public Selector {
  private:
   double decay_;
   std::vector<double> weighted_sq_;  // exponentially weighted squared errors
-  std::vector<bool> seen_;
+  std::vector<bool> seen_;           // members with at least one scored error
 };
 
 class WindowedCumMseSelector final : public Selector {

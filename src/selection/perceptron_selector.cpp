@@ -1,0 +1,190 @@
+#include "selection/perceptron_selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "persist/io.hpp"
+#include "util/error.hpp"
+
+namespace larp::selection {
+
+PerceptronSelector::PerceptronSelector(std::size_t pool_size, Config config)
+    : config_(config),
+      pool_size_(pool_size),
+      weights_(pool_size * kFeatures, 0.0),
+      error_ewma_(pool_size, 0.0) {
+  if (pool_size == 0) throw InvalidArgument("PerceptronSelector: empty pool");
+  if (!(config_.learning_rate > 0.0)) {
+    throw InvalidArgument("PerceptronSelector: learning rate must be positive");
+  }
+  if (!(config_.clip > 0.0)) {
+    throw InvalidArgument("PerceptronSelector: clip must be positive");
+  }
+  if (!(config_.error_decay > 0.0) || config_.error_decay >= 1.0) {
+    throw InvalidArgument("PerceptronSelector: error decay must be in (0, 1)");
+  }
+}
+
+std::string PerceptronSelector::name() const { return "Perceptron"; }
+
+void PerceptronSelector::reset() {
+  std::fill(weights_.begin(), weights_.end(), 0.0);
+  std::fill(error_ewma_.begin(), error_ewma_.end(), 0.0);
+  features_.fill(0.0);
+  features_fresh_ = false;
+  records_seen_ = 0;
+}
+
+double PerceptronSelector::score(std::size_t member) const {
+  const double* w = weights_.data() + member * kFeatures;
+  double s = 0.0;
+  for (std::size_t f = 0; f < kSharedFeatures; ++f) s += w[f] * features_[f];
+  return s + w[kSharedFeatures] * error_ewma_[member];
+}
+
+std::size_t PerceptronSelector::select(std::span<const double> window) {
+  // Window features (normalized units; the window the LarPredictor passes is
+  // already z-scored, so no extra normalization layer is needed).  Degenerate
+  // windows fall out naturally: an empty window scores every member on bias
+  // + error EWMA alone.
+  const std::size_t n = window.size();
+  if (n != cached_n_) {
+    cached_n_ = n;
+    cached_inv_n_ = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  }
+  const double inv_n = cached_inv_n_;
+  // Pairwise accumulators halve the serial add chain over the window.
+  double sum0 = 0.0, sum1 = 0.0;
+  double sq0 = 0.0, sq1 = 0.0;
+  std::size_t i = 0;
+  for (; i + 1 < n; i += 2) {
+    sum0 += window[i];
+    sq0 += window[i] * window[i];
+    sum1 += window[i + 1];
+    sq1 += window[i + 1] * window[i + 1];
+  }
+  if (i < n) {
+    sum0 += window[i];
+    sq0 += window[i] * window[i];
+  }
+  const double sum = sum0 + sum1;
+  const double sum_sq = sq0 + sq1;
+  const double mean = sum * inv_n;
+  // Single-pass variance; the max() guards the tiny negative residue
+  // cancellation can leave on near-constant windows.
+  const double var = std::max(0.0, sum_sq * inv_n - mean * mean);
+  const double last = n > 0 ? window[n - 1] : 0.0;
+  // Stack copy of the features: scoring reads these (provably alias-free
+  // against the score writes), while the member array persists them for the
+  // next record().
+  const double fv[kSharedFeatures] = {
+      1.0, n > 1 ? window[n - 1] - window[n - 2] : 0.0, mean, var,
+      last - mean};
+  for (std::size_t f = 0; f < kSharedFeatures; ++f) features_[f] = fv[f];
+  features_fresh_ = true;
+
+  // Straight-line dot product per member (kFeatures is a compile-time
+  // constant): one contiguous weight row per member, independent chains the
+  // CPU overlaps across iterations.
+  const double* wp = weights_.data();
+  std::size_t best = 0;
+  double best_score = 0.0;
+  for (std::size_t p = 0; p < pool_size_; ++p, wp += kFeatures) {
+    const double s = wp[0] * fv[0] + wp[1] * fv[1] + wp[2] * fv[2] +
+                     wp[3] * fv[3] + wp[4] * fv[4] + wp[5] * error_ewma_[p];
+    if (p == 0 || s > best_score) {
+      best_score = s;
+      best = p;
+    }
+  }
+  return best;
+}
+
+void PerceptronSelector::record(std::span<const double> forecasts,
+                                double actual) {
+  if (forecasts.size() != pool_size_) {
+    throw InvalidArgument(
+        "PerceptronSelector: forecast count does not match pool size");
+  }
+  const std::size_t winner = best_forecast_label(forecasts, actual);
+  // Weight update only when the features describe the window these forecasts
+  // came from (a select() since the last record()); the error EWMAs update
+  // either way, so observe-only streams still train the error features.
+  if (features_fresh_) {
+    for (std::size_t p = 0; p < pool_size_; ++p) {
+      const double target = p == winner ? 1.0 : -1.0;
+      const double s = score(p);
+      // Perceptron-with-margin rule: train on mistakes and low confidence.
+      if (s * target > config_.margin) continue;
+      double* w = weights_.data() + p * kFeatures;
+      for (std::size_t f = 0; f < kSharedFeatures; ++f) {
+        w[f] = std::clamp(w[f] + config_.learning_rate * target * features_[f],
+                          -config_.clip, config_.clip);
+      }
+      w[kSharedFeatures] = std::clamp(
+          w[kSharedFeatures] +
+              config_.learning_rate * target * error_ewma_[p],
+          -config_.clip, config_.clip);
+    }
+    features_fresh_ = false;
+  }
+  for (std::size_t p = 0; p < pool_size_; ++p) {
+    const double err = forecasts[p] - actual;
+    if (std::isfinite(err)) {
+      error_ewma_[p] = config_.error_decay * error_ewma_[p] +
+                       (1.0 - config_.error_decay) * std::abs(err);
+    }
+  }
+  ++records_seen_;
+}
+
+SelectorCost PerceptronSelector::cost() const noexcept {
+  return SelectorCost{SelectCostClass::kConstant, records_seen_,
+                      config_.min_records};
+}
+
+std::unique_ptr<Selector> PerceptronSelector::clone() const {
+  return std::make_unique<PerceptronSelector>(*this);
+}
+
+void PerceptronSelector::save(persist::io::Writer& w) const {
+  w.u64(pool_size_);
+  w.f64(config_.learning_rate);
+  w.f64(config_.clip);
+  w.f64(config_.margin);
+  w.f64(config_.error_decay);
+  w.u64(config_.min_records);
+  w.u64(records_seen_);
+  w.f64_span(weights_);
+  w.f64_span(error_ewma_);
+  // features_/features_fresh_ deliberately travel too: a snapshot can land
+  // between a select() and its record(), and restore must not lose the
+  // pending training example.
+  w.boolean(features_fresh_);
+  for (double f : features_) w.f64(f);
+}
+
+PerceptronSelector PerceptronSelector::loaded(persist::io::Reader& r) {
+  const auto pool_size = static_cast<std::size_t>(r.u64());
+  Config config;
+  config.learning_rate = r.f64();
+  config.clip = r.f64();
+  config.margin = r.f64();
+  config.error_decay = r.f64();
+  config.min_records = static_cast<std::size_t>(r.u64());
+  PerceptronSelector s(pool_size, config);
+  s.records_seen_ = static_cast<std::size_t>(r.u64());
+  const auto weights = r.f64_vector();
+  const auto ewma = r.f64_vector();
+  if (weights.size() != s.weights_.size() ||
+      ewma.size() != s.error_ewma_.size()) {
+    throw persist::CorruptData("PerceptronSelector: serialized size mismatch");
+  }
+  s.weights_ = weights;
+  s.error_ewma_ = ewma;
+  s.features_fresh_ = r.boolean();
+  for (auto& f : s.features_) f = r.f64();
+  return s;
+}
+
+}  // namespace larp::selection

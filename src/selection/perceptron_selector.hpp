@@ -1,0 +1,90 @@
+// PerceptronSelector: the perceptron branch predictor transplanted to
+// expert selection — one tiny linear model per pool member over cheap
+// window features, trained online from hindsight labels.
+//
+// This is the nanosecond-scale version of the meta-learning pool studies
+// (FFORMPP / Barak et al.): simple features of the recent window plus each
+// member's recent-error EWMA are enough to predict which expert wins next.
+// Features per select(), all O(window) with zero allocation and no
+// sqrt/divide on the hot path (the serial var -> sqrt -> divide chain would
+// dominate an otherwise ~30-flop select; the series is already z-scored by
+// the pipeline's normalizer, so raw second-moment and deviation features
+// carry the same information at fixed scale):
+//   f0  bias (1.0)
+//   f1  last delta        w[n-1] - w[n-2]
+//   f2  window mean
+//   f3  window variance
+//   f4  last-value deviation   w[n-1] - mean
+// plus, per member p:
+//   f5  recent-error EWMA of member p (from the record() feedback stream).
+//
+// Training is the classic perceptron rule with a margin: on the hindsight
+// winner b, every member's score is pushed toward +1 (p == b) or -1
+// (p != b) when wrong or under-confident, and every weight is clipped to
+// [-clip, +clip] so adversarial feedback can never blow the weights up
+// (branch predictors do the same with their n-bit weight registers).
+#pragma once
+
+#include <array>
+
+#include "selection/selector.hpp"
+
+namespace larp::persist::io {
+class Reader;
+class Writer;
+}  // namespace larp::persist::io
+
+namespace larp::selection {
+
+class PerceptronSelector final : public Selector {
+ public:
+  struct Config {
+    double learning_rate = 0.25;
+    double clip = 8.0;          // weight magnitude ceiling
+    double margin = 1.0;        // train while |score| <= margin, like theta
+    double error_decay = 0.9;   // recent-error EWMA decay
+    std::size_t min_records = 8;
+  };
+
+  explicit PerceptronSelector(std::size_t pool_size)
+      : PerceptronSelector(pool_size, Config()) {}
+  PerceptronSelector(std::size_t pool_size, Config config);
+
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+  /// Scores every member on the current window's features; argmax wins
+  /// (lowest label on ties).  Also caches the features so the next record()
+  /// trains on exactly the window this choice saw.
+  [[nodiscard]] std::size_t select(std::span<const double> window) override;
+  void record(std::span<const double> forecasts, double actual) override;
+  [[nodiscard]] SelectorCost cost() const noexcept override;
+  [[nodiscard]] std::unique_ptr<Selector> clone() const override;
+
+  /// Flat weight matrix, pool-member-major (diagnostics / clip tests).
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+  void save(persist::io::Writer& w) const;
+  static PerceptronSelector loaded(persist::io::Reader& r);
+
+ private:
+  static constexpr std::size_t kSharedFeatures = 5;  // f0..f4 above
+  static constexpr std::size_t kFeatures = kSharedFeatures + 1;  // + error EWMA
+
+  [[nodiscard]] double score(std::size_t member) const;
+
+  Config config_;
+  std::size_t pool_size_;
+  std::vector<double> weights_;     // pool_size_ x kFeatures, member-major
+  std::vector<double> error_ewma_;  // per-member |error| EWMA
+  std::array<double, kSharedFeatures> features_{};  // cached at select()
+  bool features_fresh_ = false;
+  std::size_t records_seen_ = 0;
+  // select() hot-path cache: 1/n for the last window length seen (the
+  // LarPredictor always passes the same length, so the divide runs once).
+  std::size_t cached_n_ = 0;
+  double cached_inv_n_ = 0.0;
+};
+
+}  // namespace larp::selection

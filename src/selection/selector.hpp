@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "selection/selector_cost.hpp"
+
 namespace larp::selection {
 
 class Selector {
@@ -63,6 +65,11 @@ class Selector {
   /// True when learn() actually does something.
   [[nodiscard]] virtual bool supports_online_learning() const noexcept;
 
+  /// Per-select cost class and training readiness (selector_cost.hpp) — what
+  /// the serving layer reads to pick a tier per series.  The default reports
+  /// the NWS shape: full-pool feedback per step, ready from construction.
+  [[nodiscard]] virtual SelectorCost cost() const noexcept;
+
   /// True for selectors whose choice is defined in hindsight (the oracle).
   /// The runner must then score select_hindsight() instead of select().
   [[nodiscard]] virtual bool needs_hindsight() const noexcept;
@@ -77,10 +84,17 @@ class Selector {
 };
 
 /// Label of the smallest value with lowest-index tie-breaking — the shared
-/// argmin convention (paper class order LAST < AR < SW_AVG).
+/// argmin convention (paper class order LAST < AR < SW_AVG).  Non-finite
+/// entries never win: a NaN/inf value is skipped, and only when EVERY entry
+/// is non-finite does the call throw InvalidArgument (a label picked from
+/// garbage would silently corrupt training labels and QA error history).
 [[nodiscard]] std::size_t argmin_label(std::span<const double> values);
 
-/// Label whose forecast has the smallest |forecast - actual|.
+/// Label whose forecast has the smallest |forecast - actual|.  Non-finite
+/// forecasts (a NaN from a mis-fitted expert) are skipped with the same
+/// all-non-finite InvalidArgument guard as argmin_label — previously a NaN
+/// at index 0 poisoned every `error < best_error` comparison and pinned the
+/// hindsight label to 0.
 [[nodiscard]] std::size_t best_forecast_label(std::span<const double> forecasts,
                                               double actual);
 

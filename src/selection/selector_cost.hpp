@@ -1,0 +1,43 @@
+// SelectorCost: the tiny cost model the serving layer consults to pick a
+// selection tier per series (ROADMAP: "a Selector cost model so the engine
+// can pick the selector per series by traffic level").
+//
+// Every Selector reports two things:
+//   * what one select() call costs, as a coarse class — O(1) counter reads
+//     (the hardware-style tier), an index query (k-NN / kd-tree), or a full
+//     parallel pool evaluation per step (the NWS baselines, whose select()
+//     is cheap but whose record() feedback needs every member's forecast);
+//   * how trained it is — feedback steps absorbed vs. the steps it wants
+//     before its choices are better than the label-0 cold-start fallback.
+//
+// TieredSelector hands off from the O(1) tier to the primary (k-NN) tier
+// the moment the primary reports ready().
+#pragma once
+
+#include <cstddef>
+
+namespace larp::selection {
+
+/// Coarse per-select() cost class, cheapest first.
+enum class SelectCostClass {
+  kConstant,    // O(1): saturating counters / perceptron dot / pattern table
+  kIndexQuery,  // classifier index lookup: k-NN scan or kd-tree descent
+  kFullPool,    // needs every pool member's forecast each step (NWS family)
+};
+
+/// One selector's cost + training-readiness report.
+struct SelectorCost {
+  SelectCostClass select_cost = SelectCostClass::kFullPool;
+  /// Feedback steps (record()/learn() calls) absorbed so far.
+  std::size_t records_seen = 0;
+  /// Feedback steps wanted before select() is considered trained; 0 means
+  /// the selector is ready from construction (k-NN: the fitted index IS the
+  /// training).
+  std::size_t records_needed = 0;
+
+  [[nodiscard]] bool ready() const noexcept {
+    return records_seen >= records_needed;
+  }
+};
+
+}  // namespace larp::selection

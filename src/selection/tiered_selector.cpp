@@ -1,0 +1,135 @@
+#include "selection/tiered_selector.hpp"
+
+#include "persist/io.hpp"
+#include "selection/history_selector.hpp"
+#include "selection/perceptron_selector.hpp"
+#include "selection/tournament_selector.hpp"
+#include "util/error.hpp"
+
+namespace larp::selection {
+
+std::unique_ptr<Selector> make_fast_selector(FastTier tier,
+                                             std::size_t pool_size,
+                                             const FastTierConfig& config) {
+  switch (tier) {
+    case FastTier::Tournament:
+      return std::make_unique<TournamentSelector>(
+          pool_size, config.counter_bits, config.min_records);
+    case FastTier::Perceptron: {
+      PerceptronSelector::Config pc;
+      pc.learning_rate = config.perceptron_lr;
+      pc.clip = config.perceptron_clip;
+      pc.error_decay = config.error_decay;
+      pc.min_records = config.min_records;
+      return std::make_unique<PerceptronSelector>(pool_size, pc);
+    }
+    case FastTier::GlobalHistory:
+      return std::make_unique<GlobalHistorySelector>(
+          pool_size, config.history_length, config.table_rows,
+          config.counter_bits, config.min_records);
+    case FastTier::None:
+      break;
+  }
+  throw InvalidArgument("make_fast_selector: FastTier::None has no selector");
+}
+
+namespace {
+constexpr std::uint8_t kFastTournament = 1;
+constexpr std::uint8_t kFastPerceptron = 2;
+constexpr std::uint8_t kFastGlobalHistory = 3;
+}  // namespace
+
+void save_fast_selector(persist::io::Writer& w, const Selector& selector) {
+  if (const auto* t = dynamic_cast<const TournamentSelector*>(&selector)) {
+    w.u8(kFastTournament);
+    t->save(w);
+  } else if (const auto* p =
+                 dynamic_cast<const PerceptronSelector*>(&selector)) {
+    w.u8(kFastPerceptron);
+    p->save(w);
+  } else if (const auto* g =
+                 dynamic_cast<const GlobalHistorySelector*>(&selector)) {
+    w.u8(kFastGlobalHistory);
+    g->save(w);
+  } else {
+    throw StateError("save_fast_selector: not a fast-tier selector");
+  }
+}
+
+std::unique_ptr<Selector> load_fast_selector(persist::io::Reader& r) {
+  const std::uint8_t kind = r.u8();
+  try {
+    switch (kind) {
+      case kFastTournament:
+        return std::make_unique<TournamentSelector>(
+            TournamentSelector::loaded(r));
+      case kFastPerceptron:
+        return std::make_unique<PerceptronSelector>(
+            PerceptronSelector::loaded(r));
+      case kFastGlobalHistory:
+        return std::make_unique<GlobalHistorySelector>(
+            GlobalHistorySelector::loaded(r));
+      default:
+        break;
+    }
+  } catch (const persist::CorruptData&) {
+    throw;
+  } catch (const Error& e) {
+    // An impossible constructor argument means the payload disagrees with
+    // any state this process could have written — corruption, not usage.
+    throw persist::CorruptData(e.what());
+  }
+  throw persist::CorruptData("load_fast_selector: unknown fast-selector kind");
+}
+
+TieredSelector::TieredSelector(std::unique_ptr<Selector> fast,
+                               std::unique_ptr<Selector> primary)
+    : fast_(std::move(fast)), primary_(std::move(primary)) {
+  if (!fast_) throw InvalidArgument("TieredSelector: null fast tier");
+}
+
+void TieredSelector::promote(std::unique_ptr<Selector> primary) {
+  if (!primary) throw InvalidArgument("TieredSelector::promote: null primary");
+  primary_ = std::move(primary);
+}
+
+std::string TieredSelector::name() const {
+  return "Tiered(" + fast_->name() + "->" +
+         (primary_ ? primary_->name() : "-") + ")";
+}
+
+void TieredSelector::reset() {
+  fast_->reset();
+  if (primary_) primary_->reset();
+}
+
+std::size_t TieredSelector::select(std::span<const double> window) {
+  return active().select(window);
+}
+
+void TieredSelector::select_weights_into(std::span<const double> window,
+                                         std::size_t pool_size,
+                                         std::vector<double>& out) {
+  active().select_weights_into(window, pool_size, out);
+}
+
+void TieredSelector::record(std::span<const double> forecasts, double actual) {
+  active().record(forecasts, actual);
+}
+
+void TieredSelector::learn(std::span<const double> window, std::size_t label) {
+  active().learn(window, label);
+}
+
+bool TieredSelector::supports_online_learning() const noexcept {
+  return active().supports_online_learning();
+}
+
+SelectorCost TieredSelector::cost() const noexcept { return active().cost(); }
+
+std::unique_ptr<Selector> TieredSelector::clone() const {
+  return std::make_unique<TieredSelector>(
+      fast_->clone(), primary_ ? primary_->clone() : nullptr);
+}
+
+}  // namespace larp::selection

@@ -1,0 +1,108 @@
+// TieredSelector: the degraded/fast serving tier in front of the primary
+// classifier (DESIGN.md §10).
+//
+// Two tiers, one Selector:
+//   * fast    — a constant-time hardware-style selector (tournament /
+//               perceptron / global-history) that trains from record()
+//               feedback and needs no index;
+//   * primary — the trained classifier (k-NN / centroid), absent while the
+//               series is still cold or its index is not built.
+//
+// Every call routes to the ACTIVE tier: the primary the moment it exists
+// and reports cost().ready(), the fast tier until then.  Handoff is
+// therefore bit-identical to running the primary alone — after promote()
+// the tiered selector is a pure pass-through, and the fast tier costs
+// nothing (its feedback stops with the record() stream; see
+// core::LarPredictor::observe).
+#pragma once
+
+#include "selection/selector.hpp"
+
+namespace larp::persist::io {
+class Reader;
+class Writer;
+}  // namespace larp::persist::io
+
+namespace larp::selection {
+
+/// Which O(1) selector backs the fast tier (None = no tier: the primary
+/// serves from the start, exactly the pre-tier behaviour).
+enum class FastTier : std::uint8_t {
+  None = 0,
+  Tournament = 1,
+  Perceptron = 2,
+  GlobalHistory = 3,
+};
+
+/// Tuning for the fast tier (defaults follow the classic branch-predictor
+/// shapes: 2-bit counters, 4-deep global history, 64-row pattern table).
+struct FastTierConfig {
+  unsigned counter_bits = 2;       // tournament + pattern-table counters
+  std::size_t history_length = 4;  // global-history winners remembered
+  std::size_t table_rows = 64;     // pattern-table rows
+  std::size_t min_records = 8;     // feedback steps before cost().ready()
+  double perceptron_lr = 0.25;     // perceptron learning rate
+  double perceptron_clip = 8.0;    // perceptron weight ceiling
+  double error_decay = 0.9;        // recent-error EWMA decay (perceptron)
+};
+
+/// Builds the configured O(1) selector.  Throws InvalidArgument for
+/// FastTier::None (a tier that does not exist cannot be constructed).
+[[nodiscard]] std::unique_ptr<Selector> make_fast_selector(
+    FastTier tier, std::size_t pool_size, const FastTierConfig& config = {});
+
+/// Serializes / restores a fast-tier selector polymorphically (a one-byte
+/// kind tag plus the selector's own exact state).  Only the three fast
+/// selectors are supported; save throws StateError for anything else and
+/// load throws persist::CorruptData for an unknown tag.
+void save_fast_selector(persist::io::Writer& w, const Selector& selector);
+[[nodiscard]] std::unique_ptr<Selector> load_fast_selector(
+    persist::io::Reader& r);
+
+class TieredSelector final : public Selector {
+ public:
+  /// Takes the fast tier (required) and optionally an already-ready primary.
+  explicit TieredSelector(std::unique_ptr<Selector> fast,
+                          std::unique_ptr<Selector> primary = nullptr);
+
+  /// Installs (or replaces) the primary tier; the handoff happens on the
+  /// next call that finds it ready.
+  void promote(std::unique_ptr<Selector> primary);
+
+  /// True once calls are served by the primary tier.
+  [[nodiscard]] bool serving_primary() const noexcept {
+    return primary_ != nullptr && primary_->cost().ready();
+  }
+
+  [[nodiscard]] const Selector& fast_tier() const noexcept { return *fast_; }
+  [[nodiscard]] Selector& fast_tier() noexcept { return *fast_; }
+  [[nodiscard]] const Selector* primary_tier() const noexcept {
+    return primary_.get();
+  }
+  [[nodiscard]] Selector* primary_tier() noexcept { return primary_.get(); }
+
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+  [[nodiscard]] std::size_t select(std::span<const double> window) override;
+  void select_weights_into(std::span<const double> window,
+                           std::size_t pool_size,
+                           std::vector<double>& out) override;
+  void record(std::span<const double> forecasts, double actual) override;
+  void learn(std::span<const double> window, std::size_t label) override;
+  [[nodiscard]] bool supports_online_learning() const noexcept override;
+  [[nodiscard]] SelectorCost cost() const noexcept override;
+  [[nodiscard]] std::unique_ptr<Selector> clone() const override;
+
+ private:
+  [[nodiscard]] Selector& active() noexcept {
+    return serving_primary() ? *primary_ : *fast_;
+  }
+  [[nodiscard]] const Selector& active() const noexcept {
+    return serving_primary() ? *primary_ : *fast_;
+  }
+
+  std::unique_ptr<Selector> fast_;
+  std::unique_ptr<Selector> primary_;
+};
+
+}  // namespace larp::selection

@@ -1,0 +1,105 @@
+#include "selection/tournament_selector.hpp"
+
+#include <algorithm>
+
+#include "persist/io.hpp"
+#include "util/error.hpp"
+
+namespace larp::selection {
+
+TournamentSelector::TournamentSelector(std::size_t pool_size, unsigned bits,
+                                       std::size_t min_records)
+    : bits_(bits),
+      max_(0),
+      min_records_(min_records),
+      counters_(pool_size, 0) {
+  if (pool_size == 0) throw InvalidArgument("TournamentSelector: empty pool");
+  if (bits < 1 || bits > 16) {
+    throw InvalidArgument("TournamentSelector: counter bits must be in [1, 16]");
+  }
+  max_ = static_cast<std::uint16_t>((1u << bits) - 1u);
+  reset();
+}
+
+std::string TournamentSelector::name() const {
+  return "Tournament(" + std::to_string(bits_) + "b)";
+}
+
+void TournamentSelector::reset() {
+  // Weakly-taken midpoint, like a freshly-zeroed bimodal table biased to
+  // neither side; label 0 wins the cold-start tie, matching every other
+  // selector's fallback.
+  std::fill(counters_.begin(), counters_.end(),
+            static_cast<std::uint16_t>(max_ / 2));
+  records_seen_ = 0;
+}
+
+std::size_t TournamentSelector::select(std::span<const double> /*window*/) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < counters_.size(); ++i) {
+    if (counters_[i] > counters_[best]) best = i;
+  }
+  return best;
+}
+
+void TournamentSelector::bump(std::size_t winner) {
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i == winner) {
+      if (counters_[i] < max_) ++counters_[i];  // saturate, never wrap
+    } else if (counters_[i] > 0) {
+      --counters_[i];
+    }
+  }
+  ++records_seen_;
+}
+
+void TournamentSelector::record(std::span<const double> forecasts,
+                                double actual) {
+  if (forecasts.size() != counters_.size()) {
+    throw InvalidArgument(
+        "TournamentSelector: forecast count does not match pool size");
+  }
+  bump(best_forecast_label(forecasts, actual));
+}
+
+void TournamentSelector::learn(std::span<const double> /*window*/,
+                               std::size_t label) {
+  if (label >= counters_.size()) {
+    throw InvalidArgument("TournamentSelector: label outside the pool");
+  }
+  bump(label);
+}
+
+SelectorCost TournamentSelector::cost() const noexcept {
+  return SelectorCost{SelectCostClass::kConstant, records_seen_, min_records_};
+}
+
+std::unique_ptr<Selector> TournamentSelector::clone() const {
+  return std::make_unique<TournamentSelector>(*this);
+}
+
+void TournamentSelector::save(persist::io::Writer& w) const {
+  w.u64(counters_.size());
+  w.u8(static_cast<std::uint8_t>(bits_));
+  w.u64(min_records_);
+  w.u64(records_seen_);
+  for (std::uint16_t c : counters_) w.u64(c);
+}
+
+TournamentSelector TournamentSelector::loaded(persist::io::Reader& r) {
+  const auto pool_size = static_cast<std::size_t>(r.u64());
+  const unsigned bits = r.u8();
+  const auto min_records = static_cast<std::size_t>(r.u64());
+  TournamentSelector s(pool_size, bits, min_records);
+  s.records_seen_ = static_cast<std::size_t>(r.u64());
+  for (auto& c : s.counters_) {
+    const auto v = r.u64();
+    if (v > s.max_) {
+      throw persist::CorruptData("TournamentSelector: counter above ceiling");
+    }
+    c = static_cast<std::uint16_t>(v);
+  }
+  return s;
+}
+
+}  // namespace larp::selection

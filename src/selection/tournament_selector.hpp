@@ -1,0 +1,67 @@
+// TournamentSelector: the branch-prediction tournament chooser transplanted
+// to expert selection — one N-bit saturating up/down counter per pool
+// member, updated from hindsight labels.
+//
+// select() is an argmax over P counters (a handful of nanoseconds, zero
+// index maintenance); record() computes the hindsight winner of the step
+// and bumps its counter up while every loser decays down, both saturating
+// (stick at min/max, never wrap).  This is the FFORMPP/Barak insight in its
+// cheapest possible form: "which expert has been winning lately" tracked in
+// a few bytes — the fast tier TieredSelector serves from while a series is
+// cold or its k-NN index is not ready.
+#pragma once
+
+#include <cstdint>
+
+#include "selection/selector.hpp"
+
+namespace larp::persist::io {
+class Reader;
+class Writer;
+}  // namespace larp::persist::io
+
+namespace larp::selection {
+
+class TournamentSelector final : public Selector {
+ public:
+  /// `bits` is the saturating-counter width (2 in the classic bimodal
+  /// tables; counters live in [0, 2^bits - 1] and start at the weakly-taken
+  /// midpoint).  `min_records` is the feedback count before cost() reports
+  /// the selector trained.  Throws InvalidArgument for an empty pool or a
+  /// counter width outside [1, 16].
+  explicit TournamentSelector(std::size_t pool_size, unsigned bits = 2,
+                              std::size_t min_records = 8);
+
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+  [[nodiscard]] std::size_t select(std::span<const double> window) override;
+  void record(std::span<const double> forecasts, double actual) override;
+  /// Absorbs one hindsight label directly (the warm-up walk's feedback).
+  void learn(std::span<const double> window, std::size_t label) override;
+  [[nodiscard]] bool supports_online_learning() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] SelectorCost cost() const noexcept override;
+  [[nodiscard]] std::unique_ptr<Selector> clone() const override;
+
+  /// Current counter values (diagnostics / saturation tests).
+  [[nodiscard]] const std::vector<std::uint16_t>& counters() const noexcept {
+    return counters_;
+  }
+
+  /// Exact-state round-trip (parameters + counters), so a snapshotted cold
+  /// tier resumes bit-identically.
+  void save(persist::io::Writer& w) const;
+  static TournamentSelector loaded(persist::io::Reader& r);
+
+ private:
+  void bump(std::size_t winner);
+
+  unsigned bits_;
+  std::uint16_t max_;  // saturation ceiling: 2^bits - 1
+  std::size_t min_records_;
+  std::size_t records_seen_ = 0;
+  std::vector<std::uint16_t> counters_;
+};
+
+}  // namespace larp::selection

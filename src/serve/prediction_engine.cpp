@@ -38,10 +38,13 @@ std::uint64_t now_nanos() {
 //        up front so restore knows every shard's replay cut before reading
 //        any section), then the shard sections, each carrying its own
 //        traffic counters.  Written by the incremental snapshot.
+//   v3 — v2 plus the fast-tier identity (lar.fast_tier, its tuning, and
+//        fast_train_samples) in the config block and a per-shard
+//        fast_trains counter.  Older payloads load with the tier off.
 //
-// restore() reads both: v1 maps its global counters onto shard 0, which
-// preserves every aggregate stats() total.
-constexpr std::uint32_t kEnginePayloadVersion = 2;
+// restore() reads all three: v1 maps its global counters onto shard 0,
+// which preserves every aggregate stats() total.
+constexpr std::uint32_t kEnginePayloadVersion = 3;
 
 // WAL frame types.  predict() frames matter for bit-identical recovery:
 // predict_next() mutates the predictor's pending-forecast state and the
@@ -82,9 +85,21 @@ void save_engine_config(persist::io::Writer& w, const EngineConfig& c) {
   w.u64(c.train_samples);
   w.u64(c.history_capacity);
   w.u64(c.audit_every);
+  // v3: the cold-start fast tier is identity-defining too — a restored
+  // engine must fast-train/hand off at exactly the same observations.
+  w.u8(static_cast<std::uint8_t>(l.fast_tier));
+  w.u64(l.fast.counter_bits);
+  w.u64(l.fast.history_length);
+  w.u64(l.fast.table_rows);
+  w.u64(l.fast.min_records);
+  w.f64(l.fast.perceptron_lr);
+  w.f64(l.fast.perceptron_clip);
+  w.f64(l.fast.error_decay);
+  w.u64(c.fast_train_samples);
 }
 
-void load_engine_config(persist::io::Reader& r, EngineConfig& c) {
+void load_engine_config(persist::io::Reader& r, EngineConfig& c,
+                        std::uint32_t payload_version) {
   auto& l = c.lar;
   l.window = static_cast<std::size_t>(r.u64());
   l.pca_components = static_cast<std::size_t>(r.u64());
@@ -109,6 +124,26 @@ void load_engine_config(persist::io::Reader& r, EngineConfig& c) {
   c.train_samples = static_cast<std::size_t>(r.u64());
   c.history_capacity = static_cast<std::size_t>(r.u64());
   c.audit_every = static_cast<std::size_t>(r.u64());
+  if (payload_version >= 3) {
+    const std::uint8_t tier = r.u8();
+    if (tier > static_cast<std::uint8_t>(selection::FastTier::GlobalHistory)) {
+      throw persist::CorruptData("engine snapshot: bad fast tier");
+    }
+    l.fast_tier = static_cast<selection::FastTier>(tier);
+    l.fast.counter_bits = static_cast<unsigned>(r.u64());
+    l.fast.history_length = static_cast<std::size_t>(r.u64());
+    l.fast.table_rows = static_cast<std::size_t>(r.u64());
+    l.fast.min_records = static_cast<std::size_t>(r.u64());
+    l.fast.perceptron_lr = r.f64();
+    l.fast.perceptron_clip = r.f64();
+    l.fast.error_decay = r.f64();
+    c.fast_train_samples = static_cast<std::size_t>(r.u64());
+  } else {
+    // Pre-tier snapshot: the tier did not exist, so it stays off.
+    l.fast_tier = selection::FastTier::None;
+    l.fast = selection::FastTierConfig{};
+    c.fast_train_samples = 0;
+  }
 }
 
 }  // namespace
@@ -130,6 +165,20 @@ PredictionEngine::PredictionEngine(predictors::PredictorPool pool_prototype,
   }
   if (config_.history_capacity < config_.train_samples) {
     config_.history_capacity = config_.train_samples;
+  }
+  if (config_.fast_train_samples > 0) {
+    if (config_.lar.fast_tier == selection::FastTier::None) {
+      throw InvalidArgument(
+          "PredictionEngine: fast_train_samples requires lar.fast_tier");
+    }
+    if (config_.fast_train_samples < config_.lar.window + 2) {
+      throw InvalidArgument(
+          "PredictionEngine: fast_train_samples must be at least window + 2");
+    }
+    if (config_.fast_train_samples >= config_.train_samples) {
+      throw InvalidArgument(
+          "PredictionEngine: fast_train_samples must be below train_samples");
+    }
   }
   shards_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
@@ -272,12 +321,37 @@ void PredictionEngine::train_series(Shard& shard, const tsdb::SeriesKey& key,
     shard.predictions.prune_before(key, state.next_ts + 1);
     shard.retrains.fetch_add(1, std::memory_order_relaxed);
   } else {
-    state.predictor.emplace(pool_prototype_.clone(), config_.lar);
+    // A predictor already present here is the fast tier reaching full
+    // training depth: train() promotes the classifier in place (handoff).
+    const bool handoff = state.predictor.has_value();
+    if (!handoff) {
+      state.predictor.emplace(pool_prototype_.clone(), config_.lar);
+    }
     state.predictor->train(recent);
+    if (handoff) {
+      // Forget the cold tier's forecasts (including any still-pending one)
+      // and restart the audit clock, so from here the series is in exactly
+      // the state a never-fast engine reaches at its training step — the
+      // forecast stream onward is bit-identical.
+      shard.predictions.prune_before(key, state.next_ts + 1);
+      state.since_audit = 0;
+      shard.fast_count.fetch_sub(1, std::memory_order_relaxed);
+    }
     shard.trains.fetch_add(1, std::memory_order_relaxed);
     shard.trained_count.fetch_add(1, std::memory_order_relaxed);
   }
   state.retrain_requested = false;
+}
+
+void PredictionEngine::fast_train_series(Shard& shard, SeriesState& state) {
+  const std::size_t take =
+      std::min(state.history.size(), config_.train_samples);
+  const std::vector<double> recent(state.history.end() - take,
+                                   state.history.end());
+  state.predictor.emplace(pool_prototype_.clone(), config_.lar);
+  state.predictor->train_fast(recent);
+  shard.fast_trains.fetch_add(1, std::memory_order_relaxed);
+  shard.fast_count.fetch_add(1, std::memory_order_relaxed);
 }
 
 void PredictionEngine::absorb(Shard& shard, const tsdb::SeriesKey& key,
@@ -311,9 +385,28 @@ void PredictionEngine::absorb(Shard& shard, const tsdb::SeriesKey& key,
     return;
   }
 
+  // Cold-start tier: fast-train as soon as fast_train_samples have
+  // accumulated, so the series serves O(1)-selected forecasts while the
+  // full training window is still filling.
+  if (!state.predictor && fast_tier_enabled() &&
+      state.history.size() >= config_.fast_train_samples) {
+    fast_train_series(shard, state);
+    return;
+  }
+
+  // Handoff: a fast-serving series reaches full training depth — promote
+  // the classifier (bit-identical to a never-fast engine from here on).
+  if (state.predictor && state.predictor->serving_fast_tier() &&
+      state.history.size() >= config_.train_samples) {
+    train_series(shard, key, state, /*is_retrain=*/false);
+    return;
+  }
+
   // QA audit on cadence; a breach flags the series and we re-train from the
-  // retained history right away.
-  if (state.predictor && config_.audit_every > 0 &&
+  // retained history right away.  The fast tier is exempt: QA judges the
+  // promoted classifier only (the audit clock starts at handoff).
+  if (state.predictor && !state.predictor->serving_fast_tier() &&
+      config_.audit_every > 0 &&
       ++state.since_audit >= config_.audit_every) {
     state.since_audit = 0;
     // The lock-free mirror counts exactly what qa->audits_performed()
@@ -488,7 +581,11 @@ bool PredictionEngine::erase_locked(Shard& shard, const tsdb::SeriesKey& key) {
   const bool removed = it != shard.series.end();
   if (removed) {
     if (it->second.predictor) {
-      shard.trained_count.fetch_sub(1, std::memory_order_relaxed);
+      if (it->second.predictor->serving_fast_tier()) {
+        shard.fast_count.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        shard.trained_count.fetch_sub(1, std::memory_order_relaxed);
+      }
     }
     shard.series.erase(it);
     shard.series_count.fetch_sub(1, std::memory_order_relaxed);
@@ -610,6 +707,7 @@ void PredictionEngine::save_shard(persist::io::Writer& w, Shard& shard) const {
   w.f64(shard.abs_error_sum.load(std::memory_order_relaxed));
   w.f64(shard.sq_error_sum.load(std::memory_order_relaxed));
   w.u64(shard.trains.load(std::memory_order_relaxed));
+  w.u64(shard.fast_trains.load(std::memory_order_relaxed));
   w.u64(shard.retrains.load(std::memory_order_relaxed));
   w.u64(shard.erases.load(std::memory_order_relaxed));
   w.u64(shard.qa->audits_performed());
@@ -655,6 +753,10 @@ std::uint64_t PredictionEngine::load_shard(persist::io::Reader& r, Shard& shard,
   shard.sq_error_sum.store(r.f64(), std::memory_order_relaxed);
   shard.trains.store(static_cast<std::size_t>(r.u64()),
                      std::memory_order_relaxed);
+  if (payload_version >= 3) {
+    shard.fast_trains.store(static_cast<std::size_t>(r.u64()),
+                            std::memory_order_relaxed);
+  }
   shard.retrains.store(static_cast<std::size_t>(r.u64()),
                        std::memory_order_relaxed);
   shard.erases.store(static_cast<std::size_t>(r.u64()),
@@ -691,11 +793,18 @@ std::uint64_t PredictionEngine::load_shard(persist::io::Reader& r, Shard& shard,
   }
   // Re-seed the lock-free stats() mirrors from the restored series map.
   std::size_t trained = 0;
+  std::size_t fast = 0;
   for (const auto& [key, state] : shard.series) {
-    if (state.predictor) ++trained;
+    if (!state.predictor) continue;
+    if (state.predictor->serving_fast_tier()) {
+      ++fast;
+    } else {
+      ++trained;
+    }
   }
   shard.series_count.store(shard.series.size(), std::memory_order_relaxed);
   shard.trained_count.store(trained, std::memory_order_relaxed);
+  shard.fast_count.store(fast, std::memory_order_relaxed);
   return watermark;
 }
 
@@ -807,7 +916,7 @@ std::unique_ptr<PredictionEngine> PredictionEngine::restore(
     }
     // Identity-defining fields come from the snapshot; the override only
     // contributes runtime knobs (threads + durability tuning, read below).
-    load_engine_config(*reader, config);
+    load_engine_config(*reader, config, payload_version);
   }
   DurabilityConfig durability = config.durability;
   durability.data_dir = dir;
@@ -888,7 +997,16 @@ bool PredictionEngine::is_trained(const tsdb::SeriesKey& key) const {
   const Shard& shard = shard_of(key);
   std::lock_guard lock(shard.mutex);
   const auto it = shard.series.find(key);
-  return it != shard.series.end() && it->second.predictor.has_value();
+  return it != shard.series.end() && it->second.predictor.has_value() &&
+         !it->second.predictor->serving_fast_tier();
+}
+
+bool PredictionEngine::is_fast_serving(const tsdb::SeriesKey& key) const {
+  const Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.series.find(key);
+  return it != shard.series.end() && it->second.predictor.has_value() &&
+         it->second.predictor->serving_fast_tier();
 }
 
 EngineStats PredictionEngine::stats() const {
@@ -903,6 +1021,8 @@ EngineStats PredictionEngine::stats() const {
     stats.trained_series +=
         shard->trained_count.load(std::memory_order_relaxed);
     stats.trains += shard->trains.load(std::memory_order_relaxed);
+    stats.fast_trains += shard->fast_trains.load(std::memory_order_relaxed);
+    stats.fast_serving += shard->fast_count.load(std::memory_order_relaxed);
     stats.retrains += shard->retrains.load(std::memory_order_relaxed);
     stats.erases += shard->erases.load(std::memory_order_relaxed);
     stats.audits += shard->audits.load(std::memory_order_relaxed);

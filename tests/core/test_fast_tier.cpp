@@ -1,0 +1,183 @@
+// Tests for the constant-time fast tier in core::LarPredictor: train_fast()
+// cold-start serving, the TieredSelector handoff (bit-identical to a
+// warm-only predictor), and the tiered save/load path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/lar_predictor.hpp"
+#include "persist/io.hpp"
+#include "predictors/pool.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace larp::core {
+namespace {
+
+LarConfig fast_config(selection::FastTier tier = selection::FastTier::Tournament) {
+  LarConfig config;
+  config.window = 5;
+  config.pca_components = 2;
+  config.knn_k = 3;
+  config.fast_tier = tier;
+  return config;
+}
+
+std::vector<double> ar1_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  double dev = 0.0;
+  for (auto& x : xs) {
+    dev = 0.8 * dev + rng.normal(0.0, 5.0);
+    x = 50.0 + dev;
+  }
+  return xs;
+}
+
+TEST(FastTier, TrainFastRequiresAConfiguredTier) {
+  LarConfig plain = fast_config(selection::FastTier::None);
+  LarPredictor lar(predictors::make_paper_pool(5), plain);
+  const auto series = ar1_series(40, 7);
+  EXPECT_THROW(lar.train_fast(series), StateError);
+}
+
+TEST(FastTier, RejectsPcaSpacePrediction) {
+  LarConfig config = fast_config();
+  config.predict_in_pca_space = true;
+  EXPECT_THROW(LarPredictor(predictors::make_paper_pool(5), config),
+               InvalidArgument);
+}
+
+TEST(FastTier, TrainFastServesImmediately) {
+  for (const auto tier : {selection::FastTier::Tournament,
+                          selection::FastTier::Perceptron,
+                          selection::FastTier::GlobalHistory}) {
+    LarPredictor lar(predictors::make_paper_pool(5), fast_config(tier));
+    const auto series = ar1_series(20, 11);
+    lar.train_fast(series);
+    EXPECT_TRUE(lar.trained());
+    EXPECT_TRUE(lar.serving_fast_tier());
+    for (int step = 0; step < 10; ++step) {
+      const auto forecast = lar.predict_next();
+      EXPECT_TRUE(std::isfinite(forecast.value));
+      EXPECT_LT(forecast.label, 5u);
+      lar.observe(50.0 + step);
+    }
+  }
+}
+
+// The acceptance gate: a fast-started predictor, once full training runs on
+// the same data, must forecast BIT-IDENTICALLY to a predictor that only ever
+// full-trained — the cold tier must leave no trace after handoff.
+TEST(FastTier, HandoffIsBitIdenticalToWarmOnlyTraining) {
+  const auto series = ar1_series(140, 23);
+  const std::size_t kFastAt = 20;
+  const std::size_t kTrainAt = 60;
+
+  LarPredictor fast_first(predictors::make_paper_pool(5), fast_config());
+  fast_first.train_fast({series.data(), kFastAt});
+  for (std::size_t i = kFastAt; i < kTrainAt; ++i) {
+    (void)fast_first.predict_next();  // exercise the cold tier's serving path
+    fast_first.observe(series[i]);
+  }
+  EXPECT_TRUE(fast_first.serving_fast_tier());
+  fast_first.train({series.data(), kTrainAt});
+  EXPECT_FALSE(fast_first.serving_fast_tier());
+
+  LarPredictor warm_only(predictors::make_paper_pool(5),
+                         fast_config(selection::FastTier::None));
+  warm_only.train({series.data(), kTrainAt});
+
+  for (std::size_t i = kTrainAt; i < series.size(); ++i) {
+    const auto a = fast_first.predict_next();
+    const auto b = warm_only.predict_next();
+    ASSERT_EQ(a.label, b.label) << "step " << i;
+    ASSERT_DOUBLE_EQ(a.value, b.value) << "step " << i;
+    fast_first.observe(series[i]);
+    warm_only.observe(series[i]);
+  }
+}
+
+TEST(FastTier, FullTrainWithTierConfiguredStillServesThePrimary) {
+  // train() (no fast phase) on a fast-tier config wraps the classifier in a
+  // TieredSelector whose primary is ready at once — behaviour identical to
+  // the plain config.
+  const auto series = ar1_series(80, 31);
+  LarPredictor tiered(predictors::make_paper_pool(5), fast_config());
+  LarPredictor plain(predictors::make_paper_pool(5),
+                     fast_config(selection::FastTier::None));
+  tiered.train(series);
+  plain.train(series);
+  EXPECT_FALSE(tiered.serving_fast_tier());
+  for (int step = 0; step < 20; ++step) {
+    const auto a = tiered.predict_next();
+    const auto b = plain.predict_next();
+    ASSERT_EQ(a.label, b.label);
+    ASSERT_DOUBLE_EQ(a.value, b.value);
+    const double next = series[static_cast<std::size_t>(step) % series.size()];
+    tiered.observe(next);
+    plain.observe(next);
+  }
+}
+
+// Snapshot a predictor mid-cold-phase: the restored instance must continue
+// the forecast sequence bit-identically, still on the fast tier.
+TEST(FastTier, SaveLoadRoundTripsTheColdPhase) {
+  const auto series = ar1_series(60, 41);
+  LarPredictor original(predictors::make_paper_pool(5), fast_config());
+  original.train_fast({series.data(), 20});
+  for (std::size_t i = 20; i < 35; ++i) {
+    (void)original.predict_next();
+    original.observe(series[i]);
+  }
+
+  persist::io::Writer w;
+  original.save_state(w);
+  LarPredictor restored(predictors::make_paper_pool(5), fast_config());
+  persist::io::Reader r(w.bytes());
+  restored.load_state(r);
+  EXPECT_TRUE(restored.serving_fast_tier());
+
+  for (std::size_t i = 35; i < series.size(); ++i) {
+    const auto a = original.predict_next();
+    const auto b = restored.predict_next();
+    ASSERT_EQ(a.label, b.label) << "step " << i;
+    ASSERT_DOUBLE_EQ(a.value, b.value) << "step " << i;
+    original.observe(series[i]);
+    restored.observe(series[i]);
+  }
+}
+
+// And after handoff: the serialized selector carries BOTH tiers.
+TEST(FastTier, SaveLoadRoundTripsThePromotedState) {
+  const auto series = ar1_series(100, 43);
+  LarPredictor original(predictors::make_paper_pool(5), fast_config());
+  original.train_fast({series.data(), 20});
+  for (std::size_t i = 20; i < 60; ++i) original.observe(series[i]);
+  original.train({series.data(), 60});
+  for (std::size_t i = 60; i < 80; ++i) {
+    (void)original.predict_next();
+    original.observe(series[i]);
+  }
+
+  persist::io::Writer w;
+  original.save_state(w);
+  LarPredictor restored(predictors::make_paper_pool(5), fast_config());
+  persist::io::Reader r(w.bytes());
+  restored.load_state(r);
+  EXPECT_TRUE(restored.trained());
+  EXPECT_FALSE(restored.serving_fast_tier());
+
+  for (std::size_t i = 80; i < series.size(); ++i) {
+    const auto a = original.predict_next();
+    const auto b = restored.predict_next();
+    ASSERT_EQ(a.label, b.label) << "step " << i;
+    ASSERT_DOUBLE_EQ(a.value, b.value) << "step " << i;
+    original.observe(series[i]);
+    restored.observe(series[i]);
+  }
+}
+
+}  // namespace
+}  // namespace larp::core

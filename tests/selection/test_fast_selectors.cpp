@@ -1,0 +1,436 @@
+// Tests for the O(1) fast-tier selectors (tournament / perceptron /
+// global-history), the TieredSelector routing, and the NaN-labeling /
+// select_weights_into hardening in the Selector base.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "persist/io.hpp"
+#include "selection/history_selector.hpp"
+#include "selection/nws_selector.hpp"
+#include "selection/perceptron_selector.hpp"
+#include "selection/static_selector.hpp"
+#include "selection/tiered_selector.hpp"
+#include "selection/tournament_selector.hpp"
+#include "util/error.hpp"
+
+namespace larp::selection {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> window5() { return {1.0, 2.0, 3.0, 2.0, 1.0}; }
+
+// -- NaN-labeling regression (selector.cpp) ---------------------------------
+//
+// A NaN forecast at index 0 used to poison every `error < best_error`
+// comparison (NaN compares false), silently pinning the hindsight label to 0.
+
+TEST(BestForecastLabel, SkipsNaNAtIndexZero) {
+  const std::vector<double> forecasts = {kNaN, 1.0, 5.0};
+  EXPECT_EQ(best_forecast_label(forecasts, 0.0), 1u);
+}
+
+TEST(BestForecastLabel, SkipsNaNInTheMiddle) {
+  const std::vector<double> forecasts = {5.0, kNaN, 1.0};
+  EXPECT_EQ(best_forecast_label(forecasts, 0.0), 2u);
+}
+
+TEST(BestForecastLabel, SkipsInfiniteForecasts) {
+  const std::vector<double> forecasts = {kInf, -kInf, 3.0};
+  EXPECT_EQ(best_forecast_label(forecasts, 0.0), 2u);
+}
+
+TEST(BestForecastLabel, ThrowsWhenAllForecastsNonFinite) {
+  const std::vector<double> forecasts = {kNaN, kInf, -kInf};
+  EXPECT_THROW((void)best_forecast_label(forecasts, 0.0), InvalidArgument);
+}
+
+TEST(BestForecastLabel, NonFiniteActualThrows) {
+  // Every |forecast - NaN| is NaN, so the all-non-finite guard fires.
+  const std::vector<double> forecasts = {1.0, 2.0};
+  EXPECT_THROW((void)best_forecast_label(forecasts, kNaN), InvalidArgument);
+}
+
+TEST(ArgminLabel, SkipsNonFiniteValues) {
+  const std::vector<double> values = {kNaN, 4.0, 2.0};
+  EXPECT_EQ(argmin_label(values), 2u);
+}
+
+TEST(ArgminLabel, ThrowsWhenAllValuesNonFinite) {
+  const std::vector<double> values = {kNaN, kNaN};
+  EXPECT_THROW((void)argmin_label(values), InvalidArgument);
+}
+
+TEST(ArgminLabel, LowestLabelWinsTies) {
+  const std::vector<double> values = {kNaN, 1.0, 1.0};
+  EXPECT_EQ(argmin_label(values), 1u);
+}
+
+// -- select_weights_into hardening ------------------------------------------
+
+// A selector that misbehaves: select() returns a label outside the pool.
+class RogueSelector final : public Selector {
+ public:
+  [[nodiscard]] std::string name() const override { return "Rogue"; }
+  [[nodiscard]] std::size_t select(std::span<const double>) override {
+    return 99;
+  }
+  [[nodiscard]] std::unique_ptr<Selector> clone() const override {
+    return std::make_unique<RogueSelector>();
+  }
+};
+
+TEST(SelectWeightsInto, ValidatesBeforeTouchingOutput) {
+  RogueSelector rogue;
+  std::vector<double> out = {0.25, 0.75};  // pre-existing caller state
+  const auto win = window5();
+  EXPECT_THROW(rogue.select_weights_into(win, 2, out), InvalidArgument);
+  // The buffer must be untouched by the failed call — previously it was
+  // cleared and zero-filled before the pick was validated.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 0.25);
+  EXPECT_DOUBLE_EQ(out[1], 0.75);
+}
+
+TEST(SelectWeightsInto, DefaultWritesOneHot) {
+  StaticSelector fixed(1);
+  std::vector<double> out;
+  const auto win = window5();
+  fixed.select_weights_into(win, 3, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
+}
+
+// -- EwmaMseSelector cold-start (nws_selector.cpp) --------------------------
+
+TEST(EwmaMseSelector, FallsBackToZeroBeforeAnyFeedback) {
+  EwmaMseSelector selector(3, 0.9);
+  EXPECT_EQ(selector.select(window5()), 0u);
+}
+
+TEST(EwmaMseSelector, ScoredMembersBeatTheColdFallback) {
+  EwmaMseSelector selector(3, 0.9);
+  const std::vector<double> forecasts = {3.0, 1.0, 2.0};
+  selector.record(forecasts, 0.0);
+  EXPECT_EQ(selector.select(window5()), 1u);
+}
+
+TEST(EwmaMseSelector, CloneAndResetKeepSeenStateInParity) {
+  EwmaMseSelector selector(3, 0.9);
+  const std::vector<double> forecasts = {3.0, 1.0, 2.0};
+  selector.record(forecasts, 0.0);
+
+  // clone() carries both the weighted errors AND the seen flags.
+  auto copy = selector.clone();
+  EXPECT_EQ(copy->select(window5()), selector.select(window5()));
+
+  // reset() clears both, restoring the documented label-0 cold start.
+  selector.reset();
+  EXPECT_EQ(selector.select(window5()), 0u);
+  for (double e : selector.errors()) EXPECT_DOUBLE_EQ(e, 0.0);
+}
+
+// -- TournamentSelector ------------------------------------------------------
+
+TEST(TournamentSelector, ValidatesConstruction) {
+  EXPECT_THROW(TournamentSelector(0), InvalidArgument);
+  EXPECT_THROW(TournamentSelector(3, 0), InvalidArgument);
+  EXPECT_THROW(TournamentSelector(3, 17), InvalidArgument);
+}
+
+TEST(TournamentSelector, StartsAtTheMidpointAndBreaksTiesLow) {
+  TournamentSelector selector(3, 2);
+  for (std::uint16_t c : selector.counters()) EXPECT_EQ(c, 1);  // (2^2-1)/2
+  EXPECT_EQ(selector.select(window5()), 0u);
+}
+
+TEST(TournamentSelector, CountersSaturateWithoutWrapping) {
+  TournamentSelector selector(2, 2);
+  const std::vector<double> zero_wins = {0.0, 10.0};  // member 0 is exact
+  for (int i = 0; i < 20; ++i) selector.record(zero_wins, 0.0);
+  // Stick at max/min; 20 updates would have wrapped 2-bit counters 5 times.
+  EXPECT_EQ(selector.counters()[0], 3);
+  EXPECT_EQ(selector.counters()[1], 0);
+  selector.record(zero_wins, 0.0);
+  EXPECT_EQ(selector.counters()[0], 3);
+  EXPECT_EQ(selector.counters()[1], 0);
+  EXPECT_EQ(selector.select(window5()), 0u);
+}
+
+TEST(TournamentSelector, FollowsTheHindsightWinner) {
+  TournamentSelector selector(3, 2);
+  const std::vector<double> two_wins = {9.0, 7.0, 0.1};
+  for (int i = 0; i < 4; ++i) selector.record(two_wins, 0.0);
+  EXPECT_EQ(selector.select(window5()), 2u);
+}
+
+TEST(TournamentSelector, LearnAbsorbsLabelsAndValidates) {
+  TournamentSelector selector(3, 2);
+  EXPECT_TRUE(selector.supports_online_learning());
+  for (int i = 0; i < 4; ++i) selector.learn(window5(), 1);
+  EXPECT_EQ(selector.select(window5()), 1u);
+  EXPECT_THROW(selector.learn(window5(), 3), InvalidArgument);
+}
+
+TEST(TournamentSelector, RecordValidatesForecastCount) {
+  TournamentSelector selector(3, 2);
+  const std::vector<double> wrong = {1.0, 2.0};
+  EXPECT_THROW(selector.record(wrong, 0.0), InvalidArgument);
+}
+
+TEST(TournamentSelector, CostReportsConstantClassAndReadiness) {
+  TournamentSelector selector(3, 2, /*min_records=*/4);
+  EXPECT_EQ(selector.cost().select_cost, SelectCostClass::kConstant);
+  EXPECT_FALSE(selector.cost().ready());
+  const std::vector<double> forecasts = {1.0, 2.0, 3.0};
+  for (int i = 0; i < 4; ++i) selector.record(forecasts, 0.0);
+  EXPECT_TRUE(selector.cost().ready());
+}
+
+TEST(TournamentSelector, SaveLoadRoundTripsExactState) {
+  TournamentSelector selector(3, 3, 5);
+  const std::vector<double> forecasts = {2.0, 0.5, 9.0};
+  for (int i = 0; i < 3; ++i) selector.record(forecasts, 0.0);
+
+  persist::io::Writer w;
+  selector.save(w);
+  persist::io::Reader r(w.bytes());
+  auto restored = TournamentSelector::loaded(r);
+  EXPECT_EQ(restored.counters(), selector.counters());
+  EXPECT_EQ(restored.select(window5()), selector.select(window5()));
+  EXPECT_EQ(restored.cost().records_seen, selector.cost().records_seen);
+}
+
+// -- PerceptronSelector ------------------------------------------------------
+
+TEST(PerceptronSelector, LearnsAPersistentWinner) {
+  PerceptronSelector selector(3);
+  const std::vector<double> one_wins = {5.0, 0.0, -5.0};
+  const auto win = window5();
+  for (int i = 0; i < 50; ++i) {
+    (void)selector.select(win);  // cache the window features
+    selector.record(one_wins, 0.0);
+  }
+  EXPECT_EQ(selector.select(win), 1u);
+}
+
+TEST(PerceptronSelector, WeightsStayClippedUnderAdversarialFeedback) {
+  PerceptronSelector::Config config;
+  config.clip = 8.0;
+  PerceptronSelector selector(2, config);
+  // Huge feature magnitudes + a winner that flips every step: without the
+  // clip the weights would diverge; with it every weight stays bounded.
+  const std::vector<double> big_window = {500.0, -500.0, 900.0, -900.0, 700.0};
+  const std::vector<double> zero_wins = {0.0, 100.0};
+  const std::vector<double> one_wins = {100.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    (void)selector.select(big_window);
+    selector.record(i % 2 == 0 ? zero_wins : one_wins, 0.0);
+  }
+  for (double weight : selector.weights()) {
+    EXPECT_LE(std::abs(weight), config.clip);
+    EXPECT_TRUE(std::isfinite(weight));
+  }
+}
+
+TEST(PerceptronSelector, CostReportsConstantClassAndReadiness) {
+  PerceptronSelector::Config config;
+  config.min_records = 3;
+  PerceptronSelector selector(2, config);
+  EXPECT_EQ(selector.cost().select_cost, SelectCostClass::kConstant);
+  EXPECT_FALSE(selector.cost().ready());
+  const std::vector<double> forecasts = {1.0, 2.0};
+  for (int i = 0; i < 3; ++i) selector.record(forecasts, 0.0);
+  EXPECT_TRUE(selector.cost().ready());
+}
+
+TEST(PerceptronSelector, SaveLoadRoundTripsExactState) {
+  PerceptronSelector selector(3);
+  const std::vector<double> one_wins = {5.0, 0.0, -5.0};
+  const auto win = window5();
+  for (int i = 0; i < 10; ++i) {
+    (void)selector.select(win);
+    selector.record(one_wins, 0.0);
+  }
+  persist::io::Writer w;
+  selector.save(w);
+  persist::io::Reader r(w.bytes());
+  auto restored = PerceptronSelector::loaded(r);
+  EXPECT_EQ(restored.weights(), selector.weights());
+  EXPECT_EQ(restored.select(win), selector.select(win));
+}
+
+// -- GlobalHistorySelector ---------------------------------------------------
+
+TEST(GlobalHistorySelector, ValidatesConstruction) {
+  EXPECT_THROW(GlobalHistorySelector(0), InvalidArgument);
+  EXPECT_THROW(GlobalHistorySelector(3, 0), InvalidArgument);
+  EXPECT_THROW(GlobalHistorySelector(3, 4, 0), InvalidArgument);
+  EXPECT_THROW(GlobalHistorySelector(3, 4, 64, 0), InvalidArgument);
+}
+
+TEST(GlobalHistorySelector, LearnsAlternatingWinners) {
+  // Winners strictly alternate 0,1,0,1...; a 2-deep history over a roomy
+  // table learns "after (…,0) comes 1" and vice versa.
+  GlobalHistorySelector selector(2, /*history_length=*/2, /*table_rows=*/16);
+  const auto win = window5();
+  for (int i = 0; i < 100; ++i) {
+    selector.learn(win, static_cast<std::size_t>(i % 2));
+  }
+  // The last learned winner was 1 (i = 99), so the next winner is 0.
+  EXPECT_EQ(selector.select(win), 0u);
+  selector.learn(win, 0);
+  EXPECT_EQ(selector.select(win), 1u);
+}
+
+TEST(GlobalHistorySelector, SingleRowTableAliasesEveryHistory) {
+  // table_rows = 1: every history pattern addresses row 0, so training in
+  // one context destructively interferes with every other — the documented
+  // pattern-history-table aliasing tradeoff.
+  GlobalHistorySelector selector(2, 4, /*table_rows=*/1);
+  const auto win = window5();
+  for (int i = 0; i < 8; ++i) {
+    selector.learn(win, static_cast<std::size_t>(i % 2));
+    EXPECT_EQ(selector.current_row(), 0u);
+  }
+  // With alternating winners collapsing onto one row, the shared counters
+  // see both members bumped equally often: the row cannot learn the
+  // pattern a 2-row table would separate.
+  GlobalHistorySelector roomy(2, 1, /*table_rows=*/2);
+  for (int i = 0; i < 100; ++i) {
+    selector.learn(win, static_cast<std::size_t>(i % 2));
+    roomy.learn(win, static_cast<std::size_t>(i % 2));
+  }
+  EXPECT_EQ(roomy.select(win), 0u);  // last winner 1 -> row predicts 0 next
+}
+
+TEST(GlobalHistorySelector, RecordFollowsHindsightWinners) {
+  GlobalHistorySelector selector(3, 2, 16);
+  const std::vector<double> two_wins = {9.0, 7.0, 0.1};
+  for (int i = 0; i < 8; ++i) selector.record(two_wins, 0.0);
+  EXPECT_EQ(selector.select(window5()), 2u);
+}
+
+TEST(GlobalHistorySelector, CostReportsConstantClassAndReadiness) {
+  GlobalHistorySelector selector(3, 4, 64, 2, /*min_records=*/2);
+  EXPECT_EQ(selector.cost().select_cost, SelectCostClass::kConstant);
+  EXPECT_FALSE(selector.cost().ready());
+  const std::vector<double> forecasts = {1.0, 2.0, 3.0};
+  selector.record(forecasts, 0.0);
+  selector.record(forecasts, 0.0);
+  EXPECT_TRUE(selector.cost().ready());
+}
+
+TEST(GlobalHistorySelector, SaveLoadRoundTripsExactState) {
+  GlobalHistorySelector selector(3, 3, 8);
+  const std::vector<double> forecasts = {2.0, 0.5, 9.0};
+  for (int i = 0; i < 7; ++i) selector.record(forecasts, 0.0);
+
+  persist::io::Writer w;
+  selector.save(w);
+  persist::io::Reader r(w.bytes());
+  auto restored = GlobalHistorySelector::loaded(r);
+  EXPECT_EQ(restored.current_row(), selector.current_row());
+  EXPECT_EQ(restored.select(window5()), selector.select(window5()));
+}
+
+// -- fast-selector polymorphic serialization ---------------------------------
+
+TEST(FastSelectorIo, RoundTripsEveryTier) {
+  const FastTierConfig config;
+  for (const FastTier tier : {FastTier::Tournament, FastTier::Perceptron,
+                              FastTier::GlobalHistory}) {
+    auto selector = make_fast_selector(tier, 3, config);
+    const std::vector<double> forecasts = {4.0, 0.5, 2.0};
+    const auto win = window5();
+    for (int i = 0; i < 6; ++i) {
+      (void)selector->select(win);
+      selector->record(forecasts, 0.0);
+    }
+    persist::io::Writer w;
+    save_fast_selector(w, *selector);
+    persist::io::Reader r(w.bytes());
+    auto restored = load_fast_selector(r);
+    EXPECT_EQ(restored->name(), selector->name());
+    EXPECT_EQ(restored->select(win), selector->select(win));
+    EXPECT_EQ(restored->cost().records_seen, selector->cost().records_seen);
+  }
+}
+
+TEST(FastSelectorIo, RejectsNonFastSelectorsAndUnknownTags) {
+  persist::io::Writer w;
+  StaticSelector fixed(0);
+  EXPECT_THROW(save_fast_selector(w, fixed), StateError);
+
+  persist::io::Writer bad;
+  bad.u8(42);
+  persist::io::Reader r(bad.bytes());
+  EXPECT_THROW((void)load_fast_selector(r), persist::CorruptData);
+}
+
+TEST(FastSelectorIo, MakeFastSelectorRejectsNone) {
+  EXPECT_THROW((void)make_fast_selector(FastTier::None, 3), InvalidArgument);
+}
+
+// -- TieredSelector ----------------------------------------------------------
+
+TEST(TieredSelector, ServesFromTheFastTierUntilPromotion) {
+  TieredSelector tiered(std::make_unique<TournamentSelector>(3));
+  EXPECT_FALSE(tiered.serving_primary());
+  EXPECT_EQ(tiered.cost().select_cost, SelectCostClass::kConstant);
+
+  // Train the fast tier toward member 2.
+  const std::vector<double> two_wins = {9.0, 7.0, 0.1};
+  for (int i = 0; i < 8; ++i) tiered.record(two_wins, 0.0);
+  EXPECT_EQ(tiered.select(window5()), 2u);
+
+  // Promote a ready primary: every call routes there from now on.
+  tiered.promote(std::make_unique<StaticSelector>(1));
+  EXPECT_TRUE(tiered.serving_primary());
+  EXPECT_EQ(tiered.select(window5()), 1u);
+
+  // Handoff is bit-identical to the primary alone.
+  StaticSelector alone(1);
+  std::vector<double> tiered_weights;
+  std::vector<double> alone_weights;
+  const auto win = window5();
+  tiered.select_weights_into(win, 3, tiered_weights);
+  alone.select_weights_into(win, 3, alone_weights);
+  EXPECT_EQ(tiered_weights, alone_weights);
+}
+
+TEST(TieredSelector, RequiresAFastTierAndAValidPromotion) {
+  EXPECT_THROW(TieredSelector(nullptr), InvalidArgument);
+  TieredSelector tiered(std::make_unique<TournamentSelector>(2));
+  EXPECT_THROW(tiered.promote(nullptr), InvalidArgument);
+}
+
+TEST(TieredSelector, CloneIsDeepOnBothTiers) {
+  TieredSelector tiered(std::make_unique<TournamentSelector>(2));
+  auto copy = tiered.clone();
+  const std::vector<double> zero_wins = {0.0, 9.0};
+  for (int i = 0; i < 8; ++i) tiered.record(zero_wins, 0.0);
+  // The original learned member 0; the clone's counters are untouched.
+  EXPECT_EQ(tiered.select(window5()), 0u);
+  auto* tiered_copy = dynamic_cast<TieredSelector*>(copy.get());
+  ASSERT_NE(tiered_copy, nullptr);
+  const auto& fast =
+      dynamic_cast<const TournamentSelector&>(tiered_copy->fast_tier());
+  for (std::uint16_t c : fast.counters()) EXPECT_EQ(c, 1);
+}
+
+TEST(TieredSelector, NameShowsBothTiers) {
+  TieredSelector tiered(std::make_unique<TournamentSelector>(2));
+  EXPECT_NE(tiered.name().find("->-"), std::string::npos);
+  tiered.promote(std::make_unique<StaticSelector>(0, "LAST"));
+  EXPECT_NE(tiered.name().find("LAST"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace larp::selection

@@ -1,0 +1,230 @@
+// Tests for the engine-level cold-start tier: fast training at
+// fast_train_samples, O(1) serving while the full window fills, handoff at
+// train_samples bit-identical to a never-fast engine, and v3 snapshot
+// round-trips of a mid-cold-phase engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <vector>
+
+#include "serve/prediction_engine.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace larp::serve {
+namespace {
+
+tsdb::SeriesKey key_of(std::size_t s) {
+  return {"host" + std::to_string(s / 4), "dev" + std::to_string(s % 4), "cpu"};
+}
+
+std::vector<double> ar1_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  double dev = 0.0;
+  for (auto& x : xs) {
+    dev = 0.8 * dev + rng.normal(0.0, 2.0);
+    x = 50.0 + dev;
+  }
+  return xs;
+}
+
+EngineConfig fast_config(std::size_t threads = 1, std::size_t shards = 4) {
+  EngineConfig config;
+  config.lar.window = 5;
+  config.lar.fast_tier = selection::FastTier::Tournament;
+  config.shards = shards;
+  config.threads = threads;
+  config.train_samples = 40;
+  config.fast_train_samples = 12;
+  config.audit_every = 0;
+  return config;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::path(::testing::TempDir()) /
+            ("larp_fast_tier_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(FastTierEngine, ValidatesConfiguration) {
+  auto no_tier = fast_config();
+  no_tier.lar.fast_tier = selection::FastTier::None;
+  EXPECT_THROW(PredictionEngine(predictors::make_paper_pool(5), no_tier),
+               InvalidArgument);
+
+  auto tiny = fast_config();
+  tiny.fast_train_samples = tiny.lar.window + 1;
+  EXPECT_THROW(PredictionEngine(predictors::make_paper_pool(5), tiny),
+               InvalidArgument);
+
+  auto too_late = fast_config();
+  too_late.fast_train_samples = too_late.train_samples;
+  EXPECT_THROW(PredictionEngine(predictors::make_paper_pool(5), too_late),
+               InvalidArgument);
+}
+
+TEST(FastTierEngine, ServesFromTheFastTierBeforeFullTraining) {
+  PredictionEngine engine(predictors::make_paper_pool(5), fast_config());
+  const auto key = key_of(0);
+  const auto series = ar1_series(60, 3);
+
+  for (std::size_t i = 0; i < 11; ++i) engine.observe(key, series[i]);
+  EXPECT_FALSE(engine.is_fast_serving(key));
+  EXPECT_FALSE(engine.predict(key).ready);
+
+  engine.observe(key, series[11]);  // 12th sample: fast-train fires
+  EXPECT_TRUE(engine.is_fast_serving(key));
+  EXPECT_FALSE(engine.is_trained(key));
+  const auto prediction = engine.predict(key);
+  EXPECT_TRUE(prediction.ready);
+  EXPECT_TRUE(std::isfinite(prediction.value));
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.fast_trains, 1u);
+  EXPECT_EQ(stats.fast_serving, 1u);
+  EXPECT_EQ(stats.trains, 0u);
+  EXPECT_EQ(stats.trained_series, 0u);
+
+  // Full depth reached: the classifier takes over.
+  for (std::size_t i = 12; i < 40; ++i) engine.observe(key, series[i]);
+  EXPECT_TRUE(engine.is_trained(key));
+  EXPECT_FALSE(engine.is_fast_serving(key));
+  const auto after = engine.stats();
+  EXPECT_EQ(after.trains, 1u);
+  EXPECT_EQ(after.trained_series, 1u);
+  EXPECT_EQ(after.fast_serving, 0u);
+  EXPECT_EQ(after.fast_trains, 1u);
+}
+
+// The handoff acceptance gate at engine level: once both engines are fully
+// trained, a fast-tier engine and a plain engine fed the same stream must
+// produce bit-identical forecasts.
+TEST(FastTierEngine, HandoffMatchesAPlainEngineBitForBit) {
+  const std::size_t kSeriesCount = 8;
+  auto plain_cfg = fast_config(4);
+  plain_cfg.lar.fast_tier = selection::FastTier::None;
+  plain_cfg.fast_train_samples = 0;
+  PredictionEngine fast_engine(predictors::make_paper_pool(5), fast_config(4));
+  PredictionEngine plain_engine(predictors::make_paper_pool(5), plain_cfg);
+
+  std::vector<std::vector<double>> streams;
+  streams.reserve(kSeriesCount);
+  for (std::size_t s = 0; s < kSeriesCount; ++s) {
+    streams.push_back(ar1_series(90, 100 + s));
+  }
+
+  for (std::size_t i = 0; i < 90; ++i) {
+    for (std::size_t s = 0; s < kSeriesCount; ++s) {
+      const auto key = key_of(s);
+      fast_engine.observe(key, streams[s][i]);
+      plain_engine.observe(key, streams[s][i]);
+      if (i >= 40) {
+        const auto a = fast_engine.predict(key);
+        const auto b = plain_engine.predict(key);
+        ASSERT_EQ(a.ready, b.ready) << "series " << s << " step " << i;
+        ASSERT_EQ(a.label, b.label) << "series " << s << " step " << i;
+        ASSERT_DOUBLE_EQ(a.value, b.value)
+            << "series " << s << " step " << i;
+      }
+    }
+  }
+  EXPECT_EQ(fast_engine.stats().fast_trains, kSeriesCount);
+  EXPECT_EQ(fast_engine.stats().trains, plain_engine.stats().trains);
+}
+
+TEST(FastTierEngine, EraseWhileFastServingKeepsTheGaugesConsistent) {
+  PredictionEngine engine(predictors::make_paper_pool(5), fast_config());
+  const auto key = key_of(0);
+  const auto series = ar1_series(20, 5);
+  for (std::size_t i = 0; i < 15; ++i) engine.observe(key, series[i]);
+  EXPECT_TRUE(engine.is_fast_serving(key));
+  EXPECT_EQ(engine.stats().fast_serving, 1u);
+  EXPECT_TRUE(engine.erase(key));
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.fast_serving, 0u);
+  EXPECT_EQ(stats.trained_series, 0u);
+  EXPECT_EQ(stats.series, 0u);
+}
+
+// Snapshot an engine while series sit on the fast tier; the restored engine
+// must continue serving from the tier and hand off at the same observation.
+TEST(FastTierEngine, SnapshotRestoresTheColdPhase) {
+  TempDir dir;
+  const auto key = key_of(0);
+  const auto series = ar1_series(80, 9);
+
+  auto config = fast_config();
+  config.durability.data_dir = dir.path();
+  std::vector<Prediction> original_tail;
+  {
+    PredictionEngine engine(predictors::make_paper_pool(5), config);
+    for (std::size_t i = 0; i < 20; ++i) engine.observe(key, series[i]);
+    EXPECT_TRUE(engine.is_fast_serving(key));
+    engine.snapshot();
+    for (std::size_t i = 20; i < 80; ++i) {
+      engine.observe(key, series[i]);
+      original_tail.push_back(engine.predict(key));
+    }
+    EXPECT_TRUE(engine.is_trained(key));
+  }
+
+  auto restored = PredictionEngine::restore(predictors::make_paper_pool(5),
+                                            dir.path());
+  // The restored engine replayed the WAL past the snapshot: fully caught up.
+  EXPECT_TRUE(restored->is_trained(key));
+  EXPECT_EQ(restored->stats().fast_trains, 1u);
+  const auto stats = restored->stats();
+  EXPECT_EQ(stats.fast_serving, 0u);
+
+  // Identity-defining fast-tier config came from the snapshot.
+  EXPECT_EQ(restored->config().fast_train_samples, config.fast_train_samples);
+  EXPECT_EQ(restored->config().lar.fast_tier, config.lar.fast_tier);
+}
+
+// Restore from a snapshot taken mid-cold-phase with NO further WAL: the
+// engine comes back serving from the fast tier.
+TEST(FastTierEngine, RestoreMidColdPhaseResumesFastServing) {
+  TempDir dir;
+  const auto key = key_of(0);
+  const auto series = ar1_series(60, 13);
+
+  auto config = fast_config();
+  config.durability.data_dir = dir.path();
+  std::vector<Prediction> expected;
+  {
+    PredictionEngine engine(predictors::make_paper_pool(5), config);
+    for (std::size_t i = 0; i < 20; ++i) engine.observe(key, series[i]);
+    engine.snapshot();
+  }
+  // Fresh process continues from the snapshot alone.
+  auto restored = PredictionEngine::restore(predictors::make_paper_pool(5),
+                                            dir.path());
+  EXPECT_TRUE(restored->is_fast_serving(key));
+  EXPECT_FALSE(restored->is_trained(key));
+  EXPECT_EQ(restored->stats().fast_serving, 1u);
+  const auto prediction = restored->predict(key);
+  EXPECT_TRUE(prediction.ready);
+  EXPECT_TRUE(std::isfinite(prediction.value));
+
+  // And it still hands off at the configured depth.
+  for (std::size_t i = 20; i < 40; ++i) restored->observe(key, series[i]);
+  EXPECT_TRUE(restored->is_trained(key));
+  EXPECT_FALSE(restored->is_fast_serving(key));
+}
+
+}  // namespace
+}  // namespace larp::serve
