@@ -259,6 +259,108 @@ std::vector<BatchSweepPoint> bench_batch_sweep(const fs::path& scratch,
   return points;
 }
 
+struct StorageMode {
+  std::string name;
+  std::uint64_t wal_bytes = 0;  // on-disk log bytes for the whole run
+  std::uint64_t frames = 0;
+  std::uint64_t records = 0;            // logical ops staged
+  double wal_bytes_per_frame = 0.0;
+  double bytes_per_series_hour = 0.0;   // at the 5-min sample cadence
+  double restore_ms = 0.0;              // WAL-only replay of the full run
+  std::uint64_t snapshot_file_bytes = 0;
+  std::uint64_t snapshot_raw_bytes = 0;      // v4 accounting: raw cost
+  std::uint64_t snapshot_encoded_bytes = 0;  // v4 accounting: actual cost
+};
+
+// Storage efficiency of the payload codec (engine payload v4): the same
+// deterministic run logged with compressed block frames vs legacy per-op
+// frames, then recovered from the WAL alone so restore_ms is dominated by
+// replay.  bytes/series/hour assumes the paper's 5-minute sample cadence
+// (12 observe+predict rounds per series-hour).
+StorageMode bench_storage_mode(const fs::path& dir, bool compress,
+                               std::size_t series, std::size_t rounds) {
+  fs::remove_all(dir);
+  StorageMode m;
+  m.name = compress ? "compressed" : "raw";
+  serve::EngineConfig config =
+      engine_config(dir, persist::FsyncPolicy::EveryN);
+  config.durability.compress_payloads = compress;
+  {
+    serve::PredictionEngine engine(predictors::make_paper_pool(5), config);
+    Workload load(series);
+    for (std::size_t i = 0; i < rounds; ++i) {
+      (void)engine.predict(load.keys);
+      load.fill();
+      engine.observe(load.batch);
+    }
+    for (const std::uint64_t pos : engine.wal_positions()) m.frames += pos;
+  }  // crash: the log is the only copy of the run
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".log") {
+      m.wal_bytes += entry.file_size();
+    }
+  }
+  m.records = 2 * series * rounds;
+  m.wal_bytes_per_frame =
+      static_cast<double>(m.wal_bytes) / static_cast<double>(m.frames);
+  m.bytes_per_series_hour = static_cast<double>(m.wal_bytes) /
+                            (static_cast<double>(series) *
+                             static_cast<double>(rounds)) *
+                            12.0;
+
+  const auto start = std::chrono::steady_clock::now();
+  // No snapshot exists yet, so the override supplies the full identity —
+  // restoring a WAL-only directory under a different shard count is refused.
+  auto restored = serve::PredictionEngine::restore(
+      predictors::make_paper_pool(5), dir, config);
+  m.restore_ms = seconds_since(start) * 1e3;
+
+  (void)restored->snapshot();
+  restored.reset();
+  for (const auto& info : persist::list_snapshots(dir)) {
+    m.snapshot_file_bytes =
+        std::max<std::uint64_t>(m.snapshot_file_bytes, fs::file_size(info.path));
+    const auto loaded = persist::load_snapshot(info.path);
+    const auto desc = serve::PredictionEngine::describe_payload(loaded.payload);
+    for (std::size_t s = 0; s < desc.raw_bytes.size(); ++s) {
+      m.snapshot_raw_bytes += desc.raw_bytes[s];
+      m.snapshot_encoded_bytes += desc.encoded_bytes[s];
+    }
+  }
+  fs::remove_all(dir);
+  return m;
+}
+
+std::vector<StorageMode> bench_storage(const fs::path& scratch, bool quick) {
+  const std::size_t series = quick ? 64 : 256;
+  const std::size_t rounds = quick ? 64 : 240;  // 240 rounds = 20h at 5-min
+  std::printf(
+      "\nstorage codec (%zu series, %zu rounds, 5-min cadence, every-64)\n",
+      series, rounds);
+  std::printf("%12s %12s %10s %12s %16s %12s %14s\n", "payload", "wal bytes",
+              "B/frame", "B/series-h", "snapshot bytes", "snap raw",
+              "restore ms");
+  std::vector<StorageMode> modes;
+  for (const bool compress : {false, true}) {
+    StorageMode m =
+        bench_storage_mode(scratch / "storage", compress, series, rounds);
+    std::printf("%12s %12llu %10.1f %12.1f %16llu %12llu %14.2f\n",
+                m.name.c_str(),
+                static_cast<unsigned long long>(m.wal_bytes),
+                m.wal_bytes_per_frame, m.bytes_per_series_hour,
+                static_cast<unsigned long long>(m.snapshot_file_bytes),
+                static_cast<unsigned long long>(m.snapshot_raw_bytes),
+                m.restore_ms);
+    modes.push_back(std::move(m));
+  }
+  if (modes.size() == 2 && modes[1].bytes_per_series_hour > 0) {
+    std::printf("  WAL bytes/series/hour reduction: %.1fx\n",
+                modes[0].bytes_per_series_hour /
+                    modes[1].bytes_per_series_hour);
+  }
+  return modes;
+}
+
 struct SnapshotPoint {
   std::size_t series = 0;
   double snapshot_ms = 0.0;
@@ -310,6 +412,7 @@ SnapshotPoint bench_snapshot_cycle(const fs::path& scratch, bool quick) {
 
 void write_json(const char* path, const std::vector<WalPoint>& wal,
                 const std::vector<BatchSweepPoint>& sweep,
+                const std::vector<StorageMode>& storage,
                 const SnapshotPoint& snap) {
   std::FILE* out = std::fopen(path, "w");
   if (!out) {
@@ -333,6 +436,26 @@ void write_json(const char* path, const std::vector<WalPoint>& wal,
                  sweep[i].batch, sweep[i].off_rate, sweep[i].wal_rate,
                  sweep[i].overhead_pct, sweep[i].async_rate,
                  sweep[i].async_overhead_pct, i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n    \"storage_codec\": [\n");
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    const StorageMode& m = storage[i];
+    std::fprintf(out,
+                 "      {\"payload\": \"%s\", \"wal_bytes\": %llu, "
+                 "\"frames\": %llu, \"records\": %llu, "
+                 "\"wal_bytes_per_frame\": %.1f, "
+                 "\"bytes_per_series_hour\": %.1f, "
+                 "\"snapshot_bytes\": %llu, \"snapshot_raw_bytes\": %llu, "
+                 "\"snapshot_encoded_bytes\": %llu, "
+                 "\"restore_ms\": %.2f}%s\n",
+                 m.name.c_str(), static_cast<unsigned long long>(m.wal_bytes),
+                 static_cast<unsigned long long>(m.frames),
+                 static_cast<unsigned long long>(m.records),
+                 m.wal_bytes_per_frame, m.bytes_per_series_hour,
+                 static_cast<unsigned long long>(m.snapshot_file_bytes),
+                 static_cast<unsigned long long>(m.snapshot_raw_bytes),
+                 static_cast<unsigned long long>(m.snapshot_encoded_bytes),
+                 m.restore_ms, i + 1 < storage.size() ? "," : "");
   }
   std::fprintf(out,
                "    ],\n    \"snapshot_cycle\": {\"series\": %zu, "
@@ -369,8 +492,9 @@ int main(int argc, char** argv) {
   std::printf("================================================================\n\n");
   const auto wal = bench_wal_overhead(scratch, quick);
   const auto sweep = bench_batch_sweep(scratch, quick);
+  const auto storage = bench_storage(scratch, quick);
   const auto snap = bench_snapshot_cycle(scratch, quick);
   fs::remove_all(scratch);
-  if (json_path) write_json(json_path, wal, sweep, snap);
+  if (json_path) write_json(json_path, wal, sweep, storage, snap);
   return 0;
 }

@@ -267,13 +267,15 @@ void WalWriter::open_segment(std::uint64_t start_seq) {
   sync_directory(dir_);
 }
 
-std::uint64_t WalWriter::append(std::span<const std::byte> payload) {
-  const std::uint64_t seq = stage(payload);
+std::uint64_t WalWriter::append(std::span<const std::byte> payload,
+                                std::size_t weight) {
+  const std::uint64_t seq = stage(payload, weight);
   commit();
   return seq;
 }
 
-std::uint64_t WalWriter::stage(std::span<const std::byte> payload) {
+std::uint64_t WalWriter::stage(std::span<const std::byte> payload,
+                               std::size_t weight) {
   const std::uint64_t seq = next_seq_++;
 
   const std::size_t begin = frame_scratch_.size();
@@ -298,21 +300,31 @@ std::uint64_t WalWriter::stage(std::span<const std::byte> payload) {
         static_cast<std::byte>((crc >> (8 * i)) & 0xFFu);
   }
   staged_sizes_.push_back(static_cast<std::uint32_t>(total));
+  staged_weights_.push_back(
+      static_cast<std::uint32_t>(std::max<std::size_t>(1, weight)));
   return seq;
 }
 
 void WalWriter::commit() {
   if (staged_sizes_.empty()) return;
   const std::span<const std::byte> staged(frame_scratch_);
-  // Sequence number of the frame AFTER staged frame i (for opening the next
-  // segment at the right start when frame i crosses the rotation boundary).
+  // Sequence number / record count after staged frame i (for opening the
+  // next segment at the right start — and publishing the right record
+  // watermark — when frame i crosses the rotation boundary).
   std::uint64_t seq_after = next_seq_ - staged_sizes_.size();
+  std::uint64_t records_after = 0;
+  {
+    std::lock_guard lock(sync_mutex_);
+    records_after = published_records_;
+  }
   std::size_t pos = 0;        // bytes of the group walked so far
   std::size_t run_begin = 0;  // start of the run destined for this segment
-  for (const std::uint32_t frame_bytes : staged_sizes_) {
+  for (std::size_t i = 0; i < staged_sizes_.size(); ++i) {
+    const std::uint32_t frame_bytes = staged_sizes_[i];
     pos += frame_bytes;
     segment_size_ += frame_bytes;
     ++seq_after;
+    records_after += staged_weights_[i];
     if (segment_size_ >= config_.segment_bytes) {
       // Rotation boundary inside the group: flush the run ending with this
       // frame, make the completed segment durable, and continue the group in
@@ -322,7 +334,7 @@ void WalWriter::commit() {
       // once per segment_bytes), preserving the invariant that only the
       // current segment holds non-durable bytes.
       file_.append(staged.subspan(run_begin, pos - run_begin));
-      publish(seq_after);
+      publish(seq_after, records_after);
       sync();
       open_segment(seq_after);
       run_begin = pos;
@@ -331,18 +343,20 @@ void WalWriter::commit() {
   if (pos > run_begin) {
     file_.append(staged.subspan(run_begin, pos - run_begin));
   }
-  publish(next_seq_);
+  publish(next_seq_, records_after);
   frame_scratch_.clear();
   staged_sizes_.clear();
-  // One policy decision for the whole group, which counts as its frame count
-  // toward EveryN (frames already synced by a mid-group rotation excluded —
-  // the published/durable spread only covers the final run).
+  staged_weights_.clear();
+  // One policy decision for the whole group, which counts as its record
+  // weight toward EveryN (records already synced by a mid-group rotation
+  // excluded — the published/durable spread only covers the final run).
   maybe_sync();
 }
 
-void WalWriter::publish(std::uint64_t seq) {
+void WalWriter::publish(std::uint64_t seq, std::uint64_t records) {
   std::lock_guard lock(sync_mutex_);
   published_seq_ = seq;
+  published_records_ = records;
 }
 
 void WalWriter::maybe_sync() {
@@ -370,6 +384,7 @@ void WalWriter::sync() {
   file_.sync();
   std::lock_guard lock(sync_mutex_);
   durable_seq_ = published_seq_;
+  durable_records_ = published_records_;
   last_sync_ = now();
 }
 
@@ -381,9 +396,11 @@ std::uint64_t WalWriter::flush() {
 std::uint64_t WalWriter::sync_published() {
   int fd = -1;
   std::uint64_t target = 0;
+  std::uint64_t target_records = 0;
   {
     std::lock_guard lock(sync_mutex_);
     target = published_seq_;
+    target_records = published_records_;
     if (durable_seq_ >= target) return durable_seq_;
     fd = file_.duplicate_handle();
   }
@@ -404,6 +421,7 @@ std::uint64_t WalWriter::sync_published() {
   // max(): an inline sync() may have advanced the watermark past our target
   // while we were in fdatasync.
   durable_seq_ = std::max(durable_seq_, target);
+  durable_records_ = std::max(durable_records_, target_records);
   last_sync_ = now();
   return durable_seq_;
 }
@@ -435,7 +453,7 @@ std::chrono::steady_clock::time_point WalWriter::last_sync_time() const {
 
 std::size_t WalWriter::unsynced_appends() const {
   std::lock_guard lock(sync_mutex_);
-  return static_cast<std::size_t>(published_seq_ - durable_seq_);
+  return static_cast<std::size_t>(published_records_ - durable_records_);
 }
 
 void WalWriter::prune_below(std::uint64_t min_seq) {

@@ -125,14 +125,22 @@ class WalWriter {
   /// configured fsync policy.  Steady-state appends reuse the frame buffer —
   /// no heap allocation once its capacity is established.  Equivalent to
   /// stage() + commit() of a one-frame group.
-  std::uint64_t append(std::span<const std::byte> payload);
+  std::uint64_t append(std::span<const std::byte> payload,
+                       std::size_t weight = 1);
 
   /// Group commit, part 1: encodes one frame into the group buffer and
   /// assigns its sequence number WITHOUT writing anything.  Staged frames
   /// reach the file only at the next commit(); callers must commit before
   /// releasing whatever lock serializes this writer, or the staged suffix is
   /// silently dropped (never half-written — nothing hit the file).
-  std::uint64_t stage(std::span<const std::byte> payload);
+  ///
+  /// `weight` is the number of LOGICAL RECORDS the frame carries (>= 1): a
+  /// compressed block frame packing a whole batch weighs its op count, so
+  /// the EveryN policy and the async syncer's backlog trigger keep counting
+  /// records — the loss-window guarantee ("lose at most n-1 records") is
+  /// independent of how many records share a frame.
+  std::uint64_t stage(std::span<const std::byte> payload,
+                      std::size_t weight = 1);
 
   /// Group commit, part 2: writes every staged frame with one append per
   /// segment run and applies ONE policy-driven sync decision for the whole
@@ -175,9 +183,9 @@ class WalWriter {
   /// When the durable watermark last advanced (injected-clock time).
   [[nodiscard]] std::chrono::steady_clock::time_point last_sync_time() const;
 
-  /// Frames published but not yet durable (0 = everything durable).  Staged
-  /// frames of an uncommitted group are not counted — they never reached
-  /// write(2).
+  /// Logical records (frame weights) published but not yet durable (0 =
+  /// everything durable).  Staged frames of an uncommitted group are not
+  /// counted — they never reached write(2).
   [[nodiscard]] std::size_t unsynced_appends() const;
 
   [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
@@ -189,7 +197,7 @@ class WalWriter {
 
  private:
   void open_segment(std::uint64_t start_seq);
-  void publish(std::uint64_t seq);
+  void publish(std::uint64_t seq, std::uint64_t records);
   void maybe_sync();
   [[nodiscard]] std::chrono::steady_clock::time_point now() const {
     return clock_();
@@ -208,13 +216,22 @@ class WalWriter {
   mutable std::mutex sync_mutex_;
   std::uint64_t published_seq_ = 0;
   std::uint64_t durable_seq_ = 0;
+  // Record-weighted watermarks backing unsynced_appends(): monotone counts
+  // of logical records staged since open, published and made durable.  With
+  // one-record frames they track the seq watermarks exactly; block frames
+  // spread them apart.
+  std::uint64_t published_records_ = 0;
+  std::uint64_t durable_records_ = 0;
   std::chrono::steady_clock::time_point last_sync_{};
   // Staged-group state: frame_scratch_ holds the concatenated encoded frames
-  // of the open group, staged_sizes_ their individual byte counts (so commit
-  // can split the group at a segment-rotation boundary).  Both buffers keep
-  // their capacity across groups — steady-state batches allocate nothing.
+  // of the open group, staged_sizes_ their individual byte counts and
+  // staged_weights_ their record counts (so commit can split the group — and
+  // its record accounting — at a segment-rotation boundary).  The buffers
+  // keep their capacity across groups — steady-state batches allocate
+  // nothing.
   std::vector<std::byte> frame_scratch_;
   std::vector<std::uint32_t> staged_sizes_;
+  std::vector<std::uint32_t> staged_weights_;
 };
 
 /// One recovered frame.

@@ -192,8 +192,11 @@ void Replica::stream_once() {
                 snapshot_buf);
             snapshot_buf.clear();
             snapshot_buf.shrink_to_fit();
-            adopt_engine();
+            // Count the bootstrap BEFORE adopt_engine() publishes the engine:
+            // wait_until_ready() returns the instant the pointer lands, and a
+            // caller reading stats() right then must already see it.
             bootstraps_.fetch_add(1, std::memory_order_relaxed);
+            adopt_engine();
             LARP_LOG_INFO("repl") << "bootstrapped from leader snapshot epoch "
                                   << chunk.epoch;
             send_hello();

@@ -41,10 +41,17 @@ std::uint64_t now_nanos() {
 //   v3 — v2 plus the fast-tier identity (lar.fast_tier, its tuning, and
 //        fast_train_samples) in the config block and a per-shard
 //        fast_trains counter.  Older payloads load with the tier off.
+//   v4 — v3 plus Gorilla-style compression (DESIGN.md §11): a per-shard
+//        raw-vs-encoded byte accounting table after the watermark table,
+//        and shard sections that carry the WAL payload codec state
+//        (dictionary + XOR chains, cut at the shard's watermark) and
+//        bit-packed series blocks — XOR-encoded history samples and
+//        delta-of-delta/XOR prediction records.  Predictor internals stay
+//        in their own opaque save_state() encoding.
 //
-// restore() reads all three: v1 maps its global counters onto shard 0,
+// restore() reads all four: v1 maps its global counters onto shard 0,
 // which preserves every aggregate stats() total.
-constexpr std::uint32_t kEnginePayloadVersion = 3;
+constexpr std::uint32_t kEnginePayloadVersion = 4;
 
 // WAL frame types.  predict() frames matter for bit-identical recovery:
 // predict_next() mutates the predictor's pending-forecast state and the
@@ -424,12 +431,22 @@ void PredictionEngine::observe_shard(Shard& shard,
                                      std::span<const Observation> batch,
                                      std::span<const std::size_t> indices) {
   if (shard.wal) {
-    // Group commit: every frame of this (shard, batch) pair is staged
-    // and flushed with one write + one sync decision, before any of
-    // the mutations it describes is applied — log-before-apply at
-    // group granularity, frame order identical to apply order.
-    for (std::size_t i : indices) {
-      wal_stage(shard, kWalObserve, batch[i].key, &batch[i].value);
+    // Group commit: this (shard, batch) pair is staged and flushed with one
+    // write + one sync decision, before any of the mutations it describes
+    // is applied — log-before-apply at group granularity, op order
+    // identical to apply order.  Compressed: ONE block frame for the whole
+    // batch, weighted by its op count so fsync policies keep counting
+    // records; legacy: one frame per op.
+    if (config_.durability.compress_payloads) {
+      shard.codec.begin_block(indices.size());
+      for (std::size_t i : indices) {
+        shard.codec.add_observe(batch[i].key, batch[i].value);
+      }
+      (void)shard.wal->stage(shard.codec.finish_block(), indices.size());
+    } else {
+      for (std::size_t i : indices) {
+        wal_stage(shard, kWalObserve, batch[i].key, &batch[i].value);
+      }
     }
     shard.wal->commit();
     maybe_notify_syncer(shard);
@@ -524,8 +541,14 @@ void PredictionEngine::predict_shard(Shard& shard,
     // replay must reproduce the exact call sequence, and whether a key
     // is trained at this point is itself a function of that sequence.
     // Staged and committed as one group, like observe().
-    for (std::size_t i : indices) {
-      wal_stage(shard, kWalPredict, keys[i], nullptr);
+    if (config_.durability.compress_payloads) {
+      shard.codec.begin_block(indices.size());
+      for (std::size_t i : indices) shard.codec.add_predict(keys[i]);
+      (void)shard.wal->stage(shard.codec.finish_block(), indices.size());
+    } else {
+      for (std::size_t i : indices) {
+        wal_stage(shard, kWalPredict, keys[i], nullptr);
+      }
     }
     shard.wal->commit();
     maybe_notify_syncer(shard);
@@ -598,7 +621,23 @@ bool PredictionEngine::erase_locked(Shard& shard, const tsdb::SeriesKey& key) {
 void PredictionEngine::wal_log(Shard& shard, std::uint8_t type,
                                const tsdb::SeriesKey& key, const double* value) {
   if (!shard.wal) return;
-  wal_stage(shard, type, key, value);
+  if (config_.durability.compress_payloads) {
+    shard.codec.begin_block(1);
+    switch (type) {
+      case kWalObserve:
+        shard.codec.add_observe(key, *value);
+        break;
+      case kWalPredict:
+        shard.codec.add_predict(key);
+        break;
+      default:
+        shard.codec.add_erase(key);
+        break;
+    }
+    (void)shard.wal->stage(shard.codec.finish_block(), 1);
+  } else {
+    wal_stage(shard, type, key, value);
+  }
   shard.wal->commit();
   maybe_notify_syncer(shard);
 }
@@ -666,7 +705,13 @@ void PredictionEngine::replicate_frames(
   if (shard.wal) {
     // Same log-before-apply group commit as the leader's own write path, so
     // a follower's directory recovers with the identical replay machinery.
-    for (const auto& frame : frames) (void)shard.wal->stage(frame.payload);
+    // Frames are staged at their true record weight (a compressed block
+    // carries a whole batch) so the follower's sync backlog counts records
+    // exactly like the leader's.
+    for (const auto& frame : frames) {
+      (void)shard.wal->stage(frame.payload,
+                             WalPayloadCodec::payload_weight(frame.payload));
+    }
     shard.wal->commit();
     maybe_notify_syncer(shard);
   }
@@ -700,7 +745,20 @@ void PredictionEngine::set_replication_floor(
   }
 }
 
-void PredictionEngine::save_shard(persist::io::Writer& w, Shard& shard) const {
+void PredictionEngine::save_shard(persist::io::Writer& w, Shard& shard,
+                                  std::uint64_t& raw_bytes,
+                                  std::uint64_t& encoded_bytes) const {
+  // Accounting: `raw_repr` totals the bytes the compressed fields would
+  // have cost in the raw v3 encoding; `comp_bytes` totals what their v4
+  // representation (codec table included) actually costs.  The rest of the
+  // section is identical in both layouts, so
+  //   raw    = actual - comp_bytes + raw_repr
+  //   actual = section bytes as written.
+  const std::size_t section_start = w.size();
+  std::uint64_t raw_repr = 0;
+  std::uint64_t comp_bytes = 0;
+  persist::codec::BlockWriter block;
+
   w.u64(shard.observe_count.load(std::memory_order_relaxed));
   w.u64(shard.predict_count.load(std::memory_order_relaxed));
   w.u64(shard.resolved.load(std::memory_order_relaxed));
@@ -712,28 +770,76 @@ void PredictionEngine::save_shard(persist::io::Writer& w, Shard& shard) const {
   w.u64(shard.erases.load(std::memory_order_relaxed));
   w.u64(shard.qa->audits_performed());
   w.u64(shard.qa->retrains_ordered());
+
+  // v4: the WAL payload codec state at this shard's watermark cut — pure
+  // overhead relative to v3, charged to the compressed side.
+  {
+    const std::size_t at = w.size();
+    shard.codec.save(w);
+    comp_bytes += w.size() - at;
+  }
+
   w.u64(shard.series.size());
+  std::vector<double> history_scratch;
   for (const auto& [key, state] : shard.series) {
     w.str(key.vm_id);
     w.str(key.device_id);
     w.str(key.metric);
+
+    // History: XOR chain over the retained raw samples (fresh state per
+    // block — snapshot blocks are self-contained, unlike the WAL chains).
     w.u64(state.history.size());
-    for (double v : state.history) w.f64(v);
+    history_scratch.assign(state.history.begin(), state.history.end());
+    block.clear();
+    persist::codec::encode_f64_block(block, history_scratch);
+    {
+      const auto bytes = block.bytes();
+      const std::size_t at = w.size();
+      w.u64(bytes.size());
+      w.bytes(bytes);
+      comp_bytes += w.size() - at;
+      raw_repr += 8 * state.history.size();
+    }
+
     w.i64(static_cast<std::int64_t>(state.next_ts));
     w.u64(state.since_audit);
     w.boolean(state.retrain_requested);
     w.boolean(state.predictor.has_value());
     if (state.predictor) state.predictor->save_state(w);
+
+    // Prediction records: timestamps are near-consecutive (delta-of-delta),
+    // predictions/observations are slowly varying doubles (XOR), labels are
+    // tiny (uvarint) — interleaved per record in one bit stream.
     const auto records = shard.predictions.all_records(key);
     w.u64(records.size());
+    block.clear();
+    persist::codec::DodEncoder ts_enc;
+    persist::codec::XorState predicted_state;
+    persist::codec::XorState observed_state;
     for (const auto& [ts, record] : records) {
-      w.i64(static_cast<std::int64_t>(ts));
-      w.f64(record.predicted);
-      w.boolean(record.observed.has_value());
-      if (record.observed) w.f64(*record.observed);
-      w.u64(record.predictor_label);
+      ts_enc.put(block, static_cast<std::int64_t>(ts));
+      persist::codec::XorEncoder::put(block, predicted_state,
+                                      record.predicted);
+      block.bit(record.observed.has_value());
+      if (record.observed) {
+        persist::codec::XorEncoder::put(block, observed_state,
+                                        *record.observed);
+      }
+      block.uvarint(record.predictor_label);
+      raw_repr += 8 + 8 + 1 + (record.observed ? 8 : 0) + 8;
+    }
+    {
+      const auto bytes = block.bytes();
+      const std::size_t at = w.size();
+      w.u64(bytes.size());
+      w.bytes(bytes);
+      comp_bytes += w.size() - at;
     }
   }
+
+  const std::uint64_t actual = w.size() - section_start;
+  encoded_bytes += actual;
+  raw_bytes += actual - comp_bytes + raw_repr;
 }
 
 std::uint64_t PredictionEngine::load_shard(persist::io::Reader& r, Shard& shard,
@@ -765,14 +871,30 @@ std::uint64_t PredictionEngine::load_shard(persist::io::Reader& r, Shard& shard,
   const auto qa_retrains = static_cast<std::size_t>(r.u64());
   shard.qa->restore_counters(audits, qa_retrains);
   shard.audits.store(audits, std::memory_order_relaxed);
+  if (payload_version >= 4) {
+    shard.codec.load(r);
+  }
   const auto series_count =
       static_cast<std::size_t>(r.length(r.u64(), sizeof(std::uint64_t)));
+  std::vector<double> history_scratch;
   for (std::size_t i = 0; i < series_count; ++i) {
     tsdb::SeriesKey key{r.str(), r.str(), r.str()};
     SeriesState& state = shard.series[key];
-    const auto samples =
-        static_cast<std::size_t>(r.length(r.u64(), sizeof(double)));
-    for (std::size_t j = 0; j < samples; ++j) state.history.push_back(r.f64());
+    if (payload_version >= 4) {
+      const auto samples = static_cast<std::size_t>(r.length(r.u64(), 1));
+      const auto block_bytes =
+          static_cast<std::size_t>(r.length(r.u64(), 1));
+      persist::codec::BlockReader block(r.bytes(block_bytes));
+      history_scratch.clear();
+      (void)persist::codec::decode_f64_block(block, samples, history_scratch);
+      state.history.assign(history_scratch.begin(), history_scratch.end());
+    } else {
+      const auto samples =
+          static_cast<std::size_t>(r.length(r.u64(), sizeof(double)));
+      for (std::size_t j = 0; j < samples; ++j) {
+        state.history.push_back(r.f64());
+      }
+    }
     state.next_ts = static_cast<Timestamp>(r.i64());
     state.since_audit = static_cast<std::size_t>(r.u64());
     state.retrain_requested = r.boolean();
@@ -780,15 +902,37 @@ std::uint64_t PredictionEngine::load_shard(persist::io::Reader& r, Shard& shard,
       state.predictor.emplace(pool_prototype_.clone(), config_.lar);
       state.predictor->load_state(r);
     }
-    const auto records =
-        static_cast<std::size_t>(r.length(r.u64(), sizeof(std::uint64_t)));
-    for (std::size_t j = 0; j < records; ++j) {
-      const auto ts = static_cast<Timestamp>(r.i64());
-      tsdb::PredictionRecord record;
-      record.predicted = r.f64();
-      if (r.boolean()) record.observed = r.f64();
-      record.predictor_label = static_cast<std::size_t>(r.u64());
-      shard.predictions.restore_record(key, ts, record);
+    if (payload_version >= 4) {
+      const auto records = static_cast<std::size_t>(r.length(r.u64(), 1));
+      const auto block_bytes =
+          static_cast<std::size_t>(r.length(r.u64(), 1));
+      persist::codec::BlockReader block(r.bytes(block_bytes));
+      persist::codec::DodDecoder ts_dec;
+      persist::codec::XorState predicted_state;
+      persist::codec::XorState observed_state;
+      for (std::size_t j = 0; j < records; ++j) {
+        const auto ts = static_cast<Timestamp>(ts_dec.get(block));
+        tsdb::PredictionRecord record;
+        record.predicted =
+            persist::codec::XorDecoder::get(block, predicted_state);
+        if (block.bit()) {
+          record.observed =
+              persist::codec::XorDecoder::get(block, observed_state);
+        }
+        record.predictor_label = static_cast<std::size_t>(block.uvarint());
+        shard.predictions.restore_record(key, ts, record);
+      }
+    } else {
+      const auto records =
+          static_cast<std::size_t>(r.length(r.u64(), sizeof(std::uint64_t)));
+      for (std::size_t j = 0; j < records; ++j) {
+        const auto ts = static_cast<Timestamp>(r.i64());
+        tsdb::PredictionRecord record;
+        record.predicted = r.f64();
+        if (r.boolean()) record.observed = r.f64();
+        record.predictor_label = static_cast<std::size_t>(r.u64());
+        shard.predictions.restore_record(key, ts, record);
+      }
     }
   }
   // Re-seed the lock-free stats() mirrors from the restored series map.
@@ -820,6 +964,8 @@ std::uint64_t PredictionEngine::snapshot(const std::filesystem::path& dir) {
   // at different instants.
   persist::io::Writer body;
   std::vector<std::uint64_t> watermarks(shards_.size(), 0);
+  std::vector<std::uint64_t> raw_bytes(shards_.size(), 0);
+  std::vector<std::uint64_t> encoded_bytes(shards_.size(), 0);
   std::uint64_t max_pause_nanos = 0;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
@@ -828,18 +974,26 @@ std::uint64_t PredictionEngine::snapshot(const std::filesystem::path& dir) {
     if (shard.wal) {
       watermarks[s] = shard.wal->flush();
     }
-    save_shard(body, shard);
+    save_shard(body, shard, raw_bytes[s], encoded_bytes[s]);
     max_pause_nanos = std::max(max_pause_nanos, nanos_since(locked_at));
   }
 
   // Assemble the published payload: the watermark table travels up front
   // (restore must know every shard's replay cut before the sections), the
-  // staged sections follow verbatim.
+  // v4 byte-accounting table follows it (what each section would have cost
+  // raw vs what it actually cost — read by `larp_cli inspect-snapshot` and
+  // the durability bench without deserializing the sections), the staged
+  // sections close the payload verbatim.
   persist::io::Writer w;
   w.u32(kEnginePayloadVersion);
   save_engine_config(w, config_);
   w.u64(shards_.size());
   for (std::uint64_t watermark : watermarks) w.u64(watermark);
+  w.u64(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    w.u64(raw_bytes[s]);
+    w.u64(encoded_bytes[s]);
+  }
   w.bytes(body.bytes());
 
   const auto existing = persist::list_snapshots(dir);
@@ -876,16 +1030,26 @@ std::uint64_t PredictionEngine::snapshot() {
 
 void PredictionEngine::apply_wal_frame(Shard& shard,
                                        std::span<const std::byte> payload) {
+  if (WalPayloadCodec::is_block(payload)) {
+    shard.codec.decode_block(payload, [&](const WalOp& op) {
+      apply_op(shard, op.type, *op.key, op.value);
+    });
+    return;
+  }
   persist::io::Reader r{payload};
   const std::uint8_t type = r.u8();
   tsdb::SeriesKey key{r.str(), r.str(), r.str()};
+  const double value = type == kWalObserve ? r.f64() : 0.0;
+  apply_op(shard, type, key, value);
+}
+
+void PredictionEngine::apply_op(Shard& shard, std::uint8_t type,
+                                const tsdb::SeriesKey& key, double value) {
   switch (type) {
-    case kWalObserve: {
-      const double value = r.f64();
+    case kWalObserve:
       shard.observe_count.fetch_add(1, std::memory_order_relaxed);
       absorb(shard, key, value);
       break;
-    }
     case kWalPredict:
       shard.predict_count.fetch_add(1, std::memory_order_relaxed);
       (void)forecast(shard, key);
@@ -950,6 +1114,22 @@ std::unique_ptr<PredictionEngine> PredictionEngine::restore(
         watermarks[s] = reader->u64();
       }
     }
+    if (payload_version >= 4) {
+      // The byte-accounting table is advisory (inspect/bench only) — restore
+      // just walks past it, but still validates the shape so a truncated
+      // payload fails loudly here instead of mid-section.
+      const auto table_shards = static_cast<std::size_t>(
+          reader->length(reader->u64(), 2 * sizeof(std::uint64_t)));
+      if (table_shards != engine->shards_.size()) {
+        throw persist::CorruptData(
+            "engine snapshot: accounting table size disagrees with the shard "
+            "count");
+      }
+      for (std::size_t s = 0; s < table_shards; ++s) {
+        (void)reader->u64();  // raw bytes
+        (void)reader->u64();  // encoded bytes
+      }
+    }
     for (std::size_t s = 0; s < engine->shards_.size(); ++s) {
       const std::uint64_t v1_mark =
           engine->load_shard(*reader, *engine->shards_[s], payload_version);
@@ -958,6 +1138,25 @@ std::unique_ptr<PredictionEngine> PredictionEngine::restore(
   }
 
   persist::ensure_directory(dir);
+  // The shard count is identity-defining but a WAL-only directory cannot
+  // carry it (it travels in the snapshot).  Replaying under a different
+  // count would silently strand every frame in the orphaned logs — or
+  // scatter series across a different hash partition — so refuse loudly
+  // before touching anything.  Shard logs are contiguous from 0: every
+  // shard opens its segment file the moment the engine boots.
+  std::size_t wal_shards = 0;
+  while (!persist::list_wal_segments(
+              dir, static_cast<std::uint32_t>(wal_shards))
+              .empty()) {
+    ++wal_shards;
+  }
+  if (wal_shards != 0 && wal_shards != engine->shards_.size()) {
+    throw persist::CorruptData(
+        "engine restore: directory holds WAL logs for " +
+        std::to_string(wal_shards) + " shards but the engine is configured "
+        "with " + std::to_string(engine->shards_.size()) +
+        " — pass the EngineConfig the logs were written under");
+  }
   for (std::size_t s = 0; s < engine->shards_.size(); ++s) {
     Shard& shard = *engine->shards_[s];
     std::lock_guard lock(shard.mutex);
@@ -983,6 +1182,46 @@ std::unique_ptr<PredictionEngine> PredictionEngine::restore(
                                           std::to_string(loaded->epoch) + ")"
                                     : " (no snapshot, WAL only)");
   return engine;
+}
+
+PredictionEngine::SnapshotDescription PredictionEngine::describe_payload(
+    std::span<const std::byte> payload) {
+  persist::io::Reader r{payload};
+  SnapshotDescription d;
+  d.payload_version = r.u32();
+  if (d.payload_version == 0 || d.payload_version > kEnginePayloadVersion) {
+    throw persist::CorruptData("engine snapshot: unsupported payload version " +
+                               std::to_string(d.payload_version));
+  }
+  EngineConfig config;
+  load_engine_config(r, config, d.payload_version);
+  d.shards = config.shards;
+  if (d.payload_version >= 2) {
+    const auto table_shards = static_cast<std::size_t>(
+        r.length(r.u64(), sizeof(std::uint64_t)));
+    if (table_shards != d.shards) {
+      throw persist::CorruptData(
+          "engine snapshot: watermark table size disagrees with the shard "
+          "count");
+    }
+    for (std::size_t s = 0; s < table_shards; ++s) {
+      d.watermarks.push_back(r.u64());
+    }
+  }
+  if (d.payload_version >= 4) {
+    const auto table_shards = static_cast<std::size_t>(
+        r.length(r.u64(), 2 * sizeof(std::uint64_t)));
+    if (table_shards != d.shards) {
+      throw persist::CorruptData(
+          "engine snapshot: accounting table size disagrees with the shard "
+          "count");
+    }
+    for (std::size_t s = 0; s < table_shards; ++s) {
+      d.raw_bytes.push_back(r.u64());
+      d.encoded_bytes.push_back(r.u64());
+    }
+  }
+  return d;
 }
 
 std::size_t PredictionEngine::series_count() const {

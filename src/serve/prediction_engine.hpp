@@ -41,6 +41,7 @@
 #include "persist/wal.hpp"
 #include "persist/wal_syncer.hpp"
 #include "qa/quality_assuror.hpp"
+#include "serve/wal_codec.hpp"
 #include "tsdb/prediction_db.hpp"
 #include "util/thread_pool.hpp"
 
@@ -59,6 +60,13 @@ struct DurabilityConfig {
   persist::WalConfig wal;
   /// Validating snapshots retained by snapshot(); older ones are deleted.
   std::size_t keep_snapshots = 2;
+  /// Gorilla-compressed WAL payloads (DESIGN.md §11): every batched call
+  /// stages ONE block frame per shard (delta-of-delta/XOR bit packing over
+  /// a persistent key dictionary) instead of one raw frame per op.  Off =
+  /// the legacy per-op frames, byte-identical to what pre-v4 engines wrote;
+  /// both formats replay regardless of this knob (payloads self-identify),
+  /// so it can be toggled across restarts.  Runtime knob, never serialized.
+  bool compress_payloads = true;
 };
 
 /// Replication role.  A follower's state mutates ONLY through
@@ -243,6 +251,21 @@ class PredictionEngine {
   /// without threads.
   void sync_wals_if_due();
 
+  /// Cheap structural description of an engine snapshot payload (no engine
+  /// construction, no predictor state parsed): payload version, per-shard
+  /// WAL watermarks (v2+), and the raw-vs-encoded storage accounting the v4
+  /// writer embeds — what `larp_cli inspect-snapshot` prints so compression
+  /// ratios are observable in production without a bench run.
+  struct SnapshotDescription {
+    std::uint32_t payload_version = 0;
+    std::uint64_t shards = 0;
+    std::vector<std::uint64_t> watermarks;        // empty below v2
+    std::vector<std::uint64_t> raw_bytes;         // empty below v4
+    std::vector<std::uint64_t> encoded_bytes;     // empty below v4
+  };
+  [[nodiscard]] static SnapshotDescription describe_payload(
+      std::span<const std::byte> payload);
+
   [[nodiscard]] std::size_t series_count() const;
   /// True once the series is FULLY trained (classifier serving); a series
   /// still on the fast tier reports false — see is_fast_serving().
@@ -335,6 +358,11 @@ class PredictionEngine {
     // appends allocate nothing once capacities are established.
     std::optional<persist::WalWriter> wal;
     persist::io::Writer wal_payload;
+    // Compressed-payload state machine (dictionary + per-series XOR
+    // chains), advanced at stage time by the write path and at decode time
+    // by replay/replication; persisted in the v4 snapshot at the shard's
+    // watermark cut.  Mutated only under the shard mutex.
+    WalPayloadCodec codec;
     // Replication position when no WAL backs this shard (an in-memory
     // follower): next seq replicate_frames() expects.  With a WAL the
     // writer's own next_seq() is authoritative.
@@ -393,15 +421,24 @@ class PredictionEngine {
   /// Builds and starts the maintenance thread (async syncer and/or the
   /// Sync-mode Interval idle tick); no-op when neither is needed.
   void start_syncer();
-  void save_shard(persist::io::Writer& w, Shard& shard) const;
+  /// Serializes one shard section (payload v4: codec table + compressed
+  /// series blocks), accumulating the raw-equivalent and actual byte counts
+  /// into the accounting out-params.
+  void save_shard(persist::io::Writer& w, Shard& shard,
+                  std::uint64_t& raw_bytes, std::uint64_t& encoded_bytes) const;
   /// Reads one shard section.  `payload_version` selects the layout: v1
   /// sections lead with the shard's WAL watermark (returned); v2 sections
   /// carry per-shard traffic counters instead and the watermark lives in
   /// the payload-level table (returns 0).
   std::uint64_t load_shard(persist::io::Reader& r, Shard& shard,
                            std::uint32_t payload_version);
-  /// Applies one replayed WAL frame to its shard.
+  /// Applies one replayed WAL frame to its shard — a legacy per-op payload
+  /// or a compressed block (dispatched on the payload's first byte; blocks
+  /// advance the shard codec exactly as encoding them did).
   void apply_wal_frame(Shard& shard, std::span<const std::byte> payload);
+  /// Applies one logical operation (the body both frame formats decode to).
+  void apply_op(Shard& shard, std::uint8_t type, const tsdb::SeriesKey& key,
+                double value);
 
   /// Groups batch indices by shard and runs fn(shard_id, indices) across
   /// the worker pool, one task per shard with work.

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "persist/io.hpp"
 #include "persist/snapshot.hpp"
 #include "persist/wal.hpp"
 #include "serve/prediction_engine.hpp"
@@ -290,9 +291,9 @@ TEST_F(RecoveryTest, TornMidGroupTailRecoversValidPrefix) {
   ASSERT_FALSE(before.truncated_tail);
   ASSERT_GT(before.next_seq, 2 * kSeries);
 
-  // Tear into the middle of the final group: the last observe batch wrote
-  // kSeries frames of ~45 bytes each in one commit, so chopping 60 bytes
-  // removes at least one whole frame and tears another mid-frame.
+  // Tear into the middle of the final group: each batch commits one block
+  // frame carrying kSeries ops, so chopping 60 bytes removes at least one
+  // whole frame and tears another mid-frame.
   const auto segments = persist::list_wal_segments(dir_, 0);
   ASSERT_FALSE(segments.empty());
   const auto& tail = segments.back().path;
@@ -313,9 +314,10 @@ TEST_F(RecoveryTest, TornMidGroupTailRecoversValidPrefix) {
                                               dir_, restore_config);
     EXPECT_EQ(restored->series_count(), kSeries);
     first_stats = restored->stats();
-    // The tear cost frames: fewer calls replayed than the full log held.
+    // The tear cost frames: fewer ops replayed than the run issued (each
+    // block frame carries kSeries ops, so next_seq counts frames, not ops).
     EXPECT_LT(first_stats.observations + first_stats.predictions,
-              before.next_seq);
+              2 * (kTrain + 6) * kSeries);
   }
   // The first restore repaired the torn suffix on disk; a second restore of
   // the same directory must land on the exact same prefix.
@@ -482,6 +484,167 @@ TEST_F(RecoveryTest, GoldenV1EngineDirectoryStillRestores) {
   std::vector<tsdb::SeriesKey> keys;
   for (std::size_t s = 0; s < kSeries; ++s) keys.push_back(key_of(s));
   for (const auto& p : restored->predict(keys)) EXPECT_TRUE(p.ready);
+}
+
+// The compress_payloads knob changes WAL bytes, never semantics: an engine
+// recovered from a compressed log and one recovered from a raw log fed the
+// same stream must forecast bit-identically forever after.
+TEST_F(RecoveryTest, CompressedAndRawWalRecoverBitIdentically) {
+  const fs::path comp_dir = dir_ / "comp";
+  const fs::path raw_dir = dir_ / "raw";
+  StreamState stream_a;
+  StreamState stream_b;
+  {
+    PredictionEngine engine(predictors::make_paper_pool(5),
+                            durable_config(comp_dir));
+    drive(engine, stream_a, kTrain + 6, /*with_predict=*/true);
+  }
+  {
+    EngineConfig raw = durable_config(raw_dir);
+    raw.durability.compress_payloads = false;
+    PredictionEngine engine(predictors::make_paper_pool(5), raw);
+    drive(engine, stream_b, kTrain + 6, /*with_predict=*/true);
+  }
+  // The raw log holds one frame per op, the compressed one a frame per
+  // batch — materially fewer bytes for the same record count.
+  const auto dir_bytes = [](const fs::path& dir) {
+    std::uintmax_t total = 0;
+    for (const auto& e : fs::directory_iterator(dir)) {
+      if (e.path().extension() == ".log") total += fs::file_size(e.path());
+    }
+    return total;
+  };
+  EXPECT_LT(dir_bytes(comp_dir), dir_bytes(raw_dir) / 2);
+
+  // WAL-only directories carry no stored identity: the override must supply
+  // the configuration the logs were written under.
+  auto restored_comp = PredictionEngine::restore(
+      predictors::make_paper_pool(5), comp_dir, durable_config(comp_dir));
+  EngineConfig raw_restore = durable_config(raw_dir);
+  raw_restore.durability.compress_payloads = false;
+  auto restored_raw = PredictionEngine::restore(predictors::make_paper_pool(5),
+                                                raw_dir, raw_restore);
+  EXPECT_EQ(restored_comp->stats().observations,
+            restored_raw->stats().observations);
+  EXPECT_EQ(restored_comp->stats().predictions,
+            restored_raw->stats().predictions);
+  expect_identical_future(*restored_comp, *restored_raw, stream_a, stream_b,
+                          15);
+}
+
+// A WAL-only directory cannot carry the shard count, and replaying it under
+// a different one silently strands whole shard logs.  Restore must refuse
+// instead of quietly losing data.
+TEST_F(RecoveryTest, WalOnlyRestoreUnderWrongShardCountIsRefused) {
+  StreamState stream;
+  {
+    PredictionEngine engine(predictors::make_paper_pool(5),
+                            durable_config(dir_));  // 4 shards
+    drive(engine, stream, 8, /*with_predict=*/true);
+  }
+  EngineConfig wrong = durable_config(dir_);
+  wrong.shards = 2;
+  EXPECT_THROW((void)PredictionEngine::restore(predictors::make_paper_pool(5),
+                                               dir_, wrong),
+               persist::CorruptData);
+  wrong.shards = 8;
+  EXPECT_THROW((void)PredictionEngine::restore(predictors::make_paper_pool(5),
+                                               dir_, wrong),
+               persist::CorruptData);
+  // The matching count restores everything.
+  auto restored = PredictionEngine::restore(predictors::make_paper_pool(5),
+                                            dir_, durable_config(dir_));
+  EXPECT_EQ(restored->stats().observations, 8 * kSeries);
+}
+
+// Same tripwire for the last pre-compression format: a v3 directory (raw
+// payload sections, per-op WAL frames) written right before the v4 codec
+// landed.  The v4 reader must keep accepting both the old snapshot layout
+// and the legacy WAL frame format, including the mixed timeline where block
+// frames start appearing after the first post-upgrade write.
+TEST_F(RecoveryTest, GoldenV3EngineDirectoryStillRestores) {
+  const fs::path fixture =
+      fs::path(LARP_PERSIST_TESTDATA_DIR) / "engine-v3";
+  ASSERT_TRUE(fs::exists(fixture)) << "missing committed fixture " << fixture;
+  fs::copy(fixture, dir_, fs::copy_options::recursive);
+
+  auto restored =
+      PredictionEngine::restore(predictors::make_paper_pool(5), dir_);
+  const auto stats = restored->stats();
+  EXPECT_EQ(restored->series_count(), kSeries);
+  EXPECT_EQ(stats.trains, kSeries);
+  EXPECT_EQ(stats.observations, (kTrain + 11) * kSeries);
+  EXPECT_EQ(stats.predictions, (kTrain + 11) * kSeries);
+  std::vector<tsdb::SeriesKey> keys;
+  for (std::size_t s = 0; s < kSeries; ++s) keys.push_back(key_of(s));
+  for (const auto& p : restored->predict(keys)) EXPECT_TRUE(p.ready);
+
+  // The post-upgrade timeline: new traffic appends COMPRESSED block frames
+  // after the v3 per-op frames, and a second recovery replays the mix.
+  StreamState drained;
+  for (std::size_t i = 0; i < (kTrain + 11) * 1; ++i) {
+    for (std::size_t s = 0; s < kSeries; ++s) (void)drained.sample(s);
+  }
+  drive(*restored, drained, 4, /*with_predict=*/true);
+  const auto continued_stats = restored->stats();
+  restored.reset();
+  auto again = PredictionEngine::restore(predictors::make_paper_pool(5), dir_);
+  EXPECT_EQ(again->stats().observations, continued_stats.observations);
+  EXPECT_EQ(again->stats().predictions, continued_stats.predictions);
+}
+
+// And the current format: a v4 directory (compressed snapshot sections +
+// block WAL frames) must restore and expose its byte accounting through
+// describe_payload — the tripwire that locks today's writer output.
+TEST_F(RecoveryTest, GoldenV4EngineDirectoryStillRestores) {
+  const fs::path fixture =
+      fs::path(LARP_PERSIST_TESTDATA_DIR) / "engine-v4";
+  ASSERT_TRUE(fs::exists(fixture)) << "missing committed fixture " << fixture;
+  fs::copy(fixture, dir_, fs::copy_options::recursive);
+
+  {
+    const auto loaded = persist::load_newest_valid(dir_);
+    ASSERT_TRUE(loaded.has_value());
+    const auto desc = PredictionEngine::describe_payload(loaded->payload);
+    EXPECT_EQ(desc.payload_version, 4u);
+    EXPECT_EQ(desc.shards, 4u);
+    ASSERT_EQ(desc.watermarks.size(), 4u);
+    ASSERT_EQ(desc.raw_bytes.size(), 4u);
+    ASSERT_EQ(desc.encoded_bytes.size(), 4u);
+    for (std::size_t s = 0; s < 4; ++s) {
+      // Every shard held series when the fixture was cut, so compression
+      // must have bought actual bytes.
+      EXPECT_LT(desc.encoded_bytes[s], desc.raw_bytes[s]) << "shard " << s;
+    }
+  }
+
+  auto restored =
+      PredictionEngine::restore(predictors::make_paper_pool(5), dir_);
+  const auto stats = restored->stats();
+  EXPECT_EQ(restored->series_count(), kSeries);
+  EXPECT_EQ(stats.trains, kSeries);
+  EXPECT_EQ(stats.observations, (kTrain + 11) * kSeries);
+  EXPECT_EQ(stats.predictions, (kTrain + 11) * kSeries);
+  std::vector<tsdb::SeriesKey> keys;
+  for (std::size_t s = 0; s < kSeries; ++s) keys.push_back(key_of(s));
+  for (const auto& p : restored->predict(keys)) EXPECT_TRUE(p.ready);
+}
+
+// A payload from the future must be refused loudly — silently misreading a
+// newer layout would corrupt instead of failing.
+TEST_F(RecoveryTest, FutureEnginePayloadVersionIsRejected) {
+  persist::io::Writer w;
+  w.u32(99);  // far past kEnginePayloadVersion
+  w.u64(0);
+  persist::ensure_directory(dir_);
+  persist::publish_snapshot(dir_, 1, w.bytes());
+  EXPECT_THROW((void)PredictionEngine::restore(predictors::make_paper_pool(5),
+                                               dir_),
+               persist::CorruptData);
+  const auto loaded = persist::load_newest_valid(dir_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_THROW((void)PredictionEngine::describe_payload(loaded->payload),
+               persist::CorruptData);
 }
 
 }  // namespace

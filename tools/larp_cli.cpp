@@ -903,19 +903,28 @@ int cmd_inspect_snapshot(const Options& options) {
     try {
       const auto loaded = persist::load_snapshot(info.path);
       // The container version is fixed; the engine payload carries its own
-      // layout version as its leading u32 (v1: global counters, v2:
-      // per-shard watermark table + counters).
-      unsigned engine_version = 0;
-      if (loaded.payload.size() >= 4) {
-        persist::io::Reader payload_head(loaded.payload);
-        engine_version = payload_head.u32();
-      }
+      // layout version (v1: global counters, v2: per-shard watermark table,
+      // v4: compressed sections + byte accounting), parsed header-only —
+      // inspect never deserializes the shard sections.
+      const auto desc = serve::PredictionEngine::describe_payload(
+          loaded.payload);
       std::printf(
           "%s  epoch %llu  format %u  engine-payload v%u  %zu payload bytes"
           "  OK\n",
           info.path.filename().c_str(),
           static_cast<unsigned long long>(loaded.epoch), loaded.version,
-          engine_version, loaded.payload.size());
+          desc.payload_version, loaded.payload.size());
+      for (std::size_t s = 0; s < desc.raw_bytes.size(); ++s) {
+        const double ratio =
+            desc.encoded_bytes[s] > 0
+                ? static_cast<double>(desc.raw_bytes[s]) /
+                      static_cast<double>(desc.encoded_bytes[s])
+                : 0.0;
+        std::printf(
+            "  shard %zu  raw %llu bytes  encoded %llu bytes  (%.2fx)\n", s,
+            static_cast<unsigned long long>(desc.raw_bytes[s]),
+            static_cast<unsigned long long>(desc.encoded_bytes[s]), ratio);
+      }
       any_valid = true;
     } catch (const larp::Error& e) {
       std::printf("%s  CORRUPT: %s\n", info.path.filename().c_str(), e.what());
